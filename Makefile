@@ -1,0 +1,29 @@
+# Standard developer entry points; everything is plain `go` underneath.
+
+.PHONY: all build vet test race bench cover experiments fmt
+
+all: build vet test
+
+build:
+	go build ./...
+
+vet:
+	go vet ./...
+
+test:
+	go test ./...
+
+race:
+	go test -race ./...
+
+bench:
+	go test -bench=. -benchmem ./...
+
+cover:
+	go test -cover ./...
+
+experiments:
+	go run ./cmd/grbac-bench
+
+fmt:
+	gofmt -w .

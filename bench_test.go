@@ -1,0 +1,513 @@
+package grbac_test
+
+// One testing.B benchmark per reproduction experiment (DESIGN.md §4,
+// EXPERIMENTS.md). The experiment *reports* — tables, agreement counts,
+// crossovers — come from `go run ./cmd/grbac-bench`; these benches measure
+// the steady-state cost of each experiment's hot path under the standard
+// Go benchmark harness.
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+	"time"
+
+	grbac "github.com/aware-home/grbac"
+	"github.com/aware-home/grbac/internal/baseline/acl"
+	"github.com/aware-home/grbac/internal/baseline/cbac"
+	"github.com/aware-home/grbac/internal/baseline/gacl"
+	"github.com/aware-home/grbac/internal/baseline/mls"
+	"github.com/aware-home/grbac/internal/baseline/rbac"
+	"github.com/aware-home/grbac/internal/baseline/tbac"
+	"github.com/aware-home/grbac/internal/core"
+	"github.com/aware-home/grbac/internal/experiments"
+	"github.com/aware-home/grbac/internal/home"
+	"github.com/aware-home/grbac/internal/temporal"
+)
+
+var benchStart = time.Date(2000, 1, 17, 20, 0, 0, 0, time.UTC) // Monday 8pm
+
+func mustHousehold(b *testing.B) *home.Household {
+	b.Helper()
+	hh, err := home.NewHousehold(benchStart)
+	if err != nil {
+		b.Fatal(err)
+	}
+	return hh
+}
+
+// BenchmarkE1RBACMediation measures Figure 1's exec(s,t) rule on a random
+// 200-subject policy.
+func BenchmarkE1RBACMediation(b *testing.B) {
+	rng := rand.New(rand.NewSource(1))
+	s, subjects, txs := experiments.NewRandomRBAC(rng, 200, 40, 60)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		s.Exec(subjects[i%len(subjects)], txs[i%len(txs)])
+	}
+}
+
+// BenchmarkE2HierarchyResolution measures effective-role closure over the
+// Figure 2 hierarchy.
+func BenchmarkE2HierarchyResolution(b *testing.B) {
+	s, err := experiments.NewFigure2System()
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := s.EffectiveSubjectRoles("alice"); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkE3EntertainmentPolicy measures the full-stack §5.1 decision:
+// environment engine evaluation plus three-role mediation.
+func BenchmarkE3EntertainmentPolicy(b *testing.B) {
+	hh := mustHousehold(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		d, err := hh.Decide("alice", "tv", "use")
+		if err != nil {
+			b.Fatal(err)
+		}
+		if !d.Allowed {
+			b.Fatal("expected permit at Monday 8pm")
+		}
+	}
+}
+
+// BenchmarkE4PartialAuth measures mediation with a fused credential set
+// under the paper's 90% threshold.
+func BenchmarkE4PartialAuth(b *testing.B) {
+	hh := mustHousehold(b)
+	if err := hh.System.SetMinConfidence(0.90); err != nil {
+		b.Fatal(err)
+	}
+	if err := hh.Auth.Record(hh.Floor.Sense(94, benchStart)...); err != nil {
+		b.Fatal(err)
+	}
+	creds := hh.Auth.Credentials(benchStart)
+	env := hh.Engine.ActiveRolesAt(benchStart, "alice")
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		d, err := hh.System.Decide(core.Request{
+			Subject: "alice", Object: "tv", Transaction: "use",
+			Credentials: creds, Environment: env,
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if !d.Allowed {
+			b.Fatal("expected role-credential permit")
+		}
+	}
+}
+
+// BenchmarkE5RepairmanWindow measures the location+interval gated decision.
+func BenchmarkE5RepairmanWindow(b *testing.B) {
+	hh := mustHousehold(b)
+	hh.Clock.Set(time.Date(2000, 1, 17, 10, 0, 0, 0, time.UTC))
+	if err := hh.House.MoveTo("repair-tech", "kitchen"); err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		d, err := hh.Decide("repair-tech", "dishwasher", "repair")
+		if err != nil {
+			b.Fatal(err)
+		}
+		if !d.Allowed {
+			b.Fatal("expected permit inside window")
+		}
+	}
+}
+
+// BenchmarkE6ContentAndNegative measures a deny-overrides conflict (child
+// matches both the appliance permit and the dangerous-appliance deny).
+func BenchmarkE6ContentAndNegative(b *testing.B) {
+	hh := mustHousehold(b)
+	env := hh.Engine.ActiveRolesAt(benchStart, "alice")
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		d, err := hh.System.Decide(core.Request{
+			Subject: "alice", Object: "oven", Transaction: "use", Environment: env,
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if d.Allowed {
+			b.Fatal("expected deny")
+		}
+	}
+}
+
+// BenchmarkE7RBACEncoding measures the GRBAC encoding of a random RBAC
+// policy against the native Figure 1 engine.
+func BenchmarkE7RBACEncoding(b *testing.B) {
+	rng := rand.New(rand.NewSource(7))
+	s, subjects, txs := experiments.NewRandomRBAC(rng, 20, 8, 12)
+	g, universe, err := s.EncodeGRBAC()
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.Run("native", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			s.Exec(subjects[i%len(subjects)], txs[i%len(txs)])
+		}
+	})
+	b.Run("grbac", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			_, _ = g.CheckAccess(core.Request{
+				Subject: subjects[i%len(subjects)], Object: universe,
+				Transaction: txs[i%len(txs)], Environment: []core.RoleID{},
+			})
+		}
+	})
+}
+
+// BenchmarkE8TemporalEncoding measures periodic-authorization mediation in
+// both engines.
+func BenchmarkE8TemporalEncoding(b *testing.B) {
+	s := tbac.NewSystem()
+	if err := s.Add(tbac.Authorization{
+		Subject: "bob", Object: "db", Action: "read",
+		Period: temporal.MustParse("weekly mon-fri and daily 09:00-17:00"),
+		Allow:  true,
+	}); err != nil {
+		b.Fatal(err)
+	}
+	enc, err := s.EncodeGRBAC()
+	if err != nil {
+		b.Fatal(err)
+	}
+	at := time.Date(2000, 1, 17, 10, 0, 0, 0, time.UTC)
+	b.Run("native", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			s.Allowed("bob", "db", "read", at)
+		}
+	})
+	b.Run("grbac", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if _, err := enc.Allowed("bob", "db", "read", at); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}
+
+// BenchmarkE9LoadEncoding measures load-conditioned mediation.
+func BenchmarkE9LoadEncoding(b *testing.B) {
+	s := gacl.NewSystem()
+	if err := s.Add(gacl.Rule{Subject: "ops", Program: "report", MaxLoad: 0.5}); err != nil {
+		b.Fatal(err)
+	}
+	enc, err := s.EncodeGRBAC()
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.Run("native", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			s.CanExec("ops", "report", 0.3)
+		}
+	})
+	b.Run("grbac", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if _, err := enc.CanExec("ops", "report", 0.3); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}
+
+// BenchmarkE10ContentEncoding measures content-based mediation.
+func BenchmarkE10ContentEncoding(b *testing.B) {
+	s := cbac.NewSystem()
+	if err := s.Index("q3", "finance", "microsoft"); err != nil {
+		b.Fatal(err)
+	}
+	if err := s.Add(cbac.Rule{Subject: "analyst", Query: cbac.Query{"microsoft"}, Allow: true}); err != nil {
+		b.Fatal(err)
+	}
+	g, err := s.EncodeGRBAC()
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.Run("native", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			s.CanRead("analyst", "q3")
+		}
+	})
+	b.Run("grbac", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			_, _ = g.CheckAccess(core.Request{
+				Subject: "analyst", Object: "q3", Transaction: "read",
+				Environment: []core.RoleID{},
+			})
+		}
+	})
+}
+
+// BenchmarkE11MLSEncoding measures lattice mediation.
+func BenchmarkE11MLSEncoding(b *testing.B) {
+	s := mls.NewSystem()
+	if err := s.Clear("officer", mls.Secret); err != nil {
+		b.Fatal(err)
+	}
+	if err := s.Classify("warplan", mls.Secret); err != nil {
+		b.Fatal(err)
+	}
+	g, err := s.EncodeGRBAC()
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.Run("native", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			s.CanRead("officer", "warplan")
+		}
+	})
+	b.Run("grbac", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			_, _ = g.CheckAccess(core.Request{
+				Subject: "officer", Object: "warplan", Transaction: "read",
+				Environment: []core.RoleID{},
+			})
+		}
+	})
+}
+
+// BenchmarkE12DecisionLatency sweeps GRBAC decision cost along each scale
+// axis and against the baselines, mirroring experiment E12.
+func BenchmarkE12DecisionLatency(b *testing.B) {
+	b.Run("model/acl", func(b *testing.B) {
+		a := acl.NewSystem()
+		if err := a.Add(acl.Entry{Subject: "p", Action: "use", Object: "o", Allow: true}); err != nil {
+			b.Fatal(err)
+		}
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			a.Allowed("p", "use", "o")
+		}
+	})
+	b.Run("model/rbac", func(b *testing.B) {
+		r := rbac.NewSystem()
+		if err := r.AuthorizeRole("p", "r"); err != nil {
+			b.Fatal(err)
+		}
+		if err := r.AuthorizeTransaction("r", "use"); err != nil {
+			b.Fatal(err)
+		}
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			r.Exec("p", "use")
+		}
+	})
+	b.Run("model/grbac", func(b *testing.B) {
+		s, req, err := experiments.BuildScaledGRBAC(1, 1, 0, 0)
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if _, err := s.Decide(req); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	for _, n := range []int{10, 100, 1000} {
+		b.Run(fmt.Sprintf("rules/%d", n), func(b *testing.B) {
+			s, req, err := experiments.BuildScaledGRBAC(n, 16, 0, 1)
+			if err != nil {
+				b.Fatal(err)
+			}
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, err := s.Decide(req); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+	for _, d := range []int{1, 16, 64} {
+		b.Run(fmt.Sprintf("depth/%d", d), func(b *testing.B) {
+			s, req, err := experiments.BuildScaledGRBAC(16, 4, d, 1)
+			if err != nil {
+				b.Fatal(err)
+			}
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, err := s.Decide(req); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+	for _, e := range []int{1, 64, 256} {
+		b.Run(fmt.Sprintf("envroles/%d", e), func(b *testing.B) {
+			s, req, err := experiments.BuildScaledGRBAC(16, 4, 0, e)
+			if err != nil {
+				b.Fatal(err)
+			}
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, err := s.Decide(req); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkAblationPermissionIndex quantifies the per-transaction
+// permission index: 4096 rules over 64 transactions, with and without the
+// index (DESIGN.md design-choice ablation).
+func BenchmarkAblationPermissionIndex(b *testing.B) {
+	b.Run("indexed", func(b *testing.B) {
+		s, req, err := experiments.BuildMultiTxGRBAC(4096, 64)
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if _, err := s.Decide(req); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("scan", func(b *testing.B) {
+		s, req, err := experiments.BuildMultiTxGRBAC(4096, 64, core.WithoutPermissionIndex())
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if _, err := s.Decide(req); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}
+
+// BenchmarkE13PolicySize measures the cost of *building* the §5.1 policy
+// in each model for a 20-child, 50-device household — the administration
+// burden the paper's usability claim is about.
+func BenchmarkE13PolicySize(b *testing.B) {
+	const children, devices = 20, 50
+	b.Run("acl", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			a := acl.NewSystem()
+			for c := 0; c < children; c++ {
+				for d := 0; d < devices; d++ {
+					if err := a.Add(acl.Entry{
+						Subject: core.SubjectID(fmt.Sprintf("c%d", c)),
+						Action:  "use",
+						Object:  core.ObjectID(fmt.Sprintf("d%d", d)),
+						Allow:   true,
+					}); err != nil {
+						b.Fatal(err)
+					}
+				}
+			}
+		}
+	})
+	b.Run("grbac", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			g := core.NewSystem()
+			if err := g.AddRole(core.Role{ID: "child", Kind: core.SubjectRole}); err != nil {
+				b.Fatal(err)
+			}
+			if err := g.AddRole(core.Role{ID: "ent", Kind: core.ObjectRole}); err != nil {
+				b.Fatal(err)
+			}
+			if err := g.AddTransaction(core.SimpleTransaction("use")); err != nil {
+				b.Fatal(err)
+			}
+			for c := 0; c < children; c++ {
+				id := core.SubjectID(fmt.Sprintf("c%d", c))
+				if err := g.AddSubject(id); err != nil {
+					b.Fatal(err)
+				}
+				if err := g.AssignSubjectRole(id, "child"); err != nil {
+					b.Fatal(err)
+				}
+			}
+			for d := 0; d < devices; d++ {
+				id := core.ObjectID(fmt.Sprintf("d%d", d))
+				if err := g.AddObject(id); err != nil {
+					b.Fatal(err)
+				}
+				if err := g.AssignObjectRole(id, "ent"); err != nil {
+					b.Fatal(err)
+				}
+			}
+			if err := g.Grant(core.Permission{
+				Subject: "child", Object: "ent",
+				Environment: core.AnyEnvironment, Transaction: "use", Effect: core.Permit,
+			}); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}
+
+// BenchmarkE14SodActivation measures role activation with a dynamic SoD
+// constraint installed.
+func BenchmarkE14SodActivation(b *testing.B) {
+	s := grbac.NewSystem()
+	for _, r := range []grbac.RoleID{"teller", "account-holder"} {
+		if err := s.AddRole(grbac.Role{ID: r, Kind: grbac.SubjectRole}); err != nil {
+			b.Fatal(err)
+		}
+	}
+	if err := s.AddSubject("joe"); err != nil {
+		b.Fatal(err)
+	}
+	for _, r := range []grbac.RoleID{"teller", "account-holder"} {
+		if err := s.AssignSubjectRole("joe", r); err != nil {
+			b.Fatal(err)
+		}
+	}
+	if err := s.AddSoDConstraint(grbac.SoDConstraint{
+		Name: "x", Kind: grbac.DynamicSoD,
+		Roles: []grbac.RoleID{"teller", "account-holder"},
+	}); err != nil {
+		b.Fatal(err)
+	}
+	sid, err := s.CreateSession("joe")
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := s.ActivateRole(sid, "teller"); err != nil {
+			b.Fatal(err)
+		}
+		if err := s.DeactivateRole(sid, "teller"); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkPolicyCompile measures end-to-end compilation of the full Aware
+// Home policy (lexer through reference checking).
+func BenchmarkPolicyCompile(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := grbac.CompilePolicy(grbac.DefaultHomePolicy); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkWorkloadReplay measures the simulator's full-stack event rate.
+func BenchmarkWorkloadReplay(b *testing.B) {
+	hh := mustHousehold(b)
+	rng := rand.New(rand.NewSource(1))
+	trace := home.GenerateWorkload(rng, hh, benchStart, 100)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := hh.Replay(trace); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

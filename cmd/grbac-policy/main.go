@@ -1,0 +1,140 @@
+// Command grbac-policy compiles and lints policy-language files: syntax
+// and reference errors fail the build, and the static analyzer reports
+// precedence conflicts, duplicate rules, and dead roles — the tooling the
+// paper's usability story implies ("help avoid policy bugs", §4.1.2).
+//
+// Usage:
+//
+//	grbac-policy file.policy            # compile + lint
+//	grbac-policy -summary file.policy   # also print a policy summary
+//	grbac-policy -fmt file.policy       # canonical formatting
+//	grbac-policy -builtin               # lint the built-in Aware Home policy
+//	grbac-policy -diff old.policy new.policy   # decision-impact analysis
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+
+	grbac "github.com/aware-home/grbac"
+	"github.com/aware-home/grbac/internal/core"
+	"github.com/aware-home/grbac/internal/policy"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("grbac-policy: ")
+	summary := flag.Bool("summary", false, "print a policy summary after linting")
+	builtin := flag.Bool("builtin", false, "lint the built-in Aware Home policy")
+	format := flag.Bool("fmt", false, "print the canonically formatted policy instead of linting")
+	diff := flag.Bool("diff", false, "compare two policy files by decision impact")
+	flag.Parse()
+
+	if *diff {
+		if flag.NArg() != 2 {
+			log.Fatal("usage: grbac-policy -diff old.policy new.policy")
+		}
+		runDiff(flag.Arg(0), flag.Arg(1))
+		return
+	}
+
+	var src string
+	var name string
+	switch {
+	case *builtin:
+		src, name = grbac.DefaultHomePolicy, "<builtin>"
+	case flag.NArg() == 1:
+		raw, err := os.ReadFile(flag.Arg(0))
+		if err != nil {
+			log.Fatal(err)
+		}
+		src, name = string(raw), flag.Arg(0)
+	default:
+		log.Fatal("usage: grbac-policy [-summary] <file.policy> | grbac-policy -builtin")
+	}
+
+	compiled, err := policy.Compile(src)
+	if err != nil {
+		log.Fatalf("%s: %v", name, err)
+	}
+	if *format {
+		fmt.Print(compiled.Document().Format())
+		return
+	}
+	diags := compiled.Analyze()
+	warnings := 0
+	for _, d := range diags {
+		fmt.Printf("%s: %s\n", name, d)
+		if d.Severity == policy.SeverityWarning {
+			warnings++
+		}
+	}
+	doc := compiled.Document()
+	fmt.Printf("%s: compiled OK: %d roles, %d subjects, %d objects, %d transactions, %d rules, %d SoD constraints; %d diagnostics (%d warnings)\n",
+		name, len(doc.Roles), len(doc.Subjects), len(doc.Objects),
+		len(doc.Transactions), len(doc.Rules), len(doc.SoDs), len(diags), warnings)
+
+	if *summary {
+		fmt.Println("\nrules:")
+		for _, r := range doc.Rules {
+			conf := ""
+			if r.MinConfidence > 0 {
+				conf = fmt.Sprintf(" (confidence >= %.2f)", r.MinConfidence)
+			}
+			fmt.Printf("  %-6s %s may %s %s when %s%s\n",
+				r.Effect, r.Subject, r.Transaction, r.Object, r.Environment, conf)
+		}
+	}
+	if warnings > 0 {
+		os.Exit(2)
+	}
+}
+
+// runDiff builds both policies and reports every (subject, transaction,
+// object, environment) whose outcome changes, probing the empty
+// environment plus each environment role singleton from either policy.
+func runDiff(oldPath, newPath string) {
+	build := func(path string) (*core.System, *policy.Compiled) {
+		raw, err := os.ReadFile(path)
+		if err != nil {
+			log.Fatal(err)
+		}
+		compiled, err := policy.Compile(string(raw))
+		if err != nil {
+			log.Fatalf("%s: %v", path, err)
+		}
+		sys := grbac.NewSystem()
+		engine := grbac.NewEnvironmentEngine(grbac.NewEnvironmentStore())
+		if err := compiled.Apply(sys, engine); err != nil {
+			log.Fatalf("%s: %v", path, err)
+		}
+		return sys, compiled
+	}
+	before, beforeDoc := build(oldPath)
+	after, afterDoc := build(newPath)
+
+	envSet := map[core.RoleID]bool{}
+	for _, doc := range []*policy.Document{beforeDoc.Document(), afterDoc.Document()} {
+		for _, r := range doc.Roles {
+			if r.Kind == core.EnvironmentRole {
+				envSet[r.ID] = true
+			}
+		}
+	}
+	environments := [][]core.RoleID{{}}
+	for e := range envSet {
+		environments = append(environments, []core.RoleID{e})
+	}
+
+	probes := core.ProbeUniverse(before, after, environments)
+	divs := core.DiffDecisions(before, after, probes)
+	for _, d := range divs {
+		fmt.Println(d)
+	}
+	fmt.Printf("%d decision(s) change across %d probes\n", len(divs), len(probes))
+	if len(divs) > 0 {
+		os.Exit(3)
+	}
+}

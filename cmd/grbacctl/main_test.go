@@ -1,0 +1,41 @@
+package main
+
+import (
+	"reflect"
+	"testing"
+
+	"github.com/aware-home/grbac/internal/pdp"
+)
+
+func TestParseDecideFlags(t *testing.T) {
+	req := parseDecideFlags([]string{
+		"-subject", "alice",
+		"-object", "tv",
+		"-transaction", "use",
+		"-env", "weekday-free-time,free-time",
+		"-credentials", "subject:alice:0.75,role:child:0.98",
+	})
+	want := pdp.DecideRequest{
+		Subject:     "alice",
+		Object:      "tv",
+		Transaction: "use",
+		Environment: []string{"weekday-free-time", "free-time"},
+		Credentials: []pdp.Credential{
+			{Subject: "alice", Confidence: 0.75, Source: "grbacctl"},
+			{Role: "child", Confidence: 0.98, Source: "grbacctl"},
+		},
+	}
+	if !reflect.DeepEqual(req, want) {
+		t.Fatalf("parsed = %+v\nwant   %+v", req, want)
+	}
+}
+
+func TestParseDecideFlagsMinimal(t *testing.T) {
+	req := parseDecideFlags([]string{"-subject", "a", "-object", "o", "-transaction", "t"})
+	if req.Environment != nil {
+		t.Fatalf("environment should be nil (server-evaluated), got %v", req.Environment)
+	}
+	if req.Credentials != nil {
+		t.Fatalf("credentials should be nil, got %v", req.Credentials)
+	}
+}

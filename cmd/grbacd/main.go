@@ -1,0 +1,99 @@
+// Command grbacd serves a GRBAC policy decision point over HTTP.
+//
+// The policy comes from either a policy-language source file (-policy) or
+// a JSON snapshot (-snapshot); with neither, the built-in Aware Home
+// policy is served, which is convenient for trying the API:
+//
+//	grbacd -addr :8125 &
+//	curl -s localhost:8125/v1/check -d \
+//	  '{"subject":"alice","object":"tv","transaction":"use",
+//	    "environment":["weekday-free-time"]}'
+package main
+
+import (
+	"flag"
+	"log"
+	"net/http"
+	"os"
+	"time"
+
+	grbac "github.com/aware-home/grbac"
+	"github.com/aware-home/grbac/internal/audit"
+	"github.com/aware-home/grbac/internal/core"
+	"github.com/aware-home/grbac/internal/pdp"
+	"github.com/aware-home/grbac/internal/store"
+)
+
+func main() {
+	log.SetFlags(log.LstdFlags)
+	log.SetPrefix("grbacd: ")
+	addr := flag.String("addr", ":8125", "listen address")
+	policyPath := flag.String("policy", "", "policy-language source file")
+	snapshotPath := flag.String("snapshot", "", "JSON policy snapshot file")
+	threshold := flag.Float64("min-confidence", 0, "system-wide authentication threshold override (0 = keep policy value)")
+	admin := flag.Bool("admin", false, "enable the policy administration and session endpoints")
+	flag.Parse()
+
+	sys, err := loadSystem(*policyPath, *snapshotPath)
+	if err != nil {
+		log.Fatal(err)
+	}
+	if *threshold > 0 {
+		if err := sys.SetMinConfidence(*threshold); err != nil {
+			log.Fatal(err)
+		}
+	}
+
+	trail := audit.NewLogger()
+	opts := []pdp.ServerOption{pdp.WithAuditLogger(trail)}
+	if *admin {
+		opts = append(opts, pdp.WithAdmin())
+		log.Print("administration endpoints ENABLED")
+	}
+	server := pdp.NewServer(sys, opts...)
+	log.Printf("serving GRBAC PDP on %s (%d permissions, %d subjects)",
+		*addr, len(sys.Permissions()), len(sys.Subjects()))
+	httpServer := &http.Server{
+		Addr:              *addr,
+		Handler:           server,
+		ReadHeaderTimeout: 5 * time.Second,
+	}
+	if err := httpServer.ListenAndServe(); err != nil {
+		log.Fatal(err)
+	}
+}
+
+func loadSystem(policyPath, snapshotPath string) (*core.System, error) {
+	switch {
+	case policyPath != "" && snapshotPath != "":
+		log.Fatal("-policy and -snapshot are mutually exclusive")
+		return nil, nil
+	case snapshotPath != "":
+		sys, snap, err := store.Load(snapshotPath)
+		if err != nil {
+			return nil, err
+		}
+		log.Printf("loaded snapshot %s (saved %s)", snapshotPath, snap.SavedAt.Format(time.RFC3339))
+		return sys, nil
+	case policyPath != "":
+		src, err := os.ReadFile(policyPath)
+		if err != nil {
+			return nil, err
+		}
+		sys, engine, err := grbac.BuildPolicy(string(src))
+		if err != nil {
+			return nil, err
+		}
+		sys.SetEnvironmentSource(engine)
+		log.Printf("compiled policy %s", policyPath)
+		return sys, nil
+	default:
+		sys, engine, err := grbac.BuildPolicy(grbac.DefaultHomePolicy)
+		if err != nil {
+			return nil, err
+		}
+		sys.SetEnvironmentSource(engine)
+		log.Print("serving the built-in Aware Home policy")
+		return sys, nil
+	}
+}

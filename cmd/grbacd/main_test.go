@@ -1,0 +1,81 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+	"time"
+
+	"github.com/aware-home/grbac/internal/core"
+	"github.com/aware-home/grbac/internal/store"
+)
+
+func TestLoadSystemBuiltin(t *testing.T) {
+	sys, err := loadSystem("", "")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !sys.HasSubject("alice") || !sys.HasObject("tv") {
+		t.Fatal("built-in Aware Home policy not loaded")
+	}
+}
+
+func TestLoadSystemPolicyFile(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "p.policy")
+	src := `
+subject role r;
+object role o;
+subject u is r;
+object x is o;
+transaction t;
+grant r t o;
+`
+	if err := os.WriteFile(path, []byte(src), 0o600); err != nil {
+		t.Fatal(err)
+	}
+	sys, err := loadSystem(path, "")
+	if err != nil {
+		t.Fatal(err)
+	}
+	ok, err := sys.CheckAccess(core.Request{Subject: "u", Object: "x",
+		Transaction: "t", Environment: []core.RoleID{}})
+	if err != nil || !ok {
+		t.Fatalf("policy file system = %v, %v", ok, err)
+	}
+}
+
+func TestLoadSystemPolicyFileErrors(t *testing.T) {
+	if _, err := loadSystem(filepath.Join(t.TempDir(), "missing.policy"), ""); err == nil {
+		t.Fatal("missing policy file loaded")
+	}
+	bad := filepath.Join(t.TempDir(), "bad.policy")
+	if err := os.WriteFile(bad, []byte("nonsense;"), 0o600); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := loadSystem(bad, ""); err == nil {
+		t.Fatal("bad policy compiled")
+	}
+}
+
+func TestLoadSystemSnapshot(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "snap.json")
+	src := core.NewSystem()
+	if err := src.AddSubject("u"); err != nil {
+		t.Fatal(err)
+	}
+	if err := store.Save(path, src, time.Now()); err != nil {
+		t.Fatal(err)
+	}
+	sys, err := loadSystem("", path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !sys.HasSubject("u") {
+		t.Fatal("snapshot not restored")
+	}
+	if _, err := loadSystem("", filepath.Join(dir, "missing.json")); err == nil {
+		t.Fatal("missing snapshot loaded")
+	}
+}

@@ -1,0 +1,95 @@
+// Command community demonstrates the paper's "connected community" (§1):
+// the home's GRBAC engine runs as a networked policy decision point, and
+// applications elsewhere — a neighbor's videophone client, a grandparent's
+// browser, the homeowner's own admin UI — mediate and administer over
+// HTTP. The example starts an in-process PDP with administration enabled,
+// builds a small neighborhood policy remotely, and exercises it from the
+// "outside".
+package main
+
+import (
+	"context"
+	"fmt"
+	"log"
+	"net/http/httptest"
+
+	grbac "github.com/aware-home/grbac"
+	"github.com/aware-home/grbac/internal/pdp"
+)
+
+func main() {
+	// The home's decision point (in-process for the example; cmd/grbacd
+	// serves the same API on a real socket with -admin).
+	sys := grbac.NewSystem()
+	server := httptest.NewServer(pdp.NewServer(sys, pdp.WithAdmin()))
+	defer server.Close()
+	client := pdp.NewClient(server.URL, server.Client())
+	ctx := context.Background()
+	fmt.Printf("home PDP listening at %s\n\n", server.URL)
+
+	// The homeowner's admin app builds the policy over the wire: family
+	// photos are shared with the neighbors, home movies only with family.
+	adminSteps := []struct {
+		what string
+		err  error
+	}{
+		{"role family", client.CreateRole(ctx, pdp.RoleRequest{ID: "family", Kind: "subject"})},
+		{"role neighbor", client.CreateRole(ctx, pdp.RoleRequest{ID: "neighbor", Kind: "subject"})},
+		{"role shared-albums", client.CreateRole(ctx, pdp.RoleRequest{ID: "shared-albums", Kind: "object"})},
+		{"role private-albums", client.CreateRole(ctx, pdp.RoleRequest{ID: "private-albums", Kind: "object"})},
+		{"role evenings", client.CreateRole(ctx, pdp.RoleRequest{ID: "evenings", Kind: "environment"})},
+		{"subject grandma", client.UpsertSubject(ctx, pdp.BindingRequest{ID: "grandma", Roles: []string{"family"}})},
+		{"subject ned", client.UpsertSubject(ctx, pdp.BindingRequest{ID: "ned", Roles: []string{"neighbor"}})},
+		{"object bbq-photos", client.UpsertObject(ctx, pdp.BindingRequest{ID: "bbq-photos", Roles: []string{"shared-albums"}})},
+		{"object home-movies", client.UpsertObject(ctx, pdp.BindingRequest{ID: "home-movies", Roles: []string{"private-albums"}})},
+		{"transaction view", client.CreateTransaction(ctx, pdp.TransactionRequest{ID: "view"})},
+		{"grant neighbors", client.GrantPermission(ctx, pdp.PermissionRequest{
+			Subject: "neighbor", Object: "shared-albums", Environment: "evenings",
+			Transaction: "view", Effect: "permit"})},
+		{"grant family", client.GrantPermission(ctx, pdp.PermissionRequest{
+			Subject: "family", Object: "shared-albums", Environment: "*environment*",
+			Transaction: "view", Effect: "permit"})},
+		{"grant family private", client.GrantPermission(ctx, pdp.PermissionRequest{
+			Subject: "family", Object: "private-albums", Environment: "*environment*",
+			Transaction: "view", Effect: "permit"})},
+	}
+	for _, s := range adminSteps {
+		if s.err != nil {
+			log.Fatalf("%s: %v", s.what, s.err)
+		}
+	}
+	fmt.Println("homeowner pushed the neighborhood policy over the admin API")
+
+	// Remote applications mediate.
+	check := func(subject, object string, env []string) {
+		ok, err := client.Check(ctx, pdp.DecideRequest{
+			Subject: subject, Object: object, Transaction: "view", Environment: env,
+		})
+		if err != nil {
+			log.Fatal(err)
+		}
+		outcome := "deny"
+		if ok {
+			outcome = "permit"
+		}
+		fmt.Printf("  %-8s views %-12s env=%-10v -> %s\n", subject, object, env, outcome)
+	}
+	fmt.Println("\nremote mediation:")
+	check("ned", "bbq-photos", []string{"evenings"})
+	check("ned", "bbq-photos", []string{})
+	check("ned", "home-movies", []string{"evenings"})
+	check("grandma", "home-movies", []string{})
+	check("grandma", "bbq-photos", []string{})
+
+	// The homeowner reviews who can see what, also remotely.
+	who, err := client.WhoCan(ctx, "view", "bbq-photos", []string{"evenings"})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("\nreview: who can view bbq-photos in the evening? %v\n", who)
+	what, err := client.WhatCan(ctx, "ned", []string{"evenings"})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("review: ned's evening entitlements: %v\n", what)
+}

@@ -1,0 +1,64 @@
+// Command quickstart is the smallest possible GRBAC program: one subject
+// role, one object role, one environment role, one rule — the §5.1 policy
+// "any child can use entertainment devices on weekdays during free time"
+// reduced to a single mediation call.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	grbac "github.com/aware-home/grbac"
+)
+
+func main() {
+	sys := grbac.NewSystem()
+
+	steps := []error{
+		// Declare the three role kinds.
+		sys.AddRole(grbac.Role{ID: "child", Kind: grbac.SubjectRole}),
+		sys.AddRole(grbac.Role{ID: "entertainment-devices", Kind: grbac.ObjectRole}),
+		sys.AddRole(grbac.Role{ID: "weekday-free-time", Kind: grbac.EnvironmentRole}),
+		// The household.
+		sys.AddSubject("alice"),
+		sys.AssignSubjectRole("alice", "child"),
+		sys.AddObject("tv"),
+		sys.AssignObjectRole("tv", "entertainment-devices"),
+		sys.AddTransaction(grbac.SimpleTransaction("use")),
+		// The single rule of the paper's §5.1.
+		sys.Grant(grbac.Permission{
+			Subject:     "child",
+			Object:      "entertainment-devices",
+			Environment: "weekday-free-time",
+			Transaction: "use",
+			Effect:      grbac.Permit,
+			Description: "any child can use entertainment devices on weekdays during free time",
+		}),
+	}
+	for _, err := range steps {
+		if err != nil {
+			log.Fatal(err)
+		}
+	}
+
+	// During the window: the environment role is active.
+	d, err := sys.Decide(grbac.Request{
+		Subject: "alice", Object: "tv", Transaction: "use",
+		Environment: []grbac.RoleID{"weekday-free-time"},
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("Monday 8pm : alice uses tv -> %s\n", d.Effect)
+	fmt.Print(d.Explain())
+
+	// Outside the window: no active environment role, default deny.
+	d, err = sys.Decide(grbac.Request{
+		Subject: "alice", Object: "tv", Transaction: "use",
+		Environment: []grbac.RoleID{},
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("Saturday   : alice uses tv -> %s (%s)\n", d.Effect, d.Reason)
+}

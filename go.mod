@@ -1,0 +1,3 @@
+module github.com/aware-home/grbac
+
+go 1.22

@@ -1,0 +1,179 @@
+package grbac_test
+
+import (
+	"errors"
+	"testing"
+	"time"
+
+	grbac "github.com/aware-home/grbac"
+)
+
+// TestQuickstart exercises the package-documentation example verbatim.
+func TestQuickstart(t *testing.T) {
+	sys := grbac.NewSystem()
+	steps := []error{
+		sys.AddRole(grbac.Role{ID: "child", Kind: grbac.SubjectRole}),
+		sys.AddRole(grbac.Role{ID: "entertainment-devices", Kind: grbac.ObjectRole}),
+		sys.AddRole(grbac.Role{ID: "weekday-free-time", Kind: grbac.EnvironmentRole}),
+		sys.AddSubject("alice"),
+		sys.AssignSubjectRole("alice", "child"),
+		sys.AddObject("tv"),
+		sys.AssignObjectRole("tv", "entertainment-devices"),
+		sys.AddTransaction(grbac.SimpleTransaction("use")),
+		sys.Grant(grbac.Permission{
+			Subject:     "child",
+			Object:      "entertainment-devices",
+			Environment: "weekday-free-time",
+			Transaction: "use",
+			Effect:      grbac.Permit,
+		}),
+	}
+	for i, err := range steps {
+		if err != nil {
+			t.Fatalf("step %d: %v", i, err)
+		}
+	}
+	d, err := sys.Decide(grbac.Request{
+		Subject: "alice", Object: "tv", Transaction: "use",
+		Environment: []grbac.RoleID{"weekday-free-time"},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !d.Allowed {
+		t.Fatal("quickstart denied")
+	}
+}
+
+func TestPolicyFacade(t *testing.T) {
+	sys, engine, err := grbac.BuildPolicy(`
+subject role child;
+object role toys;
+env role playtime when time "daily 15:00-18:00";
+subject bobby is child;
+object blocks is toys;
+transaction use;
+grant child use toys when playtime;
+`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	at := time.Date(2000, 1, 17, 16, 0, 0, 0, time.UTC)
+	ok, err := sys.CheckAccess(grbac.Request{
+		Subject: "bobby", Object: "blocks", Transaction: "use",
+		Environment: engine.ActiveRolesAt(at, "bobby"),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !ok {
+		t.Fatal("playtime access denied")
+	}
+}
+
+func TestBuildPolicyWithStoreFacade(t *testing.T) {
+	store := grbac.NewEnvironmentStore()
+	sys, engine, err := grbac.BuildPolicyWithStore(`
+subject role guest;
+object role doors;
+env role vouched when attr host.present == true;
+subject visitor is guest;
+object front-door is doors;
+transaction open;
+grant guest open doors when vouched;
+`, store)
+	if err != nil {
+		t.Fatal(err)
+	}
+	check := func(want bool) {
+		t.Helper()
+		ok, err := sys.CheckAccess(grbac.Request{
+			Subject: "visitor", Object: "front-door", Transaction: "open",
+			Environment: engine.ActiveRolesFor("visitor"),
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if ok != want {
+			t.Fatalf("allowed = %v, want %v", ok, want)
+		}
+	}
+	check(false)
+	store.Set("host.present", grbac.EnvBool(true))
+	check(true)
+	store.Set("host.present", grbac.EnvBool(false))
+	check(false)
+	// The other helpers build usable values too.
+	store.Set("label", grbac.EnvString("x"))
+	store.Set("load", grbac.EnvNumber(0.5))
+	if v, ok := store.Get("load"); !ok || v.Num != 0.5 {
+		t.Fatal("EnvNumber round trip failed")
+	}
+}
+
+func TestCompilePolicyError(t *testing.T) {
+	if _, err := grbac.CompilePolicy("nonsense;"); err == nil {
+		t.Fatal("bad policy compiled")
+	}
+}
+
+func TestParsePeriodFacade(t *testing.T) {
+	p, err := grbac.ParsePeriod("weekly mon-fri and daily 19:00-22:00")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !p.Contains(time.Date(2000, 1, 17, 20, 0, 0, 0, time.UTC)) {
+		t.Fatal("Monday 8pm excluded")
+	}
+	if p.Contains(time.Date(2000, 1, 22, 20, 0, 0, 0, time.UTC)) {
+		t.Fatal("Saturday included")
+	}
+}
+
+func TestHouseholdFacade(t *testing.T) {
+	hh, err := grbac.NewHousehold(time.Date(2000, 1, 17, 20, 0, 0, 0, time.UTC))
+	if err != nil {
+		t.Fatal(err)
+	}
+	d, err := hh.Decide("alice", "tv", "use")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !d.Allowed {
+		t.Fatal("household facade denied §5.1 scenario")
+	}
+}
+
+func TestSentinelErrorsExported(t *testing.T) {
+	sys := grbac.NewSystem()
+	err := sys.AssignSubjectRole("ghost", "r")
+	if !errors.Is(err, grbac.ErrNotFound) {
+		t.Fatalf("error = %v, want grbac.ErrNotFound", err)
+	}
+}
+
+func TestCredentialHelpers(t *testing.T) {
+	id := grbac.IdentityCredential("alice", 0.75, "smart-floor")
+	role := grbac.RoleCredential("child", 0.98, "smart-floor")
+	if id.Subject != "alice" || role.Role != "child" {
+		t.Fatal("credential helpers wrong")
+	}
+	if err := (grbac.CredentialSet{id, role}).Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestConflictStrategyFacade(t *testing.T) {
+	sys := grbac.NewSystem(grbac.WithConflictStrategy(grbac.PermitOverrides{}))
+	if err := sys.AddRole(grbac.Role{ID: "r", Kind: grbac.SubjectRole}); err != nil {
+		t.Fatal(err)
+	}
+	sys.SetConflictStrategy(grbac.MostSpecificWins{})
+	sys.SetConflictStrategy(grbac.DenyOverrides{})
+}
+
+func TestDefaultHomePolicyCompiles(t *testing.T) {
+	if _, err := grbac.CompilePolicy(grbac.DefaultHomePolicy); err != nil {
+		t.Fatalf("DefaultHomePolicy: %v", err)
+	}
+}

@@ -1,0 +1,137 @@
+package grbac_test
+
+// Full-system integration: the simulated Aware Home's policy engine served
+// over the network, administered remotely, persisted to disk, and restored
+// — the complete prototype lifecycle the paper's §7 promises.
+
+import (
+	"context"
+	"net/http/httptest"
+	"path/filepath"
+	"testing"
+	"time"
+
+	grbac "github.com/aware-home/grbac"
+	"github.com/aware-home/grbac/internal/audit"
+	"github.com/aware-home/grbac/internal/pdp"
+	"github.com/aware-home/grbac/internal/store"
+)
+
+func TestFullSystemLifecycle(t *testing.T) {
+	monday8pm := time.Date(2000, 1, 17, 20, 0, 0, 0, time.UTC)
+	hh, err := grbac.NewHousehold(monday8pm)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// 1. Serve the household's live system over HTTP with audit and admin.
+	trail := audit.NewLogger()
+	server := httptest.NewServer(pdp.NewServer(hh.System,
+		pdp.WithAuditLogger(trail), pdp.WithAdmin()))
+	defer server.Close()
+	client := pdp.NewClient(server.URL, server.Client())
+	ctx := context.Background()
+
+	// 2. A remote application mediates; the environment legs come from the
+	// live engine (the server's system has the engine as its source, so a
+	// request with no environment uses real simulated time).
+	ok, err := client.Check(ctx, pdp.DecideRequest{
+		Subject: "alice", Object: "tv", Transaction: "use",
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !ok {
+		t.Fatal("remote mediation denied the §5.1 scenario at Monday 8pm")
+	}
+	// Advance the simulated clock past the window: the same remote
+	// request now denies.
+	hh.Clock.Set(time.Date(2000, 1, 17, 23, 0, 0, 0, time.UTC))
+	ok, err = client.Check(ctx, pdp.DecideRequest{
+		Subject: "alice", Object: "tv", Transaction: "use",
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ok {
+		t.Fatal("remote mediation granted outside the window")
+	}
+
+	// 3. The homeowner administers remotely: a new babysitter role with
+	// camera access.
+	for _, step := range []error{
+		client.CreateRole(ctx, pdp.RoleRequest{ID: "babysitter", Kind: "subject",
+			Parents: []string{"authorized-guest"}}),
+		client.UpsertSubject(ctx, pdp.BindingRequest{ID: "jane", Roles: []string{"babysitter"}}),
+		client.GrantPermission(ctx, pdp.PermissionRequest{
+			Subject: "babysitter", Object: "cameras", Environment: "*environment*",
+			Transaction: "view-still", Effect: "permit", MinConfidence: 0.6,
+		}),
+	} {
+		if step != nil {
+			t.Fatal(step)
+		}
+	}
+	ok, err = client.Check(ctx, pdp.DecideRequest{
+		Subject: "jane", Object: "nursery-camera", Transaction: "view-still",
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !ok {
+		t.Fatal("remotely administered babysitter role not effective")
+	}
+
+	// 4. Review: who can see the nursery camera stills now?
+	who, err := client.WhoCan(ctx, "view-still", "nursery-camera", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	foundJane, foundMom := false, false
+	for _, sub := range who {
+		if sub == "jane" {
+			foundJane = true
+		}
+		if sub == "mom" {
+			foundMom = true
+		}
+	}
+	if !foundJane || !foundMom {
+		t.Fatalf("WhoCan(view-still, nursery-camera) = %v", who)
+	}
+
+	// 5. The audit trail recorded the remote decisions.
+	records, err := client.Audit(ctx, pdp.AuditQuery{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(records) < 3 {
+		t.Fatalf("audit records = %d", len(records))
+	}
+
+	// 6. Persist the (administered) policy and restore it elsewhere; the
+	// restored system decides identically.
+	path := filepath.Join(t.TempDir(), "home.json")
+	if err := store.Save(path, hh.System, hh.Clock.Now()); err != nil {
+		t.Fatal(err)
+	}
+	restored, _, err := store.Load(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ok, err = restored.CheckAccess(grbac.Request{
+		Subject: "jane", Object: "nursery-camera", Transaction: "view-still",
+		Environment: []grbac.RoleID{},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !ok {
+		t.Fatal("restored system lost the babysitter grant")
+	}
+
+	// 7. The trusted event log survived it all.
+	if err := hh.Log.Verify(); err != nil {
+		t.Fatalf("trusted log broken: %v", err)
+	}
+}

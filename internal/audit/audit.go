@@ -1,0 +1,295 @@
+// Package audit records access decisions with their full explanations,
+// serving the paper's §3 requirement that the home security system provide
+// "generation of appropriate feedback to assure the user that she is using
+// the system correctly": every grant and deny is kept with the roles and
+// rules that produced it, queryable per subject and per object.
+package audit
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"strings"
+	"sync"
+	"time"
+
+	"github.com/aware-home/grbac/internal/core"
+)
+
+// Record is one audited decision.
+type Record struct {
+	// Seq is a monotonically increasing record number, starting at 1.
+	Seq uint64 `json:"seq"`
+	// Time is when the decision was made.
+	Time time.Time `json:"time"`
+	// Subject, Object, and Transaction identify the request.
+	Subject     core.SubjectID     `json:"subject"`
+	Object      core.ObjectID      `json:"object"`
+	Transaction core.TransactionID `json:"transaction"`
+	// Allowed is the outcome.
+	Allowed bool `json:"allowed"`
+	// Effect is "permit" or "deny".
+	Effect string `json:"effect"`
+	// DefaultDeny reports whether no rule matched.
+	DefaultDeny bool `json:"default_deny,omitempty"`
+	// Strategy names the conflict strategy consulted.
+	Strategy string `json:"strategy"`
+	// Reason is the engine's one-line explanation.
+	Reason string `json:"reason"`
+	// MatchedRules counts the permissions that applied.
+	MatchedRules int `json:"matched_rules"`
+}
+
+// String renders the record as a log line.
+func (r Record) String() string {
+	outcome := "DENY"
+	if r.Allowed {
+		outcome = "PERMIT"
+	}
+	return fmt.Sprintf("#%d %s %s %s %q on %q: %s (%s)",
+		r.Seq, r.Time.Format(time.RFC3339), outcome,
+		r.Subject, r.Transaction, r.Object, r.Reason, r.Strategy)
+}
+
+// Logger is a bounded in-memory audit trail backed by a ring buffer, so
+// appending stays O(1) even after the capacity is reached. The zero value
+// is not usable; construct with NewLogger.
+type Logger struct {
+	mu sync.Mutex
+	// buf holds up to max records; once full it is used circularly with
+	// head pointing at the oldest record.
+	buf  []Record
+	head int
+	seq  uint64
+	max  int
+	now  func() time.Time
+}
+
+// LoggerOption configures a Logger.
+type LoggerOption func(*Logger)
+
+// WithCapacity bounds the trail; the oldest records are evicted beyond it
+// (default 10000).
+func WithCapacity(n int) LoggerOption {
+	return func(l *Logger) {
+		if n > 0 {
+			l.max = n
+		}
+	}
+}
+
+// WithClock overrides the time source.
+func WithClock(now func() time.Time) LoggerOption {
+	return func(l *Logger) { l.now = now }
+}
+
+// NewLogger builds an empty audit trail.
+func NewLogger(opts ...LoggerOption) *Logger {
+	l := &Logger{max: 10000, now: time.Now}
+	for _, opt := range opts {
+		opt(l)
+	}
+	return l
+}
+
+// Log records one decision and returns the stored record.
+func (l *Logger) Log(req core.Request, d core.Decision) Record {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	l.seq++
+	rec := Record{
+		Seq:          l.seq,
+		Time:         l.now(),
+		Subject:      req.Subject,
+		Object:       req.Object,
+		Transaction:  req.Transaction,
+		Allowed:      d.Allowed,
+		Effect:       d.Effect.String(),
+		DefaultDeny:  d.DefaultDeny,
+		Strategy:     d.Strategy,
+		Reason:       d.Reason,
+		MatchedRules: len(d.Matches),
+	}
+	if len(l.buf) < l.max {
+		l.buf = append(l.buf, rec)
+	} else {
+		l.buf[l.head] = rec
+		l.head = (l.head + 1) % l.max
+	}
+	return rec
+}
+
+// Len returns the number of retained records.
+func (l *Logger) Len() int {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return len(l.buf)
+}
+
+// snapshotLocked returns the retained records oldest-first; the caller
+// must hold the lock.
+func (l *Logger) snapshotLocked() []Record {
+	out := make([]Record, 0, len(l.buf))
+	out = append(out, l.buf[l.head:]...)
+	out = append(out, l.buf[:l.head]...)
+	return out
+}
+
+// Records returns a copy of the retained trail, oldest first.
+func (l *Logger) Records() []Record {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.snapshotLocked()
+}
+
+// Filter selects audit records. Zero-valued fields match everything.
+type Filter struct {
+	Subject     core.SubjectID
+	Object      core.ObjectID
+	Transaction core.TransactionID
+	// DeniesOnly keeps only denied requests.
+	DeniesOnly bool
+	// Since keeps records at or after this instant (zero = unbounded).
+	Since time.Time
+	// Until keeps records strictly before this instant (zero = unbounded).
+	Until time.Time
+}
+
+func (f Filter) matches(r Record) bool {
+	if f.Subject != "" && r.Subject != f.Subject {
+		return false
+	}
+	if f.Object != "" && r.Object != f.Object {
+		return false
+	}
+	if f.Transaction != "" && r.Transaction != f.Transaction {
+		return false
+	}
+	if f.DeniesOnly && r.Allowed {
+		return false
+	}
+	if !f.Since.IsZero() && r.Time.Before(f.Since) {
+		return false
+	}
+	if !f.Until.IsZero() && !r.Time.Before(f.Until) {
+		return false
+	}
+	return true
+}
+
+// Query returns the records matching the filter, oldest first.
+func (l *Logger) Query(f Filter) []Record {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	var out []Record
+	for _, r := range l.snapshotLocked() {
+		if f.matches(r) {
+			out = append(out, r)
+		}
+	}
+	return out
+}
+
+// Stats aggregates the trail.
+type Stats struct {
+	Total        int
+	Permits      int
+	Denies       int
+	DefaultDeny  int
+	PerSubject   map[core.SubjectID]int
+	DeniedBySubj map[core.SubjectID]int
+}
+
+// Stats computes aggregate counts over the retained trail.
+func (l *Logger) Stats() Stats {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	s := Stats{
+		PerSubject:   make(map[core.SubjectID]int),
+		DeniedBySubj: make(map[core.SubjectID]int),
+	}
+	for _, r := range l.buf {
+		s.Total++
+		if r.Allowed {
+			s.Permits++
+		} else {
+			s.Denies++
+			s.DeniedBySubj[r.Subject]++
+		}
+		if r.DefaultDeny {
+			s.DefaultDeny++
+		}
+		s.PerSubject[r.Subject]++
+	}
+	return s
+}
+
+// Decider is the decision interface audited systems satisfy; core.System
+// implements it.
+type Decider interface {
+	Decide(core.Request) (core.Decision, error)
+}
+
+// AuditedSystem wraps a Decider so every successful decision is logged.
+type AuditedSystem struct {
+	inner  Decider
+	logger *Logger
+}
+
+var _ Decider = (*AuditedSystem)(nil)
+
+// Wrap builds an audited view of a decision engine.
+func Wrap(inner Decider, logger *Logger) *AuditedSystem {
+	return &AuditedSystem{inner: inner, logger: logger}
+}
+
+// Decide forwards to the wrapped engine and logs the outcome. Erroring
+// requests (malformed, unknown entities) are not logged — they never
+// reached mediation.
+func (a *AuditedSystem) Decide(req core.Request) (core.Decision, error) {
+	d, err := a.inner.Decide(req)
+	if err != nil {
+		return d, err
+	}
+	a.logger.Log(req, d)
+	return d, nil
+}
+
+// WriteJSON streams records to w as JSON lines (one record per line), the
+// interchange format for external log collectors.
+func WriteJSON(w io.Writer, records []Record) error {
+	enc := json.NewEncoder(w)
+	for _, r := range records {
+		if err := enc.Encode(r); err != nil {
+			return fmt.Errorf("audit: encode record %d: %w", r.Seq, err)
+		}
+	}
+	return nil
+}
+
+// ReadJSON parses a JSON-lines audit stream back into records.
+func ReadJSON(r io.Reader) ([]Record, error) {
+	dec := json.NewDecoder(r)
+	var out []Record
+	for dec.More() {
+		var rec Record
+		if err := dec.Decode(&rec); err != nil {
+			return nil, fmt.Errorf("audit: decode record %d: %w", len(out), err)
+		}
+		out = append(out, rec)
+	}
+	return out, nil
+}
+
+// Render formats records as an aligned text table for CLI output.
+func Render(records []Record) string {
+	if len(records) == 0 {
+		return "no audit records\n"
+	}
+	var b strings.Builder
+	for _, r := range records {
+		b.WriteString(r.String())
+		b.WriteByte('\n')
+	}
+	return b.String()
+}

@@ -1,0 +1,246 @@
+package audit
+
+import (
+	"strings"
+	"testing"
+	"time"
+
+	"github.com/aware-home/grbac/internal/core"
+)
+
+func testSystem(t *testing.T) *core.System {
+	t.Helper()
+	s := core.NewSystem()
+	for _, r := range []core.Role{
+		{ID: "child", Kind: core.SubjectRole},
+		{ID: "toys", Kind: core.ObjectRole},
+	} {
+		if err := s.AddRole(r); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := s.AddSubject("alice"); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.AssignSubjectRole("alice", "child"); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.AddObject("ball"); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.AssignObjectRole("ball", "toys"); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.AddTransaction(core.SimpleTransaction("use")); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Grant(core.Permission{
+		Subject: "child", Object: "toys", Environment: core.AnyEnvironment,
+		Transaction: "use", Effect: core.Permit,
+	}); err != nil {
+		t.Fatal(err)
+	}
+	return s
+}
+
+var auditTime = time.Date(2000, 1, 17, 12, 0, 0, 0, time.UTC)
+
+func TestWrapLogsDecisions(t *testing.T) {
+	sys := testSystem(t)
+	logger := NewLogger(WithClock(func() time.Time { return auditTime }))
+	audited := Wrap(sys, logger)
+
+	d, err := audited.Decide(core.Request{Subject: "alice", Object: "ball",
+		Transaction: "use", Environment: []core.RoleID{}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !d.Allowed {
+		t.Fatal("decision wrong")
+	}
+	// A denied request is logged too.
+	if _, err := audited.Decide(core.Request{Subject: "alice", Object: "ball",
+		Transaction: "use", Credentials: core.CredentialSet{
+			core.IdentityCredential("alice", 0, "none"),
+		}, Environment: []core.RoleID{}}); err != nil {
+		t.Fatal(err)
+	}
+	// An erroring request is not logged.
+	if _, err := audited.Decide(core.Request{Subject: "ghost", Object: "ball",
+		Transaction: "use", Environment: []core.RoleID{}}); err == nil {
+		t.Fatal("expected error for ghost subject")
+	}
+
+	recs := logger.Records()
+	if len(recs) != 2 {
+		t.Fatalf("records = %d, want 2", len(recs))
+	}
+	if recs[0].Seq != 1 || recs[1].Seq != 2 {
+		t.Fatalf("sequence numbers = %d, %d", recs[0].Seq, recs[1].Seq)
+	}
+	if !recs[0].Allowed || recs[1].Allowed {
+		t.Fatalf("outcomes = %v, %v", recs[0].Allowed, recs[1].Allowed)
+	}
+	if !recs[0].Time.Equal(auditTime) {
+		t.Fatalf("record time = %v", recs[0].Time)
+	}
+	if recs[0].MatchedRules != 1 || recs[0].Strategy != "deny-overrides" {
+		t.Fatalf("record detail = %+v", recs[0])
+	}
+}
+
+func TestQueryAndStats(t *testing.T) {
+	sys := testSystem(t)
+	logger := NewLogger()
+	audited := Wrap(sys, logger)
+	// 3 permits for alice, 2 denies (zero-confidence credentials).
+	for i := 0; i < 3; i++ {
+		if _, err := audited.Decide(core.Request{Subject: "alice", Object: "ball",
+			Transaction: "use", Environment: []core.RoleID{}}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for i := 0; i < 2; i++ {
+		if _, err := audited.Decide(core.Request{Subject: "alice", Object: "ball",
+			Transaction: "use",
+			Credentials: core.CredentialSet{core.IdentityCredential("alice", 0, "x")},
+			Environment: []core.RoleID{}}); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	if got := len(logger.Query(Filter{DeniesOnly: true})); got != 2 {
+		t.Fatalf("denies = %d, want 2", got)
+	}
+	if got := len(logger.Query(Filter{Subject: "alice"})); got != 5 {
+		t.Fatalf("alice records = %d, want 5", got)
+	}
+	if got := len(logger.Query(Filter{Subject: "bobby"})); got != 0 {
+		t.Fatalf("bobby records = %d, want 0", got)
+	}
+	if got := len(logger.Query(Filter{Object: "ball", Transaction: "use"})); got != 5 {
+		t.Fatalf("object records = %d, want 5", got)
+	}
+	if got := len(logger.Query(Filter{Transaction: "read"})); got != 0 {
+		t.Fatalf("read records = %d, want 0", got)
+	}
+
+	stats := logger.Stats()
+	if stats.Total != 5 || stats.Permits != 3 || stats.Denies != 2 {
+		t.Fatalf("stats = %+v", stats)
+	}
+	if stats.PerSubject["alice"] != 5 || stats.DeniedBySubj["alice"] != 2 {
+		t.Fatalf("per-subject stats = %+v", stats)
+	}
+	if stats.DefaultDeny != 2 {
+		t.Fatalf("default-deny count = %d, want 2", stats.DefaultDeny)
+	}
+}
+
+func TestCapacityEviction(t *testing.T) {
+	sys := testSystem(t)
+	logger := NewLogger(WithCapacity(3))
+	audited := Wrap(sys, logger)
+	for i := 0; i < 10; i++ {
+		if _, err := audited.Decide(core.Request{Subject: "alice", Object: "ball",
+			Transaction: "use", Environment: []core.RoleID{}}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	recs := logger.Records()
+	if len(recs) != 3 {
+		t.Fatalf("retained = %d, want 3", len(recs))
+	}
+	if recs[0].Seq != 8 || recs[2].Seq != 10 {
+		t.Fatalf("kept wrong records: %d..%d", recs[0].Seq, recs[2].Seq)
+	}
+}
+
+func TestQueryTimeBounds(t *testing.T) {
+	sys := testSystem(t)
+	now := auditTime
+	logger := NewLogger(WithClock(func() time.Time { return now }))
+	audited := Wrap(sys, logger)
+	times := []time.Time{
+		auditTime,
+		auditTime.Add(time.Hour),
+		auditTime.Add(2 * time.Hour),
+	}
+	for _, ts := range times {
+		now = ts
+		if _, err := audited.Decide(core.Request{Subject: "alice", Object: "ball",
+			Transaction: "use", Environment: []core.RoleID{}}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	tests := []struct {
+		name string
+		f    Filter
+		want int
+	}{
+		{"unbounded", Filter{}, 3},
+		{"since second", Filter{Since: times[1]}, 2},
+		{"until second", Filter{Until: times[1]}, 1},
+		{"window", Filter{Since: times[1], Until: times[2]}, 1},
+		{"empty window", Filter{Since: times[2], Until: times[1]}, 0},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			if got := len(logger.Query(tt.f)); got != tt.want {
+				t.Fatalf("Query = %d records, want %d", got, tt.want)
+			}
+		})
+	}
+}
+
+func TestJSONRoundTrip(t *testing.T) {
+	sys := testSystem(t)
+	logger := NewLogger(WithClock(func() time.Time { return auditTime }))
+	audited := Wrap(sys, logger)
+	for i := 0; i < 3; i++ {
+		if _, err := audited.Decide(core.Request{Subject: "alice", Object: "ball",
+			Transaction: "use", Environment: []core.RoleID{}}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	var buf strings.Builder
+	if err := WriteJSON(&buf, logger.Records()); err != nil {
+		t.Fatal(err)
+	}
+	if got := strings.Count(buf.String(), "\n"); got != 3 {
+		t.Fatalf("JSON lines = %d, want 3", got)
+	}
+	back, err := ReadJSON(strings.NewReader(buf.String()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(back) != 3 || back[0].Seq != 1 || back[2].Subject != "alice" {
+		t.Fatalf("round trip = %+v", back)
+	}
+	if !back[1].Time.Equal(auditTime) {
+		t.Fatalf("timestamp lost: %v", back[1].Time)
+	}
+	// Corrupt stream errors.
+	if _, err := ReadJSON(strings.NewReader("{bad json")); err == nil {
+		t.Fatal("corrupt stream parsed")
+	}
+}
+
+func TestRender(t *testing.T) {
+	if got := Render(nil); got != "no audit records\n" {
+		t.Fatalf("Render(nil) = %q", got)
+	}
+	rec := Record{Seq: 1, Time: auditTime, Subject: "alice", Object: "ball",
+		Transaction: "use", Allowed: true, Reason: "ok", Strategy: "deny-overrides"}
+	out := Render([]Record{rec})
+	for _, want := range []string{"#1", "PERMIT", "alice", "ball", "deny-overrides"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("Render missing %q in %q", want, out)
+		}
+	}
+	den := rec
+	den.Allowed = false
+	if !strings.Contains(Render([]Record{den}), "DENY") {
+		t.Error("deny not rendered")
+	}
+}

@@ -1,0 +1,23 @@
+package audit
+
+import (
+	"testing"
+
+	"github.com/aware-home/grbac/internal/core"
+)
+
+// BenchmarkLogAtCapacity guards the ring buffer: once the trail is full,
+// appending must stay O(1) (a full-buffer copy per insert once cost ~50µs
+// at the default 10k capacity and dominated whole-stack decisions).
+func BenchmarkLogAtCapacity(b *testing.B) {
+	l := NewLogger(WithCapacity(10000))
+	req := core.Request{Subject: "alice", Object: "tv", Transaction: "use"}
+	d := core.Decision{Allowed: true, Effect: core.Permit, Strategy: "deny-overrides"}
+	for i := 0; i < 10000; i++ {
+		l.Log(req, d)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		l.Log(req, d)
+	}
+}

@@ -1,0 +1,99 @@
+// Package acl implements plain identity-based access control lists: the
+// pre-RBAC baseline in which every authorization names a concrete (subject,
+// action, object) triple. It exists to quantify the policy-size argument of
+// the GRBAC paper's §5.1 example (experiment E13): what takes GRBAC one
+// rule takes an ACL |children| × |devices| entries, re-edited on every
+// household change.
+package acl
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+
+	"github.com/aware-home/grbac/internal/core"
+)
+
+// Entry is one ACL line: subject may (or may not) perform action on object.
+type Entry struct {
+	Subject core.SubjectID
+	Action  core.Action
+	Object  core.ObjectID
+	Allow   bool
+}
+
+// System is a deny-by-default ACL store. Negative entries override positive
+// ones. It is safe for concurrent use.
+type System struct {
+	mu      sync.RWMutex
+	entries map[Entry]bool
+}
+
+// NewSystem returns an empty ACL system.
+func NewSystem() *System {
+	return &System{entries: make(map[Entry]bool)}
+}
+
+// Add installs an entry. Duplicate entries are idempotent.
+func (s *System) Add(e Entry) error {
+	if e.Subject == "" || e.Action == "" || e.Object == "" {
+		return fmt.Errorf("%w: ACL entry must name subject, action, and object", core.ErrInvalid)
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.entries[e] = true
+	return nil
+}
+
+// Remove deletes an entry.
+func (s *System) Remove(e Entry) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if !s.entries[e] {
+		return fmt.Errorf("%w: no such ACL entry", core.ErrNotFound)
+	}
+	delete(s.entries, e)
+	return nil
+}
+
+// Allowed evaluates the ACL: an explicit deny wins, then an explicit
+// allow, then default deny.
+func (s *System) Allowed(sub core.SubjectID, action core.Action, obj core.ObjectID) bool {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	if s.entries[Entry{Subject: sub, Action: action, Object: obj, Allow: false}] {
+		return false
+	}
+	return s.entries[Entry{Subject: sub, Action: action, Object: obj, Allow: true}]
+}
+
+// Len returns the number of ACL entries — the policy-size metric of E13.
+func (s *System) Len() int {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return len(s.entries)
+}
+
+// Entries returns all entries in a deterministic order.
+func (s *System) Entries() []Entry {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	out := make([]Entry, 0, len(s.entries))
+	for e := range s.entries {
+		out = append(out, e)
+	}
+	sort.Slice(out, func(i, j int) bool {
+		a, b := out[i], out[j]
+		if a.Subject != b.Subject {
+			return a.Subject < b.Subject
+		}
+		if a.Action != b.Action {
+			return a.Action < b.Action
+		}
+		if a.Object != b.Object {
+			return a.Object < b.Object
+		}
+		return !a.Allow && b.Allow
+	})
+	return out
+}

@@ -1,0 +1,160 @@
+package acl
+
+import (
+	"errors"
+	"testing"
+
+	"github.com/aware-home/grbac/internal/core"
+)
+
+func TestDefaultDeny(t *testing.T) {
+	s := NewSystem()
+	if s.Allowed("alice", "use", "tv") {
+		t.Fatal("empty ACL allowed")
+	}
+}
+
+func TestAllowDenyPrecedence(t *testing.T) {
+	s := NewSystem()
+	if err := s.Add(Entry{Subject: "alice", Action: "use", Object: "tv", Allow: true}); err != nil {
+		t.Fatal(err)
+	}
+	if !s.Allowed("alice", "use", "tv") {
+		t.Fatal("explicit allow denied")
+	}
+	if s.Allowed("alice", "use", "vcr") || s.Allowed("bobby", "use", "tv") {
+		t.Fatal("ACL generalized beyond its entries")
+	}
+	// An explicit deny overrides the allow.
+	if err := s.Add(Entry{Subject: "alice", Action: "use", Object: "tv", Allow: false}); err != nil {
+		t.Fatal(err)
+	}
+	if s.Allowed("alice", "use", "tv") {
+		t.Fatal("deny did not override allow")
+	}
+}
+
+func TestValidationAndRemoval(t *testing.T) {
+	s := NewSystem()
+	if err := s.Add(Entry{}); !errors.Is(err, core.ErrInvalid) {
+		t.Fatalf("empty entry error = %v", err)
+	}
+	e := Entry{Subject: "a", Action: "use", Object: "o", Allow: true}
+	if err := s.Remove(e); !errors.Is(err, core.ErrNotFound) {
+		t.Fatalf("remove missing error = %v", err)
+	}
+	if err := s.Add(e); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Add(e); err != nil { // idempotent
+		t.Fatal(err)
+	}
+	if s.Len() != 1 {
+		t.Fatalf("Len = %d, want 1", s.Len())
+	}
+	if err := s.Remove(e); err != nil {
+		t.Fatal(err)
+	}
+	if s.Len() != 0 {
+		t.Fatal("entry survived removal")
+	}
+}
+
+func TestEntriesSorted(t *testing.T) {
+	s := NewSystem()
+	for _, e := range []Entry{
+		{Subject: "b", Action: "use", Object: "o", Allow: true},
+		{Subject: "a", Action: "use", Object: "o", Allow: true},
+		{Subject: "a", Action: "read", Object: "o", Allow: true},
+		{Subject: "a", Action: "read", Object: "o", Allow: false},
+	} {
+		if err := s.Add(e); err != nil {
+			t.Fatal(err)
+		}
+	}
+	got := s.Entries()
+	if len(got) != 4 {
+		t.Fatalf("entries = %d", len(got))
+	}
+	if got[0].Subject != "a" || got[0].Action != "read" || got[0].Allow {
+		t.Fatalf("first entry = %+v", got[0])
+	}
+	if got[3].Subject != "b" {
+		t.Fatalf("last entry = %+v", got[3])
+	}
+}
+
+// TestPolicySizeVersusGRBAC quantifies the §5.1 expressiveness argument:
+// the entertainment policy takes children × devices ACL entries but one
+// GRBAC rule.
+func TestPolicySizeVersusGRBAC(t *testing.T) {
+	children := []core.SubjectID{"alice", "bobby", "carol"}
+	devices := []core.ObjectID{"tv", "vcr", "stereo", "console"}
+
+	s := NewSystem()
+	for _, c := range children {
+		for _, d := range devices {
+			if err := s.Add(Entry{Subject: c, Action: "use", Object: d, Allow: true}); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	if got, want := s.Len(), len(children)*len(devices); got != want {
+		t.Fatalf("ACL size = %d, want %d", got, want)
+	}
+
+	// The GRBAC equivalent: one rule.
+	g := core.NewSystem()
+	for _, r := range []core.Role{
+		{ID: "child", Kind: core.SubjectRole},
+		{ID: "entertainment-devices", Kind: core.ObjectRole},
+	} {
+		if err := g.AddRole(r); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := g.AddTransaction(core.SimpleTransaction("use")); err != nil {
+		t.Fatal(err)
+	}
+	for _, c := range children {
+		if err := g.AddSubject(c); err != nil {
+			t.Fatal(err)
+		}
+		if err := g.AssignSubjectRole(c, "child"); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for _, d := range devices {
+		if err := g.AddObject(d); err != nil {
+			t.Fatal(err)
+		}
+		if err := g.AssignObjectRole(d, "entertainment-devices"); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := g.Grant(core.Permission{
+		Subject: "child", Object: "entertainment-devices",
+		Environment: core.AnyEnvironment, Transaction: "use", Effect: core.Permit,
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if got := len(g.Permissions()); got != 1 {
+		t.Fatalf("GRBAC rules = %d, want 1", got)
+	}
+
+	// Same decisions.
+	for _, c := range children {
+		for _, d := range devices {
+			aclOK := s.Allowed(c, "use", d)
+			grbacOK, err := g.CheckAccess(core.Request{
+				Subject: c, Object: d, Transaction: "use", Environment: []core.RoleID{},
+			})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if aclOK != grbacOK {
+				t.Fatalf("divergence at (%s, %s): acl %v, grbac %v", c, d, aclOK, grbacOK)
+			}
+		}
+	}
+}

@@ -1,0 +1,196 @@
+// Package cbac implements content-based access control over a toy semantic
+// file index, after Gopal & Manber's content-addressed file system work
+// cited in §6 of the GRBAC paper: documents carry keyword sets, and rules
+// grant or deny a subject read access to every document matching a
+// conjunctive keyword query (e.g. "any content related to Microsoft
+// Corporation", the paper's §4.2.3 example).
+//
+// EncodeGRBAC translates each distinct query into an object role and
+// classifies documents into the roles their content matches — exactly the
+// paper's prescription that "GRBAC also supports a form of content-based
+// access control using object roles". Experiment E10 checks agreement.
+package cbac
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"sync"
+
+	"github.com/aware-home/grbac/internal/core"
+)
+
+// Query is a conjunction of keywords: a document matches when it carries
+// every keyword.
+type Query []string
+
+// Matches reports whether the keyword set satisfies the query.
+func (q Query) Matches(keywords map[string]bool) bool {
+	for _, k := range q {
+		if !keywords[k] {
+			return false
+		}
+	}
+	return true
+}
+
+// key renders the query canonically (sorted, '+'-joined) for role naming
+// and deduplication.
+func (q Query) key() string {
+	cp := append([]string(nil), q...)
+	sort.Strings(cp)
+	return strings.Join(cp, "+")
+}
+
+// Rule grants or denies Subject read access to documents matching Query.
+type Rule struct {
+	Subject core.SubjectID
+	Query   Query
+	Allow   bool
+}
+
+// System is a content-based access store over an in-memory document index.
+// Denials take precedence; default deny. It is safe for concurrent use.
+type System struct {
+	mu    sync.RWMutex
+	docs  map[core.ObjectID]map[string]bool
+	rules []Rule
+}
+
+// NewSystem returns an empty system.
+func NewSystem() *System {
+	return &System{docs: make(map[core.ObjectID]map[string]bool)}
+}
+
+// Index registers a document with its content keywords, replacing any
+// previous indexing.
+func (s *System) Index(doc core.ObjectID, keywords ...string) error {
+	if doc == "" {
+		return fmt.Errorf("%w: empty document ID", core.ErrInvalid)
+	}
+	set := make(map[string]bool, len(keywords))
+	for _, k := range keywords {
+		if k == "" {
+			return fmt.Errorf("%w: empty keyword", core.ErrInvalid)
+		}
+		set[k] = true
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.docs[doc] = set
+	return nil
+}
+
+// Add installs a rule.
+func (s *System) Add(r Rule) error {
+	if r.Subject == "" || len(r.Query) == 0 {
+		return fmt.Errorf("%w: rule must name a subject and a non-empty query", core.ErrInvalid)
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.rules = append(s.rules, r)
+	return nil
+}
+
+// CanRead evaluates content-based access: among rules for the subject
+// whose query matches the document's keywords, a deny wins; else an allow
+// permits; else deny. Unknown documents are denied.
+func (s *System) CanRead(sub core.SubjectID, doc core.ObjectID) bool {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	keywords, ok := s.docs[doc]
+	if !ok {
+		return false
+	}
+	allowed := false
+	for _, r := range s.rules {
+		if r.Subject != sub || !r.Query.Matches(keywords) {
+			continue
+		}
+		if !r.Allow {
+			return false
+		}
+		allowed = true
+	}
+	return allowed
+}
+
+// Documents returns all indexed document IDs, sorted.
+func (s *System) Documents() []core.ObjectID {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	out := make([]core.ObjectID, 0, len(s.docs))
+	for d := range s.docs {
+		out = append(out, d)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+// EncodeGRBAC translates the policy: one object role per distinct query
+// ("content-<query>"), documents classified into every query role their
+// keywords match, singleton subject roles, and one read permission per
+// rule. Re-indexing a document in the source system corresponds to
+// re-running classification — the object-role assignment is where GRBAC
+// keeps content knowledge.
+func (s *System) EncodeGRBAC() (*core.System, error) {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	g := core.NewSystem()
+	if err := g.AddTransaction(core.SimpleTransaction("read")); err != nil {
+		return nil, err
+	}
+	subjRole := func(sub core.SubjectID) core.RoleID { return core.RoleID("user-" + sub) }
+	queryRole := func(q Query) core.RoleID { return core.RoleID("content-" + q.key()) }
+
+	seenSub := make(map[core.SubjectID]bool)
+	seenQuery := make(map[string]Query)
+	for _, r := range s.rules {
+		if !seenSub[r.Subject] {
+			seenSub[r.Subject] = true
+			if err := g.AddRole(core.Role{ID: subjRole(r.Subject), Kind: core.SubjectRole}); err != nil {
+				return nil, err
+			}
+			if err := g.AddSubject(r.Subject); err != nil {
+				return nil, err
+			}
+			if err := g.AssignSubjectRole(r.Subject, subjRole(r.Subject)); err != nil {
+				return nil, err
+			}
+		}
+		if _, ok := seenQuery[r.Query.key()]; !ok {
+			seenQuery[r.Query.key()] = r.Query
+			if err := g.AddRole(core.Role{ID: queryRole(r.Query), Kind: core.ObjectRole}); err != nil {
+				return nil, err
+			}
+		}
+	}
+	for doc, keywords := range s.docs {
+		if err := g.AddObject(doc); err != nil {
+			return nil, err
+		}
+		for _, q := range seenQuery {
+			if q.Matches(keywords) {
+				if err := g.AssignObjectRole(doc, queryRole(q)); err != nil {
+					return nil, err
+				}
+			}
+		}
+	}
+	for _, r := range s.rules {
+		effect := core.Permit
+		if !r.Allow {
+			effect = core.Deny
+		}
+		if err := g.Grant(core.Permission{
+			Subject:     subjRole(r.Subject),
+			Object:      queryRole(r.Query),
+			Environment: core.AnyEnvironment,
+			Transaction: "read",
+			Effect:      effect,
+		}); err != nil {
+			return nil, err
+		}
+	}
+	return g, nil
+}

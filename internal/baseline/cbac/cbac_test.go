@@ -1,0 +1,175 @@
+package cbac
+
+import (
+	"errors"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"github.com/aware-home/grbac/internal/core"
+)
+
+func corpus(t *testing.T) *System {
+	t.Helper()
+	s := NewSystem()
+	docs := map[core.ObjectID][]string{
+		"q3-report":     {"finance", "microsoft", "quarterly"},
+		"family-photos": {"personal", "photos"},
+		"ms-contract":   {"legal", "microsoft"},
+		"recipe":        {"cooking"},
+	}
+	for id, kws := range docs {
+		if err := s.Index(id, kws...); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return s
+}
+
+func TestContentRules(t *testing.T) {
+	s := corpus(t)
+	// The paper's §4.2.3 example: classify by Microsoft-related content.
+	if err := s.Add(Rule{Subject: "analyst", Query: Query{"microsoft"}, Allow: true}); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Add(Rule{Subject: "analyst", Query: Query{"legal", "microsoft"}, Allow: false}); err != nil {
+		t.Fatal(err)
+	}
+	tests := []struct {
+		doc  core.ObjectID
+		want bool
+	}{
+		{"q3-report", true},
+		{"ms-contract", false}, // matches both; deny wins
+		{"family-photos", false},
+		{"recipe", false},
+		{"missing", false},
+	}
+	for _, tt := range tests {
+		if got := s.CanRead("analyst", tt.doc); got != tt.want {
+			t.Errorf("CanRead(analyst, %s) = %v, want %v", tt.doc, got, tt.want)
+		}
+	}
+	if s.CanRead("stranger", "q3-report") {
+		t.Fatal("unauthorized subject granted")
+	}
+}
+
+func TestQueryMatches(t *testing.T) {
+	kws := map[string]bool{"a": true, "b": true}
+	tests := []struct {
+		q    Query
+		want bool
+	}{
+		{Query{"a"}, true},
+		{Query{"a", "b"}, true},
+		{Query{"a", "c"}, false},
+		{Query{}, true},
+	}
+	for _, tt := range tests {
+		if got := tt.q.Matches(kws); got != tt.want {
+			t.Errorf("Matches(%v) = %v, want %v", tt.q, got, tt.want)
+		}
+	}
+}
+
+func TestValidation(t *testing.T) {
+	s := NewSystem()
+	if err := s.Index(""); !errors.Is(err, core.ErrInvalid) {
+		t.Fatalf("empty doc error = %v", err)
+	}
+	if err := s.Index("d", ""); !errors.Is(err, core.ErrInvalid) {
+		t.Fatalf("empty keyword error = %v", err)
+	}
+	if err := s.Add(Rule{Subject: "a"}); !errors.Is(err, core.ErrInvalid) {
+		t.Fatalf("empty query error = %v", err)
+	}
+}
+
+func TestReindexReplaces(t *testing.T) {
+	s := NewSystem()
+	if err := s.Index("d", "old"); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Index("d", "new"); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Add(Rule{Subject: "u", Query: Query{"old"}, Allow: true}); err != nil {
+		t.Fatal(err)
+	}
+	if s.CanRead("u", "d") {
+		t.Fatal("stale keywords survived re-indexing")
+	}
+	if got := len(s.Documents()); got != 1 {
+		t.Fatalf("Documents = %d", got)
+	}
+}
+
+// TestEncodeGRBACEquivalence is experiment E10's core assertion: the GRBAC
+// encoding with query-derived object roles agrees with the content-based
+// baseline for every (subject, document) pair.
+func TestEncodeGRBACEquivalence(t *testing.T) {
+	vocab := []string{"finance", "microsoft", "legal", "personal", "photos", "cooking"}
+	subjects := []core.SubjectID{"s0", "s1"}
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		s := NewSystem()
+		nDocs := 1 + rng.Intn(8)
+		docs := make([]core.ObjectID, nDocs)
+		for i := range docs {
+			docs[i] = core.ObjectID(rune('a' + i))
+			var kws []string
+			for _, k := range vocab {
+				if rng.Intn(3) == 0 {
+					kws = append(kws, k)
+				}
+			}
+			if len(kws) == 0 {
+				kws = []string{vocab[rng.Intn(len(vocab))]}
+			}
+			if err := s.Index(docs[i], kws...); err != nil {
+				return false
+			}
+		}
+		nRules := 1 + rng.Intn(6)
+		for i := 0; i < nRules; i++ {
+			q := Query{vocab[rng.Intn(len(vocab))]}
+			if rng.Intn(2) == 0 {
+				q = append(q, vocab[rng.Intn(len(vocab))])
+			}
+			if err := s.Add(Rule{
+				Subject: subjects[rng.Intn(len(subjects))],
+				Query:   q,
+				Allow:   rng.Intn(4) != 0,
+			}); err != nil {
+				return false
+			}
+		}
+		g, err := s.EncodeGRBAC()
+		if err != nil {
+			return false
+		}
+		for _, sub := range subjects {
+			for _, doc := range docs {
+				want := s.CanRead(sub, doc)
+				got, err := g.CheckAccess(core.Request{
+					Subject: sub, Object: doc, Transaction: "read",
+					Environment: []core.RoleID{},
+				})
+				if err != nil {
+					if errors.Is(err, core.ErrNotFound) && !want {
+						continue
+					}
+					return false
+				}
+				if got != want {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,161 @@
+// Package gacl implements a Woo–Lam GACL-style authorization model (§6 of
+// the GRBAC paper): "certain programs only can be executed when there is
+// enough system capacity available to handle them adequately". Each rule
+// permits a subject to execute a program only while the observed system
+// load is at or below a threshold.
+//
+// EncodeGRBAC translates load thresholds into environment roles over a
+// "system.load" attribute, demonstrating that "the GRBAC model can also
+// support such state-based authorization decisions using environment
+// roles". Experiment E9 checks decision agreement under a load trace.
+package gacl
+
+import (
+	"fmt"
+	"sync"
+
+	"github.com/aware-home/grbac/internal/core"
+	"github.com/aware-home/grbac/internal/environment"
+)
+
+// Rule permits Subject to execute Program while system load ≤ MaxLoad.
+type Rule struct {
+	Subject core.SubjectID
+	Program core.ObjectID
+	MaxLoad float64
+}
+
+// System is a load-conditioned authorization store. It is safe for
+// concurrent use.
+type System struct {
+	mu    sync.RWMutex
+	rules []Rule
+}
+
+// NewSystem returns an empty system.
+func NewSystem() *System { return &System{} }
+
+// Add installs a rule.
+func (s *System) Add(r Rule) error {
+	if r.Subject == "" || r.Program == "" {
+		return fmt.Errorf("%w: rule must name subject and program", core.ErrInvalid)
+	}
+	if r.MaxLoad < 0 || r.MaxLoad > 1 {
+		return fmt.Errorf("%w: MaxLoad %v outside [0,1]", core.ErrInvalid, r.MaxLoad)
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.rules = append(s.rules, r)
+	return nil
+}
+
+// Len returns the number of rules.
+func (s *System) Len() int {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return len(s.rules)
+}
+
+// CanExec reports whether the subject may execute the program at the given
+// observed load.
+func (s *System) CanExec(sub core.SubjectID, prog core.ObjectID, load float64) bool {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	for _, r := range s.rules {
+		if r.Subject == sub && r.Program == prog && load <= r.MaxLoad {
+			return true
+		}
+	}
+	return false
+}
+
+// LoadKey is the environment attribute the encoding reads system load from.
+const LoadKey = "system.load"
+
+// Encoded is the GRBAC translation of a GACL policy.
+type Encoded struct {
+	System *core.System
+	Engine *environment.Engine
+	Store  *environment.Store
+}
+
+// CanExec mediates through the GRBAC encoding: the store's load attribute
+// is set, the environment engine recomputes active load roles, and the
+// core system decides.
+func (e *Encoded) CanExec(sub core.SubjectID, prog core.ObjectID, load float64) (bool, error) {
+	e.Store.Set(LoadKey, environment.Number(load))
+	return e.System.CheckAccess(core.Request{
+		Subject:     sub,
+		Object:      prog,
+		Transaction: "execute",
+		Environment: e.Engine.ActiveRolesFor(""),
+	})
+}
+
+// EncodeGRBAC translates each distinct load threshold into an environment
+// role "load-le-<t>" defined by system.load ≤ t, with singleton subject and
+// object roles and one execute permission per rule.
+func (s *System) EncodeGRBAC() (*Encoded, error) {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	g := core.NewSystem()
+	store := environment.NewStore()
+	engine := environment.NewEngine(store)
+	if err := g.AddTransaction(core.SimpleTransaction("execute")); err != nil {
+		return nil, err
+	}
+	subjRole := func(sub core.SubjectID) core.RoleID { return core.RoleID("user-" + sub) }
+	progRole := func(p core.ObjectID) core.RoleID { return core.RoleID("prog-" + p) }
+	loadRole := func(t float64) core.RoleID { return core.RoleID(fmt.Sprintf("load-le-%g", t)) }
+
+	seenSub := make(map[core.SubjectID]bool)
+	seenProg := make(map[core.ObjectID]bool)
+	seenLoad := make(map[float64]bool)
+	for _, r := range s.rules {
+		if !seenSub[r.Subject] {
+			seenSub[r.Subject] = true
+			if err := g.AddRole(core.Role{ID: subjRole(r.Subject), Kind: core.SubjectRole}); err != nil {
+				return nil, err
+			}
+			if err := g.AddSubject(r.Subject); err != nil {
+				return nil, err
+			}
+			if err := g.AssignSubjectRole(r.Subject, subjRole(r.Subject)); err != nil {
+				return nil, err
+			}
+		}
+		if !seenProg[r.Program] {
+			seenProg[r.Program] = true
+			if err := g.AddRole(core.Role{ID: progRole(r.Program), Kind: core.ObjectRole}); err != nil {
+				return nil, err
+			}
+			if err := g.AddObject(r.Program); err != nil {
+				return nil, err
+			}
+			if err := g.AssignObjectRole(r.Program, progRole(r.Program)); err != nil {
+				return nil, err
+			}
+		}
+		if !seenLoad[r.MaxLoad] {
+			seenLoad[r.MaxLoad] = true
+			if err := g.AddRole(core.Role{ID: loadRole(r.MaxLoad), Kind: core.EnvironmentRole}); err != nil {
+				return nil, err
+			}
+			if err := engine.Define(loadRole(r.MaxLoad), environment.AttrCompare{
+				Key: LoadKey, Op: environment.OpLe, Threshold: r.MaxLoad,
+			}); err != nil {
+				return nil, err
+			}
+		}
+		if err := g.Grant(core.Permission{
+			Subject:     subjRole(r.Subject),
+			Object:      progRole(r.Program),
+			Environment: loadRole(r.MaxLoad),
+			Transaction: "execute",
+			Effect:      core.Permit,
+		}); err != nil {
+			return nil, err
+		}
+	}
+	return &Encoded{System: g, Engine: engine, Store: store}, nil
+}

@@ -1,0 +1,250 @@
+// Package mls implements Bell–LaPadula multilevel security [Bell & LaPadula
+// 1973], the first related model of the GRBAC paper's §6: "its basic
+// premise is to allow information to flow up the chain of security levels,
+// but never down". Subjects and objects carry classification levels; reads
+// obey the simple security property (no read up) and writes obey the
+// *-property (no write down).
+//
+// EncodeGRBAC constructs an equivalent GRBAC policy, the constructive half
+// of the paper's claim that "the GRBAC model can be used to implement
+// multilevel access control, but the converse is not true"; experiment E11
+// checks decision equivalence by property test and exhibits a GRBAC policy
+// (a time-conditioned rule) that no MLS lattice assignment can express.
+package mls
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+
+	"github.com/aware-home/grbac/internal/core"
+)
+
+// Level is a linear classification level.
+type Level int
+
+// The classic military lattice.
+const (
+	Unclassified Level = iota + 1
+	Confidential
+	Secret
+	TopSecret
+)
+
+// Levels lists the lattice in ascending order.
+func Levels() []Level { return []Level{Unclassified, Confidential, Secret, TopSecret} }
+
+// String returns the conventional abbreviation.
+func (l Level) String() string {
+	switch l {
+	case Unclassified:
+		return "U"
+	case Confidential:
+		return "C"
+	case Secret:
+		return "S"
+	case TopSecret:
+		return "TS"
+	default:
+		return fmt.Sprintf("Level(%d)", int(l))
+	}
+}
+
+// Valid reports whether l is in the lattice.
+func (l Level) Valid() bool { return l >= Unclassified && l <= TopSecret }
+
+// System is a Bell–LaPadula policy store. It is safe for concurrent use.
+type System struct {
+	mu       sync.RWMutex
+	subjects map[core.SubjectID]Level
+	objects  map[core.ObjectID]Level
+}
+
+// NewSystem returns an empty MLS system.
+func NewSystem() *System {
+	return &System{
+		subjects: make(map[core.SubjectID]Level),
+		objects:  make(map[core.ObjectID]Level),
+	}
+}
+
+// Clear assigns a subject's clearance level.
+func (s *System) Clear(sub core.SubjectID, l Level) error {
+	if !l.Valid() {
+		return fmt.Errorf("%w: level %d", core.ErrInvalid, l)
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.subjects[sub] = l
+	return nil
+}
+
+// Classify assigns an object's classification level.
+func (s *System) Classify(obj core.ObjectID, l Level) error {
+	if !l.Valid() {
+		return fmt.Errorf("%w: level %d", core.ErrInvalid, l)
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.objects[obj] = l
+	return nil
+}
+
+// CanRead implements the simple security property: read allowed iff
+// clearance(subject) ≥ classification(object). Unknown subjects or objects
+// are denied.
+func (s *System) CanRead(sub core.SubjectID, obj core.ObjectID) bool {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	sl, okS := s.subjects[sub]
+	ol, okO := s.objects[obj]
+	return okS && okO && sl >= ol
+}
+
+// CanWrite implements the *-property: write allowed iff clearance(subject)
+// ≤ classification(object), so information never flows down.
+func (s *System) CanWrite(sub core.SubjectID, obj core.ObjectID) bool {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	sl, okS := s.subjects[sub]
+	ol, okO := s.objects[obj]
+	return okS && okO && sl <= ol
+}
+
+// Subjects returns all cleared subjects, sorted.
+func (s *System) Subjects() []core.SubjectID {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	out := make([]core.SubjectID, 0, len(s.subjects))
+	for sub := range s.subjects {
+		out = append(out, sub)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+// Objects returns all classified objects, sorted.
+func (s *System) Objects() []core.ObjectID {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	out := make([]core.ObjectID, 0, len(s.objects))
+	for obj := range s.objects {
+		out = append(out, obj)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+// clearanceRole and classRole name the GRBAC roles used by the encoding.
+func clearanceRole(l Level) core.RoleID {
+	return core.RoleID("clearance-" + l.String())
+}
+
+func classRole(l Level) core.RoleID {
+	return core.RoleID("classified-" + l.String())
+}
+
+// EncodeGRBAC builds a GRBAC system that decides exactly like this MLS
+// system for transactions "read" and "write".
+//
+// Reads use the role hierarchy: clearance roles form the chain
+// clearance-TS ⊂ clearance-S ⊂ clearance-C ⊂ clearance-U (holding a higher
+// clearance implies holding every lower one), and one rule per level grants
+// clearance-L read on classified-L. Dominance then falls out of hierarchy
+// closure with |levels| rules.
+//
+// Writes cannot use the same chain (the *-property runs the other way), so
+// the encoder emits one rule per (subject level ≤ object level) pair —
+// |levels|²/2 rules. That asymmetry is itself evidence for the paper's
+// expressiveness ordering: GRBAC expresses both directions; a pure lattice
+// cannot express GRBAC's environment-conditioned rules at all.
+func (s *System) EncodeGRBAC() (*core.System, error) {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	g := core.NewSystem()
+	levels := Levels()
+	// Clearance chain: parent = next-lower clearance.
+	for i, l := range levels {
+		r := core.Role{ID: clearanceRole(l), Kind: core.SubjectRole}
+		if i > 0 {
+			r.Parents = []core.RoleID{clearanceRole(levels[i-1])}
+		}
+		if err := g.AddRole(r); err != nil {
+			return nil, err
+		}
+	}
+	for _, l := range levels {
+		if err := g.AddRole(core.Role{ID: classRole(l), Kind: core.ObjectRole}); err != nil {
+			return nil, err
+		}
+	}
+	for _, verb := range []string{"read", "write"} {
+		if err := g.AddTransaction(core.SimpleTransaction(verb)); err != nil {
+			return nil, err
+		}
+	}
+	for sub, l := range s.subjects {
+		if err := g.AddSubject(sub); err != nil {
+			return nil, err
+		}
+		if err := g.AssignSubjectRole(sub, clearanceRole(l)); err != nil {
+			return nil, err
+		}
+	}
+	for obj, l := range s.objects {
+		if err := g.AddObject(obj); err != nil {
+			return nil, err
+		}
+		if err := g.AssignObjectRole(obj, classRole(l)); err != nil {
+			return nil, err
+		}
+	}
+	// Simple security: clearance-L reads classified-L; dominance via the
+	// chain (clearance-TS possesses clearance-S, matching the S rule).
+	for _, l := range levels {
+		if err := g.Grant(core.Permission{
+			Subject:     clearanceRole(l),
+			Object:      classRole(l),
+			Environment: core.AnyEnvironment,
+			Transaction: "read",
+			Effect:      core.Permit,
+			Description: fmt.Sprintf("simple security at %s", l),
+		}); err != nil {
+			return nil, err
+		}
+	}
+	// *-property: explicit pairs subjLevel ≤ objLevel. The subject leg
+	// must name the *exact* clearance role; the chain would leak
+	// (clearance-TS possesses clearance-U, which may write anything).
+	// Exactness comes from granting on a per-level "marker" role outside
+	// the chain.
+	for _, l := range levels {
+		marker := core.RoleID("exact-" + l.String())
+		if err := g.AddRole(core.Role{ID: marker, Kind: core.SubjectRole}); err != nil {
+			return nil, err
+		}
+	}
+	for sub, l := range s.subjects {
+		if err := g.AssignSubjectRole(sub, core.RoleID("exact-"+l.String())); err != nil {
+			return nil, err
+		}
+	}
+	for _, sl := range levels {
+		for _, ol := range levels {
+			if sl > ol {
+				continue
+			}
+			if err := g.Grant(core.Permission{
+				Subject:     core.RoleID("exact-" + sl.String()),
+				Object:      classRole(ol),
+				Environment: core.AnyEnvironment,
+				Transaction: "write",
+				Effect:      core.Permit,
+				Description: fmt.Sprintf("*-property %s -> %s", sl, ol),
+			}); err != nil {
+				return nil, err
+			}
+		}
+	}
+	return g, nil
+}

@@ -1,0 +1,243 @@
+package mls
+
+import (
+	"errors"
+	"fmt"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"github.com/aware-home/grbac/internal/core"
+)
+
+func militarySystem(t *testing.T) *System {
+	t.Helper()
+	s := NewSystem()
+	for sub, l := range map[core.SubjectID]Level{
+		"private": Unclassified, "analyst": Confidential,
+		"officer": Secret, "general": TopSecret,
+	} {
+		if err := s.Clear(sub, l); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for obj, l := range map[core.ObjectID]Level{
+		"newsletter": Unclassified, "roster": Confidential,
+		"warplan": Secret, "launch-codes": TopSecret,
+	} {
+		if err := s.Classify(obj, l); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return s
+}
+
+func TestSimpleSecurityNoReadUp(t *testing.T) {
+	s := militarySystem(t)
+	tests := []struct {
+		sub  core.SubjectID
+		obj  core.ObjectID
+		want bool
+	}{
+		{"general", "launch-codes", true},
+		{"general", "newsletter", true},
+		{"private", "newsletter", true},
+		{"private", "roster", false},
+		{"analyst", "warplan", false},
+		{"officer", "warplan", true},
+		{"officer", "launch-codes", false},
+	}
+	for _, tt := range tests {
+		if got := s.CanRead(tt.sub, tt.obj); got != tt.want {
+			t.Errorf("CanRead(%s, %s) = %v, want %v", tt.sub, tt.obj, got, tt.want)
+		}
+	}
+}
+
+func TestStarPropertyNoWriteDown(t *testing.T) {
+	s := militarySystem(t)
+	tests := []struct {
+		sub  core.SubjectID
+		obj  core.ObjectID
+		want bool
+	}{
+		{"general", "launch-codes", true},
+		{"general", "newsletter", false}, // write down forbidden
+		{"private", "launch-codes", true},
+		{"private", "newsletter", true},
+		{"officer", "roster", false},
+		{"officer", "warplan", true},
+	}
+	for _, tt := range tests {
+		if got := s.CanWrite(tt.sub, tt.obj); got != tt.want {
+			t.Errorf("CanWrite(%s, %s) = %v, want %v", tt.sub, tt.obj, got, tt.want)
+		}
+	}
+}
+
+func TestUnknownEntitiesDenied(t *testing.T) {
+	s := militarySystem(t)
+	if s.CanRead("stranger", "newsletter") || s.CanRead("general", "missing") {
+		t.Fatal("unknown entity granted")
+	}
+	if s.CanWrite("stranger", "newsletter") || s.CanWrite("general", "missing") {
+		t.Fatal("unknown entity granted write")
+	}
+}
+
+func TestLevelValidation(t *testing.T) {
+	s := NewSystem()
+	if err := s.Clear("x", Level(0)); !errors.Is(err, core.ErrInvalid) {
+		t.Fatalf("Clear(0) error = %v", err)
+	}
+	if err := s.Classify("o", Level(9)); !errors.Is(err, core.ErrInvalid) {
+		t.Fatalf("Classify(9) error = %v", err)
+	}
+	if Level(0).Valid() || !TopSecret.Valid() {
+		t.Fatal("Valid wrong")
+	}
+	if TopSecret.String() != "TS" || Level(9).String() != "Level(9)" {
+		t.Fatal("String wrong")
+	}
+}
+
+func TestQueries(t *testing.T) {
+	s := militarySystem(t)
+	if got := len(s.Subjects()); got != 4 {
+		t.Fatalf("Subjects = %d", got)
+	}
+	if got := len(s.Objects()); got != 4 {
+		t.Fatalf("Objects = %d", got)
+	}
+	if got := len(Levels()); got != 4 {
+		t.Fatalf("Levels = %d", got)
+	}
+}
+
+// TestEncodeGRBACEquivalence is experiment E11's forward direction: for
+// random lattice assignments, the GRBAC encoding decides read and write
+// exactly like Bell–LaPadula.
+func TestEncodeGRBACEquivalence(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		s := NewSystem()
+		levels := Levels()
+		nSub, nObj := 1+rng.Intn(6), 1+rng.Intn(6)
+		subjects := make([]core.SubjectID, nSub)
+		for i := range subjects {
+			subjects[i] = core.SubjectID(fmt.Sprintf("s%d", i))
+			if err := s.Clear(subjects[i], levels[rng.Intn(len(levels))]); err != nil {
+				return false
+			}
+		}
+		objects := make([]core.ObjectID, nObj)
+		for i := range objects {
+			objects[i] = core.ObjectID(fmt.Sprintf("o%d", i))
+			if err := s.Classify(objects[i], levels[rng.Intn(len(levels))]); err != nil {
+				return false
+			}
+		}
+		g, err := s.EncodeGRBAC()
+		if err != nil {
+			return false
+		}
+		for _, sub := range subjects {
+			for _, obj := range objects {
+				for _, verb := range []core.TransactionID{"read", "write"} {
+					var want bool
+					if verb == "read" {
+						want = s.CanRead(sub, obj)
+					} else {
+						want = s.CanWrite(sub, obj)
+					}
+					got, err := g.CheckAccess(core.Request{
+						Subject: sub, Object: obj, Transaction: verb,
+						Environment: []core.RoleID{},
+					})
+					if err != nil || got != want {
+						return false
+					}
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestConverseDoesNotHold is the paper's "the converse is not true": a
+// GRBAC policy whose decisions vary with the environment (same subject,
+// same object, different answers over time) cannot be reproduced by ANY
+// Bell–LaPadula level assignment, because MLS decisions are a pure
+// function of the two levels. The test enumerates every possible
+// assignment for a one-subject, one-object instance and shows none matches
+// the GRBAC decision table.
+func TestConverseDoesNotHold(t *testing.T) {
+	g := core.NewSystem()
+	for _, r := range []core.Role{
+		{ID: "resident", Kind: core.SubjectRole},
+		{ID: "docs", Kind: core.ObjectRole},
+		{ID: "daytime", Kind: core.EnvironmentRole},
+	} {
+		if err := g.AddRole(r); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := g.AddSubject("alice"); err != nil {
+		t.Fatal(err)
+	}
+	if err := g.AssignSubjectRole("alice", "resident"); err != nil {
+		t.Fatal(err)
+	}
+	if err := g.AddObject("doc"); err != nil {
+		t.Fatal(err)
+	}
+	if err := g.AssignObjectRole("doc", "docs"); err != nil {
+		t.Fatal(err)
+	}
+	if err := g.AddTransaction(core.SimpleTransaction("read")); err != nil {
+		t.Fatal(err)
+	}
+	if err := g.Grant(core.Permission{
+		Subject: "resident", Object: "docs", Environment: "daytime",
+		Transaction: "read", Effect: core.Permit,
+	}); err != nil {
+		t.Fatal(err)
+	}
+
+	// GRBAC: permitted during daytime, denied at night.
+	day, err := g.CheckAccess(core.Request{Subject: "alice", Object: "doc",
+		Transaction: "read", Environment: []core.RoleID{"daytime"}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	night, err := g.CheckAccess(core.Request{Subject: "alice", Object: "doc",
+		Transaction: "read", Environment: []core.RoleID{}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !day || night {
+		t.Fatalf("GRBAC table wrong: day=%v night=%v", day, night)
+	}
+
+	// No MLS assignment yields read(alice, doc) = true at one instant and
+	// false at another: CanRead is time-independent.
+	for _, sl := range Levels() {
+		for _, ol := range Levels() {
+			s := NewSystem()
+			if err := s.Clear("alice", sl); err != nil {
+				t.Fatal(err)
+			}
+			if err := s.Classify("doc", ol); err != nil {
+				t.Fatal(err)
+			}
+			r1 := s.CanRead("alice", "doc") // "daytime" probe
+			r2 := s.CanRead("alice", "doc") // "night" probe
+			if r1 == day && r2 == night {
+				t.Fatalf("MLS assignment (%s,%s) reproduced the time-varying table", sl, ol)
+			}
+		}
+	}
+}

@@ -1,0 +1,234 @@
+// Package rbac implements traditional Role-Based Access Control exactly as
+// defined in Figure 1 of the GRBAC paper:
+//
+//	AR(s)      — the authorized role set for subject s
+//	AT(r)      — the authorized transaction set for role r
+//	exec(s,t)  — true iff ∃ role r : r ∈ AR(s), t ∈ AT(r)
+//
+// It is the paper's Figure 1 artifact (experiment E1) and the comparison
+// baseline for the GRBAC-subsumes-RBAC claim (E7): "traditional RBAC is
+// essentially GRBAC with subject roles only" (§6).
+package rbac
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+
+	"github.com/aware-home/grbac/internal/core"
+)
+
+// Subject, Role, and Transaction use the shared core identifier types so
+// encodings into GRBAC need no conversion layer.
+type (
+	// Subject identifies a user.
+	Subject = core.SubjectID
+	// Role identifies an RBAC role.
+	Role = core.RoleID
+	// Transaction identifies a transaction.
+	Transaction = core.TransactionID
+)
+
+// System is a flat (hierarchy-free) traditional RBAC policy store, exactly
+// the model of Figure 1. It is safe for concurrent use.
+type System struct {
+	mu sync.RWMutex
+	// ar is AR: subject -> authorized role set.
+	ar map[Subject]map[Role]bool
+	// at is AT: role -> authorized transaction set.
+	at map[Role]map[Transaction]bool
+}
+
+// NewSystem returns an empty RBAC system.
+func NewSystem() *System {
+	return &System{
+		ar: make(map[Subject]map[Role]bool),
+		at: make(map[Role]map[Transaction]bool),
+	}
+}
+
+// AuthorizeRole adds r to AR(s) — "role possession".
+func (s *System) AuthorizeRole(sub Subject, r Role) error {
+	if sub == "" || r == "" {
+		return fmt.Errorf("%w: empty subject or role", core.ErrInvalid)
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	set := s.ar[sub]
+	if set == nil {
+		set = make(map[Role]bool)
+		s.ar[sub] = set
+	}
+	set[r] = true
+	return nil
+}
+
+// RevokeRole removes r from AR(s).
+func (s *System) RevokeRole(sub Subject, r Role) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	set := s.ar[sub]
+	if !set[r] {
+		return fmt.Errorf("%w: subject %q lacks role %q", core.ErrNotFound, sub, r)
+	}
+	delete(set, r)
+	return nil
+}
+
+// AuthorizeTransaction adds t to AT(r).
+func (s *System) AuthorizeTransaction(r Role, t Transaction) error {
+	if r == "" || t == "" {
+		return fmt.Errorf("%w: empty role or transaction", core.ErrInvalid)
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	set := s.at[r]
+	if set == nil {
+		set = make(map[Transaction]bool)
+		s.at[r] = set
+	}
+	set[t] = true
+	return nil
+}
+
+// AuthorizedRoles returns AR(s), sorted.
+func (s *System) AuthorizedRoles(sub Subject) []Role {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	out := make([]Role, 0, len(s.ar[sub]))
+	for r := range s.ar[sub] {
+		out = append(out, r)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+// AuthorizedTransactions returns AT(r), sorted.
+func (s *System) AuthorizedTransactions(r Role) []Transaction {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	out := make([]Transaction, 0, len(s.at[r]))
+	for t := range s.at[r] {
+		out = append(out, t)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+// Exec is Figure 1's access-mediation rule: exec(s,t) is true iff some role
+// in AR(s) has t in its authorized transaction set.
+func (s *System) Exec(sub Subject, t Transaction) bool {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	for r := range s.ar[sub] {
+		if s.at[r][t] {
+			return true
+		}
+	}
+	return false
+}
+
+// Roles returns every role mentioned in AR or AT, sorted.
+func (s *System) Roles() []Role {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	set := make(map[Role]bool)
+	for _, roles := range s.ar {
+		for r := range roles {
+			set[r] = true
+		}
+	}
+	for r := range s.at {
+		set[r] = true
+	}
+	out := make([]Role, 0, len(set))
+	for r := range set {
+		out = append(out, r)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+// Subjects returns every subject with a non-empty AR, sorted.
+func (s *System) Subjects() []Subject {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	out := make([]Subject, 0, len(s.ar))
+	for sub := range s.ar {
+		out = append(out, sub)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+// EncodeGRBAC translates the RBAC policy into an equivalent GRBAC system:
+// subject roles carry over verbatim, every transaction authorization
+// becomes a permission with wildcard object and environment legs, and a
+// single universal object stands in for the implicit "the system" object
+// of the RBAC transaction model. The returned object ID is what callers
+// pass in mediation requests.
+//
+// This is the constructive half of the §6 claim that "traditional RBAC is
+// essentially GRBAC with subject roles only"; the property tests and
+// experiment E7 check decision equivalence.
+func (s *System) EncodeGRBAC() (*core.System, core.ObjectID, error) {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	const universe core.ObjectID = "rbac-universe"
+	g := core.NewSystem()
+	for _, step := range []func() error{
+		func() error { return g.AddObject(universe) },
+	} {
+		if err := step(); err != nil {
+			return nil, "", err
+		}
+	}
+	seenRole := make(map[Role]bool)
+	addRole := func(r Role) error {
+		if seenRole[r] {
+			return nil
+		}
+		seenRole[r] = true
+		return g.AddRole(core.Role{ID: r, Kind: core.SubjectRole})
+	}
+	for sub, roles := range s.ar {
+		if err := g.AddSubject(sub); err != nil {
+			return nil, "", err
+		}
+		for r := range roles {
+			if err := addRole(r); err != nil {
+				return nil, "", err
+			}
+			if err := g.AssignSubjectRole(sub, r); err != nil {
+				return nil, "", err
+			}
+		}
+	}
+	seenTx := make(map[Transaction]bool)
+	for r, txs := range s.at {
+		if err := addRole(r); err != nil {
+			return nil, "", err
+		}
+		for t := range txs {
+			if !seenTx[t] {
+				seenTx[t] = true
+				if err := g.AddTransaction(core.Transaction{
+					ID:    t,
+					Steps: []core.Access{{Action: core.Action(t)}},
+				}); err != nil {
+					return nil, "", err
+				}
+			}
+			if err := g.Grant(core.Permission{
+				Subject:     r,
+				Object:      core.AnyObject,
+				Environment: core.AnyEnvironment,
+				Transaction: t,
+				Effect:      core.Permit,
+			}); err != nil {
+				return nil, "", err
+			}
+		}
+	}
+	return g, universe, nil
+}

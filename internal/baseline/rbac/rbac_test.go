@@ -1,0 +1,220 @@
+package rbac
+
+import (
+	"errors"
+	"fmt"
+	"math/rand"
+	"reflect"
+	"testing"
+	"testing/quick"
+
+	"github.com/aware-home/grbac/internal/core"
+)
+
+func TestFigure1Rule(t *testing.T) {
+	s := NewSystem()
+	// A miniature bank: tellers process deposits, managers also approve
+	// loans.
+	if err := s.AuthorizeRole("joe", "teller"); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.AuthorizeRole("ann", "manager"); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.AuthorizeRole("ann", "teller"); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.AuthorizeTransaction("teller", "process-deposit"); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.AuthorizeTransaction("manager", "approve-loan"); err != nil {
+		t.Fatal(err)
+	}
+
+	tests := []struct {
+		subject Subject
+		tx      Transaction
+		want    bool
+	}{
+		{"joe", "process-deposit", true},
+		{"joe", "approve-loan", false},
+		{"ann", "approve-loan", true},
+		{"ann", "process-deposit", true},
+		{"stranger", "process-deposit", false},
+		{"joe", "unknown-tx", false},
+	}
+	for _, tt := range tests {
+		if got := s.Exec(tt.subject, tt.tx); got != tt.want {
+			t.Errorf("exec(%s, %s) = %v, want %v", tt.subject, tt.tx, got, tt.want)
+		}
+	}
+}
+
+func TestValidationAndQueries(t *testing.T) {
+	s := NewSystem()
+	if err := s.AuthorizeRole("", "r"); !errors.Is(err, core.ErrInvalid) {
+		t.Fatalf("empty subject error = %v", err)
+	}
+	if err := s.AuthorizeTransaction("r", ""); !errors.Is(err, core.ErrInvalid) {
+		t.Fatalf("empty transaction error = %v", err)
+	}
+	if err := s.RevokeRole("joe", "r"); !errors.Is(err, core.ErrNotFound) {
+		t.Fatalf("revoke missing error = %v", err)
+	}
+	if err := s.AuthorizeRole("joe", "teller"); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.AuthorizeRole("joe", "auditor"); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.AuthorizeTransaction("auditor", "audit"); err != nil {
+		t.Fatal(err)
+	}
+	if got := s.AuthorizedRoles("joe"); !reflect.DeepEqual(got, []Role{"auditor", "teller"}) {
+		t.Fatalf("AuthorizedRoles = %v", got)
+	}
+	if got := s.AuthorizedTransactions("auditor"); !reflect.DeepEqual(got, []Transaction{"audit"}) {
+		t.Fatalf("AuthorizedTransactions = %v", got)
+	}
+	if got := s.Roles(); !reflect.DeepEqual(got, []Role{"auditor", "teller"}) {
+		t.Fatalf("Roles = %v", got)
+	}
+	if got := s.Subjects(); !reflect.DeepEqual(got, []Subject{"joe"}) {
+		t.Fatalf("Subjects = %v", got)
+	}
+	if err := s.RevokeRole("joe", "teller"); err != nil {
+		t.Fatal(err)
+	}
+	if s.Exec("joe", "process-deposit") {
+		t.Fatal("revoked role still grants")
+	}
+}
+
+// randomRBAC builds a random policy over small universes.
+func randomRBAC(rng *rand.Rand) (*System, []Subject, []Transaction) {
+	s := NewSystem()
+	nSub, nRole, nTx := 1+rng.Intn(6), 1+rng.Intn(5), 1+rng.Intn(6)
+	subjects := make([]Subject, nSub)
+	for i := range subjects {
+		subjects[i] = Subject(fmt.Sprintf("s%d", i))
+	}
+	roles := make([]Role, nRole)
+	for i := range roles {
+		roles[i] = Role(fmt.Sprintf("r%d", i))
+	}
+	txs := make([]Transaction, nTx)
+	for i := range txs {
+		txs[i] = Transaction(fmt.Sprintf("t%d", i))
+	}
+	for _, sub := range subjects {
+		for _, r := range roles {
+			if rng.Intn(3) == 0 {
+				if err := s.AuthorizeRole(sub, r); err != nil {
+					panic(err)
+				}
+			}
+		}
+	}
+	for _, r := range roles {
+		for _, tx := range txs {
+			if rng.Intn(3) == 0 {
+				if err := s.AuthorizeTransaction(r, tx); err != nil {
+					panic(err)
+				}
+			}
+		}
+	}
+	return s, subjects, txs
+}
+
+// TestExecMatchesSetTheoreticOracle cross-checks Exec against a direct
+// evaluation of Figure 1's formula on random policies.
+func TestExecMatchesSetTheoreticOracle(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		s, subjects, txs := randomRBAC(rng)
+		for _, sub := range subjects {
+			for _, tx := range txs {
+				// Oracle: ∃r ∈ AR(s) with t ∈ AT(r).
+				want := false
+				for _, r := range s.AuthorizedRoles(sub) {
+					for _, authTx := range s.AuthorizedTransactions(r) {
+						if authTx == tx {
+							want = true
+						}
+					}
+				}
+				if s.Exec(sub, tx) != want {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestEncodeGRBACEquivalence is experiment E7's core assertion: for random
+// RBAC policies, the GRBAC encoding decides exactly like Figure 1's rule.
+func TestEncodeGRBACEquivalence(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		s, subjects, txs := randomRBAC(rng)
+		g, universe, err := s.EncodeGRBAC()
+		if err != nil {
+			return false
+		}
+		for _, sub := range subjects {
+			for _, tx := range txs {
+				want := s.Exec(sub, tx)
+				got, err := g.CheckAccess(core.Request{
+					Subject:     sub,
+					Object:      universe,
+					Transaction: tx,
+					Environment: []core.RoleID{},
+				})
+				if err != nil {
+					// Transactions never authorized for any role are
+					// absent from the encoding; Figure 1 denies them.
+					if errors.Is(err, core.ErrNotFound) && !want {
+						continue
+					}
+					return false
+				}
+				if got != want {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestEncodeGRBACSmall(t *testing.T) {
+	s := NewSystem()
+	if err := s.AuthorizeRole("joe", "teller"); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.AuthorizeTransaction("teller", "process-deposit"); err != nil {
+		t.Fatal(err)
+	}
+	g, universe, err := s.EncodeGRBAC()
+	if err != nil {
+		t.Fatal(err)
+	}
+	ok, err := g.CheckAccess(core.Request{
+		Subject: "joe", Object: universe, Transaction: "process-deposit",
+		Environment: []core.RoleID{},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !ok {
+		t.Fatal("encoding denied an RBAC-granted transaction")
+	}
+}

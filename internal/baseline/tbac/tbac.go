@@ -1,0 +1,172 @@
+// Package tbac implements Bertino-style periodic temporal authorizations
+// (Bertino, Bettini, Ferrari, Samarati — VLDB '96 / TKDE '96), the second
+// related model of the GRBAC paper's §6: discretionary (subject, object,
+// action) grants valid only during a periodic or absolute time expression,
+// with both positive and negative signs.
+//
+// EncodeGRBAC demonstrates the paper's claim that "their notion of temporal
+// authorization is similar to GRBAC's notion of time-based environment
+// roles": every distinct period becomes a named environment role and each
+// authorization becomes one GRBAC permission. Experiment E8 checks decision
+// agreement over a year of probe instants.
+package tbac
+
+import (
+	"fmt"
+	"sync"
+	"time"
+
+	"github.com/aware-home/grbac/internal/core"
+	"github.com/aware-home/grbac/internal/environment"
+	"github.com/aware-home/grbac/internal/temporal"
+)
+
+// Authorization is one periodic grant or denial.
+type Authorization struct {
+	Subject core.SubjectID
+	Object  core.ObjectID
+	Action  core.Action
+	Period  temporal.Period
+	Allow   bool
+}
+
+// System is a periodic-authorization store with denials-take-precedence
+// semantics and default deny. It is safe for concurrent use.
+type System struct {
+	mu    sync.RWMutex
+	auths []Authorization
+}
+
+// NewSystem returns an empty system.
+func NewSystem() *System { return &System{} }
+
+// Add installs an authorization.
+func (s *System) Add(a Authorization) error {
+	if a.Subject == "" || a.Object == "" || a.Action == "" {
+		return fmt.Errorf("%w: authorization must name subject, object, and action", core.ErrInvalid)
+	}
+	if a.Period == nil {
+		return fmt.Errorf("%w: authorization must carry a period", core.ErrInvalid)
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.auths = append(s.auths, a)
+	return nil
+}
+
+// Len returns the number of authorizations.
+func (s *System) Len() int {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return len(s.auths)
+}
+
+// Allowed evaluates the request at the given instant: a matching negative
+// authorization whose period contains the instant denies; otherwise a
+// matching positive authorization permits; otherwise deny.
+func (s *System) Allowed(sub core.SubjectID, obj core.ObjectID, action core.Action, at time.Time) bool {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	allowed := false
+	for _, a := range s.auths {
+		if a.Subject != sub || a.Object != obj || a.Action != action {
+			continue
+		}
+		if !a.Period.Contains(at) {
+			continue
+		}
+		if !a.Allow {
+			return false
+		}
+		allowed = true
+	}
+	return allowed
+}
+
+// Encoded is the GRBAC translation of a temporal-authorization policy.
+type Encoded struct {
+	System *core.System
+	Engine *environment.Engine
+}
+
+// Allowed mediates a request at the given instant through the GRBAC
+// encoding.
+func (e *Encoded) Allowed(sub core.SubjectID, obj core.ObjectID, action core.Action, at time.Time) (bool, error) {
+	return e.System.CheckAccess(core.Request{
+		Subject:     sub,
+		Object:      obj,
+		Transaction: core.TransactionID(action),
+		Environment: e.Engine.ActiveRolesAt(at, ""),
+	})
+}
+
+// EncodeGRBAC translates the policy: per-subject and per-object singleton
+// roles (the policy is discretionary, so identities matter), one
+// environment role per authorization period, and one permission per
+// authorization with matching effect.
+func (s *System) EncodeGRBAC() (*Encoded, error) {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	g := core.NewSystem()
+	engine := environment.NewEngine(environment.NewStore())
+
+	subjRole := func(sub core.SubjectID) core.RoleID { return core.RoleID("user-" + sub) }
+	objRole := func(obj core.ObjectID) core.RoleID { return core.RoleID("res-" + obj) }
+
+	seenSub := make(map[core.SubjectID]bool)
+	seenObj := make(map[core.ObjectID]bool)
+	seenTx := make(map[core.Action]bool)
+	for i, a := range s.auths {
+		if !seenSub[a.Subject] {
+			seenSub[a.Subject] = true
+			if err := g.AddRole(core.Role{ID: subjRole(a.Subject), Kind: core.SubjectRole}); err != nil {
+				return nil, err
+			}
+			if err := g.AddSubject(a.Subject); err != nil {
+				return nil, err
+			}
+			if err := g.AssignSubjectRole(a.Subject, subjRole(a.Subject)); err != nil {
+				return nil, err
+			}
+		}
+		if !seenObj[a.Object] {
+			seenObj[a.Object] = true
+			if err := g.AddRole(core.Role{ID: objRole(a.Object), Kind: core.ObjectRole}); err != nil {
+				return nil, err
+			}
+			if err := g.AddObject(a.Object); err != nil {
+				return nil, err
+			}
+			if err := g.AssignObjectRole(a.Object, objRole(a.Object)); err != nil {
+				return nil, err
+			}
+		}
+		if !seenTx[a.Action] {
+			seenTx[a.Action] = true
+			if err := g.AddTransaction(core.SimpleTransaction(string(a.Action))); err != nil {
+				return nil, err
+			}
+		}
+		envRole := core.RoleID(fmt.Sprintf("period-%d", i))
+		if err := g.AddRole(core.Role{ID: envRole, Kind: core.EnvironmentRole}); err != nil {
+			return nil, err
+		}
+		if err := engine.Define(envRole, environment.TimeIn{Period: a.Period}); err != nil {
+			return nil, err
+		}
+		effect := core.Permit
+		if !a.Allow {
+			effect = core.Deny
+		}
+		if err := g.Grant(core.Permission{
+			Subject:     subjRole(a.Subject),
+			Object:      objRole(a.Object),
+			Environment: envRole,
+			Transaction: core.TransactionID(a.Action),
+			Effect:      effect,
+		}); err != nil {
+			return nil, err
+		}
+	}
+	return &Encoded{System: g, Engine: engine}, nil
+}

@@ -1,0 +1,169 @@
+package core
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+)
+
+// TestConcurrentDecideAndAdminister hammers a system with parallel
+// decisions, session churn, and policy mutation. Run with -race; the test
+// asserts only freedom from panics, deadlocks, and invariant violations
+// (decisions must never error on entities that are guaranteed present).
+func TestConcurrentDecideAndAdminister(t *testing.T) {
+	s := newHomeSystem(t)
+	grantEntertainment(t, s)
+
+	const (
+		deciders  = 8
+		mutators  = 4
+		sessions  = 4
+		perWorker = 300
+	)
+	var wg sync.WaitGroup
+
+	// Deciders: the stable entities (alice, tv, use) are never removed.
+	for i := 0; i < deciders; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for j := 0; j < perWorker; j++ {
+				d, err := s.Decide(Request{
+					Subject: "alice", Object: "tv", Transaction: "use",
+					Environment: []RoleID{"weekday-free-time"},
+				})
+				if err != nil {
+					t.Errorf("Decide: %v", err)
+					return
+				}
+				_ = d.Allowed
+			}
+		}()
+	}
+
+	// Mutators: grant/revoke churn on a dedicated permission.
+	for i := 0; i < mutators; i++ {
+		wg.Add(1)
+		go func(id int) {
+			defer wg.Done()
+			p := Permission{
+				Subject: "parent", Object: "medical-records",
+				Environment: AnyEnvironment, Transaction: "read", Effect: Permit,
+				Description: fmt.Sprintf("churn-%d", id),
+			}
+			for j := 0; j < perWorker; j++ {
+				if err := s.Grant(p); err != nil {
+					t.Errorf("Grant: %v", err)
+					return
+				}
+				if err := s.Revoke(p); err != nil {
+					t.Errorf("Revoke: %v", err)
+					return
+				}
+			}
+		}(i)
+	}
+
+	// Role churn on a disposable role namespace.
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for j := 0; j < perWorker; j++ {
+			id := RoleID(fmt.Sprintf("temp-role-%d", j))
+			if err := s.AddRole(Role{ID: id, Kind: SubjectRole, Parents: []RoleID{"home-user"}}); err != nil {
+				t.Errorf("AddRole: %v", err)
+				return
+			}
+			if err := s.RemoveRole(SubjectRole, id); err != nil {
+				t.Errorf("RemoveRole: %v", err)
+				return
+			}
+		}
+	}()
+
+	// Session churn.
+	for i := 0; i < sessions; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for j := 0; j < perWorker; j++ {
+				sid, err := s.CreateSession("bobby")
+				if err != nil {
+					t.Errorf("CreateSession: %v", err)
+					return
+				}
+				if err := s.ActivateRole(sid, "child"); err != nil {
+					t.Errorf("ActivateRole: %v", err)
+					return
+				}
+				if _, err := s.Decide(Request{
+					Subject: "bobby", Session: sid, Object: "tv", Transaction: "use",
+					Environment: []RoleID{"weekday-free-time"},
+				}); err != nil {
+					t.Errorf("session Decide: %v", err)
+					return
+				}
+				if err := s.CloseSession(sid); err != nil {
+					t.Errorf("CloseSession: %v", err)
+					return
+				}
+			}
+		}()
+	}
+
+	wg.Wait()
+
+	// Invariants after the storm: the stable policy still decides right.
+	ok, err := s.CheckAccess(Request{Subject: "alice", Object: "tv",
+		Transaction: "use", Environment: []RoleID{"weekday-free-time"}})
+	if err != nil || !ok {
+		t.Fatalf("post-storm decision = %v, %v", ok, err)
+	}
+	if got := len(s.Sessions()); got != 0 {
+		t.Fatalf("leaked %d sessions", got)
+	}
+}
+
+// TestConcurrentExportClone checks snapshot consistency under mutation:
+// every exported state must import cleanly (no torn snapshots).
+func TestConcurrentExportClone(t *testing.T) {
+	s := newHomeSystem(t)
+	grantEntertainment(t, s)
+	var wg sync.WaitGroup
+	stop := make(chan struct{})
+
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		i := 0
+		for {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			id := RoleID(fmt.Sprintf("r-%d", i))
+			if err := s.AddRole(Role{ID: id, Kind: ObjectRole}); err != nil {
+				t.Errorf("AddRole: %v", err)
+				return
+			}
+			if err := s.RemoveRole(ObjectRole, id); err != nil {
+				t.Errorf("RemoveRole: %v", err)
+				return
+			}
+			i++
+		}
+	}()
+
+	for i := 0; i < 50; i++ {
+		st := s.Export()
+		fresh := NewSystem()
+		if err := fresh.Import(st); err != nil {
+			close(stop)
+			wg.Wait()
+			t.Fatalf("torn snapshot at iteration %d: %v", i, err)
+		}
+	}
+	close(stop)
+	wg.Wait()
+}

@@ -1,0 +1,348 @@
+package core
+
+import (
+	"fmt"
+	"sort"
+)
+
+// Request is one access-mediation question: may this subject run this
+// transaction on this object, given this authentication evidence and this
+// environment?
+type Request struct {
+	// Subject identifies the requester. It may be empty when the
+	// requester is known only through role credentials (paper §5.2: the
+	// Smart Floor may know "a child is present" without knowing which).
+	Subject SubjectID
+	// Session, when set, restricts the usable subject roles to the
+	// session's active role set (role activation, §4.1.2). The session
+	// must belong to Subject.
+	Session SessionID
+	// Object is the target resource.
+	Object ObjectID
+	// Transaction is the requested transaction.
+	Transaction TransactionID
+	// Credentials is the authentication evidence. A nil set means the
+	// requester's identity is fully trusted (confidence 1), the
+	// convenient default for non-sensor deployments.
+	Credentials CredentialSet
+	// Environment, when non-nil, is the set of active environment roles
+	// to mediate against. Nil means "ask the system's EnvironmentSource";
+	// an explicitly empty non-nil slice means "no environment roles are
+	// active".
+	Environment []RoleID
+}
+
+// Decision is the outcome of mediating one Request, with enough structure
+// to explain itself (§3 requires "generation of appropriate feedback").
+type Decision struct {
+	// Allowed reports whether access is granted.
+	Allowed bool
+	// Effect is the resolved effect; Deny when nothing matched.
+	Effect Effect
+	// DefaultDeny is true when no permission matched at all, so Effect is
+	// the closed-world default rather than a rule outcome.
+	DefaultDeny bool
+	// Matches lists every permission that applied, with role bindings.
+	Matches []Match
+	// Strategy names the conflict strategy that resolved the matches.
+	Strategy string
+	// Reason is a human-readable, single-line explanation.
+	Reason string
+	// SubjectRoles is the effective subject role set with the confidence
+	// each role was established at.
+	SubjectRoles map[RoleID]float64
+	// ObjectRoles is the effective object role set.
+	ObjectRoles []RoleID
+	// EnvironmentRoles is the effective active environment role set.
+	EnvironmentRoles []RoleID
+}
+
+// Decide evaluates the GRBAC access-mediation rule (paper §4.2.4): access
+// is considered for every (subject role, object role, environment role)
+// triple the request can establish, matching permissions are collected, and
+// conflicts between positive and negative authorizations are resolved by
+// the installed ConflictStrategy. No matching permission means deny.
+func (s *System) Decide(req Request) (Decision, error) {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return s.decideLocked(req)
+}
+
+func (s *System) decideLocked(req Request) (Decision, error) {
+	if err := req.Credentials.Validate(); err != nil {
+		return Decision{}, err
+	}
+	if req.Transaction == "" {
+		return Decision{}, fmt.Errorf("%w: request must name a transaction", ErrInvalid)
+	}
+	if _, ok := s.transactions[req.Transaction]; !ok {
+		return Decision{}, fmt.Errorf("%w: transaction %q", ErrNotFound, req.Transaction)
+	}
+	if req.Object == "" {
+		return Decision{}, fmt.Errorf("%w: request must name an object", ErrInvalid)
+	}
+	obj, ok := s.objects[req.Object]
+	if !ok {
+		return Decision{}, fmt.Errorf("%w: object %q", ErrNotFound, req.Object)
+	}
+	if req.Subject == "" && len(req.Credentials) == 0 {
+		return Decision{}, fmt.Errorf("%w: request must carry a subject or credentials", ErrInvalid)
+	}
+
+	subjRoles, err := s.effectiveSubjectRoles(req)
+	if err != nil {
+		return Decision{}, err
+	}
+	subjRoles[AnySubject] = 1
+
+	objRoles := s.objectRoles.closure(setToSlice(obj.roles))
+	objRoles[AnyObject] = true
+
+	envRoles, err := s.effectiveEnvironmentRoles(req)
+	if err != nil {
+		return Decision{}, err
+	}
+	envRoles[AnyEnvironment] = true
+
+	matches := s.collectMatches(req.Transaction, subjRoles, objRoles, envRoles)
+
+	d := Decision{
+		Effect:           Deny,
+		Matches:          matches,
+		Strategy:         s.strategy.Name(),
+		SubjectRoles:     subjRoles,
+		ObjectRoles:      sortedRoleIDs(objRoles),
+		EnvironmentRoles: sortedRoleIDs(envRoles),
+	}
+	if len(matches) == 0 {
+		d.DefaultDeny = true
+		d.Reason = fmt.Sprintf("no permission matches transaction %q on object %q: default deny",
+			req.Transaction, req.Object)
+		return d, nil
+	}
+	d.Effect = s.strategy.Resolve(matches)
+	d.Allowed = d.Effect == Permit
+	d.Reason = fmt.Sprintf("%d matching permission(s) resolved to %s by %s",
+		len(matches), d.Effect, d.Strategy)
+	return d, nil
+}
+
+// effectiveSubjectRoles computes the subject-role confidence map for a
+// request: assigned (or session-active) roles seeded with the identity
+// confidence, plus direct role credentials, closed upward through the
+// hierarchy.
+func (s *System) effectiveSubjectRoles(req Request) (map[RoleID]float64, error) {
+	seeds := make(map[RoleID]float64)
+
+	identityConf := 0.0
+	if req.Subject != "" {
+		rec, ok := s.subjects[req.Subject]
+		if !ok {
+			return nil, fmt.Errorf("%w: subject %q", ErrNotFound, req.Subject)
+		}
+		if req.Credentials == nil {
+			identityConf = 1
+		} else {
+			identityConf = req.Credentials.identityConfidence(req.Subject)
+		}
+		var usable map[RoleID]bool
+		if req.Session != "" {
+			sess, ok := s.sessions[req.Session]
+			if !ok {
+				return nil, fmt.Errorf("%w: %q", ErrNoSession, req.Session)
+			}
+			if sess.subject != req.Subject {
+				return nil, fmt.Errorf("%w: session %q belongs to %q, not %q",
+					ErrInvalid, req.Session, sess.subject, req.Subject)
+			}
+			usable = sess.active
+		} else {
+			usable = rec.roles
+		}
+		if identityConf > 0 {
+			for r := range usable {
+				if identityConf > seeds[r] {
+					seeds[r] = identityConf
+				}
+			}
+		}
+	} else if req.Session != "" {
+		return nil, fmt.Errorf("%w: session requires a subject", ErrInvalid)
+	}
+
+	for r, conf := range req.Credentials.roleConfidences() {
+		if _, ok := s.subjectRoles.get(r); !ok {
+			continue // unknown asserted roles confer nothing (deny-safe)
+		}
+		if conf > seeds[r] {
+			seeds[r] = conf
+		}
+	}
+	return s.subjectRoles.weightedClosure(seeds), nil
+}
+
+// effectiveEnvironmentRoles resolves the active environment role set for a
+// request and closes it upward.
+func (s *System) effectiveEnvironmentRoles(req Request) (map[RoleID]bool, error) {
+	var active []RoleID
+	switch {
+	case req.Environment != nil:
+		active = req.Environment
+	case s.envSource != nil:
+		active = s.envSource.ActiveEnvironmentRoles()
+	}
+	known := active[:0:0]
+	for _, r := range active {
+		if _, ok := s.envRoles.get(r); ok || isWildcard(r) {
+			known = append(known, r)
+		}
+	}
+	return s.envRoles.closure(known), nil
+}
+
+// collectMatches finds the permissions satisfied by the three effective
+// role sets and the requested transaction. With the transaction index
+// enabled (the default) only the requested transaction's bucket and the
+// wildcard bucket are visited, merged back into grant order; the ablation
+// path scans the whole list.
+func (s *System) collectMatches(
+	tx TransactionID,
+	subjRoles map[RoleID]float64,
+	objRoles, envRoles map[RoleID]bool,
+) []Match {
+	var matches []Match
+	consider := func(p Permission) {
+		conf, ok := subjRoles[p.Subject]
+		if !ok || conf <= 0 {
+			return
+		}
+		threshold := p.MinConfidence
+		if s.threshold > threshold {
+			threshold = s.threshold
+		}
+		if conf < threshold {
+			return
+		}
+		if !objRoles[p.Object] {
+			return
+		}
+		if !envRoles[p.Environment] {
+			return
+		}
+		depth := -1
+		if p.Subject != AnySubject {
+			depth = s.subjectRoles.depth(p.Subject)
+		}
+		matches = append(matches, Match{
+			Permission:      p,
+			SubjectRole:     p.Subject,
+			ObjectRole:      p.Object,
+			EnvironmentRole: p.Environment,
+			Confidence:      conf,
+			SubjectDepth:    depth,
+		})
+	}
+
+	if s.indexDisabled {
+		for _, p := range s.perms {
+			if p.Transaction != AnyTransaction && p.Transaction != tx {
+				continue
+			}
+			consider(p)
+		}
+		return matches
+	}
+	// Merge the two index buckets in ascending (grant) order so match
+	// order is identical to the scan path.
+	exact := s.permIndex[tx]
+	wild := s.permIndex[AnyTransaction]
+	if tx == AnyTransaction {
+		wild = nil
+	}
+	i, j := 0, 0
+	for i < len(exact) || j < len(wild) {
+		switch {
+		case j >= len(wild) || (i < len(exact) && exact[i] < wild[j]):
+			consider(s.perms[exact[i]])
+			i++
+		default:
+			consider(s.perms[wild[j]])
+			j++
+		}
+	}
+	return matches
+}
+
+// collectMatchesScan is retained for reference by tests that cross-check
+// index and scan results; it is the pre-index implementation.
+func (s *System) collectMatchesScan(
+	tx TransactionID,
+	subjRoles map[RoleID]float64,
+	objRoles, envRoles map[RoleID]bool,
+) []Match {
+	var matches []Match
+	for _, p := range s.perms {
+		if p.Transaction != AnyTransaction && p.Transaction != tx {
+			continue
+		}
+		conf, ok := subjRoles[p.Subject]
+		if !ok || conf <= 0 {
+			continue
+		}
+		threshold := p.MinConfidence
+		if s.threshold > threshold {
+			threshold = s.threshold
+		}
+		if conf < threshold {
+			continue
+		}
+		if !objRoles[p.Object] {
+			continue
+		}
+		if !envRoles[p.Environment] {
+			continue
+		}
+		depth := -1
+		if p.Subject != AnySubject {
+			depth = s.subjectRoles.depth(p.Subject)
+		}
+		matches = append(matches, Match{
+			Permission:      p,
+			SubjectRole:     p.Subject,
+			ObjectRole:      p.Object,
+			EnvironmentRole: p.Environment,
+			Confidence:      conf,
+			SubjectDepth:    depth,
+		})
+	}
+	return matches
+}
+
+// CheckAccess is the boolean convenience form of Decide.
+func (s *System) CheckAccess(req Request) (bool, error) {
+	d, err := s.Decide(req)
+	if err != nil {
+		return false, err
+	}
+	return d.Allowed, nil
+}
+
+// Explain renders a multi-line, human-readable account of a decision,
+// suitable for the §3 usability requirement of giving homeowners feedback.
+func (d Decision) Explain() string {
+	out := fmt.Sprintf("decision: %s (%s)\n", d.Effect, d.Reason)
+	roles := make([]RoleID, 0, len(d.SubjectRoles))
+	for r := range d.SubjectRoles {
+		roles = append(roles, r)
+	}
+	sort.Slice(roles, func(i, j int) bool { return roles[i] < roles[j] })
+	for _, r := range roles {
+		out += fmt.Sprintf("  subject role %q (confidence %.2f)\n", r, d.SubjectRoles[r])
+	}
+	for _, m := range d.Matches {
+		out += fmt.Sprintf("  matched: %s %q for (%s, %s, %s) at confidence %.2f\n",
+			m.Permission.Effect, m.Permission.Transaction,
+			m.SubjectRole, m.ObjectRole, m.EnvironmentRole, m.Confidence)
+	}
+	return out
+}

@@ -1,0 +1,172 @@
+package core
+
+import (
+	"fmt"
+	"math/rand"
+	"reflect"
+	"testing"
+	"testing/quick"
+)
+
+// randomIndexedSystem builds a system with many transactions and random
+// permissions, returning probe material.
+func randomIndexedSystem(rng *rand.Rand, opts ...Option) (*System, []SubjectID, []ObjectID, []TransactionID) {
+	s := NewSystem(opts...)
+	nRoles, nTx := 2+rng.Intn(6), 2+rng.Intn(8)
+	roles := make([]RoleID, nRoles)
+	for i := range roles {
+		roles[i] = RoleID(fmt.Sprintf("r%d", i))
+		mustOK(s.AddRole(Role{ID: roles[i], Kind: SubjectRole}))
+	}
+	mustOK(s.AddRole(Role{ID: "things", Kind: ObjectRole}))
+	mustOK(s.AddRole(Role{ID: "env", Kind: EnvironmentRole}))
+	txs := make([]TransactionID, nTx)
+	for i := range txs {
+		txs[i] = TransactionID(fmt.Sprintf("t%d", i))
+		mustOK(s.AddTransaction(SimpleTransaction(string(txs[i]))))
+	}
+	subjects := []SubjectID{"s0", "s1"}
+	for _, sub := range subjects {
+		mustOK(s.AddSubject(sub))
+		mustOK(s.AssignSubjectRole(sub, roles[rng.Intn(len(roles))]))
+	}
+	objects := []ObjectID{"o0"}
+	mustOK(s.AddObject("o0"))
+	mustOK(s.AssignObjectRole("o0", "things"))
+	nPerms := 1 + rng.Intn(20)
+	for i := 0; i < nPerms; i++ {
+		tx := txs[rng.Intn(len(txs))]
+		if rng.Intn(5) == 0 {
+			tx = AnyTransaction
+		}
+		mustOK(s.Grant(Permission{
+			Subject:     roles[rng.Intn(len(roles))],
+			Object:      "things",
+			Environment: AnyEnvironment,
+			Transaction: tx,
+			Effect:      Effect(1 + rng.Intn(2)),
+		}))
+	}
+	return s, subjects, objects, txs
+}
+
+func mustOK(err error) {
+	if err != nil {
+		panic(err)
+	}
+}
+
+// TestIndexedMatchingEqualsScan cross-checks the transaction-indexed match
+// path against the linear-scan reference on random systems: identical
+// matches in identical order, hence identical decisions.
+func TestIndexedMatchingEqualsScan(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		s, subjects, objects, txs := randomIndexedSystem(rng)
+		for _, sub := range subjects {
+			for _, obj := range objects {
+				for _, tx := range txs {
+					req := Request{Subject: sub, Object: obj, Transaction: tx,
+						Environment: []RoleID{}}
+					d, err := s.Decide(req)
+					if err != nil {
+						return false
+					}
+					// Recompute with the scan path under the same lock
+					// discipline.
+					s.mu.RLock()
+					subjRoles, err := s.effectiveSubjectRoles(req)
+					if err != nil {
+						s.mu.RUnlock()
+						return false
+					}
+					subjRoles[AnySubject] = 1
+					objRoles := s.objectRoles.closure([]RoleID{"things"})
+					objRoles[AnyObject] = true
+					envRoles := map[RoleID]bool{AnyEnvironment: true}
+					scan := s.collectMatchesScan(tx, subjRoles, objRoles, envRoles)
+					s.mu.RUnlock()
+					if !reflect.DeepEqual(d.Matches, scan) {
+						t.Logf("index %v\nscan  %v", d.Matches, scan)
+						return false
+					}
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestWithoutPermissionIndexEquivalence: the ablation option must not
+// change any decision.
+func TestWithoutPermissionIndexEquivalence(t *testing.T) {
+	f := func(seed int64) bool {
+		rng1 := rand.New(rand.NewSource(seed))
+		rng2 := rand.New(rand.NewSource(seed))
+		indexed, subjects, objects, txs := randomIndexedSystem(rng1)
+		scanning, _, _, _ := randomIndexedSystem(rng2, WithoutPermissionIndex())
+		for _, sub := range subjects {
+			for _, obj := range objects {
+				for _, tx := range txs {
+					req := Request{Subject: sub, Object: obj, Transaction: tx,
+						Environment: []RoleID{}}
+					a, err := indexed.Decide(req)
+					if err != nil {
+						return false
+					}
+					b, err := scanning.Decide(req)
+					if err != nil {
+						return false
+					}
+					if a.Allowed != b.Allowed || !reflect.DeepEqual(a.Matches, b.Matches) {
+						return false
+					}
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestIndexMaintainedAcrossMutations: revoking and role removal rebuild
+// the index correctly.
+func TestIndexMaintainedAcrossMutations(t *testing.T) {
+	s := newHomeSystem(t)
+	p1 := grantEntertainment(t, s)
+	p2 := Permission{Subject: "parent", Object: "medical-records",
+		Environment: AnyEnvironment, Transaction: "read", Effect: Permit}
+	if err := s.Grant(p2); err != nil {
+		t.Fatal(err)
+	}
+	// Revoke the first permission: the second must still match via the
+	// rebuilt index.
+	if err := s.Revoke(p1); err != nil {
+		t.Fatal(err)
+	}
+	ok, err := s.CheckAccess(Request{Subject: "mom", Object: "family-medical-records",
+		Transaction: "read", Environment: []RoleID{}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !ok {
+		t.Fatal("index stale after Revoke")
+	}
+	// Removing the subject role drops its permission from the index too.
+	if err := s.RemoveRole(SubjectRole, "parent"); err != nil {
+		t.Fatal(err)
+	}
+	d, err := s.Decide(Request{Subject: "mom", Object: "family-medical-records",
+		Transaction: "read", Environment: []RoleID{}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(d.Matches) != 0 {
+		t.Fatalf("index references removed permission: %v", d.Matches)
+	}
+}

@@ -1,0 +1,198 @@
+package core
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+// oracleDecide is an independent, deliberately naive implementation of the
+// paper's §4.2.4 mediation rule, built only from the system's exported
+// snapshot: compute the three closures by brute force, collect matching
+// permissions in grant order, and resolve with the same strategy. It
+// shares no code with System.Decide beyond the Permission type, so
+// agreement between the two is strong evidence the engine implements the
+// model (and not just itself).
+func oracleDecide(st State, strategy ConflictStrategy, threshold float64, req Request) bool {
+	// Brute-force upward closure over a role list.
+	parents := func(roles []Role) map[RoleID][]RoleID {
+		out := make(map[RoleID][]RoleID, len(roles))
+		for _, r := range roles {
+			out[r.ID] = r.Parents
+		}
+		return out
+	}
+	closure := func(seeds []RoleID, edges map[RoleID][]RoleID) map[RoleID]bool {
+		set := make(map[RoleID]bool)
+		var visit func(RoleID)
+		visit = func(id RoleID) {
+			if set[id] {
+				return
+			}
+			set[id] = true
+			for _, p := range edges[id] {
+				visit(p)
+			}
+		}
+		for _, s := range seeds {
+			visit(s)
+		}
+		return set
+	}
+
+	// Subject roles with confidences.
+	subjEdges := parents(st.SubjectRoles)
+	subjConf := make(map[RoleID]float64)
+	identity := 0.0
+	if req.Subject != "" {
+		if req.Credentials == nil {
+			identity = 1
+		} else {
+			for _, c := range req.Credentials {
+				if c.Subject == req.Subject && c.Confidence > identity {
+					identity = c.Confidence
+				}
+			}
+		}
+		for _, sub := range st.Subjects {
+			if sub.ID != req.Subject {
+				continue
+			}
+			for r := range closure(sub.Roles, subjEdges) {
+				if identity > subjConf[r] {
+					subjConf[r] = identity
+				}
+			}
+		}
+	}
+	known := make(map[RoleID]bool, len(st.SubjectRoles))
+	for _, r := range st.SubjectRoles {
+		known[r.ID] = true
+	}
+	for _, c := range req.Credentials {
+		if c.Role == "" || !known[c.Role] {
+			continue
+		}
+		for r := range closure([]RoleID{c.Role}, subjEdges) {
+			if c.Confidence > subjConf[r] {
+				subjConf[r] = c.Confidence
+			}
+		}
+	}
+	subjConf[AnySubject] = 1
+
+	// Object roles.
+	objEdges := parents(st.ObjectRoles)
+	objSet := map[RoleID]bool{AnyObject: true}
+	for _, obj := range st.Objects {
+		if obj.ID != req.Object {
+			continue
+		}
+		for r := range closure(obj.Roles, objEdges) {
+			objSet[r] = true
+		}
+	}
+
+	// Environment roles.
+	envEdges := parents(st.EnvironmentRoles)
+	knownEnv := make(map[RoleID]bool, len(st.EnvironmentRoles))
+	for _, r := range st.EnvironmentRoles {
+		knownEnv[r.ID] = true
+	}
+	var envSeeds []RoleID
+	for _, e := range req.Environment {
+		if knownEnv[e] {
+			envSeeds = append(envSeeds, e)
+		}
+	}
+	envSet := closure(envSeeds, envEdges)
+	envSet[AnyEnvironment] = true
+
+	// Matching and resolution.
+	var matches []Match
+	for _, p := range st.Permissions {
+		if p.Transaction != AnyTransaction && p.Transaction != req.Transaction {
+			continue
+		}
+		conf, ok := subjConf[p.Subject]
+		if !ok || conf <= 0 {
+			continue
+		}
+		min := p.MinConfidence
+		if threshold > min {
+			min = threshold
+		}
+		if conf < min || !objSet[p.Object] || !envSet[p.Environment] {
+			continue
+		}
+		// Depth for MostSpecificWins: longest chain above the role.
+		depth := -1
+		if p.Subject != AnySubject {
+			var chain func(RoleID) int
+			chain = func(id RoleID) int {
+				best := 0
+				for _, parent := range subjEdges[id] {
+					if d := chain(parent) + 1; d > best {
+						best = d
+					}
+				}
+				return best
+			}
+			depth = chain(p.Subject)
+		}
+		matches = append(matches, Match{Permission: p, SubjectRole: p.Subject,
+			Confidence: conf, SubjectDepth: depth})
+	}
+	if len(matches) == 0 {
+		return false
+	}
+	return strategy.Resolve(matches) == Permit
+}
+
+// TestDecideAgreesWithOracle cross-checks System.Decide against the
+// independent oracle on random policies, probe sets, credentials, and all
+// three conflict strategies.
+func TestDecideAgreesWithOracle(t *testing.T) {
+	strategies := []ConflictStrategy{DenyOverrides{}, PermitOverrides{}, MostSpecificWins{}}
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		s, probes := buildRandomPolicy(rng)
+		strategy := strategies[rng.Intn(len(strategies))]
+		s.SetConflictStrategy(strategy)
+		threshold := 0.0
+		if rng.Intn(2) == 0 {
+			threshold = float64(rng.Intn(100)) / 100
+			if err := s.SetMinConfidence(threshold); err != nil {
+				return false
+			}
+		}
+		st := s.Export()
+		for _, req := range probes {
+			// Half the probes carry partial-auth credentials.
+			if rng.Intn(2) == 0 {
+				req.Credentials = CredentialSet{
+					IdentityCredential(req.Subject, float64(rng.Intn(101))/100, "x"),
+				}
+				if rng.Intn(2) == 0 {
+					req.Credentials = append(req.Credentials,
+						RoleCredential(RoleID("sr0"), float64(rng.Intn(101))/100, "x"))
+				}
+			}
+			d, err := s.Decide(req)
+			if err != nil {
+				t.Logf("Decide error: %v", err)
+				return false
+			}
+			want := oracleDecide(st, strategy, threshold, req)
+			if d.Allowed != want {
+				t.Logf("divergence on %+v: engine=%v oracle=%v (strategy %s, threshold %v)",
+					req, d.Allowed, want, strategy.Name(), threshold)
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 150}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,144 @@
+package core
+
+import "fmt"
+
+// Permission is one GRBAC authorization rule: it permits (or denies) the
+// given transaction when the requesting subject possesses Subject, the
+// target object possesses Object, and Environment is currently active —
+// the three-role mediation triple of paper §4.2.4.
+//
+// The wildcard roles (AnySubject, AnyObject, AnyEnvironment) and
+// AnyTransaction leave a leg unconstrained.
+type Permission struct {
+	// Subject is the required subject role.
+	Subject RoleID
+	// Object is the required object role.
+	Object RoleID
+	// Environment is the environment role that must be active.
+	Environment RoleID
+	// Transaction is the authorized transaction, or AnyTransaction.
+	Transaction TransactionID
+	// Effect is Permit or Deny (negative authorization, paper §3).
+	Effect Effect
+	// MinConfidence is the smallest authentication confidence, in [0,1],
+	// with which the subject-role leg may be satisfied (paper §5.2).
+	// Zero means the system-wide threshold alone applies.
+	MinConfidence float64
+	// Description is free-form documentation for audit output.
+	Description string
+}
+
+// Match records one permission that matched a request, with the concrete
+// role bindings and the subject-role confidence that satisfied it. Decisions
+// carry matches so audit logs can explain every grant and deny (§3's
+// "generation of appropriate feedback").
+type Match struct {
+	Permission Permission
+	// SubjectRole, ObjectRole, and EnvironmentRole are the roles from the
+	// request's closures that satisfied the permission's triple. For
+	// wildcard legs they name the wildcard itself.
+	SubjectRole     RoleID
+	ObjectRole      RoleID
+	EnvironmentRole RoleID
+	// Confidence is the authentication confidence of SubjectRole.
+	Confidence float64
+	// SubjectDepth is the hierarchy depth of SubjectRole at decision time
+	// (-1 for the AnySubject wildcard). It lets specificity-based conflict
+	// strategies resolve without re-querying the role graph.
+	SubjectDepth int
+}
+
+func validatePermission(p Permission) error {
+	if p.Subject == "" || p.Object == "" || p.Environment == "" {
+		return fmt.Errorf("%w: permission must name subject, object, and environment roles", ErrInvalid)
+	}
+	if p.Transaction == "" {
+		return fmt.Errorf("%w: permission must name a transaction (use AnyTransaction for all)", ErrInvalid)
+	}
+	if !p.Effect.Valid() {
+		return fmt.Errorf("%w: permission effect must be Permit or Deny", ErrInvalid)
+	}
+	if p.MinConfidence < 0 || p.MinConfidence > 1 {
+		return fmt.Errorf("%w: MinConfidence %v outside [0,1]", ErrInvalid, p.MinConfidence)
+	}
+	return nil
+}
+
+// ConflictStrategy resolves the effect of a request that matched both
+// permit and deny permissions — the paper's role-precedence problem
+// (§4.1.2). Resolve is only called with a non-empty match list and must be
+// a pure function of it.
+type ConflictStrategy interface {
+	// Resolve returns the winning effect for the given matches.
+	Resolve(matches []Match) Effect
+	// Name identifies the strategy in audit output.
+	Name() string
+}
+
+// DenyOverrides is the paper's default suggestion: "always give precedence
+// to the role that denies access". Any matching deny wins.
+type DenyOverrides struct{}
+
+var _ ConflictStrategy = DenyOverrides{}
+
+// Resolve returns Deny if any match denies, else Permit.
+func (DenyOverrides) Resolve(matches []Match) Effect {
+	for _, m := range matches {
+		if m.Permission.Effect == Deny {
+			return Deny
+		}
+	}
+	return Permit
+}
+
+// Name returns "deny-overrides".
+func (DenyOverrides) Name() string { return "deny-overrides" }
+
+// PermitOverrides gives precedence to the role that allows access: any
+// matching permit wins.
+type PermitOverrides struct{}
+
+var _ ConflictStrategy = PermitOverrides{}
+
+// Resolve returns Permit if any match permits, else Deny.
+func (PermitOverrides) Resolve(matches []Match) Effect {
+	for _, m := range matches {
+		if m.Permission.Effect == Permit {
+			return Permit
+		}
+	}
+	return Deny
+}
+
+// Name returns "permit-overrides".
+func (PermitOverrides) Name() string { return "permit-overrides" }
+
+// MostSpecificWins implements the "some other predefined rule or algorithm"
+// option of §4.1.2: the match whose subject role is deepest in the subject
+// role hierarchy wins, on the theory that a rule about Child is more
+// deliberate than a rule about Home User when both apply. Ties fall back to
+// deny-overrides among the most-specific matches. Wildcard subject roles
+// carry depth -1 and therefore always lose to concrete roles.
+type MostSpecificWins struct{}
+
+var _ ConflictStrategy = MostSpecificWins{}
+
+// Resolve returns the effect of the deepest-subject-role match, resolving
+// equal-depth conflicts in favour of deny.
+func (MostSpecificWins) Resolve(matches []Match) Effect {
+	best := matches[0].SubjectDepth
+	effect := matches[0].Permission.Effect
+	for _, m := range matches[1:] {
+		switch {
+		case m.SubjectDepth > best:
+			best = m.SubjectDepth
+			effect = m.Permission.Effect
+		case m.SubjectDepth == best && m.Permission.Effect == Deny:
+			effect = Deny
+		}
+	}
+	return effect
+}
+
+// Name returns "most-specific-wins".
+func (MostSpecificWins) Name() string { return "most-specific-wins" }

@@ -1,0 +1,320 @@
+package core
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+// buildRandomPolicy creates a random but well-formed system plus probe
+// requests, used by the metamorphic decision properties below.
+func buildRandomPolicy(rng *rand.Rand) (*System, []Request) {
+	s := NewSystem()
+	nRoles := 2 + rng.Intn(5)
+	roles := make([]RoleID, nRoles)
+	for i := range roles {
+		roles[i] = RoleID(fmt.Sprintf("sr%d", i))
+		var parents []RoleID
+		if i > 0 && rng.Intn(2) == 0 {
+			parents = []RoleID{roles[rng.Intn(i)]}
+		}
+		mustOK(s.AddRole(Role{ID: roles[i], Kind: SubjectRole, Parents: parents}))
+	}
+	objRoles := []RoleID{"or0", "or1"}
+	for _, r := range objRoles {
+		mustOK(s.AddRole(Role{ID: r, Kind: ObjectRole}))
+	}
+	envRoles := []RoleID{"er0", "er1"}
+	for _, r := range envRoles {
+		mustOK(s.AddRole(Role{ID: r, Kind: EnvironmentRole}))
+	}
+	subjects := []SubjectID{"u0", "u1", "u2"}
+	for _, sub := range subjects {
+		mustOK(s.AddSubject(sub))
+		mustOK(s.AssignSubjectRole(sub, roles[rng.Intn(len(roles))]))
+	}
+	objects := []ObjectID{"o0", "o1"}
+	for _, obj := range objects {
+		mustOK(s.AddObject(obj))
+		mustOK(s.AssignObjectRole(obj, objRoles[rng.Intn(len(objRoles))]))
+	}
+	txs := []TransactionID{"use", "read"}
+	for _, tx := range txs {
+		mustOK(s.AddTransaction(SimpleTransaction(string(tx))))
+	}
+	nPerms := rng.Intn(10)
+	for i := 0; i < nPerms; i++ {
+		mustOK(s.Grant(Permission{
+			Subject:     roles[rng.Intn(len(roles))],
+			Object:      objRoles[rng.Intn(len(objRoles))],
+			Environment: envRoles[rng.Intn(len(envRoles))],
+			Transaction: txs[rng.Intn(len(txs))],
+			Effect:      Effect(1 + rng.Intn(2)),
+		}))
+	}
+	var probes []Request
+	for _, sub := range subjects {
+		for _, obj := range objects {
+			for _, tx := range txs {
+				env := []RoleID{}
+				if rng.Intn(2) == 0 {
+					env = append(env, envRoles[rng.Intn(len(envRoles))])
+				}
+				probes = append(probes, Request{
+					Subject: sub, Object: obj, Transaction: tx, Environment: env,
+				})
+			}
+		}
+	}
+	return s, probes
+}
+
+func decideAll(t interface{ Fatalf(string, ...any) }, s *System, probes []Request) []bool {
+	out := make([]bool, len(probes))
+	for i, req := range probes {
+		d, err := s.Decide(req)
+		if err != nil {
+			t.Fatalf("Decide: %v", err)
+		}
+		out[i] = d.Allowed
+	}
+	return out
+}
+
+// TestGrantMonotonicityUnderPermitOverrides: under permit-overrides,
+// installing an additional Permit permission never revokes access.
+func TestGrantMonotonicityUnderPermitOverrides(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		s, probes := buildRandomPolicy(rng)
+		s.SetConflictStrategy(PermitOverrides{})
+		before := decideAll(t, s, probes)
+		mustOK(s.Grant(Permission{
+			Subject:     AnySubject,
+			Object:      "or0",
+			Environment: AnyEnvironment,
+			Transaction: "use",
+			Effect:      Permit,
+		}))
+		after := decideAll(t, s, probes)
+		for i := range probes {
+			if before[i] && !after[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 80}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestDenyMonotonicityUnderDenyOverrides: under deny-overrides, installing
+// an additional Deny permission never grants new access.
+func TestDenyMonotonicityUnderDenyOverrides(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		s, probes := buildRandomPolicy(rng)
+		before := decideAll(t, s, probes)
+		mustOK(s.Grant(Permission{
+			Subject:     AnySubject,
+			Object:      AnyObject,
+			Environment: AnyEnvironment,
+			Transaction: AnyTransaction,
+			Effect:      Deny,
+		}))
+		after := decideAll(t, s, probes)
+		for i := range probes {
+			if !before[i] && after[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 80}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestRevokeRoundTrip: granting then revoking a permission restores every
+// decision exactly.
+func TestRevokeRoundTrip(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		s, probes := buildRandomPolicy(rng)
+		before := decideAll(t, s, probes)
+		p := Permission{
+			Subject:     AnySubject,
+			Object:      "or1",
+			Environment: AnyEnvironment,
+			Transaction: "read",
+			Effect:      Effect(1 + rng.Intn(2)),
+		}
+		mustOK(s.Grant(p))
+		mustOK(s.Revoke(p))
+		after := decideAll(t, s, probes)
+		for i := range probes {
+			if before[i] != after[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 80}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestAncestorGrantCoversDescendants: a permission on a subject role is
+// matched by every subject holding any descendant of that role — the
+// inheritance direction of Figure 2.
+func TestAncestorGrantCoversDescendants(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		s := NewSystem()
+		// Chain r0 <- r1 <- ... <- rN (ri+1 extends ri).
+		depth := 2 + rng.Intn(5)
+		for i := 0; i < depth; i++ {
+			r := Role{ID: RoleID(fmt.Sprintf("r%d", i)), Kind: SubjectRole}
+			if i > 0 {
+				r.Parents = []RoleID{RoleID(fmt.Sprintf("r%d", i-1))}
+			}
+			mustOK(s.AddRole(r))
+		}
+		mustOK(s.AddRole(Role{ID: "things", Kind: ObjectRole}))
+		mustOK(s.AddSubject("u"))
+		// Subject holds the deepest role.
+		mustOK(s.AssignSubjectRole("u", RoleID(fmt.Sprintf("r%d", depth-1))))
+		mustOK(s.AddObject("o"))
+		mustOK(s.AssignObjectRole("o", "things"))
+		mustOK(s.AddTransaction(SimpleTransaction("use")))
+		// Grant at a random ancestor level.
+		level := rng.Intn(depth)
+		mustOK(s.Grant(Permission{
+			Subject:     RoleID(fmt.Sprintf("r%d", level)),
+			Object:      "things",
+			Environment: AnyEnvironment,
+			Transaction: "use",
+			Effect:      Permit,
+		}))
+		ok, err := s.CheckAccess(Request{Subject: "u", Object: "o",
+			Transaction: "use", Environment: []RoleID{}})
+		return err == nil && ok
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 80}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestDescendantGrantDoesNotCoverAncestors: the converse must not hold —
+// granting to a descendant role confers nothing on subjects holding only
+// the ancestor.
+func TestDescendantGrantDoesNotCoverAncestors(t *testing.T) {
+	s := NewSystem()
+	mustOK(s.AddRole(Role{ID: "general", Kind: SubjectRole}))
+	mustOK(s.AddRole(Role{ID: "specific", Kind: SubjectRole, Parents: []RoleID{"general"}}))
+	mustOK(s.AddRole(Role{ID: "things", Kind: ObjectRole}))
+	mustOK(s.AddSubject("u"))
+	mustOK(s.AssignSubjectRole("u", "general"))
+	mustOK(s.AddObject("o"))
+	mustOK(s.AssignObjectRole("o", "things"))
+	mustOK(s.AddTransaction(SimpleTransaction("use")))
+	mustOK(s.Grant(Permission{
+		Subject: "specific", Object: "things",
+		Environment: AnyEnvironment, Transaction: "use", Effect: Permit,
+	}))
+	ok, err := s.CheckAccess(Request{Subject: "u", Object: "o",
+		Transaction: "use", Environment: []RoleID{}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ok {
+		t.Fatal("ancestor-holder gained a descendant's grant")
+	}
+}
+
+// TestConfidenceMonotonicity: raising the evidence confidence never
+// reduces access under a permit-only policy.
+func TestConfidenceMonotonicity(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		s := NewSystem()
+		mustOK(s.AddRole(Role{ID: "r", Kind: SubjectRole}))
+		mustOK(s.AddRole(Role{ID: "things", Kind: ObjectRole}))
+		mustOK(s.AddSubject("u"))
+		mustOK(s.AssignSubjectRole("u", "r"))
+		mustOK(s.AddObject("o"))
+		mustOK(s.AssignObjectRole("o", "things"))
+		mustOK(s.AddTransaction(SimpleTransaction("use")))
+		threshold := float64(rng.Intn(101)) / 100
+		mustOK(s.Grant(Permission{
+			Subject: "r", Object: "things", Environment: AnyEnvironment,
+			Transaction: "use", Effect: Permit, MinConfidence: threshold,
+		}))
+		lo := float64(rng.Intn(101)) / 100
+		hi := lo + float64(rng.Intn(int((1-lo)*100)+1))/100
+		decide := func(conf float64) bool {
+			ok, err := s.CheckAccess(Request{
+				Subject: "u", Object: "o", Transaction: "use",
+				Credentials: CredentialSet{IdentityCredential("u", conf, "x")},
+				Environment: []RoleID{},
+			})
+			if err != nil {
+				t.Fatalf("CheckAccess: %v", err)
+			}
+			return ok
+		}
+		// Monotone: allowed at lo implies allowed at hi >= lo.
+		if decide(lo) && !decide(hi) {
+			return false
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestEnvironmentMonotonicityForPermitOnlyPolicies: activating more
+// environment roles never reduces access when every permission is a
+// Permit.
+func TestEnvironmentMonotonicityForPermitOnlyPolicies(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		s, probes := buildRandomPolicy(rng)
+		// Strip denies: rebuild from export with denies removed.
+		st := s.Export()
+		kept := st.Permissions[:0]
+		for _, p := range st.Permissions {
+			if p.Effect == Permit {
+				kept = append(kept, p)
+			}
+		}
+		st.Permissions = kept
+		s2 := NewSystem()
+		if err := s2.Import(st); err != nil {
+			return false
+		}
+		for _, req := range probes {
+			smaller := req
+			larger := req
+			larger.Environment = append(append([]RoleID{}, req.Environment...), "er0", "er1")
+			a, err := s2.Decide(smaller)
+			if err != nil {
+				return false
+			}
+			b, err := s2.Decide(larger)
+			if err != nil {
+				return false
+			}
+			if a.Allowed && !b.Allowed {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,126 @@
+package core
+
+import (
+	"fmt"
+	"sort"
+)
+
+// Entitlement is one (object, transaction) capability, as reported by
+// WhatCan.
+type Entitlement struct {
+	Object      ObjectID
+	Transaction TransactionID
+}
+
+// WhoCan answers the review question "who can run tx on obj while these
+// environment roles are active?" — the reverse of Decide. It evaluates the
+// full mediation rule (hierarchy, wildcards, effects, conflict strategy)
+// for every registered subject with fully trusted identity, so the answer
+// reflects exactly what Decide would grant.
+//
+// The paper's usability requirement (§3: the homeowner must get feedback
+// she can trust) is what this serves: "who can view the nursery camera
+// right now?" is a single call.
+func (s *System) WhoCan(tx TransactionID, obj ObjectID, env []RoleID) ([]SubjectID, error) {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	if env == nil {
+		env = []RoleID{}
+	}
+	var out []SubjectID
+	for sub := range s.subjects {
+		d, err := s.decideLocked(Request{
+			Subject: sub, Object: obj, Transaction: tx, Environment: env,
+		})
+		if err != nil {
+			return nil, fmt.Errorf("grbac: WhoCan(%q): %w", sub, err)
+		}
+		if d.Allowed {
+			out = append(out, sub)
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out, nil
+}
+
+// WhatCan answers "what may this subject do while these environment roles
+// are active?": every (object, transaction) pair Decide would permit. The
+// result is sorted by object, then transaction.
+func (s *System) WhatCan(sub SubjectID, env []RoleID) ([]Entitlement, error) {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	if _, ok := s.subjects[sub]; !ok {
+		return nil, fmt.Errorf("%w: subject %q", ErrNotFound, sub)
+	}
+	if env == nil {
+		env = []RoleID{}
+	}
+	var out []Entitlement
+	for obj := range s.objects {
+		for tx := range s.transactions {
+			d, err := s.decideLocked(Request{
+				Subject: sub, Object: obj, Transaction: tx, Environment: env,
+			})
+			if err != nil {
+				return nil, fmt.Errorf("grbac: WhatCan(%q, %q): %w", obj, tx, err)
+			}
+			if d.Allowed {
+				out = append(out, Entitlement{Object: obj, Transaction: tx})
+			}
+		}
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Object != out[j].Object {
+			return out[i].Object < out[j].Object
+		}
+		return out[i].Transaction < out[j].Transaction
+	})
+	return out, nil
+}
+
+// PermissionsMentioning returns every installed permission whose leg of
+// the given kind names the role — the "where is this role used?" query a
+// policy editor needs before deleting a role.
+func (s *System) PermissionsMentioning(kind RoleKind, role RoleID) []Permission {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	var out []Permission
+	for _, p := range s.perms {
+		if references(p, kind, role) {
+			out = append(out, p)
+		}
+	}
+	return out
+}
+
+// SubjectsInRole returns every subject whose effective role set (direct
+// assignments closed upward) includes the role, sorted. With Figure 2's
+// hierarchy, SubjectsInRole("family-member") includes Mom, Dad, Alice, and
+// Bobby even though none is assigned family-member directly.
+func (s *System) SubjectsInRole(role RoleID) []SubjectID {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	var out []SubjectID
+	for sub, rec := range s.subjects {
+		if s.subjectRoles.closure(setToSlice(rec.roles))[role] {
+			out = append(out, sub)
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+// ObjectsInRole returns every object whose effective role set includes the
+// role, sorted.
+func (s *System) ObjectsInRole(role RoleID) []ObjectID {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	var out []ObjectID
+	for obj, rec := range s.objects {
+		if s.objectRoles.closure(setToSlice(rec.roles))[role] {
+			out = append(out, obj)
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}

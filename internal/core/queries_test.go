@@ -1,0 +1,128 @@
+package core
+
+import (
+	"errors"
+	"reflect"
+	"testing"
+)
+
+func TestWhoCan(t *testing.T) {
+	s := newHomeSystem(t)
+	grantEntertainment(t, s)
+	got, err := s.WhoCan("use", "tv", []RoleID{"weekday-free-time"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if want := []SubjectID{"alice", "bobby"}; !reflect.DeepEqual(got, want) {
+		t.Fatalf("WhoCan = %v, want %v", got, want)
+	}
+	// Outside the window: nobody.
+	got, err = s.WhoCan("use", "tv", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 0 {
+		t.Fatalf("WhoCan outside window = %v", got)
+	}
+	// Unknown object propagates the decide error.
+	if _, err := s.WhoCan("use", "ghost", nil); !errors.Is(err, ErrNotFound) {
+		t.Fatalf("WhoCan(ghost) error = %v", err)
+	}
+}
+
+func TestWhoCanRespectsDenies(t *testing.T) {
+	s := newHomeSystem(t)
+	if err := s.Grant(Permission{
+		Subject: "family-member", Object: "appliances", Environment: AnyEnvironment,
+		Transaction: "use", Effect: Permit,
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Grant(Permission{
+		Subject: "child", Object: "dangerous-appliances", Environment: AnyEnvironment,
+		Transaction: "use", Effect: Deny,
+	}); err != nil {
+		t.Fatal(err)
+	}
+	got, err := s.WhoCan("use", "oven", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Adults only: the child deny removes alice and bobby.
+	if want := []SubjectID{"dad", "mom"}; !reflect.DeepEqual(got, want) {
+		t.Fatalf("WhoCan(oven) = %v, want %v", got, want)
+	}
+}
+
+func TestWhatCan(t *testing.T) {
+	s := newHomeSystem(t)
+	grantEntertainment(t, s)
+	got, err := s.WhatCan("alice", []RoleID{"weekday-free-time"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []Entitlement{
+		{Object: "stereo", Transaction: "use"},
+		{Object: "tv", Transaction: "use"},
+		{Object: "vcr", Transaction: "use"},
+	}
+	if !reflect.DeepEqual(got, want) {
+		t.Fatalf("WhatCan = %v, want %v", got, want)
+	}
+	if _, err := s.WhatCan("ghost", nil); !errors.Is(err, ErrNotFound) {
+		t.Fatalf("WhatCan(ghost) error = %v", err)
+	}
+	// Empty environment: nothing (the only grant needs the env role).
+	got, err = s.WhatCan("alice", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 0 {
+		t.Fatalf("WhatCan outside window = %v", got)
+	}
+}
+
+func TestPermissionsMentioning(t *testing.T) {
+	s := newHomeSystem(t)
+	p := grantEntertainment(t, s)
+	if got := s.PermissionsMentioning(SubjectRole, "child"); len(got) != 1 || got[0] != p {
+		t.Fatalf("PermissionsMentioning(subject child) = %v", got)
+	}
+	if got := s.PermissionsMentioning(ObjectRole, "entertainment-devices"); len(got) != 1 {
+		t.Fatalf("PermissionsMentioning(object) = %v", got)
+	}
+	if got := s.PermissionsMentioning(EnvironmentRole, "weekday-free-time"); len(got) != 1 {
+		t.Fatalf("PermissionsMentioning(env) = %v", got)
+	}
+	if got := s.PermissionsMentioning(SubjectRole, "parent"); got != nil {
+		t.Fatalf("PermissionsMentioning(parent) = %v", got)
+	}
+	if got := s.PermissionsMentioning(RoleKind(9), "child"); got != nil {
+		t.Fatalf("PermissionsMentioning(bad kind) = %v", got)
+	}
+}
+
+func TestSubjectsAndObjectsInRole(t *testing.T) {
+	s := newHomeSystem(t)
+	// Through the hierarchy: all four family members possess
+	// family-member though none is assigned it directly.
+	got := s.SubjectsInRole("family-member")
+	want := []SubjectID{"alice", "bobby", "dad", "mom"}
+	if !reflect.DeepEqual(got, want) {
+		t.Fatalf("SubjectsInRole(family-member) = %v, want %v", got, want)
+	}
+	if got := s.SubjectsInRole("home-user"); len(got) != 5 {
+		t.Fatalf("SubjectsInRole(home-user) = %v", got)
+	}
+	if got := s.SubjectsInRole("nonexistent"); len(got) != 0 {
+		t.Fatalf("SubjectsInRole(nonexistent) = %v", got)
+	}
+	objs := s.ObjectsInRole("appliances")
+	if !reflect.DeepEqual(objs, []ObjectID{"oven"}) {
+		t.Fatalf("ObjectsInRole(appliances) = %v", objs)
+	}
+	ent := s.ObjectsInRole("entertainment-devices")
+	if !reflect.DeepEqual(ent, []ObjectID{"stereo", "tv", "vcr"}) {
+		t.Fatalf("ObjectsInRole(entertainment-devices) = %v", ent)
+	}
+}

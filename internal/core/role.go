@@ -1,0 +1,287 @@
+package core
+
+import (
+	"fmt"
+	"sort"
+)
+
+// Role is the unifying abstraction of GRBAC (paper §4.2): "the basic concept
+// of a role [organizes] all entities in a system". A role names a category
+// of subjects, objects, or environment states, depending on its Kind.
+//
+// Parents lists the role's immediate generalizations: a member of a role is
+// implicitly a member of every ancestor. This is the is-a reading of the
+// paper's Figure 2 hierarchy (Child ⊂ Family Member ⊂ Home User), so a grant
+// written against Family Member covers every subject assigned Child. Role
+// graphs are DAGs; System rejects edits that would create a cycle.
+type Role struct {
+	ID          RoleID
+	Kind        RoleKind
+	Parents     []RoleID
+	Description string
+}
+
+// clone returns a deep copy of r so callers can never alias internal state.
+func (r Role) clone() Role {
+	cp := r
+	cp.Parents = append([]RoleID(nil), r.Parents...)
+	return cp
+}
+
+// roleGraph holds all roles of a single kind and answers hierarchy queries.
+// It is not safe for concurrent use; System provides locking.
+type roleGraph struct {
+	kind  RoleKind
+	roles map[RoleID]*Role
+	// depths caches the longest parent-chain length per role. It is
+	// recomputed eagerly on every structural mutation (all of which hold
+	// the System write lock), so reads under the read lock are race-free
+	// map lookups.
+	depths map[RoleID]int
+}
+
+func newRoleGraph(kind RoleKind) *roleGraph {
+	return &roleGraph{
+		kind:   kind,
+		roles:  make(map[RoleID]*Role),
+		depths: make(map[RoleID]int),
+	}
+}
+
+func (g *roleGraph) get(id RoleID) (*Role, bool) {
+	r, ok := g.roles[id]
+	return r, ok
+}
+
+// add inserts a role after validating that its parents exist and that the
+// new edges do not create a cycle.
+func (g *roleGraph) add(r Role) error {
+	if r.ID == "" {
+		return fmt.Errorf("%w: empty role ID", ErrInvalid)
+	}
+	if _, ok := g.roles[r.ID]; ok {
+		return fmt.Errorf("%w: %s role %q", ErrExists, g.kind, r.ID)
+	}
+	for _, p := range r.Parents {
+		if p == r.ID {
+			return fmt.Errorf("%w: %s role %q is its own parent", ErrCycle, g.kind, r.ID)
+		}
+		if _, ok := g.roles[p]; !ok {
+			return fmt.Errorf("%w: parent %s role %q", ErrNotFound, g.kind, p)
+		}
+	}
+	cp := r.clone()
+	g.roles[r.ID] = &cp
+	g.recomputeDepths()
+	return nil
+}
+
+// addParent links child under parent, rejecting unknown roles and cycles.
+func (g *roleGraph) addParent(child, parent RoleID) error {
+	c, ok := g.roles[child]
+	if !ok {
+		return fmt.Errorf("%w: %s role %q", ErrNotFound, g.kind, child)
+	}
+	if _, ok := g.roles[parent]; !ok {
+		return fmt.Errorf("%w: %s role %q", ErrNotFound, g.kind, parent)
+	}
+	for _, p := range c.Parents {
+		if p == parent {
+			return nil // edge already present
+		}
+	}
+	// Adding child→parent creates a cycle iff child is reachable from parent.
+	if g.reaches(parent, child) {
+		return fmt.Errorf("%w: %s role %q -> %q", ErrCycle, g.kind, child, parent)
+	}
+	c.Parents = append(c.Parents, parent)
+	g.recomputeDepths()
+	return nil
+}
+
+// removeParent unlinks child from parent if the edge exists.
+func (g *roleGraph) removeParent(child, parent RoleID) error {
+	c, ok := g.roles[child]
+	if !ok {
+		return fmt.Errorf("%w: %s role %q", ErrNotFound, g.kind, child)
+	}
+	for i, p := range c.Parents {
+		if p == parent {
+			c.Parents = append(c.Parents[:i], c.Parents[i+1:]...)
+			g.recomputeDepths()
+			return nil
+		}
+	}
+	return fmt.Errorf("%w: %s role %q has no parent %q", ErrNotFound, g.kind, child, parent)
+}
+
+// remove deletes a role and every hierarchy edge that references it.
+func (g *roleGraph) remove(id RoleID) error {
+	if _, ok := g.roles[id]; !ok {
+		return fmt.Errorf("%w: %s role %q", ErrNotFound, g.kind, id)
+	}
+	delete(g.roles, id)
+	for _, r := range g.roles {
+		for i := 0; i < len(r.Parents); {
+			if r.Parents[i] == id {
+				r.Parents = append(r.Parents[:i], r.Parents[i+1:]...)
+				continue
+			}
+			i++
+		}
+	}
+	g.recomputeDepths()
+	return nil
+}
+
+// reaches reports whether dst is reachable from src by following parent
+// edges (src == dst counts as reachable).
+func (g *roleGraph) reaches(src, dst RoleID) bool {
+	if src == dst {
+		return true
+	}
+	seen := map[RoleID]bool{src: true}
+	stack := []RoleID{src}
+	for len(stack) > 0 {
+		cur := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		r, ok := g.roles[cur]
+		if !ok {
+			continue
+		}
+		for _, p := range r.Parents {
+			if p == dst {
+				return true
+			}
+			if !seen[p] {
+				seen[p] = true
+				stack = append(stack, p)
+			}
+		}
+	}
+	return false
+}
+
+// closure returns the upward closure of the seed set: every seed role plus
+// all of its ancestors. Unknown seeds are included verbatim so that callers
+// holding stale IDs still get deterministic (deny-safe) behaviour.
+func (g *roleGraph) closure(seeds []RoleID) map[RoleID]bool {
+	out := make(map[RoleID]bool, len(seeds)*2)
+	stack := append([]RoleID(nil), seeds...)
+	for len(stack) > 0 {
+		cur := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		if out[cur] {
+			continue
+		}
+		out[cur] = true
+		if r, ok := g.roles[cur]; ok {
+			stack = append(stack, r.Parents...)
+		}
+	}
+	return out
+}
+
+// weightedClosure propagates per-role confidences upward: possessing a role
+// with confidence c implies possessing each ancestor with at least c. When
+// several paths reach the same ancestor, the maximum confidence wins.
+func (g *roleGraph) weightedClosure(seeds map[RoleID]float64) map[RoleID]float64 {
+	out := make(map[RoleID]float64, len(seeds)*2)
+	type item struct {
+		id   RoleID
+		conf float64
+	}
+	stack := make([]item, 0, len(seeds))
+	for id, c := range seeds {
+		stack = append(stack, item{id, c})
+	}
+	for len(stack) > 0 {
+		cur := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		if prev, ok := out[cur.id]; ok && prev >= cur.conf {
+			continue
+		}
+		out[cur.id] = cur.conf
+		if r, ok := g.roles[cur.id]; ok {
+			for _, p := range r.Parents {
+				stack = append(stack, item{p, cur.conf})
+			}
+		}
+	}
+	return out
+}
+
+// ancestors returns all strict ancestors of id in sorted order.
+func (g *roleGraph) ancestors(id RoleID) []RoleID {
+	cl := g.closure([]RoleID{id})
+	delete(cl, id)
+	return sortedRoleIDs(cl)
+}
+
+// descendants returns all strict descendants of id in sorted order.
+func (g *roleGraph) descendants(id RoleID) []RoleID {
+	var out []RoleID
+	for other := range g.roles {
+		if other == id {
+			continue
+		}
+		if g.reaches(other, id) {
+			out = append(out, other)
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+// depth returns the length of the longest parent chain from id to a root,
+// served from the eagerly maintained cache. Unknown roles have depth 0.
+func (g *roleGraph) depth(id RoleID) int {
+	return g.depths[id]
+}
+
+// recomputeDepths rebuilds the depth cache; callers hold the write lock.
+func (g *roleGraph) recomputeDepths() {
+	memo := make(map[RoleID]int, len(g.roles))
+	var rec func(RoleID) int
+	rec = func(cur RoleID) int {
+		if d, ok := memo[cur]; ok {
+			return d
+		}
+		memo[cur] = 0 // guards against (impossible) cycles
+		r, ok := g.roles[cur]
+		if !ok || len(r.Parents) == 0 {
+			return 0
+		}
+		best := 0
+		for _, p := range r.Parents {
+			if d := rec(p) + 1; d > best {
+				best = d
+			}
+		}
+		memo[cur] = best
+		return best
+	}
+	for id := range g.roles {
+		rec(id)
+	}
+	g.depths = memo
+}
+
+// all returns copies of every role, sorted by ID.
+func (g *roleGraph) all() []Role {
+	out := make([]Role, 0, len(g.roles))
+	for _, r := range g.roles {
+		out = append(out, r.clone())
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].ID < out[j].ID })
+	return out
+}
+
+func sortedRoleIDs(set map[RoleID]bool) []RoleID {
+	out := make([]RoleID, 0, len(set))
+	for id := range set {
+		out = append(out, id)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}

@@ -1,0 +1,86 @@
+package core
+
+import "fmt"
+
+// SoDKind distinguishes the two separation-of-duty varieties of §4.1.2.
+type SoDKind int
+
+// Separation-of-duty kinds.
+const (
+	// StaticSoD forbids any subject from ever being *authorized* for two
+	// of the constrained roles ("the two roles may never be used by the
+	// same subject").
+	StaticSoD SoDKind = iota + 1
+	// DynamicSoD forbids two of the constrained roles from being *active*
+	// in the same session (the teller / account-holder conflict).
+	DynamicSoD
+)
+
+// String returns "static" or "dynamic".
+func (k SoDKind) String() string {
+	switch k {
+	case StaticSoD:
+		return "static"
+	case DynamicSoD:
+		return "dynamic"
+	default:
+		return "unknown"
+	}
+}
+
+// SoDConstraint declares that at most one role from Roles may be held
+// (static) or active (dynamic) by a subject at a time. Hierarchy is taken
+// into account: possessing a role implies possessing its ancestors, so a
+// constraint on {R1, R2} also fires when a subject holds descendants of
+// both.
+type SoDConstraint struct {
+	Name  string
+	Kind  SoDKind
+	Roles []RoleID
+}
+
+func (c SoDConstraint) clone() SoDConstraint {
+	cp := c
+	cp.Roles = append([]RoleID(nil), c.Roles...)
+	return cp
+}
+
+func validateSoD(c SoDConstraint) error {
+	if c.Name == "" {
+		return fmt.Errorf("%w: SoD constraint must be named", ErrInvalid)
+	}
+	if c.Kind != StaticSoD && c.Kind != DynamicSoD {
+		return fmt.Errorf("%w: SoD constraint %q has invalid kind", ErrInvalid, c.Name)
+	}
+	if len(c.Roles) < 2 {
+		return fmt.Errorf("%w: SoD constraint %q needs at least two roles", ErrInvalid, c.Name)
+	}
+	seen := make(map[RoleID]bool, len(c.Roles))
+	for _, r := range c.Roles {
+		if r == "" {
+			return fmt.Errorf("%w: SoD constraint %q names an empty role", ErrInvalid, c.Name)
+		}
+		if seen[r] {
+			return fmt.Errorf("%w: SoD constraint %q repeats role %q", ErrInvalid, c.Name, r)
+		}
+		seen[r] = true
+	}
+	return nil
+}
+
+// violates reports whether the closure of held roles covers two or more of
+// the constraint's roles, returning the (sorted) conflicting pair when so.
+func (c SoDConstraint) violates(held map[RoleID]bool) (RoleID, RoleID, bool) {
+	var first RoleID
+	found := false
+	for _, r := range c.Roles {
+		if !held[r] {
+			continue
+		}
+		if found {
+			return first, r, true
+		}
+		first, found = r, true
+	}
+	return "", "", false
+}

@@ -1,0 +1,232 @@
+package core
+
+import (
+	"encoding/json"
+	"errors"
+	"math/rand"
+	"reflect"
+	"testing"
+	"testing/quick"
+)
+
+func populatedSystem(t *testing.T) *System {
+	t.Helper()
+	s := newHomeSystem(t)
+	if err := s.AddRole(Role{ID: "weekday-free-time", Kind: EnvironmentRole,
+		Parents: []RoleID{"weekdays", "free-time"}}); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Grant(Permission{
+		Subject: "child", Object: "entertainment-devices",
+		Environment: "weekday-free-time", Transaction: "use", Effect: Permit,
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Grant(Permission{
+		Subject: "child", Object: "dangerous-appliances",
+		Environment: AnyEnvironment, Transaction: AnyTransaction, Effect: Deny,
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.AddSoDConstraint(SoDConstraint{
+		Name: "guests-vs-family", Kind: DynamicSoD,
+		Roles: []RoleID{"family-member", "authorized-guest"},
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.SetMinConfidence(0.5); err != nil {
+		t.Fatal(err)
+	}
+	return s
+}
+
+func TestExportImportRoundTrip(t *testing.T) {
+	s := populatedSystem(t)
+	st := s.Export()
+
+	// JSON round-trip, as internal/store will do.
+	raw, err := json.Marshal(st)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var st2 State
+	if err := json.Unmarshal(raw, &st2); err != nil {
+		t.Fatal(err)
+	}
+
+	restored := NewSystem()
+	if err := restored.Import(st2); err != nil {
+		t.Fatalf("Import: %v", err)
+	}
+	if got := restored.Export(); !reflect.DeepEqual(got, st) {
+		t.Fatalf("round-trip mismatch:\n got %+v\nwant %+v", got, st)
+	}
+
+	// Behavioural equivalence on a sample decision.
+	req := Request{Subject: "alice", Object: "tv", Transaction: "use",
+		Environment: []RoleID{"weekday-free-time"}}
+	d1, err := s.Decide(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	d2, err := restored.Decide(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d1.Allowed != d2.Allowed {
+		t.Fatalf("restored system decides differently: %v vs %v", d1.Allowed, d2.Allowed)
+	}
+}
+
+func TestImportRequiresEmptySystem(t *testing.T) {
+	s := populatedSystem(t)
+	if err := s.Import(State{}); !errors.Is(err, ErrInvalid) {
+		t.Fatalf("Import into populated system error = %v, want ErrInvalid", err)
+	}
+}
+
+func TestImportValidation(t *testing.T) {
+	tests := []struct {
+		name    string
+		st      State
+		wantErr error
+	}{
+		{
+			"bad threshold",
+			State{MinConfidence: 2},
+			ErrInvalid,
+		},
+		{
+			"kind mismatch",
+			State{SubjectRoles: []Role{{ID: "x", Kind: ObjectRole}}},
+			ErrKindMismatch,
+		},
+		{
+			"unknown assigned role",
+			State{Subjects: []SubjectState{{ID: "a", Roles: []RoleID{"ghost"}}}},
+			ErrNotFound,
+		},
+		{
+			"unknown object role",
+			State{Objects: []ObjectState{{ID: "o", Roles: []RoleID{"ghost"}}}},
+			ErrNotFound,
+		},
+		{
+			"empty subject",
+			State{Subjects: []SubjectState{{ID: ""}}},
+			ErrInvalid,
+		},
+		{
+			"invalid permission",
+			State{Permissions: []Permission{{}}},
+			ErrInvalid,
+		},
+		{
+			"invalid sod",
+			State{SoDConstraints: []SoDConstraint{{Name: "x", Kind: StaticSoD}}},
+			ErrInvalid,
+		},
+		{
+			"dangling parent",
+			State{SubjectRoles: []Role{{ID: "x", Kind: SubjectRole, Parents: []RoleID{"ghost"}}}},
+			ErrNotFound,
+		},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			if err := NewSystem().Import(tt.st); !errors.Is(err, tt.wantErr) {
+				t.Fatalf("Import error = %v, want %v", err, tt.wantErr)
+			}
+		})
+	}
+}
+
+func TestImportParentsOutOfOrder(t *testing.T) {
+	// Children listed before parents must still import.
+	st := State{SubjectRoles: []Role{
+		{ID: "child", Kind: SubjectRole, Parents: []RoleID{"parent"}},
+		{ID: "parent", Kind: SubjectRole},
+	}}
+	s := NewSystem()
+	if err := s.Import(st); err != nil {
+		t.Fatalf("out-of-order import: %v", err)
+	}
+	if got := s.RoleAncestors(SubjectRole, "child"); !reflect.DeepEqual(got, []RoleID{"parent"}) {
+		t.Fatalf("ancestors = %v", got)
+	}
+}
+
+func TestClone(t *testing.T) {
+	s := populatedSystem(t)
+	cp := s.Clone()
+	// Mutating the clone must not affect the original.
+	if err := cp.RemoveRole(SubjectRole, "child"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.Role(SubjectRole, "child"); err != nil {
+		t.Fatalf("original lost role after clone mutation: %v", err)
+	}
+	// Clone preserves threshold and strategy.
+	if cp.MinConfidence() != s.MinConfidence() {
+		t.Fatal("clone lost threshold")
+	}
+}
+
+// randomState builds a small random-but-valid State.
+func randomState(rng *rand.Rand) State {
+	st := State{MinConfidence: float64(rng.Intn(100)) / 100}
+	nRoles := 1 + rng.Intn(8)
+	ids := make([]RoleID, 0, nRoles)
+	for i := 0; i < nRoles; i++ {
+		id := RoleID(rune('a' + i))
+		var parents []RoleID
+		for _, p := range ids {
+			if rng.Intn(3) == 0 {
+				parents = append(parents, p)
+			}
+		}
+		st.SubjectRoles = append(st.SubjectRoles, Role{ID: id, Kind: SubjectRole, Parents: parents})
+		ids = append(ids, id)
+	}
+	st.ObjectRoles = []Role{{ID: "things", Kind: ObjectRole}}
+	st.EnvironmentRoles = []Role{{ID: "always", Kind: EnvironmentRole}}
+	st.Transactions = []Transaction{SimpleTransaction("use")}
+	for i := 0; i < rng.Intn(5); i++ {
+		st.Subjects = append(st.Subjects, SubjectState{
+			ID:    SubjectID(rune('s')) + SubjectID(rune('0'+i)),
+			Roles: []RoleID{ids[rng.Intn(len(ids))]},
+		})
+	}
+	st.Objects = []ObjectState{{ID: "o1", Roles: []RoleID{"things"}}}
+	for i := 0; i < rng.Intn(4); i++ {
+		st.Permissions = append(st.Permissions, Permission{
+			Subject:     ids[rng.Intn(len(ids))],
+			Object:      "things",
+			Environment: "always",
+			Transaction: "use",
+			Effect:      Effect(1 + rng.Intn(2)),
+		})
+	}
+	return st
+}
+
+// TestExportImportProperty: Import(Export(x)) is an identity on snapshots.
+func TestExportImportProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		st := randomState(rng)
+		s := NewSystem()
+		if err := s.Import(st); err != nil {
+			return false
+		}
+		exported := s.Export()
+		s2 := NewSystem()
+		if err := s2.Import(exported); err != nil {
+			return false
+		}
+		return reflect.DeepEqual(exported, s2.Export())
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,735 @@
+package core
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+	"time"
+)
+
+// EnvironmentSource supplies the set of currently active environment roles.
+// The environment engine (internal/environment) implements it; System
+// consults it for requests that do not carry an explicit environment
+// snapshot.
+type EnvironmentSource interface {
+	// ActiveEnvironmentRoles returns the IDs of all environment roles
+	// active at the time of the call.
+	ActiveEnvironmentRoles() []RoleID
+}
+
+// subjectRec and objectRec hold per-entity role assignments.
+type subjectRec struct {
+	roles map[RoleID]bool
+}
+
+type objectRec struct {
+	roles map[RoleID]bool
+}
+
+// System is a complete GRBAC policy store and decision engine. It is safe
+// for concurrent use: administration methods take the write lock, queries
+// and Decide take the read lock.
+//
+// The zero value is not usable; construct with NewSystem.
+type System struct {
+	mu sync.RWMutex
+
+	subjectRoles *roleGraph
+	objectRoles  *roleGraph
+	envRoles     *roleGraph
+
+	subjects     map[SubjectID]*subjectRec
+	objects      map[ObjectID]*objectRec
+	transactions map[TransactionID]Transaction
+	perms        []Permission
+	// permIndex maps a transaction ID (or AnyTransaction) to the indices
+	// into perms of permissions naming it, in grant order. Decide scans
+	// only the requested transaction's bucket plus the wildcard bucket.
+	permIndex     map[TransactionID][]int
+	indexDisabled bool
+	sods          []SoDConstraint
+	sessions      map[SessionID]*session
+	sessionSeq    uint64
+
+	strategy  ConflictStrategy
+	threshold float64
+	envSource EnvironmentSource
+	now       func() time.Time
+}
+
+// Option configures a System at construction time.
+type Option func(*System)
+
+// WithConflictStrategy sets the role-precedence resolution strategy
+// (default: DenyOverrides).
+func WithConflictStrategy(cs ConflictStrategy) Option {
+	return func(s *System) { s.strategy = cs }
+}
+
+// WithMinConfidence sets the system-wide authentication confidence
+// threshold in [0,1] (default 0: per-permission thresholds alone apply).
+func WithMinConfidence(t float64) Option {
+	return func(s *System) { s.threshold = t }
+}
+
+// WithEnvironmentSource installs the provider of active environment roles.
+func WithEnvironmentSource(src EnvironmentSource) Option {
+	return func(s *System) { s.envSource = src }
+}
+
+// WithClock overrides the time source used for session timestamps. Tests
+// and the home simulator use it for deterministic time.
+func WithClock(now func() time.Time) Option {
+	return func(s *System) { s.now = now }
+}
+
+// WithoutPermissionIndex disables the per-transaction permission index so
+// Decide falls back to a full linear scan of the permission list. It
+// exists only for the ablation benchmarks quantifying what the index buys;
+// production systems should never set it.
+func WithoutPermissionIndex() Option {
+	return func(s *System) { s.indexDisabled = true }
+}
+
+// NewSystem returns an empty GRBAC system with deny-overrides conflict
+// resolution and no confidence threshold.
+func NewSystem(opts ...Option) *System {
+	s := &System{
+		subjectRoles: newRoleGraph(SubjectRole),
+		objectRoles:  newRoleGraph(ObjectRole),
+		envRoles:     newRoleGraph(EnvironmentRole),
+		subjects:     make(map[SubjectID]*subjectRec),
+		objects:      make(map[ObjectID]*objectRec),
+		transactions: make(map[TransactionID]Transaction),
+		permIndex:    make(map[TransactionID][]int),
+		sessions:     make(map[SessionID]*session),
+		strategy:     DenyOverrides{},
+		now:          time.Now,
+	}
+	for _, opt := range opts {
+		opt(s)
+	}
+	return s
+}
+
+// graph returns the role graph for kind; the caller must hold the lock.
+func (s *System) graph(kind RoleKind) (*roleGraph, error) {
+	switch kind {
+	case SubjectRole:
+		return s.subjectRoles, nil
+	case ObjectRole:
+		return s.objectRoles, nil
+	case EnvironmentRole:
+		return s.envRoles, nil
+	default:
+		return nil, fmt.Errorf("%w: role kind %d", ErrInvalid, kind)
+	}
+}
+
+// --- Entities -------------------------------------------------------------
+
+// AddSubject registers a user.
+func (s *System) AddSubject(id SubjectID) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if id == "" {
+		return fmt.Errorf("%w: empty subject ID", ErrInvalid)
+	}
+	if _, ok := s.subjects[id]; ok {
+		return fmt.Errorf("%w: subject %q", ErrExists, id)
+	}
+	s.subjects[id] = &subjectRec{roles: make(map[RoleID]bool)}
+	return nil
+}
+
+// RemoveSubject deletes a subject and its role assignments. Sessions owned
+// by the subject are closed.
+func (s *System) RemoveSubject(id SubjectID) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if _, ok := s.subjects[id]; !ok {
+		return fmt.Errorf("%w: subject %q", ErrNotFound, id)
+	}
+	delete(s.subjects, id)
+	for sid, sess := range s.sessions {
+		if sess.subject == id {
+			delete(s.sessions, sid)
+		}
+	}
+	return nil
+}
+
+// Subjects returns all subject IDs in sorted order.
+func (s *System) Subjects() []SubjectID {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	out := make([]SubjectID, 0, len(s.subjects))
+	for id := range s.subjects {
+		out = append(out, id)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+// HasSubject reports whether id is registered.
+func (s *System) HasSubject(id SubjectID) bool {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	_, ok := s.subjects[id]
+	return ok
+}
+
+// AddObject registers a resource.
+func (s *System) AddObject(id ObjectID) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if id == "" {
+		return fmt.Errorf("%w: empty object ID", ErrInvalid)
+	}
+	if _, ok := s.objects[id]; ok {
+		return fmt.Errorf("%w: object %q", ErrExists, id)
+	}
+	s.objects[id] = &objectRec{roles: make(map[RoleID]bool)}
+	return nil
+}
+
+// RemoveObject deletes an object and its role assignments.
+func (s *System) RemoveObject(id ObjectID) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if _, ok := s.objects[id]; !ok {
+		return fmt.Errorf("%w: object %q", ErrNotFound, id)
+	}
+	delete(s.objects, id)
+	return nil
+}
+
+// Objects returns all object IDs in sorted order.
+func (s *System) Objects() []ObjectID {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	out := make([]ObjectID, 0, len(s.objects))
+	for id := range s.objects {
+		out = append(out, id)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+// HasObject reports whether id is registered.
+func (s *System) HasObject(id ObjectID) bool {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	_, ok := s.objects[id]
+	return ok
+}
+
+// --- Roles ----------------------------------------------------------------
+
+// AddRole defines a role of any kind. Parents must already exist.
+func (s *System) AddRole(r Role) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if !r.Kind.Valid() {
+		return fmt.Errorf("%w: role %q has invalid kind", ErrInvalid, r.ID)
+	}
+	if isWildcard(r.ID) {
+		return fmt.Errorf("%w: role ID %q is reserved", ErrInvalid, r.ID)
+	}
+	g, err := s.graph(r.Kind)
+	if err != nil {
+		return err
+	}
+	return g.add(r)
+}
+
+// AddRoleParent adds a hierarchy edge making parent a generalization of
+// child, rejecting cycles.
+func (s *System) AddRoleParent(kind RoleKind, child, parent RoleID) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	g, err := s.graph(kind)
+	if err != nil {
+		return err
+	}
+	return g.addParent(child, parent)
+}
+
+// RemoveRoleParent removes a hierarchy edge.
+func (s *System) RemoveRoleParent(kind RoleKind, child, parent RoleID) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	g, err := s.graph(kind)
+	if err != nil {
+		return err
+	}
+	return g.removeParent(child, parent)
+}
+
+// RemoveRole deletes a role, its hierarchy edges, every assignment of it,
+// and every permission that references it.
+func (s *System) RemoveRole(kind RoleKind, id RoleID) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	g, err := s.graph(kind)
+	if err != nil {
+		return err
+	}
+	if err := g.remove(id); err != nil {
+		return err
+	}
+	switch kind {
+	case SubjectRole:
+		for _, rec := range s.subjects {
+			delete(rec.roles, id)
+		}
+		for _, sess := range s.sessions {
+			delete(sess.active, id)
+		}
+	case ObjectRole:
+		for _, rec := range s.objects {
+			delete(rec.roles, id)
+		}
+	}
+	kept := s.perms[:0]
+	for _, p := range s.perms {
+		if references(p, kind, id) {
+			continue
+		}
+		kept = append(kept, p)
+	}
+	s.perms = kept
+	s.rebuildIndexLocked()
+	return nil
+}
+
+// rebuildIndexLocked reconstructs the transaction index from the
+// permission list. The caller must hold the write lock.
+func (s *System) rebuildIndexLocked() {
+	s.permIndex = make(map[TransactionID][]int, len(s.permIndex))
+	for i, p := range s.perms {
+		s.permIndex[p.Transaction] = append(s.permIndex[p.Transaction], i)
+	}
+}
+
+func references(p Permission, kind RoleKind, id RoleID) bool {
+	switch kind {
+	case SubjectRole:
+		return p.Subject == id
+	case ObjectRole:
+		return p.Object == id
+	case EnvironmentRole:
+		return p.Environment == id
+	default:
+		return false
+	}
+}
+
+// Role returns a copy of the named role.
+func (s *System) Role(kind RoleKind, id RoleID) (Role, error) {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	g, err := s.graph(kind)
+	if err != nil {
+		return Role{}, err
+	}
+	r, ok := g.get(id)
+	if !ok {
+		return Role{}, fmt.Errorf("%w: %s role %q", ErrNotFound, kind, id)
+	}
+	return r.clone(), nil
+}
+
+// Roles returns copies of every role of the given kind, sorted by ID.
+func (s *System) Roles(kind RoleKind) []Role {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	g, err := s.graph(kind)
+	if err != nil {
+		return nil
+	}
+	return g.all()
+}
+
+// RoleAncestors returns all strict ancestors (generalizations) of a role.
+func (s *System) RoleAncestors(kind RoleKind, id RoleID) []RoleID {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	g, err := s.graph(kind)
+	if err != nil {
+		return nil
+	}
+	return g.ancestors(id)
+}
+
+// RoleDescendants returns all strict descendants (specializations) of a role.
+func (s *System) RoleDescendants(kind RoleKind, id RoleID) []RoleID {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	g, err := s.graph(kind)
+	if err != nil {
+		return nil
+	}
+	return g.descendants(id)
+}
+
+// RoleDepth returns the longest generalization chain above the role.
+func (s *System) RoleDepth(kind RoleKind, id RoleID) int {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	g, err := s.graph(kind)
+	if err != nil {
+		return 0
+	}
+	return g.depth(id)
+}
+
+// --- Assignments ----------------------------------------------------------
+
+// AssignSubjectRole adds role to the subject's authorized role set after
+// checking every static separation-of-duty constraint against the upward
+// closure of the would-be role set (§4.1.2: "if roles R1 and R2 exhibit
+// static SoD and subject S has acted in role R1, he may never act in R2").
+func (s *System) AssignSubjectRole(sub SubjectID, role RoleID) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	rec, ok := s.subjects[sub]
+	if !ok {
+		return fmt.Errorf("%w: subject %q", ErrNotFound, sub)
+	}
+	if _, ok := s.subjectRoles.get(role); !ok {
+		return fmt.Errorf("%w: subject role %q", ErrNotFound, role)
+	}
+	if rec.roles[role] {
+		return nil
+	}
+	next := append(setToSlice(rec.roles), role)
+	held := s.subjectRoles.closure(next)
+	for _, c := range s.sods {
+		if c.Kind != StaticSoD {
+			continue
+		}
+		if a, b, bad := c.violates(held); bad {
+			return fmt.Errorf("%w: constraint %q forbids %q to hold both %q and %q",
+				ErrStaticSoD, c.Name, sub, a, b)
+		}
+	}
+	rec.roles[role] = true
+	return nil
+}
+
+// RevokeSubjectRole removes a direct role assignment. Active sessions keep
+// activated roles only if still authorized; otherwise they are deactivated.
+func (s *System) RevokeSubjectRole(sub SubjectID, role RoleID) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	rec, ok := s.subjects[sub]
+	if !ok {
+		return fmt.Errorf("%w: subject %q", ErrNotFound, sub)
+	}
+	if !rec.roles[role] {
+		return fmt.Errorf("%w: subject %q does not hold role %q", ErrNotFound, sub, role)
+	}
+	delete(rec.roles, role)
+	authorized := s.subjectRoles.closure(setToSlice(rec.roles))
+	for _, sess := range s.sessions {
+		if sess.subject != sub {
+			continue
+		}
+		for active := range sess.active {
+			if !authorized[active] {
+				delete(sess.active, active)
+			}
+		}
+	}
+	return nil
+}
+
+// AuthorizedRoles returns the subject's directly assigned roles, sorted.
+func (s *System) AuthorizedRoles(sub SubjectID) ([]RoleID, error) {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	rec, ok := s.subjects[sub]
+	if !ok {
+		return nil, fmt.Errorf("%w: subject %q", ErrNotFound, sub)
+	}
+	return sortedRoleIDs(rec.roles), nil
+}
+
+// EffectiveSubjectRoles returns the subject's authorized roles closed
+// upward through the hierarchy: every role the subject possesses.
+func (s *System) EffectiveSubjectRoles(sub SubjectID) ([]RoleID, error) {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	rec, ok := s.subjects[sub]
+	if !ok {
+		return nil, fmt.Errorf("%w: subject %q", ErrNotFound, sub)
+	}
+	return sortedRoleIDs(s.subjectRoles.closure(setToSlice(rec.roles))), nil
+}
+
+// AssignObjectRole classifies an object into an object role.
+func (s *System) AssignObjectRole(obj ObjectID, role RoleID) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	rec, ok := s.objects[obj]
+	if !ok {
+		return fmt.Errorf("%w: object %q", ErrNotFound, obj)
+	}
+	if _, ok := s.objectRoles.get(role); !ok {
+		return fmt.Errorf("%w: object role %q", ErrNotFound, role)
+	}
+	rec.roles[role] = true
+	return nil
+}
+
+// RevokeObjectRole removes an object classification.
+func (s *System) RevokeObjectRole(obj ObjectID, role RoleID) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	rec, ok := s.objects[obj]
+	if !ok {
+		return fmt.Errorf("%w: object %q", ErrNotFound, obj)
+	}
+	if !rec.roles[role] {
+		return fmt.Errorf("%w: object %q does not hold role %q", ErrNotFound, obj, role)
+	}
+	delete(rec.roles, role)
+	return nil
+}
+
+// ObjectRoles returns the object's directly assigned roles, sorted.
+func (s *System) ObjectRoles(obj ObjectID) ([]RoleID, error) {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	rec, ok := s.objects[obj]
+	if !ok {
+		return nil, fmt.Errorf("%w: object %q", ErrNotFound, obj)
+	}
+	return sortedRoleIDs(rec.roles), nil
+}
+
+// EffectiveObjectRoles returns the object's roles closed upward.
+func (s *System) EffectiveObjectRoles(obj ObjectID) ([]RoleID, error) {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	rec, ok := s.objects[obj]
+	if !ok {
+		return nil, fmt.Errorf("%w: object %q", ErrNotFound, obj)
+	}
+	return sortedRoleIDs(s.objectRoles.closure(setToSlice(rec.roles))), nil
+}
+
+// --- Transactions ---------------------------------------------------------
+
+// AddTransaction defines a transaction.
+func (s *System) AddTransaction(t Transaction) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if err := validateTransaction(t); err != nil {
+		return err
+	}
+	if _, ok := s.transactions[t.ID]; ok {
+		return fmt.Errorf("%w: transaction %q", ErrExists, t.ID)
+	}
+	s.transactions[t.ID] = t.clone()
+	return nil
+}
+
+// Transaction returns a copy of the named transaction.
+func (s *System) Transaction(id TransactionID) (Transaction, error) {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	t, ok := s.transactions[id]
+	if !ok {
+		return Transaction{}, fmt.Errorf("%w: transaction %q", ErrNotFound, id)
+	}
+	return t.clone(), nil
+}
+
+// Transactions returns copies of all transactions, sorted by ID.
+func (s *System) Transactions() []Transaction {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	out := make([]Transaction, 0, len(s.transactions))
+	for _, t := range s.transactions {
+		out = append(out, t.clone())
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].ID < out[j].ID })
+	return out
+}
+
+// TransactionsForAction returns the IDs of all transactions containing the
+// given action among their steps, sorted.
+func (s *System) TransactionsForAction(a Action) []TransactionID {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	var out []TransactionID
+	for id, t := range s.transactions {
+		for _, step := range t.Steps {
+			if step.Action == a {
+				out = append(out, id)
+				break
+			}
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+// --- Permissions ----------------------------------------------------------
+
+// Grant installs a permission after validating that each leg names an
+// existing role of the right kind (or the corresponding wildcard) and that
+// the transaction exists (or is AnyTransaction).
+func (s *System) Grant(p Permission) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if err := validatePermission(p); err != nil {
+		return err
+	}
+	if p.Subject != AnySubject {
+		if _, ok := s.subjectRoles.get(p.Subject); !ok {
+			return fmt.Errorf("%w: subject role %q", ErrNotFound, p.Subject)
+		}
+	}
+	if p.Object != AnyObject {
+		if _, ok := s.objectRoles.get(p.Object); !ok {
+			return fmt.Errorf("%w: object role %q", ErrNotFound, p.Object)
+		}
+	}
+	if p.Environment != AnyEnvironment {
+		if _, ok := s.envRoles.get(p.Environment); !ok {
+			return fmt.Errorf("%w: environment role %q", ErrNotFound, p.Environment)
+		}
+	}
+	if p.Transaction != AnyTransaction {
+		if _, ok := s.transactions[p.Transaction]; !ok {
+			return fmt.Errorf("%w: transaction %q", ErrNotFound, p.Transaction)
+		}
+	}
+	s.perms = append(s.perms, p)
+	s.permIndex[p.Transaction] = append(s.permIndex[p.Transaction], len(s.perms)-1)
+	return nil
+}
+
+// Revoke removes the first permission equal to p.
+func (s *System) Revoke(p Permission) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	for i, q := range s.perms {
+		if q == p {
+			s.perms = append(s.perms[:i], s.perms[i+1:]...)
+			s.rebuildIndexLocked()
+			return nil
+		}
+	}
+	return fmt.Errorf("%w: no such permission", ErrNotFound)
+}
+
+// Permissions returns a copy of all installed permissions in grant order.
+func (s *System) Permissions() []Permission {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return append([]Permission(nil), s.perms...)
+}
+
+// --- Separation of duty ---------------------------------------------------
+
+// AddSoDConstraint installs a separation-of-duty constraint. Static
+// constraints are checked retroactively: installation fails if an existing
+// subject already violates the constraint.
+func (s *System) AddSoDConstraint(c SoDConstraint) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if err := validateSoD(c); err != nil {
+		return err
+	}
+	for _, existing := range s.sods {
+		if existing.Name == c.Name {
+			return fmt.Errorf("%w: SoD constraint %q", ErrExists, c.Name)
+		}
+	}
+	for _, r := range c.Roles {
+		if _, ok := s.subjectRoles.get(r); !ok {
+			return fmt.Errorf("%w: subject role %q", ErrNotFound, r)
+		}
+	}
+	if c.Kind == StaticSoD {
+		for sub, rec := range s.subjects {
+			held := s.subjectRoles.closure(setToSlice(rec.roles))
+			if a, b, bad := c.violates(held); bad {
+				return fmt.Errorf("%w: subject %q already holds %q and %q",
+					ErrStaticSoD, sub, a, b)
+			}
+		}
+	}
+	s.sods = append(s.sods, c.clone())
+	return nil
+}
+
+// RemoveSoDConstraint deletes the named constraint.
+func (s *System) RemoveSoDConstraint(name string) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	for i, c := range s.sods {
+		if c.Name == name {
+			s.sods = append(s.sods[:i], s.sods[i+1:]...)
+			return nil
+		}
+	}
+	return fmt.Errorf("%w: SoD constraint %q", ErrNotFound, name)
+}
+
+// SoDConstraints returns copies of every constraint in installation order.
+func (s *System) SoDConstraints() []SoDConstraint {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	out := make([]SoDConstraint, 0, len(s.sods))
+	for _, c := range s.sods {
+		out = append(out, c.clone())
+	}
+	return out
+}
+
+// --- Configuration --------------------------------------------------------
+
+// SetConflictStrategy replaces the role-precedence strategy.
+func (s *System) SetConflictStrategy(cs ConflictStrategy) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if cs == nil {
+		cs = DenyOverrides{}
+	}
+	s.strategy = cs
+}
+
+// SetMinConfidence sets the system-wide authentication threshold.
+func (s *System) SetMinConfidence(t float64) error {
+	if t < 0 || t > 1 {
+		return fmt.Errorf("%w: threshold %v outside [0,1]", ErrInvalid, t)
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.threshold = t
+	return nil
+}
+
+// MinConfidence returns the system-wide authentication threshold.
+func (s *System) MinConfidence() float64 {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return s.threshold
+}
+
+// SetEnvironmentSource installs the provider of active environment roles
+// used for requests that carry no explicit environment snapshot.
+func (s *System) SetEnvironmentSource(src EnvironmentSource) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.envSource = src
+}
+
+func isWildcard(id RoleID) bool {
+	return id == AnySubject || id == AnyObject || id == AnyEnvironment
+}

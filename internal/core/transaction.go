@@ -1,0 +1,58 @@
+package core
+
+import "fmt"
+
+// AnyTransaction is a wildcard transaction ID: a permission whose
+// Transaction field is AnyTransaction authorizes every transaction.
+const AnyTransaction TransactionID = "*"
+
+// Access is one step of a transaction: an action, optionally constrained to
+// objects possessing a particular object role. The paper (§4.1.1) defines a
+// transaction as "a series of one or more accesses to a set of one or more
+// objects"; Steps captures the series.
+type Access struct {
+	Action Action
+	// ObjectRole, when non-empty, restricts this step to objects holding
+	// the named object role. Empty means the transaction's target object.
+	ObjectRole RoleID
+}
+
+// Transaction is a named unit of authorization. Simple transactions ("read",
+// "use TV") have a single step; compound transactions (paper: "aiming and
+// firing a missile") list several.
+type Transaction struct {
+	ID          TransactionID
+	Description string
+	Steps       []Access
+}
+
+// clone returns a deep copy of t.
+func (t Transaction) clone() Transaction {
+	cp := t
+	cp.Steps = append([]Access(nil), t.Steps...)
+	return cp
+}
+
+// SimpleTransaction builds a one-step transaction whose ID and sole action
+// share the given verb. It is the common case for appliance-style policies.
+func SimpleTransaction(verb string) Transaction {
+	return Transaction{
+		ID:    TransactionID(verb),
+		Steps: []Access{{Action: Action(verb)}},
+	}
+}
+
+func validateTransaction(t Transaction) error {
+	if t.ID == "" {
+		return fmt.Errorf("%w: empty transaction ID", ErrInvalid)
+	}
+	if t.ID == AnyTransaction {
+		return fmt.Errorf("%w: transaction ID %q is reserved", ErrInvalid, AnyTransaction)
+	}
+	for i, s := range t.Steps {
+		if s.Action == "" {
+			return fmt.Errorf("%w: transaction %q step %d has empty action", ErrInvalid, t.ID, i)
+		}
+	}
+	return nil
+}

@@ -1,0 +1,129 @@
+// Package core implements the Generalized Role-Based Access Control (GRBAC)
+// model of Covington, Moyer, and Ahamad: role-based mediation in which the
+// role abstraction applies uniformly to subjects, objects, and environment
+// state.
+//
+// The central type is System, an in-memory, concurrency-safe policy store
+// plus decision engine. Administration methods (AddRole, AssignSubjectRole,
+// Grant, ...) mutate the store; Decide evaluates the GRBAC access-mediation
+// rule for a Request and returns an explained Decision.
+//
+// The model implemented here covers the full paper: three role kinds with
+// DAG hierarchies, positive and negative authorizations with pluggable
+// conflict resolution, role activation through sessions, static and dynamic
+// separation of duty, multi-access transactions, and partial authentication
+// via per-credential confidence levels.
+package core
+
+import "errors"
+
+// SubjectID names a user of the system (paper §4.1.1: "individual users in
+// an RBAC system are called subjects").
+type SubjectID string
+
+// ObjectID names a system resource: an appliance, a media object, a file.
+type ObjectID string
+
+// RoleID names a role. Role IDs are unique per role kind, so the subject
+// role "kitchen-staff" and an environment role "kitchen" may coexist.
+type RoleID string
+
+// TransactionID names a transaction (paper §4.1.1: "a series of one or more
+// accesses to a set of one or more objects").
+type TransactionID string
+
+// Action is a primitive access verb such as "read", "use", or "view".
+type Action string
+
+// RoleKind distinguishes the three GRBAC role varieties.
+type RoleKind int
+
+// The three role kinds of GRBAC (paper §4.2).
+const (
+	SubjectRole RoleKind = iota + 1
+	ObjectRole
+	EnvironmentRole
+)
+
+// String returns the lower-case name of the role kind.
+func (k RoleKind) String() string {
+	switch k {
+	case SubjectRole:
+		return "subject"
+	case ObjectRole:
+		return "object"
+	case EnvironmentRole:
+		return "environment"
+	default:
+		return "unknown"
+	}
+}
+
+// Valid reports whether k is one of the three defined role kinds.
+func (k RoleKind) Valid() bool {
+	return k == SubjectRole || k == ObjectRole || k == EnvironmentRole
+}
+
+// Effect is the sign of an authorization. The paper (§3) calls for "both
+// positive and negative access rights".
+type Effect int
+
+// Authorization effects.
+const (
+	Permit Effect = iota + 1
+	Deny
+)
+
+// String returns "permit" or "deny".
+func (e Effect) String() string {
+	switch e {
+	case Permit:
+		return "permit"
+	case Deny:
+		return "deny"
+	default:
+		return "unknown"
+	}
+}
+
+// Valid reports whether e is Permit or Deny.
+func (e Effect) Valid() bool { return e == Permit || e == Deny }
+
+// Wildcard role IDs. AnySubject, AnyObject, and AnyEnvironment are implicit
+// roles possessed by every subject, every object, and every system state
+// respectively. They let a policy leave one leg of the GRBAC triple
+// unconstrained ("anyone", "anything", "anytime") without special-casing the
+// mediation rule.
+const (
+	AnySubject     RoleID = "*subject*"
+	AnyObject      RoleID = "*object*"
+	AnyEnvironment RoleID = "*environment*"
+)
+
+// Sentinel errors returned by System administration and decision methods.
+var (
+	// ErrNotFound reports a reference to an entity that does not exist.
+	ErrNotFound = errors.New("grbac: not found")
+	// ErrExists reports creation of an entity that already exists.
+	ErrExists = errors.New("grbac: already exists")
+	// ErrCycle reports a role-hierarchy edit that would create a cycle.
+	ErrCycle = errors.New("grbac: role hierarchy cycle")
+	// ErrKindMismatch reports a role used in a position reserved for a
+	// different role kind.
+	ErrKindMismatch = errors.New("grbac: role kind mismatch")
+	// ErrStaticSoD reports a role assignment that violates a static
+	// separation-of-duty constraint.
+	ErrStaticSoD = errors.New("grbac: static separation-of-duty violation")
+	// ErrDynamicSoD reports a role activation that violates a dynamic
+	// separation-of-duty constraint.
+	ErrDynamicSoD = errors.New("grbac: dynamic separation-of-duty violation")
+	// ErrNotAuthorized reports activation of a role outside the subject's
+	// authorized role set.
+	ErrNotAuthorized = errors.New("grbac: role not in authorized role set")
+	// ErrInvalid reports malformed input such as an empty ID or an
+	// out-of-range confidence.
+	ErrInvalid = errors.New("grbac: invalid argument")
+	// ErrNoSession reports an operation on a session that does not exist
+	// or has been closed.
+	ErrNoSession = errors.New("grbac: no such session")
+)

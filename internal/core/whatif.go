@@ -1,0 +1,125 @@
+package core
+
+import (
+	"fmt"
+	"sort"
+)
+
+// Divergence records one request whose outcome differs between two
+// systems: the before/after of a contemplated policy change.
+type Divergence struct {
+	Request Request
+	// Before and After are the two Allowed outcomes.
+	Before bool
+	After  bool
+}
+
+// String renders the divergence for review output.
+func (d Divergence) String() string {
+	dir := "DENY -> PERMIT"
+	if d.Before {
+		dir = "PERMIT -> DENY"
+	}
+	return fmt.Sprintf("%s: %s %q on %q (env %v)",
+		dir, d.Request.Subject, d.Request.Transaction, d.Request.Object,
+		d.Request.Environment)
+}
+
+// DiffDecisions evaluates every probe against both systems and returns the
+// requests whose outcomes differ, in probe order. Probes that error on
+// either side (entities present in one policy but not the other) are
+// reported as divergences with the erroring side treated as deny — a
+// removed subject *is* a revocation.
+func DiffDecisions(before, after *System, probes []Request) []Divergence {
+	var out []Divergence
+	decide := func(s *System, req Request) bool {
+		d, err := s.Decide(req)
+		if err != nil {
+			return false
+		}
+		return d.Allowed
+	}
+	for _, req := range probes {
+		b := decide(before, req)
+		a := decide(after, req)
+		if b != a {
+			out = append(out, Divergence{Request: req, Before: b, After: a})
+		}
+	}
+	return out
+}
+
+// ProbeUniverse builds the exhaustive probe set for impact analysis: every
+// (subject, object, transaction) triple both systems know about, with the
+// given environment snapshots (nil means the single empty environment).
+// Triples only one system knows are included — the diff treats the
+// missing side as deny.
+func ProbeUniverse(a, b *System, environments [][]RoleID) []Request {
+	if environments == nil {
+		environments = [][]RoleID{{}}
+	}
+	subjects := unionSubjects(a.Subjects(), b.Subjects())
+	objects := unionObjects(a.Objects(), b.Objects())
+	txs := unionTxs(a.Transactions(), b.Transactions())
+	probes := make([]Request, 0, len(subjects)*len(objects)*len(txs)*len(environments))
+	for _, sub := range subjects {
+		for _, obj := range objects {
+			for _, tx := range txs {
+				for _, env := range environments {
+					probes = append(probes, Request{
+						Subject: sub, Object: obj, Transaction: tx, Environment: env,
+					})
+				}
+			}
+		}
+	}
+	return probes
+}
+
+func unionSubjects(a, b []SubjectID) []SubjectID {
+	set := make(map[SubjectID]bool, len(a)+len(b))
+	for _, x := range a {
+		set[x] = true
+	}
+	for _, x := range b {
+		set[x] = true
+	}
+	out := make([]SubjectID, 0, len(set))
+	for x := range set {
+		out = append(out, x)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+func unionObjects(a, b []ObjectID) []ObjectID {
+	set := make(map[ObjectID]bool, len(a)+len(b))
+	for _, x := range a {
+		set[x] = true
+	}
+	for _, x := range b {
+		set[x] = true
+	}
+	out := make([]ObjectID, 0, len(set))
+	for x := range set {
+		out = append(out, x)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+func unionTxs(a, b []Transaction) []TransactionID {
+	set := make(map[TransactionID]bool, len(a)+len(b))
+	for _, x := range a {
+		set[x.ID] = true
+	}
+	for _, x := range b {
+		set[x.ID] = true
+	}
+	out := make([]TransactionID, 0, len(set))
+	for x := range set {
+		out = append(out, x)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}

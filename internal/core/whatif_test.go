@@ -1,0 +1,83 @@
+package core
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestDiffDecisionsFindsImpact(t *testing.T) {
+	before := newHomeSystem(t)
+	grantEntertainment(t, before)
+
+	// The contemplated change: also deny children the VCR outright.
+	after := before.Clone()
+	if err := after.Grant(Permission{
+		Subject: "child", Object: "entertainment-devices",
+		Environment: AnyEnvironment, Transaction: "use", Effect: Deny,
+	}); err != nil {
+		t.Fatal(err)
+	}
+
+	probes := ProbeUniverse(before, after, [][]RoleID{{}, {"weekday-free-time"}})
+	divs := DiffDecisions(before, after, probes)
+	if len(divs) == 0 {
+		t.Fatal("no impact found for a new deny rule")
+	}
+	for _, d := range divs {
+		// Every divergence must be a revocation of a child's
+		// entertainment access inside the window.
+		if !d.Before || d.After {
+			t.Fatalf("unexpected direction: %v", d)
+		}
+		if d.Request.Subject != "alice" && d.Request.Subject != "bobby" {
+			t.Fatalf("impact outside the children: %v", d)
+		}
+		if !strings.Contains(d.String(), "PERMIT -> DENY") {
+			t.Fatalf("String() = %q", d.String())
+		}
+	}
+	// Exactly: 2 children × 3 entertainment devices × 1 window env.
+	if len(divs) != 6 {
+		t.Fatalf("divergences = %d, want 6", len(divs))
+	}
+}
+
+func TestDiffDecisionsIdenticalSystems(t *testing.T) {
+	s := newHomeSystem(t)
+	grantEntertainment(t, s)
+	cp := s.Clone()
+	probes := ProbeUniverse(s, cp, nil)
+	if divs := DiffDecisions(s, cp, probes); len(divs) != 0 {
+		t.Fatalf("clone diverges: %v", divs)
+	}
+}
+
+func TestDiffDecisionsMissingEntityIsDeny(t *testing.T) {
+	before := newHomeSystem(t)
+	grantEntertainment(t, before)
+	after := before.Clone()
+	// Removing alice revokes everything she could do.
+	if err := after.RemoveSubject("alice"); err != nil {
+		t.Fatal(err)
+	}
+	probes := ProbeUniverse(before, after, [][]RoleID{{"weekday-free-time"}})
+	divs := DiffDecisions(before, after, probes)
+	if len(divs) != 3 { // tv, vcr, stereo
+		t.Fatalf("divergences = %v", divs)
+	}
+	for _, d := range divs {
+		if d.Request.Subject != "alice" || !d.Before || d.After {
+			t.Fatalf("unexpected divergence %v", d)
+		}
+	}
+}
+
+func TestDivergenceStringGrantDirection(t *testing.T) {
+	d := Divergence{
+		Request: Request{Subject: "jane", Object: "cam", Transaction: "view"},
+		Before:  false, After: true,
+	}
+	if !strings.Contains(d.String(), "DENY -> PERMIT") {
+		t.Fatalf("String() = %q", d.String())
+	}
+}

@@ -1,0 +1,227 @@
+package environment
+
+import (
+	"fmt"
+	"strings"
+	"time"
+
+	"github.com/aware-home/grbac/internal/core"
+	"github.com/aware-home/grbac/internal/temporal"
+)
+
+// Context carries everything a Condition may inspect: the evaluation
+// instant, the attribute snapshot, and (optionally) the requesting subject
+// for subject-relative roles like "in the kitchen".
+type Context struct {
+	// Now is the evaluation instant.
+	Now time.Time
+	// Attrs looks up an environment attribute. Nil means no attributes.
+	Attrs func(key string) (Value, bool)
+	// Subject is the requesting subject for subject-relative conditions;
+	// empty for global evaluation.
+	Subject core.SubjectID
+}
+
+func (c Context) attr(key string) (Value, bool) {
+	if c.Attrs == nil {
+		return Value{}, false
+	}
+	return c.Attrs(key)
+}
+
+// Condition is a pure predicate over a Context. Environment roles are
+// defined by conditions; an environment role is active exactly when its
+// condition evaluates true.
+type Condition interface {
+	// Eval reports whether the condition holds in ctx.
+	Eval(ctx Context) bool
+	// String renders the condition for documentation and audit.
+	String() string
+}
+
+// TimeIn holds when the evaluation instant falls inside a temporal period.
+// It is the bridge to internal/temporal: "weekdays" is
+// TimeIn{temporal.WorkWeek()}.
+type TimeIn struct{ Period temporal.Period }
+
+var _ Condition = TimeIn{}
+
+// Eval reports whether ctx.Now is in the period.
+func (c TimeIn) Eval(ctx Context) bool { return c.Period.Contains(ctx.Now) }
+
+// String renders "time(<period>)".
+func (c TimeIn) String() string { return "time(" + c.Period.String() + ")" }
+
+// CompareOp is a numeric comparison operator.
+type CompareOp int
+
+// Comparison operators for AttrCompare.
+const (
+	OpEq CompareOp = iota + 1
+	OpNe
+	OpLt
+	OpLe
+	OpGt
+	OpGe
+)
+
+var opNames = map[CompareOp]string{
+	OpEq: "==", OpNe: "!=", OpLt: "<", OpLe: "<=", OpGt: ">", OpGe: ">=",
+}
+
+// AttrEquals holds when the named attribute exists and equals Value.
+type AttrEquals struct {
+	Key   string
+	Value Value
+}
+
+var _ Condition = AttrEquals{}
+
+// Eval reports whether the attribute equals the expected value.
+func (c AttrEquals) Eval(ctx Context) bool {
+	v, ok := ctx.attr(c.Key)
+	return ok && v.Equal(c.Value)
+}
+
+// String renders "attr(key == value)".
+func (c AttrEquals) String() string {
+	return fmt.Sprintf("attr(%s == %s)", c.Key, c.Value.Render())
+}
+
+// AttrCompare holds when the named attribute is numeric and the comparison
+// against Threshold holds. The GACL-style "low system load" role is
+// AttrCompare{Key: "system.load", Op: OpLt, Threshold: 0.5}.
+type AttrCompare struct {
+	Key       string
+	Op        CompareOp
+	Threshold float64
+}
+
+var _ Condition = AttrCompare{}
+
+// Eval reports whether the numeric comparison holds.
+func (c AttrCompare) Eval(ctx Context) bool {
+	v, ok := ctx.attr(c.Key)
+	if !ok || v.Kind != KindNumber {
+		return false
+	}
+	switch c.Op {
+	case OpEq:
+		return v.Num == c.Threshold
+	case OpNe:
+		return v.Num != c.Threshold
+	case OpLt:
+		return v.Num < c.Threshold
+	case OpLe:
+		return v.Num <= c.Threshold
+	case OpGt:
+		return v.Num > c.Threshold
+	case OpGe:
+		return v.Num >= c.Threshold
+	default:
+		return false
+	}
+}
+
+// String renders "attr(key op threshold)".
+func (c AttrCompare) String() string {
+	return fmt.Sprintf("attr(%s %s %g)", c.Key, opNames[c.Op], c.Threshold)
+}
+
+// AttrExists holds when the named attribute is set, regardless of value.
+type AttrExists struct{ Key string }
+
+var _ Condition = AttrExists{}
+
+// Eval reports whether the attribute exists.
+func (c AttrExists) Eval(ctx Context) bool {
+	_, ok := ctx.attr(c.Key)
+	return ok
+}
+
+// String renders "attr(key exists)".
+func (c AttrExists) String() string { return fmt.Sprintf("attr(%s exists)", c.Key) }
+
+// SubjectAttrEquals holds when the attribute "<Prefix>.<subject>" equals
+// Value for the requesting subject. It implements subject-relative
+// environment roles such as the paper's "children may only use the
+// videophone while they are in the kitchen": with locations stored under
+// "location.<subject>", the role "in-kitchen" is
+// SubjectAttrEquals{Prefix: "location", Value: String("kitchen")}.
+// It never holds for global (subject-less) evaluation.
+type SubjectAttrEquals struct {
+	Prefix string
+	Value  Value
+}
+
+var _ Condition = SubjectAttrEquals{}
+
+// Eval reports whether the subject-scoped attribute equals the value.
+func (c SubjectAttrEquals) Eval(ctx Context) bool {
+	if ctx.Subject == "" {
+		return false
+	}
+	v, ok := ctx.attr(c.Prefix + "." + string(ctx.Subject))
+	return ok && v.Equal(c.Value)
+}
+
+// String renders "subject-attr(prefix == value)".
+func (c SubjectAttrEquals) String() string {
+	return fmt.Sprintf("subject-attr(%s == %s)", c.Prefix, c.Value.Render())
+}
+
+// All holds when every child condition holds. An empty All always holds.
+type All []Condition
+
+var _ Condition = All(nil)
+
+// Eval reports conjunction.
+func (c All) Eval(ctx Context) bool {
+	for _, sub := range c {
+		if !sub.Eval(ctx) {
+			return false
+		}
+	}
+	return true
+}
+
+// String renders "all(...)".
+func (c All) String() string { return renderList("all", c) }
+
+// Any holds when at least one child condition holds. An empty Any never
+// holds.
+type Any []Condition
+
+var _ Condition = Any(nil)
+
+// Eval reports disjunction.
+func (c Any) Eval(ctx Context) bool {
+	for _, sub := range c {
+		if sub.Eval(ctx) {
+			return true
+		}
+	}
+	return false
+}
+
+// String renders "any(...)".
+func (c Any) String() string { return renderList("any", c) }
+
+// NotCond negates its child.
+type NotCond struct{ C Condition }
+
+var _ Condition = NotCond{}
+
+// Eval reports negation.
+func (c NotCond) Eval(ctx Context) bool { return !c.C.Eval(ctx) }
+
+// String renders "not(...)".
+func (c NotCond) String() string { return "not(" + c.C.String() + ")" }
+
+func renderList(name string, cs []Condition) string {
+	parts := make([]string, len(cs))
+	for i, c := range cs {
+		parts[i] = c.String()
+	}
+	return name + "(" + strings.Join(parts, ", ") + ")"
+}

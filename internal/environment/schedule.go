@@ -1,0 +1,64 @@
+package environment
+
+import (
+	"time"
+
+	"github.com/aware-home/grbac/internal/temporal"
+)
+
+// collectPeriods walks a condition tree and gathers every temporal period
+// it references. Attribute conditions contribute nothing: their truth
+// changes only on store updates, which already publish events.
+func collectPeriods(c Condition, out []temporal.Period) []temporal.Period {
+	switch cond := c.(type) {
+	case TimeIn:
+		return append(out, cond.Period)
+	case All:
+		for _, sub := range cond {
+			out = collectPeriods(sub, out)
+		}
+		return out
+	case Any:
+		for _, sub := range cond {
+			out = collectPeriods(sub, out)
+		}
+		return out
+	case NotCond:
+		return collectPeriods(cond.C, out)
+	default:
+		return out
+	}
+}
+
+// NextTimeTransition returns the earliest instant strictly after `from`
+// and within `horizon` at which the time-driven component of any defined
+// role's condition changes truth value. It is conservative: a reported
+// instant is a safe wake-up point for re-evaluation (some wake-ups may not
+// flip any role because an attribute leg masks the change), and between
+// reported instants no role's activation can change due to time alone.
+//
+// Simulators and schedulers use it to advance their clocks directly to the
+// next policy-relevant moment instead of polling: the Aware Home's
+// free-time window opening at 19:00 is discovered, not sampled.
+func (e *Engine) NextTimeTransition(from time.Time, horizon time.Duration) (time.Time, bool) {
+	e.mu.RLock()
+	var periods []temporal.Period
+	for _, c := range e.defs {
+		periods = collectPeriods(c, periods)
+	}
+	e.mu.RUnlock()
+
+	var best time.Time
+	found := false
+	for _, p := range periods {
+		next, ok := temporal.NextTransition(p, from, horizon)
+		if !ok {
+			continue
+		}
+		if !found || next.Before(best) {
+			best = next
+			found = true
+		}
+	}
+	return best, found
+}

@@ -1,0 +1,84 @@
+package environment
+
+import (
+	"testing"
+	"time"
+
+	"github.com/aware-home/grbac/internal/temporal"
+)
+
+func TestNextTimeTransition(t *testing.T) {
+	store := NewStore()
+	e := NewEngine(store)
+	if err := e.Define("free-time", TimeIn{temporal.MustParse("daily 19:00-22:00")}); err != nil {
+		t.Fatal(err)
+	}
+	if err := e.Define("weekday-free-time", All{
+		TimeIn{temporal.WorkWeek()},
+		TimeIn{temporal.MustParse("daily 19:00-22:00")},
+		AttrEquals{Key: "mode", Value: String("home")}, // attribute leg ignored
+	}); err != nil {
+		t.Fatal(err)
+	}
+
+	from := time.Date(2000, 1, 17, 18, 0, 0, 0, time.UTC) // Monday 6pm
+	next, ok := e.NextTimeTransition(from, 24*time.Hour)
+	if !ok {
+		t.Fatal("no transition found")
+	}
+	if want := time.Date(2000, 1, 17, 19, 0, 0, 0, time.UTC); !next.Equal(want) {
+		t.Fatalf("next transition = %v, want %v", next, want)
+	}
+
+	// From inside the window: the close at 22:00.
+	next, ok = e.NextTimeTransition(time.Date(2000, 1, 17, 20, 0, 0, 0, time.UTC), 24*time.Hour)
+	if !ok {
+		t.Fatal("no closing transition")
+	}
+	if want := time.Date(2000, 1, 17, 22, 0, 0, 0, time.UTC); !next.Equal(want) {
+		t.Fatalf("closing transition = %v, want %v", next, want)
+	}
+}
+
+func TestNextTimeTransitionNoTimeRoles(t *testing.T) {
+	store := NewStore()
+	e := NewEngine(store)
+	if err := e.Define("occupied", AttrEquals{Key: "home.occupied", Value: Bool(true)}); err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := e.NextTimeTransition(time.Now(), time.Hour); ok {
+		t.Fatal("attribute-only engine reported a time transition")
+	}
+}
+
+func TestNextTimeTransitionNestedConditions(t *testing.T) {
+	store := NewStore()
+	e := NewEngine(store)
+	// A period buried under not(any(...)).
+	if err := e.Define("nested", NotCond{C: Any{
+		AttrExists{Key: "override"},
+		TimeIn{temporal.MustParse("daily 09:00-10:00")},
+	}}); err != nil {
+		t.Fatal(err)
+	}
+	from := time.Date(2000, 1, 17, 8, 0, 0, 0, time.UTC)
+	next, ok := e.NextTimeTransition(from, 4*time.Hour)
+	if !ok {
+		t.Fatal("nested period not discovered")
+	}
+	if want := time.Date(2000, 1, 17, 9, 0, 0, 0, time.UTC); !next.Equal(want) {
+		t.Fatalf("nested transition = %v, want %v", next, want)
+	}
+}
+
+func TestNextTimeTransitionHorizonBound(t *testing.T) {
+	store := NewStore()
+	e := NewEngine(store)
+	if err := e.Define("free-time", TimeIn{temporal.MustParse("daily 19:00-22:00")}); err != nil {
+		t.Fatal(err)
+	}
+	from := time.Date(2000, 1, 17, 8, 0, 0, 0, time.UTC)
+	if _, ok := e.NextTimeTransition(from, time.Hour); ok {
+		t.Fatal("transition reported beyond the horizon")
+	}
+}

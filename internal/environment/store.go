@@ -1,0 +1,104 @@
+package environment
+
+import (
+	"sort"
+	"sync"
+
+	"github.com/aware-home/grbac/internal/event"
+)
+
+// Store is the current environment snapshot: a concurrency-safe map from
+// attribute keys ("temperature", "system.load", "location.alice") to typed
+// values. Updates optionally publish event.TypeStateChanged on a bus so the
+// Engine (and auditors) can observe every change.
+type Store struct {
+	mu    sync.RWMutex
+	attrs map[string]Value
+	bus   *event.Bus
+}
+
+// StoreOption configures a Store.
+type StoreOption func(*Store)
+
+// WithStoreBus attaches an event bus; every Set publishes a state.changed
+// event with attrs {key, value}.
+func WithStoreBus(b *event.Bus) StoreOption {
+	return func(s *Store) { s.bus = b }
+}
+
+// NewStore builds an empty attribute store.
+func NewStore(opts ...StoreOption) *Store {
+	s := &Store{attrs: make(map[string]Value)}
+	for _, opt := range opts {
+		opt(s)
+	}
+	return s
+}
+
+// Set updates one attribute and publishes the change. Setting an attribute
+// to its current value is a no-op and publishes nothing.
+func (s *Store) Set(key string, v Value) {
+	s.mu.Lock()
+	old, had := s.attrs[key]
+	if had && old.Equal(v) {
+		s.mu.Unlock()
+		return
+	}
+	s.attrs[key] = v
+	bus := s.bus
+	s.mu.Unlock()
+	if bus != nil {
+		bus.Publish(event.Event{
+			Type:   event.TypeStateChanged,
+			Source: "environment.store",
+			Attrs:  map[string]string{"key": key, "value": v.Render()},
+		})
+	}
+}
+
+// Delete removes one attribute.
+func (s *Store) Delete(key string) {
+	s.mu.Lock()
+	_, had := s.attrs[key]
+	delete(s.attrs, key)
+	bus := s.bus
+	s.mu.Unlock()
+	if had && bus != nil {
+		bus.Publish(event.Event{
+			Type:   event.TypeStateChanged,
+			Source: "environment.store",
+			Attrs:  map[string]string{"key": key, "value": "<deleted>"},
+		})
+	}
+}
+
+// Get returns the attribute value, if set.
+func (s *Store) Get(key string) (Value, bool) {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	v, ok := s.attrs[key]
+	return v, ok
+}
+
+// Keys returns all attribute keys in sorted order.
+func (s *Store) Keys() []string {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	out := make([]string, 0, len(s.attrs))
+	for k := range s.attrs {
+		out = append(out, k)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Snapshot returns a copy of the full attribute map.
+func (s *Store) Snapshot() map[string]Value {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	out := make(map[string]Value, len(s.attrs))
+	for k, v := range s.attrs {
+		out[k] = v
+	}
+	return out
+}

@@ -1,0 +1,66 @@
+// Package environment implements GRBAC environment roles (paper §4.2.2):
+// named predicates over system state such as "weekdays", "free time",
+// "kitchen occupied", or "low system load".
+//
+// The package has three pieces:
+//
+//   - Value/Store: a typed attribute store holding the current environment
+//     snapshot (temperature, locations, system load, ...), fed by sensors
+//     and publishing change events on the trusted bus.
+//   - Condition: a composable predicate language over time (via
+//     internal/temporal) and attributes, including subject-relative
+//     conditions ("the requesting subject is in the kitchen").
+//   - Engine: the registry mapping environment role IDs to conditions. It
+//     answers "which environment roles are active right now (for this
+//     subject)?", implements core.EnvironmentSource, and publishes
+//     role-activation transitions on the event bus.
+package environment
+
+import (
+	"fmt"
+	"strconv"
+)
+
+// ValueKind tags the dynamic type of a Value.
+type ValueKind int
+
+// Value kinds.
+const (
+	KindString ValueKind = iota + 1
+	KindNumber
+	KindBool
+)
+
+// Value is a typed environment attribute value.
+type Value struct {
+	Kind ValueKind
+	Str  string
+	Num  float64
+	Bool bool
+}
+
+// String builds a string value.
+func String(s string) Value { return Value{Kind: KindString, Str: s} }
+
+// Number builds a numeric value.
+func Number(n float64) Value { return Value{Kind: KindNumber, Num: n} }
+
+// Bool builds a boolean value.
+func Bool(b bool) Value { return Value{Kind: KindBool, Bool: b} }
+
+// Equal reports deep equality of two values.
+func (v Value) Equal(o Value) bool { return v == o }
+
+// Render formats the value for audit output.
+func (v Value) Render() string {
+	switch v.Kind {
+	case KindString:
+		return strconv.Quote(v.Str)
+	case KindNumber:
+		return strconv.FormatFloat(v.Num, 'g', -1, 64)
+	case KindBool:
+		return strconv.FormatBool(v.Bool)
+	default:
+		return fmt.Sprintf("invalid(%d)", v.Kind)
+	}
+}

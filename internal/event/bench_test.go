@@ -1,0 +1,59 @@
+package event
+
+import (
+	"fmt"
+	"testing"
+)
+
+// BenchmarkPublish measures bus publication with and without the
+// HMAC-chained trusted log attached — the cost of tamper evidence on the
+// event path (a design-choice ablation; DESIGN.md S4).
+func BenchmarkPublish(b *testing.B) {
+	ev := Event{
+		Type:   TypeStateChanged,
+		Source: "bench",
+		Attrs:  map[string]string{"key": "temp", "value": "68"},
+	}
+	b.Run("bare", func(b *testing.B) {
+		bus := NewBus()
+		bus.Subscribe(func(Event) {})
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			bus.Publish(ev)
+		}
+	})
+	b.Run("logged", func(b *testing.B) {
+		log, err := NewLog([]byte("bench-key"))
+		if err != nil {
+			b.Fatal(err)
+		}
+		bus := NewBus(WithLog(log))
+		bus.Subscribe(func(Event) {})
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			bus.Publish(ev)
+		}
+	})
+}
+
+// BenchmarkVerify measures full-chain verification cost by log size.
+func BenchmarkVerify(b *testing.B) {
+	for _, n := range []int{100, 1000, 10000} {
+		b.Run(fmt.Sprintf("entries/%d", n), func(b *testing.B) {
+			log, err := NewLog([]byte("bench-key"))
+			if err != nil {
+				b.Fatal(err)
+			}
+			bus := NewBus(WithLog(log))
+			for i := 0; i < n; i++ {
+				bus.Publish(Event{Type: TypeClockTick, Attrs: map[string]string{"i": fmt.Sprint(i)}})
+			}
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if err := log.Verify(); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}

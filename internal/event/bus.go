@@ -1,0 +1,110 @@
+package event
+
+import (
+	"sync"
+	"time"
+)
+
+// Handler consumes one event. Handlers run synchronously on the publishing
+// goroutine, after the bus has released its internal lock, so they may
+// publish further events (the bus re-enters cleanly) but should be quick.
+type Handler func(Event)
+
+// Bus is a totally-ordered, in-process publish/subscribe event bus. The
+// zero value is not usable; construct with NewBus.
+type Bus struct {
+	mu     sync.Mutex
+	seq    uint64
+	subs   map[int]*subscription
+	nextID int
+	now    func() time.Time
+	log    *Log
+}
+
+type subscription struct {
+	id      int
+	types   map[Type]bool // empty means all types
+	handler Handler
+}
+
+// BusOption configures a Bus.
+type BusOption func(*Bus)
+
+// WithBusClock overrides the time source (simulation, tests).
+func WithBusClock(now func() time.Time) BusOption {
+	return func(b *Bus) { b.now = now }
+}
+
+// WithLog attaches a tamper-evident log that records every published event.
+func WithLog(l *Log) BusOption {
+	return func(b *Bus) { b.log = l }
+}
+
+// NewBus constructs an empty bus.
+func NewBus(opts ...BusOption) *Bus {
+	b := &Bus{
+		subs: make(map[int]*subscription),
+		now:  time.Now,
+	}
+	for _, opt := range opts {
+		opt(b)
+	}
+	return b
+}
+
+// Subscribe registers a handler for the given event types (all types when
+// none are listed) and returns a cancel function that removes the
+// subscription. Cancel is idempotent.
+func (b *Bus) Subscribe(handler Handler, types ...Type) (cancel func()) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	b.nextID++
+	id := b.nextID
+	sub := &subscription{id: id, handler: handler}
+	if len(types) > 0 {
+		sub.types = make(map[Type]bool, len(types))
+		for _, t := range types {
+			sub.types[t] = true
+		}
+	}
+	b.subs[id] = sub
+	return func() {
+		b.mu.Lock()
+		defer b.mu.Unlock()
+		delete(b.subs, id)
+	}
+}
+
+// Publish assigns the event a sequence number and timestamp, appends it to
+// the attached log (if any), and delivers it synchronously to every
+// matching subscriber. It returns the stamped event.
+func (b *Bus) Publish(e Event) Event {
+	b.mu.Lock()
+	b.seq++
+	e.Seq = b.seq
+	e.Time = b.now()
+	stamped := e.clone()
+	if b.log != nil {
+		b.log.Append(stamped)
+	}
+	handlers := make([]Handler, 0, len(b.subs))
+	for _, sub := range b.subs {
+		if sub.types == nil || sub.types[e.Type] {
+			handlers = append(handlers, sub.handler)
+		}
+	}
+	b.mu.Unlock()
+
+	// Deliver outside the lock so handlers may publish or subscribe.
+	for _, h := range handlers {
+		h(stamped.clone())
+	}
+	return stamped
+}
+
+// Seq returns the sequence number of the most recently published event.
+func (b *Bus) Seq() uint64 {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.seq
+}

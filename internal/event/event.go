@@ -1,0 +1,84 @@
+// Package event implements the "trusted event system" the GRBAC paper
+// (§4.2.2) requires beneath environment roles: a component "capable of
+// generating events based on various system state changes" whose output the
+// access-control system can rely on.
+//
+// It provides two pieces:
+//
+//   - Bus: an in-process publish/subscribe bus with total ordering
+//     (monotonic sequence numbers) and type-filtered subscriptions.
+//   - Log: a tamper-evident, HMAC-chained append-only record of every
+//     published event, so the environment state the policy engine consumed
+//     can be audited after the fact.
+package event
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"time"
+)
+
+// Type classifies events, e.g. "state.changed", "location.changed",
+// "sensor.observation", "role.activated".
+type Type string
+
+// Common event types emitted by the Aware Home substrates.
+const (
+	// TypeStateChanged reports an environment attribute update.
+	TypeStateChanged Type = "state.changed"
+	// TypeLocationChanged reports a subject moving between rooms.
+	TypeLocationChanged Type = "location.changed"
+	// TypeSensorObservation reports an identification observation.
+	TypeSensorObservation Type = "sensor.observation"
+	// TypeRoleActivated reports an environment role becoming active.
+	TypeRoleActivated Type = "role.activated"
+	// TypeRoleDeactivated reports an environment role becoming inactive.
+	TypeRoleDeactivated Type = "role.deactivated"
+	// TypeClockTick reports simulated time advancing.
+	TypeClockTick Type = "clock.tick"
+)
+
+// Event is one state-change notification. Seq and Time are assigned by the
+// bus at publish time; publishers fill the remaining fields.
+type Event struct {
+	// Seq is the bus-assigned total order, starting at 1.
+	Seq uint64
+	// Time is the bus clock reading at publish time.
+	Time time.Time
+	// Type classifies the event.
+	Type Type
+	// Source names the component that published the event.
+	Source string
+	// Attrs carries the event payload as string key/value pairs.
+	Attrs map[string]string
+}
+
+// clone deep-copies the event so log and subscribers cannot alias the
+// publisher's map.
+func (e Event) clone() Event {
+	cp := e
+	if e.Attrs != nil {
+		cp.Attrs = make(map[string]string, len(e.Attrs))
+		for k, v := range e.Attrs {
+			cp.Attrs[k] = v
+		}
+	}
+	return cp
+}
+
+// canonical renders the event deterministically for MAC chaining: fields in
+// fixed order, attributes sorted by key.
+func (e Event) canonical() string {
+	keys := make([]string, 0, len(e.Attrs))
+	for k := range e.Attrs {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	var b strings.Builder
+	fmt.Fprintf(&b, "seq=%d|time=%d|type=%s|source=%s", e.Seq, e.Time.UnixNano(), e.Type, e.Source)
+	for _, k := range keys {
+		fmt.Fprintf(&b, "|%s=%s", k, e.Attrs[k])
+	}
+	return b.String()
+}

@@ -1,0 +1,182 @@
+// Package experiments implements the paper-reproduction experiment suite
+// indexed in DESIGN.md §4 (E1–E14): both of the paper's figures, its worked
+// scenarios, the §6 subsumption claims, and the complexity measurements the
+// paper acknowledges but never quantifies. cmd/grbac-bench renders the
+// reports recorded in EXPERIMENTS.md; the root bench_test.go reuses the
+// same builders under testing.B.
+package experiments
+
+import (
+	"fmt"
+	"io"
+	"math/rand"
+	"time"
+
+	"github.com/aware-home/grbac/internal/baseline/rbac"
+	"github.com/aware-home/grbac/internal/core"
+)
+
+// Experiment is one runnable reproduction experiment.
+type Experiment struct {
+	// ID is the experiment identifier (E1..E14).
+	ID string
+	// Title summarizes what is reproduced.
+	Title string
+	// Source cites the paper location being reproduced.
+	Source string
+	// Run writes the experiment's report.
+	Run func(w io.Writer) error
+}
+
+// All returns the full suite in order.
+func All() []Experiment {
+	return []Experiment{
+		{ID: "E1", Title: "Traditional RBAC mediation rule", Source: "Figure 1", Run: RunE1},
+		{ID: "E2", Title: "Home subject role hierarchy", Source: "Figure 2", Run: RunE2},
+		{ID: "E3", Title: "Entertainment policy week sweep", Source: "§5.1", Run: RunE3},
+		{ID: "E4", Title: "Partial authentication thresholds", Source: "§5.2", Run: RunE4},
+		{ID: "E5", Title: "Repairman time/location window", Source: "§3", Run: RunE5},
+		{ID: "E6", Title: "Content ratings and negative rights", Source: "§3", Run: RunE6},
+		{ID: "E7", Title: "GRBAC subsumes traditional RBAC", Source: "§6", Run: RunE7},
+		{ID: "E8", Title: "GRBAC subsumes temporal authorizations", Source: "§6", Run: RunE8},
+		{ID: "E9", Title: "GRBAC subsumes GACL load conditions", Source: "§6", Run: RunE9},
+		{ID: "E10", Title: "GRBAC subsumes content-based access", Source: "§6", Run: RunE10},
+		{ID: "E11", Title: "GRBAC subsumes MLS (strictly)", Source: "§6", Run: RunE11},
+		{ID: "E12", Title: "Decision latency vs model and scale", Source: "§6 complexity claim", Run: RunE12},
+		{ID: "E13", Title: "Policy size vs household growth", Source: "§5.1 usability claim", Run: RunE13},
+		{ID: "E14", Title: "Separation of duty and activation", Source: "§4.1.2", Run: RunE14},
+		{ID: "E15", Title: "Household daily rhythm (derived)", Source: "§2/§5.1 workloads", Run: RunE15},
+	}
+}
+
+// RunAll executes every experiment, writing each report to w.
+func RunAll(w io.Writer) error {
+	for _, e := range All() {
+		if err := RunOne(w, e); err != nil {
+			return fmt.Errorf("%s: %w", e.ID, err)
+		}
+	}
+	return nil
+}
+
+// RunOne executes a single experiment with its standard header.
+func RunOne(w io.Writer, e Experiment) error {
+	fmt.Fprintf(w, "=== %s: %s (%s) ===\n", e.ID, e.Title, e.Source)
+	if err := e.Run(w); err != nil {
+		return err
+	}
+	fmt.Fprintln(w)
+	return nil
+}
+
+// Find returns the experiment with the given ID.
+func Find(id string) (Experiment, bool) {
+	for _, e := range All() {
+		if e.ID == id {
+			return e, true
+		}
+	}
+	return Experiment{}, false
+}
+
+// --- Shared builders --------------------------------------------------------
+
+// NewRandomRBAC builds a random traditional-RBAC policy with the given
+// universe sizes and assignment density 1/3, returning the system and its
+// subject/transaction universes.
+func NewRandomRBAC(rng *rand.Rand, nSub, nRole, nTx int) (*rbac.System, []core.SubjectID, []core.TransactionID) {
+	s := rbac.NewSystem()
+	subjects := make([]core.SubjectID, nSub)
+	for i := range subjects {
+		subjects[i] = core.SubjectID(fmt.Sprintf("s%d", i))
+	}
+	roles := make([]core.RoleID, nRole)
+	for i := range roles {
+		roles[i] = core.RoleID(fmt.Sprintf("r%d", i))
+	}
+	txs := make([]core.TransactionID, nTx)
+	for i := range txs {
+		txs[i] = core.TransactionID(fmt.Sprintf("t%d", i))
+	}
+	for _, sub := range subjects {
+		assigned := false
+		for _, r := range roles {
+			if rng.Intn(3) == 0 {
+				mustNil(s.AuthorizeRole(sub, r))
+				assigned = true
+			}
+		}
+		if !assigned {
+			mustNil(s.AuthorizeRole(sub, roles[rng.Intn(len(roles))]))
+		}
+	}
+	for _, r := range roles {
+		for _, t := range txs {
+			if rng.Intn(3) == 0 {
+				mustNil(s.AuthorizeTransaction(r, t))
+			}
+		}
+	}
+	return s, subjects, txs
+}
+
+// NewFigure2System builds the exact Figure 2 household on a core.System
+// with one grant against every hierarchy level, so membership and
+// inheritance can be probed.
+func NewFigure2System() (*core.System, error) {
+	s := core.NewSystem()
+	roles := []core.Role{
+		{ID: "home-user", Kind: core.SubjectRole},
+		{ID: "family-member", Kind: core.SubjectRole, Parents: []core.RoleID{"home-user"}},
+		{ID: "authorized-guest", Kind: core.SubjectRole, Parents: []core.RoleID{"home-user"}},
+		{ID: "parent", Kind: core.SubjectRole, Parents: []core.RoleID{"family-member"}},
+		{ID: "child", Kind: core.SubjectRole, Parents: []core.RoleID{"family-member"}},
+		{ID: "service-agent", Kind: core.SubjectRole, Parents: []core.RoleID{"authorized-guest"}},
+		{ID: "dishwasher-repair-tech", Kind: core.SubjectRole, Parents: []core.RoleID{"service-agent"}},
+	}
+	for _, r := range roles {
+		if err := s.AddRole(r); err != nil {
+			return nil, err
+		}
+	}
+	assignments := map[core.SubjectID]core.RoleID{
+		"mom": "parent", "dad": "parent",
+		"alice": "child", "bobby": "child",
+		"repair-tech": "dishwasher-repair-tech",
+	}
+	for sub, role := range assignments {
+		if err := s.AddSubject(sub); err != nil {
+			return nil, err
+		}
+		if err := s.AssignSubjectRole(sub, role); err != nil {
+			return nil, err
+		}
+	}
+	return s, nil
+}
+
+// Throughput measures ops/sec for fn by running it n times.
+func Throughput(n int, fn func()) (opsPerSec float64, perOp time.Duration) {
+	start := time.Now()
+	for i := 0; i < n; i++ {
+		fn()
+	}
+	elapsed := time.Since(start)
+	if elapsed <= 0 {
+		elapsed = time.Nanosecond
+	}
+	return float64(n) / elapsed.Seconds(), elapsed / time.Duration(n)
+}
+
+func mustNil(err error) {
+	if err != nil {
+		panic(err)
+	}
+}
+
+func tick(b bool) string {
+	if b {
+		return "permit"
+	}
+	return "deny"
+}

@@ -1,0 +1,275 @@
+package home
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+
+	"github.com/aware-home/grbac/internal/core"
+	"github.com/aware-home/grbac/internal/environment"
+	"github.com/aware-home/grbac/internal/event"
+)
+
+// Room names a location in the house. The pseudo-room Outside represents
+// not being in the house at all.
+type Room string
+
+// Outside is the location of anyone not inside the home.
+const Outside Room = "outside"
+
+// Device is one controllable resource in the house.
+type Device struct {
+	ID core.ObjectID
+	// Room is where the device is installed.
+	Room Room
+	// Roles are the object roles the device holds.
+	Roles []core.RoleID
+	// Transactions are the operations the device affords ("use",
+	// "view-stream", ...). The workload generator draws from these.
+	Transactions []core.TransactionID
+}
+
+// Resident is one person known to the house.
+type Resident struct {
+	ID core.SubjectID
+	// Roles are the subject roles the person is authorized for.
+	Roles []core.RoleID
+	// Pounds is the official weight registered with the Smart Floor.
+	Pounds float64
+}
+
+// House is the physical model: rooms, devices, residents, and live
+// locations. Location changes update the environment store (under
+// "location.<subject>") and publish location.changed events, so
+// subject-relative environment roles ("in-kitchen") track reality.
+type House struct {
+	mu        sync.RWMutex
+	rooms     map[Room]bool
+	devices   map[core.ObjectID]Device
+	residents map[core.SubjectID]Resident
+	locations map[core.SubjectID]Room
+	store     *environment.Store
+	bus       *event.Bus
+}
+
+// HouseOption configures a House.
+type HouseOption func(*House)
+
+// WithHouseStore attaches the environment store that receives location
+// attributes.
+func WithHouseStore(s *environment.Store) HouseOption {
+	return func(h *House) { h.store = s }
+}
+
+// WithHouseBus attaches an event bus for location.changed events.
+func WithHouseBus(b *event.Bus) HouseOption {
+	return func(h *House) { h.bus = b }
+}
+
+// NewHouse builds an empty house containing only the Outside pseudo-room.
+func NewHouse(opts ...HouseOption) *House {
+	h := &House{
+		rooms:     map[Room]bool{Outside: true},
+		devices:   make(map[core.ObjectID]Device),
+		residents: make(map[core.SubjectID]Resident),
+		locations: make(map[core.SubjectID]Room),
+	}
+	for _, opt := range opts {
+		opt(h)
+	}
+	return h
+}
+
+// AddRoom registers a room.
+func (h *House) AddRoom(r Room) error {
+	if r == "" {
+		return fmt.Errorf("%w: empty room name", core.ErrInvalid)
+	}
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	if h.rooms[r] {
+		return fmt.Errorf("%w: room %q", core.ErrExists, r)
+	}
+	h.rooms[r] = true
+	return nil
+}
+
+// Rooms lists all rooms (including Outside), sorted.
+func (h *House) Rooms() []Room {
+	h.mu.RLock()
+	defer h.mu.RUnlock()
+	out := make([]Room, 0, len(h.rooms))
+	for r := range h.rooms {
+		out = append(out, r)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+// AddDevice installs a device in a registered room.
+func (h *House) AddDevice(d Device) error {
+	if d.ID == "" {
+		return fmt.Errorf("%w: empty device ID", core.ErrInvalid)
+	}
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	if !h.rooms[d.Room] {
+		return fmt.Errorf("%w: room %q", core.ErrNotFound, d.Room)
+	}
+	if _, ok := h.devices[d.ID]; ok {
+		return fmt.Errorf("%w: device %q", core.ErrExists, d.ID)
+	}
+	d.Roles = append([]core.RoleID(nil), d.Roles...)
+	d.Transactions = append([]core.TransactionID(nil), d.Transactions...)
+	h.devices[d.ID] = d
+	return nil
+}
+
+// Device returns one device.
+func (h *House) Device(id core.ObjectID) (Device, error) {
+	h.mu.RLock()
+	defer h.mu.RUnlock()
+	d, ok := h.devices[id]
+	if !ok {
+		return Device{}, fmt.Errorf("%w: device %q", core.ErrNotFound, id)
+	}
+	return d, nil
+}
+
+// Devices lists all devices sorted by ID.
+func (h *House) Devices() []Device {
+	h.mu.RLock()
+	defer h.mu.RUnlock()
+	out := make([]Device, 0, len(h.devices))
+	for _, d := range h.devices {
+		out = append(out, d)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].ID < out[j].ID })
+	return out
+}
+
+// DevicesIn lists the devices installed in a room, sorted by ID.
+func (h *House) DevicesIn(r Room) []Device {
+	h.mu.RLock()
+	defer h.mu.RUnlock()
+	var out []Device
+	for _, d := range h.devices {
+		if d.Room == r {
+			out = append(out, d)
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].ID < out[j].ID })
+	return out
+}
+
+// AddResident registers a person, initially Outside.
+func (h *House) AddResident(r Resident) error {
+	if r.ID == "" {
+		return fmt.Errorf("%w: empty resident ID", core.ErrInvalid)
+	}
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	if _, ok := h.residents[r.ID]; ok {
+		return fmt.Errorf("%w: resident %q", core.ErrExists, r.ID)
+	}
+	r.Roles = append([]core.RoleID(nil), r.Roles...)
+	h.residents[r.ID] = r
+	h.locations[r.ID] = Outside
+	return nil
+}
+
+// Residents lists all residents sorted by ID.
+func (h *House) Residents() []Resident {
+	h.mu.RLock()
+	defer h.mu.RUnlock()
+	out := make([]Resident, 0, len(h.residents))
+	for _, r := range h.residents {
+		out = append(out, r)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].ID < out[j].ID })
+	return out
+}
+
+// MoveTo relocates a person to a room, updating the environment store and
+// publishing a location.changed event. Moving to the current room is a
+// no-op.
+func (h *House) MoveTo(person core.SubjectID, room Room) error {
+	h.mu.Lock()
+	if _, ok := h.residents[person]; !ok {
+		h.mu.Unlock()
+		return fmt.Errorf("%w: resident %q", core.ErrNotFound, person)
+	}
+	if !h.rooms[room] {
+		h.mu.Unlock()
+		return fmt.Errorf("%w: room %q", core.ErrNotFound, room)
+	}
+	prev := h.locations[person]
+	if prev == room {
+		h.mu.Unlock()
+		return nil
+	}
+	h.locations[person] = room
+	occupied := false
+	for _, loc := range h.locations {
+		if loc != Outside {
+			occupied = true
+			break
+		}
+	}
+	store, bus := h.store, h.bus
+	h.mu.Unlock()
+
+	if store != nil {
+		store.Set("location."+string(person), environment.String(string(room)))
+		store.Set("home.occupied", environment.Bool(occupied))
+	}
+	if bus != nil {
+		bus.Publish(event.Event{
+			Type:   event.TypeLocationChanged,
+			Source: "home.house",
+			Attrs: map[string]string{
+				"person": string(person),
+				"from":   string(prev),
+				"to":     string(room),
+			},
+		})
+	}
+	return nil
+}
+
+// LocationOf reports where a person currently is.
+func (h *House) LocationOf(person core.SubjectID) (Room, error) {
+	h.mu.RLock()
+	defer h.mu.RUnlock()
+	loc, ok := h.locations[person]
+	if !ok {
+		return "", fmt.Errorf("%w: resident %q", core.ErrNotFound, person)
+	}
+	return loc, nil
+}
+
+// Occupants lists who is in a given room, sorted.
+func (h *House) Occupants(r Room) []core.SubjectID {
+	h.mu.RLock()
+	defer h.mu.RUnlock()
+	var out []core.SubjectID
+	for p, loc := range h.locations {
+		if loc == r {
+			out = append(out, p)
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+// IsOccupied reports whether anyone is inside the house (not Outside).
+func (h *House) IsOccupied() bool {
+	h.mu.RLock()
+	defer h.mu.RUnlock()
+	for _, loc := range h.locations {
+		if loc != Outside {
+			return true
+		}
+	}
+	return false
+}

@@ -1,0 +1,156 @@
+package home
+
+import (
+	"math/rand"
+	"sort"
+	"time"
+
+	"github.com/aware-home/grbac/internal/core"
+)
+
+// Use is one device interaction a resident attempts during an activity.
+type Use struct {
+	Object      core.ObjectID
+	Transaction core.TransactionID
+}
+
+// Activity is one block of a resident's daily routine: a time-of-day span
+// spent in a room, with the device interactions typical of it.
+type Activity struct {
+	// Start and End are minutes since midnight; Start < End (routines do
+	// not wrap midnight — model a night block as two activities).
+	Start int
+	End   int
+	Room  Room
+	Uses  []Use
+}
+
+// Routine maps each resident to their ordered daily activities. Gaps
+// between activities leave the resident wherever they were.
+type Routine map[core.SubjectID][]Activity
+
+// StandardRoutines models the paper's household on a school/work day:
+// everyone home for breakfast, kids at school and parents at work through
+// the afternoon, family dinner, the children's §5.1 free-time window in
+// the evening, and lights out at ten.
+func StandardRoutines() Routine {
+	childDay := []Activity{
+		{Start: 7 * 60, End: 8 * 60, Room: "kitchen",
+			Uses: []Use{{"fridge", "use"}, {"pantry-inventory", "read"}}},
+		{Start: 8 * 60, End: 15 * 60, Room: Outside},
+		{Start: 15*60 + 30, End: 18 * 60, Room: "den",
+			Uses: []Use{{"game-console", "use"}, {"stereo", "use"}}},
+		{Start: 18 * 60, End: 19 * 60, Room: "kitchen",
+			Uses: []Use{{"fridge", "use"}, {"videophone", "use"}}},
+		{Start: 19 * 60, End: 22 * 60, Room: "living-room",
+			Uses: []Use{{"tv", "use"}, {"vcr", "use"}, {"movie-pg", "view"}, {"movie-r", "view"}}},
+		{Start: 22 * 60, End: 23 * 60, Room: "master-bedroom"},
+	}
+	parentDay := []Activity{
+		{Start: 6*60 + 30, End: 8 * 60, Room: "kitchen",
+			Uses: []Use{{"oven", "use"}, {"fridge", "use"}, {"pantry-inventory", "read"}}},
+		{Start: 8 * 60, End: 17*60 + 30, Room: Outside,
+			Uses: []Use{{"pantry-inventory", "read"}, {"nursery-camera", "view-still"}}},
+		{Start: 17*60 + 30, End: 19 * 60, Room: "kitchen",
+			Uses: []Use{{"oven", "use"}, {"dishwasher", "use"}}},
+		{Start: 19 * 60, End: 22 * 60, Room: "living-room",
+			Uses: []Use{{"tv", "use"}, {"movie-r", "view"}, {"family-medical-records", "read"}}},
+		{Start: 22 * 60, End: 23*60 + 30, Room: "master-bedroom",
+			Uses: []Use{{"nursery-camera", "view-stream"}}},
+	}
+	return Routine{
+		"alice": childDay,
+		"bobby": childDay,
+		"mom":   parentDay,
+		"dad":   parentDay,
+	}
+}
+
+// GenerateRoutineDay expands a routine into a chronological activity trace
+// for one day: each resident moves into their activity's room at its start
+// and makes attemptsPerActivity device attempts at random instants within
+// the span. The trace is deterministic for a fixed seed.
+func GenerateRoutineDay(rng *rand.Rand, routines Routine, day time.Time, attemptsPerActivity int) []AccessEvent {
+	midnight := time.Date(day.Year(), day.Month(), day.Day(), 0, 0, 0, 0, day.Location())
+	subjects := make([]core.SubjectID, 0, len(routines))
+	for subject := range routines {
+		subjects = append(subjects, subject)
+	}
+	sort.Slice(subjects, func(i, j int) bool { return subjects[i] < subjects[j] })
+	var events []AccessEvent
+	for _, subject := range subjects {
+		for _, act := range routines[subject] {
+			start := midnight.Add(time.Duration(act.Start) * time.Minute)
+			events = append(events, AccessEvent{
+				At: start, Subject: subject, MoveTo: act.Room,
+			})
+			if len(act.Uses) == 0 {
+				continue
+			}
+			span := act.End - act.Start
+			if span <= 0 {
+				continue
+			}
+			for i := 0; i < attemptsPerActivity; i++ {
+				use := act.Uses[rng.Intn(len(act.Uses))]
+				at := start.Add(time.Duration(rng.Intn(span)) * time.Minute)
+				events = append(events, AccessEvent{
+					At: at, Subject: subject,
+					Object: use.Object, Transaction: use.Transaction,
+				})
+			}
+		}
+	}
+	sort.SliceStable(events, func(i, j int) bool { return events[i].At.Before(events[j].At) })
+	return events
+}
+
+// GenerateRoutineWeek concatenates routine days.
+func GenerateRoutineWeek(rng *rand.Rand, routines Routine, start time.Time, days, attemptsPerActivity int) []AccessEvent {
+	var events []AccessEvent
+	for d := 0; d < days; d++ {
+		events = append(events, GenerateRoutineDay(rng, routines, start.AddDate(0, 0, d), attemptsPerActivity)...)
+	}
+	return events
+}
+
+// HourStats aggregates decisions within one hour of day.
+type HourStats struct {
+	Events  int
+	Permits int
+}
+
+// ReplayByHour replays a trace and additionally buckets outcomes by hour
+// of day, for daily-rhythm analysis (the §5.1 evening spike).
+func (hh *Household) ReplayByHour(events []AccessEvent) (ReplayStats, [24]HourStats, error) {
+	var hours [24]HourStats
+	var stats ReplayStats
+	wall := time.Now()
+	for _, ev := range events {
+		hh.Clock.Set(ev.At)
+		if ev.MoveTo != "" {
+			if err := hh.House.MoveTo(ev.Subject, ev.MoveTo); err != nil {
+				return stats, hours, err
+			}
+			stats.Moves++
+		}
+		if ev.Object == "" {
+			continue
+		}
+		d, err := hh.Decide(ev.Subject, ev.Object, ev.Transaction)
+		if err != nil {
+			return stats, hours, err
+		}
+		stats.Events++
+		h := ev.At.Hour()
+		hours[h].Events++
+		if d.Allowed {
+			stats.Permits++
+			hours[h].Permits++
+		} else {
+			stats.Denies++
+		}
+	}
+	stats.Duration = time.Since(wall)
+	return stats, hours, nil
+}

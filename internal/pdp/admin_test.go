@@ -1,0 +1,291 @@
+package pdp
+
+import (
+	"context"
+	"errors"
+	"net/http"
+	"net/http/httptest"
+	"reflect"
+	"testing"
+	"time"
+
+	"github.com/aware-home/grbac/internal/audit"
+	"github.com/aware-home/grbac/internal/core"
+)
+
+func newAdminServer(t *testing.T) (*httptest.Server, *Client) {
+	t.Helper()
+	sys := core.NewSystem()
+	srv := httptest.NewServer(NewServer(sys, WithAdmin()))
+	t.Cleanup(srv.Close)
+	return srv, NewClient(srv.URL, srv.Client())
+}
+
+// TestAdminBuildPolicyRemotely constructs the §5.1 policy entirely over
+// the wire and then mediates against it.
+func TestAdminBuildPolicyRemotely(t *testing.T) {
+	_, client := newAdminServer(t)
+	ctx := context.Background()
+
+	steps := []error{
+		client.CreateRole(ctx, RoleRequest{ID: "family-member", Kind: "subject"}),
+		client.CreateRole(ctx, RoleRequest{ID: "child", Kind: "subject", Parents: []string{"family-member"}}),
+		client.CreateRole(ctx, RoleRequest{ID: "entertainment-devices", Kind: "object"}),
+		client.CreateRole(ctx, RoleRequest{ID: "weekday-free-time", Kind: "environment"}),
+		client.UpsertSubject(ctx, BindingRequest{ID: "alice", Roles: []string{"child"}}),
+		client.UpsertObject(ctx, BindingRequest{ID: "tv", Roles: []string{"entertainment-devices"}}),
+		client.CreateTransaction(ctx, TransactionRequest{ID: "use"}),
+		client.GrantPermission(ctx, PermissionRequest{
+			Subject: "child", Object: "entertainment-devices",
+			Environment: "weekday-free-time", Transaction: "use", Effect: "permit",
+		}),
+	}
+	for i, err := range steps {
+		if err != nil {
+			t.Fatalf("step %d: %v", i, err)
+		}
+	}
+
+	ok, err := client.Check(ctx, DecideRequest{
+		Subject: "alice", Object: "tv", Transaction: "use",
+		Environment: []string{"weekday-free-time"},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !ok {
+		t.Fatal("remotely built policy denied")
+	}
+
+	// Review queries over the wire.
+	subjects, err := client.WhoCan(ctx, "use", "tv", []string{"weekday-free-time"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(subjects, []string{"alice"}) {
+		t.Fatalf("WhoCan = %v", subjects)
+	}
+	ents, err := client.WhatCan(ctx, "alice", []string{"weekday-free-time"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ents) != 1 || ents[0].Object != "tv" || ents[0].Transaction != "use" {
+		t.Fatalf("WhatCan = %v", ents)
+	}
+
+	// Revoke over the wire flips the decision.
+	if err := client.RevokePermission(ctx, PermissionRequest{
+		Subject: "child", Object: "entertainment-devices",
+		Environment: "weekday-free-time", Transaction: "use", Effect: "permit",
+	}); err != nil {
+		t.Fatal(err)
+	}
+	ok, err = client.Check(ctx, DecideRequest{
+		Subject: "alice", Object: "tv", Transaction: "use",
+		Environment: []string{"weekday-free-time"},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ok {
+		t.Fatal("revoked permission still grants")
+	}
+	// Role deletion cascades.
+	if err := client.DeleteRole(ctx, RoleRequest{ID: "child", Kind: "subject"}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestAdminSessionsOverWire(t *testing.T) {
+	_, client := newAdminServer(t)
+	ctx := context.Background()
+	for _, err := range []error{
+		client.CreateRole(ctx, RoleRequest{ID: "teller", Kind: "subject"}),
+		client.CreateRole(ctx, RoleRequest{ID: "account-holder", Kind: "subject"}),
+		client.UpsertSubject(ctx, BindingRequest{ID: "joe", Roles: []string{"teller", "account-holder"}}),
+		client.AddSoD(ctx, SoDRequest{Name: "x", Kind: "dynamic", Roles: []string{"teller", "account-holder"}}),
+	} {
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+	sid, err := client.OpenSession(ctx, "joe")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := client.SetSessionRole(ctx, sid, "teller", true); err != nil {
+		t.Fatal(err)
+	}
+	// Dynamic SoD enforced over the wire.
+	err = client.SetSessionRole(ctx, sid, "account-holder", true)
+	if !errors.Is(err, ErrRemote) {
+		t.Fatalf("simultaneous activation error = %v, want ErrRemote", err)
+	}
+	if err := client.SetSessionRole(ctx, sid, "teller", false); err != nil {
+		t.Fatal(err)
+	}
+	if err := client.SetSessionRole(ctx, sid, "account-holder", true); err != nil {
+		t.Fatal(err)
+	}
+	if err := client.CloseSession(ctx, sid); err != nil {
+		t.Fatal(err)
+	}
+	if err := client.CloseSession(ctx, sid); !errors.Is(err, ErrRemote) {
+		t.Fatalf("double close error = %v, want ErrRemote", err)
+	}
+}
+
+func TestAdminValidationErrors(t *testing.T) {
+	_, client := newAdminServer(t)
+	ctx := context.Background()
+	tests := []struct {
+		name string
+		call func() error
+	}{
+		{"bad role kind", func() error {
+			return client.CreateRole(ctx, RoleRequest{ID: "x", Kind: "cosmic"})
+		}},
+		{"unknown parent", func() error {
+			return client.CreateRole(ctx, RoleRequest{ID: "x", Kind: "subject", Parents: []string{"ghost"}})
+		}},
+		{"bad effect", func() error {
+			return client.GrantPermission(ctx, PermissionRequest{
+				Subject: "a", Object: "b", Environment: "c", Transaction: "t", Effect: "maybe",
+			})
+		}},
+		{"bad sod kind", func() error {
+			return client.AddSoD(ctx, SoDRequest{Name: "x", Kind: "soft", Roles: []string{"a", "b"}})
+		}},
+		{"unknown session subject", func() error {
+			_, err := client.OpenSession(ctx, "ghost")
+			return err
+		}},
+		{"unknown binding role", func() error {
+			return client.UpsertSubject(ctx, BindingRequest{ID: "u", Roles: []string{"ghost"}})
+		}},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			if err := tt.call(); !errors.Is(err, ErrRemote) {
+				t.Fatalf("error = %v, want ErrRemote", err)
+			}
+		})
+	}
+}
+
+func TestAdminDisabledByDefault(t *testing.T) {
+	srv, _ := newTestServer(t) // no WithAdmin
+	resp, err := http.Post(srv.URL+"/v1/admin/roles", "application/json",
+		nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_ = resp.Body.Close()
+	if resp.StatusCode != http.StatusNotFound {
+		t.Fatalf("admin endpoint reachable without WithAdmin: status %d", resp.StatusCode)
+	}
+}
+
+func TestAuditEndpoint(t *testing.T) {
+	logger := audit.NewLogger()
+	srv, _ := newTestServer(t, WithAuditLogger(logger))
+	client := NewClient(srv.URL, srv.Client())
+	ctx := context.Background()
+	// 2 permits, 1 deny.
+	for _, env := range [][]string{{"weekday-free-time"}, {"weekday-free-time"}, {}} {
+		if _, err := client.Check(ctx, DecideRequest{
+			Subject: "alice", Object: "tv", Transaction: "use", Environment: env,
+		}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	records, err := client.Audit(ctx, AuditQuery{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(records) != 3 {
+		t.Fatalf("records = %d, want 3", len(records))
+	}
+	denies, err := client.Audit(ctx, AuditQuery{DeniesOnly: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(denies) != 1 || denies[0].Allowed {
+		t.Fatalf("denies = %v", denies)
+	}
+	limited, err := client.Audit(ctx, AuditQuery{Limit: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(limited) != 2 || limited[0].Seq != 2 {
+		t.Fatalf("limited = %v", limited)
+	}
+	bySubject, err := client.Audit(ctx, AuditQuery{Subject: "nobody"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(bySubject) != 0 {
+		t.Fatalf("bySubject = %v", bySubject)
+	}
+	// Time bounds: everything in this test happened "now", so a window in
+	// the past excludes all records and a since-the-epoch window keeps
+	// them.
+	past, err := client.Audit(ctx, AuditQuery{
+		Until: time.Now().Add(-time.Hour),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(past) != 0 {
+		t.Fatalf("past window records = %d", len(past))
+	}
+	recent, err := client.Audit(ctx, AuditQuery{
+		Since: time.Now().Add(-time.Hour),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(recent) != 3 {
+		t.Fatalf("recent window records = %d", len(recent))
+	}
+	// Bad since parameter.
+	resp0, err := http.Get(srv.URL + "/v1/audit?since=yesterday")
+	if err != nil {
+		t.Fatal(err)
+	}
+	_ = resp0.Body.Close()
+	if resp0.StatusCode != http.StatusBadRequest {
+		t.Fatalf("bad since status = %d", resp0.StatusCode)
+	}
+	// Bad limit.
+	resp, err := http.Get(srv.URL + "/v1/audit?limit=-1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	_ = resp.Body.Close()
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("bad limit status = %d", resp.StatusCode)
+	}
+	// No logger: endpoint absent.
+	plain, _ := newTestServer(t)
+	resp, err = http.Get(plain.URL + "/v1/audit")
+	if err != nil {
+		t.Fatal(err)
+	}
+	_ = resp.Body.Close()
+	if resp.StatusCode != http.StatusNotFound {
+		t.Fatalf("audit without logger status = %d", resp.StatusCode)
+	}
+}
+
+func TestAdminQueryMethodErrors(t *testing.T) {
+	srv, _ := newAdminServer(t)
+	resp, err := http.Post(srv.URL+"/v1/query/who-can", "application/json", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_ = resp.Body.Close()
+	if resp.StatusCode != http.StatusMethodNotAllowed {
+		t.Fatalf("POST who-can status = %d", resp.StatusCode)
+	}
+}

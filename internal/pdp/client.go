@@ -1,0 +1,111 @@
+package pdp
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+	"strings"
+
+	"github.com/aware-home/grbac/internal/core"
+)
+
+// ErrRemote reports a non-2xx reply from the PDP server.
+var ErrRemote = errors.New("pdp: remote error")
+
+// Client talks to a PDP server.
+type Client struct {
+	base string
+	http *http.Client
+}
+
+// NewClient builds a client for the PDP at baseURL (e.g.
+// "http://localhost:8125"). A nil httpClient uses http.DefaultClient.
+func NewClient(baseURL string, httpClient *http.Client) *Client {
+	if httpClient == nil {
+		httpClient = http.DefaultClient
+	}
+	return &Client{base: strings.TrimRight(baseURL, "/"), http: httpClient}
+}
+
+// Decide requests a full decision.
+func (c *Client) Decide(ctx context.Context, req DecideRequest) (DecideResponse, error) {
+	var resp DecideResponse
+	err := c.post(ctx, "/v1/decide", req, &resp)
+	return resp, err
+}
+
+// Check requests a boolean decision.
+func (c *Client) Check(ctx context.Context, req DecideRequest) (bool, error) {
+	var resp CheckResponse
+	if err := c.post(ctx, "/v1/check", req, &resp); err != nil {
+		return false, err
+	}
+	return resp.Allowed, nil
+}
+
+// State fetches the server's policy snapshot.
+func (c *Client) State(ctx context.Context) (core.State, error) {
+	var st core.State
+	err := c.get(ctx, "/v1/state", &st)
+	return st, err
+}
+
+// Healthy reports whether the server answers its liveness probe.
+func (c *Client) Healthy(ctx context.Context) bool {
+	var out map[string]string
+	return c.get(ctx, "/v1/healthz", &out) == nil && out["status"] == "ok"
+}
+
+func (c *Client) post(ctx context.Context, path string, in, out any) error {
+	return c.request(ctx, http.MethodPost, path, in, out)
+}
+
+func (c *Client) request(ctx context.Context, method, path string, in, out any) error {
+	raw, err := json.Marshal(in)
+	if err != nil {
+		return fmt.Errorf("pdp: encode request: %w", err)
+	}
+	req, err := http.NewRequestWithContext(ctx, method, c.base+path, bytes.NewReader(raw))
+	if err != nil {
+		return fmt.Errorf("pdp: build request: %w", err)
+	}
+	req.Header.Set("Content-Type", "application/json")
+	return c.do(req, out)
+}
+
+func (c *Client) get(ctx context.Context, path string, out any) error {
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, c.base+path, nil)
+	if err != nil {
+		return fmt.Errorf("pdp: build request: %w", err)
+	}
+	return c.do(req, out)
+}
+
+func (c *Client) do(req *http.Request, out any) error {
+	resp, err := c.http.Do(req)
+	if err != nil {
+		return fmt.Errorf("pdp: transport: %w", err)
+	}
+	defer func() {
+		_, _ = io.Copy(io.Discard, resp.Body)
+		_ = resp.Body.Close()
+	}()
+	if resp.StatusCode/100 != 2 {
+		var e ErrorResponse
+		if err := json.NewDecoder(resp.Body).Decode(&e); err == nil && e.Error != "" {
+			return fmt.Errorf("%w: %d: %s", ErrRemote, resp.StatusCode, e.Error)
+		}
+		return fmt.Errorf("%w: status %d", ErrRemote, resp.StatusCode)
+	}
+	if out == nil {
+		return nil
+	}
+	if err := json.NewDecoder(resp.Body).Decode(out); err != nil {
+		return fmt.Errorf("pdp: decode response: %w", err)
+	}
+	return nil
+}

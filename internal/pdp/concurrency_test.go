@@ -1,0 +1,52 @@
+package pdp
+
+import (
+	"context"
+	"sync"
+	"testing"
+)
+
+// TestConcurrentClients hammers the PDP with parallel decide/check/state
+// requests; all must succeed with consistent answers.
+func TestConcurrentClients(t *testing.T) {
+	srv, _ := newTestServer(t)
+	client := NewClient(srv.URL, srv.Client())
+	ctx := context.Background()
+
+	const workers = 8
+	const perWorker = 40
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < perWorker; i++ {
+				switch (w + i) % 3 {
+				case 0:
+					ok, err := client.Check(ctx, DecideRequest{
+						Subject: "alice", Object: "tv", Transaction: "use",
+						Environment: []string{"weekday-free-time"},
+					})
+					if err != nil || !ok {
+						t.Errorf("Check = %v, %v", ok, err)
+						return
+					}
+				case 1:
+					d, err := client.Decide(ctx, DecideRequest{
+						Subject: "alice", Object: "tv", Transaction: "use",
+					})
+					if err != nil || d.Allowed {
+						t.Errorf("Decide = %+v, %v (want deny: no env)", d, err)
+						return
+					}
+				default:
+					if _, err := client.State(ctx); err != nil {
+						t.Errorf("State: %v", err)
+						return
+					}
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+}

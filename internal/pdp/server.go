@@ -1,0 +1,213 @@
+package pdp
+
+import (
+	"encoding/json"
+	"errors"
+	"io"
+	"log"
+	"net/http"
+	"strconv"
+	"strings"
+	"time"
+
+	"github.com/aware-home/grbac/internal/audit"
+	"github.com/aware-home/grbac/internal/core"
+)
+
+// maxBodyBytes bounds request bodies; decision requests are small.
+const maxBodyBytes = 1 << 20
+
+// Server serves the PDP API for one GRBAC system. It implements
+// http.Handler and can be mounted under any mux.
+type Server struct {
+	sys          *core.System
+	decider      audit.Decider
+	trail        *audit.Logger
+	logger       *log.Logger
+	mux          *http.ServeMux
+	adminEnabled bool
+}
+
+// ServerOption configures a Server.
+type ServerOption func(*Server)
+
+// WithAuditLogger wires decisions through an audit trail and exposes it at
+// GET /v1/audit.
+func WithAuditLogger(l *audit.Logger) ServerOption {
+	return func(s *Server) {
+		s.decider = audit.Wrap(s.sys, l)
+		s.trail = l
+	}
+}
+
+// WithErrorLog sets the server's error logger (default: log.Default()).
+func WithErrorLog(l *log.Logger) ServerOption {
+	return func(s *Server) { s.logger = l }
+}
+
+// NewServer builds a PDP server over the given system.
+func NewServer(sys *core.System, opts ...ServerOption) *Server {
+	s := &Server{sys: sys, decider: sys, logger: log.Default()}
+	for _, opt := range opts {
+		opt(s)
+	}
+	mux := http.NewServeMux()
+	mux.HandleFunc("/v1/decide", s.handleDecide)
+	mux.HandleFunc("/v1/check", s.handleCheck)
+	mux.HandleFunc("/v1/state", s.handleState)
+	mux.HandleFunc("/v1/healthz", s.handleHealthz)
+	if s.trail != nil {
+		mux.HandleFunc("/v1/audit", s.handleAudit)
+	}
+	if s.adminEnabled {
+		s.registerAdmin(mux)
+	}
+	s.mux = mux
+	return s
+}
+
+var _ http.Handler = (*Server)(nil)
+
+// ServeHTTP dispatches to the API mux.
+func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	s.mux.ServeHTTP(w, r)
+}
+
+func (s *Server) handleDecide(w http.ResponseWriter, r *http.Request) {
+	req, ok := s.readDecideRequest(w, r)
+	if !ok {
+		return
+	}
+	d, err := s.decider.Decide(req.toCore())
+	if err != nil {
+		s.writeError(w, err)
+		return
+	}
+	s.writeJSON(w, http.StatusOK, fromDecision(d))
+}
+
+func (s *Server) handleCheck(w http.ResponseWriter, r *http.Request) {
+	req, ok := s.readDecideRequest(w, r)
+	if !ok {
+		return
+	}
+	d, err := s.decider.Decide(req.toCore())
+	if err != nil {
+		s.writeError(w, err)
+		return
+	}
+	s.writeJSON(w, http.StatusOK, CheckResponse{Allowed: d.Allowed})
+}
+
+func (s *Server) handleState(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet {
+		s.writeStatus(w, http.StatusMethodNotAllowed, "GET only")
+		return
+	}
+	s.writeJSON(w, http.StatusOK, s.sys.Export())
+}
+
+func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet {
+		s.writeStatus(w, http.StatusMethodNotAllowed, "GET only")
+		return
+	}
+	s.writeJSON(w, http.StatusOK, map[string]string{"status": "ok"})
+}
+
+// handleAudit serves the decision trail:
+// GET /v1/audit?subject=&object=&transaction=&denies=true&limit=N.
+func (s *Server) handleAudit(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet {
+		s.writeStatus(w, http.StatusMethodNotAllowed, "GET only")
+		return
+	}
+	q := r.URL.Query()
+	f := audit.Filter{
+		Subject:     core.SubjectID(q.Get("subject")),
+		Object:      core.ObjectID(q.Get("object")),
+		Transaction: core.TransactionID(q.Get("transaction")),
+		DeniesOnly:  q.Get("denies") == "true",
+	}
+	for _, bound := range []struct {
+		param string
+		dst   *time.Time
+	}{
+		{"since", &f.Since},
+		{"until", &f.Until},
+	} {
+		if raw := q.Get(bound.param); raw != "" {
+			ts, err := time.Parse(time.RFC3339, raw)
+			if err != nil {
+				s.writeStatus(w, http.StatusBadRequest, "bad "+bound.param+": want RFC3339")
+				return
+			}
+			*bound.dst = ts
+		}
+	}
+	records := s.trail.Query(f)
+	if lim := q.Get("limit"); lim != "" {
+		n, err := strconv.Atoi(lim)
+		if err != nil || n < 0 {
+			s.writeStatus(w, http.StatusBadRequest, "bad limit")
+			return
+		}
+		if len(records) > n {
+			records = records[len(records)-n:]
+		}
+	}
+	s.writeJSON(w, http.StatusOK, records)
+}
+
+func (s *Server) readDecideRequest(w http.ResponseWriter, r *http.Request) (DecideRequest, bool) {
+	var req DecideRequest
+	ok := s.readBody(w, r, &req, http.MethodPost)
+	return req, ok
+}
+
+// readBody enforces the allowed methods, bounds the body, and decodes
+// strict JSON into out.
+func (s *Server) readBody(w http.ResponseWriter, r *http.Request, out any, methods ...string) bool {
+	allowed := false
+	for _, m := range methods {
+		if r.Method == m {
+			allowed = true
+			break
+		}
+	}
+	if !allowed {
+		s.writeStatus(w, http.StatusMethodNotAllowed, strings.Join(methods, " or ")+" only")
+		return false
+	}
+	body := http.MaxBytesReader(w, r.Body, maxBodyBytes)
+	defer func() {
+		_, _ = io.Copy(io.Discard, body)
+	}()
+	dec := json.NewDecoder(body)
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(out); err != nil {
+		s.writeStatus(w, http.StatusBadRequest, "malformed request: "+err.Error())
+		return false
+	}
+	return true
+}
+
+func (s *Server) writeError(w http.ResponseWriter, err error) {
+	status := http.StatusBadRequest
+	if errors.Is(err, core.ErrNotFound) || errors.Is(err, core.ErrNoSession) {
+		status = http.StatusNotFound
+	}
+	s.writeStatus(w, status, err.Error())
+}
+
+func (s *Server) writeStatus(w http.ResponseWriter, status int, msg string) {
+	s.writeJSON(w, status, ErrorResponse{Error: msg})
+}
+
+func (s *Server) writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	if err := json.NewEncoder(w).Encode(v); err != nil {
+		s.logger.Printf("pdp: encode response: %v", err)
+	}
+}

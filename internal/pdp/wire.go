@@ -1,0 +1,115 @@
+// Package pdp exposes a GRBAC system as a networked policy decision point
+// over HTTP/JSON, with a matching Go client. This is the deployment shape
+// the paper's §1 envisions — "resources in the home and information about
+// the residents ... will be remotely accessible" — applications anywhere in
+// the connected home (or community) mediate their accesses against one
+// policy engine.
+//
+// Endpoints:
+//
+//	POST /v1/decide  — full decision with explanation
+//	POST /v1/check   — boolean decision
+//	GET  /v1/state   — policy snapshot (for backup/inspection)
+//	GET  /v1/healthz — liveness
+package pdp
+
+import (
+	"github.com/aware-home/grbac/internal/core"
+)
+
+// Credential is the wire form of core.Credential.
+type Credential struct {
+	Subject    string  `json:"subject,omitempty"`
+	Role       string  `json:"role,omitempty"`
+	Confidence float64 `json:"confidence"`
+	Source     string  `json:"source,omitempty"`
+}
+
+// DecideRequest is the wire form of core.Request. A null (absent)
+// environment asks the server to consult its live environment source; an
+// explicit array (possibly empty) is used verbatim.
+type DecideRequest struct {
+	Subject     string       `json:"subject,omitempty"`
+	Session     string       `json:"session,omitempty"`
+	Object      string       `json:"object"`
+	Transaction string       `json:"transaction"`
+	Credentials []Credential `json:"credentials,omitempty"`
+	Environment []string     `json:"environment,omitempty"`
+}
+
+// Match is the wire form of core.Match.
+type Match struct {
+	Effect          string  `json:"effect"`
+	SubjectRole     string  `json:"subject_role"`
+	ObjectRole      string  `json:"object_role"`
+	EnvironmentRole string  `json:"environment_role"`
+	Transaction     string  `json:"transaction"`
+	Confidence      float64 `json:"confidence"`
+}
+
+// DecideResponse is the wire form of core.Decision.
+type DecideResponse struct {
+	Allowed     bool    `json:"allowed"`
+	Effect      string  `json:"effect"`
+	DefaultDeny bool    `json:"default_deny"`
+	Strategy    string  `json:"strategy"`
+	Reason      string  `json:"reason"`
+	Matches     []Match `json:"matches,omitempty"`
+}
+
+// CheckResponse is the reply to /v1/check.
+type CheckResponse struct {
+	Allowed bool `json:"allowed"`
+}
+
+// ErrorResponse is the body of every non-2xx reply.
+type ErrorResponse struct {
+	Error string `json:"error"`
+}
+
+// toCore converts a wire request into a core request.
+func (r DecideRequest) toCore() core.Request {
+	req := core.Request{
+		Subject:     core.SubjectID(r.Subject),
+		Session:     core.SessionID(r.Session),
+		Object:      core.ObjectID(r.Object),
+		Transaction: core.TransactionID(r.Transaction),
+	}
+	for _, c := range r.Credentials {
+		req.Credentials = append(req.Credentials, core.Credential{
+			Subject:    core.SubjectID(c.Subject),
+			Role:       core.RoleID(c.Role),
+			Confidence: c.Confidence,
+			Source:     c.Source,
+		})
+	}
+	if r.Environment != nil {
+		req.Environment = make([]core.RoleID, 0, len(r.Environment))
+		for _, e := range r.Environment {
+			req.Environment = append(req.Environment, core.RoleID(e))
+		}
+	}
+	return req
+}
+
+// fromDecision converts a core decision into its wire form.
+func fromDecision(d core.Decision) DecideResponse {
+	resp := DecideResponse{
+		Allowed:     d.Allowed,
+		Effect:      d.Effect.String(),
+		DefaultDeny: d.DefaultDeny,
+		Strategy:    d.Strategy,
+		Reason:      d.Reason,
+	}
+	for _, m := range d.Matches {
+		resp.Matches = append(resp.Matches, Match{
+			Effect:          m.Permission.Effect.String(),
+			SubjectRole:     string(m.SubjectRole),
+			ObjectRole:      string(m.ObjectRole),
+			EnvironmentRole: string(m.EnvironmentRole),
+			Transaction:     string(m.Permission.Transaction),
+			Confidence:      m.Confidence,
+		})
+	}
+	return resp
+}

@@ -1,0 +1,215 @@
+package policy
+
+import (
+	"fmt"
+	"sort"
+
+	"github.com/aware-home/grbac/internal/core"
+)
+
+// Severity grades a diagnostic.
+type Severity int
+
+// Diagnostic severities.
+const (
+	// SeverityInfo flags stylistic or dead-policy findings.
+	SeverityInfo Severity = iota + 1
+	// SeverityWarning flags rules whose interaction depends on the
+	// conflict strategy — the paper's role-precedence problem.
+	SeverityWarning
+)
+
+// String returns "info" or "warning".
+func (s Severity) String() string {
+	switch s {
+	case SeverityInfo:
+		return "info"
+	case SeverityWarning:
+		return "warning"
+	default:
+		return "unknown"
+	}
+}
+
+// Diagnostic is one static-analysis finding.
+type Diagnostic struct {
+	Severity Severity
+	Line     int
+	Code     string
+	Message  string
+}
+
+func (d Diagnostic) String() string {
+	return fmt.Sprintf("line %d: %s: %s: %s", d.Line, d.Severity, d.Code, d.Message)
+}
+
+// Analyze performs static analysis on a compiled policy, detecting:
+//
+//   - precedence-conflict (warning): a permit rule and a deny rule whose
+//     subject, object, environment, and transaction legs can all overlap
+//     through the hierarchy, so some request matches both and the outcome
+//     depends on the conflict strategy (paper §4.1.2, role precedence);
+//   - duplicate-rule (info): two rules with identical quadruples;
+//   - unused-role (info): a declared role never referenced by a rule,
+//     binding, SoD constraint, or hierarchy edge;
+//   - empty-subject-role (info): a subject role referenced by a rule but
+//     possessed by no declared subject (directly or via descendants).
+//
+// Analyze never mutates the policy and is deterministic: diagnostics are
+// sorted by line, then code.
+func (c *Compiled) Analyze() []Diagnostic {
+	doc := c.doc
+	sys := core.NewSystem()
+	// Rebuild the role graphs on a scratch system (Compile already proved
+	// this succeeds).
+	for _, r := range doc.Roles {
+		_ = sys.AddRole(core.Role{ID: r.ID, Kind: r.Kind})
+	}
+	for _, r := range doc.Roles {
+		for _, parent := range r.Parents {
+			_ = sys.AddRoleParent(r.Kind, r.ID, parent)
+		}
+	}
+
+	var diags []Diagnostic
+
+	// related reports whether two roles of a kind can be possessed by the
+	// same entity: equal, wildcard, or ancestor/descendant.
+	related := func(kind core.RoleKind, a, b core.RoleID, wildcard core.RoleID) bool {
+		if a == b || a == wildcard || b == wildcard {
+			return true
+		}
+		for _, anc := range sys.RoleAncestors(kind, a) {
+			if anc == b {
+				return true
+			}
+		}
+		for _, anc := range sys.RoleAncestors(kind, b) {
+			if anc == a {
+				return true
+			}
+		}
+		return false
+	}
+	txOverlap := func(a, b core.TransactionID) bool {
+		return a == b || a == core.AnyTransaction || b == core.AnyTransaction
+	}
+
+	for i := 0; i < len(doc.Rules); i++ {
+		for j := i + 1; j < len(doc.Rules); j++ {
+			a, b := doc.Rules[i], doc.Rules[j]
+			if !txOverlap(a.Transaction, b.Transaction) {
+				continue
+			}
+			if !related(core.SubjectRole, a.Subject, b.Subject, core.AnySubject) ||
+				!related(core.ObjectRole, a.Object, b.Object, core.AnyObject) ||
+				!related(core.EnvironmentRole, a.Environment, b.Environment, core.AnyEnvironment) {
+				continue
+			}
+			switch {
+			case a.Effect != b.Effect:
+				diags = append(diags, Diagnostic{
+					Severity: SeverityWarning,
+					Line:     b.Line,
+					Code:     "precedence-conflict",
+					Message: fmt.Sprintf(
+						"rule at line %d (%s %s) and rule at line %d (%s %s) can match the same request; outcome depends on the conflict strategy",
+						a.Line, a.Effect, a.Subject, b.Line, b.Effect, b.Subject),
+				})
+			case a == withLine(b, a.Line):
+				diags = append(diags, Diagnostic{
+					Severity: SeverityInfo,
+					Line:     b.Line,
+					Code:     "duplicate-rule",
+					Message:  fmt.Sprintf("identical to rule at line %d", a.Line),
+				})
+			}
+		}
+	}
+
+	// Reference tracking for unused-role.
+	used := make(map[core.RoleKind]map[core.RoleID]bool)
+	for _, k := range []core.RoleKind{core.SubjectRole, core.ObjectRole, core.EnvironmentRole} {
+		used[k] = make(map[core.RoleID]bool)
+	}
+	mark := func(kind core.RoleKind, id core.RoleID) {
+		if id != "" {
+			used[kind][id] = true
+		}
+	}
+	for _, r := range doc.Rules {
+		mark(core.SubjectRole, r.Subject)
+		mark(core.ObjectRole, r.Object)
+		mark(core.EnvironmentRole, r.Environment)
+	}
+	for _, b := range doc.Subjects {
+		for _, r := range b.Roles {
+			mark(core.SubjectRole, r)
+		}
+	}
+	for _, b := range doc.Objects {
+		for _, r := range b.Roles {
+			mark(core.ObjectRole, r)
+		}
+	}
+	for _, s := range doc.SoDs {
+		for _, r := range s.Roles {
+			mark(core.SubjectRole, r)
+		}
+	}
+	for _, r := range doc.Roles {
+		for _, parent := range r.Parents {
+			mark(r.Kind, parent)
+			mark(r.Kind, r.ID) // a child in a hierarchy is purposeful
+		}
+	}
+	for _, r := range doc.Roles {
+		if !used[r.Kind][r.ID] {
+			diags = append(diags, Diagnostic{
+				Severity: SeverityInfo,
+				Line:     r.Line,
+				Code:     "unused-role",
+				Message:  fmt.Sprintf("%s role %q is never referenced", r.Kind, r.ID),
+			})
+		}
+	}
+
+	// empty-subject-role: rule subject roles with no possessing subject.
+	possessed := make(map[core.RoleID]bool)
+	for _, b := range doc.Subjects {
+		for _, r := range b.Roles {
+			possessed[r] = true
+			for _, anc := range sys.RoleAncestors(core.SubjectRole, r) {
+				possessed[anc] = true
+			}
+		}
+	}
+	reported := make(map[core.RoleID]bool)
+	for _, r := range doc.Rules {
+		if r.Subject == core.AnySubject || possessed[r.Subject] || reported[r.Subject] {
+			continue
+		}
+		reported[r.Subject] = true
+		diags = append(diags, Diagnostic{
+			Severity: SeverityInfo,
+			Line:     r.Line,
+			Code:     "empty-subject-role",
+			Message:  fmt.Sprintf("no declared subject possesses role %q; rule can never match a known subject", r.Subject),
+		})
+	}
+
+	sort.Slice(diags, func(i, j int) bool {
+		if diags[i].Line != diags[j].Line {
+			return diags[i].Line < diags[j].Line
+		}
+		return diags[i].Code < diags[j].Code
+	})
+	return diags
+}
+
+// withLine returns a copy of r with the line replaced, for whole-value
+// comparison of rules that differ only by position.
+func withLine(r RuleDecl, line int) RuleDecl {
+	r.Line = line
+	return r
+}

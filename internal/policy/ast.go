@@ -1,0 +1,83 @@
+package policy
+
+import (
+	"github.com/aware-home/grbac/internal/core"
+	"github.com/aware-home/grbac/internal/environment"
+)
+
+// Document is a parsed policy file: an ordered list of declarations.
+type Document struct {
+	Roles        []RoleDecl
+	Subjects     []BindingDecl
+	Objects      []BindingDecl
+	Transactions []TransactionDecl
+	Rules        []RuleDecl
+	SoDs         []SoDDecl
+	Threshold    *ThresholdDecl
+	Strategy     *StrategyDecl
+}
+
+// RoleDecl declares a role of any kind, optionally with parents, and (for
+// environment roles) an activation condition.
+type RoleDecl struct {
+	Line    int
+	Kind    core.RoleKind
+	ID      core.RoleID
+	Parents []core.RoleID
+	// Condition is the activation condition for environment roles; nil
+	// for subject/object roles and for manually-activated environment
+	// roles.
+	Condition environment.Condition
+}
+
+// BindingDecl assigns roles to a subject or object:
+// "subject alice is child;" / "object tv is entertainment-devices;".
+type BindingDecl struct {
+	Line  int
+	ID    string
+	Roles []core.RoleID
+}
+
+// TransactionDecl declares a transaction: "transaction use;" or a compound
+// "transaction reorder-milk = read, order;".
+type TransactionDecl struct {
+	Line    int
+	ID      core.TransactionID
+	Actions []core.Action
+}
+
+// RuleDecl is one authorization: "grant child use entertainment-devices
+// when weekday-free-time with confidence >= 0.9;". The wildcard identifiers
+// anyone / anything / anytime / any map to the core wildcards.
+type RuleDecl struct {
+	Line          int
+	Effect        core.Effect
+	Subject       core.RoleID
+	Transaction   core.TransactionID
+	Object        core.RoleID
+	Environment   core.RoleID
+	MinConfidence float64
+}
+
+// SoDDecl declares a separation-of-duty constraint:
+// "sod static "bank" teller, auditor;".
+type SoDDecl struct {
+	Line  int
+	Name  string
+	Kind  core.SoDKind
+	Roles []core.RoleID
+}
+
+// ThresholdDecl sets the system-wide confidence threshold:
+// "threshold 0.9;".
+type ThresholdDecl struct {
+	Line  int
+	Value float64
+}
+
+// StrategyDecl selects the conflict-resolution strategy:
+// "strategy deny-overrides;" (also permit-overrides, most-specific-wins).
+type StrategyDecl struct {
+	Line int
+	Name string
+}

@@ -1,0 +1,177 @@
+package policy
+
+import (
+	"errors"
+	"fmt"
+
+	"github.com/aware-home/grbac/internal/core"
+	"github.com/aware-home/grbac/internal/environment"
+)
+
+// ErrCompile reports a semantically invalid policy (dangling references,
+// duplicate declarations, hierarchy cycles).
+var ErrCompile = errors.New("policy: compile error")
+
+// Compiled is a checked policy ready to apply to a system.
+type Compiled struct {
+	doc *Document
+}
+
+// Compile parses and checks policy source. All reference errors are
+// reported against a scratch system, so Compile never leaves a target
+// system partially configured.
+func Compile(src string) (*Compiled, error) {
+	doc, err := Parse(src)
+	if err != nil {
+		return nil, err
+	}
+	c := &Compiled{doc: doc}
+	// Dry-run against scratch targets to surface semantic errors now.
+	scratch := core.NewSystem()
+	engine := environment.NewEngine(environment.NewStore())
+	if err := c.Apply(scratch, engine); err != nil {
+		return nil, err
+	}
+	return c, nil
+}
+
+// Document exposes the parsed declarations (read-only by convention).
+func (c *Compiled) Document() *Document { return c.doc }
+
+// Apply installs the policy into the given system and, when non-nil, the
+// environment engine (for env-role conditions). The system should be
+// freshly constructed; errors leave it partially configured.
+func (c *Compiled) Apply(sys *core.System, engine *environment.Engine) error {
+	doc := c.doc
+	// Pass 1: declare all roles without parents so ordering never matters.
+	for _, r := range doc.Roles {
+		if err := sys.AddRole(core.Role{ID: r.ID, Kind: r.Kind}); err != nil {
+			return fmt.Errorf("%w: line %d: role %q: %v", ErrCompile, r.Line, r.ID, err)
+		}
+	}
+	// Pass 2: hierarchy edges.
+	for _, r := range doc.Roles {
+		for _, parent := range r.Parents {
+			if err := sys.AddRoleParent(r.Kind, r.ID, parent); err != nil {
+				return fmt.Errorf("%w: line %d: role %q extends %q: %v",
+					ErrCompile, r.Line, r.ID, parent, err)
+			}
+		}
+	}
+	// Environment conditions.
+	for _, r := range doc.Roles {
+		if r.Condition == nil {
+			continue
+		}
+		if engine == nil {
+			return fmt.Errorf("%w: line %d: role %q has a condition but no environment engine was provided",
+				ErrCompile, r.Line, r.ID)
+		}
+		if err := engine.Define(r.ID, r.Condition); err != nil {
+			return fmt.Errorf("%w: line %d: role %q: %v", ErrCompile, r.Line, r.ID, err)
+		}
+	}
+	// Transactions.
+	for _, t := range doc.Transactions {
+		tx := core.Transaction{ID: t.ID}
+		if len(t.Actions) == 0 {
+			tx.Steps = []core.Access{{Action: core.Action(t.ID)}}
+		} else {
+			for _, a := range t.Actions {
+				tx.Steps = append(tx.Steps, core.Access{Action: a})
+			}
+		}
+		if err := sys.AddTransaction(tx); err != nil {
+			return fmt.Errorf("%w: line %d: transaction %q: %v", ErrCompile, t.Line, t.ID, err)
+		}
+	}
+	// SoD constraints precede bindings so static constraints bind early.
+	for _, s := range doc.SoDs {
+		err := sys.AddSoDConstraint(core.SoDConstraint{Name: s.Name, Kind: s.Kind, Roles: s.Roles})
+		if err != nil {
+			return fmt.Errorf("%w: line %d: sod %q: %v", ErrCompile, s.Line, s.Name, err)
+		}
+	}
+	// Bindings.
+	for _, b := range doc.Subjects {
+		if !sys.HasSubject(core.SubjectID(b.ID)) {
+			if err := sys.AddSubject(core.SubjectID(b.ID)); err != nil {
+				return fmt.Errorf("%w: line %d: subject %q: %v", ErrCompile, b.Line, b.ID, err)
+			}
+		}
+		for _, r := range b.Roles {
+			if err := sys.AssignSubjectRole(core.SubjectID(b.ID), r); err != nil {
+				return fmt.Errorf("%w: line %d: subject %q is %q: %v", ErrCompile, b.Line, b.ID, r, err)
+			}
+		}
+	}
+	for _, b := range doc.Objects {
+		if !sys.HasObject(core.ObjectID(b.ID)) {
+			if err := sys.AddObject(core.ObjectID(b.ID)); err != nil {
+				return fmt.Errorf("%w: line %d: object %q: %v", ErrCompile, b.Line, b.ID, err)
+			}
+		}
+		for _, r := range b.Roles {
+			if err := sys.AssignObjectRole(core.ObjectID(b.ID), r); err != nil {
+				return fmt.Errorf("%w: line %d: object %q is %q: %v", ErrCompile, b.Line, b.ID, r, err)
+			}
+		}
+	}
+	// Rules.
+	for _, r := range doc.Rules {
+		perm := core.Permission{
+			Subject:       r.Subject,
+			Object:        r.Object,
+			Environment:   r.Environment,
+			Transaction:   r.Transaction,
+			Effect:        r.Effect,
+			MinConfidence: r.MinConfidence,
+		}
+		if err := sys.Grant(perm); err != nil {
+			return fmt.Errorf("%w: line %d: rule: %v", ErrCompile, r.Line, err)
+		}
+	}
+	if doc.Threshold != nil {
+		if err := sys.SetMinConfidence(doc.Threshold.Value); err != nil {
+			return fmt.Errorf("%w: line %d: threshold: %v", ErrCompile, doc.Threshold.Line, err)
+		}
+	}
+	if doc.Strategy != nil {
+		switch doc.Strategy.Name {
+		case "deny-overrides":
+			sys.SetConflictStrategy(core.DenyOverrides{})
+		case "permit-overrides":
+			sys.SetConflictStrategy(core.PermitOverrides{})
+		case "most-specific-wins":
+			sys.SetConflictStrategy(core.MostSpecificWins{})
+		default:
+			return fmt.Errorf("%w: line %d: unknown strategy %q",
+				ErrCompile, doc.Strategy.Line, doc.Strategy.Name)
+		}
+	}
+	return nil
+}
+
+// Build is the convenience form of Compile+Apply: it returns a fresh
+// system and engine configured from source. The engine evaluates over a
+// private empty store; use BuildWithStore when the caller needs to feed
+// environment attributes (locations, load, sensor facts).
+func Build(src string, opts ...core.Option) (*core.System, *environment.Engine, error) {
+	return BuildWithStore(src, environment.NewStore(), opts...)
+}
+
+// BuildWithStore is Build with a caller-supplied attribute store, so the
+// application (or the House model) can drive the environment the policy's
+// conditions read.
+func BuildWithStore(src string, store *environment.Store, opts ...core.Option) (*core.System, *environment.Engine, error) {
+	compiled, err := Compile(src)
+	if err != nil {
+		return nil, nil, err
+	}
+	engine := environment.NewEngine(store)
+	sys := core.NewSystem(append([]core.Option{core.WithEnvironmentSource(engine)}, opts...)...)
+	if err := compiled.Apply(sys, engine); err != nil {
+		return nil, nil, err
+	}
+	return sys, engine, nil
+}

@@ -1,0 +1,203 @@
+package policy
+
+import (
+	"fmt"
+	"strings"
+
+	"github.com/aware-home/grbac/internal/core"
+	"github.com/aware-home/grbac/internal/environment"
+)
+
+// Format renders the document back to policy-language source. The output
+// parses to a semantically identical document (Parse(d.Format()) decides
+// like d for every request), making the language a faithful serialization
+// format: policies can be programmatically built, exported, edited, and
+// re-compiled.
+//
+// Conditions render through formatCondition; conditions constructed
+// outside the parser (custom Condition implementations) render via their
+// String method, which may not be parseable — the built-in condition types
+// all round-trip.
+func (d *Document) Format() string {
+	var b strings.Builder
+	writeRoles := func(kind core.RoleKind, heading string) {
+		wrote := false
+		for _, r := range d.Roles {
+			if r.Kind != kind {
+				continue
+			}
+			if !wrote {
+				fmt.Fprintf(&b, "# %s\n", heading)
+				wrote = true
+			}
+			switch kind {
+			case core.SubjectRole:
+				b.WriteString("subject role ")
+			case core.ObjectRole:
+				b.WriteString("object role ")
+			case core.EnvironmentRole:
+				b.WriteString("env role ")
+			}
+			b.WriteString(string(r.ID))
+			if len(r.Parents) > 0 {
+				b.WriteString(" extends ")
+				b.WriteString(joinRoles(r.Parents))
+			}
+			if r.Condition != nil {
+				b.WriteString(" when ")
+				b.WriteString(formatCondition(r.Condition))
+			}
+			b.WriteString(";\n")
+		}
+		if wrote {
+			b.WriteString("\n")
+		}
+	}
+	writeRoles(core.SubjectRole, "subject roles")
+	writeRoles(core.ObjectRole, "object roles")
+	writeRoles(core.EnvironmentRole, "environment roles")
+
+	for _, s := range d.Subjects {
+		fmt.Fprintf(&b, "subject %s is %s;\n", s.ID, joinRoles(s.Roles))
+	}
+	if len(d.Subjects) > 0 {
+		b.WriteString("\n")
+	}
+	for _, o := range d.Objects {
+		fmt.Fprintf(&b, "object %s is %s;\n", o.ID, joinRoles(o.Roles))
+	}
+	if len(d.Objects) > 0 {
+		b.WriteString("\n")
+	}
+	for _, t := range d.Transactions {
+		if len(t.Actions) == 0 {
+			fmt.Fprintf(&b, "transaction %s;\n", t.ID)
+			continue
+		}
+		actions := make([]string, len(t.Actions))
+		for i, a := range t.Actions {
+			actions[i] = string(a)
+		}
+		fmt.Fprintf(&b, "transaction %s of %s;\n", t.ID, strings.Join(actions, ", "))
+	}
+	if len(d.Transactions) > 0 {
+		b.WriteString("\n")
+	}
+	for _, s := range d.SoDs {
+		fmt.Fprintf(&b, "sod %s %q %s;\n", s.Kind, s.Name, joinRoles(s.Roles))
+	}
+	if len(d.SoDs) > 0 {
+		b.WriteString("\n")
+	}
+	for _, r := range d.Rules {
+		verb := "grant"
+		if r.Effect == core.Deny {
+			verb = "deny"
+		}
+		fmt.Fprintf(&b, "%s %s %s %s", verb,
+			ruleName(r.Subject, core.AnySubject, "anyone"),
+			txName(r.Transaction),
+			ruleName(r.Object, core.AnyObject, "anything"))
+		if r.Environment != core.AnyEnvironment {
+			fmt.Fprintf(&b, " when %s", r.Environment)
+		}
+		if r.MinConfidence > 0 {
+			fmt.Fprintf(&b, " with confidence >= %g", r.MinConfidence)
+		}
+		b.WriteString(";\n")
+	}
+	if d.Threshold != nil {
+		fmt.Fprintf(&b, "\nthreshold %g;\n", d.Threshold.Value)
+	}
+	if d.Strategy != nil {
+		fmt.Fprintf(&b, "\nstrategy %s;\n", d.Strategy.Name)
+	}
+	return b.String()
+}
+
+func joinRoles(roles []core.RoleID) string {
+	parts := make([]string, len(roles))
+	for i, r := range roles {
+		parts[i] = string(r)
+	}
+	return strings.Join(parts, ", ")
+}
+
+func ruleName(id, wildcard core.RoleID, keyword string) string {
+	if id == wildcard {
+		return keyword
+	}
+	return string(id)
+}
+
+func txName(id core.TransactionID) string {
+	if id == core.AnyTransaction {
+		return "any"
+	}
+	return string(id)
+}
+
+// formatCondition renders a condition in parseable syntax. Unknown
+// condition types fall back to their String form.
+func formatCondition(c environment.Condition) string {
+	switch cond := c.(type) {
+	case environment.TimeIn:
+		return fmt.Sprintf("time %q", cond.Period.String())
+	case environment.AttrEquals:
+		return fmt.Sprintf("attr %s == %s", cond.Key, formatValue(cond.Value))
+	case environment.AttrCompare:
+		return fmt.Sprintf("attr %s %s %g", cond.Key, compareOpText(cond.Op), cond.Threshold)
+	case environment.AttrExists:
+		return fmt.Sprintf("attr %s exists", cond.Key)
+	case environment.SubjectAttrEquals:
+		return fmt.Sprintf("subject-attr %s == %s", cond.Prefix, formatValue(cond.Value))
+	case environment.All:
+		return "all(" + joinConditions(cond) + ")"
+	case environment.Any:
+		return "any(" + joinConditions(cond) + ")"
+	case environment.NotCond:
+		return "not(" + formatCondition(cond.C) + ")"
+	default:
+		return c.String()
+	}
+}
+
+func joinConditions(cs []environment.Condition) string {
+	parts := make([]string, len(cs))
+	for i, c := range cs {
+		parts[i] = formatCondition(c)
+	}
+	return strings.Join(parts, ", ")
+}
+
+func formatValue(v environment.Value) string {
+	switch v.Kind {
+	case environment.KindString:
+		return fmt.Sprintf("%q", v.Str)
+	case environment.KindNumber:
+		return fmt.Sprintf("%g", v.Num)
+	case environment.KindBool:
+		return fmt.Sprintf("%t", v.Bool)
+	default:
+		return "\"\""
+	}
+}
+
+func compareOpText(op environment.CompareOp) string {
+	switch op {
+	case environment.OpEq:
+		return "=="
+	case environment.OpNe:
+		return "!="
+	case environment.OpLt:
+		return "<"
+	case environment.OpLe:
+		return "<="
+	case environment.OpGt:
+		return ">"
+	case environment.OpGe:
+		return ">="
+	default:
+		return "=="
+	}
+}

@@ -1,0 +1,244 @@
+package policy
+
+import (
+	"math/rand"
+	"reflect"
+	"testing"
+	"testing/quick"
+	"time"
+
+	"github.com/aware-home/grbac/internal/core"
+	"github.com/aware-home/grbac/internal/environment"
+	"github.com/aware-home/grbac/internal/temporal"
+)
+
+// normalize strips source positions so structurally equal documents
+// compare equal regardless of layout.
+func normalize(d *Document) *Document {
+	cp := *d
+	cp.Roles = append([]RoleDecl(nil), d.Roles...)
+	for i := range cp.Roles {
+		cp.Roles[i].Line = 0
+	}
+	cp.Subjects = append([]BindingDecl(nil), d.Subjects...)
+	for i := range cp.Subjects {
+		cp.Subjects[i].Line = 0
+	}
+	cp.Objects = append([]BindingDecl(nil), d.Objects...)
+	for i := range cp.Objects {
+		cp.Objects[i].Line = 0
+	}
+	cp.Transactions = append([]TransactionDecl(nil), d.Transactions...)
+	for i := range cp.Transactions {
+		cp.Transactions[i].Line = 0
+	}
+	cp.Rules = append([]RuleDecl(nil), d.Rules...)
+	for i := range cp.Rules {
+		cp.Rules[i].Line = 0
+	}
+	cp.SoDs = append([]SoDDecl(nil), d.SoDs...)
+	for i := range cp.SoDs {
+		cp.SoDs[i].Line = 0
+	}
+	if d.Threshold != nil {
+		t := *d.Threshold
+		t.Line = 0
+		cp.Threshold = &t
+	}
+	if d.Strategy != nil {
+		s := *d.Strategy
+		s.Line = 0
+		cp.Strategy = &s
+	}
+	return &cp
+}
+
+func TestFormatRoundTripHomePolicy(t *testing.T) {
+	doc, err := Parse(homePolicy)
+	if err != nil {
+		t.Fatal(err)
+	}
+	again, err := Parse(doc.Format())
+	if err != nil {
+		t.Fatalf("re-parse of formatted policy failed: %v\n---\n%s", err, doc.Format())
+	}
+	if !reflect.DeepEqual(normalize(doc), normalize(again)) {
+		t.Fatalf("round trip changed the document:\n---\n%s", doc.Format())
+	}
+	// And the formatted text still compiles and decides identically.
+	sys1, eng1, err := Build(homePolicy)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sys2, eng2, err := Build(doc.Format())
+	if err != nil {
+		t.Fatal(err)
+	}
+	at := time.Date(2000, 1, 17, 20, 0, 0, 0, time.UTC)
+	for _, probe := range []struct {
+		sub core.SubjectID
+		obj core.ObjectID
+		tx  core.TransactionID
+	}{
+		{"alice", "tv", "use"},
+		{"mom", "oven", "use"},
+		{"alice", "oven", "use"},
+	} {
+		a, err := sys1.CheckAccess(core.Request{Subject: probe.sub, Object: probe.obj,
+			Transaction: probe.tx, Environment: eng1.ActiveRolesAt(at, probe.sub)})
+		if err != nil {
+			t.Fatal(err)
+		}
+		b, err := sys2.CheckAccess(core.Request{Subject: probe.sub, Object: probe.obj,
+			Transaction: probe.tx, Environment: eng2.ActiveRolesAt(at, probe.sub)})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if a != b {
+			t.Fatalf("decision divergence on %v after formatting", probe)
+		}
+	}
+}
+
+func TestFormatRoundTripDefaultHousePolicy(t *testing.T) {
+	// The shipped Aware Home policy must survive Format → Parse → Format
+	// (fixed point after one round).
+	doc, err := Parse(homePolicy)
+	if err != nil {
+		t.Fatal(err)
+	}
+	once := doc.Format()
+	doc2, err := Parse(once)
+	if err != nil {
+		t.Fatal(err)
+	}
+	twice := doc2.Format()
+	if once != twice {
+		t.Fatalf("Format is not a fixed point:\n--- once ---\n%s\n--- twice ---\n%s", once, twice)
+	}
+}
+
+// randomDocument builds a random valid document using every declaration
+// form and condition type.
+func randomDocument(rng *rand.Rand) *Document {
+	d := &Document{}
+	nSubRoles := 1 + rng.Intn(4)
+	var subRoles []core.RoleID
+	for i := 0; i < nSubRoles; i++ {
+		id := core.RoleID(string(rune('a' + i)))
+		decl := RoleDecl{Kind: core.SubjectRole, ID: id}
+		if i > 0 && rng.Intn(2) == 0 {
+			decl.Parents = []core.RoleID{subRoles[rng.Intn(len(subRoles))]}
+		}
+		d.Roles = append(d.Roles, decl)
+		subRoles = append(subRoles, id)
+	}
+	d.Roles = append(d.Roles, RoleDecl{Kind: core.ObjectRole, ID: "things"})
+	conds := []environment.Condition{
+		environment.TimeIn{Period: temporal.WorkWeek()},
+		environment.TimeIn{Period: temporal.MustParse("daily 19:00-22:00")},
+		environment.AttrEquals{Key: "mode", Value: environment.String("away")},
+		environment.AttrCompare{Key: "load", Op: environment.OpLt, Threshold: 0.5},
+		environment.AttrCompare{Key: "temp", Op: environment.OpGe, Threshold: 60},
+		environment.AttrExists{Key: "armed"},
+		environment.SubjectAttrEquals{Prefix: "location", Value: environment.String("kitchen")},
+		environment.AttrEquals{Key: "flag", Value: environment.Bool(true)},
+		environment.All{
+			environment.TimeIn{Period: temporal.Months(time.July)},
+			environment.NotCond{C: environment.AttrExists{Key: "x"}},
+		},
+		environment.Any{
+			environment.AttrCompare{Key: "n", Op: environment.OpNe, Threshold: 3},
+			environment.AttrExists{Key: "y"},
+		},
+	}
+	nEnv := 1 + rng.Intn(3)
+	var envRoles []core.RoleID
+	for i := 0; i < nEnv; i++ {
+		id := core.RoleID("env" + string(rune('0'+i)))
+		d.Roles = append(d.Roles, RoleDecl{
+			Kind: core.EnvironmentRole, ID: id,
+			Condition: conds[rng.Intn(len(conds))],
+		})
+		envRoles = append(envRoles, id)
+	}
+	d.Subjects = append(d.Subjects, BindingDecl{ID: "u1", Roles: []core.RoleID{subRoles[0]}})
+	d.Objects = append(d.Objects, BindingDecl{ID: "o1", Roles: []core.RoleID{"things"}})
+	d.Transactions = append(d.Transactions, TransactionDecl{ID: "use"})
+	if rng.Intn(2) == 0 {
+		d.Transactions = append(d.Transactions, TransactionDecl{
+			ID: "compound", Actions: []core.Action{"read", "order"},
+		})
+	}
+	if len(subRoles) >= 2 && rng.Intn(2) == 0 {
+		d.SoDs = append(d.SoDs, SoDDecl{
+			Name: "c1", Kind: core.SoDKind(1 + rng.Intn(2)),
+			Roles: []core.RoleID{subRoles[0], subRoles[1]},
+		})
+	}
+	nRules := 1 + rng.Intn(4)
+	for i := 0; i < nRules; i++ {
+		r := RuleDecl{
+			Effect:      core.Effect(1 + rng.Intn(2)),
+			Subject:     subRoles[rng.Intn(len(subRoles))],
+			Transaction: "use",
+			Object:      "things",
+			Environment: core.AnyEnvironment,
+		}
+		if rng.Intn(2) == 0 {
+			r.Environment = envRoles[rng.Intn(len(envRoles))]
+		}
+		if rng.Intn(3) == 0 {
+			r.Subject = core.AnySubject
+		}
+		if rng.Intn(3) == 0 {
+			r.MinConfidence = float64(1+rng.Intn(99)) / 100
+		}
+		d.Rules = append(d.Rules, r)
+	}
+	if rng.Intn(2) == 0 {
+		d.Threshold = &ThresholdDecl{Value: float64(rng.Intn(100)) / 100}
+	}
+	if rng.Intn(2) == 0 {
+		d.Strategy = &StrategyDecl{Name: []string{
+			"deny-overrides", "permit-overrides", "most-specific-wins",
+		}[rng.Intn(3)]}
+	}
+	return d
+}
+
+// TestFormatParseProperty: Parse(Format(doc)) == doc (up to positions) for
+// random documents built from every AST shape.
+func TestFormatParseProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		doc := randomDocument(rng)
+		parsed, err := Parse(doc.Format())
+		if err != nil {
+			t.Logf("parse failed: %v\n%s", err, doc.Format())
+			return false
+		}
+		if !reflect.DeepEqual(normalize(doc), normalize(parsed)) {
+			t.Logf("round trip mismatch:\n%s", doc.Format())
+			return false
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 120}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestFormatConditionFallback(t *testing.T) {
+	// A custom condition type renders via String (documented limitation).
+	custom := customCond{}
+	got := formatCondition(custom)
+	if got != "custom" {
+		t.Fatalf("fallback = %q", got)
+	}
+}
+
+type customCond struct{}
+
+func (customCond) Eval(environment.Context) bool { return true }
+func (customCond) String() string                { return "custom" }

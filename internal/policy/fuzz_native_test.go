@@ -1,0 +1,40 @@
+package policy
+
+import "testing"
+
+// FuzzParse is the native fuzz target for the policy parser: inputs must
+// parse or error without panicking, and any successfully parsed document
+// must survive Format → Parse.
+func FuzzParse(f *testing.F) {
+	for _, seed := range []string{
+		homePolicy,
+		"subject role a;",
+		"subject role a extends b, c;",
+		`env role e when all(time "always", attr x < 1, not(attr y exists));`,
+		"subject u is a, b;",
+		"transaction t of read, order;",
+		"grant anyone any anything;",
+		"deny a t b when e with confidence >= 0.5;",
+		`sod static "x" a, b;`,
+		"threshold 0.9;",
+		"strategy most-specific-wins;",
+		"# comment only",
+		"grant",
+		`env role e when subject-attr location == "kitchen";`,
+		"object o is ;",
+	} {
+		f.Add(seed)
+	}
+	f.Fuzz(func(t *testing.T, input string) {
+		doc, err := Parse(input)
+		if err != nil {
+			return
+		}
+		formatted := doc.Format()
+		if _, err := Parse(formatted); err != nil {
+			t.Fatalf("Format output unparseable: %v\ninput: %q\nformatted: %q",
+				err, input, formatted)
+		}
+		_, _ = Compile(input)
+	})
+}

@@ -1,0 +1,83 @@
+package policy
+
+import (
+	"math/rand"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+// TestParseNeverPanics feeds noise, truncations, and mutations of the home
+// policy to the parser and compiler; they must error cleanly, never panic.
+func TestParseNeverPanics(t *testing.T) {
+	alphabet := []byte("abcdefghijklmnopqrstuvwxyz0123456789 ;,()\"<>=!.#\n-_")
+	f := func(seed int64) (ok bool) {
+		defer func() {
+			if r := recover(); r != nil {
+				t.Logf("panic: %v", r)
+				ok = false
+			}
+		}()
+		rng := rand.New(rand.NewSource(seed))
+		var input string
+		switch rng.Intn(3) {
+		case 0: // noise
+			n := rng.Intn(200)
+			buf := make([]byte, n)
+			for i := range buf {
+				buf[i] = alphabet[rng.Intn(len(alphabet))]
+			}
+			input = string(buf)
+		case 1: // truncated valid policy
+			cut := rng.Intn(len(homePolicy))
+			input = homePolicy[:cut]
+		default: // mutated valid policy
+			buf := []byte(homePolicy)
+			for k := 0; k < 1+rng.Intn(8); k++ {
+				buf[rng.Intn(len(buf))] = alphabet[rng.Intn(len(alphabet))]
+			}
+			input = string(buf)
+		}
+		doc, err := Parse(input)
+		if err != nil {
+			return true
+		}
+		// Parsed documents must format and re-parse without panicking.
+		formatted := doc.Format()
+		if _, err := Parse(formatted); err != nil {
+			// Formatting output of a *parsed* document must stay
+			// parseable — surface this as a failure.
+			t.Logf("format output unparseable: %v\ninput:\n%s\nformatted:\n%s",
+				err, input, formatted)
+			return false
+		}
+		// Compilation may fail (dangling references), never panic.
+		_, _ = Compile(input)
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestLexerHandlesPathologicalInput covers lexer corner cases directly.
+func TestLexerHandlesPathologicalInput(t *testing.T) {
+	cases := []string{
+		"",
+		strings.Repeat(";", 1000),
+		strings.Repeat("(", 500),
+		"\"" + strings.Repeat("a", 10000),
+		"# only a comment",
+		"#",
+		"\n\n\n",
+		"\"escaped \\\" quote\";",
+		"subject role a; # trailing comment",
+		strings.Repeat("subject role x extends x;\n", 10),
+		"grant a b c with confidence >= 0.5.5;",
+		"attr <= >= == != < >",
+	}
+	for _, src := range cases {
+		// Parse must terminate and not panic; error content is free-form.
+		_, _ = Parse(src)
+	}
+}

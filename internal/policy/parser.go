@@ -1,0 +1,514 @@
+package policy
+
+import (
+	"errors"
+	"fmt"
+	"strconv"
+
+	"github.com/aware-home/grbac/internal/core"
+	"github.com/aware-home/grbac/internal/environment"
+	"github.com/aware-home/grbac/internal/temporal"
+)
+
+// ErrSyntax reports a malformed policy source.
+var ErrSyntax = errors.New("policy: syntax error")
+
+// Parse reads policy source into a Document. It performs syntactic checks
+// only; reference resolution happens in Compile.
+func Parse(src string) (*Document, error) {
+	toks, err := lex(src)
+	if err != nil {
+		return nil, fmt.Errorf("%w: %v", ErrSyntax, err)
+	}
+	p := &docParser{toks: toks}
+	doc := &Document{}
+	for p.peek().kind != tokenEOF {
+		if err := p.parseStatement(doc); err != nil {
+			return nil, err
+		}
+	}
+	return doc, nil
+}
+
+type docParser struct {
+	toks []token
+	pos  int
+}
+
+func (p *docParser) peek() token { return p.toks[p.pos] }
+func (p *docParser) peek2() token {
+	if p.pos+1 < len(p.toks) {
+		return p.toks[p.pos+1]
+	}
+	return p.toks[len(p.toks)-1]
+}
+
+func (p *docParser) next() token {
+	t := p.toks[p.pos]
+	if t.kind != tokenEOF {
+		p.pos++
+	}
+	return t
+}
+
+func (p *docParser) errf(t token, format string, args ...any) error {
+	return fmt.Errorf("%w: line %d: %s", ErrSyntax, t.line, fmt.Sprintf(format, args...))
+}
+
+func (p *docParser) expectPunct(s string) error {
+	t := p.next()
+	if t.kind != tokenPunct || t.text != s {
+		return p.errf(t, "expected %q, got %s", s, t)
+	}
+	return nil
+}
+
+func (p *docParser) expectIdent() (token, error) {
+	t := p.next()
+	if t.kind != tokenIdent {
+		return t, p.errf(t, "expected identifier, got %s", t)
+	}
+	return t, nil
+}
+
+func (p *docParser) expectKeyword(kw string) error {
+	t := p.next()
+	if t.kind != tokenIdent || t.text != kw {
+		return p.errf(t, "expected %q, got %s", kw, t)
+	}
+	return nil
+}
+
+func (p *docParser) parseStatement(doc *Document) error {
+	t := p.peek()
+	if t.kind != tokenIdent {
+		return p.errf(t, "expected statement, got %s", t)
+	}
+	switch t.text {
+	case "subject":
+		if p.peek2().text == "role" {
+			return p.parseRoleDecl(doc, core.SubjectRole)
+		}
+		return p.parseBinding(doc, true)
+	case "object":
+		if p.peek2().text == "role" {
+			return p.parseRoleDecl(doc, core.ObjectRole)
+		}
+		return p.parseBinding(doc, false)
+	case "env":
+		return p.parseRoleDecl(doc, core.EnvironmentRole)
+	case "transaction":
+		return p.parseTransaction(doc)
+	case "grant", "deny":
+		return p.parseRule(doc)
+	case "sod":
+		return p.parseSoD(doc)
+	case "threshold":
+		return p.parseThreshold(doc)
+	case "strategy":
+		return p.parseStrategy(doc)
+	default:
+		return p.errf(t, "unknown statement %q", t.text)
+	}
+}
+
+// parseStrategy: 'strategy' NAME ';'
+func (p *docParser) parseStrategy(doc *Document) error {
+	start := p.next() // strategy
+	name := p.next()
+	switch name.text {
+	case "deny-overrides", "permit-overrides", "most-specific-wins":
+	default:
+		return p.errf(name, "unknown strategy %q (want deny-overrides, permit-overrides, or most-specific-wins)", name.text)
+	}
+	if err := p.expectPunct(";"); err != nil {
+		return err
+	}
+	if doc.Strategy != nil {
+		return p.errf(start, "strategy declared twice")
+	}
+	doc.Strategy = &StrategyDecl{Line: start.line, Name: name.text}
+	return nil
+}
+
+// parseRoleDecl: ('subject'|'object'|'env') 'role' ID ('extends' list)?
+// ('when' cond)? ';'
+func (p *docParser) parseRoleDecl(doc *Document, kind core.RoleKind) error {
+	start := p.next() // subject | object | env
+	if err := p.expectKeyword("role"); err != nil {
+		return err
+	}
+	id, err := p.expectIdent()
+	if err != nil {
+		return err
+	}
+	decl := RoleDecl{Line: start.line, Kind: kind, ID: core.RoleID(id.text)}
+	if p.peek().text == "extends" {
+		p.next()
+		parents, err := p.parseIdentList()
+		if err != nil {
+			return err
+		}
+		for _, parent := range parents {
+			decl.Parents = append(decl.Parents, core.RoleID(parent))
+		}
+	}
+	if p.peek().text == "when" {
+		if kind != core.EnvironmentRole {
+			return p.errf(p.peek(), "only environment roles take a 'when' condition")
+		}
+		p.next()
+		cond, err := p.parseCondition()
+		if err != nil {
+			return err
+		}
+		decl.Condition = cond
+	}
+	if err := p.expectPunct(";"); err != nil {
+		return err
+	}
+	doc.Roles = append(doc.Roles, decl)
+	return nil
+}
+
+// parseBinding: ('subject'|'object') ID 'is' list ';'
+func (p *docParser) parseBinding(doc *Document, isSubject bool) error {
+	start := p.next() // subject | object
+	id, err := p.expectIdent()
+	if err != nil {
+		return err
+	}
+	if err := p.expectKeyword("is"); err != nil {
+		return err
+	}
+	names, err := p.parseIdentList()
+	if err != nil {
+		return err
+	}
+	if err := p.expectPunct(";"); err != nil {
+		return err
+	}
+	decl := BindingDecl{Line: start.line, ID: id.text}
+	for _, n := range names {
+		decl.Roles = append(decl.Roles, core.RoleID(n))
+	}
+	if isSubject {
+		doc.Subjects = append(doc.Subjects, decl)
+	} else {
+		doc.Objects = append(doc.Objects, decl)
+	}
+	return nil
+}
+
+// parseTransaction: 'transaction' ID ('=' actionList)? ';'
+// The '=' form is written with '==' rejected; we use 'of' keyword instead:
+// transaction reorder-milk of read, order;
+func (p *docParser) parseTransaction(doc *Document) error {
+	start := p.next() // transaction
+	id, err := p.expectIdent()
+	if err != nil {
+		return err
+	}
+	decl := TransactionDecl{Line: start.line, ID: core.TransactionID(id.text)}
+	if p.peek().text == "of" {
+		p.next()
+		actions, err := p.parseIdentList()
+		if err != nil {
+			return err
+		}
+		for _, a := range actions {
+			decl.Actions = append(decl.Actions, core.Action(a))
+		}
+	}
+	if err := p.expectPunct(";"); err != nil {
+		return err
+	}
+	doc.Transactions = append(doc.Transactions, decl)
+	return nil
+}
+
+// parseRule: ('grant'|'deny') SUBJ TX OBJ ('when' ENV)?
+// ('with' 'confidence' '>=' NUM)? ';'
+func (p *docParser) parseRule(doc *Document) error {
+	verb := p.next()
+	effect := core.Permit
+	if verb.text == "deny" {
+		effect = core.Deny
+	}
+	subj, err := p.expectIdent()
+	if err != nil {
+		return err
+	}
+	tx, err := p.expectIdent()
+	if err != nil {
+		return err
+	}
+	obj, err := p.expectIdent()
+	if err != nil {
+		return err
+	}
+	decl := RuleDecl{
+		Line:        verb.line,
+		Effect:      effect,
+		Subject:     mapWildcard(subj.text, core.AnySubject, "anyone"),
+		Transaction: mapTxWildcard(tx.text),
+		Object:      mapWildcard(obj.text, core.AnyObject, "anything"),
+		Environment: core.AnyEnvironment,
+	}
+	if p.peek().text == "when" {
+		p.next()
+		env, err := p.expectIdent()
+		if err != nil {
+			return err
+		}
+		decl.Environment = mapWildcard(env.text, core.AnyEnvironment, "anytime")
+	}
+	if p.peek().text == "with" {
+		p.next()
+		if err := p.expectKeyword("confidence"); err != nil {
+			return err
+		}
+		op := p.next()
+		if op.kind != tokenOp || op.text != ">=" {
+			return p.errf(op, "expected >=, got %s", op)
+		}
+		num := p.next()
+		if num.kind != tokenNumber {
+			return p.errf(num, "expected number, got %s", num)
+		}
+		v, err := strconv.ParseFloat(num.text, 64)
+		if err != nil || v < 0 || v > 1 {
+			return p.errf(num, "confidence must be a number in [0,1]")
+		}
+		decl.MinConfidence = v
+	}
+	if err := p.expectPunct(";"); err != nil {
+		return err
+	}
+	doc.Rules = append(doc.Rules, decl)
+	return nil
+}
+
+func mapWildcard(text string, wildcard core.RoleID, keyword string) core.RoleID {
+	if text == keyword || text == "*" {
+		return wildcard
+	}
+	return core.RoleID(text)
+}
+
+func mapTxWildcard(text string) core.TransactionID {
+	if text == "any" || text == "*" {
+		return core.AnyTransaction
+	}
+	return core.TransactionID(text)
+}
+
+// parseSoD: 'sod' ('static'|'dynamic') STRING list ';'
+func (p *docParser) parseSoD(doc *Document) error {
+	start := p.next() // sod
+	kindTok := p.next()
+	var kind core.SoDKind
+	switch kindTok.text {
+	case "static":
+		kind = core.StaticSoD
+	case "dynamic":
+		kind = core.DynamicSoD
+	default:
+		return p.errf(kindTok, "expected 'static' or 'dynamic', got %s", kindTok)
+	}
+	name := p.next()
+	if name.kind != tokenString {
+		return p.errf(name, "expected constraint name string, got %s", name)
+	}
+	roles, err := p.parseIdentList()
+	if err != nil {
+		return err
+	}
+	if err := p.expectPunct(";"); err != nil {
+		return err
+	}
+	decl := SoDDecl{Line: start.line, Name: name.text, Kind: kind}
+	for _, r := range roles {
+		decl.Roles = append(decl.Roles, core.RoleID(r))
+	}
+	doc.SoDs = append(doc.SoDs, decl)
+	return nil
+}
+
+// parseThreshold: 'threshold' NUM ';'
+func (p *docParser) parseThreshold(doc *Document) error {
+	start := p.next() // threshold
+	num := p.next()
+	if num.kind != tokenNumber {
+		return p.errf(num, "expected number, got %s", num)
+	}
+	v, err := strconv.ParseFloat(num.text, 64)
+	if err != nil || v < 0 || v > 1 {
+		return p.errf(num, "threshold must be a number in [0,1]")
+	}
+	if err := p.expectPunct(";"); err != nil {
+		return err
+	}
+	if doc.Threshold != nil {
+		return p.errf(start, "threshold declared twice")
+	}
+	doc.Threshold = &ThresholdDecl{Line: start.line, Value: v}
+	return nil
+}
+
+func (p *docParser) parseIdentList() ([]string, error) {
+	first, err := p.expectIdent()
+	if err != nil {
+		return nil, err
+	}
+	out := []string{first.text}
+	for p.peek().kind == tokenPunct && p.peek().text == "," {
+		p.next()
+		id, err := p.expectIdent()
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, id.text)
+	}
+	return out, nil
+}
+
+// parseCondition: all(...) | any(...) | not(...) | time STRING |
+// attr KEY (exists | OP value) | subject-attr PREFIX (==|!=) value
+func (p *docParser) parseCondition() (environment.Condition, error) {
+	t := p.next()
+	if t.kind != tokenIdent {
+		return nil, p.errf(t, "expected condition, got %s", t)
+	}
+	switch t.text {
+	case "all", "any":
+		if err := p.expectPunct("("); err != nil {
+			return nil, err
+		}
+		var children []environment.Condition
+		for {
+			child, err := p.parseCondition()
+			if err != nil {
+				return nil, err
+			}
+			children = append(children, child)
+			if p.peek().text == "," {
+				p.next()
+				continue
+			}
+			break
+		}
+		if err := p.expectPunct(")"); err != nil {
+			return nil, err
+		}
+		if t.text == "all" {
+			return environment.All(children), nil
+		}
+		return environment.Any(children), nil
+	case "not":
+		if err := p.expectPunct("("); err != nil {
+			return nil, err
+		}
+		child, err := p.parseCondition()
+		if err != nil {
+			return nil, err
+		}
+		if err := p.expectPunct(")"); err != nil {
+			return nil, err
+		}
+		return environment.NotCond{C: child}, nil
+	case "time":
+		s := p.next()
+		if s.kind != tokenString {
+			return nil, p.errf(s, "time wants a quoted period, got %s", s)
+		}
+		period, err := temporal.Parse(s.text)
+		if err != nil {
+			return nil, p.errf(s, "bad period %q: %v", s.text, err)
+		}
+		return environment.TimeIn{Period: period}, nil
+	case "attr":
+		key, err := p.expectIdent()
+		if err != nil {
+			return nil, err
+		}
+		nxt := p.next()
+		if nxt.kind == tokenIdent && nxt.text == "exists" {
+			return environment.AttrExists{Key: key.text}, nil
+		}
+		if nxt.kind != tokenOp {
+			return nil, p.errf(nxt, "expected operator or 'exists', got %s", nxt)
+		}
+		return p.finishAttrComparison(key.text, nxt)
+	case "subject-attr":
+		prefix, err := p.expectIdent()
+		if err != nil {
+			return nil, err
+		}
+		op := p.next()
+		if op.kind != tokenOp || (op.text != "==" && op.text != "!=") {
+			return nil, p.errf(op, "subject-attr supports == and !=, got %s", op)
+		}
+		val, err := p.parseValue()
+		if err != nil {
+			return nil, err
+		}
+		cond := environment.Condition(environment.SubjectAttrEquals{Prefix: prefix.text, Value: val})
+		if op.text == "!=" {
+			cond = environment.NotCond{C: cond}
+		}
+		return cond, nil
+	default:
+		return nil, p.errf(t, "unknown condition %q", t.text)
+	}
+}
+
+func (p *docParser) finishAttrComparison(key string, op token) (environment.Condition, error) {
+	valTok := p.peek()
+	val, err := p.parseValue()
+	if err != nil {
+		return nil, err
+	}
+	if val.Kind == environment.KindNumber {
+		cmp, ok := map[string]environment.CompareOp{
+			"==": environment.OpEq, "!=": environment.OpNe,
+			"<": environment.OpLt, "<=": environment.OpLe,
+			">": environment.OpGt, ">=": environment.OpGe,
+		}[op.text]
+		if !ok {
+			return nil, p.errf(op, "unknown operator %q", op.text)
+		}
+		return environment.AttrCompare{Key: key, Op: cmp, Threshold: val.Num}, nil
+	}
+	// String and bool values support equality only.
+	switch op.text {
+	case "==":
+		return environment.AttrEquals{Key: key, Value: val}, nil
+	case "!=":
+		return environment.NotCond{C: environment.AttrEquals{Key: key, Value: val}}, nil
+	default:
+		return nil, p.errf(valTok, "operator %q needs a numeric value", op.text)
+	}
+}
+
+func (p *docParser) parseValue() (environment.Value, error) {
+	t := p.next()
+	switch t.kind {
+	case tokenString:
+		return environment.String(t.text), nil
+	case tokenNumber:
+		v, err := strconv.ParseFloat(t.text, 64)
+		if err != nil {
+			return environment.Value{}, p.errf(t, "bad number %q", t.text)
+		}
+		return environment.Number(v), nil
+	case tokenIdent:
+		switch t.text {
+		case "true":
+			return environment.Bool(true), nil
+		case "false":
+			return environment.Bool(false), nil
+		}
+	}
+	return environment.Value{}, p.errf(t, "expected value, got %s", t)
+}

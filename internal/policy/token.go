@@ -1,0 +1,161 @@
+// Package policy implements a small declarative language for writing GRBAC
+// policies, addressing the paper's central usability requirement: "the
+// system must make it very easy for a homeowner to define and manage
+// security policies" (§3). A complete household policy reads like:
+//
+//	subject role family-member;
+//	subject role child extends family-member;
+//	object role entertainment-devices;
+//	env role weekday-free-time when all(time "weekly mon-fri",
+//	                                    time "daily 19:00-22:00");
+//
+//	subject alice is child;
+//	object tv is entertainment-devices;
+//	transaction use;
+//
+//	grant child use entertainment-devices when weekday-free-time;
+//	deny child use dangerous-appliances;
+//
+// Source compiles to a core.System plus an environment.Engine configuration
+// (Compile / Apply), and Analyze performs the static conflict detection the
+// paper motivates under role precedence.
+package policy
+
+import (
+	"fmt"
+	"strings"
+	"unicode"
+)
+
+// tokenKind classifies lexer output.
+type tokenKind int
+
+const (
+	tokenIdent tokenKind = iota + 1
+	tokenNumber
+	tokenString
+	tokenPunct // ; , ( )
+	tokenOp    // == != < <= > >=
+	tokenEOF
+)
+
+func (k tokenKind) String() string {
+	switch k {
+	case tokenIdent:
+		return "identifier"
+	case tokenNumber:
+		return "number"
+	case tokenString:
+		return "string"
+	case tokenPunct:
+		return "punctuation"
+	case tokenOp:
+		return "operator"
+	case tokenEOF:
+		return "end of input"
+	default:
+		return "unknown"
+	}
+}
+
+// token is one lexeme with its source line for error reporting.
+type token struct {
+	kind tokenKind
+	text string
+	line int
+}
+
+func (t token) String() string {
+	if t.kind == tokenEOF {
+		return "end of input"
+	}
+	return fmt.Sprintf("%q", t.text)
+}
+
+// lex tokenizes policy source. '#' starts a comment running to end of line.
+func lex(src string) ([]token, error) {
+	var toks []token
+	line := 1
+	i := 0
+	for i < len(src) {
+		c := src[i]
+		switch {
+		case c == '\n':
+			line++
+			i++
+		case c == ' ' || c == '\t' || c == '\r':
+			i++
+		case c == '#':
+			for i < len(src) && src[i] != '\n' {
+				i++
+			}
+		case c == ';' || c == ',' || c == '(' || c == ')':
+			toks = append(toks, token{tokenPunct, string(c), line})
+			i++
+		case c == '=' || c == '!' || c == '<' || c == '>':
+			op := string(c)
+			if i+1 < len(src) && src[i+1] == '=' {
+				op += "="
+				i++
+			}
+			i++
+			if op == "=" || op == "!" {
+				return nil, fmt.Errorf("policy: line %d: unexpected %q (did you mean %q?)", line, op, op+"=")
+			}
+			toks = append(toks, token{tokenOp, op, line})
+		case c == '"':
+			j := i + 1
+			var b strings.Builder
+			closed := false
+			for j < len(src) {
+				if src[j] == '\\' && j+1 < len(src) {
+					b.WriteByte(src[j+1])
+					j += 2
+					continue
+				}
+				if src[j] == '"' {
+					closed = true
+					break
+				}
+				if src[j] == '\n' {
+					break
+				}
+				b.WriteByte(src[j])
+				j++
+			}
+			if !closed {
+				return nil, fmt.Errorf("policy: line %d: unterminated string", line)
+			}
+			toks = append(toks, token{tokenString, b.String(), line})
+			i = j + 1
+		case isDigit(c) || (c == '.' && i+1 < len(src) && isDigit(src[i+1])):
+			j := i
+			for j < len(src) && (isDigit(src[j]) || src[j] == '.') {
+				j++
+			}
+			toks = append(toks, token{tokenNumber, src[i:j], line})
+			i = j
+		case isIdentStart(rune(c)):
+			j := i
+			for j < len(src) && isIdentRune(rune(src[j])) {
+				j++
+			}
+			toks = append(toks, token{tokenIdent, src[i:j], line})
+			i = j
+		default:
+			return nil, fmt.Errorf("policy: line %d: unexpected character %q", line, c)
+		}
+	}
+	toks = append(toks, token{tokenEOF, "", line})
+	return toks, nil
+}
+
+func isDigit(c byte) bool { return c >= '0' && c <= '9' }
+
+func isIdentStart(r rune) bool {
+	return unicode.IsLetter(r) || r == '_' || r == '*'
+}
+
+func isIdentRune(r rune) bool {
+	return unicode.IsLetter(r) || unicode.IsDigit(r) || r == '_' || r == '-' || r == '.' || r == '*'
+}

@@ -1,0 +1,65 @@
+// Package sensor simulates the Aware Home's identification infrastructure:
+// the Smart Floor, face recognition, and voice recognition described in the
+// GRBAC paper (§3, §5.2). Sensors produce Observations — assertions that a
+// particular subject, or a holder of a particular subject role, is present,
+// with a confidence level. An Authenticator fuses observations into the
+// core.CredentialSet that accompanies access requests, realizing the
+// paper's "partial authentication".
+//
+// The paper's worked numbers — the Smart Floor identifies Alice with 75%
+// accuracy but authenticates her into the Child role with 98% accuracy —
+// fall out of the weight-kernel model in SmartFloor; see its documentation.
+package sensor
+
+import (
+	"fmt"
+	"time"
+
+	"github.com/aware-home/grbac/internal/core"
+)
+
+// Observation is one identification assertion produced by a sensor: either
+// "subject S is present" or "a holder of role R is present", with the
+// sensor's confidence in [0,1].
+type Observation struct {
+	// Sensor names the producing device ("smart-floor", "face-recognition").
+	Sensor string
+	// Subject is the asserted identity; empty for role observations.
+	Subject core.SubjectID
+	// Role is the asserted subject role; empty for identity observations.
+	Role core.RoleID
+	// Confidence is the sensor's confidence in [0,1].
+	Confidence float64
+	// Time is when the observation was made.
+	Time time.Time
+}
+
+// Validate reports whether the observation is well-formed.
+func (o Observation) Validate() error {
+	if (o.Subject == "") == (o.Role == "") {
+		return fmt.Errorf("%w: observation must assert exactly one of subject or role", core.ErrInvalid)
+	}
+	if o.Confidence < 0 || o.Confidence > 1 {
+		return fmt.Errorf("%w: observation confidence %v outside [0,1]", core.ErrInvalid, o.Confidence)
+	}
+	return nil
+}
+
+// Fuse combines confidences from independent evidence sources for the same
+// hypothesis: the probability that at least one source is right, assuming
+// independence: 1 - ∏(1 - c_i). Fusing any list containing 1.0 yields 1.0;
+// fusing nothing yields 0. Fusion is monotone: adding evidence never lowers
+// the result.
+func Fuse(confidences []float64) float64 {
+	pNone := 1.0
+	for _, c := range confidences {
+		if c < 0 {
+			c = 0
+		}
+		if c > 1 {
+			c = 1
+		}
+		pNone *= 1 - c
+	}
+	return 1 - pNone
+}

@@ -1,0 +1,190 @@
+package sensor
+
+import (
+	"fmt"
+	"math"
+	"time"
+
+	"github.com/aware-home/grbac/internal/core"
+)
+
+// WeightEntry registers one household member's official weight with the
+// Smart Floor (the paper's "internal, official weight for Alice, 94
+// pounds").
+type WeightEntry struct {
+	Subject core.SubjectID
+	Pounds  float64
+}
+
+// WeightRange classifies a weight band into a subject role: the Smart
+// Floor "knows the approximate weight of children in the household", so a
+// reading within the child band authenticates the walker into the Child
+// role directly.
+type WeightRange struct {
+	Role core.RoleID
+	Min  float64
+	Max  float64
+}
+
+// SmartFloor simulates the Smart Floor / smart carpet (paper [12]): it
+// senses the weight of a walker and produces
+//
+//   - one identity observation per registered resident whose official
+//     weight is within Tolerance of the reading, with confidence
+//     IdentityAccuracy scaled by match quality and divided by ambiguity
+//     (two residents of similar weight halve each other's confidence); and
+//   - one role observation per weight band containing the reading, with
+//     confidence RoleAccuracy scaled by how far the reading is from the
+//     band's edges.
+//
+// With the defaults (IdentityAccuracy 0.75, RoleAccuracy 0.98) and a
+// household where Alice, 94 lb, is the only resident near 94 lb and the
+// child band is 40–110 lb, a 94 lb reading reproduces the paper's numbers:
+// Alice at 75%, Child at 98%.
+type SmartFloor struct {
+	// IdentityAccuracy is the confidence of an exact, unambiguous weight
+	// match (default 0.75).
+	IdentityAccuracy float64
+	// RoleAccuracy is the confidence of a dead-center band match
+	// (default 0.98).
+	RoleAccuracy float64
+	// Tolerance is the identity matching half-width in pounds
+	// (default 8).
+	Tolerance float64
+	// Registry lists residents' official weights.
+	Registry []WeightEntry
+	// Bands lists role weight bands.
+	Bands []WeightRange
+}
+
+// NewSmartFloor builds a Smart Floor with the paper's accuracies.
+func NewSmartFloor(registry []WeightEntry, bands []WeightRange) *SmartFloor {
+	return &SmartFloor{
+		IdentityAccuracy: 0.75,
+		RoleAccuracy:     0.98,
+		Tolerance:        8,
+		Registry:         append([]WeightEntry(nil), registry...),
+		Bands:            append([]WeightRange(nil), bands...),
+	}
+}
+
+// Name returns "smart-floor".
+func (f *SmartFloor) Name() string { return "smart-floor" }
+
+// Sense converts one weight reading into observations, stamped with t.
+func (f *SmartFloor) Sense(pounds float64, t time.Time) []Observation {
+	var out []Observation
+	// Identity hypotheses: kernel-weighted, ambiguity-normalized.
+	type cand struct {
+		subject core.SubjectID
+		quality float64
+	}
+	var cands []cand
+	total := 0.0
+	for _, entry := range f.Registry {
+		d := math.Abs(pounds - entry.Pounds)
+		if d > f.Tolerance {
+			continue
+		}
+		q := 1 - d/f.Tolerance
+		cands = append(cands, cand{entry.Subject, q})
+		total += q
+	}
+	for _, c := range cands {
+		conf := f.IdentityAccuracy * c.quality
+		if total > 1 { // ambiguous: share the evidence
+			conf = f.IdentityAccuracy * c.quality / total
+		}
+		out = append(out, Observation{
+			Sensor: f.Name(), Subject: c.subject, Confidence: conf, Time: t,
+		})
+	}
+	// Role hypotheses: edge-distance-scaled band membership.
+	for _, band := range f.Bands {
+		if pounds < band.Min || pounds > band.Max {
+			continue
+		}
+		halfWidth := (band.Max - band.Min) / 2
+		if halfWidth <= 0 {
+			continue
+		}
+		center := (band.Min + band.Max) / 2
+		edge := math.Abs(pounds-center) / halfWidth  // 0 center .. 1 edge
+		conf := f.RoleAccuracy * (1 - 0.5*edge*edge) // gentle falloff
+		out = append(out, Observation{
+			Sensor: f.Name(), Role: band.Role, Confidence: conf, Time: t,
+		})
+	}
+	return out
+}
+
+// Recognizer simulates a biometric identifier (face or voice recognition)
+// with a fixed accuracy: "face recognition is 90% accurate, while voice
+// recognition is only 70% accurate" (§3). Recognize returns an identity
+// observation at the configured accuracy for a known subject and nothing
+// for strangers.
+type Recognizer struct {
+	// Kind names the modality ("face-recognition", "voice-recognition").
+	Kind string
+	// Accuracy is the per-recognition confidence.
+	Accuracy float64
+	// Known lists enrolled subjects.
+	Known map[core.SubjectID]bool
+}
+
+// NewFaceRecognizer builds a 90%-accurate face recognizer over the
+// enrolled subjects.
+func NewFaceRecognizer(subjects ...core.SubjectID) *Recognizer {
+	return newRecognizer("face-recognition", 0.90, subjects)
+}
+
+// NewVoiceRecognizer builds a 70%-accurate voice recognizer over the
+// enrolled subjects.
+func NewVoiceRecognizer(subjects ...core.SubjectID) *Recognizer {
+	return newRecognizer("voice-recognition", 0.70, subjects)
+}
+
+func newRecognizer(kind string, accuracy float64, subjects []core.SubjectID) *Recognizer {
+	known := make(map[core.SubjectID]bool, len(subjects))
+	for _, s := range subjects {
+		known[s] = true
+	}
+	return &Recognizer{Kind: kind, Accuracy: accuracy, Known: known}
+}
+
+// Name returns the modality name.
+func (r *Recognizer) Name() string { return r.Kind }
+
+// Recognize observes the given subject if enrolled; strangers produce no
+// observation.
+func (r *Recognizer) Recognize(subject core.SubjectID, t time.Time) []Observation {
+	if !r.Known[subject] {
+		return nil
+	}
+	return []Observation{{
+		Sensor: r.Kind, Subject: subject, Confidence: r.Accuracy, Time: t,
+	}}
+}
+
+// Badge simulates an explicit strong authenticator (PIN pad, key fob): a
+// successful badge-in is a full-confidence identity observation.
+type Badge struct{}
+
+// Name returns "badge".
+func (Badge) Name() string { return "badge" }
+
+// Swipe produces a confidence-1 identity observation.
+func (Badge) Swipe(subject core.SubjectID, t time.Time) []Observation {
+	return []Observation{{Sensor: "badge", Subject: subject, Confidence: 1, Time: t}}
+}
+
+// String renders an observation for logs.
+func (o Observation) String() string {
+	target := string(o.Subject)
+	kind := "subject"
+	if o.Role != "" {
+		target = string(o.Role)
+		kind = "role"
+	}
+	return fmt.Sprintf("%s: %s %q @ %.2f", o.Sensor, kind, target, o.Confidence)
+}

@@ -1,0 +1,83 @@
+// Package store persists GRBAC policy snapshots as versioned JSON files,
+// giving the prototype system durable policies across restarts. Writes are
+// atomic (temp file + rename) so a crash mid-save never corrupts the
+// previous snapshot.
+package store
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"os"
+	"path/filepath"
+	"time"
+
+	"github.com/aware-home/grbac/internal/core"
+)
+
+// Version is the current snapshot format version.
+const Version = 1
+
+// ErrVersion reports a snapshot produced by an incompatible format.
+var ErrVersion = errors.New("store: unsupported snapshot version")
+
+// Snapshot is the on-disk envelope around a core.State.
+type Snapshot struct {
+	Version int        `json:"version"`
+	SavedAt time.Time  `json:"saved_at"`
+	State   core.State `json:"state"`
+}
+
+// Save writes the system's current policy state to path atomically.
+func Save(path string, sys *core.System, at time.Time) error {
+	snap := Snapshot{Version: Version, SavedAt: at, State: sys.Export()}
+	raw, err := json.MarshalIndent(snap, "", "  ")
+	if err != nil {
+		return fmt.Errorf("store: encode: %w", err)
+	}
+	dir := filepath.Dir(path)
+	tmp, err := os.CreateTemp(dir, ".grbac-snapshot-*")
+	if err != nil {
+		return fmt.Errorf("store: temp file: %w", err)
+	}
+	tmpName := tmp.Name()
+	defer func() {
+		// Best effort cleanup if we bail before the rename.
+		_ = os.Remove(tmpName)
+	}()
+	if _, err := tmp.Write(raw); err != nil {
+		_ = tmp.Close()
+		return fmt.Errorf("store: write: %w", err)
+	}
+	if err := tmp.Sync(); err != nil {
+		_ = tmp.Close()
+		return fmt.Errorf("store: sync: %w", err)
+	}
+	if err := tmp.Close(); err != nil {
+		return fmt.Errorf("store: close: %w", err)
+	}
+	if err := os.Rename(tmpName, path); err != nil {
+		return fmt.Errorf("store: rename: %w", err)
+	}
+	return nil
+}
+
+// Load reads a snapshot file and reconstructs a fresh system from it.
+func Load(path string, opts ...core.Option) (*core.System, Snapshot, error) {
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		return nil, Snapshot{}, fmt.Errorf("store: read: %w", err)
+	}
+	var snap Snapshot
+	if err := json.Unmarshal(raw, &snap); err != nil {
+		return nil, Snapshot{}, fmt.Errorf("store: decode: %w", err)
+	}
+	if snap.Version != Version {
+		return nil, Snapshot{}, fmt.Errorf("%w: got %d, want %d", ErrVersion, snap.Version, Version)
+	}
+	sys := core.NewSystem(opts...)
+	if err := sys.Import(snap.State); err != nil {
+		return nil, Snapshot{}, fmt.Errorf("store: import: %w", err)
+	}
+	return sys, snap, nil
+}

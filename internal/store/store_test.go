@@ -1,0 +1,160 @@
+package store
+
+import (
+	"errors"
+	"os"
+	"path/filepath"
+	"reflect"
+	"testing"
+	"time"
+
+	"github.com/aware-home/grbac/internal/core"
+	"github.com/aware-home/grbac/internal/policy"
+)
+
+const testPolicy = `
+subject role family-member;
+subject role child extends family-member;
+object role entertainment-devices;
+env role weekday-free-time;
+subject alice is child;
+object tv is entertainment-devices;
+transaction use;
+grant child use entertainment-devices when weekday-free-time;
+threshold 0.25;
+`
+
+func buildSystem(t *testing.T) *core.System {
+	t.Helper()
+	compiled, err := policy.Compile(testPolicy)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sys := core.NewSystem()
+	if err := compiled.Apply(sys, nil); err != nil {
+		t.Fatal(err)
+	}
+	return sys
+}
+
+var savedAt = time.Date(2000, 1, 17, 9, 0, 0, 0, time.UTC)
+
+func TestSaveLoadRoundTrip(t *testing.T) {
+	sys := buildSystem(t)
+	path := filepath.Join(t.TempDir(), "policy.json")
+	if err := Save(path, sys, savedAt); err != nil {
+		t.Fatalf("Save: %v", err)
+	}
+	restored, snap, err := Load(path)
+	if err != nil {
+		t.Fatalf("Load: %v", err)
+	}
+	if snap.Version != Version || !snap.SavedAt.Equal(savedAt) {
+		t.Fatalf("snapshot envelope = %+v", snap)
+	}
+	if !reflect.DeepEqual(restored.Export(), sys.Export()) {
+		t.Fatal("restored state differs")
+	}
+	// Behaviour preserved.
+	req := core.Request{Subject: "alice", Object: "tv", Transaction: "use",
+		Environment: []core.RoleID{"weekday-free-time"}}
+	ok1, err := sys.CheckAccess(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ok2, err := restored.CheckAccess(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ok1 != ok2 || !ok1 {
+		t.Fatalf("decisions differ: %v vs %v", ok1, ok2)
+	}
+	if restored.MinConfidence() != 0.25 {
+		t.Fatalf("threshold = %v", restored.MinConfidence())
+	}
+}
+
+func TestSaveIsAtomic(t *testing.T) {
+	sys := buildSystem(t)
+	dir := t.TempDir()
+	path := filepath.Join(dir, "policy.json")
+	if err := Save(path, sys, savedAt); err != nil {
+		t.Fatal(err)
+	}
+	// Overwrite with a second save; no temp files may remain.
+	if err := Save(path, sys, savedAt.Add(time.Hour)); err != nil {
+		t.Fatal(err)
+	}
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(entries) != 1 || entries[0].Name() != "policy.json" {
+		t.Fatalf("directory contents = %v", entries)
+	}
+	_, snap, err := Load(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !snap.SavedAt.Equal(savedAt.Add(time.Hour)) {
+		t.Fatal("second save not visible")
+	}
+}
+
+func TestSaveErrors(t *testing.T) {
+	sys := buildSystem(t)
+	// Unwritable directory: temp-file creation fails.
+	if err := Save(filepath.Join(t.TempDir(), "no-such-dir", "x.json"), sys, savedAt); err == nil {
+		t.Fatal("Save into missing directory succeeded")
+	}
+	// Rename onto a directory fails after a successful write.
+	dir := t.TempDir()
+	target := filepath.Join(dir, "taken")
+	if err := os.Mkdir(target, 0o700); err != nil {
+		t.Fatal(err)
+	}
+	if err := Save(target, sys, savedAt); err == nil {
+		t.Fatal("Save over a directory succeeded")
+	}
+	// The failed save must not leave temp files behind.
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(entries) != 1 {
+		t.Fatalf("leftover files after failed save: %v", entries)
+	}
+}
+
+func TestLoadErrors(t *testing.T) {
+	dir := t.TempDir()
+	// Missing file.
+	if _, _, err := Load(filepath.Join(dir, "missing.json")); err == nil {
+		t.Fatal("missing file loaded")
+	}
+	// Corrupt JSON.
+	bad := filepath.Join(dir, "bad.json")
+	if err := os.WriteFile(bad, []byte("{nope"), 0o600); err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := Load(bad); err == nil {
+		t.Fatal("corrupt file loaded")
+	}
+	// Wrong version.
+	wrong := filepath.Join(dir, "wrong.json")
+	if err := os.WriteFile(wrong, []byte(`{"version": 99, "state": {}}`), 0o600); err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := Load(wrong); !errors.Is(err, ErrVersion) {
+		t.Fatalf("wrong version error = %v, want ErrVersion", err)
+	}
+	// Invalid state.
+	invalid := filepath.Join(dir, "invalid.json")
+	if err := os.WriteFile(invalid,
+		[]byte(`{"version": 1, "state": {"min_confidence": 7}}`), 0o600); err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := Load(invalid); !errors.Is(err, core.ErrInvalid) {
+		t.Fatalf("invalid state error = %v, want ErrInvalid", err)
+	}
+}

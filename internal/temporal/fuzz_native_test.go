@@ -1,0 +1,52 @@
+package temporal
+
+import (
+	"testing"
+	"time"
+)
+
+// FuzzParse is the native fuzz target for the period parser: any input
+// must either error or yield a period that evaluates and round-trips
+// through String without panicking. Seeds run under plain `go test`;
+// `go test -fuzz=FuzzParse ./internal/temporal` explores further.
+func FuzzParse(f *testing.F) {
+	for _, seed := range []string{
+		"always",
+		"never",
+		"daily 19:00-22:00",
+		"daily 22:00-06:00",
+		"weekly mon-fri",
+		"weekly fri-mon",
+		"months jul,aug",
+		"monthdays 1,15",
+		"monthly 1st mon",
+		"monthly last fri",
+		"on 2000-01-17",
+		"between 2000-01-17T08:00:00Z and 2000-01-17T13:00:00Z",
+		"weekly mon-fri and daily 09:00-17:00 and months jul",
+		"not (weekly sat,sun) or monthly 1st mon",
+		"((always))",
+		"daily 24:00-00:00",
+		"between x and y",
+		"weekly ,",
+		"monthdays 0",
+	} {
+		f.Add(seed)
+	}
+	probe := time.Date(2000, 7, 3, 12, 0, 0, 0, time.UTC)
+	f.Fuzz(func(t *testing.T, input string) {
+		p, err := Parse(input)
+		if err != nil {
+			return
+		}
+		_ = p.Contains(probe)
+		rendered := p.String()
+		q, err := Parse(rendered)
+		if err != nil {
+			t.Fatalf("String output unparseable: %q -> %q: %v", input, rendered, err)
+		}
+		if p.Contains(probe) != q.Contains(probe) {
+			t.Fatalf("round trip changed semantics at probe: %q", input)
+		}
+	})
+}

@@ -1,0 +1,68 @@
+package temporal
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+	"time"
+)
+
+// TestParseNeverPanics feeds random byte soup and mutated valid inputs to
+// Parse; it must return a value or an error, never panic, and successful
+// parses must evaluate without panicking.
+func TestParseNeverPanics(t *testing.T) {
+	valid := []string{
+		"always",
+		"daily 19:00-22:00",
+		"weekly mon-fri and daily 09:00-17:00",
+		"monthly 1st mon or months jul",
+		"not (weekly sat,sun)",
+		"between 2000-01-17T08:00:00Z and 2000-01-17T13:00:00Z",
+	}
+	alphabet := []byte("abcdefghijklmnopqrstuvwxyz0123456789 :-,()\"TZ")
+	probe := time.Date(2000, 7, 3, 12, 0, 0, 0, time.UTC)
+
+	f := func(seed int64) (ok bool) {
+		defer func() {
+			if r := recover(); r != nil {
+				t.Logf("panic: %v", r)
+				ok = false
+			}
+		}()
+		rng := rand.New(rand.NewSource(seed))
+		var input string
+		switch rng.Intn(3) {
+		case 0: // pure noise
+			n := rng.Intn(60)
+			buf := make([]byte, n)
+			for i := range buf {
+				buf[i] = alphabet[rng.Intn(len(alphabet))]
+			}
+			input = string(buf)
+		case 1: // mutated valid expression
+			base := valid[rng.Intn(len(valid))]
+			buf := []byte(base)
+			for k := 0; k < 1+rng.Intn(4); k++ {
+				if len(buf) == 0 {
+					break
+				}
+				buf[rng.Intn(len(buf))] = alphabet[rng.Intn(len(alphabet))]
+			}
+			input = string(buf)
+		default: // random concatenation of valid fragments
+			input = valid[rng.Intn(len(valid))] + " " +
+				[]string{"and", "or", ""}[rng.Intn(3)] + " " +
+				valid[rng.Intn(len(valid))]
+		}
+		p, err := Parse(input)
+		if err != nil {
+			return true
+		}
+		_ = p.Contains(probe)
+		_ = p.String()
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Fatal(err)
+	}
+}

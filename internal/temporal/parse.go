@@ -1,0 +1,294 @@
+package temporal
+
+import (
+	"errors"
+	"fmt"
+	"strconv"
+	"strings"
+	"time"
+)
+
+// ErrParse reports a malformed period expression.
+var ErrParse = errors.New("temporal: parse error")
+
+// Parse reads a period expression in the compact syntax produced by
+// Period.String and used by the policy language:
+//
+//	always | never
+//	daily HH:MM-HH:MM
+//	weekly mon-fri | weekly sat,sun
+//	months jul,aug
+//	monthdays 1,15
+//	monthly 1st mon | monthly last fri
+//	between 2000-01-17T08:00:00Z and 2000-01-17T13:00:00Z
+//	on 2000-01-17
+//	not (expr) | (expr) and (expr) | (expr) or (expr)
+//
+// "and" binds tighter than "or"; parentheses group. The paper's
+// "weekday mornings in July" is:
+//
+//	weekly mon-fri and daily 06:00-12:00 and months jul
+func Parse(input string) (Period, error) {
+	toks := tokenize(input)
+	if len(toks) == 0 {
+		return nil, fmt.Errorf("%w: empty expression", ErrParse)
+	}
+	p := &parser{toks: toks}
+	period, err := p.parseOr()
+	if err != nil {
+		return nil, err
+	}
+	if p.pos != len(p.toks) {
+		return nil, fmt.Errorf("%w: trailing tokens at %q", ErrParse, p.toks[p.pos])
+	}
+	return period, nil
+}
+
+// MustParse is Parse that panics on error, for statically-known expressions
+// in tests and examples.
+func MustParse(input string) Period {
+	p, err := Parse(input)
+	if err != nil {
+		panic(err)
+	}
+	return p
+}
+
+func tokenize(input string) []string {
+	input = strings.ReplaceAll(input, "(", " ( ")
+	input = strings.ReplaceAll(input, ")", " ) ")
+	return strings.Fields(strings.ToLower(input))
+}
+
+type parser struct {
+	toks []string
+	pos  int
+}
+
+func (p *parser) peek() string {
+	if p.pos < len(p.toks) {
+		return p.toks[p.pos]
+	}
+	return ""
+}
+
+func (p *parser) next() string {
+	t := p.peek()
+	if t != "" {
+		p.pos++
+	}
+	return t
+}
+
+func (p *parser) parseOr() (Period, error) {
+	left, err := p.parseAnd()
+	if err != nil {
+		return nil, err
+	}
+	terms := []Period{left}
+	for p.peek() == "or" {
+		p.next()
+		right, err := p.parseAnd()
+		if err != nil {
+			return nil, err
+		}
+		terms = append(terms, right)
+	}
+	if len(terms) == 1 {
+		return terms[0], nil
+	}
+	return Or(terms), nil
+}
+
+func (p *parser) parseAnd() (Period, error) {
+	left, err := p.parseUnary()
+	if err != nil {
+		return nil, err
+	}
+	terms := []Period{left}
+	for p.peek() == "and" {
+		p.next()
+		right, err := p.parseUnary()
+		if err != nil {
+			return nil, err
+		}
+		terms = append(terms, right)
+	}
+	if len(terms) == 1 {
+		return terms[0], nil
+	}
+	return And(terms), nil
+}
+
+func (p *parser) parseUnary() (Period, error) {
+	switch p.peek() {
+	case "not":
+		p.next()
+		inner, err := p.parseUnary()
+		if err != nil {
+			return nil, err
+		}
+		return Not{P: inner}, nil
+	case "(":
+		p.next()
+		inner, err := p.parseOr()
+		if err != nil {
+			return nil, err
+		}
+		if p.next() != ")" {
+			return nil, fmt.Errorf("%w: missing )", ErrParse)
+		}
+		return inner, nil
+	default:
+		return p.parsePrim()
+	}
+}
+
+func (p *parser) parsePrim() (Period, error) {
+	switch tok := p.next(); tok {
+	case "always":
+		return Always{}, nil
+	case "never":
+		return Never{}, nil
+	case "daily":
+		arg := p.next()
+		parts := strings.SplitN(arg, "-", 2)
+		if len(parts) != 2 {
+			return nil, fmt.Errorf("%w: daily wants HH:MM-HH:MM, got %q", ErrParse, arg)
+		}
+		w, err := NewDailyWindow(parts[0], parts[1])
+		if err != nil {
+			return nil, fmt.Errorf("%w: %v", ErrParse, err)
+		}
+		return w, nil
+	case "weekly":
+		return parseDayList(p.next())
+	case "months":
+		return parseMonthList(p.next())
+	case "monthdays":
+		return parseMonthDayList(p.next())
+	case "monthly":
+		ord, day := p.next(), p.next()
+		n, ok := map[string]int{"1st": 1, "2nd": 2, "3rd": 3, "4th": 4, "5th": 5, "last": -1}[ord]
+		if !ok {
+			return nil, fmt.Errorf("%w: bad ordinal %q", ErrParse, ord)
+		}
+		d, ok := parseDayName(day)
+		if !ok {
+			return nil, fmt.Errorf("%w: bad weekday %q", ErrParse, day)
+		}
+		return NthWeekday{N: n, Day: d}, nil
+	case "between":
+		from, err := parseInstant(p.next())
+		if err != nil {
+			return nil, err
+		}
+		if kw := p.next(); kw != "and" {
+			return nil, fmt.Errorf("%w: between wants 'and', got %q", ErrParse, kw)
+		}
+		to, err := parseInstant(p.next())
+		if err != nil {
+			return nil, err
+		}
+		if !to.After(from) {
+			return nil, fmt.Errorf("%w: between range is empty or inverted", ErrParse)
+		}
+		return DateRange{From: from, To: to}, nil
+	case "on":
+		arg := p.next()
+		t, err := time.Parse("2006-01-02", arg)
+		if err != nil {
+			return nil, fmt.Errorf("%w: bad date %q", ErrParse, arg)
+		}
+		return Date{Year: t.Year(), Month: t.Month(), Day: t.Day()}, nil
+	case "":
+		return nil, fmt.Errorf("%w: unexpected end of expression", ErrParse)
+	default:
+		return nil, fmt.Errorf("%w: unknown term %q", ErrParse, tok)
+	}
+}
+
+func parseInstant(s string) (time.Time, error) {
+	for _, layout := range []string{time.RFC3339, "2006-01-02t15:04:05z", "2006-01-02t15:04z", "2006-01-02t15:04"} {
+		if t, err := time.Parse(layout, s); err == nil {
+			return t, nil
+		}
+	}
+	return time.Time{}, fmt.Errorf("%w: bad instant %q (want RFC3339)", ErrParse, s)
+}
+
+func parseDayName(s string) (time.Weekday, bool) {
+	for d, name := range dayNames {
+		if name == s {
+			return d, true
+		}
+	}
+	return 0, false
+}
+
+// parseDayList accepts comma-separated day names and ranges: "mon-fri",
+// "sat,sun", "fri-mon" (wrapping).
+func parseDayList(arg string) (Period, error) {
+	if arg == "" {
+		return nil, fmt.Errorf("%w: weekly wants a day list", ErrParse)
+	}
+	set := make(WeekdaySet)
+	for _, part := range strings.Split(arg, ",") {
+		if from, to, ok := strings.Cut(part, "-"); ok {
+			f, okF := parseDayName(from)
+			t, okT := parseDayName(to)
+			if !okF || !okT {
+				return nil, fmt.Errorf("%w: bad day range %q", ErrParse, part)
+			}
+			for d := f; ; d = (d + 1) % 7 {
+				set[d] = true
+				if d == t {
+					break
+				}
+			}
+			continue
+		}
+		d, ok := parseDayName(part)
+		if !ok {
+			return nil, fmt.Errorf("%w: bad weekday %q", ErrParse, part)
+		}
+		set[d] = true
+	}
+	return set, nil
+}
+
+func parseMonthList(arg string) (Period, error) {
+	if arg == "" {
+		return nil, fmt.Errorf("%w: months wants a month list", ErrParse)
+	}
+	set := make(MonthSet)
+	for _, part := range strings.Split(arg, ",") {
+		found := false
+		for i, name := range monthNames {
+			if name == part {
+				set[time.Month(i+1)] = true
+				found = true
+				break
+			}
+		}
+		if !found {
+			return nil, fmt.Errorf("%w: bad month %q", ErrParse, part)
+		}
+	}
+	return set, nil
+}
+
+func parseMonthDayList(arg string) (Period, error) {
+	if arg == "" {
+		return nil, fmt.Errorf("%w: monthdays wants a day list", ErrParse)
+	}
+	set := make(MonthDaySet)
+	for _, part := range strings.Split(arg, ",") {
+		n, err := strconv.Atoi(part)
+		if err != nil || n < 1 || n > 31 {
+			return nil, fmt.Errorf("%w: bad day of month %q", ErrParse, part)
+		}
+		set[n] = true
+	}
+	return set, nil
+}

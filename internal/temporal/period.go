@@ -1,0 +1,114 @@
+// Package temporal implements periodic and absolute time expressions for
+// environment roles: "weekdays", "7:00 p.m. to 10:00 p.m.", "the first
+// Monday of each month", "weekday mornings in July", or "January 17, 2000,
+// between 8:00 a.m. and 1:00 p.m." (all examples from the GRBAC paper).
+//
+// A Period is a pure predicate over instants. Periods compose with And, Or,
+// and Not, and can be parsed from a compact human-readable syntax (Parse)
+// so the policy language can assign "human-understandable names to various
+// periods of time" — the property the paper claims makes GRBAC's temporal
+// policies more usable than Bertino-style authorization calculi.
+package temporal
+
+import (
+	"fmt"
+	"strings"
+	"time"
+)
+
+// Period reports whether instants fall inside a (possibly periodic) set of
+// times. Implementations must be pure: Contains must depend only on t.
+type Period interface {
+	// Contains reports whether t is inside the period.
+	Contains(t time.Time) bool
+	// String renders the period in the syntax accepted by Parse.
+	String() string
+}
+
+// Always is the full timeline.
+type Always struct{}
+
+var _ Period = Always{}
+
+// Contains always reports true.
+func (Always) Contains(time.Time) bool { return true }
+
+// String returns "always".
+func (Always) String() string { return "always" }
+
+// Never is the empty timeline.
+type Never struct{}
+
+var _ Period = Never{}
+
+// Contains always reports false.
+func (Never) Contains(time.Time) bool { return false }
+
+// String returns "never".
+func (Never) String() string { return "never" }
+
+// And is the intersection of its operands. An empty And is Always.
+type And []Period
+
+var _ Period = And(nil)
+
+// Contains reports whether t is in every operand.
+func (a And) Contains(t time.Time) bool {
+	for _, p := range a {
+		if !p.Contains(t) {
+			return false
+		}
+	}
+	return true
+}
+
+// String renders the conjunction with parentheses.
+func (a And) String() string { return joinPeriods(a, "and") }
+
+// Or is the union of its operands. An empty Or is Never.
+type Or []Period
+
+var _ Period = Or(nil)
+
+// Contains reports whether t is in at least one operand.
+func (o Or) Contains(t time.Time) bool {
+	for _, p := range o {
+		if p.Contains(t) {
+			return true
+		}
+	}
+	return false
+}
+
+// String renders the disjunction with parentheses.
+func (o Or) String() string { return joinPeriods(o, "or") }
+
+// Not is the complement of its operand.
+type Not struct{ P Period }
+
+var _ Period = Not{}
+
+// Contains reports whether t is outside the operand.
+func (n Not) Contains(t time.Time) bool { return !n.P.Contains(t) }
+
+// String renders "not (...)".
+func (n Not) String() string { return "not (" + n.P.String() + ")" }
+
+func joinPeriods(ps []Period, op string) string {
+	if len(ps) == 0 {
+		if op == "and" {
+			return "always"
+		}
+		return "never"
+	}
+	parts := make([]string, len(ps))
+	for i, p := range ps {
+		parts[i] = "(" + p.String() + ")"
+	}
+	return strings.Join(parts, " "+op+" ")
+}
+
+// minuteOfDay returns t's minute within its day, 0..1439.
+func minuteOfDay(t time.Time) int { return t.Hour()*60 + t.Minute() }
+
+func formatMinute(m int) string { return fmt.Sprintf("%02d:%02d", m/60, m%60) }

@@ -1,0 +1,466 @@
+package temporal
+
+import (
+	"errors"
+	"math/rand"
+	"testing"
+	"testing/quick"
+	"time"
+)
+
+// mustTime parses an RFC3339 instant.
+func mustTime(t *testing.T, s string) time.Time {
+	t.Helper()
+	out, err := time.Parse(time.RFC3339, s)
+	if err != nil {
+		t.Fatalf("bad time %q: %v", s, err)
+	}
+	return out
+}
+
+func TestAlwaysNever(t *testing.T) {
+	now := time.Date(2000, 1, 17, 8, 0, 0, 0, time.UTC)
+	if !(Always{}).Contains(now) {
+		t.Fatal("Always excluded an instant")
+	}
+	if (Never{}).Contains(now) {
+		t.Fatal("Never contained an instant")
+	}
+}
+
+func TestDailyWindow(t *testing.T) {
+	freeTime, err := NewDailyWindow("19:00", "22:00")
+	if err != nil {
+		t.Fatal(err)
+	}
+	tests := []struct {
+		clock string
+		want  bool
+	}{
+		{"18:59", false},
+		{"19:00", true},
+		{"20:30", true},
+		{"21:59", true},
+		{"22:00", false},
+		{"23:00", false},
+		{"00:00", false},
+	}
+	for _, tt := range tests {
+		ts := mustTime(t, "2000-01-17T"+tt.clock+":00Z")
+		if got := freeTime.Contains(ts); got != tt.want {
+			t.Errorf("free-time Contains(%s) = %v, want %v", tt.clock, got, tt.want)
+		}
+	}
+}
+
+func TestDailyWindowWrapsMidnight(t *testing.T) {
+	night, err := NewDailyWindow("22:00", "06:00")
+	if err != nil {
+		t.Fatal(err)
+	}
+	tests := []struct {
+		clock string
+		want  bool
+	}{
+		{"21:59", false},
+		{"22:00", true},
+		{"23:59", true},
+		{"00:00", true},
+		{"05:59", true},
+		{"06:00", false},
+		{"12:00", false},
+	}
+	for _, tt := range tests {
+		ts := mustTime(t, "2000-01-17T"+tt.clock+":00Z")
+		if got := night.Contains(ts); got != tt.want {
+			t.Errorf("night Contains(%s) = %v, want %v", tt.clock, got, tt.want)
+		}
+	}
+}
+
+func TestDailyWindowFullDay(t *testing.T) {
+	w := DailyWindow{Start: 540, End: 540}
+	for _, clock := range []string{"00:00", "08:59", "09:00", "23:59"} {
+		if !w.Contains(mustTime(t, "2000-01-17T"+clock+":00Z")) {
+			t.Errorf("degenerate window excluded %s", clock)
+		}
+	}
+}
+
+func TestNewDailyWindowValidation(t *testing.T) {
+	for _, bad := range [][2]string{
+		{"25:00", "10:00"}, {"10:00", "10:60"}, {"x", "10:00"}, {"24:01", "10:00"},
+	} {
+		if _, err := NewDailyWindow(bad[0], bad[1]); err == nil {
+			t.Errorf("NewDailyWindow(%q,%q) accepted", bad[0], bad[1])
+		}
+	}
+}
+
+// TestWeekdaysPaperDefinition checks the paper's §5.1 definition: weekdays
+// run "from 12:01 a.m. on Monday to 11:59 p.m. on Friday".
+func TestWeekdaysPaperDefinition(t *testing.T) {
+	wd := WorkWeek()
+	tests := []struct {
+		ts   string
+		want bool
+	}{
+		{"2000-01-17T00:00:00Z", true},  // Monday (paper's repairman date)
+		{"2000-01-21T23:59:00Z", true},  // Friday night
+		{"2000-01-22T00:00:00Z", false}, // Saturday
+		{"2000-01-23T12:00:00Z", false}, // Sunday
+		{"2000-01-19T12:00:00Z", true},  // Wednesday
+	}
+	for _, tt := range tests {
+		if got := wd.Contains(mustTime(t, tt.ts)); got != tt.want {
+			t.Errorf("WorkWeek.Contains(%s) = %v, want %v", tt.ts, got, tt.want)
+		}
+	}
+}
+
+func TestNthWeekday(t *testing.T) {
+	firstMonday := NthWeekday{N: 1, Day: time.Monday}
+	tests := []struct {
+		ts   string
+		want bool
+	}{
+		{"2000-01-03T09:00:00Z", true},  // first Monday of Jan 2000
+		{"2000-01-10T09:00:00Z", false}, // second Monday
+		{"2000-01-04T09:00:00Z", false}, // a Tuesday
+		{"2000-02-07T09:00:00Z", true},  // first Monday of Feb 2000
+	}
+	for _, tt := range tests {
+		if got := firstMonday.Contains(mustTime(t, tt.ts)); got != tt.want {
+			t.Errorf("firstMonday.Contains(%s) = %v, want %v", tt.ts, got, tt.want)
+		}
+	}
+	lastFriday := NthWeekday{N: -1, Day: time.Friday}
+	if !lastFriday.Contains(mustTime(t, "2000-01-28T09:00:00Z")) {
+		t.Error("2000-01-28 is the last Friday of January 2000")
+	}
+	if lastFriday.Contains(mustTime(t, "2000-01-21T09:00:00Z")) {
+		t.Error("2000-01-21 is not the last Friday of January 2000")
+	}
+}
+
+func TestDateRangeRepairmanWindow(t *testing.T) {
+	// Paper §3: "a repairman has access ... only while he is inside the
+	// home on January 17, 2000, between 8:00 a.m. and 1:00 p.m."
+	window := DateRange{
+		From: mustTime(t, "2000-01-17T08:00:00Z"),
+		To:   mustTime(t, "2000-01-17T13:00:00Z"),
+	}
+	tests := []struct {
+		ts   string
+		want bool
+	}{
+		{"2000-01-17T07:59:00Z", false},
+		{"2000-01-17T08:00:00Z", true},
+		{"2000-01-17T12:59:00Z", true},
+		{"2000-01-17T13:00:00Z", false},
+		{"2000-01-18T09:00:00Z", false},
+	}
+	for _, tt := range tests {
+		if got := window.Contains(mustTime(t, tt.ts)); got != tt.want {
+			t.Errorf("window.Contains(%s) = %v, want %v", tt.ts, got, tt.want)
+		}
+	}
+}
+
+func TestDate(t *testing.T) {
+	d := Date{Year: 2000, Month: time.January, Day: 17}
+	if !d.Contains(mustTime(t, "2000-01-17T23:59:00Z")) {
+		t.Error("Date excluded its own day")
+	}
+	if d.Contains(mustTime(t, "2000-01-18T00:00:00Z")) {
+		t.Error("Date leaked into the next day")
+	}
+}
+
+func TestCombinators(t *testing.T) {
+	// Paper's "weekday mornings in July".
+	p := And{WorkWeek(), MustParse("daily 06:00-12:00"), Months(time.July)}
+	tests := []struct {
+		ts   string
+		want bool
+	}{
+		{"2001-07-02T08:00:00Z", true},  // Monday morning in July
+		{"2001-07-02T13:00:00Z", false}, // Monday afternoon
+		{"2001-07-01T08:00:00Z", false}, // Sunday morning
+		{"2001-06-25T08:00:00Z", false}, // Monday morning in June
+	}
+	for _, tt := range tests {
+		if got := p.Contains(mustTime(t, tt.ts)); got != tt.want {
+			t.Errorf("july weekday mornings Contains(%s) = %v, want %v", tt.ts, got, tt.want)
+		}
+	}
+	ts := mustTime(t, "2001-07-02T08:00:00Z")
+	if (Not{P: p}).Contains(ts) {
+		t.Error("Not inverted incorrectly")
+	}
+	if !(Or{Never{}, p}).Contains(ts) {
+		t.Error("Or missed a member")
+	}
+	if (And{}).Contains(ts) != true {
+		t.Error("empty And should be Always")
+	}
+	if (Or{}).Contains(ts) != false {
+		t.Error("empty Or should be Never")
+	}
+}
+
+func TestParseValid(t *testing.T) {
+	noon := mustTime(t, "2000-07-03T12:00:00Z") // a Monday in July
+	tests := []struct {
+		expr string
+		want bool
+	}{
+		{"always", true},
+		{"never", false},
+		{"daily 09:00-17:00", true},
+		{"daily 13:00-17:00", false},
+		{"weekly mon-fri", true},
+		{"weekly sat,sun", false},
+		{"weekly fri-mon", true}, // wrapping range includes Monday
+		{"months jul", true},
+		{"months jan,feb", false},
+		{"monthdays 3", true},
+		{"monthdays 1,2", false},
+		{"monthly 1st mon", true},
+		{"monthly 2nd mon", false},
+		{"monthly last mon", false},
+		{"on 2000-07-03", true},
+		{"on 2000-07-04", false},
+		{"between 2000-07-03T00:00:00Z and 2000-07-04T00:00:00Z", true},
+		{"between 2000-07-04T00:00:00Z and 2000-07-05T00:00:00Z", false},
+		{"weekly mon-fri and daily 09:00-17:00", true},
+		{"weekly sat,sun or months jul", true},
+		{"not weekly sat,sun", true},
+		{"not (weekly mon-fri and months jul)", false},
+		// and binds tighter than or: never and X or Y == (never and X) or Y.
+		{"never and always or always", true},
+		{"(never and always) or always", true},
+		{"never and (always or always)", false},
+	}
+	for _, tt := range tests {
+		t.Run(tt.expr, func(t *testing.T) {
+			p, err := Parse(tt.expr)
+			if err != nil {
+				t.Fatalf("Parse(%q): %v", tt.expr, err)
+			}
+			if got := p.Contains(noon); got != tt.want {
+				t.Fatalf("Parse(%q).Contains(noon) = %v, want %v", tt.expr, got, tt.want)
+			}
+		})
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	bad := []string{
+		"",
+		"sometimes",
+		"daily",
+		"daily 9am-5pm",
+		"daily 25:00-26:00",
+		"weekly",
+		"weekly funday",
+		"weekly mon-funday",
+		"months smarch",
+		"monthdays 0",
+		"monthdays 32",
+		"monthdays x",
+		"monthly 6th mon",
+		"monthly 1st funday",
+		"between now and then",
+		"between 2000-07-04T00:00:00Z and 2000-07-03T00:00:00Z", // inverted
+		"on 17-01-2000",
+		"always always",
+		"(always",
+		"not",
+		"always and",
+	}
+	for _, expr := range bad {
+		t.Run(expr, func(t *testing.T) {
+			if _, err := Parse(expr); !errors.Is(err, ErrParse) {
+				t.Fatalf("Parse(%q) error = %v, want ErrParse", expr, err)
+			}
+		})
+	}
+}
+
+// TestStringRoundTrip: Parse(p.String()) must be semantically equal to p on
+// randomly generated periods, probed over a year.
+func TestStringRoundTrip(t *testing.T) {
+	base := time.Date(2000, 1, 1, 0, 0, 0, 0, time.UTC)
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		p := randomPeriod(rng, 3)
+		q, err := Parse(p.String())
+		if err != nil {
+			return false
+		}
+		// Probe at random instants through the year 2000.
+		for i := 0; i < 200; i++ {
+			ts := base.Add(time.Duration(rng.Int63n(int64(366 * 24 * time.Hour))))
+			if p.Contains(ts) != q.Contains(ts) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 120}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// randomPeriod generates a random period of bounded depth.
+func randomPeriod(rng *rand.Rand, depth int) Period {
+	if depth <= 0 || rng.Intn(3) == 0 {
+		switch rng.Intn(6) {
+		case 0:
+			start := rng.Intn(1440)
+			end := rng.Intn(1441)
+			return DailyWindow{Start: start, End: end % 1440}
+		case 1:
+			set := make(WeekdaySet)
+			for d := time.Sunday; d <= time.Saturday; d++ {
+				if rng.Intn(2) == 0 {
+					set[d] = true
+				}
+			}
+			if len(set) == 0 {
+				set[time.Monday] = true
+			}
+			return set
+		case 2:
+			set := make(MonthSet)
+			set[time.Month(1+rng.Intn(12))] = true
+			return set
+		case 3:
+			return NthWeekday{N: []int{1, 2, 3, 4, 5, -1}[rng.Intn(6)], Day: time.Weekday(rng.Intn(7))}
+		case 4:
+			return MonthDays(1+rng.Intn(31), 1+rng.Intn(31))
+		default:
+			return Date{Year: 2000, Month: time.Month(1 + rng.Intn(12)), Day: 1 + rng.Intn(28)}
+		}
+	}
+	switch rng.Intn(3) {
+	case 0:
+		return And{randomPeriod(rng, depth-1), randomPeriod(rng, depth-1)}
+	case 1:
+		return Or{randomPeriod(rng, depth-1), randomPeriod(rng, depth-1)}
+	default:
+		return Not{P: randomPeriod(rng, depth-1)}
+	}
+}
+
+// TestDeMorganProperty: not(a and b) == (not a) or (not b) pointwise.
+func TestDeMorganProperty(t *testing.T) {
+	base := time.Date(2000, 1, 1, 0, 0, 0, 0, time.UTC)
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		a := randomPeriod(rng, 2)
+		b := randomPeriod(rng, 2)
+		lhs := Not{P: And{a, b}}
+		rhs := Or{Not{P: a}, Not{P: b}}
+		for i := 0; i < 100; i++ {
+			ts := base.Add(time.Duration(rng.Int63n(int64(366 * 24 * time.Hour))))
+			if lhs.Contains(ts) != rhs.Contains(ts) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestNextTransition(t *testing.T) {
+	freeTime := MustParse("daily 19:00-22:00")
+	from := mustTime(t, "2000-01-17T18:00:00Z")
+	next, ok := NextTransition(freeTime, from, 24*time.Hour)
+	if !ok {
+		t.Fatal("no transition found")
+	}
+	if want := mustTime(t, "2000-01-17T19:00:00Z"); !next.Equal(want) {
+		t.Fatalf("next transition = %v, want %v", next, want)
+	}
+	// From inside the window, the next transition is the 22:00 close.
+	next, ok = NextTransition(freeTime, mustTime(t, "2000-01-17T20:00:00Z"), 24*time.Hour)
+	if !ok {
+		t.Fatal("no closing transition found")
+	}
+	if want := mustTime(t, "2000-01-17T22:00:00Z"); !next.Equal(want) {
+		t.Fatalf("closing transition = %v, want %v", next, want)
+	}
+	// Always never transitions.
+	if _, ok := NextTransition(Always{}, from, time.Hour); ok {
+		t.Fatal("Always reported a transition")
+	}
+}
+
+func TestCoverageInWindow(t *testing.T) {
+	day := mustTime(t, "2000-01-17T00:00:00Z")
+	freeTime := MustParse("daily 19:00-22:00")
+	got := CoverageInWindow(freeTime, day, day.Add(24*time.Hour), time.Minute)
+	if got != 180 {
+		t.Fatalf("coverage = %d minutes, want 180", got)
+	}
+	if got := CoverageInWindow(freeTime, day, day.Add(24*time.Hour), 0); got != 180 {
+		t.Fatalf("coverage with default stride = %d, want 180", got)
+	}
+}
+
+// TestLocationSensitivity documents the evaluation-location semantics:
+// periods are interpreted in the instant's own location, so "free time"
+// means local free time wherever the clock reading came from.
+func TestLocationSensitivity(t *testing.T) {
+	est := time.FixedZone("EST", -5*3600)
+	freeTime := MustParse("daily 19:00-22:00")
+	// 20:00 EST is 01:00 UTC the next day.
+	atlanta := time.Date(2000, 1, 17, 20, 0, 0, 0, est)
+	if !freeTime.Contains(atlanta) {
+		t.Fatal("20:00 local excluded")
+	}
+	if freeTime.Contains(atlanta.UTC()) {
+		t.Fatal("the same instant viewed in UTC (01:00) should be outside the window")
+	}
+	// Weekday membership shifts with the location, too.
+	wd := WorkWeek()
+	fridayNightEST := time.Date(2000, 1, 21, 23, 0, 0, 0, est) // Sat 04:00 UTC
+	if !wd.Contains(fridayNightEST) {
+		t.Fatal("Friday 23:00 EST should be a weekday")
+	}
+	if wd.Contains(fridayNightEST.UTC()) {
+		t.Fatal("the same instant in UTC is Saturday")
+	}
+}
+
+func TestPeriodStrings(t *testing.T) {
+	tests := []struct {
+		p    Period
+		want string
+	}{
+		{Always{}, "always"},
+		{Never{}, "never"},
+		{DailyWindow{Start: 19 * 60, End: 22 * 60}, "daily 19:00-22:00"},
+		{WorkWeek(), "weekly mon,tue,wed,thu,fri"},
+		{Months(time.July), "months jul"},
+		{MonthDays(15, 1), "monthdays 1,15"},
+		{NthWeekday{N: 1, Day: time.Monday}, "monthly 1st mon"},
+		{NthWeekday{N: -1, Day: time.Friday}, "monthly last fri"},
+		{Date{Year: 2000, Month: time.January, Day: 17}, "on 2000-01-17"},
+		{WeekdaySet{}, "never"},
+		{MonthSet{}, "never"},
+		{MonthDaySet{}, "never"},
+		{And{}, "always"},
+		{Or{}, "never"},
+		{Not{P: Always{}}, "not (always)"},
+	}
+	for _, tt := range tests {
+		if got := tt.p.String(); got != tt.want {
+			t.Errorf("String() = %q, want %q", got, tt.want)
+		}
+	}
+}

@@ -1,0 +1,44 @@
+package temporal
+
+import "time"
+
+// Resolution is the granularity at which period membership can change. All
+// of this package's primitives are defined at whole-minute boundaries, so
+// scanning at minute resolution is exact, not approximate.
+const Resolution = time.Minute
+
+// NextTransition returns the earliest instant strictly after from, and no
+// later than from+horizon, at which p's membership differs from its
+// membership at from. The boolean reports whether a transition was found
+// within the horizon. The environment engine uses this to schedule
+// re-evaluation of time-based environment roles.
+func NextTransition(p Period, from time.Time, horizon time.Duration) (time.Time, bool) {
+	state := p.Contains(from)
+	// Align to the next minute boundary; membership is constant within a
+	// minute for all primitives in this package.
+	cur := from.Truncate(Resolution).Add(Resolution)
+	end := from.Add(horizon)
+	for !cur.After(end) {
+		if p.Contains(cur) != state {
+			return cur, true
+		}
+		cur = cur.Add(Resolution)
+	}
+	return time.Time{}, false
+}
+
+// CoverageInWindow reports how many probe instants inside [from, to),
+// stepped at the given stride, are contained in p. Benchmarks and tests use
+// it to compare periods against independent oracles.
+func CoverageInWindow(p Period, from, to time.Time, stride time.Duration) int {
+	if stride <= 0 {
+		stride = Resolution
+	}
+	n := 0
+	for cur := from; cur.Before(to); cur = cur.Add(stride) {
+		if p.Contains(cur) {
+			n++
+		}
+	}
+	return n
+}

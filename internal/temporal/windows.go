@@ -1,0 +1,251 @@
+package temporal
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"time"
+)
+
+// DailyWindow is a recurring time-of-day interval [Start, End), in minutes
+// since midnight. Windows may wrap past midnight: Start 22:00, End 06:00
+// covers late evening and early morning. Start == End denotes the full day.
+type DailyWindow struct {
+	// Start is the inclusive start, in minutes since midnight (0..1439).
+	Start int
+	// End is the exclusive end, in minutes since midnight (0..1440).
+	End int
+}
+
+var _ Period = DailyWindow{}
+
+// NewDailyWindow builds a window from "HH:MM" strings.
+func NewDailyWindow(start, end string) (DailyWindow, error) {
+	s, err := parseClock(start)
+	if err != nil {
+		return DailyWindow{}, err
+	}
+	e, err := parseClock(end)
+	if err != nil {
+		return DailyWindow{}, err
+	}
+	return DailyWindow{Start: s, End: e}, nil
+}
+
+// Contains reports whether t's time of day falls in the window.
+func (w DailyWindow) Contains(t time.Time) bool {
+	m := minuteOfDay(t)
+	start, end := w.Start, w.End
+	if start == end {
+		return true
+	}
+	if start < end {
+		return m >= start && m < end
+	}
+	return m >= start || m < end // wraps midnight
+}
+
+// String renders "daily HH:MM-HH:MM".
+func (w DailyWindow) String() string {
+	return "daily " + formatMinute(w.Start) + "-" + formatMinute(w.End%1440)
+}
+
+func parseClock(s string) (int, error) {
+	var h, m int
+	if _, err := fmt.Sscanf(s, "%d:%d", &h, &m); err != nil {
+		return 0, fmt.Errorf("temporal: bad clock %q: %w", s, err)
+	}
+	if h < 0 || h > 24 || m < 0 || m > 59 || (h == 24 && m != 0) {
+		return 0, fmt.Errorf("temporal: clock %q out of range", s)
+	}
+	return h*60 + m, nil
+}
+
+// WeekdaySet matches instants whose weekday is in the set.
+type WeekdaySet map[time.Weekday]bool
+
+var _ Period = WeekdaySet{}
+
+// Weekdays builds a set from the listed days.
+func Weekdays(days ...time.Weekday) WeekdaySet {
+	s := make(WeekdaySet, len(days))
+	for _, d := range days {
+		s[d] = true
+	}
+	return s
+}
+
+// WorkWeek is Monday through Friday, the paper's "weekdays" role.
+func WorkWeek() WeekdaySet {
+	return Weekdays(time.Monday, time.Tuesday, time.Wednesday, time.Thursday, time.Friday)
+}
+
+// Contains reports whether t's weekday is in the set.
+func (s WeekdaySet) Contains(t time.Time) bool { return s[t.Weekday()] }
+
+// String renders "weekly mon,tue,...".
+func (s WeekdaySet) String() string {
+	var names []string
+	for d := time.Sunday; d <= time.Saturday; d++ {
+		if s[d] {
+			names = append(names, dayNames[d])
+		}
+	}
+	if len(names) == 0 {
+		return "never"
+	}
+	return "weekly " + strings.Join(names, ",")
+}
+
+// MonthSet matches instants whose month is in the set.
+type MonthSet map[time.Month]bool
+
+var _ Period = MonthSet{}
+
+// Months builds a set from the listed months.
+func Months(months ...time.Month) MonthSet {
+	s := make(MonthSet, len(months))
+	for _, m := range months {
+		s[m] = true
+	}
+	return s
+}
+
+// Contains reports whether t's month is in the set.
+func (s MonthSet) Contains(t time.Time) bool { return s[t.Month()] }
+
+// String renders "months jan,feb,...".
+func (s MonthSet) String() string {
+	var names []string
+	for m := time.January; m <= time.December; m++ {
+		if s[m] {
+			names = append(names, monthNames[m-1])
+		}
+	}
+	if len(names) == 0 {
+		return "never"
+	}
+	return "months " + strings.Join(names, ",")
+}
+
+// MonthDaySet matches instants whose day of month is in the set.
+type MonthDaySet map[int]bool
+
+var _ Period = MonthDaySet{}
+
+// MonthDays builds a set from the listed days (1..31).
+func MonthDays(days ...int) MonthDaySet {
+	s := make(MonthDaySet, len(days))
+	for _, d := range days {
+		s[d] = true
+	}
+	return s
+}
+
+// Contains reports whether t's day of month is in the set.
+func (s MonthDaySet) Contains(t time.Time) bool { return s[t.Day()] }
+
+// String renders "monthdays 1,15,...".
+func (s MonthDaySet) String() string {
+	days := make([]int, 0, len(s))
+	for d, ok := range s {
+		if ok {
+			days = append(days, d)
+		}
+	}
+	if len(days) == 0 {
+		return "never"
+	}
+	sort.Ints(days)
+	parts := make([]string, len(days))
+	for i, d := range days {
+		parts[i] = fmt.Sprint(d)
+	}
+	return "monthdays " + strings.Join(parts, ",")
+}
+
+// NthWeekday matches the N-th occurrence of a weekday within each month:
+// N=1 is the first, N=2 the second, ..., N=-1 the last. The paper's example
+// "managers may edit salary data only on the first Monday of each month"
+// is NthWeekday{N: 1, Day: time.Monday}.
+type NthWeekday struct {
+	N   int
+	Day time.Weekday
+}
+
+var _ Period = NthWeekday{}
+
+// Contains reports whether t is the N-th (or last, for N=-1) occurrence of
+// the weekday in t's month.
+func (n NthWeekday) Contains(t time.Time) bool {
+	if t.Weekday() != n.Day {
+		return false
+	}
+	if n.N == -1 {
+		// Last occurrence: same weekday seven days later is next month.
+		return t.AddDate(0, 0, 7).Month() != t.Month()
+	}
+	return (t.Day()-1)/7+1 == n.N
+}
+
+// String renders "monthly 1st mon", "monthly last fri", etc.
+func (n NthWeekday) String() string {
+	ord := "last"
+	if n.N >= 1 && n.N <= 5 {
+		ord = ordinals[n.N-1]
+	}
+	return "monthly " + ord + " " + dayNames[n.Day]
+}
+
+// DateRange is the absolute interval [From, To). The paper's repairman
+// example — access "only on January 17, 2000, between 8:00 a.m. and 1:00
+// p.m." — is a DateRange (or a Date composed with a DailyWindow).
+type DateRange struct {
+	From time.Time
+	To   time.Time
+}
+
+var _ Period = DateRange{}
+
+// Contains reports whether From <= t < To.
+func (r DateRange) Contains(t time.Time) bool {
+	return !t.Before(r.From) && t.Before(r.To)
+}
+
+// String renders "between RFC3339 and RFC3339".
+func (r DateRange) String() string {
+	return "between " + r.From.Format(time.RFC3339) + " and " + r.To.Format(time.RFC3339)
+}
+
+// Date matches one whole calendar day in the given location.
+type Date struct {
+	Year  int
+	Month time.Month
+	Day   int
+}
+
+var _ Period = Date{}
+
+// Contains reports whether t falls on the date (in t's own location).
+func (d Date) Contains(t time.Time) bool {
+	y, m, day := t.Date()
+	return y == d.Year && m == d.Month && day == d.Day
+}
+
+// String renders "on YYYY-MM-DD".
+func (d Date) String() string {
+	return fmt.Sprintf("on %04d-%02d-%02d", d.Year, d.Month, d.Day)
+}
+
+var (
+	dayNames = map[time.Weekday]string{
+		time.Sunday: "sun", time.Monday: "mon", time.Tuesday: "tue",
+		time.Wednesday: "wed", time.Thursday: "thu", time.Friday: "fri",
+		time.Saturday: "sat",
+	}
+	monthNames = []string{
+		"jan", "feb", "mar", "apr", "may", "jun",
+		"jul", "aug", "sep", "oct", "nov", "dec",
+	}
+	ordinals = []string{"1st", "2nd", "3rd", "4th", "5th"}
+)
