@@ -1,6 +1,6 @@
 # Standard developer entry points; everything is plain `go` underneath.
 
-.PHONY: all build vet test race bench cover experiments fmt
+.PHONY: all build vet test race bench benchguard fuzz cover experiments fmt
 
 all: build vet test
 
@@ -18,6 +18,17 @@ race:
 
 bench:
 	go test -bench=. -benchmem ./...
+
+# Benchmark-regression smoke: runs the E1/E3/E11 benches and fails if the
+# cached decision path stops beating the uncached one (see the script).
+benchguard:
+	./scripts/benchguard.sh
+
+# Run every native fuzz target for a short budget each.
+fuzz:
+	go test -run '^$$' -fuzz FuzzDecide -fuzztime 10s ./internal/core
+	go test -run '^$$' -fuzz FuzzParse -fuzztime 10s ./internal/temporal
+	go test -run '^$$' -fuzz FuzzParse -fuzztime 10s ./internal/policy
 
 cover:
 	go test -cover ./...

@@ -511,3 +511,81 @@ func BenchmarkWorkloadReplay(b *testing.B) {
 		}
 	}
 }
+
+// BenchmarkE11CachedMediation quantifies the decision cache (DESIGN.md §5):
+// the same E1-style scaled mediation workload served warm from the cache,
+// uncached, and under worst-case invalidation churn, plus the full-stack
+// E3 household decision warm vs uncached. The warm/uncached ratio is the
+// headline number recorded in EXPERIMENTS.md.
+func BenchmarkE11CachedMediation(b *testing.B) {
+	scaled := func(b *testing.B, opts ...grbac.Option) (*grbac.System, grbac.Request) {
+		b.Helper()
+		s, req, err := experiments.BuildScaledGRBAC(256, 16, 8, 4, opts...)
+		if err != nil {
+			b.Fatal(err)
+		}
+		return s, req
+	}
+	b.Run("warm", func(b *testing.B) {
+		s, req := scaled(b)
+		if _, err := s.Decide(req); err != nil { // prime the cache
+			b.Fatal(err)
+		}
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if _, err := s.Decide(req); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("uncached", func(b *testing.B) {
+		s, req := scaled(b, core.WithoutDecisionCache())
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if _, err := s.Decide(req); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("cold-churn", func(b *testing.B) {
+		// Worst case: every iteration mutates the system first, so the
+		// cache never hits and each decision also pays the put.
+		s, req := scaled(b)
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if err := s.SetMinConfidence(0); err != nil {
+				b.Fatal(err)
+			}
+			if _, err := s.Decide(req); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("e3-household-warm", func(b *testing.B) {
+		hh := mustHousehold(b)
+		if _, err := hh.Decide("alice", "tv", "use"); err != nil {
+			b.Fatal(err)
+		}
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if _, err := hh.Decide("alice", "tv", "use"); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("e3-household-uncached", func(b *testing.B) {
+		hh := mustHousehold(b)
+		twin := core.NewSystem(core.WithoutDecisionCache())
+		if err := twin.Import(hh.System.Export()); err != nil {
+			b.Fatal(err)
+		}
+		env := hh.Engine.ActiveRolesAt(benchStart, "alice")
+		req := core.Request{Subject: "alice", Object: "tv", Transaction: "use", Environment: env}
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if _, err := twin.Decide(req); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}

@@ -7,6 +7,7 @@
 //	grbacctl decide -subject alice -object tv -transaction use
 //	grbacctl state
 //	grbacctl health
+//	grbacctl stats
 package main
 
 import (
@@ -30,7 +31,7 @@ func main() {
 	flag.Parse()
 
 	if flag.NArg() < 1 {
-		log.Fatal("usage: grbacctl [flags] check|decide|state|health|audit|who-can|what-can [subcommand flags]")
+		log.Fatal("usage: grbacctl [flags] check|decide|state|health|stats|audit|who-can|what-can [subcommand flags]")
 	}
 	client := pdp.NewClient(*server, nil)
 	ctx, cancel := context.WithTimeout(context.Background(), *timeout)
@@ -105,6 +106,12 @@ func main() {
 		}
 	case "state":
 		st, err := client.State(ctx)
+		if err != nil {
+			log.Fatal(err)
+		}
+		printJSON(st)
+	case "stats":
+		st, err := client.Stats(ctx)
 		if err != nil {
 			log.Fatal(err)
 		}

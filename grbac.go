@@ -45,6 +45,19 @@
 // Deeper integrations (event bus, sensors, audit, persistence, the HTTP
 // policy decision point) live in the corresponding internal packages and
 // are exercised by the cmd/ tools; see README.md for the map.
+//
+// # Decision caching
+//
+// Decide memoizes its results in a bounded cache keyed by (subject,
+// session, object, transaction, credential set, resolved environment
+// snapshot). A monotonic generation counter, bumped by every mutating call
+// — role and hierarchy edits, grants and revocations, assignments, session
+// changes, configuration — invalidates all cached decisions at once, so a
+// warm hit is always byte-identical to what a fresh computation would
+// return. Role-hierarchy closures are likewise precomputed per role on
+// each mutation. System.Stats reports hit/miss/eviction/invalidation
+// counters; tune or disable the cache with WithDecisionCacheSize and
+// WithoutDecisionCache. See DESIGN.md for the consistency argument.
 package grbac
 
 import (
@@ -109,6 +122,8 @@ type (
 	Option = core.Option
 	// EnvironmentSource supplies active environment roles to a System.
 	EnvironmentSource = core.EnvironmentSource
+	// Stats is a snapshot of the decision-cache counters.
+	Stats = core.Stats
 )
 
 // Role kinds.
@@ -165,6 +180,14 @@ func WithEnvironmentSource(src EnvironmentSource) Option { return core.WithEnvir
 
 // WithClock overrides the system's time source.
 func WithClock(now func() time.Time) Option { return core.WithClock(now) }
+
+// WithDecisionCacheSize bounds the decision cache to n entries; n <= 0
+// disables caching entirely.
+func WithDecisionCacheSize(n int) Option { return core.WithDecisionCacheSize(n) }
+
+// WithoutDecisionCache disables decision memoization; every Decide call
+// runs the full mediation rule.
+func WithoutDecisionCache() Option { return core.WithoutDecisionCache() }
 
 // Conflict strategies.
 type (

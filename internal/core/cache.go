@@ -1,0 +1,165 @@
+package core
+
+import (
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+)
+
+// defaultDecisionCacheSize bounds the decision cache when no explicit
+// WithDecisionCacheSize option is given.
+const defaultDecisionCacheSize = 8192
+
+// Stats is a point-in-time snapshot of the memoization layer: the decision
+// cache's hit/miss/eviction counters, the number of invalidations (policy
+// mutations), and the current generation. The PDP server exposes it at
+// GET /v1/statsz.
+type Stats struct {
+	// Generation is the monotonic policy version. Every mutating call
+	// (role edits, grants, assignments, session changes, configuration)
+	// bumps it, instantly invalidating all cached decisions.
+	Generation uint64 `json:"generation"`
+	// DecisionHits counts Decide calls answered from the cache.
+	DecisionHits uint64 `json:"decision_hits"`
+	// DecisionMisses counts Decide calls that ran the full mediation rule.
+	DecisionMisses uint64 `json:"decision_misses"`
+	// DecisionEvictions counts entries displaced by the capacity bound.
+	DecisionEvictions uint64 `json:"decision_evictions"`
+	// Invalidations counts generation bumps.
+	Invalidations uint64 `json:"invalidations"`
+	// DecisionEntries is the number of entries currently cached.
+	DecisionEntries int `json:"decision_entries"`
+	// DecisionCapacity is the cache's entry bound; 0 means caching is
+	// disabled.
+	DecisionCapacity int `json:"decision_capacity"`
+}
+
+// decisionCache is the bounded memo behind System.Decide. It has its own
+// mutex because entries are written while the System read lock (not the
+// write lock) is held; the critical sections are single map operations.
+// Entries are stamped with the generation they were computed at and treated
+// as absent once the generation moves on, so invalidation is a single
+// counter bump with no scanning.
+type decisionCache struct {
+	mu      sync.Mutex
+	cap     int
+	entries map[string]decisionEntry
+}
+
+type decisionEntry struct {
+	gen uint64
+	d   Decision
+}
+
+func newDecisionCache(capacity int) *decisionCache {
+	return &decisionCache{
+		cap:     capacity,
+		entries: make(map[string]decisionEntry, capacity),
+	}
+}
+
+// get returns the decision cached under key if it was stored at gen.
+func (c *decisionCache) get(key string, gen uint64) (Decision, bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	e, ok := c.entries[key]
+	if !ok || e.gen != gen {
+		return Decision{}, false
+	}
+	return e.d, true
+}
+
+// put stores a decision computed at gen, evicting one arbitrary entry when
+// the cache is full (map iteration order makes the victim pseudo-random).
+// It reports whether an eviction happened.
+func (c *decisionCache) put(key string, gen uint64, d Decision) bool {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	evicted := false
+	if _, ok := c.entries[key]; !ok && len(c.entries) >= c.cap {
+		for k := range c.entries {
+			delete(c.entries, k)
+			evicted = true
+			break
+		}
+	}
+	c.entries[key] = decisionEntry{gen: gen, d: d}
+	return evicted
+}
+
+func (c *decisionCache) size() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return len(c.entries)
+}
+
+// decisionKey serializes everything a decision depends on besides the
+// policy store itself: subject, session, object, transaction, the
+// credential set, and the resolved environment snapshot (already sorted by
+// the caller). Fields are length-prefixed so distinct requests can never
+// produce colliding keys.
+func decisionKey(req Request, env []RoleID) string {
+	var b strings.Builder
+	part := func(s string) {
+		b.WriteString(strconv.Itoa(len(s)))
+		b.WriteByte(':')
+		b.WriteString(s)
+	}
+	part(string(req.Subject))
+	part(string(req.Session))
+	part(string(req.Object))
+	part(string(req.Transaction))
+	if req.Credentials == nil {
+		b.WriteByte('t') // nil set: identity fully trusted
+	} else {
+		b.WriteByte('c')
+		for _, c := range req.Credentials {
+			part(string(c.Subject))
+			part(string(c.Role))
+			part(strconv.FormatFloat(c.Confidence, 'g', -1, 64))
+		}
+	}
+	b.WriteByte('|')
+	for _, r := range env {
+		part(string(r))
+	}
+	return b.String()
+}
+
+// sortedEnv returns a sorted copy of env so the cache key is insensitive to
+// the order the caller listed the active environment roles in.
+func sortedEnv(env []RoleID) []RoleID {
+	out := append([]RoleID(nil), env...)
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+// clone deep-copies a decision so cached entries are never aliased by
+// callers. The nil-ness of every slice and map is preserved so a cache hit
+// is byte-identical to the freshly computed decision it memoized.
+func (d Decision) clone() Decision {
+	cp := d
+	if d.Matches != nil {
+		cp.Matches = make([]Match, len(d.Matches))
+		copy(cp.Matches, d.Matches)
+	}
+	if d.SubjectRoles != nil {
+		cp.SubjectRoles = make(map[RoleID]float64, len(d.SubjectRoles))
+		for k, v := range d.SubjectRoles {
+			cp.SubjectRoles[k] = v
+		}
+	}
+	cp.ObjectRoles = cloneRoleIDs(d.ObjectRoles)
+	cp.EnvironmentRoles = cloneRoleIDs(d.EnvironmentRoles)
+	return cp
+}
+
+func cloneRoleIDs(in []RoleID) []RoleID {
+	if in == nil {
+		return nil
+	}
+	out := make([]RoleID, len(in))
+	copy(out, in)
+	return out
+}

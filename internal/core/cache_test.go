@@ -1,0 +1,294 @@
+package core
+
+import (
+	"reflect"
+	"testing"
+)
+
+// TestDecisionCacheHitIsByteIdentical proves a warm Decide is answered from
+// the cache and is indistinguishable from the cold computation.
+func TestDecisionCacheHitIsByteIdentical(t *testing.T) {
+	s := newHomeSystem(t)
+	grantEntertainment(t, s)
+
+	req := Request{
+		Subject: "alice", Object: "tv", Transaction: "use",
+		Environment: []RoleID{"weekday-free-time"},
+	}
+	cold, err := s.Decide(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	warm, err := s.Decide(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(cold, warm) {
+		t.Fatalf("cached decision differs from cold one:\ncold %+v\nwarm %+v", cold, warm)
+	}
+	st := s.Stats()
+	if st.DecisionMisses != 1 || st.DecisionHits != 1 {
+		t.Fatalf("Stats() = %+v, want 1 miss and 1 hit", st)
+	}
+	if st.DecisionEntries != 1 {
+		t.Fatalf("DecisionEntries = %d, want 1", st.DecisionEntries)
+	}
+	if st.DecisionCapacity != defaultDecisionCacheSize {
+		t.Fatalf("DecisionCapacity = %d, want default %d", st.DecisionCapacity, defaultDecisionCacheSize)
+	}
+}
+
+// TestEnvironmentOrderInsensitiveKey checks that listing the same active
+// environment roles in a different order hits the same cache entry.
+func TestEnvironmentOrderInsensitiveKey(t *testing.T) {
+	s := newHomeSystem(t)
+	grantEntertainment(t, s)
+
+	if _, err := s.Decide(Request{
+		Subject: "alice", Object: "tv", Transaction: "use",
+		Environment: []RoleID{"weekday-free-time", "weekdays"},
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.Decide(Request{
+		Subject: "alice", Object: "tv", Transaction: "use",
+		Environment: []RoleID{"weekdays", "weekday-free-time"},
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if st := s.Stats(); st.DecisionHits != 1 {
+		t.Fatalf("Stats() = %+v, want a hit for the permuted environment", st)
+	}
+}
+
+// TestEveryMutatorBumpsGeneration walks through every mutating System call
+// and asserts each one advances the generation, i.e. invalidates the
+// decision cache. A mutator missing from the invalidation set would serve
+// stale decisions.
+func TestEveryMutatorBumpsGeneration(t *testing.T) {
+	s := NewSystem()
+	var sid SessionID
+	steps := []struct {
+		name string
+		run  func() error
+	}{
+		{"AddRole", func() error { return s.AddRole(Role{ID: "sr", Kind: SubjectRole}) }},
+		{"AddRole2", func() error { return s.AddRole(Role{ID: "sr2", Kind: SubjectRole}) }},
+		{"AddRoleParent", func() error { return s.AddRoleParent(SubjectRole, "sr2", "sr") }},
+		{"RemoveRoleParent", func() error { return s.RemoveRoleParent(SubjectRole, "sr2", "sr") }},
+		{"AddObjectRole", func() error { return s.AddRole(Role{ID: "or", Kind: ObjectRole}) }},
+		{"AddEnvRole", func() error { return s.AddRole(Role{ID: "er", Kind: EnvironmentRole}) }},
+		{"AddSubject", func() error { return s.AddSubject("u") }},
+		{"AssignSubjectRole", func() error { return s.AssignSubjectRole("u", "sr") }},
+		{"AddObject", func() error { return s.AddObject("o") }},
+		{"AssignObjectRole", func() error { return s.AssignObjectRole("o", "or") }},
+		{"AddTransaction", func() error { return s.AddTransaction(SimpleTransaction("use")) }},
+		{"Grant", func() error {
+			return s.Grant(Permission{Subject: "sr", Object: "or", Environment: AnyEnvironment,
+				Transaction: "use", Effect: Permit})
+		}},
+		{"Revoke", func() error {
+			return s.Revoke(Permission{Subject: "sr", Object: "or", Environment: AnyEnvironment,
+				Transaction: "use", Effect: Permit})
+		}},
+		{"AddSoDConstraint", func() error {
+			return s.AddSoDConstraint(SoDConstraint{Name: "x", Kind: DynamicSoD,
+				Roles: []RoleID{"sr", "sr2"}})
+		}},
+		{"RemoveSoDConstraint", func() error { return s.RemoveSoDConstraint("x") }},
+		{"SetConflictStrategy", func() error { s.SetConflictStrategy(PermitOverrides{}); return nil }},
+		{"SetMinConfidence", func() error { return s.SetMinConfidence(0.5) }},
+		{"SetEnvironmentSource", func() error { s.SetEnvironmentSource(nil); return nil }},
+		{"CreateSession", func() error { var err error; sid, err = s.CreateSession("u"); return err }},
+		{"ActivateRole", func() error { return s.ActivateRole(sid, "sr") }},
+		{"DeactivateRole", func() error { return s.DeactivateRole(sid, "sr") }},
+		{"CloseSession", func() error { return s.CloseSession(sid) }},
+		{"RevokeSubjectRole", func() error { return s.RevokeSubjectRole("u", "sr") }},
+		{"RevokeObjectRole", func() error { return s.RevokeObjectRole("o", "or") }},
+		{"RemoveSubject", func() error { return s.RemoveSubject("u") }},
+		{"RemoveObject", func() error { return s.RemoveObject("o") }},
+		{"RemoveRole", func() error { return s.RemoveRole(SubjectRole, "sr2") }},
+	}
+	prev := s.Stats().Generation
+	for _, step := range steps {
+		if err := step.run(); err != nil {
+			t.Fatalf("%s: %v", step.name, err)
+		}
+		cur := s.Stats().Generation
+		if cur <= prev {
+			t.Fatalf("%s did not bump the generation (%d -> %d): stale decisions would survive",
+				step.name, prev, cur)
+		}
+		prev = cur
+	}
+
+	// Import into a fresh system must bump too.
+	fresh := NewSystem()
+	before := fresh.Stats().Generation
+	if err := fresh.Import(NewSystem().Export()); err != nil {
+		t.Fatal(err)
+	}
+	if fresh.Stats().Generation <= before {
+		t.Fatal("Import did not bump the generation")
+	}
+}
+
+// TestMutationInvalidatesCachedDecision exercises the end-to-end staleness
+// guarantee: a cached permit must flip to deny immediately after the grant
+// behind it is revoked.
+func TestMutationInvalidatesCachedDecision(t *testing.T) {
+	s := newHomeSystem(t)
+	p := grantEntertainment(t, s)
+	req := Request{
+		Subject: "alice", Object: "tv", Transaction: "use",
+		Environment: []RoleID{"weekday-free-time"},
+	}
+	for i := 0; i < 2; i++ { // second call is served from the cache
+		d, err := s.Decide(req)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !d.Allowed {
+			t.Fatalf("call %d: want permit before revocation", i)
+		}
+	}
+	if err := s.Revoke(p); err != nil {
+		t.Fatal(err)
+	}
+	d, err := s.Decide(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d.Allowed {
+		t.Fatal("stale cached permit survived Revoke")
+	}
+}
+
+// TestDecisionCacheBounded proves the capacity bound holds and evictions
+// are counted.
+func TestDecisionCacheBounded(t *testing.T) {
+	s := NewSystem(WithDecisionCacheSize(2))
+	mustOK(s.AddRole(Role{ID: "sr", Kind: SubjectRole}))
+	mustOK(s.AddSubject("u"))
+	mustOK(s.AssignSubjectRole("u", "sr"))
+	mustOK(s.AddTransaction(SimpleTransaction("use")))
+	for _, obj := range []ObjectID{"o0", "o1", "o2", "o3"} {
+		mustOK(s.AddObject(obj))
+	}
+	for _, obj := range []ObjectID{"o0", "o1", "o2", "o3"} {
+		if _, err := s.Decide(Request{Subject: "u", Object: obj, Transaction: "use",
+			Environment: []RoleID{}}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	st := s.Stats()
+	if st.DecisionEntries > 2 {
+		t.Fatalf("DecisionEntries = %d, want <= capacity 2", st.DecisionEntries)
+	}
+	if st.DecisionEvictions < 2 {
+		t.Fatalf("DecisionEvictions = %d, want >= 2 after 4 inserts into 2 slots", st.DecisionEvictions)
+	}
+}
+
+// TestWithoutDecisionCache verifies the opt-out: no entries, no hits, and a
+// zero capacity reported by Stats.
+func TestWithoutDecisionCache(t *testing.T) {
+	s := NewSystem(WithoutDecisionCache())
+	mustOK(s.AddRole(Role{ID: "sr", Kind: SubjectRole}))
+	mustOK(s.AddSubject("u"))
+	mustOK(s.AddObject("o"))
+	mustOK(s.AddTransaction(SimpleTransaction("use")))
+	req := Request{Subject: "u", Object: "o", Transaction: "use", Environment: []RoleID{}}
+	for i := 0; i < 3; i++ {
+		if _, err := s.Decide(req); err != nil {
+			t.Fatal(err)
+		}
+	}
+	st := s.Stats()
+	if st.DecisionCapacity != 0 || st.DecisionEntries != 0 || st.DecisionHits != 0 {
+		t.Fatalf("Stats() = %+v, want caching fully disabled", st)
+	}
+}
+
+// TestNilAndEmptyCredentialsKeyedSeparately guards the subtlest key
+// distinction: a nil CredentialSet means "identity fully trusted" while an
+// empty non-nil one means "no evidence at all" (confidence 0). The two must
+// never share a cache entry.
+func TestNilAndEmptyCredentialsKeyedSeparately(t *testing.T) {
+	s := newHomeSystem(t)
+	grantEntertainment(t, s)
+	base := Request{
+		Subject: "alice", Object: "tv", Transaction: "use",
+		Environment: []RoleID{"weekday-free-time"},
+	}
+
+	trusted := base // nil credentials
+	d, err := s.Decide(trusted)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !d.Allowed {
+		t.Fatal("trusted request should be permitted")
+	}
+
+	unproven := base
+	unproven.Credentials = CredentialSet{} // non-nil, empty: confidence 0
+	d, err = s.Decide(unproven)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d.Allowed {
+		t.Fatal("empty credential set shared a cache entry with the trusted request")
+	}
+}
+
+// switchEnv is an EnvironmentSource whose answer can be changed between
+// calls without any System mutation, modelling a live sensor feed.
+type switchEnv struct{ roles []RoleID }
+
+func (e *switchEnv) ActiveEnvironmentRoles() []RoleID { return e.roles }
+
+// TestLiveEnvironmentSourceNeverServedStale proves the cache cannot go
+// stale through the EnvironmentSource side door: the source sits outside
+// the generation counter, so Decide keys on the resolved snapshot instead.
+func TestLiveEnvironmentSourceNeverServedStale(t *testing.T) {
+	s := newHomeSystem(t)
+	grantEntertainment(t, s)
+	src := &switchEnv{roles: nil}
+	s.SetEnvironmentSource(src)
+
+	req := Request{Subject: "alice", Object: "tv", Transaction: "use"} // Environment nil: ask the source
+	d, err := s.Decide(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d.Allowed {
+		t.Fatal("no active environment roles: want deny")
+	}
+
+	src.roles = []RoleID{"weekday-free-time"} // sensor update, no System mutation
+	d, err = s.Decide(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !d.Allowed {
+		t.Fatal("environment became active but Decide served the stale cached deny")
+	}
+}
+
+// TestDecideErrorsAreNotCached checks invalid requests always recompute, so
+// a later fix (e.g. adding the missing transaction) is visible even without
+// a generation bump in between.
+func TestDecideErrorsAreNotCached(t *testing.T) {
+	s := newHomeSystem(t)
+	grantEntertainment(t, s)
+	bad := Request{Subject: "alice", Object: "tv", Transaction: "nonexistent"}
+	for i := 0; i < 2; i++ {
+		if _, err := s.Decide(bad); err == nil {
+			t.Fatal("want error for unknown transaction")
+		}
+	}
+	if st := s.Stats(); st.DecisionEntries != 0 {
+		t.Fatalf("errored decision was cached: %+v", st)
+	}
+}

@@ -167,3 +167,129 @@ func TestConcurrentExportClone(t *testing.T) {
 	close(stop)
 	wg.Wait()
 }
+
+// TestConcurrentCacheInvalidationStress is the writers-vs-readers hammer
+// for the decision cache: readers spin on Decide for a request whose
+// outcome the writers never change, while the writers churn grants,
+// assignments, and role add/remove — each of which bumps the generation
+// and invalidates the cache mid-read. Run with -race. After the storm the
+// cached system must still agree with an uncached twin, and the stats must
+// show the cache both served hits and was invalidated.
+func TestConcurrentCacheInvalidationStress(t *testing.T) {
+	s := newHomeSystem(t)
+	grantEntertainment(t, s)
+
+	const (
+		readers   = 8
+		perReader = 500
+		perWriter = 200
+	)
+	req := Request{
+		Subject: "alice", Object: "tv", Transaction: "use",
+		Environment: []RoleID{"weekday-free-time"},
+	}
+	var wg sync.WaitGroup
+
+	for i := 0; i < readers; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for j := 0; j < perReader; j++ {
+				d, err := s.Decide(req)
+				if err != nil {
+					t.Errorf("Decide: %v", err)
+					return
+				}
+				// The writers never touch the entitlement behind this
+				// request, so a flipped answer means a stale or torn cache
+				// entry was served.
+				if !d.Allowed {
+					t.Errorf("iteration %d: cached decision flipped to deny", j)
+					return
+				}
+			}
+		}()
+	}
+
+	// Writer 1: grant/revoke churn on an unrelated permission.
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		p := Permission{
+			Subject: "parent", Object: "medical-records",
+			Environment: AnyEnvironment, Transaction: "use", Effect: Permit,
+		}
+		for i := 0; i < perWriter; i++ {
+			if err := s.Grant(p); err != nil {
+				t.Errorf("Grant: %v", err)
+				return
+			}
+			if err := s.Revoke(p); err != nil {
+				t.Errorf("Revoke: %v", err)
+				return
+			}
+		}
+	}()
+
+	// Writer 2: assignment churn on a subject the readers don't probe.
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for i := 0; i < perWriter; i++ {
+			if err := s.AssignSubjectRole("dad", "child"); err != nil {
+				t.Errorf("AssignSubjectRole: %v", err)
+				return
+			}
+			if err := s.RevokeSubjectRole("dad", "child"); err != nil {
+				t.Errorf("RevokeSubjectRole: %v", err)
+				return
+			}
+		}
+	}()
+
+	// Writer 3: role add/remove churn, forcing closure-cache rebuilds.
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for i := 0; i < perWriter; i++ {
+			id := RoleID(fmt.Sprintf("stress-role-%d", i))
+			if err := s.AddRole(Role{ID: id, Kind: SubjectRole,
+				Parents: []RoleID{"family-member"}}); err != nil {
+				t.Errorf("AddRole: %v", err)
+				return
+			}
+			if err := s.RemoveRole(SubjectRole, id); err != nil {
+				t.Errorf("RemoveRole: %v", err)
+				return
+			}
+		}
+	}()
+
+	wg.Wait()
+
+	// The storm is over: the cached system must agree with an uncached twin
+	// rebuilt from its final state.
+	twin := NewSystem(WithoutDecisionCache())
+	if err := twin.Import(s.Export()); err != nil {
+		t.Fatalf("Import: %v", err)
+	}
+	got, err := s.Decide(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err := twin.Decide(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Allowed != want.Allowed || got.Effect != want.Effect {
+		t.Fatalf("post-storm divergence: cached %+v, uncached %+v", got, want)
+	}
+
+	st := s.Stats()
+	if st.DecisionHits == 0 {
+		t.Error("stress run never hit the cache; the test exercised nothing")
+	}
+	if st.Invalidations == 0 {
+		t.Error("writers ran but Invalidations is zero")
+	}
+}

@@ -62,10 +62,42 @@ type Decision struct {
 // triple the request can establish, matching permissions are collected, and
 // conflicts between positive and negative authorizations are resolved by
 // the installed ConflictStrategy. No matching permission means deny.
+//
+// Decisions are memoized in a bounded, generation-stamped cache keyed by
+// (subject, session, object, transaction, credential set, resolved
+// environment snapshot); any mutating call invalidates every entry by
+// bumping the generation. Errors are never cached.
 func (s *System) Decide(req Request) (Decision, error) {
 	s.mu.RLock()
 	defer s.mu.RUnlock()
-	return s.decideLocked(req)
+	if s.cache == nil {
+		return s.decideLocked(req)
+	}
+	// Resolve the environment snapshot up front: the cache key must be a
+	// pure function of everything the decision depends on, and the live
+	// EnvironmentSource sits outside the generation counter's reach.
+	resolved := req.Environment
+	if resolved == nil && s.envSource != nil {
+		resolved = s.envSource.ActiveEnvironmentRoles()
+	}
+	if resolved == nil {
+		resolved = []RoleID{}
+	}
+	req.Environment = resolved
+	key := decisionKey(req, sortedEnv(resolved))
+	if d, ok := s.cache.get(key, s.gen); ok {
+		s.decHits.Add(1)
+		return d.clone(), nil
+	}
+	s.decMisses.Add(1)
+	d, err := s.decideLocked(req)
+	if err != nil {
+		return d, err
+	}
+	if s.cache.put(key, s.gen, d.clone()) {
+		s.decEvictions.Add(1)
+	}
+	return d, nil
 }
 
 func (s *System) decideLocked(req Request) (Decision, error) {

@@ -1,0 +1,86 @@
+package core
+
+import (
+	"math/rand"
+	"reflect"
+	"testing"
+)
+
+// FuzzDecide drives the mediation engine with randomized policies, probe
+// requests, strategies, and partial-authentication credentials. For every
+// probe it asserts three things: Decide never panics, a warm (cached) call
+// is byte-identical to the cold one, and an uncached twin built from the
+// exported state reaches exactly the same decision. Any divergence is a
+// stale-cache or key-collision bug.
+func FuzzDecide(f *testing.F) {
+	f.Add(int64(1), uint8(0), false)
+	f.Add(int64(42), uint8(1), true)
+	f.Add(int64(-7), uint8(2), true)
+	f.Add(int64(123456789), uint8(3), false)
+
+	strategies := []ConflictStrategy{DenyOverrides{}, PermitOverrides{}, MostSpecificWins{}}
+
+	f.Fuzz(func(t *testing.T, seed int64, strategyByte uint8, withCreds bool) {
+		rng := rand.New(rand.NewSource(seed))
+		s, probes := buildRandomPolicy(rng)
+		strategy := strategies[int(strategyByte)%len(strategies)]
+		s.SetConflictStrategy(strategy)
+
+		// Uncached twin rebuilt from the exported state. Export carries
+		// everything but the strategy, which we mirror explicitly.
+		twin := NewSystem(WithoutDecisionCache())
+		if err := twin.Import(s.Export()); err != nil {
+			t.Fatalf("Import: %v", err)
+		}
+		twin.SetConflictStrategy(strategy)
+
+		for _, req := range probes {
+			if withCreds && rng.Intn(2) == 0 {
+				req.Credentials = CredentialSet{
+					IdentityCredential(req.Subject, float64(rng.Intn(101))/100, "fuzz"),
+				}
+				if rng.Intn(2) == 0 {
+					req.Credentials = append(req.Credentials,
+						RoleCredential(RoleID("sr0"), float64(rng.Intn(101))/100, "fuzz"))
+				}
+			}
+			cold, errCold := s.Decide(req)
+			warm, errWarm := s.Decide(req)
+			ref, errRef := twin.Decide(req)
+			if (errCold == nil) != (errWarm == nil) || (errCold == nil) != (errRef == nil) {
+				t.Fatalf("error disagreement on %+v: cold=%v warm=%v twin=%v",
+					req, errCold, errWarm, errRef)
+			}
+			if errCold != nil {
+				continue
+			}
+			if !reflect.DeepEqual(cold, warm) {
+				t.Fatalf("cold/warm divergence on %+v:\ncold %+v\nwarm %+v", req, cold, warm)
+			}
+			if !reflect.DeepEqual(cold, ref) {
+				t.Fatalf("cached/uncached divergence on %+v:\ncached   %+v\nuncached %+v",
+					req, cold, ref)
+			}
+		}
+
+		// Session-restricted probes exercise the session leg of the cache
+		// key on the cached system alone (sessions are not exported, so the
+		// twin cannot mirror them).
+		sid, err := s.CreateSession("u0")
+		if err != nil {
+			t.Fatalf("CreateSession: %v", err)
+		}
+		if err := s.ActivateRole(sid, RoleID("sr0")); err == nil {
+			req := Request{Subject: "u0", Session: sid, Object: "o0", Transaction: "use",
+				Environment: []RoleID{}}
+			cold, errCold := s.Decide(req)
+			warm, errWarm := s.Decide(req)
+			if (errCold == nil) != (errWarm == nil) {
+				t.Fatalf("session probe error disagreement: cold=%v warm=%v", errCold, errWarm)
+			}
+			if errCold == nil && !reflect.DeepEqual(cold, warm) {
+				t.Fatalf("session probe cold/warm divergence:\ncold %+v\nwarm %+v", cold, warm)
+			}
+		}
+	})
+}

@@ -1,7 +1,9 @@
 package core
 
 import (
+	"fmt"
 	"math/rand"
+	"reflect"
 	"testing"
 	"testing/quick"
 )
@@ -193,6 +195,107 @@ func TestDecideAgreesWithOracle(t *testing.T) {
 		return true
 	}
 	if err := quick.Check(f, &quick.Config{MaxCount: 150}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestCachedDecideMatchesUncachedTwinAcrossMutations replays randomized
+// mutation/decision interleavings against a cached system and, after every
+// mutation batch, rebuilds an uncached twin from the exported state and
+// compares full decisions on every probe — twice on the cached system so
+// both the miss and the hit path are checked. This is the differential
+// guard against stale-cache bugs: a mutator that forgets to bump the
+// generation, or a key that under-discriminates, shows up as a divergence.
+func TestCachedDecideMatchesUncachedTwinAcrossMutations(t *testing.T) {
+	strategies := []ConflictStrategy{DenyOverrides{}, PermitOverrides{}, MostSpecificWins{}}
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		s, probes := buildRandomPolicy(rng)
+		strategy := strategies[rng.Intn(len(strategies))]
+		s.SetConflictStrategy(strategy)
+
+		roles := []RoleID{"sr0", "sr1"}
+		objRoles := []RoleID{"or0", "or1"}
+		envRoles := []RoleID{"er0", "er1"}
+		txs := []TransactionID{"use", "read"}
+		subjects := []SubjectID{"u0", "u1", "u2"}
+		extraRoles := 0
+
+		// agree compares cached (miss then hit) against a fresh uncached twin.
+		agree := func() bool {
+			twin := NewSystem(WithoutDecisionCache())
+			if err := twin.Import(s.Export()); err != nil {
+				t.Logf("Import: %v", err)
+				return false
+			}
+			twin.SetConflictStrategy(strategy)
+			for _, req := range probes {
+				d1, err1 := s.Decide(req)
+				d2, err2 := s.Decide(req)
+				ref, errRef := twin.Decide(req)
+				if (err1 == nil) != (err2 == nil) || (err1 == nil) != (errRef == nil) {
+					t.Logf("error disagreement on %+v: %v / %v / %v", req, err1, err2, errRef)
+					return false
+				}
+				if err1 != nil {
+					continue
+				}
+				if !reflect.DeepEqual(d1, d2) {
+					t.Logf("miss/hit divergence on %+v:\n%+v\n%+v", req, d1, d2)
+					return false
+				}
+				if !reflect.DeepEqual(d1, ref) {
+					t.Logf("cached/uncached divergence on %+v:\ncached   %+v\nuncached %+v", req, d1, ref)
+					return false
+				}
+			}
+			return true
+		}
+
+		if !agree() {
+			return false
+		}
+		// Interleave random mutations with full differential checks. The
+		// mutation menu deliberately covers grants, revocations, hierarchy
+		// edits, assignment churn, and threshold changes; errors from
+		// redundant or cyclic edits are expected and ignored.
+		for step := 0; step < 10; step++ {
+			switch rng.Intn(7) {
+			case 0:
+				_ = s.Grant(Permission{
+					Subject:     roles[rng.Intn(len(roles))],
+					Object:      objRoles[rng.Intn(len(objRoles))],
+					Environment: envRoles[rng.Intn(len(envRoles))],
+					Transaction: txs[rng.Intn(len(txs))],
+					Effect:      Effect(1 + rng.Intn(2)),
+				})
+			case 1:
+				if perms := s.Permissions(); len(perms) > 0 {
+					_ = s.Revoke(perms[rng.Intn(len(perms))])
+				}
+			case 2:
+				id := RoleID(fmt.Sprintf("xr%d", extraRoles))
+				extraRoles++
+				if s.AddRole(Role{ID: id, Kind: SubjectRole,
+					Parents: []RoleID{roles[rng.Intn(len(roles))]}}) == nil {
+					roles = append(roles, id)
+				}
+			case 3:
+				_ = s.AssignSubjectRole(subjects[rng.Intn(len(subjects))], roles[rng.Intn(len(roles))])
+			case 4:
+				_ = s.RevokeSubjectRole(subjects[rng.Intn(len(subjects))], roles[rng.Intn(len(roles))])
+			case 5:
+				_ = s.AddRoleParent(SubjectRole, roles[rng.Intn(len(roles))], roles[rng.Intn(len(roles))])
+			case 6:
+				_ = s.SetMinConfidence(float64(rng.Intn(100)) / 100)
+			}
+			if !agree() {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
 		t.Fatal(err)
 	}
 }

@@ -102,7 +102,7 @@ func (s *System) SubjectsInRole(role RoleID) []SubjectID {
 	defer s.mu.RUnlock()
 	var out []SubjectID
 	for sub, rec := range s.subjects {
-		if s.subjectRoles.closure(setToSlice(rec.roles))[role] {
+		if s.subjectRoles.closureContains(rec.roles, role) {
 			out = append(out, sub)
 		}
 	}
@@ -117,7 +117,7 @@ func (s *System) ObjectsInRole(role RoleID) []ObjectID {
 	defer s.mu.RUnlock()
 	var out []ObjectID
 	for obj, rec := range s.objects {
-		if s.objectRoles.closure(setToSlice(rec.roles))[role] {
+		if s.objectRoles.closureContains(rec.roles, role) {
 			out = append(out, obj)
 		}
 	}

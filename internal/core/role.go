@@ -38,13 +38,19 @@ type roleGraph struct {
 	// the System write lock), so reads under the read lock are race-free
 	// map lookups.
 	depths map[RoleID]int
+	// closures caches the full upward closure of every role (the role
+	// itself plus all ancestors). Like depths it is rebuilt eagerly on
+	// every structural mutation, turning the per-decision closure walk
+	// into a merge of precomputed sets.
+	closures map[RoleID]map[RoleID]bool
 }
 
 func newRoleGraph(kind RoleKind) *roleGraph {
 	return &roleGraph{
-		kind:   kind,
-		roles:  make(map[RoleID]*Role),
-		depths: make(map[RoleID]int),
+		kind:     kind,
+		roles:    make(map[RoleID]*Role),
+		depths:   make(map[RoleID]int),
+		closures: make(map[RoleID]map[RoleID]bool),
 	}
 }
 
@@ -72,7 +78,7 @@ func (g *roleGraph) add(r Role) error {
 	}
 	cp := r.clone()
 	g.roles[r.ID] = &cp
-	g.recomputeDepths()
+	g.refreshDerived()
 	return nil
 }
 
@@ -95,7 +101,7 @@ func (g *roleGraph) addParent(child, parent RoleID) error {
 		return fmt.Errorf("%w: %s role %q -> %q", ErrCycle, g.kind, child, parent)
 	}
 	c.Parents = append(c.Parents, parent)
-	g.recomputeDepths()
+	g.refreshDerived()
 	return nil
 }
 
@@ -108,7 +114,7 @@ func (g *roleGraph) removeParent(child, parent RoleID) error {
 	for i, p := range c.Parents {
 		if p == parent {
 			c.Parents = append(c.Parents[:i], c.Parents[i+1:]...)
-			g.recomputeDepths()
+			g.refreshDerived()
 			return nil
 		}
 	}
@@ -130,7 +136,7 @@ func (g *roleGraph) remove(id RoleID) error {
 			i++
 		}
 	}
-	g.recomputeDepths()
+	g.refreshDerived()
 	return nil
 }
 
@@ -163,20 +169,19 @@ func (g *roleGraph) reaches(src, dst RoleID) bool {
 }
 
 // closure returns the upward closure of the seed set: every seed role plus
-// all of its ancestors. Unknown seeds are included verbatim so that callers
-// holding stale IDs still get deterministic (deny-safe) behaviour.
+// all of its ancestors, merged from the per-role closure cache. Unknown
+// seeds are included verbatim so that callers holding stale IDs still get
+// deterministic (deny-safe) behaviour.
 func (g *roleGraph) closure(seeds []RoleID) map[RoleID]bool {
 	out := make(map[RoleID]bool, len(seeds)*2)
-	stack := append([]RoleID(nil), seeds...)
-	for len(stack) > 0 {
-		cur := stack[len(stack)-1]
-		stack = stack[:len(stack)-1]
-		if out[cur] {
+	for _, s := range seeds {
+		cl, ok := g.closures[s]
+		if !ok {
+			out[s] = true
 			continue
 		}
-		out[cur] = true
-		if r, ok := g.roles[cur]; ok {
-			stack = append(stack, r.Parents...)
+		for r := range cl {
+			out[r] = true
 		}
 	}
 	return out
@@ -184,31 +189,37 @@ func (g *roleGraph) closure(seeds []RoleID) map[RoleID]bool {
 
 // weightedClosure propagates per-role confidences upward: possessing a role
 // with confidence c implies possessing each ancestor with at least c. When
-// several paths reach the same ancestor, the maximum confidence wins.
+// several paths reach the same ancestor, the maximum confidence wins. Each
+// seed's ancestor set comes from the per-role closure cache.
 func (g *roleGraph) weightedClosure(seeds map[RoleID]float64) map[RoleID]float64 {
 	out := make(map[RoleID]float64, len(seeds)*2)
-	type item struct {
-		id   RoleID
-		conf float64
-	}
-	stack := make([]item, 0, len(seeds))
 	for id, c := range seeds {
-		stack = append(stack, item{id, c})
-	}
-	for len(stack) > 0 {
-		cur := stack[len(stack)-1]
-		stack = stack[:len(stack)-1]
-		if prev, ok := out[cur.id]; ok && prev >= cur.conf {
+		cl, ok := g.closures[id]
+		if !ok {
+			if prev, seen := out[id]; !seen || c > prev {
+				out[id] = c
+			}
 			continue
 		}
-		out[cur.id] = cur.conf
-		if r, ok := g.roles[cur.id]; ok {
-			for _, p := range r.Parents {
-				stack = append(stack, item{p, cur.conf})
+		for r := range cl {
+			if prev, seen := out[r]; !seen || c > prev {
+				out[r] = c
 			}
 		}
 	}
 	return out
+}
+
+// closureContains reports whether target lies in the upward closure of any
+// seed, without materializing the closure. It is the allocation-free form
+// of closure(...)[target] used by the membership queries.
+func (g *roleGraph) closureContains(seeds map[RoleID]bool, target RoleID) bool {
+	for s := range seeds {
+		if s == target || g.closures[s][target] {
+			return true
+		}
+	}
+	return false
 }
 
 // ancestors returns all strict ancestors of id in sorted order.
@@ -218,14 +229,16 @@ func (g *roleGraph) ancestors(id RoleID) []RoleID {
 	return sortedRoleIDs(cl)
 }
 
-// descendants returns all strict descendants of id in sorted order.
+// descendants returns all strict descendants of id in sorted order, read
+// off the closure cache (other is a descendant of id iff id is in other's
+// upward closure).
 func (g *roleGraph) descendants(id RoleID) []RoleID {
 	var out []RoleID
 	for other := range g.roles {
 		if other == id {
 			continue
 		}
-		if g.reaches(other, id) {
+		if g.closures[other][id] {
 			out = append(out, other)
 		}
 	}
@@ -237,6 +250,37 @@ func (g *roleGraph) descendants(id RoleID) []RoleID {
 // served from the eagerly maintained cache. Unknown roles have depth 0.
 func (g *roleGraph) depth(id RoleID) int {
 	return g.depths[id]
+}
+
+// refreshDerived rebuilds every derived cache (depths and closures) after a
+// structural mutation; callers hold the write lock.
+func (g *roleGraph) refreshDerived() {
+	g.recomputeDepths()
+	g.recomputeClosures()
+}
+
+// recomputeClosures rebuilds the per-role upward-closure cache with a
+// memoized traversal: closure(r) = {r} ∪ closure(p) for each parent p.
+func (g *roleGraph) recomputeClosures() {
+	memo := make(map[RoleID]map[RoleID]bool, len(g.roles))
+	var rec func(RoleID) map[RoleID]bool
+	rec = func(cur RoleID) map[RoleID]bool {
+		if cl, ok := memo[cur]; ok {
+			return cl
+		}
+		cl := map[RoleID]bool{cur: true}
+		memo[cur] = cl // set before recursing; the graph is a DAG
+		for _, p := range g.roles[cur].Parents {
+			for a := range rec(p) {
+				cl[a] = true
+			}
+		}
+		return cl
+	}
+	for id := range g.roles {
+		rec(id)
+	}
+	g.closures = memo
 }
 
 // recomputeDepths rebuilds the depth cache; callers hold the write lock.

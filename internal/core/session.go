@@ -45,6 +45,7 @@ func (s *System) CreateSession(subject SubjectID) (SessionID, error) {
 		active:  make(map[RoleID]bool),
 		created: s.now(),
 	}
+	s.invalidateLocked()
 	return id, nil
 }
 
@@ -56,6 +57,7 @@ func (s *System) CloseSession(id SessionID) error {
 		return fmt.Errorf("%w: %q", ErrNoSession, id)
 	}
 	delete(s.sessions, id)
+	s.invalidateLocked()
 	return nil
 }
 
@@ -99,6 +101,7 @@ func (s *System) ActivateRole(id SessionID, role RoleID) error {
 		}
 	}
 	sess.active[role] = true
+	s.invalidateLocked()
 	return nil
 }
 
@@ -114,6 +117,7 @@ func (s *System) DeactivateRole(id SessionID, role RoleID) error {
 		return fmt.Errorf("%w: role %q not active in session %q", ErrNotFound, role, id)
 	}
 	delete(sess.active, role)
+	s.invalidateLocked()
 	return nil
 }
 

@@ -137,6 +137,7 @@ func (s *System) Import(st State) error {
 		s.sods = append(s.sods, c.clone())
 	}
 	s.threshold = st.MinConfidence
+	s.invalidateLocked()
 	return nil
 }
 

@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"sort"
 	"sync"
+	"sync/atomic"
 	"time"
 )
 
@@ -55,6 +56,21 @@ type System struct {
 	threshold float64
 	envSource EnvironmentSource
 	now       func() time.Time
+
+	// gen is the monotonic policy generation. Every mutating call bumps
+	// it under the write lock, instantly invalidating all cached
+	// decisions (entries are stamped with the generation they were
+	// computed at). Readers access it under the read lock.
+	gen uint64
+	// cache memoizes Decide results; nil when caching is disabled.
+	cache    *decisionCache
+	cacheCap int
+	// Cache counters are atomics because hits and misses are recorded
+	// while only the read lock is held.
+	decHits       atomic.Uint64
+	decMisses     atomic.Uint64
+	decEvictions  atomic.Uint64
+	invalidations atomic.Uint64
 }
 
 // Option configures a System at construction time.
@@ -91,6 +107,19 @@ func WithoutPermissionIndex() Option {
 	return func(s *System) { s.indexDisabled = true }
 }
 
+// WithDecisionCacheSize bounds the decision cache to n entries. n <= 0
+// disables decision caching entirely (role-closure caching stays on).
+func WithDecisionCacheSize(n int) Option {
+	return func(s *System) { s.cacheCap = n }
+}
+
+// WithoutDecisionCache disables the decision cache so every Decide runs
+// the full mediation rule. It exists for the ablation benchmarks and the
+// differential tests that cross-check cached against uncached decisions.
+func WithoutDecisionCache() Option {
+	return func(s *System) { s.cacheCap = 0 }
+}
+
 // NewSystem returns an empty GRBAC system with deny-overrides conflict
 // resolution and no confidence threshold.
 func NewSystem(opts ...Option) *System {
@@ -105,11 +134,44 @@ func NewSystem(opts ...Option) *System {
 		sessions:     make(map[SessionID]*session),
 		strategy:     DenyOverrides{},
 		now:          time.Now,
+		cacheCap:     defaultDecisionCacheSize,
 	}
 	for _, opt := range opts {
 		opt(s)
 	}
+	if s.cacheCap > 0 {
+		s.cache = newDecisionCache(s.cacheCap)
+	} else {
+		s.cacheCap = 0
+	}
 	return s
+}
+
+// invalidateLocked bumps the policy generation, invalidating every cached
+// decision. Callers hold the write lock and have just mutated state.
+func (s *System) invalidateLocked() {
+	s.gen++
+	s.invalidations.Add(1)
+}
+
+// Stats reports the memoization layer's counters: decision-cache hits,
+// misses, and evictions, the number of invalidations (policy mutations),
+// and the current cache occupancy. The PDP server serves it at /v1/statsz.
+func (s *System) Stats() Stats {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	st := Stats{
+		Generation:        s.gen,
+		DecisionHits:      s.decHits.Load(),
+		DecisionMisses:    s.decMisses.Load(),
+		DecisionEvictions: s.decEvictions.Load(),
+		Invalidations:     s.invalidations.Load(),
+		DecisionCapacity:  s.cacheCap,
+	}
+	if s.cache != nil {
+		st.DecisionEntries = s.cache.size()
+	}
+	return st
 }
 
 // graph returns the role graph for kind; the caller must hold the lock.
@@ -139,6 +201,7 @@ func (s *System) AddSubject(id SubjectID) error {
 		return fmt.Errorf("%w: subject %q", ErrExists, id)
 	}
 	s.subjects[id] = &subjectRec{roles: make(map[RoleID]bool)}
+	s.invalidateLocked()
 	return nil
 }
 
@@ -156,6 +219,7 @@ func (s *System) RemoveSubject(id SubjectID) error {
 			delete(s.sessions, sid)
 		}
 	}
+	s.invalidateLocked()
 	return nil
 }
 
@@ -190,6 +254,7 @@ func (s *System) AddObject(id ObjectID) error {
 		return fmt.Errorf("%w: object %q", ErrExists, id)
 	}
 	s.objects[id] = &objectRec{roles: make(map[RoleID]bool)}
+	s.invalidateLocked()
 	return nil
 }
 
@@ -201,6 +266,7 @@ func (s *System) RemoveObject(id ObjectID) error {
 		return fmt.Errorf("%w: object %q", ErrNotFound, id)
 	}
 	delete(s.objects, id)
+	s.invalidateLocked()
 	return nil
 }
 
@@ -240,7 +306,11 @@ func (s *System) AddRole(r Role) error {
 	if err != nil {
 		return err
 	}
-	return g.add(r)
+	if err := g.add(r); err != nil {
+		return err
+	}
+	s.invalidateLocked()
+	return nil
 }
 
 // AddRoleParent adds a hierarchy edge making parent a generalization of
@@ -252,7 +322,11 @@ func (s *System) AddRoleParent(kind RoleKind, child, parent RoleID) error {
 	if err != nil {
 		return err
 	}
-	return g.addParent(child, parent)
+	if err := g.addParent(child, parent); err != nil {
+		return err
+	}
+	s.invalidateLocked()
+	return nil
 }
 
 // RemoveRoleParent removes a hierarchy edge.
@@ -263,7 +337,11 @@ func (s *System) RemoveRoleParent(kind RoleKind, child, parent RoleID) error {
 	if err != nil {
 		return err
 	}
-	return g.removeParent(child, parent)
+	if err := g.removeParent(child, parent); err != nil {
+		return err
+	}
+	s.invalidateLocked()
+	return nil
 }
 
 // RemoveRole deletes a role, its hierarchy edges, every assignment of it,
@@ -300,6 +378,7 @@ func (s *System) RemoveRole(kind RoleKind, id RoleID) error {
 	}
 	s.perms = kept
 	s.rebuildIndexLocked()
+	s.invalidateLocked()
 	return nil
 }
 
@@ -415,6 +494,7 @@ func (s *System) AssignSubjectRole(sub SubjectID, role RoleID) error {
 		}
 	}
 	rec.roles[role] = true
+	s.invalidateLocked()
 	return nil
 }
 
@@ -442,6 +522,7 @@ func (s *System) RevokeSubjectRole(sub SubjectID, role RoleID) error {
 			}
 		}
 	}
+	s.invalidateLocked()
 	return nil
 }
 
@@ -480,6 +561,7 @@ func (s *System) AssignObjectRole(obj ObjectID, role RoleID) error {
 		return fmt.Errorf("%w: object role %q", ErrNotFound, role)
 	}
 	rec.roles[role] = true
+	s.invalidateLocked()
 	return nil
 }
 
@@ -495,6 +577,7 @@ func (s *System) RevokeObjectRole(obj ObjectID, role RoleID) error {
 		return fmt.Errorf("%w: object %q does not hold role %q", ErrNotFound, obj, role)
 	}
 	delete(rec.roles, role)
+	s.invalidateLocked()
 	return nil
 }
 
@@ -533,6 +616,7 @@ func (s *System) AddTransaction(t Transaction) error {
 		return fmt.Errorf("%w: transaction %q", ErrExists, t.ID)
 	}
 	s.transactions[t.ID] = t.clone()
+	s.invalidateLocked()
 	return nil
 }
 
@@ -610,6 +694,7 @@ func (s *System) Grant(p Permission) error {
 	}
 	s.perms = append(s.perms, p)
 	s.permIndex[p.Transaction] = append(s.permIndex[p.Transaction], len(s.perms)-1)
+	s.invalidateLocked()
 	return nil
 }
 
@@ -621,6 +706,7 @@ func (s *System) Revoke(p Permission) error {
 		if q == p {
 			s.perms = append(s.perms[:i], s.perms[i+1:]...)
 			s.rebuildIndexLocked()
+			s.invalidateLocked()
 			return nil
 		}
 	}
@@ -665,6 +751,7 @@ func (s *System) AddSoDConstraint(c SoDConstraint) error {
 		}
 	}
 	s.sods = append(s.sods, c.clone())
+	s.invalidateLocked()
 	return nil
 }
 
@@ -675,6 +762,7 @@ func (s *System) RemoveSoDConstraint(name string) error {
 	for i, c := range s.sods {
 		if c.Name == name {
 			s.sods = append(s.sods[:i], s.sods[i+1:]...)
+			s.invalidateLocked()
 			return nil
 		}
 	}
@@ -702,6 +790,7 @@ func (s *System) SetConflictStrategy(cs ConflictStrategy) {
 		cs = DenyOverrides{}
 	}
 	s.strategy = cs
+	s.invalidateLocked()
 }
 
 // SetMinConfidence sets the system-wide authentication threshold.
@@ -712,6 +801,7 @@ func (s *System) SetMinConfidence(t float64) error {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	s.threshold = t
+	s.invalidateLocked()
 	return nil
 }
 
@@ -728,6 +818,7 @@ func (s *System) SetEnvironmentSource(src EnvironmentSource) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	s.envSource = src
+	s.invalidateLocked()
 }
 
 func isWildcard(id RoleID) bool {

@@ -14,8 +14,8 @@ import (
 // holds the last role, and exactly one rule matches it), a subject-role
 // chain of the given depth above the held role, and nEnvRoles environment
 // roles of which all are active at decision time.
-func BuildScaledGRBAC(nRules, nRoles, depth, nEnvRoles int) (*core.System, core.Request, error) {
-	s := core.NewSystem()
+func BuildScaledGRBAC(nRules, nRoles, depth, nEnvRoles int, opts ...core.Option) (*core.System, core.Request, error) {
+	s := core.NewSystem(opts...)
 	// Flat role universe.
 	roleName := func(i int) core.RoleID { return core.RoleID(fmt.Sprintf("role-%d", i)) }
 	for i := 0; i < nRoles; i++ {

@@ -54,6 +54,13 @@ func (c *Client) State(ctx context.Context) (core.State, error) {
 	return st, err
 }
 
+// Stats fetches the server's decision-cache statistics.
+func (c *Client) Stats(ctx context.Context) (core.Stats, error) {
+	var st core.Stats
+	err := c.get(ctx, "/v1/statsz", &st)
+	return st, err
+}
+
 // Healthy reports whether the server answers its liveness probe.
 func (c *Client) Healthy(ctx context.Context) bool {
 	var out map[string]string

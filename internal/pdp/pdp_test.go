@@ -259,3 +259,38 @@ func TestServerAuditing(t *testing.T) {
 		t.Fatalf("stats = %+v", stats)
 	}
 }
+
+func TestStatsz(t *testing.T) {
+	srv, _ := newTestServer(t)
+	client := NewClient(srv.URL, srv.Client())
+	ctx := context.Background()
+
+	req := DecideRequest{
+		Subject: "alice", Object: "tv", Transaction: "use",
+		Environment: []string{"weekday-free-time"},
+	}
+	for i := 0; i < 2; i++ {
+		if _, err := client.Decide(ctx, req); err != nil {
+			t.Fatalf("Decide: %v", err)
+		}
+	}
+	st, err := client.Stats(ctx)
+	if err != nil {
+		t.Fatalf("Stats: %v", err)
+	}
+	if st.DecisionMisses < 1 || st.DecisionHits < 1 {
+		t.Fatalf("Stats = %+v, want at least one miss and one hit", st)
+	}
+	if st.DecisionCapacity == 0 {
+		t.Fatalf("Stats = %+v, want caching enabled by default", st)
+	}
+
+	resp, err := srv.Client().Post(srv.URL+"/v1/statsz", "application/json", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != 405 {
+		t.Fatalf("POST /v1/statsz = %d, want 405", resp.StatusCode)
+	}
+}

@@ -56,6 +56,7 @@ func NewServer(sys *core.System, opts ...ServerOption) *Server {
 	mux.HandleFunc("/v1/check", s.handleCheck)
 	mux.HandleFunc("/v1/state", s.handleState)
 	mux.HandleFunc("/v1/healthz", s.handleHealthz)
+	mux.HandleFunc("/v1/statsz", s.handleStatsz)
 	if s.trail != nil {
 		mux.HandleFunc("/v1/audit", s.handleAudit)
 	}
@@ -113,6 +114,17 @@ func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	s.writeJSON(w, http.StatusOK, map[string]string{"status": "ok"})
+}
+
+// handleStatsz reports the decision-cache counters (hits, misses,
+// evictions, invalidations, generation), the PDP's observability hook for
+// cache effectiveness.
+func (s *Server) handleStatsz(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet {
+		s.writeStatus(w, http.StatusMethodNotAllowed, "GET only")
+		return
+	}
+	s.writeJSON(w, http.StatusOK, s.sys.Stats())
 }
 
 // handleAudit serves the decision trail:

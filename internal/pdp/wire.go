@@ -11,6 +11,7 @@
 //	POST /v1/check   — boolean decision
 //	GET  /v1/state   — policy snapshot (for backup/inspection)
 //	GET  /v1/healthz — liveness
+//	GET  /v1/statsz  — decision-cache statistics
 package pdp
 
 import (

@@ -1,0 +1,41 @@
+#!/bin/sh
+# Benchmark-regression smoke for CI: run the mediation benches (E1, E3,
+# E11) with -benchmem and fail if the decision cache has regressed.
+#
+# Two guards, both on allocation counts (stable across CI hardware, unlike
+# ns/op):
+#   1. the warm cached path must allocate strictly less than the uncached
+#      path on the same workload;
+#   2. the warm cached path must stay under an absolute allocation budget,
+#      so a key- or clone-heavy change cannot hide behind guard 1.
+set -eu
+
+cd "$(dirname "$0")/.."
+
+budget=${BENCHGUARD_MAX_WARM_ALLOCS:-64}
+out=$(go test -run '^$' \
+	-bench 'E1RBACMediation|E3EntertainmentPolicy|E11CachedMediation' \
+	-benchtime 100x -benchmem .)
+echo "$out"
+
+allocs_of() {
+	echo "$out" | awk -v pat="$1" '$1 ~ pat { print $(NF-1); exit }'
+}
+
+warm=$(allocs_of 'E11CachedMediation/warm')
+uncached=$(allocs_of 'E11CachedMediation/uncached')
+if [ -z "$warm" ] || [ -z "$uncached" ]; then
+	echo "benchguard: missing E11CachedMediation results" >&2
+	exit 1
+fi
+
+echo "benchguard: warm=$warm allocs/op, uncached=$uncached allocs/op, budget=$budget"
+if [ "$warm" -ge "$uncached" ]; then
+	echo "benchguard: FAIL: warm cached path allocates as much as uncached ($warm >= $uncached)" >&2
+	exit 1
+fi
+if [ "$warm" -gt "$budget" ]; then
+	echo "benchguard: FAIL: warm cached path exceeds allocation budget ($warm > $budget)" >&2
+	exit 1
+fi
+echo "benchguard: OK"
