@@ -1,6 +1,6 @@
 # Standard developer entry points; everything is plain `go` underneath.
 
-.PHONY: all build vet test race bench benchguard fuzz cover experiments fmt
+.PHONY: all build vet test race bench benchguard replication-smoke fuzz cover experiments fmt
 
 all: build vet test
 
@@ -23,6 +23,11 @@ bench:
 # cached decision path stops beating the uncached one (see the script).
 benchguard:
 	./scripts/benchguard.sh
+
+# End-to-end replication drill: boots a primary/follower grbacd pair on
+# loopback and asserts convergence with the shipped binaries.
+replication-smoke:
+	./scripts/replication_smoke.sh
 
 # Run every native fuzz target for a short budget each.
 fuzz:

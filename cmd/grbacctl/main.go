@@ -8,6 +8,7 @@
 //	grbacctl state
 //	grbacctl health
 //	grbacctl stats
+//	grbacctl -server http://follower:8126 replication
 package main
 
 import (
@@ -21,6 +22,7 @@ import (
 	"time"
 
 	"github.com/aware-home/grbac/internal/pdp"
+	"github.com/aware-home/grbac/internal/replica"
 )
 
 func main() {
@@ -31,7 +33,7 @@ func main() {
 	flag.Parse()
 
 	if flag.NArg() < 1 {
-		log.Fatal("usage: grbacctl [flags] check|decide|state|health|stats|audit|who-can|what-can [subcommand flags]")
+		log.Fatal("usage: grbacctl [flags] check|decide|state|health|stats|replication|audit|who-can|what-can [subcommand flags]")
 	}
 	client := pdp.NewClient(*server, nil)
 	ctx, cancel := context.WithTimeout(context.Background(), *timeout)
@@ -116,6 +118,18 @@ func main() {
 			log.Fatal(err)
 		}
 		printJSON(st)
+	case "replication":
+		st, err := client.Statsz(ctx)
+		if err != nil {
+			log.Fatal(err)
+		}
+		if st.Replication == nil {
+			log.Fatal("server is not a follower (no replication section in /v1/statsz)")
+		}
+		printReplication(*st.Replication)
+		if st.Replication.Stale {
+			os.Exit(1)
+		}
 	case "health":
 		if client.Healthy(ctx) {
 			fmt.Println("ok")
@@ -165,6 +179,22 @@ func parseDecideFlags(args []string) pdp.DecideRequest {
 		}
 	}
 	return req
+}
+
+// printReplication renders follower replication stats as key: value
+// lines, one fact per line, so shell scripts can grep for e.g. "lag: 0".
+func printReplication(st replica.Stats) {
+	fmt.Printf("primary: %s\n", st.PrimaryURL)
+	fmt.Printf("epoch: %s\n", st.Epoch)
+	fmt.Printf("primary_generation: %d\n", st.PrimaryGeneration)
+	fmt.Printf("applied_generation: %d\n", st.AppliedGeneration)
+	fmt.Printf("lag: %d\n", st.Lag)
+	fmt.Printf("syncs: %d\n", st.Syncs)
+	fmt.Printf("errors: %d\n", st.Errors)
+	fmt.Printf("last_sync_age_seconds: %.3f\n", st.LastSyncAgeSeconds)
+	fmt.Printf("last_contact_age_seconds: %.3f\n", st.LastContactAgeSeconds)
+	fmt.Printf("max_staleness_seconds: %.3f\n", st.MaxStalenessSeconds)
+	fmt.Printf("stale: %v\n", st.Stale)
 }
 
 func splitList(raw string) []string {

@@ -8,19 +8,36 @@
 //	curl -s localhost:8125/v1/check -d \
 //	  '{"subject":"alice","object":"tv","transaction":"use",
 //	    "environment":["weekday-free-time"]}'
+//
+// Every grbacd exposes the replication feed (/v1/replica/*), so any node
+// can act as the primary of a cluster. Started with -follow, grbacd is
+// instead a read-only follower: it pulls the primary's snapshot, serves
+// Decide traffic from the replicated policy at local speed, long-polls
+// for changes, and redirects mutations to the primary:
+//
+//	grbacd -addr :8125 -admin &                         # primary
+//	grbacd -addr :8126 -follow http://localhost:8125 &  # follower
+//
+// Past -max-staleness without primary contact the follower keeps serving
+// (decisions marked "stale": true) while /v1/healthz degrades to 503.
 package main
 
 import (
+	"context"
+	"errors"
 	"flag"
 	"log"
 	"net/http"
 	"os"
+	"os/signal"
+	"syscall"
 	"time"
 
 	grbac "github.com/aware-home/grbac"
 	"github.com/aware-home/grbac/internal/audit"
 	"github.com/aware-home/grbac/internal/core"
 	"github.com/aware-home/grbac/internal/pdp"
+	"github.com/aware-home/grbac/internal/replica"
 	"github.com/aware-home/grbac/internal/store"
 )
 
@@ -32,34 +49,87 @@ func main() {
 	snapshotPath := flag.String("snapshot", "", "JSON policy snapshot file")
 	threshold := flag.Float64("min-confidence", 0, "system-wide authentication threshold override (0 = keep policy value)")
 	admin := flag.Bool("admin", false, "enable the policy administration and session endpoints")
+	follow := flag.String("follow", "", "primary PDP base URL to replicate from (follower mode: read-only, policy comes from the primary)")
+	maxStaleness := flag.Duration("max-staleness", 30*time.Second, "follower mode: degrade health and mark decisions stale after this long without primary contact (0 disables)")
+	shutdownGrace := flag.Duration("shutdown-grace", 10*time.Second, "how long to let in-flight requests drain on SIGINT/SIGTERM")
 	flag.Parse()
 
-	sys, err := loadSystem(*policyPath, *snapshotPath)
-	if err != nil {
-		log.Fatal(err)
-	}
-	if *threshold > 0 {
-		if err := sys.SetMinConfidence(*threshold); err != nil {
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
+	var sys *core.System
+	var serverOpts []pdp.ServerOption
+	trail := audit.NewLogger()
+	serverOpts = append(serverOpts, pdp.WithAuditLogger(trail))
+
+	if *follow != "" {
+		if *policyPath != "" || *snapshotPath != "" || *admin {
+			log.Fatal("-follow is exclusive with -policy, -snapshot, and -admin: a follower's policy comes from its primary")
+		}
+		sys = core.NewSystem()
+		follower := replica.NewFollower(sys, *follow,
+			replica.WithMaxStaleness(*maxStaleness))
+		go func() {
+			_ = follower.Run(ctx)
+		}()
+		serverOpts = append(serverOpts, pdp.WithFollower(follower))
+		log.Printf("following primary %s (max staleness %v)", *follow, *maxStaleness)
+	} else {
+		var err error
+		sys, err = loadSystem(*policyPath, *snapshotPath)
+		if err != nil {
 			log.Fatal(err)
 		}
+		if *threshold > 0 {
+			if err := sys.SetMinConfidence(*threshold); err != nil {
+				log.Fatal(err)
+			}
+		}
+		if *admin {
+			serverOpts = append(serverOpts, pdp.WithAdmin())
+			log.Print("administration endpoints ENABLED")
+		}
 	}
+	// Every node exposes the feed, so followers can chain off followers
+	// and any node can be promoted to primary.
+	serverOpts = append(serverOpts, pdp.WithReplicaSource(replica.NewSource(sys)))
 
-	trail := audit.NewLogger()
-	opts := []pdp.ServerOption{pdp.WithAuditLogger(trail)}
-	if *admin {
-		opts = append(opts, pdp.WithAdmin())
-		log.Print("administration endpoints ENABLED")
-	}
-	server := pdp.NewServer(sys, opts...)
+	server := pdp.NewServer(sys, serverOpts...)
 	log.Printf("serving GRBAC PDP on %s (%d permissions, %d subjects)",
 		*addr, len(sys.Permissions()), len(sys.Subjects()))
 	httpServer := &http.Server{
-		Addr:              *addr,
-		Handler:           server,
+		Addr:    *addr,
+		Handler: server,
+		// Defense against slow or stuck clients. The replication watch
+		// handler outlives WriteTimeout by design: it extends its own
+		// per-request write deadline (http.ResponseController) to cover
+		// the long-poll window.
 		ReadHeaderTimeout: 5 * time.Second,
+		ReadTimeout:       10 * time.Second,
+		WriteTimeout:      15 * time.Second,
+		IdleTimeout:       120 * time.Second,
 	}
-	if err := httpServer.ListenAndServe(); err != nil {
+
+	errCh := make(chan error, 1)
+	go func() {
+		errCh <- httpServer.ListenAndServe()
+	}()
+	select {
+	case err := <-errCh:
 		log.Fatal(err)
+	case <-ctx.Done():
+		stop() // restore default signal behavior: a second signal kills
+		log.Printf("signal received, draining for up to %v", *shutdownGrace)
+		shutdownCtx, cancel := context.WithTimeout(context.Background(), *shutdownGrace)
+		defer cancel()
+		if err := httpServer.Shutdown(shutdownCtx); err != nil {
+			log.Printf("shutdown: %v", err)
+			os.Exit(1)
+		}
+		if err := <-errCh; err != nil && !errors.Is(err, http.ErrServerClosed) {
+			log.Printf("serve: %v", err)
+		}
+		log.Print("bye")
 	}
 }
 

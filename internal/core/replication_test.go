@@ -1,0 +1,147 @@
+package core
+
+import (
+	"reflect"
+	"testing"
+	"time"
+)
+
+func TestGenerationBumpsOnMutation(t *testing.T) {
+	s := NewSystem()
+	g0 := s.Generation()
+	if err := s.AddSubject("alice"); err != nil {
+		t.Fatal(err)
+	}
+	if g1 := s.Generation(); g1 <= g0 {
+		t.Fatalf("generation did not advance: %d -> %d", g0, g1)
+	}
+}
+
+func TestGenerationChangeWakesWatcher(t *testing.T) {
+	s := NewSystem()
+	ch := s.GenerationChange()
+	select {
+	case <-ch:
+		t.Fatal("channel closed before any mutation")
+	default:
+	}
+	if err := s.AddSubject("alice"); err != nil {
+		t.Fatal(err)
+	}
+	select {
+	case <-ch:
+	case <-time.After(time.Second):
+		t.Fatal("channel not closed after mutation")
+	}
+	// The channel handed out after the bump waits for the NEXT bump.
+	ch2 := s.GenerationChange()
+	select {
+	case <-ch2:
+		t.Fatal("fresh channel already closed")
+	default:
+	}
+}
+
+func TestSnapshotPairsStateWithGeneration(t *testing.T) {
+	s := populatedSystem(t)
+	st, gen := s.Snapshot()
+	if gen != s.Generation() {
+		t.Fatalf("snapshot generation %d != current %d", gen, s.Generation())
+	}
+	if !reflect.DeepEqual(st, s.Export()) {
+		t.Fatal("Snapshot state differs from Export")
+	}
+}
+
+func TestReplaceSwapsPolicyAtomically(t *testing.T) {
+	src := populatedSystem(t)
+	st := src.Export()
+
+	dst := newHomeSystem(t) // already populated: Import would refuse
+	if err := dst.Import(State{}); err == nil {
+		t.Fatal("Import into populated system should fail")
+	}
+	genBefore := dst.Generation()
+	if err := dst.Replace(st); err != nil {
+		t.Fatalf("Replace: %v", err)
+	}
+	if dst.Generation() <= genBefore {
+		t.Fatal("Replace did not bump the generation")
+	}
+	if !reflect.DeepEqual(dst.Export(), st) {
+		t.Fatal("Replace did not reproduce the snapshot")
+	}
+
+	// Decisions on the replaced system match decisions on the source.
+	req := Request{Subject: "bobby", Object: "tv", Transaction: "use",
+		Environment: []RoleID{"weekday-free-time"}}
+	want, err := src.Decide(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := dst.Decide(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(got, want) {
+		t.Fatalf("decision mismatch after Replace:\n got %+v\nwant %+v", got, want)
+	}
+}
+
+func TestReplaceRejectsBadSnapshotUntouched(t *testing.T) {
+	s := populatedSystem(t)
+	before := s.Export()
+	bad := State{Subjects: []SubjectState{{ID: "ghost", Roles: []RoleID{"no-such-role"}}}}
+	if err := s.Replace(bad); err == nil {
+		t.Fatal("Replace accepted a snapshot with an unknown role")
+	}
+	if !reflect.DeepEqual(s.Export(), before) {
+		t.Fatal("failed Replace mutated the system")
+	}
+}
+
+func TestReplacePrunesSessions(t *testing.T) {
+	s := populatedSystem(t)
+	sid, err := s.CreateSession("bobby")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s.ActivateRole(sid, "child"); err != nil {
+		t.Fatal(err)
+	}
+
+	// Snapshot without bobby's child assignment: the session survives but
+	// the activation is pruned.
+	st := s.Export()
+	for i := range st.Subjects {
+		if st.Subjects[i].ID == "bobby" {
+			st.Subjects[i].Roles = nil
+		}
+	}
+	if err := s.Replace(st); err != nil {
+		t.Fatal(err)
+	}
+	info, err := s.Session(sid)
+	if err != nil {
+		t.Fatalf("session did not survive Replace: %v", err)
+	}
+	if len(info.Active) != 0 {
+		t.Fatalf("active roles not pruned: %v", info.Active)
+	}
+
+	// Snapshot without bobby at all: the session is closed.
+	st2 := s.Export()
+	kept := st2.Subjects[:0]
+	for _, sub := range st2.Subjects {
+		if sub.ID != "bobby" {
+			kept = append(kept, sub)
+		}
+	}
+	st2.Subjects = kept
+	if err := s.Replace(st2); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.Session(sid); err == nil {
+		t.Fatal("session of a vanished subject survived Replace")
+	}
+}

@@ -36,6 +36,21 @@ type State struct {
 func (s *System) Export() State {
 	s.mu.RLock()
 	defer s.mu.RUnlock()
+	return s.exportLocked()
+}
+
+// Snapshot captures the policy store together with the generation it was
+// exported at, under one lock acquisition, so the pair is consistent. It
+// is the primary side of the replication feed: a follower that imports
+// the state and remembers the generation holds exactly the policy the
+// primary held at that generation.
+func (s *System) Snapshot() (State, uint64) {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return s.exportLocked(), s.gen
+}
+
+func (s *System) exportLocked() State {
 	st := State{
 		SubjectRoles:     s.subjectRoles.all(),
 		ObjectRoles:      s.objectRoles.all(),
@@ -137,6 +152,51 @@ func (s *System) Import(st State) error {
 		s.sods = append(s.sods, c.clone())
 	}
 	s.threshold = st.MinConfidence
+	s.invalidateLocked()
+	return nil
+}
+
+// Replace swaps the policy store for the snapshot, atomically from the
+// point of view of concurrent readers: every Decide sees either the old
+// policy or the new one, never a mix. It is the follower side of the
+// replication feed — unlike Import it works on a populated system.
+//
+// The snapshot is first validated by importing it into a scratch system;
+// on any error the receiver is left untouched. Sessions survive a Replace
+// (they are local, ephemeral state the snapshot does not carry) but are
+// pruned against the new policy: sessions whose subject vanished are
+// closed, and active roles no longer in the subject's authorized closure
+// are deactivated, mirroring RevokeSubjectRole semantics.
+func (s *System) Replace(st State) error {
+	tmp := NewSystem()
+	if err := tmp.Import(st); err != nil {
+		return err
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.subjectRoles = tmp.subjectRoles
+	s.objectRoles = tmp.objectRoles
+	s.envRoles = tmp.envRoles
+	s.subjects = tmp.subjects
+	s.objects = tmp.objects
+	s.transactions = tmp.transactions
+	s.perms = tmp.perms
+	s.permIndex = tmp.permIndex
+	s.sods = tmp.sods
+	s.threshold = st.MinConfidence
+	for sid, sess := range s.sessions {
+		rec, ok := s.subjects[sess.subject]
+		if !ok {
+			delete(s.sessions, sid)
+			continue
+		}
+		authorized := s.subjectRoles.closure(setToSlice(rec.roles))
+		for active := range sess.active {
+			if !authorized[active] {
+				delete(sess.active, active)
+			}
+		}
+	}
 	s.invalidateLocked()
 	return nil
 }

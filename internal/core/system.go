@@ -62,6 +62,10 @@ type System struct {
 	// decisions (entries are stamped with the generation they were
 	// computed at). Readers access it under the read lock.
 	gen uint64
+	// genCh is closed (and replaced) on every generation bump, waking
+	// anyone blocked in a generation watch. It is the broadcast primitive
+	// behind the replication feed's long-poll.
+	genCh chan struct{}
 	// cache memoizes Decide results; nil when caching is disabled.
 	cache    *decisionCache
 	cacheCap int
@@ -135,6 +139,7 @@ func NewSystem(opts ...Option) *System {
 		strategy:     DenyOverrides{},
 		now:          time.Now,
 		cacheCap:     defaultDecisionCacheSize,
+		genCh:        make(chan struct{}),
 	}
 	for _, opt := range opts {
 		opt(s)
@@ -148,10 +153,33 @@ func NewSystem(opts ...Option) *System {
 }
 
 // invalidateLocked bumps the policy generation, invalidating every cached
-// decision. Callers hold the write lock and have just mutated state.
+// decision and waking every generation watcher. Callers hold the write
+// lock and have just mutated state.
 func (s *System) invalidateLocked() {
 	s.gen++
 	s.invalidations.Add(1)
+	close(s.genCh)
+	s.genCh = make(chan struct{})
+}
+
+// Generation returns the current policy generation: a monotonic counter
+// bumped by every mutating call. Two systems at the same generation that
+// started from the same snapshot hold identical policy.
+func (s *System) Generation() uint64 {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return s.gen
+}
+
+// GenerationChange returns a channel that is closed at the next generation
+// bump. To wait for a change without missing one, obtain the channel
+// FIRST, then read Generation(): a bump between the two calls is visible
+// in the generation, and a bump after the read closes the channel already
+// held.
+func (s *System) GenerationChange() <-chan struct{} {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return s.genCh
 }
 
 // Stats reports the memoization layer's counters: decision-cache hits,

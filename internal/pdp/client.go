@@ -7,28 +7,88 @@ import (
 	"errors"
 	"fmt"
 	"io"
+	"math/rand"
 	"net/http"
+	"strconv"
 	"strings"
+	"time"
 
 	"github.com/aware-home/grbac/internal/core"
+	"github.com/aware-home/grbac/internal/replica"
 )
 
 // ErrRemote reports a non-2xx reply from the PDP server.
 var ErrRemote = errors.New("pdp: remote error")
 
+// ErrTransport reports a failure to reach the PDP server at all
+// (connection refused, reset, DNS failure, ...).
+var ErrTransport = errors.New("pdp: transport error")
+
+// RemoteError is the concrete error behind ErrRemote, carrying the HTTP
+// status so callers (and the retry policy) can distinguish a client
+// mistake (4xx, permanent) from a server fault (5xx, transient).
+type RemoteError struct {
+	Status  int
+	Message string
+}
+
+// Error renders the same strings the pre-typed errors produced.
+func (e *RemoteError) Error() string {
+	if e.Message != "" {
+		return fmt.Sprintf("pdp: remote error: %d: %s", e.Status, e.Message)
+	}
+	return fmt.Sprintf("pdp: remote error: status %d", e.Status)
+}
+
+// Is makes errors.Is(err, ErrRemote) hold for RemoteError values.
+func (e *RemoteError) Is(target error) bool { return target == ErrRemote }
+
 // Client talks to a PDP server.
 type Client struct {
 	base string
 	http *http.Client
+	// attempts is the total tries per request (1 = single-shot, the
+	// default); retryBase seeds the exponential backoff between tries.
+	attempts  int
+	retryBase time.Duration
+}
+
+// ClientOption configures a Client.
+type ClientOption func(*Client)
+
+// WithRetry enables retries for transient failures — transport errors and
+// 5xx replies — with exponential backoff plus jitter between attempts,
+// honoring context cancellation. maxAttempts counts the first try; 4xx
+// replies, decode errors, and context cancellation never retry. It is
+// opt-in so tests and latency-sensitive callers keep deterministic
+// single-shot behavior.
+func WithRetry(maxAttempts int, baseDelay time.Duration) ClientOption {
+	return func(c *Client) {
+		if maxAttempts > 1 {
+			c.attempts = maxAttempts
+		}
+		if baseDelay > 0 {
+			c.retryBase = baseDelay
+		}
+	}
 }
 
 // NewClient builds a client for the PDP at baseURL (e.g.
 // "http://localhost:8125"). A nil httpClient uses http.DefaultClient.
-func NewClient(baseURL string, httpClient *http.Client) *Client {
+func NewClient(baseURL string, httpClient *http.Client, opts ...ClientOption) *Client {
 	if httpClient == nil {
 		httpClient = http.DefaultClient
 	}
-	return &Client{base: strings.TrimRight(baseURL, "/"), http: httpClient}
+	c := &Client{
+		base:      strings.TrimRight(baseURL, "/"),
+		http:      httpClient,
+		attempts:  1,
+		retryBase: 100 * time.Millisecond,
+	}
+	for _, opt := range opts {
+		opt(c)
+	}
+	return c
 }
 
 // Decide requests a full decision.
@@ -61,10 +121,39 @@ func (c *Client) Stats(ctx context.Context) (core.Stats, error) {
 	return st, err
 }
 
-// Healthy reports whether the server answers its liveness probe.
+// Statsz fetches the full statistics reply, including the replication
+// section follower PDPs expose.
+func (c *Client) Statsz(ctx context.Context) (StatszResponse, error) {
+	var st StatszResponse
+	err := c.get(ctx, "/v1/statsz", &st)
+	return st, err
+}
+
+// ReplicaSnapshot fetches the primary's generation-stamped policy export.
+func (c *Client) ReplicaSnapshot(ctx context.Context) (replica.Snapshot, error) {
+	var snap replica.Snapshot
+	err := c.get(ctx, replica.SnapshotPath, &snap)
+	return snap, err
+}
+
+// ReplicaWatch long-polls the replication feed until the server's
+// generation exceeds after (under epoch), its long-poll cap elapses, or
+// ctx is done; it returns the feed position either way. Callers should
+// not combine this with an http.Client whose Timeout undercuts the
+// server's poll cap.
+func (c *Client) ReplicaWatch(ctx context.Context, epoch string, after uint64) (replica.WatchResponse, error) {
+	q := "?epoch=" + epoch + "&after=" + strconv.FormatUint(after, 10)
+	var resp replica.WatchResponse
+	err := c.get(ctx, replica.WatchPath+q, &resp)
+	return resp, err
+}
+
+// Healthy reports whether the server answers its liveness probe. A
+// follower past its staleness bound answers 503 and reports unhealthy
+// here, even though its decision endpoints still serve.
 func (c *Client) Healthy(ctx context.Context) bool {
-	var out map[string]string
-	return c.get(ctx, "/v1/healthz", &out) == nil && out["status"] == "ok"
+	var out HealthResponse
+	return c.get(ctx, "/v1/healthz", &out) == nil && out.Status == "ok"
 }
 
 func (c *Client) post(ctx context.Context, path string, in, out any) error {
@@ -76,37 +165,84 @@ func (c *Client) request(ctx context.Context, method, path string, in, out any) 
 	if err != nil {
 		return fmt.Errorf("pdp: encode request: %w", err)
 	}
-	req, err := http.NewRequestWithContext(ctx, method, c.base+path, bytes.NewReader(raw))
-	if err != nil {
-		return fmt.Errorf("pdp: build request: %w", err)
-	}
-	req.Header.Set("Content-Type", "application/json")
-	return c.do(req, out)
+	return c.do(ctx, func() (*http.Request, error) {
+		req, err := http.NewRequestWithContext(ctx, method, c.base+path, bytes.NewReader(raw))
+		if err != nil {
+			return nil, fmt.Errorf("pdp: build request: %w", err)
+		}
+		req.Header.Set("Content-Type", "application/json")
+		return req, nil
+	}, out)
 }
 
 func (c *Client) get(ctx context.Context, path string, out any) error {
-	req, err := http.NewRequestWithContext(ctx, http.MethodGet, c.base+path, nil)
-	if err != nil {
-		return fmt.Errorf("pdp: build request: %w", err)
-	}
-	return c.do(req, out)
+	return c.do(ctx, func() (*http.Request, error) {
+		req, err := http.NewRequestWithContext(ctx, http.MethodGet, c.base+path, nil)
+		if err != nil {
+			return nil, fmt.Errorf("pdp: build request: %w", err)
+		}
+		return req, nil
+	}, out)
 }
 
-func (c *Client) do(req *http.Request, out any) error {
+// do runs one request, retrying transient failures when the client was
+// built WithRetry. The request is rebuilt per attempt so bodies replay.
+func (c *Client) do(ctx context.Context, build func() (*http.Request, error), out any) error {
+	delay := c.retryBase
+	for attempt := 1; ; attempt++ {
+		req, err := build()
+		if err != nil {
+			return err
+		}
+		err = c.doOnce(req, out)
+		if err == nil || attempt >= c.attempts || !transient(err) || ctx.Err() != nil {
+			return err
+		}
+		// Full jitter on [delay/2, 3*delay/2): decorrelates a fleet of
+		// retrying clients.
+		sleep := delay/2 + time.Duration(rand.Int63n(int64(delay)+1))
+		t := time.NewTimer(sleep)
+		select {
+		case <-ctx.Done():
+			t.Stop()
+			return err
+		case <-t.C:
+		}
+		delay *= 2
+	}
+}
+
+// transient reports whether a failure is worth retrying: transport
+// errors (the server may be back next attempt) and 5xx replies. Context
+// cancellation and deadline expiry are the caller giving up, never
+// retried; 4xx replies and decode errors are permanent.
+func transient(err error) bool {
+	if errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded) {
+		return false
+	}
+	var re *RemoteError
+	if errors.As(err, &re) {
+		return re.Status >= 500
+	}
+	return errors.Is(err, ErrTransport)
+}
+
+func (c *Client) doOnce(req *http.Request, out any) error {
 	resp, err := c.http.Do(req)
 	if err != nil {
-		return fmt.Errorf("pdp: transport: %w", err)
+		return fmt.Errorf("%w: %w", ErrTransport, err)
 	}
 	defer func() {
 		_, _ = io.Copy(io.Discard, resp.Body)
 		_ = resp.Body.Close()
 	}()
 	if resp.StatusCode/100 != 2 {
+		remote := &RemoteError{Status: resp.StatusCode}
 		var e ErrorResponse
 		if err := json.NewDecoder(resp.Body).Decode(&e); err == nil && e.Error != "" {
-			return fmt.Errorf("%w: %d: %s", ErrRemote, resp.StatusCode, e.Error)
+			remote.Message = e.Error
 		}
-		return fmt.Errorf("%w: status %d", ErrRemote, resp.StatusCode)
+		return remote
 	}
 	if out == nil {
 		return nil

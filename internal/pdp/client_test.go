@@ -1,0 +1,219 @@
+package pdp
+
+import (
+	"context"
+	"errors"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+// TestClientNon2xxMalformedErrorBody: a 500 whose body is not the JSON
+// error envelope must still surface as ErrRemote with the status, not as
+// a decode error.
+func TestClientNon2xxMalformedErrorBody(t *testing.T) {
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		w.WriteHeader(http.StatusInternalServerError)
+		_, _ = w.Write([]byte("<html>gateway exploded</html>"))
+	}))
+	defer srv.Close()
+
+	client := NewClient(srv.URL, srv.Client())
+	_, err := client.Decide(context.Background(), DecideRequest{})
+	if !errors.Is(err, ErrRemote) {
+		t.Fatalf("err = %v, want ErrRemote", err)
+	}
+	var re *RemoteError
+	if !errors.As(err, &re) || re.Status != http.StatusInternalServerError {
+		t.Fatalf("err = %v, want RemoteError{500}", err)
+	}
+	if re.Message != "" {
+		t.Fatalf("malformed body produced message %q", re.Message)
+	}
+	if !strings.Contains(err.Error(), "status 500") {
+		t.Fatalf("error text %q lost the status", err.Error())
+	}
+}
+
+// TestClientNon2xxStructuredErrorBody: the error envelope's message is
+// carried through.
+func TestClientNon2xxStructuredErrorBody(t *testing.T) {
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		w.WriteHeader(http.StatusBadRequest)
+		_, _ = w.Write([]byte(`{"error":"transaction \"nope\" not found"}`))
+	}))
+	defer srv.Close()
+
+	client := NewClient(srv.URL, srv.Client())
+	_, err := client.Decide(context.Background(), DecideRequest{})
+	var re *RemoteError
+	if !errors.As(err, &re) || re.Status != http.StatusBadRequest {
+		t.Fatalf("err = %v, want RemoteError{400}", err)
+	}
+	if !strings.Contains(re.Message, "not found") {
+		t.Fatalf("message %q lost the server's explanation", re.Message)
+	}
+}
+
+// TestClientTruncatedResponse: a 200 whose JSON body is cut off mid-value
+// is a decode error, not a silent zero-value success.
+func TestClientTruncatedResponse(t *testing.T) {
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "application/json")
+		_, _ = w.Write([]byte(`{"allowed":true,"effect":"per`))
+	}))
+	defer srv.Close()
+
+	client := NewClient(srv.URL, srv.Client())
+	_, err := client.Decide(context.Background(), DecideRequest{})
+	if err == nil {
+		t.Fatal("truncated body accepted")
+	}
+	if errors.Is(err, ErrRemote) || errors.Is(err, ErrTransport) {
+		t.Fatalf("truncation misclassified: %v", err)
+	}
+	if !strings.Contains(err.Error(), "decode response") {
+		t.Fatalf("err = %v, want decode error", err)
+	}
+}
+
+// TestClientContextCancelMidRequest: cancelling while the server is
+// holding the response fails promptly with the cancellation, and the
+// retry layer must not swallow it into backoff sleeps.
+func TestClientContextCancelMidRequest(t *testing.T) {
+	release := make(chan struct{})
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		select {
+		case <-release:
+		case <-r.Context().Done():
+		}
+	}))
+	defer srv.Close()
+	defer close(release)
+
+	// Retry enabled on purpose: cancellation must short-circuit it.
+	client := NewClient(srv.URL, srv.Client(), WithRetry(5, time.Second))
+	ctx, cancel := context.WithCancel(context.Background())
+	go func() {
+		time.Sleep(20 * time.Millisecond)
+		cancel()
+	}()
+	start := time.Now()
+	_, err := client.Decide(ctx, DecideRequest{})
+	if err == nil {
+		t.Fatal("cancelled request succeeded")
+	}
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled in the chain", err)
+	}
+	if elapsed := time.Since(start); elapsed > 2*time.Second {
+		t.Fatalf("cancellation took %v — retry backoff was not short-circuited", elapsed)
+	}
+}
+
+// TestClientRetryRecoversFrom5xx: with WithRetry, transient 5xx replies
+// are retried until the server recovers.
+func TestClientRetryRecoversFrom5xx(t *testing.T) {
+	var calls atomic.Int32
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if calls.Add(1) <= 2 {
+			w.WriteHeader(http.StatusBadGateway)
+			return
+		}
+		w.Header().Set("Content-Type", "application/json")
+		_, _ = w.Write([]byte(`{"allowed":true}`))
+	}))
+	defer srv.Close()
+
+	client := NewClient(srv.URL, srv.Client(), WithRetry(4, time.Millisecond))
+	ok, err := client.Check(context.Background(), DecideRequest{})
+	if err != nil {
+		t.Fatalf("Check after retries: %v", err)
+	}
+	if !ok || calls.Load() != 3 {
+		t.Fatalf("ok=%v calls=%d, want true after exactly 3 calls", ok, calls.Load())
+	}
+}
+
+// TestClientRetryGivesUpAfterMaxAttempts: a persistently failing server
+// exhausts the budget and returns the last error.
+func TestClientRetryGivesUpAfterMaxAttempts(t *testing.T) {
+	var calls atomic.Int32
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		calls.Add(1)
+		w.WriteHeader(http.StatusServiceUnavailable)
+	}))
+	defer srv.Close()
+
+	client := NewClient(srv.URL, srv.Client(), WithRetry(3, time.Millisecond))
+	_, err := client.Decide(context.Background(), DecideRequest{})
+	var re *RemoteError
+	if !errors.As(err, &re) || re.Status != http.StatusServiceUnavailable {
+		t.Fatalf("err = %v, want RemoteError{503}", err)
+	}
+	if calls.Load() != 3 {
+		t.Fatalf("calls = %d, want 3", calls.Load())
+	}
+}
+
+// TestClientRetryDoesNotRetry4xx: client mistakes are permanent; retrying
+// them only hides bugs and burns the primary.
+func TestClientRetryDoesNotRetry4xx(t *testing.T) {
+	var calls atomic.Int32
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		calls.Add(1)
+		w.WriteHeader(http.StatusBadRequest)
+		_, _ = w.Write([]byte(`{"error":"malformed request"}`))
+	}))
+	defer srv.Close()
+
+	client := NewClient(srv.URL, srv.Client(), WithRetry(5, time.Millisecond))
+	_, err := client.Decide(context.Background(), DecideRequest{})
+	if !errors.Is(err, ErrRemote) {
+		t.Fatalf("err = %v, want ErrRemote", err)
+	}
+	if calls.Load() != 1 {
+		t.Fatalf("calls = %d, want 1 (no retry on 4xx)", calls.Load())
+	}
+}
+
+// TestClientConnectionRefusedIsTransport: a dead server yields
+// ErrTransport — the class the retry policy treats as transient — and
+// with retries enabled the attempts are actually spent on it.
+func TestClientConnectionRefusedIsTransport(t *testing.T) {
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {}))
+	addr := srv.URL
+	srv.Close() // now refusing connections
+
+	client := NewClient(addr, nil)
+	_, err := client.Decide(context.Background(), DecideRequest{})
+	if !errors.Is(err, ErrTransport) {
+		t.Fatalf("err = %v, want ErrTransport", err)
+	}
+	if !transient(err) {
+		t.Fatal("connection refused not classified transient")
+	}
+}
+
+// TestClientSingleShotByDefault: without WithRetry the client must not
+// retry, keeping test determinism and caller-controlled latency.
+func TestClientSingleShotByDefault(t *testing.T) {
+	var calls atomic.Int32
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		calls.Add(1)
+		w.WriteHeader(http.StatusInternalServerError)
+	}))
+	defer srv.Close()
+
+	client := NewClient(srv.URL, srv.Client())
+	_, err := client.Decide(context.Background(), DecideRequest{})
+	if !errors.Is(err, ErrRemote) {
+		t.Fatalf("err = %v, want ErrRemote", err)
+	}
+	if calls.Load() != 1 {
+		t.Fatalf("calls = %d, want 1", calls.Load())
+	}
+}

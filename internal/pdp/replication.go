@@ -1,0 +1,151 @@
+package pdp
+
+import (
+	"context"
+	"net/http"
+	"strconv"
+	"time"
+
+	"github.com/aware-home/grbac/internal/core"
+	"github.com/aware-home/grbac/internal/replica"
+)
+
+// defaultWatchMaxWait caps one replication long-poll: a quiet primary
+// answers a watch with "no change" after this long, which doubles as the
+// follower's liveness signal.
+const defaultWatchMaxWait = 25 * time.Second
+
+// WithReplicaSource exposes the policy replication feed —
+// GET /v1/replica/snapshot and GET /v1/replica/watch — turning this
+// server into a primary that followers can sync from. The endpoints are
+// read-only and carry the same information as /v1/state, so they need no
+// extra trust beyond what the PDP surface already assumes.
+func WithReplicaSource(src *replica.Source) ServerOption {
+	return func(s *Server) { s.replicaSrc = src }
+}
+
+// WithWatchMaxWait bounds one replication long-poll (default 25s). Tests
+// shrink it; production rarely needs to change it.
+func WithWatchMaxWait(d time.Duration) ServerOption {
+	return func(s *Server) {
+		if d > 0 {
+			s.watchMaxWait = d
+		}
+	}
+}
+
+// WithFollower puts the server in follower mode, serving decisions from
+// f's replicated system while f keeps it converged with the primary:
+//
+//   - policy mutation endpoints (admin, sessions) answer 307 redirects to
+//     the primary, so an admin client pointed at a follower transparently
+//     administers the cluster's single writer;
+//   - /v1/decide and /v1/check responses carry "stale": true once the
+//     follower exceeds its staleness bound — degraded, never an outage;
+//   - /v1/healthz reports 503 "degraded" while stale, letting load
+//     balancers shed the node without the node refusing traffic;
+//   - /v1/statsz gains a "replication" section with lag and sync counters.
+func WithFollower(f *replica.Follower) ServerOption {
+	return func(s *Server) { s.follower = f }
+}
+
+// StatszResponse is the /v1/statsz reply: the decision-cache counters,
+// plus a replication section when the server is a follower.
+type StatszResponse struct {
+	core.Stats
+	Replication *replica.Stats `json:"replication,omitempty"`
+}
+
+// HealthResponse is the /v1/healthz reply.
+type HealthResponse struct {
+	Status      string         `json:"status"` // "ok" | "degraded"
+	Reason      string         `json:"reason,omitempty"`
+	Replication *replica.Stats `json:"replication,omitempty"`
+}
+
+func (s *Server) handleReplicaSnapshot(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet {
+		s.writeStatus(w, http.StatusMethodNotAllowed, "GET only")
+		return
+	}
+	s.writeJSON(w, http.StatusOK, s.replicaSrc.Snapshot())
+}
+
+// handleReplicaWatch blocks until the policy generation passes ?after=
+// (under ?epoch=), the long-poll cap elapses, or the client goes away,
+// then reports the feed position. The write deadline is extended past the
+// server-wide WriteTimeout so hardened deployments don't sever quiet
+// polls; the request context still bounds the wait.
+func (s *Server) handleReplicaWatch(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet {
+		s.writeStatus(w, http.StatusMethodNotAllowed, "GET only")
+		return
+	}
+	q := r.URL.Query()
+	var after uint64
+	if raw := q.Get("after"); raw != "" {
+		n, err := strconv.ParseUint(raw, 10, 64)
+		if err != nil {
+			s.writeStatus(w, http.StatusBadRequest, "bad after: want unsigned integer")
+			return
+		}
+		after = n
+	}
+	// ?wait= lets the poller shorten the cap below the server's: followers
+	// ask for keepalives inside their staleness bound, so an idle (but
+	// reachable) primary never reads as stale.
+	wait := s.watchMaxWait
+	if raw := q.Get("wait"); raw != "" {
+		d, err := time.ParseDuration(raw)
+		if err != nil || d <= 0 {
+			s.writeStatus(w, http.StatusBadRequest, "bad wait: want positive Go duration")
+			return
+		}
+		if d < wait {
+			wait = d
+		}
+	}
+	rc := http.NewResponseController(w)
+	_ = rc.SetWriteDeadline(time.Now().Add(wait + 10*time.Second))
+	ctx, cancel := context.WithTimeout(r.Context(), wait)
+	defer cancel()
+	gen := s.replicaSrc.Wait(ctx, q.Get("epoch"), after)
+	s.writeJSON(w, http.StatusOK, replica.WatchResponse{
+		Epoch: s.replicaSrc.Epoch(), Generation: gen,
+	})
+}
+
+// readOnlyPaths are the mutation endpoints a follower redirects to its
+// primary instead of serving.
+var readOnlyPaths = []string{
+	"/v1/admin/roles",
+	"/v1/admin/subjects",
+	"/v1/admin/objects",
+	"/v1/admin/transactions",
+	"/v1/admin/permissions",
+	"/v1/admin/sod",
+	"/v1/sessions",
+	"/v1/sessions/roles",
+}
+
+// registerFollower mounts the redirect handlers for mutation endpoints.
+// 307 preserves method and body, so well-behaved HTTP clients (including
+// this package's Client) transparently re-issue the mutation against the
+// primary.
+func (s *Server) registerFollower(mux *http.ServeMux) {
+	primary := s.follower.PrimaryURL()
+	for _, path := range readOnlyPaths {
+		mux.HandleFunc(path, func(w http.ResponseWriter, r *http.Request) {
+			w.Header().Set("Location", primary+r.URL.RequestURI())
+			s.writeJSON(w, http.StatusTemporaryRedirect, ErrorResponse{
+				Error: "read-only follower: apply mutations to the primary at " + primary,
+			})
+		})
+	}
+}
+
+// stale reports whether decisions served right now should carry the
+// staleness marker.
+func (s *Server) stale() bool {
+	return s.follower != nil && s.follower.Stale()
+}

@@ -1,0 +1,318 @@
+package pdp
+
+import (
+	"context"
+	"errors"
+	"net/http"
+	"net/http/httptest"
+	"strconv"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"github.com/aware-home/grbac/internal/core"
+	"github.com/aware-home/grbac/internal/policy"
+	"github.com/aware-home/grbac/internal/replica"
+)
+
+// newTestServerWithSource is newTestServer plus the replication feed:
+// the returned server is a primary.
+func newTestServerWithSource(t *testing.T) (*httptest.Server, *core.System) {
+	t.Helper()
+	compiled, err := policy.Compile(serverPolicy)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sys := core.NewSystem()
+	if err := compiled.Apply(sys, nil); err != nil {
+		t.Fatal(err)
+	}
+	srv := httptest.NewServer(NewServer(sys,
+		WithAdmin(),
+		WithReplicaSource(replica.NewSource(sys)),
+		WithWatchMaxWait(500*time.Millisecond)))
+	t.Cleanup(srv.Close)
+	return srv, sys
+}
+
+func newHTTPServer(t *testing.T, h http.Handler) *httptest.Server {
+	t.Helper()
+	srv := httptest.NewServer(h)
+	t.Cleanup(srv.Close)
+	return srv
+}
+
+func TestReplicaSnapshotEndpoint(t *testing.T) {
+	srv, sys := newTestServerWithSource(t)
+	client := NewClient(srv.URL, srv.Client())
+	snap, err := client.ReplicaSnapshot(context.Background())
+	if err != nil {
+		t.Fatalf("ReplicaSnapshot: %v", err)
+	}
+	if snap.Epoch == "" {
+		t.Fatal("snapshot missing epoch")
+	}
+	if snap.Generation != sys.Generation() {
+		t.Fatalf("snapshot generation %d != system %d", snap.Generation, sys.Generation())
+	}
+	if len(snap.State.Permissions) == 0 {
+		t.Fatal("snapshot state empty")
+	}
+}
+
+func TestReplicaWatchLongPoll(t *testing.T) {
+	srv, sys := newTestServerWithSource(t)
+	client := NewClient(srv.URL, srv.Client())
+	ctx := context.Background()
+
+	snap, err := client.ReplicaSnapshot(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// A watch behind the current generation returns immediately.
+	resp, err := client.ReplicaWatch(ctx, snap.Epoch, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.Generation != snap.Generation || resp.Epoch != snap.Epoch {
+		t.Fatalf("watch behind = %+v, want generation %d", resp, snap.Generation)
+	}
+
+	// A watch at the current generation blocks until a mutation lands.
+	type result struct {
+		resp replica.WatchResponse
+		err  error
+	}
+	done := make(chan result, 1)
+	go func() {
+		r, err := client.ReplicaWatch(ctx, snap.Epoch, snap.Generation)
+		done <- result{r, err}
+	}()
+	select {
+	case r := <-done:
+		t.Fatalf("watch returned %+v before any mutation", r)
+	case <-time.After(100 * time.Millisecond):
+	}
+	if err := sys.AddSubject("newcomer"); err != nil {
+		t.Fatal(err)
+	}
+	select {
+	case r := <-done:
+		if r.err != nil {
+			t.Fatal(r.err)
+		}
+		if r.resp.Generation <= snap.Generation {
+			t.Fatalf("watch woke at stale generation %d", r.resp.Generation)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("watch did not wake on mutation")
+	}
+
+	// A foreign epoch never blocks, however large its generation claim.
+	resp, err = client.ReplicaWatch(ctx, "some-old-epoch", 1<<40)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.Epoch != snap.Epoch {
+		t.Fatalf("watch under foreign epoch reported epoch %q", resp.Epoch)
+	}
+}
+
+// TestReplicaWatchHonorsClientWait: ?wait= shortens the poll below the
+// server's cap, so followers can get keepalives inside a tight staleness
+// bound even from a primary configured with a long cap.
+func TestReplicaWatchHonorsClientWait(t *testing.T) {
+	compiled, err := policy.Compile(serverPolicy)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sys := core.NewSystem()
+	if err := compiled.Apply(sys, nil); err != nil {
+		t.Fatal(err)
+	}
+	srv := httptest.NewServer(NewServer(sys,
+		WithReplicaSource(replica.NewSource(sys)),
+		WithWatchMaxWait(time.Minute)))
+	t.Cleanup(srv.Close)
+
+	snap, err := NewClient(srv.URL, srv.Client()).ReplicaSnapshot(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	start := time.Now()
+	resp, err := srv.Client().Get(srv.URL + replica.WatchPath +
+		"?epoch=" + snap.Epoch +
+		"&after=" + strconv.FormatUint(snap.Generation, 10) +
+		"&wait=100ms")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if elapsed := time.Since(start); elapsed > 5*time.Second {
+		t.Fatalf("watch with wait=100ms held for %v under a 1m server cap", elapsed)
+	}
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status = %d, want 200", resp.StatusCode)
+	}
+}
+
+func TestReplicaWatchBadWait(t *testing.T) {
+	srv, _ := newTestServerWithSource(t)
+	resp, err := srv.Client().Get(srv.URL + replica.WatchPath + "?wait=-3s")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("status = %d, want 400", resp.StatusCode)
+	}
+}
+
+func TestReplicaWatchBadAfter(t *testing.T) {
+	srv, _ := newTestServerWithSource(t)
+	resp, err := srv.Client().Get(srv.URL + replica.WatchPath + "?after=banana")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("status = %d, want 400", resp.StatusCode)
+	}
+}
+
+// newFollowerServer builds a primary+follower pair over httptest and
+// returns the follower's test server plus its Follower.
+func newFollowerServer(t *testing.T, opts ...replica.FollowerOption) (primary *core.System, follower *replica.Follower, followerURL string, hc *http.Client) {
+	t.Helper()
+	primarySrv, primarySys := newTestServerWithSource(t)
+
+	followerSys := core.NewSystem()
+	base := []replica.FollowerOption{
+		replica.WithBackoff(time.Millisecond, 10*time.Millisecond),
+	}
+	f := replica.NewFollower(followerSys, primarySrv.URL, append(base, opts...)...)
+	ctx, cancel := context.WithCancel(context.Background())
+	t.Cleanup(cancel)
+	go func() { _ = f.Run(ctx) }()
+
+	fsrv := newHTTPServer(t, NewServer(followerSys, WithFollower(f)))
+	deadline := time.Now().Add(5 * time.Second)
+	for f.Stats().Syncs == 0 {
+		if time.Now().After(deadline) {
+			t.Fatal("follower never synced")
+		}
+		time.Sleep(time.Millisecond)
+	}
+	return primarySys, f, fsrv.URL, fsrv.Client()
+}
+
+func TestFollowerServerRedirectsMutations(t *testing.T) {
+	primarySys, _, followerURL, hc := newFollowerServer(t)
+
+	// A no-redirect client sees the 307 + error envelope.
+	noRedirect := &http.Client{
+		CheckRedirect: func(req *http.Request, via []*http.Request) error {
+			return http.ErrUseLastResponse
+		},
+	}
+	client := NewClient(followerURL, noRedirect)
+	err := client.CreateRole(context.Background(), RoleRequest{ID: "r", Kind: "subject"})
+	var re *RemoteError
+	if !errors.As(err, &re) || re.Status != http.StatusTemporaryRedirect {
+		t.Fatalf("err = %v, want RemoteError{307}", err)
+	}
+
+	// The default client follows the 307 and administers the primary.
+	following := NewClient(followerURL, hc)
+	if err := following.CreateRole(context.Background(), RoleRequest{
+		ID: "visiting-nurse", Kind: "subject",
+	}); err != nil {
+		t.Fatalf("redirected CreateRole: %v", err)
+	}
+	found := false
+	for _, r := range primarySys.Roles(core.SubjectRole) {
+		if r.ID == "visiting-nurse" {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatal("redirected mutation did not land on the primary")
+	}
+}
+
+func TestFollowerServerServesDecisionsAndStats(t *testing.T) {
+	primarySys, f, followerURL, hc := newFollowerServer(t)
+	client := NewClient(followerURL, hc)
+	ctx := context.Background()
+
+	// Wait for convergence, then decide locally on the follower.
+	deadline := time.Now().Add(5 * time.Second)
+	for f.Stats().AppliedGeneration != primarySys.Generation() {
+		if time.Now().After(deadline) {
+			t.Fatal("follower did not converge")
+		}
+		time.Sleep(time.Millisecond)
+	}
+	resp, err := client.Decide(ctx, DecideRequest{
+		Subject: "alice", Object: "tv", Transaction: "use",
+		Environment: []string{"weekday-free-time"},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !resp.Allowed {
+		t.Fatalf("follower denied the replicated permit: %+v", resp)
+	}
+	if resp.Stale {
+		t.Fatal("healthy follower marked its decision stale")
+	}
+
+	// Statsz carries the replication section with zero lag.
+	st, err := client.Statsz(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Replication == nil {
+		t.Fatal("follower statsz missing replication section")
+	}
+	if st.Replication.Lag != 0 || st.Replication.Syncs == 0 {
+		t.Fatalf("replication stats = %+v", st.Replication)
+	}
+	if !client.Healthy(ctx) {
+		t.Fatal("converged follower reported unhealthy")
+	}
+}
+
+func TestFollowerServerDegradesWhenStale(t *testing.T) {
+	// A clock we can push past the staleness bound. Atomic: the sync loop
+	// reads it concurrently.
+	var offset atomic.Int64
+	clock := func() time.Time { return time.Now().Add(time.Duration(offset.Load())) }
+	_, f, followerURL, hc := newFollowerServer(t,
+		replica.WithMaxStaleness(50*time.Millisecond),
+		replica.WithFollowerClock(clock))
+	client := NewClient(followerURL, hc)
+	ctx := context.Background()
+
+	offset.Store(int64(time.Hour)) // everything recorded is now ancient
+	if !f.Stale() {
+		t.Fatal("follower not stale after clock jump")
+	}
+	if client.Healthy(ctx) {
+		t.Fatal("stale follower reported healthy")
+	}
+	resp, err := client.Decide(ctx, DecideRequest{
+		Subject: "alice", Object: "tv", Transaction: "use",
+		Environment: []string{"weekday-free-time"},
+	})
+	if err != nil {
+		t.Fatalf("stale follower refused to serve: %v", err)
+	}
+	if !resp.Stale {
+		t.Fatal("stale follower did not mark its decision")
+	}
+	if !resp.Allowed {
+		t.Fatalf("stale follower changed the decision: %+v", resp)
+	}
+}

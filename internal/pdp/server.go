@@ -12,6 +12,7 @@ import (
 
 	"github.com/aware-home/grbac/internal/audit"
 	"github.com/aware-home/grbac/internal/core"
+	"github.com/aware-home/grbac/internal/replica"
 )
 
 // maxBodyBytes bounds request bodies; decision requests are small.
@@ -26,6 +27,9 @@ type Server struct {
 	logger       *log.Logger
 	mux          *http.ServeMux
 	adminEnabled bool
+	replicaSrc   *replica.Source
+	follower     *replica.Follower
+	watchMaxWait time.Duration
 }
 
 // ServerOption configures a Server.
@@ -47,7 +51,7 @@ func WithErrorLog(l *log.Logger) ServerOption {
 
 // NewServer builds a PDP server over the given system.
 func NewServer(sys *core.System, opts ...ServerOption) *Server {
-	s := &Server{sys: sys, decider: sys, logger: log.Default()}
+	s := &Server{sys: sys, decider: sys, logger: log.Default(), watchMaxWait: defaultWatchMaxWait}
 	for _, opt := range opts {
 		opt(s)
 	}
@@ -60,8 +64,17 @@ func NewServer(sys *core.System, opts ...ServerOption) *Server {
 	if s.trail != nil {
 		mux.HandleFunc("/v1/audit", s.handleAudit)
 	}
-	if s.adminEnabled {
+	switch {
+	case s.follower != nil:
+		// A follower never serves local mutations, whatever the admin
+		// setting: it redirects them to the cluster's single writer.
+		s.registerFollower(mux)
+	case s.adminEnabled:
 		s.registerAdmin(mux)
+	}
+	if s.replicaSrc != nil {
+		mux.HandleFunc(replica.SnapshotPath, s.handleReplicaSnapshot)
+		mux.HandleFunc(replica.WatchPath, s.handleReplicaWatch)
 	}
 	s.mux = mux
 	return s
@@ -84,7 +97,9 @@ func (s *Server) handleDecide(w http.ResponseWriter, r *http.Request) {
 		s.writeError(w, err)
 		return
 	}
-	s.writeJSON(w, http.StatusOK, fromDecision(d))
+	resp := fromDecision(d)
+	resp.Stale = s.stale()
+	s.writeJSON(w, http.StatusOK, resp)
 }
 
 func (s *Server) handleCheck(w http.ResponseWriter, r *http.Request) {
@@ -97,7 +112,7 @@ func (s *Server) handleCheck(w http.ResponseWriter, r *http.Request) {
 		s.writeError(w, err)
 		return
 	}
-	s.writeJSON(w, http.StatusOK, CheckResponse{Allowed: d.Allowed})
+	s.writeJSON(w, http.StatusOK, CheckResponse{Allowed: d.Allowed, Stale: s.stale()})
 }
 
 func (s *Server) handleState(w http.ResponseWriter, r *http.Request) {
@@ -108,23 +123,41 @@ func (s *Server) handleState(w http.ResponseWriter, r *http.Request) {
 	s.writeJSON(w, http.StatusOK, s.sys.Export())
 }
 
+// handleHealthz is the liveness probe. A follower past its staleness
+// bound degrades to 503 so load balancers can shed it, while every
+// decision endpoint keeps serving (marked stale) — graceful degradation,
+// never an outage.
 func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 	if r.Method != http.MethodGet {
 		s.writeStatus(w, http.StatusMethodNotAllowed, "GET only")
 		return
 	}
-	s.writeJSON(w, http.StatusOK, map[string]string{"status": "ok"})
+	if s.stale() {
+		st := s.follower.Stats()
+		s.writeJSON(w, http.StatusServiceUnavailable, HealthResponse{
+			Status:      "degraded",
+			Reason:      "replication stale: no primary contact within the staleness bound",
+			Replication: &st,
+		})
+		return
+	}
+	s.writeJSON(w, http.StatusOK, HealthResponse{Status: "ok"})
 }
 
 // handleStatsz reports the decision-cache counters (hits, misses,
-// evictions, invalidations, generation), the PDP's observability hook for
-// cache effectiveness.
+// evictions, invalidations, generation) — the PDP's observability hook
+// for cache effectiveness — plus replication lag when following.
 func (s *Server) handleStatsz(w http.ResponseWriter, r *http.Request) {
 	if r.Method != http.MethodGet {
 		s.writeStatus(w, http.StatusMethodNotAllowed, "GET only")
 		return
 	}
-	s.writeJSON(w, http.StatusOK, s.sys.Stats())
+	resp := StatszResponse{Stats: s.sys.Stats()}
+	if s.follower != nil {
+		st := s.follower.Stats()
+		resp.Replication = &st
+	}
+	s.writeJSON(w, http.StatusOK, resp)
 }
 
 // handleAudit serves the decision trail:

@@ -7,11 +7,17 @@
 //
 // Endpoints:
 //
-//	POST /v1/decide  — full decision with explanation
-//	POST /v1/check   — boolean decision
-//	GET  /v1/state   — policy snapshot (for backup/inspection)
-//	GET  /v1/healthz — liveness
-//	GET  /v1/statsz  — decision-cache statistics
+//	POST /v1/decide           — full decision with explanation
+//	POST /v1/check            — boolean decision
+//	GET  /v1/state            — policy snapshot (for backup/inspection)
+//	GET  /v1/healthz          — liveness (503 "degraded" on a stale follower)
+//	GET  /v1/statsz           — decision-cache + replication statistics
+//	GET  /v1/replica/snapshot — generation-stamped policy export (WithReplicaSource)
+//	GET  /v1/replica/watch    — long-poll on the policy generation (WithReplicaSource)
+//
+// A server built WithFollower serves decisions from a policy replicated
+// off a primary (see internal/replica) and answers mutation endpoints
+// with 307 redirects to that primary.
 package pdp
 
 import (
@@ -48,7 +54,10 @@ type Match struct {
 	Confidence      float64 `json:"confidence"`
 }
 
-// DecideResponse is the wire form of core.Decision.
+// DecideResponse is the wire form of core.Decision. Stale is set only by
+// follower PDPs whose replicated policy has exceeded the staleness bound:
+// the decision is still served (graceful degradation), and the caller can
+// decide whether a possibly-outdated policy answer is acceptable.
 type DecideResponse struct {
 	Allowed     bool    `json:"allowed"`
 	Effect      string  `json:"effect"`
@@ -56,11 +65,14 @@ type DecideResponse struct {
 	Strategy    string  `json:"strategy"`
 	Reason      string  `json:"reason"`
 	Matches     []Match `json:"matches,omitempty"`
+	Stale       bool    `json:"stale,omitempty"`
 }
 
-// CheckResponse is the reply to /v1/check.
+// CheckResponse is the reply to /v1/check. Stale marks decisions from a
+// follower past its staleness bound.
 type CheckResponse struct {
 	Allowed bool `json:"allowed"`
+	Stale   bool `json:"stale,omitempty"`
 }
 
 // ErrorResponse is the body of every non-2xx reply.

@@ -1,0 +1,88 @@
+package replica
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+	"net/url"
+	"strconv"
+	"strings"
+	"time"
+)
+
+// ErrFeed reports a non-2xx reply from the primary's replication feed.
+var ErrFeed = errors.New("replica: feed error")
+
+// Client is the follower's transport to a primary's replication feed. It
+// is deliberately single-shot — one request, one error — because the
+// Follower's sync loop owns retry policy (backoff, jitter, staleness);
+// layering retries here too would multiply delays.
+type Client struct {
+	base string
+	http *http.Client
+
+	// MaxWait, when positive, is sent with every Watch as the longest the
+	// primary should hold the poll before answering "no change". The
+	// primary uses the smaller of this and its own cap. Followers derive
+	// it from their staleness bound so keepalives always arrive inside it.
+	MaxWait time.Duration
+}
+
+// NewClient builds a feed client for the primary at baseURL. A nil
+// httpClient uses http.DefaultClient; whichever client is used must not
+// have a Timeout shorter than the primary's long-poll cap, or every
+// quiet watch will abort early. Per-call deadlines belong on the context.
+func NewClient(baseURL string, httpClient *http.Client) *Client {
+	if httpClient == nil {
+		httpClient = http.DefaultClient
+	}
+	return &Client{base: strings.TrimRight(baseURL, "/"), http: httpClient}
+}
+
+// Snapshot fetches the primary's current policy export.
+func (c *Client) Snapshot(ctx context.Context) (Snapshot, error) {
+	var snap Snapshot
+	err := c.get(ctx, SnapshotPath, &snap)
+	return snap, err
+}
+
+// Watch long-polls the primary until its generation exceeds after (or its
+// epoch differs from epoch, or the server's poll cap elapses) and returns
+// the primary's position. An unchanged position is a normal return: it is
+// the primary saying "still here, nothing new".
+func (c *Client) Watch(ctx context.Context, epoch string, after uint64) (WatchResponse, error) {
+	q := url.Values{}
+	q.Set("epoch", epoch)
+	q.Set("after", strconv.FormatUint(after, 10))
+	if c.MaxWait > 0 {
+		q.Set("wait", c.MaxWait.String())
+	}
+	var resp WatchResponse
+	err := c.get(ctx, WatchPath+"?"+q.Encode(), &resp)
+	return resp, err
+}
+
+func (c *Client) get(ctx context.Context, path string, out any) error {
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, c.base+path, nil)
+	if err != nil {
+		return fmt.Errorf("replica: build request: %w", err)
+	}
+	resp, err := c.http.Do(req)
+	if err != nil {
+		return fmt.Errorf("replica: transport: %w", err)
+	}
+	defer func() {
+		_, _ = io.Copy(io.Discard, resp.Body)
+		_ = resp.Body.Close()
+	}()
+	if resp.StatusCode/100 != 2 {
+		return fmt.Errorf("%w: %s: status %d", ErrFeed, path, resp.StatusCode)
+	}
+	if err := json.NewDecoder(resp.Body).Decode(out); err != nil {
+		return fmt.Errorf("replica: decode %s: %w", path, err)
+	}
+	return nil
+}

@@ -1,0 +1,350 @@
+package replica
+
+import (
+	"context"
+	"log"
+	"math/rand"
+	"sync"
+	"time"
+
+	"github.com/aware-home/grbac/internal/core"
+)
+
+// Default tuning for the follower's sync loop.
+const (
+	defaultBackoffMin   = 100 * time.Millisecond
+	defaultBackoffMax   = 5 * time.Second
+	defaultFetchTimeout = 30 * time.Second
+	defaultWatchTimeout = 60 * time.Second
+	defaultMaxStaleness = 30 * time.Second
+)
+
+// Fetcher is the transport the Follower pulls from. Client implements it
+// over HTTP; tests implement it in-process.
+type Fetcher interface {
+	Snapshot(ctx context.Context) (Snapshot, error)
+	Watch(ctx context.Context, epoch string, after uint64) (WatchResponse, error)
+}
+
+// Stats is a point-in-time report of replication health, exported through
+// the PDP's /v1/statsz and the `grbacctl replication` command. Ages are
+// seconds, -1 meaning "never".
+type Stats struct {
+	// PrimaryURL is the feed being followed (empty for in-process fetchers).
+	PrimaryURL string `json:"primary_url,omitempty"`
+	// Epoch is the primary incarnation last synced from.
+	Epoch string `json:"epoch,omitempty"`
+	// PrimaryGeneration is the highest generation observed at the primary.
+	PrimaryGeneration uint64 `json:"primary_generation"`
+	// AppliedGeneration is the generation of the last applied snapshot.
+	AppliedGeneration uint64 `json:"applied_generation"`
+	// Lag is PrimaryGeneration - AppliedGeneration: the number of policy
+	// mutations the follower has observed but not yet applied.
+	Lag uint64 `json:"lag"`
+	// Syncs counts successfully applied snapshots.
+	Syncs uint64 `json:"syncs"`
+	// Errors counts failed fetch/watch/apply attempts.
+	Errors uint64 `json:"errors"`
+	// LastSyncAgeSeconds is the age of the last applied snapshot.
+	LastSyncAgeSeconds float64 `json:"last_sync_age_seconds"`
+	// LastContactAgeSeconds is the age of the last successful exchange
+	// with the primary (watch keepalives count: an idle but reachable
+	// primary is not staleness).
+	LastContactAgeSeconds float64 `json:"last_contact_age_seconds"`
+	// MaxStalenessSeconds is the configured bound; 0 disables staleness.
+	MaxStalenessSeconds float64 `json:"max_staleness_seconds"`
+	// Stale reports whether the staleness bound has been exceeded.
+	Stale bool `json:"stale"`
+}
+
+// Follower keeps a local core.System converged with a primary's
+// replication feed. Construct with NewFollower, start Run in a goroutine,
+// and serve Decide traffic from the system as usual; the PDP layer uses
+// Stale and Stats to mark degraded service.
+type Follower struct {
+	fetch      Fetcher
+	sys        *core.System
+	primaryURL string
+
+	maxStaleness time.Duration
+	backoffMin   time.Duration
+	backoffMax   time.Duration
+	fetchTimeout time.Duration
+	watchTimeout time.Duration
+	now          func() time.Time
+	logger       *log.Logger
+
+	mu          sync.Mutex
+	epoch       string
+	primaryGen  uint64
+	appliedGen  uint64
+	synced      bool
+	lastSync    time.Time
+	lastContact time.Time
+	syncs       uint64
+	errs        uint64
+}
+
+// FollowerOption configures a Follower.
+type FollowerOption func(*Follower)
+
+// WithMaxStaleness sets how long the follower may go without contact from
+// the primary before it reports itself stale (default 30s; d <= 0
+// disables staleness entirely).
+func WithMaxStaleness(d time.Duration) FollowerOption {
+	return func(f *Follower) { f.maxStaleness = d }
+}
+
+// WithBackoff bounds the exponential retry backoff after transport errors
+// (defaults 100ms..5s). Jitter of ±half the current delay is always applied.
+func WithBackoff(min, max time.Duration) FollowerOption {
+	return func(f *Follower) { f.backoffMin, f.backoffMax = min, max }
+}
+
+// WithWatchTimeout sets the client-side deadline on one watch long-poll
+// (default 60s). It must exceed the primary's long-poll cap, or quiet
+// watches will be misread as primary failures.
+func WithWatchTimeout(d time.Duration) FollowerOption {
+	return func(f *Follower) { f.watchTimeout = d }
+}
+
+// WithFetchTimeout sets the deadline on one snapshot fetch (default 30s).
+func WithFetchTimeout(d time.Duration) FollowerOption {
+	return func(f *Follower) { f.fetchTimeout = d }
+}
+
+// WithFetcher substitutes the transport (tests, in-process replication).
+func WithFetcher(fetch Fetcher) FollowerOption {
+	return func(f *Follower) { f.fetch = fetch }
+}
+
+// WithFollowerLogger sets the sync loop's logger (default log.Default()).
+func WithFollowerLogger(l *log.Logger) FollowerOption {
+	return func(f *Follower) { f.logger = l }
+}
+
+// WithFollowerClock overrides the staleness clock, for tests.
+func WithFollowerClock(now func() time.Time) FollowerOption {
+	return func(f *Follower) { f.now = now }
+}
+
+// NewFollower builds a follower that replicates primaryURL's feed into
+// sys. sys should be freshly constructed and not administered locally:
+// every sync replaces its policy wholesale.
+func NewFollower(sys *core.System, primaryURL string, opts ...FollowerOption) *Follower {
+	f := &Follower{
+		sys:          sys,
+		primaryURL:   primaryURL,
+		maxStaleness: defaultMaxStaleness,
+		backoffMin:   defaultBackoffMin,
+		backoffMax:   defaultBackoffMax,
+		fetchTimeout: defaultFetchTimeout,
+		watchTimeout: defaultWatchTimeout,
+		now:          time.Now,
+		logger:       log.Default(),
+	}
+	for _, opt := range opts {
+		opt(f)
+	}
+	if f.fetch == nil {
+		cl := NewClient(primaryURL, nil)
+		// Keepalives must arrive well inside the staleness bound, or an
+		// idle-but-reachable primary reads as stale: ask the primary to
+		// answer "no change" at a third of the bound (it may answer
+		// sooner if its own cap is tighter).
+		if f.maxStaleness > 0 {
+			cl.MaxWait = f.maxStaleness / 3
+			if cl.MaxWait < 100*time.Millisecond {
+				cl.MaxWait = 100 * time.Millisecond
+			}
+		}
+		f.fetch = cl
+	}
+	return f
+}
+
+// System returns the follower's local decision engine.
+func (f *Follower) System() *core.System { return f.sys }
+
+// PrimaryURL returns the feed URL this follower pulls from.
+func (f *Follower) PrimaryURL() string { return f.primaryURL }
+
+// Run drives the sync loop until ctx is done: snapshot, then watch; on
+// any error, exponential backoff with jitter and a fresh snapshot. It
+// always returns ctx.Err().
+func (f *Follower) Run(ctx context.Context) error {
+	backoff := f.backoffMin
+	for {
+		if err := ctx.Err(); err != nil {
+			return err
+		}
+		if err := f.syncOnce(ctx); err != nil {
+			if ctx.Err() != nil {
+				return ctx.Err()
+			}
+			f.noteError()
+			f.logger.Printf("replica: sync from %s failed (retrying in ~%v): %v",
+				f.primaryURL, backoff, err)
+			if !sleepCtx(ctx, jitter(backoff)) {
+				return ctx.Err()
+			}
+			backoff = nextBackoff(backoff, f.backoffMax)
+			continue
+		}
+		backoff = f.backoffMin
+		if err := f.watchLoop(ctx); err != nil {
+			if ctx.Err() != nil {
+				return ctx.Err()
+			}
+			f.noteError()
+			f.logger.Printf("replica: watch on %s failed (re-syncing in ~%v): %v",
+				f.primaryURL, backoff, err)
+			if !sleepCtx(ctx, jitter(backoff)) {
+				return ctx.Err()
+			}
+			backoff = nextBackoff(backoff, f.backoffMax)
+		}
+	}
+}
+
+// syncOnce fetches and applies one full snapshot.
+func (f *Follower) syncOnce(ctx context.Context) error {
+	fctx, cancel := context.WithTimeout(ctx, f.fetchTimeout)
+	defer cancel()
+	snap, err := f.fetch.Snapshot(fctx)
+	if err != nil {
+		return err
+	}
+	if err := f.sys.Replace(snap.State); err != nil {
+		return err
+	}
+	now := f.now()
+	f.mu.Lock()
+	f.epoch = snap.Epoch
+	f.primaryGen = snap.Generation
+	f.appliedGen = snap.Generation
+	f.synced = true
+	f.lastSync = now
+	f.lastContact = now
+	f.syncs++
+	f.mu.Unlock()
+	return nil
+}
+
+// watchLoop long-polls the primary, re-snapshotting whenever the feed
+// position moves (generation advance, or epoch change after a primary
+// restart). It returns on the first transport error.
+func (f *Follower) watchLoop(ctx context.Context) error {
+	for {
+		if err := ctx.Err(); err != nil {
+			return err
+		}
+		epoch, after := f.position()
+		wctx, cancel := context.WithTimeout(ctx, f.watchTimeout)
+		resp, err := f.fetch.Watch(wctx, epoch, after)
+		cancel()
+		if err != nil {
+			return err
+		}
+		f.noteContact(resp)
+		if resp.Epoch != epoch || resp.Generation != after {
+			if err := f.syncOnce(ctx); err != nil {
+				return err
+			}
+		}
+	}
+}
+
+func (f *Follower) position() (string, uint64) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return f.epoch, f.appliedGen
+}
+
+func (f *Follower) noteContact(resp WatchResponse) {
+	now := f.now()
+	f.mu.Lock()
+	f.lastContact = now
+	if resp.Epoch == f.epoch && resp.Generation > f.primaryGen {
+		f.primaryGen = resp.Generation
+	}
+	f.mu.Unlock()
+}
+
+func (f *Follower) noteError() {
+	f.mu.Lock()
+	f.errs++
+	f.mu.Unlock()
+}
+
+// Stale reports whether the follower has gone longer than the staleness
+// bound without hearing from the primary (or has never synced at all).
+// A stale follower still serves decisions; the PDP layer marks them.
+func (f *Follower) Stale() bool {
+	if f.maxStaleness <= 0 {
+		return false
+	}
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return !f.synced || f.now().Sub(f.lastContact) > f.maxStaleness
+}
+
+// Stats reports replication health.
+func (f *Follower) Stats() Stats {
+	now := f.now()
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	st := Stats{
+		PrimaryURL:            f.primaryURL,
+		Epoch:                 f.epoch,
+		PrimaryGeneration:     f.primaryGen,
+		AppliedGeneration:     f.appliedGen,
+		Lag:                   f.primaryGen - f.appliedGen,
+		Syncs:                 f.syncs,
+		Errors:                f.errs,
+		LastSyncAgeSeconds:    -1,
+		LastContactAgeSeconds: -1,
+		MaxStalenessSeconds:   f.maxStaleness.Seconds(),
+	}
+	if !f.lastSync.IsZero() {
+		st.LastSyncAgeSeconds = now.Sub(f.lastSync).Seconds()
+	}
+	if !f.lastContact.IsZero() {
+		st.LastContactAgeSeconds = now.Sub(f.lastContact).Seconds()
+	}
+	if f.maxStaleness > 0 {
+		st.Stale = !f.synced || now.Sub(f.lastContact) > f.maxStaleness
+	}
+	return st
+}
+
+// jitter spreads d to [d/2, 3d/2) so a fleet of followers does not
+// hammer a recovering primary in lockstep.
+func jitter(d time.Duration) time.Duration {
+	if d <= 0 {
+		return d
+	}
+	half := int64(d / 2)
+	return time.Duration(half + rand.Int63n(2*half+1))
+}
+
+func nextBackoff(d, max time.Duration) time.Duration {
+	d *= 2
+	if d > max {
+		return max
+	}
+	return d
+}
+
+// sleepCtx sleeps for d or until ctx is done, reporting whether the full
+// sleep elapsed.
+func sleepCtx(ctx context.Context, d time.Duration) bool {
+	t := time.NewTimer(d)
+	defer t.Stop()
+	select {
+	case <-ctx.Done():
+		return false
+	case <-t.C:
+		return true
+	}
+}

@@ -1,0 +1,301 @@
+package replica
+
+import (
+	"context"
+	"errors"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"github.com/aware-home/grbac/internal/core"
+)
+
+// primarySystem builds a small policy with one permit rule.
+func primarySystem(t *testing.T) *core.System {
+	t.Helper()
+	sys := core.NewSystem()
+	for _, step := range []func() error{
+		func() error { return sys.AddRole(core.Role{ID: "family", Kind: core.SubjectRole}) },
+		func() error { return sys.AddRole(core.Role{ID: "device", Kind: core.ObjectRole}) },
+		func() error { return sys.AddSubject("alice") },
+		func() error { return sys.AddObject("tv") },
+		func() error { return sys.AssignSubjectRole("alice", "family") },
+		func() error { return sys.AssignObjectRole("tv", "device") },
+		func() error {
+			return sys.AddTransaction(core.Transaction{
+				ID: "use", Steps: []core.Access{{Action: "use"}}})
+		},
+		func() error {
+			return sys.Grant(core.Permission{
+				Subject: "family", Object: "device",
+				Environment: core.AnyEnvironment, Transaction: "use",
+				Effect: core.Permit})
+		},
+	} {
+		if err := step(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return sys
+}
+
+func TestSourceWaitReturnsImmediatelyWhenBehind(t *testing.T) {
+	sys := primarySystem(t)
+	src := NewSource(sys)
+	gen := src.Wait(context.Background(), src.Epoch(), 0)
+	if gen != sys.Generation() {
+		t.Fatalf("Wait returned %d, want %d", gen, sys.Generation())
+	}
+}
+
+func TestSourceWaitBlocksUntilMutation(t *testing.T) {
+	sys := primarySystem(t)
+	src := NewSource(sys)
+	cur := sys.Generation()
+
+	done := make(chan uint64, 1)
+	go func() {
+		done <- src.Wait(context.Background(), src.Epoch(), cur)
+	}()
+	select {
+	case g := <-done:
+		t.Fatalf("Wait returned %d before any mutation", g)
+	case <-time.After(50 * time.Millisecond):
+	}
+	if err := sys.AddSubject("bob"); err != nil {
+		t.Fatal(err)
+	}
+	select {
+	case g := <-done:
+		if g <= cur {
+			t.Fatalf("Wait returned stale generation %d", g)
+		}
+	case <-time.After(2 * time.Second):
+		t.Fatal("Wait did not wake on mutation")
+	}
+}
+
+func TestSourceWaitHonorsContext(t *testing.T) {
+	sys := primarySystem(t)
+	src := NewSource(sys)
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Millisecond)
+	defer cancel()
+	start := time.Now()
+	gen := src.Wait(ctx, src.Epoch(), sys.Generation())
+	if time.Since(start) > time.Second {
+		t.Fatal("Wait ignored the context deadline")
+	}
+	if gen != sys.Generation() {
+		t.Fatalf("Wait returned %d, want current %d", gen, sys.Generation())
+	}
+}
+
+func TestSourceWaitUnblocksOnEpochMismatch(t *testing.T) {
+	sys := primarySystem(t)
+	src := NewSource(sys)
+	// A follower carrying another incarnation's epoch must not block, no
+	// matter how far "ahead" its generation is.
+	gen := src.Wait(context.Background(), "old-epoch", 1<<40)
+	if gen != sys.Generation() {
+		t.Fatalf("Wait returned %d, want current %d", gen, sys.Generation())
+	}
+}
+
+// localFetcher serves a Source in-process, optionally failing.
+type localFetcher struct {
+	mu   sync.Mutex
+	src  *Source
+	fail error
+}
+
+func (l *localFetcher) setSource(src *Source) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	l.src = src
+}
+
+func (l *localFetcher) setFail(err error) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	l.fail = err
+}
+
+func (l *localFetcher) current() (*Source, error) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.src, l.fail
+}
+
+func (l *localFetcher) Snapshot(ctx context.Context) (Snapshot, error) {
+	src, fail := l.current()
+	if fail != nil {
+		return Snapshot{}, fail
+	}
+	return src.Snapshot(), nil
+}
+
+func (l *localFetcher) Watch(ctx context.Context, epoch string, after uint64) (WatchResponse, error) {
+	src, fail := l.current()
+	if fail != nil {
+		return WatchResponse{}, fail
+	}
+	wctx, cancel := context.WithTimeout(ctx, 50*time.Millisecond)
+	defer cancel()
+	gen := src.Wait(wctx, epoch, after)
+	return WatchResponse{Epoch: src.Epoch(), Generation: gen}, nil
+}
+
+func waitFor(t *testing.T, what string, cond func() bool) {
+	t.Helper()
+	deadline := time.Now().Add(5 * time.Second)
+	for time.Now().Before(deadline) {
+		if cond() {
+			return
+		}
+		time.Sleep(time.Millisecond)
+	}
+	t.Fatalf("timed out waiting for %s", what)
+}
+
+func TestFollowerConvergesAndTracksMutations(t *testing.T) {
+	primary := primarySystem(t)
+	fetch := &localFetcher{}
+	fetch.setSource(NewSource(primary))
+
+	followerSys := core.NewSystem()
+	f := NewFollower(followerSys, "", WithFetcher(fetch),
+		WithBackoff(time.Millisecond, 10*time.Millisecond))
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	done := make(chan error, 1)
+	go func() { done <- f.Run(ctx) }()
+
+	waitFor(t, "initial sync", func() bool {
+		return f.Stats().AppliedGeneration == primary.Generation()
+	})
+	if !followerSys.HasSubject("alice") {
+		t.Fatal("follower missing replicated subject")
+	}
+
+	// Mutate the primary; the follower must converge through watch.
+	if err := primary.AddSubject("carol"); err != nil {
+		t.Fatal(err)
+	}
+	if err := primary.AssignSubjectRole("carol", "family"); err != nil {
+		t.Fatal(err)
+	}
+	waitFor(t, "post-mutation convergence", func() bool {
+		return f.Stats().AppliedGeneration == primary.Generation()
+	})
+	allowed, err := followerSys.CheckAccess(core.Request{
+		Subject: "carol", Object: "tv", Transaction: "use",
+		Environment: []core.RoleID{}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !allowed {
+		t.Fatal("follower did not replicate the new assignment")
+	}
+	if st := f.Stats(); st.Lag != 0 {
+		t.Fatalf("lag %d after convergence", st.Lag)
+	}
+
+	cancel()
+	if err := <-done; !errors.Is(err, context.Canceled) {
+		t.Fatalf("Run returned %v, want context.Canceled", err)
+	}
+}
+
+func TestFollowerRetriesWithBackoffAndRecovers(t *testing.T) {
+	primary := primarySystem(t)
+	fetch := &localFetcher{}
+	fetch.setFail(errors.New("connection refused"))
+	fetch.setSource(NewSource(primary))
+
+	f := NewFollower(core.NewSystem(), "", WithFetcher(fetch),
+		WithBackoff(time.Millisecond, 5*time.Millisecond))
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	go func() { _ = f.Run(ctx) }()
+
+	waitFor(t, "errors counted", func() bool { return f.Stats().Errors >= 2 })
+	if f.Stats().Syncs != 0 {
+		t.Fatal("sync succeeded while transport failing")
+	}
+
+	fetch.setFail(nil)
+	waitFor(t, "recovery sync", func() bool {
+		return f.Stats().AppliedGeneration == primary.Generation()
+	})
+}
+
+func TestFollowerResyncsAcrossEpochChange(t *testing.T) {
+	primary := primarySystem(t)
+	fetch := &localFetcher{}
+	fetch.setSource(NewSource(primary))
+
+	f := NewFollower(core.NewSystem(), "", WithFetcher(fetch),
+		WithBackoff(time.Millisecond, 5*time.Millisecond))
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	go func() { _ = f.Run(ctx) }()
+	waitFor(t, "initial sync", func() bool { return f.Stats().Syncs >= 1 })
+
+	// "Restart" the primary: a fresh system with different policy and a
+	// lower generation, under a new epoch.
+	restarted := core.NewSystem()
+	if err := restarted.AddSubject("zed"); err != nil {
+		t.Fatal(err)
+	}
+	fetch.setSource(NewSource(restarted))
+
+	waitFor(t, "epoch re-sync", func() bool {
+		st := f.Stats()
+		return st.AppliedGeneration == restarted.Generation() &&
+			f.System().HasSubject("zed")
+	})
+}
+
+func TestFollowerStaleness(t *testing.T) {
+	primary := primarySystem(t)
+	fetch := &localFetcher{}
+	fetch.setSource(NewSource(primary))
+
+	var fakeNow atomic.Int64
+	base := time.Unix(1_700_000_000, 0)
+	now := func() time.Time { return base.Add(time.Duration(fakeNow.Load())) }
+
+	f := NewFollower(core.NewSystem(), "", WithFetcher(fetch),
+		WithMaxStaleness(time.Second), WithFollowerClock(now))
+	if !f.Stale() {
+		t.Fatal("never-synced follower should be stale")
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	go func() { _ = f.Run(ctx) }()
+	waitFor(t, "initial sync", func() bool { return f.Stats().Syncs >= 1 })
+
+	// Fresh contact: not stale. (The loop keeps poking the 50ms watch, so
+	// contact stays fresh at simulated-time zero.)
+	if f.Stale() {
+		t.Fatal("freshly synced follower reported stale")
+	}
+
+	// Cut the primary off and advance the clock past the bound: stale.
+	cancel()
+	fakeNow.Store(int64(10 * time.Second))
+	if !f.Stale() {
+		t.Fatal("follower not stale after max-staleness elapsed")
+	}
+	st := f.Stats()
+	if !st.Stale {
+		t.Fatal("Stats.Stale disagrees with Stale()")
+	}
+
+	// Disabled bound: never stale.
+	f2 := NewFollower(core.NewSystem(), "", WithFetcher(fetch), WithMaxStaleness(0))
+	if f2.Stale() {
+		t.Fatal("staleness disabled but Stale() true")
+	}
+}

@@ -1,0 +1,69 @@
+package replica
+
+import (
+	"context"
+	"crypto/rand"
+	"encoding/hex"
+	"time"
+
+	"github.com/aware-home/grbac/internal/core"
+)
+
+// Source is the primary side of the replication feed: a thin wrapper over
+// a core.System that exports generation-stamped snapshots and lets a
+// watcher block until the generation advances. It is safe for concurrent
+// use by any number of watchers.
+type Source struct {
+	sys   *core.System
+	epoch string
+}
+
+// NewSource builds the feed for sys, minting a fresh epoch. Construct it
+// once per process: the epoch is what tells followers "this is a new
+// primary incarnation, your generation bookkeeping is void".
+func NewSource(sys *core.System) *Source {
+	var b [8]byte
+	if _, err := rand.Read(b[:]); err != nil {
+		// crypto/rand failing is a broken platform; fall back to the
+		// clock, which still changes across restarts.
+		for i := range b {
+			b[i] = byte(time.Now().UnixNano() >> (8 * i))
+		}
+	}
+	return &Source{sys: sys, epoch: hex.EncodeToString(b[:])}
+}
+
+// Epoch returns the feed's epoch token.
+func (s *Source) Epoch() string { return s.epoch }
+
+// Snapshot exports the current policy, stamped with epoch and generation.
+func (s *Source) Snapshot() Snapshot {
+	st, gen := s.sys.Snapshot()
+	return Snapshot{Epoch: s.epoch, Generation: gen, State: st}
+}
+
+// Wait blocks until the policy generation exceeds after, the caller's
+// epoch no longer matches the feed's, or ctx is done — whichever comes
+// first — and returns the current generation. Callers bound the poll with
+// a context deadline; Wait itself never errors, because "nothing changed
+// yet" is a normal answer that doubles as a liveness signal.
+func (s *Source) Wait(ctx context.Context, epoch string, after uint64) uint64 {
+	if epoch != s.epoch {
+		return s.sys.Generation()
+	}
+	for {
+		// Channel first, generation second: a bump between the two reads
+		// shows up in the generation; a bump after closes the channel we
+		// already hold. Either way no wakeup is lost.
+		ch := s.sys.GenerationChange()
+		gen := s.sys.Generation()
+		if gen > after {
+			return gen
+		}
+		select {
+		case <-ctx.Done():
+			return gen
+		case <-ch:
+		}
+	}
+}

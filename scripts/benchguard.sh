@@ -38,4 +38,28 @@ if [ "$warm" -gt "$budget" ]; then
 	echo "benchguard: FAIL: warm cached path exceeds allocation budget ($warm > $budget)" >&2
 	exit 1
 fi
+
+# Guard 3: a follower PDP's warm Decide path must not allocate more than
+# the primary's on the same request — replication must hand back a System
+# structurally identical to the original (E16).
+rout=$(go test -run '^$' -bench 'E16ReplicatedMediation' \
+	-benchtime 100x -benchmem ./internal/replica)
+echo "$rout"
+
+ralloc_of() {
+	echo "$rout" | awk -v pat="$1" '$1 ~ pat { print $(NF-1); exit }'
+}
+
+primary=$(ralloc_of 'E16ReplicatedMediation/primary')
+follower=$(ralloc_of 'E16ReplicatedMediation/follower')
+if [ -z "$primary" ] || [ -z "$follower" ]; then
+	echo "benchguard: missing E16ReplicatedMediation results" >&2
+	exit 1
+fi
+
+echo "benchguard: primary=$primary allocs/op, follower=$follower allocs/op"
+if [ "$follower" -gt "$primary" ]; then
+	echo "benchguard: FAIL: replicated follower allocates more than its primary ($follower > $primary)" >&2
+	exit 1
+fi
 echo "benchguard: OK"
