@@ -39,6 +39,7 @@ func mustHousehold(b *testing.B) *home.Household {
 // BenchmarkE1RBACMediation measures Figure 1's exec(s,t) rule on a random
 // 200-subject policy.
 func BenchmarkE1RBACMediation(b *testing.B) {
+	b.ReportAllocs()
 	rng := rand.New(rand.NewSource(1))
 	s, subjects, txs := experiments.NewRandomRBAC(rng, 200, 40, 60)
 	b.ResetTimer()
@@ -50,6 +51,7 @@ func BenchmarkE1RBACMediation(b *testing.B) {
 // BenchmarkE2HierarchyResolution measures effective-role closure over the
 // Figure 2 hierarchy.
 func BenchmarkE2HierarchyResolution(b *testing.B) {
+	b.ReportAllocs()
 	s, err := experiments.NewFigure2System()
 	if err != nil {
 		b.Fatal(err)
@@ -65,6 +67,7 @@ func BenchmarkE2HierarchyResolution(b *testing.B) {
 // BenchmarkE3EntertainmentPolicy measures the full-stack §5.1 decision:
 // environment engine evaluation plus three-role mediation.
 func BenchmarkE3EntertainmentPolicy(b *testing.B) {
+	b.ReportAllocs()
 	hh := mustHousehold(b)
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
@@ -81,6 +84,7 @@ func BenchmarkE3EntertainmentPolicy(b *testing.B) {
 // BenchmarkE4PartialAuth measures mediation with a fused credential set
 // under the paper's 90% threshold.
 func BenchmarkE4PartialAuth(b *testing.B) {
+	b.ReportAllocs()
 	hh := mustHousehold(b)
 	if err := hh.System.SetMinConfidence(0.90); err != nil {
 		b.Fatal(err)
@@ -107,6 +111,7 @@ func BenchmarkE4PartialAuth(b *testing.B) {
 
 // BenchmarkE5RepairmanWindow measures the location+interval gated decision.
 func BenchmarkE5RepairmanWindow(b *testing.B) {
+	b.ReportAllocs()
 	hh := mustHousehold(b)
 	hh.Clock.Set(time.Date(2000, 1, 17, 10, 0, 0, 0, time.UTC))
 	if err := hh.House.MoveTo("repair-tech", "kitchen"); err != nil {
@@ -127,6 +132,7 @@ func BenchmarkE5RepairmanWindow(b *testing.B) {
 // BenchmarkE6ContentAndNegative measures a deny-overrides conflict (child
 // matches both the appliance permit and the dangerous-appliance deny).
 func BenchmarkE6ContentAndNegative(b *testing.B) {
+	b.ReportAllocs()
 	hh := mustHousehold(b)
 	env := hh.Engine.ActiveRolesAt(benchStart, "alice")
 	b.ResetTimer()
@@ -146,6 +152,7 @@ func BenchmarkE6ContentAndNegative(b *testing.B) {
 // BenchmarkE7RBACEncoding measures the GRBAC encoding of a random RBAC
 // policy against the native Figure 1 engine.
 func BenchmarkE7RBACEncoding(b *testing.B) {
+	b.ReportAllocs()
 	rng := rand.New(rand.NewSource(7))
 	s, subjects, txs := experiments.NewRandomRBAC(rng, 20, 8, 12)
 	g, universe, err := s.EncodeGRBAC()
@@ -153,11 +160,13 @@ func BenchmarkE7RBACEncoding(b *testing.B) {
 		b.Fatal(err)
 	}
 	b.Run("native", func(b *testing.B) {
+		b.ReportAllocs()
 		for i := 0; i < b.N; i++ {
 			s.Exec(subjects[i%len(subjects)], txs[i%len(txs)])
 		}
 	})
 	b.Run("grbac", func(b *testing.B) {
+		b.ReportAllocs()
 		for i := 0; i < b.N; i++ {
 			_, _ = g.CheckAccess(core.Request{
 				Subject: subjects[i%len(subjects)], Object: universe,
@@ -170,6 +179,7 @@ func BenchmarkE7RBACEncoding(b *testing.B) {
 // BenchmarkE8TemporalEncoding measures periodic-authorization mediation in
 // both engines.
 func BenchmarkE8TemporalEncoding(b *testing.B) {
+	b.ReportAllocs()
 	s := tbac.NewSystem()
 	if err := s.Add(tbac.Authorization{
 		Subject: "bob", Object: "db", Action: "read",
@@ -184,11 +194,13 @@ func BenchmarkE8TemporalEncoding(b *testing.B) {
 	}
 	at := time.Date(2000, 1, 17, 10, 0, 0, 0, time.UTC)
 	b.Run("native", func(b *testing.B) {
+		b.ReportAllocs()
 		for i := 0; i < b.N; i++ {
 			s.Allowed("bob", "db", "read", at)
 		}
 	})
 	b.Run("grbac", func(b *testing.B) {
+		b.ReportAllocs()
 		for i := 0; i < b.N; i++ {
 			if _, err := enc.Allowed("bob", "db", "read", at); err != nil {
 				b.Fatal(err)
@@ -199,6 +211,7 @@ func BenchmarkE8TemporalEncoding(b *testing.B) {
 
 // BenchmarkE9LoadEncoding measures load-conditioned mediation.
 func BenchmarkE9LoadEncoding(b *testing.B) {
+	b.ReportAllocs()
 	s := gacl.NewSystem()
 	if err := s.Add(gacl.Rule{Subject: "ops", Program: "report", MaxLoad: 0.5}); err != nil {
 		b.Fatal(err)
@@ -208,11 +221,13 @@ func BenchmarkE9LoadEncoding(b *testing.B) {
 		b.Fatal(err)
 	}
 	b.Run("native", func(b *testing.B) {
+		b.ReportAllocs()
 		for i := 0; i < b.N; i++ {
 			s.CanExec("ops", "report", 0.3)
 		}
 	})
 	b.Run("grbac", func(b *testing.B) {
+		b.ReportAllocs()
 		for i := 0; i < b.N; i++ {
 			if _, err := enc.CanExec("ops", "report", 0.3); err != nil {
 				b.Fatal(err)
@@ -223,6 +238,7 @@ func BenchmarkE9LoadEncoding(b *testing.B) {
 
 // BenchmarkE10ContentEncoding measures content-based mediation.
 func BenchmarkE10ContentEncoding(b *testing.B) {
+	b.ReportAllocs()
 	s := cbac.NewSystem()
 	if err := s.Index("q3", "finance", "microsoft"); err != nil {
 		b.Fatal(err)
@@ -235,11 +251,13 @@ func BenchmarkE10ContentEncoding(b *testing.B) {
 		b.Fatal(err)
 	}
 	b.Run("native", func(b *testing.B) {
+		b.ReportAllocs()
 		for i := 0; i < b.N; i++ {
 			s.CanRead("analyst", "q3")
 		}
 	})
 	b.Run("grbac", func(b *testing.B) {
+		b.ReportAllocs()
 		for i := 0; i < b.N; i++ {
 			_, _ = g.CheckAccess(core.Request{
 				Subject: "analyst", Object: "q3", Transaction: "read",
@@ -251,6 +269,7 @@ func BenchmarkE10ContentEncoding(b *testing.B) {
 
 // BenchmarkE11MLSEncoding measures lattice mediation.
 func BenchmarkE11MLSEncoding(b *testing.B) {
+	b.ReportAllocs()
 	s := mls.NewSystem()
 	if err := s.Clear("officer", mls.Secret); err != nil {
 		b.Fatal(err)
@@ -263,11 +282,13 @@ func BenchmarkE11MLSEncoding(b *testing.B) {
 		b.Fatal(err)
 	}
 	b.Run("native", func(b *testing.B) {
+		b.ReportAllocs()
 		for i := 0; i < b.N; i++ {
 			s.CanRead("officer", "warplan")
 		}
 	})
 	b.Run("grbac", func(b *testing.B) {
+		b.ReportAllocs()
 		for i := 0; i < b.N; i++ {
 			_, _ = g.CheckAccess(core.Request{
 				Subject: "officer", Object: "warplan", Transaction: "read",
@@ -280,7 +301,9 @@ func BenchmarkE11MLSEncoding(b *testing.B) {
 // BenchmarkE12DecisionLatency sweeps GRBAC decision cost along each scale
 // axis and against the baselines, mirroring experiment E12.
 func BenchmarkE12DecisionLatency(b *testing.B) {
+	b.ReportAllocs()
 	b.Run("model/acl", func(b *testing.B) {
+		b.ReportAllocs()
 		a := acl.NewSystem()
 		if err := a.Add(acl.Entry{Subject: "p", Action: "use", Object: "o", Allow: true}); err != nil {
 			b.Fatal(err)
@@ -291,6 +314,7 @@ func BenchmarkE12DecisionLatency(b *testing.B) {
 		}
 	})
 	b.Run("model/rbac", func(b *testing.B) {
+		b.ReportAllocs()
 		r := rbac.NewSystem()
 		if err := r.AuthorizeRole("p", "r"); err != nil {
 			b.Fatal(err)
@@ -304,6 +328,7 @@ func BenchmarkE12DecisionLatency(b *testing.B) {
 		}
 	})
 	b.Run("model/grbac", func(b *testing.B) {
+		b.ReportAllocs()
 		s, req, err := experiments.BuildScaledGRBAC(1, 1, 0, 0)
 		if err != nil {
 			b.Fatal(err)
@@ -317,6 +342,7 @@ func BenchmarkE12DecisionLatency(b *testing.B) {
 	})
 	for _, n := range []int{10, 100, 1000} {
 		b.Run(fmt.Sprintf("rules/%d", n), func(b *testing.B) {
+			b.ReportAllocs()
 			s, req, err := experiments.BuildScaledGRBAC(n, 16, 0, 1)
 			if err != nil {
 				b.Fatal(err)
@@ -331,6 +357,7 @@ func BenchmarkE12DecisionLatency(b *testing.B) {
 	}
 	for _, d := range []int{1, 16, 64} {
 		b.Run(fmt.Sprintf("depth/%d", d), func(b *testing.B) {
+			b.ReportAllocs()
 			s, req, err := experiments.BuildScaledGRBAC(16, 4, d, 1)
 			if err != nil {
 				b.Fatal(err)
@@ -345,6 +372,7 @@ func BenchmarkE12DecisionLatency(b *testing.B) {
 	}
 	for _, e := range []int{1, 64, 256} {
 		b.Run(fmt.Sprintf("envroles/%d", e), func(b *testing.B) {
+			b.ReportAllocs()
 			s, req, err := experiments.BuildScaledGRBAC(16, 4, 0, e)
 			if err != nil {
 				b.Fatal(err)
@@ -363,7 +391,9 @@ func BenchmarkE12DecisionLatency(b *testing.B) {
 // permission index: 4096 rules over 64 transactions, with and without the
 // index (DESIGN.md design-choice ablation).
 func BenchmarkAblationPermissionIndex(b *testing.B) {
+	b.ReportAllocs()
 	b.Run("indexed", func(b *testing.B) {
+		b.ReportAllocs()
 		s, req, err := experiments.BuildMultiTxGRBAC(4096, 64)
 		if err != nil {
 			b.Fatal(err)
@@ -376,6 +406,7 @@ func BenchmarkAblationPermissionIndex(b *testing.B) {
 		}
 	})
 	b.Run("scan", func(b *testing.B) {
+		b.ReportAllocs()
 		s, req, err := experiments.BuildMultiTxGRBAC(4096, 64, core.WithoutPermissionIndex())
 		if err != nil {
 			b.Fatal(err)
@@ -393,8 +424,10 @@ func BenchmarkAblationPermissionIndex(b *testing.B) {
 // in each model for a 20-child, 50-device household — the administration
 // burden the paper's usability claim is about.
 func BenchmarkE13PolicySize(b *testing.B) {
+	b.ReportAllocs()
 	const children, devices = 20, 50
 	b.Run("acl", func(b *testing.B) {
+		b.ReportAllocs()
 		for i := 0; i < b.N; i++ {
 			a := acl.NewSystem()
 			for c := 0; c < children; c++ {
@@ -412,6 +445,7 @@ func BenchmarkE13PolicySize(b *testing.B) {
 		}
 	})
 	b.Run("grbac", func(b *testing.B) {
+		b.ReportAllocs()
 		for i := 0; i < b.N; i++ {
 			g := core.NewSystem()
 			if err := g.AddRole(core.Role{ID: "child", Kind: core.SubjectRole}); err != nil {
@@ -454,6 +488,7 @@ func BenchmarkE13PolicySize(b *testing.B) {
 // BenchmarkE14SodActivation measures role activation with a dynamic SoD
 // constraint installed.
 func BenchmarkE14SodActivation(b *testing.B) {
+	b.ReportAllocs()
 	s := grbac.NewSystem()
 	for _, r := range []grbac.RoleID{"teller", "account-holder"} {
 		if err := s.AddRole(grbac.Role{ID: r, Kind: grbac.SubjectRole}); err != nil {
@@ -492,6 +527,7 @@ func BenchmarkE14SodActivation(b *testing.B) {
 // BenchmarkPolicyCompile measures end-to-end compilation of the full Aware
 // Home policy (lexer through reference checking).
 func BenchmarkPolicyCompile(b *testing.B) {
+	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
 		if _, err := grbac.CompilePolicy(grbac.DefaultHomePolicy); err != nil {
 			b.Fatal(err)
@@ -501,6 +537,7 @@ func BenchmarkPolicyCompile(b *testing.B) {
 
 // BenchmarkWorkloadReplay measures the simulator's full-stack event rate.
 func BenchmarkWorkloadReplay(b *testing.B) {
+	b.ReportAllocs()
 	hh := mustHousehold(b)
 	rng := rand.New(rand.NewSource(1))
 	trace := home.GenerateWorkload(rng, hh, benchStart, 100)
@@ -518,6 +555,7 @@ func BenchmarkWorkloadReplay(b *testing.B) {
 // E3 household decision warm vs uncached. The warm/uncached ratio is the
 // headline number recorded in EXPERIMENTS.md.
 func BenchmarkE11CachedMediation(b *testing.B) {
+	b.ReportAllocs()
 	scaled := func(b *testing.B, opts ...grbac.Option) (*grbac.System, grbac.Request) {
 		b.Helper()
 		s, req, err := experiments.BuildScaledGRBAC(256, 16, 8, 4, opts...)
@@ -527,6 +565,7 @@ func BenchmarkE11CachedMediation(b *testing.B) {
 		return s, req
 	}
 	b.Run("warm", func(b *testing.B) {
+		b.ReportAllocs()
 		s, req := scaled(b)
 		if _, err := s.Decide(req); err != nil { // prime the cache
 			b.Fatal(err)
@@ -539,6 +578,7 @@ func BenchmarkE11CachedMediation(b *testing.B) {
 		}
 	})
 	b.Run("uncached", func(b *testing.B) {
+		b.ReportAllocs()
 		s, req := scaled(b, core.WithoutDecisionCache())
 		b.ResetTimer()
 		for i := 0; i < b.N; i++ {
@@ -548,6 +588,7 @@ func BenchmarkE11CachedMediation(b *testing.B) {
 		}
 	})
 	b.Run("cold-churn", func(b *testing.B) {
+		b.ReportAllocs()
 		// Worst case: every iteration mutates the system first, so the
 		// cache never hits and each decision also pays the put.
 		s, req := scaled(b)
@@ -562,6 +603,7 @@ func BenchmarkE11CachedMediation(b *testing.B) {
 		}
 	})
 	b.Run("e3-household-warm", func(b *testing.B) {
+		b.ReportAllocs()
 		hh := mustHousehold(b)
 		if _, err := hh.Decide("alice", "tv", "use"); err != nil {
 			b.Fatal(err)
@@ -574,6 +616,7 @@ func BenchmarkE11CachedMediation(b *testing.B) {
 		}
 	})
 	b.Run("e3-household-uncached", func(b *testing.B) {
+		b.ReportAllocs()
 		hh := mustHousehold(b)
 		twin := core.NewSystem(core.WithoutDecisionCache())
 		if err := twin.Import(hh.System.Export()); err != nil {
@@ -588,4 +631,60 @@ func BenchmarkE11CachedMediation(b *testing.B) {
 			}
 		}
 	})
+}
+
+// BenchmarkE17ParallelDecide measures mediation throughput under
+// concurrent callers (EXPERIMENTS.md E17): the lock-free compiled-snapshot
+// path against the serialized mutex-guarded path, each driven by
+// b.RunParallel across GOMAXPROCS goroutines (sweep with -cpu 1,2,4,8,16).
+// The requests rotate through distinct cache keys so the run exercises the
+// sharded cache, not a single entry.
+func BenchmarkE17ParallelDecide(b *testing.B) {
+	run := func(b *testing.B, opts ...grbac.Option) {
+		b.Helper()
+		b.ReportAllocs()
+		s, req, err := experiments.BuildScaledGRBAC(256, 16, 8, 4, opts...)
+		if err != nil {
+			b.Fatal(err)
+		}
+		envs := [][]core.RoleID{req.Environment, {}, {req.Environment[0]}}
+		if _, err := s.Decide(req); err != nil { // compile the snapshot, prime the cache
+			b.Fatal(err)
+		}
+		b.ResetTimer()
+		b.RunParallel(func(pb *testing.PB) {
+			r := req
+			i := 0
+			for pb.Next() {
+				r.Environment = envs[i%len(envs)]
+				i++
+				if _, err := s.Decide(r); err != nil {
+					b.Error(err)
+					return
+				}
+			}
+		})
+	}
+	b.Run("lockfree", func(b *testing.B) { run(b) })
+	b.Run("serialized", func(b *testing.B) { run(b, grbac.WithSerializedDecide()) })
+}
+
+// BenchmarkE17CheckAccessWarm measures the boolean fast path: a warm
+// cache hit answered from the sharded cache without cloning the decision.
+// The benchguard asserts 0 allocs/op here.
+func BenchmarkE17CheckAccessWarm(b *testing.B) {
+	b.ReportAllocs()
+	s, req, err := experiments.BuildScaledGRBAC(256, 16, 8, 4)
+	if err != nil {
+		b.Fatal(err)
+	}
+	if _, err := s.CheckAccess(req); err != nil { // prime the cache
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := s.CheckAccess(req); err != nil {
+			b.Fatal(err)
+		}
+	}
 }

@@ -1,6 +1,7 @@
 // Command grbac-bench runs the paper-reproduction experiment suite
-// (DESIGN.md §4, E1–E14) and prints one report block per experiment. The
-// output is what EXPERIMENTS.md records.
+// (DESIGN.md §4, E1–E15 and E17; E16 lives in internal/replica's
+// benchmarks) and prints one report block per experiment. The output is
+// what EXPERIMENTS.md records.
 //
 // Usage:
 //
@@ -21,7 +22,7 @@ import (
 func main() {
 	log.SetFlags(0)
 	log.SetPrefix("grbac-bench: ")
-	runID := flag.String("run", "", "run a single experiment (E1..E14)")
+	runID := flag.String("run", "", "run a single experiment (E1..E17)")
 	list := flag.Bool("list", false, "list experiments and exit")
 	flag.Parse()
 

@@ -46,18 +46,25 @@
 // policy decision point) live in the corresponding internal packages and
 // are exercised by the cmd/ tools; see README.md for the map.
 //
-// # Decision caching
+// # Lock-free mediation and decision caching
 //
-// Decide memoizes its results in a bounded cache keyed by (subject,
+// Mutating calls — role and hierarchy edits, grants and revocations,
+// assignments, session changes, configuration — compile the policy into an
+// immutable snapshot (role IDs interned to dense integers, role closures as
+// bitsets, permissions pre-bucketed per transaction) that is published
+// atomically, so Decide, CheckAccess, and DecideBatch mediate without
+// taking any lock and scale linearly with concurrent callers. Decide also
+// memoizes its results in a bounded, sharded cache keyed by (subject,
 // session, object, transaction, credential set, resolved environment
-// snapshot). A monotonic generation counter, bumped by every mutating call
-// — role and hierarchy edits, grants and revocations, assignments, session
-// changes, configuration — invalidates all cached decisions at once, so a
-// warm hit is always byte-identical to what a fresh computation would
-// return. Role-hierarchy closures are likewise precomputed per role on
-// each mutation. System.Stats reports hit/miss/eviction/invalidation
-// counters; tune or disable the cache with WithDecisionCacheSize and
-// WithoutDecisionCache. See DESIGN.md for the consistency argument.
+// snapshot). Every cache entry is stamped with the snapshot's monotonic
+// generation, so one mutation invalidates all cached decisions at once and
+// a warm hit is always byte-identical to what a fresh computation would
+// return. DecideBatch answers many requests against one snapshot, making
+// each batch internally consistent even under concurrent mutation.
+// System.Stats reports hit/miss/eviction/invalidation counters; tune or
+// disable the cache with WithDecisionCacheSize and WithoutDecisionCache,
+// and force the classic mutex-guarded path with WithSerializedDecide. See
+// DESIGN.md for the consistency argument.
 package grbac
 
 import (
@@ -100,6 +107,8 @@ type (
 	Request = core.Request
 	// Decision is an explained mediation outcome.
 	Decision = core.Decision
+	// BatchResult pairs one DecideBatch item's decision with its error.
+	BatchResult = core.BatchResult
 	// Match is one permission that applied to a request.
 	Match = core.Match
 	// Credential is authentication evidence with a confidence level.
@@ -188,6 +197,11 @@ func WithDecisionCacheSize(n int) Option { return core.WithDecisionCacheSize(n) 
 // WithoutDecisionCache disables decision memoization; every Decide call
 // runs the full mediation rule.
 func WithoutDecisionCache() Option { return core.WithoutDecisionCache() }
+
+// WithSerializedDecide forces the classic mutex-guarded decision path
+// instead of lock-free compiled snapshots — a debugging and benchmarking
+// aid, not a production configuration.
+func WithSerializedDecide() Option { return core.WithSerializedDecide() }
 
 // Conflict strategies.
 type (

@@ -255,6 +255,30 @@ func (a *AuditedSystem) Decide(req core.Request) (core.Decision, error) {
 	return d, nil
 }
 
+// DecideBatch forwards a batch to the wrapped engine's batch path when it
+// has one — preserving its one-snapshot consistency guarantee — and logs
+// every item that produced a decision. Engines without a batch path are
+// driven item by item through Decide.
+func (a *AuditedSystem) DecideBatch(reqs []core.Request) []core.BatchResult {
+	type batchDecider interface {
+		DecideBatch([]core.Request) []core.BatchResult
+	}
+	if bd, ok := a.inner.(batchDecider); ok {
+		results := bd.DecideBatch(reqs)
+		for i, res := range results {
+			if res.Err == nil {
+				a.logger.Log(reqs[i], res.Decision)
+			}
+		}
+		return results
+	}
+	out := make([]core.BatchResult, len(reqs))
+	for i, r := range reqs {
+		out[i].Decision, out[i].Err = a.Decide(r)
+	}
+	return out
+}
+
 // WriteJSON streams records to w as JSON lines (one record per line), the
 // interchange format for external log collectors.
 func WriteJSON(w io.Writer, records []Record) error {

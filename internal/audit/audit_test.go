@@ -89,6 +89,44 @@ func TestWrapLogsDecisions(t *testing.T) {
 	}
 }
 
+// decideOnly hides core.System's DecideBatch so the wrapper's per-item
+// fallback path is exercised.
+type decideOnly struct{ sys *core.System }
+
+func (d decideOnly) Decide(req core.Request) (core.Decision, error) { return d.sys.Decide(req) }
+
+func TestBatchAuditing(t *testing.T) {
+	reqs := []core.Request{
+		{Subject: "alice", Object: "ball", Transaction: "use", Environment: []core.RoleID{}},
+		{Subject: "alice", Object: "ball", Transaction: "juggle", Environment: []core.RoleID{}},
+	}
+	check := func(t *testing.T, audited *AuditedSystem, logger *Logger) {
+		t.Helper()
+		results := audited.DecideBatch(reqs)
+		if len(results) != 2 {
+			t.Fatalf("results = %d, want 2", len(results))
+		}
+		if results[0].Err != nil || !results[0].Decision.Allowed {
+			t.Fatalf("first item = %+v", results[0])
+		}
+		if results[1].Err == nil {
+			t.Fatal("unknown transaction did not error")
+		}
+		// Only the mediated item reaches the trail.
+		if got := logger.Len(); got != 1 {
+			t.Fatalf("audit records = %d, want 1", got)
+		}
+	}
+	t.Run("batch-capable inner", func(t *testing.T) {
+		logger := NewLogger()
+		check(t, Wrap(testSystem(t), logger), logger)
+	})
+	t.Run("fallback inner", func(t *testing.T) {
+		logger := NewLogger()
+		check(t, Wrap(decideOnly{testSystem(t)}, logger), logger)
+	})
+}
+
 func TestQueryAndStats(t *testing.T) {
 	sys := testSystem(t)
 	logger := NewLogger()

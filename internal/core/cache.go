@@ -1,9 +1,8 @@
 package core
 
 import (
+	"math"
 	"sort"
-	"strconv"
-	"strings"
 	"sync"
 )
 
@@ -35,100 +34,277 @@ type Stats struct {
 	DecisionCapacity int `json:"decision_capacity"`
 }
 
-// decisionCache is the bounded memo behind System.Decide. It has its own
-// mutex because entries are written while the System read lock (not the
-// write lock) is held; the critical sections are single map operations.
-// Entries are stamped with the generation they were computed at and treated
-// as absent once the generation moves on, so invalidation is a single
-// counter bump with no scanning.
+// decisionCache is the bounded memo behind System.Decide, sharded so the
+// lock-free mediation path never serializes concurrent readers on one
+// mutex: a request's hash selects a shard and only that shard's mutex is
+// taken, for a critical section of a single map operation. Entries are
+// addressed by the request hash and confirmed by full field comparison, so
+// a hash collision is just a miss, never a wrong answer. Entries are
+// stamped with the generation they were computed at and treated as absent
+// once the generation moves on, so invalidation is a single counter bump
+// with no scanning.
 type decisionCache struct {
-	mu      sync.Mutex
-	cap     int
-	entries map[string]decisionEntry
+	shards []cacheShard
+	mask   uint64
+	// perCap bounds each shard; the total bound is len(shards)*perCap,
+	// never above the configured capacity.
+	perCap int
 }
 
-type decisionEntry struct {
-	gen uint64
-	d   Decision
+type cacheShard struct {
+	mu      sync.Mutex
+	entries map[uint64]cacheEntry
+}
+
+// cacheEntry keeps the full key material next to the decision: subject,
+// session, object, transaction, a defensive copy of the credential set
+// (nil-ness preserved — a nil set means "fully trusted" and must not alias
+// an empty one), and the resolved environment snapshot sorted so lookups
+// are insensitive to the order the caller listed roles in.
+type cacheEntry struct {
+	gen         uint64
+	subject     SubjectID
+	session     SessionID
+	object      ObjectID
+	transaction TransactionID
+	creds       CredentialSet
+	env         []RoleID
+	d           Decision
 }
 
 func newDecisionCache(capacity int) *decisionCache {
-	return &decisionCache{
-		cap:     capacity,
-		entries: make(map[string]decisionEntry, capacity),
+	shards := 1
+	for shards*2 <= capacity && shards < 64 {
+		shards *= 2
 	}
+	perCap := capacity / shards
+	if perCap < 1 {
+		perCap = 1
+	}
+	c := &decisionCache{
+		shards: make([]cacheShard, shards),
+		mask:   uint64(shards - 1),
+		perCap: perCap,
+	}
+	for i := range c.shards {
+		c.shards[i].entries = make(map[uint64]cacheEntry, perCap)
+	}
+	return c
 }
 
-// get returns the decision cached under key if it was stored at gen.
-func (c *decisionCache) get(key string, gen uint64) (Decision, bool) {
-	c.mu.Lock()
-	defer c.mu.Unlock()
-	e, ok := c.entries[key]
-	if !ok || e.gen != gen {
-		return Decision{}, false
-	}
-	return e.d, true
+// matches confirms that a hash hit really is this request at this
+// generation.
+func (e *cacheEntry) matches(gen uint64, req Request) bool {
+	return e.gen == gen &&
+		e.subject == req.Subject &&
+		e.session == req.Session &&
+		e.object == req.Object &&
+		e.transaction == req.Transaction &&
+		credsEqual(e.creds, req.Credentials) &&
+		envEqual(req.Environment, e.env)
 }
 
-// put stores a decision computed at gen, evicting one arbitrary entry when
-// the cache is full (map iteration order makes the victim pseudo-random).
-// It reports whether an eviction happened.
-func (c *decisionCache) put(key string, gen uint64, d Decision) bool {
-	c.mu.Lock()
-	defer c.mu.Unlock()
+// get returns the decision cached under h if it was stored at gen for this
+// exact request. The returned decision shares storage with the cache; the
+// caller must clone before handing it out.
+func (c *decisionCache) get(h, gen uint64, req Request) (Decision, bool) {
+	sh := &c.shards[h&c.mask]
+	sh.mu.Lock()
+	e, ok := sh.entries[h]
+	if ok && e.matches(gen, req) {
+		sh.mu.Unlock()
+		return e.d, true
+	}
+	sh.mu.Unlock()
+	return Decision{}, false
+}
+
+// allowed is the boolean fast path for CheckAccess: on a hit it returns
+// only the stored outcome, with no decision clone and no allocation.
+func (c *decisionCache) allowed(h, gen uint64, req Request) (allowed, ok bool) {
+	sh := &c.shards[h&c.mask]
+	sh.mu.Lock()
+	e, found := sh.entries[h]
+	if found && e.matches(gen, req) {
+		allowed, ok = e.d.Allowed, true
+	}
+	sh.mu.Unlock()
+	return allowed, ok
+}
+
+// put stores a decision computed at gen, evicting one arbitrary entry from
+// the shard when it is full (map iteration order makes the victim
+// pseudo-random). It reports whether an eviction happened. The entry owns
+// defensive copies of everything it keeps.
+func (c *decisionCache) put(h, gen uint64, req Request, d Decision) bool {
+	e := cacheEntry{
+		gen:         gen,
+		subject:     req.Subject,
+		session:     req.Session,
+		object:      req.Object,
+		transaction: req.Transaction,
+		creds:       cloneCreds(req.Credentials),
+		env:         sortedEnv(req.Environment),
+		d:           d.clone(),
+	}
+	sh := &c.shards[h&c.mask]
+	sh.mu.Lock()
 	evicted := false
-	if _, ok := c.entries[key]; !ok && len(c.entries) >= c.cap {
-		for k := range c.entries {
-			delete(c.entries, k)
+	if _, ok := sh.entries[h]; !ok && len(sh.entries) >= c.perCap {
+		for k := range sh.entries {
+			delete(sh.entries, k)
 			evicted = true
 			break
 		}
 	}
-	c.entries[key] = decisionEntry{gen: gen, d: d}
+	sh.entries[h] = e
+	sh.mu.Unlock()
 	return evicted
 }
 
 func (c *decisionCache) size() int {
-	c.mu.Lock()
-	defer c.mu.Unlock()
-	return len(c.entries)
+	n := 0
+	for i := range c.shards {
+		sh := &c.shards[i]
+		sh.mu.Lock()
+		n += len(sh.entries)
+		sh.mu.Unlock()
+	}
+	return n
 }
 
-// decisionKey serializes everything a decision depends on besides the
-// policy store itself: subject, session, object, transaction, the
-// credential set, and the resolved environment snapshot (already sorted by
-// the caller). Fields are length-prefixed so distinct requests can never
-// produce colliding keys.
-func decisionKey(req Request, env []RoleID) string {
-	var b strings.Builder
-	part := func(s string) {
-		b.WriteString(strconv.Itoa(len(s)))
-		b.WriteByte(':')
-		b.WriteString(s)
+// FNV-1a parameters for the request digest.
+const (
+	fnvOffset uint64 = 14695981039346656037
+	fnvPrime  uint64 = 1099511628211
+)
+
+// hashString folds s into h, FNV-1a over the bytes followed by the length
+// so adjacent fields cannot run together.
+func hashString[T ~string](h uint64, s T) uint64 {
+	for i := 0; i < len(s); i++ {
+		h ^= uint64(s[i])
+		h *= fnvPrime
 	}
-	part(string(req.Subject))
-	part(string(req.Session))
-	part(string(req.Object))
-	part(string(req.Transaction))
+	h ^= uint64(len(s))
+	h *= fnvPrime
+	return h
+}
+
+func hashUint64(h, v uint64) uint64 {
+	for i := 0; i < 8; i++ {
+		h ^= v & 0xff
+		h *= fnvPrime
+		v >>= 8
+	}
+	return h
+}
+
+// hashRequest digests everything a decision depends on besides the policy
+// store itself. It never allocates — that keeps warm CheckAccess hits at
+// zero allocs/op. The environment roles are each hashed independently and
+// combined commutatively (summed), so the digest — like the stored sorted
+// snapshot it is checked against — is insensitive to the order the caller
+// listed the active roles in. A nil credential set (identity fully
+// trusted) digests differently from an empty one.
+func hashRequest(req Request) uint64 {
+	h := hashString(fnvOffset, req.Subject)
+	h = hashString(h, req.Session)
+	h = hashString(h, req.Object)
+	h = hashString(h, req.Transaction)
 	if req.Credentials == nil {
-		b.WriteByte('t') // nil set: identity fully trusted
+		h ^= 't'
+		h *= fnvPrime
 	} else {
-		b.WriteByte('c')
+		h ^= 'c'
+		h *= fnvPrime
 		for _, c := range req.Credentials {
-			part(string(c.Subject))
-			part(string(c.Role))
-			part(strconv.FormatFloat(c.Confidence, 'g', -1, 64))
+			h = hashString(h, c.Subject)
+			h = hashString(h, c.Role)
+			h = hashUint64(h, math.Float64bits(c.Confidence))
 		}
 	}
-	b.WriteByte('|')
-	for _, r := range env {
-		part(string(r))
+	var env uint64
+	for _, r := range req.Environment {
+		env += hashString(fnvOffset, r)
 	}
-	return b.String()
+	return hashUint64(h, env)
 }
 
-// sortedEnv returns a sorted copy of env so the cache key is insensitive to
-// the order the caller listed the active environment roles in.
+// credsEqual compares credential sets on the fields a decision depends on
+// (Source is provenance only), distinguishing nil from empty.
+func credsEqual(a, b CredentialSet) bool {
+	if (a == nil) != (b == nil) || len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i].Subject != b[i].Subject ||
+			a[i].Role != b[i].Role ||
+			a[i].Confidence != b[i].Confidence {
+			return false
+		}
+	}
+	return true
+}
+
+// envEqual reports whether the request's environment roles are the same
+// multiset as the stored (sorted) snapshot, without allocating: the sorted
+// fast path compares element-wise, and permuted inputs fall back to an
+// in-place count comparison.
+func envEqual(req, stored []RoleID) bool {
+	if len(req) != len(stored) {
+		return false
+	}
+	same := true
+	for i := range req {
+		if req[i] != stored[i] {
+			same = false
+			break
+		}
+	}
+	if same {
+		return true
+	}
+	for i, x := range req {
+		dup := false
+		for j := 0; j < i; j++ {
+			if req[j] == x {
+				dup = true
+				break
+			}
+		}
+		if dup {
+			continue
+		}
+		ca, cb := 0, 0
+		for _, y := range req {
+			if y == x {
+				ca++
+			}
+		}
+		for _, y := range stored {
+			if y == x {
+				cb++
+			}
+		}
+		if ca != cb {
+			return false
+		}
+	}
+	return true
+}
+
+func cloneCreds(cs CredentialSet) CredentialSet {
+	if cs == nil {
+		return nil
+	}
+	out := make(CredentialSet, len(cs))
+	copy(out, cs)
+	return out
+}
+
+// sortedEnv returns a sorted copy of env so stored cache entries admit the
+// order-insensitive lookup above.
 func sortedEnv(env []RoleID) []RoleID {
 	out := append([]RoleID(nil), env...)
 	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })

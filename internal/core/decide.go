@@ -3,6 +3,7 @@ package core
 import (
 	"fmt"
 	"sort"
+	"strings"
 )
 
 // Request is one access-mediation question: may this subject run this
@@ -63,29 +64,114 @@ type Decision struct {
 // conflicts between positive and negative authorizations are resolved by
 // the installed ConflictStrategy. No matching permission means deny.
 //
-// Decisions are memoized in a bounded, generation-stamped cache keyed by
-// (subject, session, object, transaction, credential set, resolved
-// environment snapshot); any mutating call invalidates every entry by
-// bumping the generation. Errors are never cached.
+// Decide takes no lock: it loads the current compiled policy snapshot
+// (recompiling it under the read lock only on the first call after a
+// mutation) and evaluates bitset closures against it, so concurrent
+// mediation scales with cores instead of serializing on the policy mutex.
+// The ablation options (WithSerializedDecide, WithoutPermissionIndex)
+// force the pre-snapshot read-locked path instead.
+//
+// Decisions are memoized in a bounded, generation-stamped, sharded cache
+// keyed by (subject, session, object, transaction, credential set,
+// resolved environment snapshot); any mutating call invalidates every
+// entry by bumping the generation. Errors are never cached.
 func (s *System) Decide(req Request) (Decision, error) {
-	s.mu.RLock()
-	defer s.mu.RUnlock()
+	if s.usesSerializedPath() {
+		return s.decideSerialized(req)
+	}
+	return s.decideOn(s.currentSnapshot(), req)
+}
+
+// BatchResult pairs one batched request's decision with its error.
+type BatchResult struct {
+	Decision Decision
+	Err      error
+}
+
+// DecideBatch mediates many requests against one consistent policy
+// version: the compiled snapshot is loaded once and every request in the
+// batch is decided against it, amortizing the per-request overhead and
+// guaranteeing no mutation interleaves mid-batch. Per-request errors are
+// reported in place; the result slice is index-aligned with reqs.
+func (s *System) DecideBatch(reqs []Request) []BatchResult {
+	out := make([]BatchResult, len(reqs))
+	if s.usesSerializedPath() {
+		for i, r := range reqs {
+			out[i].Decision, out[i].Err = s.decideSerialized(r)
+		}
+		return out
+	}
+	sn := s.currentSnapshot()
+	for i, r := range reqs {
+		out[i].Decision, out[i].Err = s.decideOn(sn, r)
+	}
+	return out
+}
+
+// usesSerializedPath reports whether mediation must run under the read
+// lock. Both flags are set only by construction-time options, so reading
+// them without the lock is race-free.
+func (s *System) usesSerializedPath() bool {
+	return s.serialized || s.indexDisabled
+}
+
+// emptyEnv is the shared resolved form of "no environment roles active";
+// it is never mutated or retained by decisions.
+var emptyEnv = []RoleID{}
+
+// decideOn mediates one request against a compiled snapshot, consulting
+// the sharded decision cache keyed by the snapshot's generation.
+func (s *System) decideOn(sn *snapshot, req Request) (Decision, error) {
 	if s.cache == nil {
-		return s.decideLocked(req)
+		return sn.decide(req)
 	}
 	// Resolve the environment snapshot up front: the cache key must be a
 	// pure function of everything the decision depends on, and the live
 	// EnvironmentSource sits outside the generation counter's reach.
 	resolved := req.Environment
+	if resolved == nil && sn.envSource != nil {
+		resolved = sn.envSource.ActiveEnvironmentRoles()
+	}
+	if resolved == nil {
+		resolved = emptyEnv
+	}
+	req.Environment = resolved
+	h := hashRequest(req)
+	if d, ok := s.cache.get(h, sn.gen, req); ok {
+		s.decHits.Add(1)
+		return d.clone(), nil
+	}
+	s.decMisses.Add(1)
+	d, err := sn.decide(req)
+	if err != nil {
+		return d, err
+	}
+	if s.cache.put(h, sn.gen, req, d) {
+		s.decEvictions.Add(1)
+	}
+	return d, nil
+}
+
+// decideSerialized is the pre-snapshot mediation path: the full rule
+// evaluated by decideLocked under the read lock. It is kept for the
+// ablation benchmarks and as the differential oracle the snapshot path is
+// tested against.
+func (s *System) decideSerialized(req Request) (Decision, error) {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	if s.cache == nil {
+		return s.decideLocked(req)
+	}
+	resolved := req.Environment
 	if resolved == nil && s.envSource != nil {
 		resolved = s.envSource.ActiveEnvironmentRoles()
 	}
 	if resolved == nil {
-		resolved = []RoleID{}
+		resolved = emptyEnv
 	}
 	req.Environment = resolved
-	key := decisionKey(req, sortedEnv(resolved))
-	if d, ok := s.cache.get(key, s.gen); ok {
+	h := hashRequest(req)
+	if d, ok := s.cache.get(h, s.gen, req); ok {
 		s.decHits.Add(1)
 		return d.clone(), nil
 	}
@@ -94,7 +180,7 @@ func (s *System) Decide(req Request) (Decision, error) {
 	if err != nil {
 		return d, err
 	}
-	if s.cache.put(key, s.gen, d.clone()) {
+	if s.cache.put(h, s.gen, req, d) {
 		s.decEvictions.Add(1)
 	}
 	return d, nil
@@ -350,11 +436,38 @@ func (s *System) collectMatchesScan(
 	return matches
 }
 
-// CheckAccess is the boolean convenience form of Decide.
+// CheckAccess is the boolean convenience form of Decide. Warm cache hits
+// take a fast path that reads only the stored outcome — no Decision clone,
+// no key construction, zero allocations.
 func (s *System) CheckAccess(req Request) (bool, error) {
-	d, err := s.Decide(req)
+	if s.usesSerializedPath() || s.cache == nil {
+		d, err := s.Decide(req)
+		if err != nil {
+			return false, err
+		}
+		return d.Allowed, nil
+	}
+	sn := s.currentSnapshot()
+	resolved := req.Environment
+	if resolved == nil && sn.envSource != nil {
+		resolved = sn.envSource.ActiveEnvironmentRoles()
+	}
+	if resolved == nil {
+		resolved = emptyEnv
+	}
+	req.Environment = resolved
+	h := hashRequest(req)
+	if allowed, ok := s.cache.allowed(h, sn.gen, req); ok {
+		s.decHits.Add(1)
+		return allowed, nil
+	}
+	s.decMisses.Add(1)
+	d, err := sn.decide(req)
 	if err != nil {
 		return false, err
+	}
+	if s.cache.put(h, sn.gen, req, d) {
+		s.decEvictions.Add(1)
 	}
 	return d.Allowed, nil
 }
@@ -362,19 +475,20 @@ func (s *System) CheckAccess(req Request) (bool, error) {
 // Explain renders a multi-line, human-readable account of a decision,
 // suitable for the §3 usability requirement of giving homeowners feedback.
 func (d Decision) Explain() string {
-	out := fmt.Sprintf("decision: %s (%s)\n", d.Effect, d.Reason)
+	var b strings.Builder
+	fmt.Fprintf(&b, "decision: %s (%s)\n", d.Effect, d.Reason)
 	roles := make([]RoleID, 0, len(d.SubjectRoles))
 	for r := range d.SubjectRoles {
 		roles = append(roles, r)
 	}
 	sort.Slice(roles, func(i, j int) bool { return roles[i] < roles[j] })
 	for _, r := range roles {
-		out += fmt.Sprintf("  subject role %q (confidence %.2f)\n", r, d.SubjectRoles[r])
+		fmt.Fprintf(&b, "  subject role %q (confidence %.2f)\n", r, d.SubjectRoles[r])
 	}
 	for _, m := range d.Matches {
-		out += fmt.Sprintf("  matched: %s %q for (%s, %s, %s) at confidence %.2f\n",
+		fmt.Fprintf(&b, "  matched: %s %q for (%s, %s, %s) at confidence %.2f\n",
 			m.Permission.Effect, m.Permission.Transaction,
 			m.SubjectRole, m.ObjectRole, m.EnvironmentRole, m.Confidence)
 	}
-	return out
+	return b.String()
 }

@@ -1,0 +1,458 @@
+package core
+
+import (
+	"fmt"
+	"math/bits"
+	"sort"
+)
+
+// This file is the compiled, immutable form of the policy store that the
+// lock-free Decide path runs against. Mutations invalidate the published
+// snapshot (see invalidateLocked); the first Decide after an invalidation
+// recompiles under the read lock and republishes via System.snap, so the
+// read path never takes s.mu. The snapshot evaluates the exact mediation
+// rule of decideLocked — which stays behind as the serialized oracle — with
+// the per-request map work replaced by precomputed bitset operations:
+//
+//   - every role ID of each kind is interned to a dense uint32 index over
+//     the sorted role list, so a role set is a bitset and set union is a
+//     word-wise OR;
+//   - the upward closure of every role (and of every subject's assigned
+//     set, session's active set, and object's classification) is
+//     precomputed as a bitset;
+//   - permissions are bucketed per transaction with the wildcard bucket
+//     pre-merged in grant order and the confidence threshold and
+//     subject-role depth baked into each entry.
+
+// bitset is a fixed-width bit vector over interned role indices.
+type bitset []uint64
+
+func newBitset(n int) bitset { return make(bitset, (n+63)>>6) }
+
+func (b bitset) set(i uint32)      { b[i>>6] |= 1 << (i & 63) }
+func (b bitset) has(i uint32) bool { return b[i>>6]&(1<<(i&63)) != 0 }
+
+func (b bitset) or(o bitset) {
+	for i, w := range o {
+		b[i] |= w
+	}
+}
+
+func (b bitset) count() int {
+	n := 0
+	for _, w := range b {
+		n += bits.OnesCount64(w)
+	}
+	return n
+}
+
+// forEach calls fn with every set index in ascending order. Because
+// universes intern roles in sorted ID order, ascending index order is
+// sorted role order.
+func (b bitset) forEach(fn func(uint32)) {
+	for wi, w := range b {
+		for w != 0 {
+			fn(uint32(wi<<6 + bits.TrailingZeros64(w)))
+			w &= w - 1
+		}
+	}
+}
+
+// roleUniverse interns every role of one kind (plus the wildcard IDs that
+// can appear on that leg) to a dense index, with the upward closure of each
+// role precomputed as a bitset.
+type roleUniverse struct {
+	index map[RoleID]uint32
+	// names is sorted ascending, so bit i ↔ names[i] and bitset iteration
+	// yields sorted role lists for free.
+	names    []RoleID
+	closures []bitset
+	// graph marks the indices that are real graph roles (as opposed to
+	// interned wildcards): only those confer membership through hierarchy
+	// or credentials.
+	graph bitset
+}
+
+func newRoleUniverse(g *roleGraph, wildcards ...RoleID) *roleUniverse {
+	names := make([]RoleID, 0, len(g.roles)+len(wildcards))
+	for id := range g.roles {
+		names = append(names, id)
+	}
+	for _, w := range wildcards {
+		if _, ok := g.roles[w]; !ok {
+			names = append(names, w)
+		}
+	}
+	sort.Slice(names, func(i, j int) bool { return names[i] < names[j] })
+	u := &roleUniverse{
+		index:    make(map[RoleID]uint32, len(names)),
+		names:    names,
+		closures: make([]bitset, len(names)),
+		graph:    newBitset(len(names)),
+	}
+	for i, id := range names {
+		u.index[id] = uint32(i)
+	}
+	for i, id := range names {
+		b := newBitset(len(names))
+		if cl, ok := g.closures[id]; ok {
+			u.graph.set(uint32(i))
+			for r := range cl {
+				b.set(u.index[r])
+			}
+		} else {
+			b.set(uint32(i)) // wildcard: its closure is itself
+		}
+		u.closures[i] = b
+	}
+	return u
+}
+
+// namesOf materializes a bitset as a sorted role list.
+func (u *roleUniverse) namesOf(b bitset) []RoleID {
+	out := make([]RoleID, 0, b.count())
+	b.forEach(func(i uint32) { out = append(out, u.names[i]) })
+	return out
+}
+
+// compiledPerm is one permission with its legs resolved to interned
+// indices, the effective confidence threshold (max of the permission's and
+// the system's) and the subject-role depth baked in.
+type compiledPerm struct {
+	p         Permission
+	subj      uint32
+	obj       uint32
+	env       uint32
+	threshold float64
+	depth     int
+}
+
+// subjectBits is a subject's assigned role set closed upward, plus
+// AnySubject.
+type subjectBits struct {
+	bits bitset
+}
+
+// sessionBits is a session's active role set closed upward, plus
+// AnySubject, with the owning subject for the ownership check.
+type sessionBits struct {
+	subject SubjectID
+	bits    bitset
+}
+
+// objectBits is an object's classification closed upward, plus AnyObject,
+// with the sorted role list precomputed for Decision.ObjectRoles.
+type objectBits struct {
+	bits   bitset
+	sorted []RoleID
+}
+
+// snapshot is one immutable compiled policy version. Everything reachable
+// from it is written once at compile time and read-only afterwards, so any
+// number of goroutines can decide against it without synchronization.
+type snapshot struct {
+	gen          uint64
+	strategy     ConflictStrategy
+	strategyName string
+	threshold    float64
+	envSource    EnvironmentSource
+
+	subjU *roleUniverse
+	objU  *roleUniverse
+	envU  *roleUniverse
+
+	anySubj uint32
+	anyObj  uint32
+	anyEnv  uint32
+
+	subjects map[SubjectID]subjectBits
+	sessions map[SessionID]sessionBits
+	objects  map[ObjectID]objectBits
+	// buckets holds, per registered transaction, the compiled permissions
+	// naming it or AnyTransaction, pre-merged in grant order. Membership in
+	// the map doubles as the transaction-existence check.
+	buckets map[TransactionID][]compiledPerm
+}
+
+// compileSnapshotLocked builds a snapshot of the current policy store. The
+// caller must hold s.mu (read or write).
+func (s *System) compileSnapshotLocked() *snapshot {
+	sn := &snapshot{
+		gen:          s.gen,
+		strategy:     s.strategy,
+		strategyName: s.strategy.Name(),
+		threshold:    s.threshold,
+		envSource:    s.envSource,
+		subjU:        newRoleUniverse(s.subjectRoles, AnySubject),
+		objU:         newRoleUniverse(s.objectRoles, AnyObject),
+		// The environment leg admits any wildcard verbatim (decideLocked
+		// keeps unknown-but-wildcard request roles), so the environment
+		// universe interns all three.
+		envU: newRoleUniverse(s.envRoles, AnySubject, AnyObject, AnyEnvironment),
+	}
+	sn.anySubj = sn.subjU.index[AnySubject]
+	sn.anyObj = sn.objU.index[AnyObject]
+	sn.anyEnv = sn.envU.index[AnyEnvironment]
+
+	sn.subjects = make(map[SubjectID]subjectBits, len(s.subjects))
+	for id, rec := range s.subjects {
+		b := newBitset(len(sn.subjU.names))
+		for r := range rec.roles {
+			b.or(sn.subjU.closures[sn.subjU.index[r]])
+		}
+		b.set(sn.anySubj)
+		sn.subjects[id] = subjectBits{bits: b}
+	}
+
+	sn.sessions = make(map[SessionID]sessionBits, len(s.sessions))
+	for id, sess := range s.sessions {
+		b := newBitset(len(sn.subjU.names))
+		for r := range sess.active {
+			b.or(sn.subjU.closures[sn.subjU.index[r]])
+		}
+		b.set(sn.anySubj)
+		sn.sessions[id] = sessionBits{subject: sess.subject, bits: b}
+	}
+
+	sn.objects = make(map[ObjectID]objectBits, len(s.objects))
+	for id, rec := range s.objects {
+		b := newBitset(len(sn.objU.names))
+		for r := range rec.roles {
+			b.or(sn.objU.closures[sn.objU.index[r]])
+		}
+		b.set(sn.anyObj)
+		sn.objects[id] = objectBits{bits: b, sorted: sn.objU.namesOf(b)}
+	}
+
+	sn.buckets = make(map[TransactionID][]compiledPerm, len(s.transactions))
+	for tx := range s.transactions {
+		sn.buckets[tx] = s.compileBucketLocked(sn, tx)
+	}
+	return sn
+}
+
+// compileBucketLocked collects the compiled permissions applying to tx in
+// grant order. Permissions whose legs name roles that exist in no universe
+// (possible via Import, which validates shape but not leg existence) can
+// never match and are dropped here — exactly the requests decideLocked
+// would reject them on.
+func (s *System) compileBucketLocked(sn *snapshot, tx TransactionID) []compiledPerm {
+	var out []compiledPerm
+	for _, p := range s.perms {
+		if p.Transaction != AnyTransaction && p.Transaction != tx {
+			continue
+		}
+		si, ok := sn.subjU.index[p.Subject]
+		if !ok {
+			continue
+		}
+		oi, ok := sn.objU.index[p.Object]
+		if !ok {
+			continue
+		}
+		ei, ok := sn.envU.index[p.Environment]
+		if !ok {
+			continue
+		}
+		threshold := p.MinConfidence
+		if s.threshold > threshold {
+			threshold = s.threshold
+		}
+		depth := -1
+		if p.Subject != AnySubject {
+			depth = s.subjectRoles.depth(p.Subject)
+		}
+		out = append(out, compiledPerm{
+			p: p, subj: si, obj: oi, env: ei,
+			threshold: threshold, depth: depth,
+		})
+	}
+	return out
+}
+
+// decide evaluates the mediation rule against the compiled snapshot. It is
+// the lock-free mirror of decideLocked: same validation order, same error
+// and reason strings, byte-identical decisions (the differential tests in
+// snapshot_test.go hold it to that).
+func (sn *snapshot) decide(req Request) (Decision, error) {
+	if err := req.Credentials.Validate(); err != nil {
+		return Decision{}, err
+	}
+	if req.Transaction == "" {
+		return Decision{}, fmt.Errorf("%w: request must name a transaction", ErrInvalid)
+	}
+	bucket, ok := sn.buckets[req.Transaction]
+	if !ok {
+		return Decision{}, fmt.Errorf("%w: transaction %q", ErrNotFound, req.Transaction)
+	}
+	if req.Object == "" {
+		return Decision{}, fmt.Errorf("%w: request must name an object", ErrInvalid)
+	}
+	obj, ok := sn.objects[req.Object]
+	if !ok {
+		return Decision{}, fmt.Errorf("%w: object %q", ErrNotFound, req.Object)
+	}
+	if req.Subject == "" && len(req.Credentials) == 0 {
+		return Decision{}, fmt.Errorf("%w: request must carry a subject or credentials", ErrInvalid)
+	}
+
+	uniform, confs, err := sn.effectiveSubjectConfs(req)
+	if err != nil {
+		return Decision{}, err
+	}
+	envBits := sn.effectiveEnvBits(req)
+
+	var matches []Match
+	for _, cp := range bucket {
+		var conf float64
+		if confs != nil {
+			conf = confs[cp.subj]
+		} else if uniform.has(cp.subj) {
+			conf = 1
+		}
+		if conf <= 0 || conf < cp.threshold {
+			continue
+		}
+		if !obj.bits.has(cp.obj) {
+			continue
+		}
+		if !envBits.has(cp.env) {
+			continue
+		}
+		matches = append(matches, Match{
+			Permission:      cp.p,
+			SubjectRole:     cp.p.Subject,
+			ObjectRole:      cp.p.Object,
+			EnvironmentRole: cp.p.Environment,
+			Confidence:      conf,
+			SubjectDepth:    cp.depth,
+		})
+	}
+
+	d := Decision{
+		Effect:           Deny,
+		Matches:          matches,
+		Strategy:         sn.strategyName,
+		SubjectRoles:     sn.subjectRoleMap(uniform, confs),
+		ObjectRoles:      append([]RoleID(nil), obj.sorted...),
+		EnvironmentRoles: sn.envU.namesOf(envBits),
+	}
+	if len(matches) == 0 {
+		d.DefaultDeny = true
+		d.Reason = fmt.Sprintf("no permission matches transaction %q on object %q: default deny",
+			req.Transaction, req.Object)
+		return d, nil
+	}
+	d.Effect = sn.strategy.Resolve(matches)
+	d.Allowed = d.Effect == Permit
+	d.Reason = fmt.Sprintf("%d matching permission(s) resolved to %s by %s",
+		len(matches), d.Effect, d.Strategy)
+	return d, nil
+}
+
+// effectiveSubjectConfs computes the effective subject role set. The fully
+// trusted case (nil credentials with a known subject) is returned as a bare
+// bitset — confidence 1 everywhere — avoiding the per-role confidence
+// vector; otherwise a dense confidence vector indexed by the subject
+// universe is returned.
+func (sn *snapshot) effectiveSubjectConfs(req Request) (bitset, []float64, error) {
+	if req.Subject != "" {
+		sb, ok := sn.subjects[req.Subject]
+		if !ok {
+			return nil, nil, fmt.Errorf("%w: subject %q", ErrNotFound, req.Subject)
+		}
+		usable := sb.bits
+		if req.Session != "" {
+			sess, ok := sn.sessions[req.Session]
+			if !ok {
+				return nil, nil, fmt.Errorf("%w: %q", ErrNoSession, req.Session)
+			}
+			if sess.subject != req.Subject {
+				return nil, nil, fmt.Errorf("%w: session %q belongs to %q, not %q",
+					ErrInvalid, req.Session, sess.subject, req.Subject)
+			}
+			usable = sess.bits
+		}
+		if req.Credentials == nil {
+			return usable, nil, nil // identity fully trusted: confidence 1
+		}
+		confs := make([]float64, len(sn.subjU.names))
+		if ic := req.Credentials.identityConfidence(req.Subject); ic > 0 {
+			usable.forEach(func(i uint32) { confs[i] = ic })
+		}
+		sn.addRoleCredentials(confs, req.Credentials)
+		confs[sn.anySubj] = 1
+		return nil, confs, nil
+	}
+	if req.Session != "" {
+		return nil, nil, fmt.Errorf("%w: session requires a subject", ErrInvalid)
+	}
+	confs := make([]float64, len(sn.subjU.names))
+	sn.addRoleCredentials(confs, req.Credentials)
+	confs[sn.anySubj] = 1
+	return nil, confs, nil
+}
+
+// addRoleCredentials folds direct role assertions into the confidence
+// vector, spreading each over the asserted role's upward closure with
+// max-confidence merge. Unknown asserted roles confer nothing (deny-safe),
+// mirroring effectiveSubjectRoles.
+func (sn *snapshot) addRoleCredentials(confs []float64, creds CredentialSet) {
+	for _, c := range creds {
+		if c.Role == "" || c.Confidence <= 0 {
+			continue
+		}
+		idx, ok := sn.subjU.index[c.Role]
+		if !ok || !sn.subjU.graph.has(idx) {
+			continue
+		}
+		conf := c.Confidence
+		sn.subjU.closures[idx].forEach(func(i uint32) {
+			if conf > confs[i] {
+				confs[i] = conf
+			}
+		})
+	}
+}
+
+// effectiveEnvBits resolves the active environment role set for a request:
+// explicit environment, else the snapshot's environment source. Known roles
+// contribute their upward closure, wildcards pass verbatim, unknown roles
+// are dropped (deny-safe), and AnyEnvironment is always active.
+func (sn *snapshot) effectiveEnvBits(req Request) bitset {
+	active := req.Environment
+	if active == nil && sn.envSource != nil {
+		active = sn.envSource.ActiveEnvironmentRoles()
+	}
+	b := newBitset(len(sn.envU.names))
+	for _, r := range active {
+		idx, ok := sn.envU.index[r]
+		if !ok {
+			continue
+		}
+		if sn.envU.graph.has(idx) {
+			b.or(sn.envU.closures[idx])
+		} else if isWildcard(r) {
+			b.set(idx)
+		}
+	}
+	b.set(sn.anyEnv)
+	return b
+}
+
+// subjectRoleMap materializes the effective subject roles with their
+// confidences for Decision.SubjectRoles.
+func (sn *snapshot) subjectRoleMap(uniform bitset, confs []float64) map[RoleID]float64 {
+	if confs != nil {
+		out := make(map[RoleID]float64)
+		for i, c := range confs {
+			if c > 0 {
+				out[sn.subjU.names[i]] = c
+			}
+		}
+		return out
+	}
+	out := make(map[RoleID]float64, uniform.count())
+	uniform.forEach(func(i uint32) { out[sn.subjU.names[i]] = 1 })
+	return out
+}

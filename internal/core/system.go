@@ -66,6 +66,17 @@ type System struct {
 	// anyone blocked in a generation watch. It is the broadcast primitive
 	// behind the replication feed's long-poll.
 	genCh chan struct{}
+	// snap is the published compiled policy snapshot the lock-free Decide
+	// path runs against, or nil after a mutation has invalidated it. It is
+	// recompiled lazily by the first post-mutation Decide (see
+	// currentSnapshot), so bulk policy building pays nothing per call.
+	snap atomic.Pointer[snapshot]
+	// compileMu serializes snapshot recompilation so a stampede of cold
+	// readers builds the snapshot once.
+	compileMu sync.Mutex
+	// serialized forces Decide onto the pre-snapshot read-locked path. Set
+	// only at construction time (WithSerializedDecide), for ablation.
+	serialized bool
 	// cache memoizes Decide results; nil when caching is disabled.
 	cache    *decisionCache
 	cacheCap int
@@ -111,6 +122,15 @@ func WithoutPermissionIndex() Option {
 	return func(s *System) { s.indexDisabled = true }
 }
 
+// WithSerializedDecide forces Decide back onto the serialized path that
+// takes the read lock and evaluates the mediation rule directly, instead
+// of running lock-free against a compiled policy snapshot. It exists only
+// for the ablation benchmarks quantifying what copy-on-write snapshots buy
+// and for the differential tests; production systems should never set it.
+func WithSerializedDecide() Option {
+	return func(s *System) { s.serialized = true }
+}
+
 // WithDecisionCacheSize bounds the decision cache to n entries. n <= 0
 // disables decision caching entirely (role-closure caching stays on).
 func WithDecisionCacheSize(n int) Option {
@@ -153,13 +173,38 @@ func NewSystem(opts ...Option) *System {
 }
 
 // invalidateLocked bumps the policy generation, invalidating every cached
-// decision and waking every generation watcher. Callers hold the write
-// lock and have just mutated state.
+// decision, retiring the published compiled snapshot, and waking every
+// generation watcher. Callers hold the write lock and have just mutated
+// state.
 func (s *System) invalidateLocked() {
 	s.gen++
 	s.invalidations.Add(1)
+	s.snap.Store(nil)
 	close(s.genCh)
 	s.genCh = make(chan struct{})
+}
+
+// currentSnapshot returns the newest compiled policy snapshot, compiling
+// and publishing one if a mutation has retired it. The compile — and,
+// crucially, the publish — happen while the read lock is held: every
+// mutator holds the write lock for both its state change and its
+// nil-store, so a snapshot can never be published over a newer
+// invalidation. compileMu keeps a stampede of cold readers from compiling
+// the same snapshot repeatedly.
+func (s *System) currentSnapshot() *snapshot {
+	if sn := s.snap.Load(); sn != nil {
+		return sn
+	}
+	s.compileMu.Lock()
+	defer s.compileMu.Unlock()
+	if sn := s.snap.Load(); sn != nil {
+		return sn
+	}
+	s.mu.RLock()
+	sn := s.compileSnapshotLocked()
+	s.snap.Store(sn)
+	s.mu.RUnlock()
+	return sn
 }
 
 // Generation returns the current policy generation: a monotonic counter

@@ -98,6 +98,15 @@ func (c *Client) Decide(ctx context.Context, req DecideRequest) (DecideResponse,
 	return resp, err
 }
 
+// DecideBatch requests decisions for many requests in one round trip.
+// The server mediates every item against the same policy snapshot, so the
+// reply is internally consistent; results align index-for-index with reqs.
+func (c *Client) DecideBatch(ctx context.Context, reqs []DecideRequest) (BatchDecideResponse, error) {
+	var resp BatchDecideResponse
+	err := c.post(ctx, "/v1/decide/batch", BatchDecideRequest{Requests: reqs}, &resp)
+	return resp, err
+}
+
 // Check requests a boolean decision.
 func (c *Client) Check(ctx context.Context, req DecideRequest) (bool, error) {
 	var resp CheckResponse

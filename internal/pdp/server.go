@@ -3,6 +3,7 @@ package pdp
 import (
 	"encoding/json"
 	"errors"
+	"fmt"
 	"io"
 	"log"
 	"net/http"
@@ -17,6 +18,10 @@ import (
 
 // maxBodyBytes bounds request bodies; decision requests are small.
 const maxBodyBytes = 1 << 20
+
+// maxBatchSize bounds one /v1/decide/batch call; larger workloads split
+// into several round trips rather than holding one snapshot response open.
+const maxBatchSize = 512
 
 // Server serves the PDP API for one GRBAC system. It implements
 // http.Handler and can be mounted under any mux.
@@ -57,6 +62,7 @@ func NewServer(sys *core.System, opts ...ServerOption) *Server {
 	}
 	mux := http.NewServeMux()
 	mux.HandleFunc("/v1/decide", s.handleDecide)
+	mux.HandleFunc("/v1/decide/batch", s.handleDecideBatch)
 	mux.HandleFunc("/v1/check", s.handleCheck)
 	mux.HandleFunc("/v1/state", s.handleState)
 	mux.HandleFunc("/v1/healthz", s.handleHealthz)
@@ -99,6 +105,52 @@ func (s *Server) handleDecide(w http.ResponseWriter, r *http.Request) {
 	}
 	resp := fromDecision(d)
 	resp.Stale = s.stale()
+	s.writeJSON(w, http.StatusOK, resp)
+}
+
+// batchDecider is the optional batch interface a decider may provide;
+// core.System and audit.AuditedSystem both do. When present it is used so
+// the whole batch is mediated against one policy snapshot.
+type batchDecider interface {
+	DecideBatch([]core.Request) []core.BatchResult
+}
+
+func (s *Server) handleDecideBatch(w http.ResponseWriter, r *http.Request) {
+	var req BatchDecideRequest
+	if !s.readBody(w, r, &req, http.MethodPost) {
+		return
+	}
+	if len(req.Requests) == 0 {
+		s.writeStatus(w, http.StatusBadRequest, "empty batch")
+		return
+	}
+	if len(req.Requests) > maxBatchSize {
+		s.writeStatus(w, http.StatusBadRequest,
+			fmt.Sprintf("batch of %d exceeds limit %d", len(req.Requests), maxBatchSize))
+		return
+	}
+	coreReqs := make([]core.Request, len(req.Requests))
+	for i, dr := range req.Requests {
+		coreReqs[i] = dr.toCore()
+	}
+	var results []core.BatchResult
+	if bd, ok := s.decider.(batchDecider); ok {
+		results = bd.DecideBatch(coreReqs)
+	} else {
+		results = make([]core.BatchResult, len(coreReqs))
+		for i, cr := range coreReqs {
+			results[i].Decision, results[i].Err = s.decider.Decide(cr)
+		}
+	}
+	resp := BatchDecideResponse{Results: make([]BatchItem, len(results)), Stale: s.stale()}
+	for i, res := range results {
+		if res.Err != nil {
+			resp.Results[i].Error = res.Err.Error()
+			continue
+		}
+		d := fromDecision(res.Decision)
+		resp.Results[i].Decision = &d
+	}
 	s.writeJSON(w, http.StatusOK, resp)
 }
 

@@ -8,6 +8,7 @@
 // Endpoints:
 //
 //	POST /v1/decide           — full decision with explanation
+//	POST /v1/decide/batch     — many decisions in one round trip, one policy snapshot
 //	POST /v1/check            — boolean decision
 //	GET  /v1/state            — policy snapshot (for backup/inspection)
 //	GET  /v1/healthz          — liveness (503 "degraded" on a stale follower)
@@ -73,6 +74,28 @@ type DecideResponse struct {
 type CheckResponse struct {
 	Allowed bool `json:"allowed"`
 	Stale   bool `json:"stale,omitempty"`
+}
+
+// BatchDecideRequest carries the requests for POST /v1/decide/batch.
+type BatchDecideRequest struct {
+	Requests []DecideRequest `json:"requests"`
+}
+
+// BatchItem is one entry of a batch reply: the decision, or the error
+// string that request produced. Exactly one of the two is set.
+type BatchItem struct {
+	Decision *DecideResponse `json:"decision,omitempty"`
+	Error    string          `json:"error,omitempty"`
+}
+
+// BatchDecideResponse answers a batch. Results aligns index-for-index
+// with the request order, and every item was mediated against the same
+// policy snapshot, so the reply is internally consistent even when the
+// policy is mutating concurrently. Stale marks follower replies past the
+// staleness bound.
+type BatchDecideResponse struct {
+	Results []BatchItem `json:"results"`
+	Stale   bool        `json:"stale,omitempty"`
 }
 
 // ErrorResponse is the body of every non-2xx reply.

@@ -1,13 +1,19 @@
 #!/bin/sh
-# Benchmark-regression smoke for CI: run the mediation benches (E1, E3,
-# E11) with -benchmem and fail if the decision cache has regressed.
+# Benchmark-regression smoke for CI: run the mediation benches (E11, E16,
+# E17) with -benchmem and fail if the decision cache or the lock-free
+# mediation path has regressed.
 #
-# Two guards, both on allocation counts (stable across CI hardware, unlike
-# ns/op):
+# Guards (allocation counts are stable across CI hardware, unlike ns/op):
 #   1. the warm cached path must allocate strictly less than the uncached
 #      path on the same workload;
 #   2. the warm cached path must stay under an absolute allocation budget,
-#      so a key- or clone-heavy change cannot hide behind guard 1.
+#      so a key- or clone-heavy change cannot hide behind guard 1;
+#   3. a replicated follower must not allocate more than its primary;
+#   4. at 8 goroutines, lock-free Decide must beat the serialized path by
+#      BENCHGUARD_PAR_SPEEDUP x (adaptive default: 3 on 8+ cores, 0.7 below);
+#   5. warm CheckAccess must allocate nothing;
+#   6. the lock-free Decide path must show no sync.RWMutex contention
+#      under the mutex profiler.
 set -eu
 
 cd "$(dirname "$0")/.."
@@ -62,4 +68,62 @@ if [ "$follower" -gt "$primary" ]; then
 	echo "benchguard: FAIL: replicated follower allocates more than its primary ($follower > $primary)" >&2
 	exit 1
 fi
+
+# Guard 4: lock-free parallel mediation (E17). At 8 goroutines the
+# snapshot path must beat the serialized mutex path by
+# BENCHGUARD_PAR_SPEEDUP x in throughput. The default is adaptive: on
+# hosts with 8+ cores lock contention is real and we demand 3x; on
+# smaller CI machines the goroutines share a core and contention cannot
+# materialize, so the guard degrades to "not slower than 0.7x".
+cores=$(nproc 2>/dev/null || getconf _NPROCESSORS_ONLN 2>/dev/null || echo 1)
+if [ "$cores" -ge 8 ]; then
+	speedup=${BENCHGUARD_PAR_SPEEDUP:-3}
+else
+	speedup=${BENCHGUARD_PAR_SPEEDUP:-0.7}
+fi
+
+pout=$(go test -run '^$' -bench 'E17' -benchtime 50000x -cpu 8 -benchmem .)
+echo "$pout"
+
+pfield_of() {
+	echo "$pout" | awk -v pat="$1" -v f="$2" '$1 ~ pat { print $f; exit }'
+}
+
+lockfree_ns=$(pfield_of 'E17ParallelDecide/lockfree' 3)
+serial_ns=$(pfield_of 'E17ParallelDecide/serialized' 3)
+warm_check=$(pfield_of 'E17CheckAccessWarm' 7)
+if [ -z "$lockfree_ns" ] || [ -z "$serial_ns" ] || [ -z "$warm_check" ]; then
+	echo "benchguard: missing E17 results" >&2
+	exit 1
+fi
+
+echo "benchguard: cores=$cores lockfree=${lockfree_ns}ns/op serialized=${serial_ns}ns/op required=x$speedup"
+if ! awk -v lf="$lockfree_ns" -v ser="$serial_ns" -v need="$speedup" \
+	'BEGIN { exit !(ser / lf >= need) }'; then
+	echo "benchguard: FAIL: parallel lock-free throughput only x$(awk -v lf="$lockfree_ns" -v ser="$serial_ns" 'BEGIN { printf "%.2f", ser / lf }') of serialized (need x$speedup)" >&2
+	exit 1
+fi
+
+# Guard 5: the warm CheckAccess fast path answers from the cache without
+# cloning the decision — zero allocations, exactly.
+echo "benchguard: warm CheckAccess=$warm_check allocs/op"
+if [ "$warm_check" -ne 0 ]; then
+	echo "benchguard: FAIL: warm CheckAccess allocates ($warm_check allocs/op, want 0)" >&2
+	exit 1
+fi
+
+# Guard 6: the lock-free Decide path must take no read-write lock. Run
+# the lockfree bench alone under the mutex profiler and assert no
+# sync.(*RWMutex) contention appears; the sharded cache's plain Mutexes
+# are expected and allowed.
+tmpdir=$(mktemp -d)
+trap 'rm -rf "$tmpdir"' EXIT
+go test -run '^$' -bench 'E17ParallelDecide/lockfree' -benchtime 5000x -cpu 8 \
+	-mutexprofile "$tmpdir/mutex.out" -o "$tmpdir/bench.bin" . >/dev/null
+mtop=$(go tool pprof -top "$tmpdir/bench.bin" "$tmpdir/mutex.out" 2>&1)
+if echo "$mtop" | grep -F 'sync.(*RWMutex)'; then
+	echo "benchguard: FAIL: lock-free Decide contended a RWMutex (see pprof -top above)" >&2
+	exit 1
+fi
+echo "benchguard: mutex profile clean (no RWMutex contention on the lock-free path)"
 echo "benchguard: OK"
