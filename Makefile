@@ -1,6 +1,6 @@
 # Standard developer entry points; everything is plain `go` underneath.
 
-.PHONY: all build vet test race bench benchguard replication-smoke fuzz cover experiments fmt
+.PHONY: all build vet test race bench benchguard replication-smoke chaos-smoke fuzz cover experiments fmt
 
 all: build vet test
 
@@ -28,6 +28,12 @@ benchguard:
 # loopback and asserts convergence with the shipped binaries.
 replication-smoke:
 	./scripts/replication_smoke.sh
+
+# End-to-end chaos drill: boots grbacd with fault injection + admission
+# control armed, floods it, and asserts the overload-protection contract
+# (429 + Retry-After, recovered panics, follower convergence).
+chaos-smoke:
+	./scripts/chaos_smoke.sh
 
 # Run every native fuzz target for a short budget each.
 fuzz:

@@ -113,7 +113,9 @@ func main() {
 		}
 		printJSON(st)
 	case "stats":
-		st, err := client.Stats(ctx)
+		// Full statsz: cache counters plus the server's admission and
+		// panic-recovery gauges (and replication lag on a follower).
+		st, err := client.Statsz(ctx)
 		if err != nil {
 			log.Fatal(err)
 		}

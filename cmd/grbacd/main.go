@@ -36,6 +36,7 @@ import (
 	grbac "github.com/aware-home/grbac"
 	"github.com/aware-home/grbac/internal/audit"
 	"github.com/aware-home/grbac/internal/core"
+	"github.com/aware-home/grbac/internal/faults"
 	"github.com/aware-home/grbac/internal/pdp"
 	"github.com/aware-home/grbac/internal/replica"
 	"github.com/aware-home/grbac/internal/store"
@@ -52,7 +53,20 @@ func main() {
 	follow := flag.String("follow", "", "primary PDP base URL to replicate from (follower mode: read-only, policy comes from the primary)")
 	maxStaleness := flag.Duration("max-staleness", 30*time.Second, "follower mode: degrade health and mark decisions stale after this long without primary contact (0 disables)")
 	shutdownGrace := flag.Duration("shutdown-grace", 10*time.Second, "how long to let in-flight requests drain on SIGINT/SIGTERM")
+	maxInflight := flag.Int("max-inflight", 0, "max concurrent decision requests; overflow waits -inflight-wait then sheds with 429 + Retry-After (0 disables admission control)")
+	inflightWait := flag.Duration("inflight-wait", 50*time.Millisecond, "how long an over-limit decision request may wait for an admission slot before shedding")
+	faultSpec := flag.String("faults", "", "chaos drills: fault-injection spec, e.g. 'pdp.decide:delay=50ms,prob=0.5;replica.watch:error=dropped,every=3'")
+	faultSeed := flag.Int64("faults-seed", 1, "seed for the fault plan's probability draws, for reproducible chaos runs")
 	flag.Parse()
+
+	if *faultSpec != "" {
+		rules, err := faults.ParseRules(*faultSpec)
+		if err != nil {
+			log.Fatal(err)
+		}
+		faults.Activate(faults.NewPlan(*faultSeed, rules...))
+		log.Printf("FAULT INJECTION ACTIVE (seed %d): %s", *faultSeed, *faultSpec)
+	}
 
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
@@ -93,6 +107,10 @@ func main() {
 	// Every node exposes the feed, so followers can chain off followers
 	// and any node can be promoted to primary.
 	serverOpts = append(serverOpts, pdp.WithReplicaSource(replica.NewSource(sys)))
+	if *maxInflight > 0 {
+		serverOpts = append(serverOpts, pdp.WithMaxInflight(*maxInflight, *inflightWait))
+		log.Printf("admission control: %d in flight, %v wait", *maxInflight, *inflightWait)
+	}
 
 	server := pdp.NewServer(sys, serverOpts...)
 	log.Printf("serving GRBAC PDP on %s (%d permissions, %d subjects)",

@@ -119,17 +119,49 @@ func (s *System) usesSerializedPath() bool {
 // it is never mutated or retained by decisions.
 var emptyEnv = []RoleID{}
 
+// annotateFailSafe appends the fail-safe explanation to a denial mediated
+// against a live environment source that reports expired context: stale
+// attributes read as absent, so environment roles over them deactivate and
+// the request falls through to deny. The annotation makes that chain
+// visible — Decision.Explain and the audit trail can distinguish a
+// freshness (fail-safe) deny from an ordinary policy deny. Allowed
+// decisions are never annotated: fresh-enough context satisfied a
+// permission, and the reason must stay the rule that granted it.
+func annotateFailSafe(d *Decision, src EnvironmentSource) {
+	if d.Allowed || src == nil {
+		return
+	}
+	exp, ok := src.(ExpiringEnvironmentSource)
+	if !ok {
+		return
+	}
+	keys := exp.ExpiredContext()
+	if len(keys) == 0 {
+		return
+	}
+	d.Reason += "; fail-safe: environment context expired (" +
+		strings.Join(keys, ", ") + "), roles over stale context are inactive"
+}
+
 // decideOn mediates one request against a compiled snapshot, consulting
 // the sharded decision cache keyed by the snapshot's generation.
 func (s *System) decideOn(sn *snapshot, req Request) (Decision, error) {
+	// live records whether this request consults the system's environment
+	// source: only then can a deny be the fail-safe product of expired
+	// context rather than of the caller's explicit environment.
+	live := req.Environment == nil && sn.envSource != nil
 	if s.cache == nil {
-		return sn.decide(req)
+		d, err := sn.decide(req)
+		if err == nil && live {
+			annotateFailSafe(&d, sn.envSource)
+		}
+		return d, err
 	}
 	// Resolve the environment snapshot up front: the cache key must be a
 	// pure function of everything the decision depends on, and the live
 	// EnvironmentSource sits outside the generation counter's reach.
 	resolved := req.Environment
-	if resolved == nil && sn.envSource != nil {
+	if live {
 		resolved = sn.envSource.ActiveEnvironmentRoles()
 	}
 	if resolved == nil {
@@ -146,6 +178,9 @@ func (s *System) decideOn(sn *snapshot, req Request) (Decision, error) {
 	if err != nil {
 		return d, err
 	}
+	if live {
+		annotateFailSafe(&d, sn.envSource)
+	}
 	if s.cache.put(h, sn.gen, req, d) {
 		s.decEvictions.Add(1)
 	}
@@ -159,11 +194,16 @@ func (s *System) decideOn(sn *snapshot, req Request) (Decision, error) {
 func (s *System) decideSerialized(req Request) (Decision, error) {
 	s.mu.RLock()
 	defer s.mu.RUnlock()
+	live := req.Environment == nil && s.envSource != nil
 	if s.cache == nil {
-		return s.decideLocked(req)
+		d, err := s.decideLocked(req)
+		if err == nil && live {
+			annotateFailSafe(&d, s.envSource)
+		}
+		return d, err
 	}
 	resolved := req.Environment
-	if resolved == nil && s.envSource != nil {
+	if live {
 		resolved = s.envSource.ActiveEnvironmentRoles()
 	}
 	if resolved == nil {
@@ -179,6 +219,9 @@ func (s *System) decideSerialized(req Request) (Decision, error) {
 	d, err := s.decideLocked(req)
 	if err != nil {
 		return d, err
+	}
+	if live {
+		annotateFailSafe(&d, s.envSource)
 	}
 	if s.cache.put(h, s.gen, req, d) {
 		s.decEvictions.Add(1)
@@ -448,8 +491,9 @@ func (s *System) CheckAccess(req Request) (bool, error) {
 		return d.Allowed, nil
 	}
 	sn := s.currentSnapshot()
+	live := req.Environment == nil && sn.envSource != nil
 	resolved := req.Environment
-	if resolved == nil && sn.envSource != nil {
+	if live {
 		resolved = sn.envSource.ActiveEnvironmentRoles()
 	}
 	if resolved == nil {
@@ -465,6 +509,11 @@ func (s *System) CheckAccess(req Request) (bool, error) {
 	d, err := sn.decide(req)
 	if err != nil {
 		return false, err
+	}
+	// Annotate before caching so a later Decide hitting this entry reads
+	// the same fail-safe reason a cold Decide would have produced.
+	if live {
+		annotateFailSafe(&d, sn.envSource)
 	}
 	if s.cache.put(h, sn.gen, req, d) {
 		s.decEvictions.Add(1)

@@ -18,6 +18,20 @@ type EnvironmentSource interface {
 	ActiveEnvironmentRoles() []RoleID
 }
 
+// ExpiringEnvironmentSource is an optional extension of EnvironmentSource
+// for sources whose context can go stale — sensor-fed attribute stores
+// with freshness TTLs. When a request is mediated against the live source
+// and the source reports expired context, a resulting deny is annotated
+// in Decision.Reason (and therefore in Decision.Explain and the audit
+// trail) so a fail-safe freshness deny is distinguishable from an
+// ordinary policy deny.
+type ExpiringEnvironmentSource interface {
+	EnvironmentSource
+	// ExpiredContext returns identifiers of context items past their
+	// freshness bound, empty when the context is fully fresh.
+	ExpiredContext() []string
+}
+
 // subjectRec and objectRec hold per-entity role assignments.
 type subjectRec struct {
 	roles map[RoleID]bool

@@ -125,6 +125,21 @@ func (e *Engine) ActiveEnvironmentRoles() []core.RoleID {
 }
 
 var _ core.EnvironmentSource = (*Engine)(nil)
+var _ core.ExpiringEnvironmentSource = (*Engine)(nil)
+
+// ExpiredContext reports the attribute keys whose freshness TTL has
+// lapsed in the backing store. It implements
+// core.ExpiringEnvironmentSource: while any context is expired, the
+// engine's roles defined over that context read their attributes as
+// absent (fail-safe inactive), and the core annotates denies with the
+// stale keys so audit trails can tell a freshness deny from a policy
+// deny.
+func (e *Engine) ExpiredContext() []string {
+	if e.store == nil {
+		return nil
+	}
+	return e.store.ExpiredKeys()
+}
 
 // ActiveRolesAt returns the roles active at the given instant for the
 // given subject ("" for global evaluation), sorted.

@@ -4,6 +4,7 @@ import (
 	"errors"
 	"reflect"
 	"strings"
+	"sync"
 	"testing"
 	"time"
 
@@ -409,5 +410,164 @@ func TestConditionStringsContainSubparts(t *testing.T) {
 		if !strings.Contains(s, want) {
 			t.Errorf("String() = %q missing %q", s, want)
 		}
+	}
+}
+
+// mutableClock is a settable time source for freshness tests.
+type mutableClock struct {
+	mu sync.Mutex
+	t  time.Time
+}
+
+func (c *mutableClock) Now() time.Time {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.t
+}
+
+func (c *mutableClock) Advance(d time.Duration) {
+	c.mu.Lock()
+	c.t = c.t.Add(d)
+	c.mu.Unlock()
+}
+
+func TestStoreTTLFailSafe(t *testing.T) {
+	clk := &mutableClock{t: time.Date(2026, 8, 5, 12, 0, 0, 0, time.UTC)}
+	s := NewStore(WithStoreClock(clk.Now), WithDefaultTTL(time.Minute))
+	s.Set("motion.kitchen", Bool(true))
+	s.SetTTL("temperature", Number(21), 10*time.Minute)
+	s.SetTTL("address", String("home"), 0) // never expires
+
+	if _, ok := s.Get("motion.kitchen"); !ok {
+		t.Fatal("fresh value absent")
+	}
+	if got := s.ExpiredKeys(); len(got) != 0 {
+		t.Fatalf("ExpiredKeys fresh = %v", got)
+	}
+
+	clk.Advance(2 * time.Minute) // past motion's TTL, inside temperature's
+	if _, ok := s.Get("motion.kitchen"); ok {
+		t.Fatal("expired value still served (fail-safe violated)")
+	}
+	if _, ok := s.Get("temperature"); !ok {
+		t.Fatal("unexpired value vanished")
+	}
+	if got := s.ExpiredKeys(); !reflect.DeepEqual(got, []string{"motion.kitchen"}) {
+		t.Fatalf("ExpiredKeys = %v", got)
+	}
+	if got := s.Keys(); !reflect.DeepEqual(got, []string{"address", "temperature"}) {
+		t.Fatalf("Keys = %v", got)
+	}
+	if _, ok := s.Snapshot()["motion.kitchen"]; ok {
+		t.Fatal("Snapshot serves expired value")
+	}
+	if s.StaleReads() == 0 {
+		t.Fatal("stale reads not counted")
+	}
+
+	clk.Advance(20 * time.Minute)
+	if _, ok := s.Get("address"); !ok {
+		t.Fatal("TTL-less value expired")
+	}
+
+	// Re-setting an expired key makes it fresh again.
+	s.Set("motion.kitchen", Bool(true))
+	if _, ok := s.Get("motion.kitchen"); !ok {
+		t.Fatal("re-set value absent")
+	}
+	if got := s.ExpiredKeys(); len(got) != 1 || got[0] != "temperature" {
+		t.Fatalf("ExpiredKeys after refresh = %v", got)
+	}
+}
+
+func TestStoreTTLRefreshOnEqualSet(t *testing.T) {
+	clk := &mutableClock{t: time.Unix(1000, 0)}
+	var events int
+	bus := event.NewBus()
+	bus.Subscribe(func(event.Event) { events++ }, event.TypeStateChanged)
+	s := NewStore(WithStoreClock(clk.Now), WithDefaultTTL(time.Minute), WithStoreBus(bus))
+
+	s.Set("k", Bool(true))
+	clk.Advance(45 * time.Second)
+	s.Set("k", Bool(true)) // same value: refresh freshness, no event
+	clk.Advance(45 * time.Second)
+	if _, ok := s.Get("k"); !ok {
+		t.Fatal("re-confirmed value expired: equal Set did not refresh TTL")
+	}
+	if events != 1 {
+		t.Fatalf("equal Set published an event (%d events, want 1)", events)
+	}
+}
+
+func TestStoreFailOpen(t *testing.T) {
+	clk := &mutableClock{t: time.Unix(1000, 0)}
+	s := NewStore(WithStoreClock(clk.Now), WithDefaultTTL(time.Minute), WithFailOpen())
+	s.Set("k", Number(7))
+	clk.Advance(time.Hour)
+	if v, ok := s.Get("k"); !ok || v.Num != 7 {
+		t.Fatalf("fail-open store hid expired value: %v %v", v, ok)
+	}
+	if got := s.ExpiredKeys(); len(got) != 1 {
+		t.Fatalf("fail-open ExpiredKeys = %v", got)
+	}
+	if s.StaleReads() == 0 {
+		t.Fatal("fail-open stale read not counted")
+	}
+}
+
+// TestFreshnessFailSafeEndToEnd wires the real pipeline: a TTL'd
+// attribute store behind an engine behind a core.System. When the sensor
+// feed goes quiet past the TTL, the environment role deactivates and the
+// system denies with the fail-safe annotation.
+func TestFreshnessFailSafeEndToEnd(t *testing.T) {
+	clk := &mutableClock{t: time.Date(2026, 8, 5, 12, 0, 0, 0, time.UTC)}
+	store := NewStore(WithStoreClock(clk.Now), WithDefaultTTL(30*time.Second))
+	engine := NewEngine(store, WithClock(clk.Now))
+	if err := engine.Define("kitchen-occupied", AttrEquals{Key: "motion.kitchen", Value: Bool(true)}); err != nil {
+		t.Fatal(err)
+	}
+
+	sys := core.NewSystem(core.WithEnvironmentSource(engine))
+	steps := []error{
+		sys.AddRole(core.Role{ID: "resident", Kind: core.SubjectRole}),
+		sys.AddRole(core.Role{ID: "appliance", Kind: core.ObjectRole}),
+		sys.AddRole(core.Role{ID: "kitchen-occupied", Kind: core.EnvironmentRole}),
+		sys.AddSubject("alice"),
+		sys.AssignSubjectRole("alice", "resident"),
+		sys.AddObject("stove"),
+		sys.AssignObjectRole("stove", "appliance"),
+		sys.AddTransaction(core.SimpleTransaction("use")),
+		sys.Grant(core.Permission{
+			Subject: "resident", Object: "appliance",
+			Environment: "kitchen-occupied", Transaction: "use", Effect: core.Permit,
+		}),
+	}
+	for _, err := range steps {
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	store.Set("motion.kitchen", Bool(true))
+	req := core.Request{Subject: "alice", Object: "stove", Transaction: "use"}
+	if d, err := sys.Decide(req); err != nil || !d.Allowed {
+		t.Fatalf("fresh sensor: %+v, %v", d, err)
+	}
+
+	clk.Advance(time.Minute) // the sensor goes quiet past the TTL
+	d, err := sys.Decide(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d.Allowed {
+		t.Fatalf("stale sensor still allowed: %+v", d)
+	}
+	if !strings.Contains(d.Reason, "fail-safe") || !strings.Contains(d.Reason, "motion.kitchen") {
+		t.Fatalf("deny not annotated with stale context: %q", d.Reason)
+	}
+
+	store.Set("motion.kitchen", Bool(true)) // the sensor comes back
+	if d, err := sys.Decide(req); err != nil || !d.Allowed {
+		t.Fatalf("refreshed sensor: %+v, %v", d, err)
 	}
 }

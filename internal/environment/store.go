@@ -3,18 +3,41 @@ package environment
 import (
 	"sort"
 	"sync"
+	"sync/atomic"
+	"time"
 
 	"github.com/aware-home/grbac/internal/event"
+	"github.com/aware-home/grbac/internal/faults"
 )
+
+// entry is one stored attribute with its freshness bound. A zero expires
+// means the value never goes stale.
+type entry struct {
+	val     Value
+	expires time.Time
+}
 
 // Store is the current environment snapshot: a concurrency-safe map from
 // attribute keys ("temperature", "system.load", "location.alice") to typed
 // values. Updates optionally publish event.TypeStateChanged on a bus so the
 // Engine (and auditors) can observe every change.
+//
+// Values may carry a freshness TTL (per-Set, or store-wide via
+// WithDefaultTTL). The paper's environment roles are only trustworthy
+// while the sensors feeding them are live; once a value outlives its TTL
+// the store fails safe: Get reports the attribute as absent, so conditions
+// over it evaluate false, environment roles defined on it deactivate, and
+// permissions requiring those roles deny. WithFailOpen flips that
+// per-system policy to availability-first: expired values keep serving,
+// but remain reported by ExpiredKeys so decisions can still be annotated.
 type Store struct {
-	mu    sync.RWMutex
-	attrs map[string]Value
-	bus   *event.Bus
+	mu         sync.RWMutex
+	attrs      map[string]entry
+	bus        *event.Bus
+	now        func() time.Time
+	defaultTTL time.Duration
+	failOpen   bool
+	staleReads atomic.Uint64
 }
 
 // StoreOption configures a Store.
@@ -26,27 +49,58 @@ func WithStoreBus(b *event.Bus) StoreOption {
 	return func(s *Store) { s.bus = b }
 }
 
+// WithStoreClock overrides the freshness clock (simulation, tests).
+func WithStoreClock(now func() time.Time) StoreOption {
+	return func(s *Store) { s.now = now }
+}
+
+// WithDefaultTTL gives every Set this freshness TTL unless SetTTL names
+// another. Zero (the default) means values never expire.
+func WithDefaultTTL(d time.Duration) StoreOption {
+	return func(s *Store) { s.defaultTTL = d }
+}
+
+// WithFailOpen makes expired values keep serving from Get instead of
+// disappearing — availability over safety. ExpiredKeys still reports
+// them, so the PDP's fail-safe annotation remains visible even when a
+// deployment chooses not to deny on stale context.
+func WithFailOpen() StoreOption {
+	return func(s *Store) { s.failOpen = true }
+}
+
 // NewStore builds an empty attribute store.
 func NewStore(opts ...StoreOption) *Store {
-	s := &Store{attrs: make(map[string]Value)}
+	s := &Store{attrs: make(map[string]entry), now: time.Now}
 	for _, opt := range opts {
 		opt(s)
 	}
 	return s
 }
 
-// Set updates one attribute and publishes the change. Setting an attribute
-// to its current value is a no-op and publishes nothing.
+// Set updates one attribute with the store's default TTL and publishes the
+// change. Setting an attribute to its current value refreshes its
+// freshness silently (the environment did not change; the sensor merely
+// re-confirmed it) and publishes nothing.
 func (s *Store) Set(key string, v Value) {
+	s.SetTTL(key, v, s.defaultTTL)
+}
+
+// SetTTL updates one attribute with an explicit freshness TTL (0 = never
+// expires), overriding the store default for this key.
+func (s *Store) SetTTL(key string, v Value, ttl time.Duration) {
+	_ = faults.Inject(faults.EnvironmentSet) // delay = stalled sensor feed
+	var expires time.Time
+	if ttl > 0 {
+		expires = s.now().Add(ttl)
+	}
 	s.mu.Lock()
 	old, had := s.attrs[key]
-	if had && old.Equal(v) {
-		s.mu.Unlock()
-		return
-	}
-	s.attrs[key] = v
+	s.attrs[key] = entry{val: v, expires: expires}
 	bus := s.bus
 	s.mu.Unlock()
+	if had && old.val.Equal(v) {
+		return // freshness refreshed, value unchanged: no event
+	}
 	if bus != nil {
 		bus.Publish(event.Event{
 			Type:   event.TypeStateChanged,
@@ -72,33 +126,81 @@ func (s *Store) Delete(key string) {
 	}
 }
 
-// Get returns the attribute value, if set.
-func (s *Store) Get(key string) (Value, bool) {
-	s.mu.RLock()
-	defer s.mu.RUnlock()
-	v, ok := s.attrs[key]
-	return v, ok
+// expired reports whether e has outlived its TTL at instant t.
+func (e entry) expired(t time.Time) bool {
+	return !e.expires.IsZero() && t.After(e.expires)
 }
 
-// Keys returns all attribute keys in sorted order.
+// Get returns the attribute value, if set and fresh. An expired value is
+// reported as absent (fail-safe) unless the store was built WithFailOpen;
+// either way the stale read is counted.
+func (s *Store) Get(key string) (Value, bool) {
+	s.mu.RLock()
+	e, ok := s.attrs[key]
+	now := s.now
+	failOpen := s.failOpen
+	s.mu.RUnlock()
+	if !ok {
+		return Value{}, false
+	}
+	if e.expired(now()) {
+		s.staleReads.Add(1)
+		if !failOpen {
+			return Value{}, false
+		}
+	}
+	return e.val, true
+}
+
+// StaleReads counts Gets that touched an expired value.
+func (s *Store) StaleReads() uint64 { return s.staleReads.Load() }
+
+// ExpiredKeys returns the keys whose values have outlived their TTL, in
+// sorted order. Expired entries stay listed until overwritten or deleted,
+// so the PDP can explain fail-safe denies by naming the stale context.
+func (s *Store) ExpiredKeys() []string {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	t := s.now()
+	var out []string
+	for k, e := range s.attrs {
+		if e.expired(t) {
+			out = append(out, k)
+		}
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Keys returns all fresh attribute keys in sorted order (all keys under
+// WithFailOpen).
 func (s *Store) Keys() []string {
 	s.mu.RLock()
 	defer s.mu.RUnlock()
+	t := s.now()
 	out := make([]string, 0, len(s.attrs))
-	for k := range s.attrs {
+	for k, e := range s.attrs {
+		if e.expired(t) && !s.failOpen {
+			continue
+		}
 		out = append(out, k)
 	}
 	sort.Strings(out)
 	return out
 }
 
-// Snapshot returns a copy of the full attribute map.
+// Snapshot returns a copy of the fresh attribute map (including expired
+// values under WithFailOpen).
 func (s *Store) Snapshot() map[string]Value {
 	s.mu.RLock()
 	defer s.mu.RUnlock()
+	t := s.now()
 	out := make(map[string]Value, len(s.attrs))
-	for k, v := range s.attrs {
-		out[k] = v
+	for k, e := range s.attrs {
+		if e.expired(t) && !s.failOpen {
+			continue
+		}
+		out[k] = e.val
 	}
 	return out
 }

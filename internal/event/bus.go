@@ -1,8 +1,12 @@
 package event
 
 import (
+	"log"
 	"sync"
+	"sync/atomic"
 	"time"
+
+	"github.com/aware-home/grbac/internal/faults"
 )
 
 // Handler consumes one event. Handlers run synchronously on the publishing
@@ -19,6 +23,8 @@ type Bus struct {
 	nextID int
 	now    func() time.Time
 	log    *Log
+	logger *log.Logger
+	panics atomic.Uint64
 }
 
 type subscription struct {
@@ -40,11 +46,18 @@ func WithLog(l *Log) BusOption {
 	return func(b *Bus) { b.log = l }
 }
 
+// WithBusLogger sets where recovered subscriber panics are reported
+// (default log.Default()).
+func WithBusLogger(l *log.Logger) BusOption {
+	return func(b *Bus) { b.logger = l }
+}
+
 // NewBus constructs an empty bus.
 func NewBus(opts ...BusOption) *Bus {
 	b := &Bus{
-		subs: make(map[int]*subscription),
-		now:  time.Now,
+		subs:   make(map[int]*subscription),
+		now:    time.Now,
+		logger: log.Default(),
 	}
 	for _, opt := range opts {
 		opt(b)
@@ -97,10 +110,33 @@ func (b *Bus) Publish(e Event) Event {
 
 	// Deliver outside the lock so handlers may publish or subscribe.
 	for _, h := range handlers {
-		h(stamped.clone())
+		b.deliver(h, stamped.clone())
 	}
 	return stamped
 }
+
+// deliver invokes one handler, recovering any panic so a crashing
+// subscriber can neither unwind into the publisher nor starve the
+// subscribers after it in delivery order. The tamper-evident log entry was
+// appended under the lock before delivery began, so the HMAC chain stays
+// consistent whatever handlers do. The faults.EventDeliver hook lets chaos
+// drills slow a subscriber (delay), crash one (panic — recovered here like
+// any other), or drop a delivery (error).
+func (b *Bus) deliver(h Handler, e Event) {
+	defer func() {
+		if p := recover(); p != nil {
+			b.panics.Add(1)
+			b.logger.Printf("event: recovered subscriber panic on %s #%d: %v", e.Type, e.Seq, p)
+		}
+	}()
+	if err := faults.Inject(faults.EventDeliver); err != nil {
+		return // injected drop: the subscriber misses this event
+	}
+	h(e)
+}
+
+// RecoveredPanics reports how many subscriber panics the bus has absorbed.
+func (b *Bus) RecoveredPanics() uint64 { return b.panics.Load() }
 
 // Seq returns the sequence number of the most recently published event.
 func (b *Bus) Seq() uint64 {

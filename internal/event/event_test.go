@@ -3,6 +3,8 @@ package event
 import (
 	"errors"
 	"fmt"
+	"io"
+	"log"
 	"math/rand"
 	"sync"
 	"testing"
@@ -237,5 +239,46 @@ func TestCanonicalSortsAttrs(t *testing.T) {
 	want := "seq=1|time=-6795364578871345152|type=t|source=|a=1|b=2"
 	if got := e.canonical(); got != want {
 		t.Fatalf("canonical = %q, want %q", got, want)
+	}
+}
+
+// TestPanickingSubscriberIsContained is the regression test for the
+// fail-safe delivery contract: a handler that panics must not unwind into
+// Publish, must not starve subscribers after it, and must leave the
+// tamper-evident log's HMAC chain verifiable.
+func TestPanickingSubscriberIsContained(t *testing.T) {
+	l, err := NewLog([]byte("k"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	b := NewBus(WithLog(l), WithBusLogger(log.New(io.Discard, "", 0)))
+
+	seen := map[string]int{}
+	b.Subscribe(func(Event) { seen["first"]++ })
+	b.Subscribe(func(Event) { panic("bad subscriber") })
+	b.Subscribe(func(Event) { seen["last"]++ })
+
+	for i := 0; i < 3; i++ {
+		func() {
+			defer func() {
+				if p := recover(); p != nil {
+					t.Fatalf("publish %d let a subscriber panic escape: %v", i, p)
+				}
+			}()
+			b.Publish(Event{Type: TypeStateChanged, Source: "test"})
+		}()
+	}
+
+	if got := b.RecoveredPanics(); got != 3 {
+		t.Fatalf("RecoveredPanics = %d, want 3", got)
+	}
+	if seen["first"] != 3 || seen["last"] != 3 {
+		t.Fatalf("surviving subscribers starved: %v (want 3 deliveries each)", seen)
+	}
+	if l.Len() != 3 {
+		t.Fatalf("log has %d entries, want 3", l.Len())
+	}
+	if err := l.Verify(); err != nil {
+		t.Fatalf("HMAC chain broken after subscriber panics: %v", err)
 	}
 }

@@ -1,0 +1,33 @@
+package faults
+
+import "testing"
+
+// BenchmarkDisabledInject measures the cost every instrumented hot path
+// pays when no fault plan is active: one atomic load and a nil check.
+// scripts/benchguard.sh asserts this stays allocation-free and within a
+// few nanoseconds, so the hooks can remain compiled into production
+// builds (and into BenchmarkE17ParallelDecide's mediation path) at no
+// measurable overhead.
+func BenchmarkDisabledInject(b *testing.B) {
+	Deactivate()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if err := Inject(PDPDecide); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkDisabledInjectParallel is the contended variant: the disabled
+// hook must not serialize concurrent mediation goroutines.
+func BenchmarkDisabledInjectParallel(b *testing.B) {
+	Deactivate()
+	b.ReportAllocs()
+	b.RunParallel(func(pb *testing.PB) {
+		for pb.Next() {
+			if err := Inject(PDPDecide); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}

@@ -1,0 +1,149 @@
+package faults
+
+import (
+	"errors"
+	"strings"
+	"testing"
+	"time"
+)
+
+func TestInjectDisabledIsNoop(t *testing.T) {
+	Deactivate()
+	if Enabled() {
+		t.Fatal("Enabled() with no plan")
+	}
+	if err := Inject("anything"); err != nil {
+		t.Fatalf("disabled Inject returned %v", err)
+	}
+}
+
+func TestErrorSchedule(t *testing.T) {
+	boom := errors.New("boom")
+	p := NewPlan(1, Rule{Point: "p", After: 2, Every: 2, Limit: 2, Action: Action{Err: boom}})
+	Activate(p)
+	defer Deactivate()
+
+	// Hits 1,2 skipped by After; then every 2nd eligible hit fires
+	// (hits 4, 6), capped at Limit 2.
+	var got []bool
+	for i := 0; i < 10; i++ {
+		got = append(got, Inject("p") != nil)
+	}
+	want := []bool{false, false, false, true, false, true, false, false, false, false}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("hit %d: fired=%v, want %v (all: %v)", i+1, got[i], want[i], got)
+		}
+	}
+	if p.Fired("p") != 2 {
+		t.Fatalf("Fired = %d, want 2", p.Fired("p"))
+	}
+	if err := Inject("other-point"); err != nil {
+		t.Fatalf("unrelated point fired: %v", err)
+	}
+}
+
+func TestSeededProbabilityIsDeterministic(t *testing.T) {
+	run := func(seed int64) []bool {
+		p := NewPlan(seed, Rule{Point: "p", Prob: 0.5, Action: Action{Err: errors.New("x")}})
+		Activate(p)
+		defer Deactivate()
+		var out []bool
+		for i := 0; i < 64; i++ {
+			out = append(out, Inject("p") != nil)
+		}
+		return out
+	}
+	a, b := run(42), run(42)
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("same seed diverged at hit %d", i)
+		}
+	}
+	fired := 0
+	for _, f := range a {
+		if f {
+			fired++
+		}
+	}
+	if fired == 0 || fired == len(a) {
+		t.Fatalf("prob 0.5 fired %d/%d times", fired, len(a))
+	}
+}
+
+func TestPanicAction(t *testing.T) {
+	Activate(NewPlan(1, Rule{Point: "p", Action: Action{Panic: "chaos"}}))
+	defer Deactivate()
+	defer func() {
+		p := recover()
+		if p == nil {
+			t.Fatal("no panic")
+		}
+		if !strings.Contains(p.(string), "chaos") {
+			t.Fatalf("panic %v lacks message", p)
+		}
+	}()
+	_ = Inject("p")
+}
+
+func TestDelayAction(t *testing.T) {
+	Activate(NewPlan(1, Rule{Point: "p", Action: Action{Delay: 30 * time.Millisecond}}))
+	defer Deactivate()
+	start := time.Now()
+	if err := Inject("p"); err != nil {
+		t.Fatal(err)
+	}
+	if d := time.Since(start); d < 25*time.Millisecond {
+		t.Fatalf("delay action slept only %v", d)
+	}
+}
+
+func TestParseRules(t *testing.T) {
+	rules, err := ParseRules("pdp.decide:delay=50ms,prob=0.5; replica.watch:error=dropped,every=3,limit=4 ;bus:panic=boom,after=2")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rules) != 3 {
+		t.Fatalf("got %d rules", len(rules))
+	}
+	if rules[0].Point != "pdp.decide" || rules[0].Action.Delay != 50*time.Millisecond || rules[0].Prob != 0.5 {
+		t.Fatalf("rule 0 = %+v", rules[0])
+	}
+	if rules[1].Action.Err == nil || rules[1].Every != 3 || rules[1].Limit != 4 {
+		t.Fatalf("rule 1 = %+v", rules[1])
+	}
+	if rules[2].Action.Panic != "boom" || rules[2].After != 2 {
+		t.Fatalf("rule 2 = %+v", rules[2])
+	}
+
+	for _, bad := range []string{
+		"",
+		"noaction:",
+		"p:delay=xyz",
+		"p:prob=1.5",
+		"p:unknown=1",
+		"justapoint",
+		"p:every=2", // schedule without an action
+	} {
+		if _, err := ParseRules(bad); err == nil {
+			t.Errorf("ParseRules(%q) accepted", bad)
+		}
+	}
+}
+
+func TestSummary(t *testing.T) {
+	p := NewPlan(1,
+		Rule{Point: "a", Action: Action{Err: errors.New("x")}},
+		Rule{Point: "b", Action: Action{Err: errors.New("y")}})
+	Activate(p)
+	defer Deactivate()
+	_ = Inject("a")
+	_ = Inject("a")
+	_ = Inject("b")
+	if got := p.Summary(); got != "a=2 b=1" {
+		t.Fatalf("Summary = %q", got)
+	}
+	if p.TotalFired() != 3 {
+		t.Fatalf("TotalFired = %d", p.TotalFired())
+	}
+}

@@ -1,0 +1,114 @@
+package pdp
+
+import (
+	"errors"
+	"math/rand"
+	"sync"
+	"time"
+)
+
+// ErrCircuitOpen is returned (fail-fast, no network round trip) while the
+// client's circuit breaker is open after repeated transient failures.
+// Callers should fall back to a local default — for a PDP that means
+// default deny — rather than queueing on a server that is down.
+var ErrCircuitOpen = errors.New("pdp: circuit open")
+
+type breakerState int
+
+const (
+	breakerClosed breakerState = iota
+	breakerOpen
+	breakerHalfOpen
+)
+
+// breaker is a classic three-state circuit breaker over the client's
+// transient-failure signal. Closed counts consecutive transient failures;
+// at the threshold it opens for a jittered cooldown window (extended to
+// at least the server's Retry-After hint, when one was given). When the
+// window lapses it half-opens: exactly one probe request goes through,
+// and its outcome closes or re-opens the circuit.
+type breaker struct {
+	mu        sync.Mutex
+	threshold int
+	cooldown  time.Duration
+	state     breakerState
+	failures  int
+	openUntil time.Time
+	probing   bool
+}
+
+func newBreaker(threshold int, cooldown time.Duration) *breaker {
+	return &breaker{threshold: threshold, cooldown: cooldown}
+}
+
+// allow reports whether a request may be attempted now. In the half-open
+// state the first caller becomes the probe; concurrent callers fail fast
+// until the probe reports back.
+func (b *breaker) allow(now time.Time) bool {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	switch b.state {
+	case breakerOpen:
+		if now.Before(b.openUntil) {
+			return false
+		}
+		b.state = breakerHalfOpen
+		b.probing = true
+		return true
+	case breakerHalfOpen:
+		if b.probing {
+			return false
+		}
+		b.probing = true
+		return true
+	default:
+		return true
+	}
+}
+
+// success records a definitive, non-transient outcome: the server is
+// responsive, so the circuit closes and the failure streak resets.
+func (b *breaker) success() {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	b.state = breakerClosed
+	b.failures = 0
+	b.probing = false
+}
+
+// failure records a transient failure. retryAfter, when positive, is the
+// server's own back-off hint and puts a floor under the open window.
+func (b *breaker) failure(now time.Time, retryAfter time.Duration) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if b.state == breakerHalfOpen {
+		b.probing = false
+		b.trip(now, retryAfter)
+		return
+	}
+	b.failures++
+	if b.failures >= b.threshold {
+		b.trip(now, retryAfter)
+	}
+}
+
+// neutral records an outcome that says nothing about the server (the
+// caller's context ended); it only releases a half-open probe slot.
+func (b *breaker) neutral() {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	b.probing = false
+}
+
+// trip opens the circuit. The window is jittered on [cooldown/2,
+// 3*cooldown/2) so a fleet of breakers does not half-open in lockstep,
+// and never undercuts the server's Retry-After hint. Caller holds the lock.
+func (b *breaker) trip(now time.Time, retryAfter time.Duration) {
+	b.state = breakerOpen
+	b.failures = 0
+	window := b.cooldown/2 + time.Duration(rand.Int63n(int64(b.cooldown)+1))
+	if retryAfter > window {
+		window = retryAfter
+	}
+	b.openUntil = now.Add(window)
+}

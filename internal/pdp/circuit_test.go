@@ -1,0 +1,177 @@
+package pdp
+
+import (
+	"context"
+	"errors"
+	"net/http"
+	"net/http/httptest"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+// flakyServer answers with the status in mode (0 = 200 OK) and counts
+// every request it sees.
+type flakyServer struct {
+	mode atomic.Int32
+	hits atomic.Int32
+	srv  *httptest.Server
+}
+
+func newFlakyServer(t *testing.T) *flakyServer {
+	t.Helper()
+	f := &flakyServer{}
+	f.srv = httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		f.hits.Add(1)
+		if code := int(f.mode.Load()); code != 0 {
+			w.Header().Set("Content-Type", "application/json")
+			w.WriteHeader(code)
+			w.Write([]byte(`{"error":"flaking"}`))
+			return
+		}
+		w.Header().Set("Content-Type", "application/json")
+		w.Write([]byte(`{"allowed":true}`))
+	}))
+	t.Cleanup(f.srv.Close)
+	return f
+}
+
+// TestRetryOn429 exercises satellite (b): a 429 shed is transient, so a
+// retrying client rides out a shedding server and succeeds once capacity
+// returns.
+func TestRetryOn429(t *testing.T) {
+	f := newFlakyServer(t)
+	f.mode.Store(http.StatusTooManyRequests)
+	client := NewClient(f.srv.URL, f.srv.Client(), WithRetry(4, time.Millisecond))
+
+	// Flip the server healthy after the second shed.
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		for f.hits.Load() < 2 {
+			time.Sleep(time.Millisecond)
+		}
+		f.mode.Store(0)
+	}()
+
+	ok, err := client.Check(context.Background(), DecideRequest{
+		Subject: "alice", Object: "tv", Transaction: "use",
+	})
+	<-done
+	if err != nil || !ok {
+		t.Fatalf("Check through 429s = %v, %v", ok, err)
+	}
+	if n := f.hits.Load(); n < 3 {
+		t.Fatalf("server saw %d requests, want >= 3 (two sheds + success)", n)
+	}
+}
+
+// TestRetryAfterParsed checks the Retry-After header lands on RemoteError
+// for both of its RFC 9110 shapes.
+func TestRetryAfterParsed(t *testing.T) {
+	header := atomic.Value{}
+	header.Store("7")
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Retry-After", header.Load().(string))
+		w.WriteHeader(http.StatusTooManyRequests)
+	}))
+	t.Cleanup(srv.Close)
+	client := NewClient(srv.URL, srv.Client())
+
+	_, err := client.Decide(context.Background(), DecideRequest{Object: "tv", Transaction: "use"})
+	var re *RemoteError
+	if !errors.As(err, &re) || re.Status != http.StatusTooManyRequests {
+		t.Fatalf("err = %v", err)
+	}
+	if re.RetryAfter != 7*time.Second {
+		t.Fatalf("RetryAfter = %v, want 7s", re.RetryAfter)
+	}
+
+	header.Store(time.Now().Add(30 * time.Second).UTC().Format(http.TimeFormat))
+	_, err = client.Decide(context.Background(), DecideRequest{Object: "tv", Transaction: "use"})
+	if !errors.As(err, &re) {
+		t.Fatalf("err = %v", err)
+	}
+	if re.RetryAfter <= 0 || re.RetryAfter > 30*time.Second {
+		t.Fatalf("RetryAfter from HTTP date = %v, want in (0, 30s]", re.RetryAfter)
+	}
+}
+
+// TestRetrySleepHonorsRetryAfter: with a tiny backoff base but a 1s server
+// hint, the retry must wait at least the hint.
+func TestRetrySleepHonorsRetryAfter(t *testing.T) {
+	if testing.Short() {
+		t.Skip("1s sleep")
+	}
+	f := newFlakyServer(t)
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if f.hits.Add(1) == 1 {
+			w.Header().Set("Retry-After", "1")
+			w.WriteHeader(http.StatusTooManyRequests)
+			return
+		}
+		w.Write([]byte(`{"allowed":true}`))
+	}))
+	t.Cleanup(srv.Close)
+	client := NewClient(srv.URL, srv.Client(), WithRetry(2, time.Millisecond))
+
+	start := time.Now()
+	ok, err := client.Check(context.Background(), DecideRequest{Object: "tv", Transaction: "use"})
+	if err != nil || !ok {
+		t.Fatalf("Check = %v, %v", ok, err)
+	}
+	if elapsed := time.Since(start); elapsed < 900*time.Millisecond {
+		t.Fatalf("retried after %v, want >= ~1s (Retry-After honored)", elapsed)
+	}
+}
+
+// TestCircuitBreakerLifecycle drives closed → open → half-open → open →
+// half-open → closed against a flaking server, checking fail-fast behavior
+// and request counts at every step.
+func TestCircuitBreakerLifecycle(t *testing.T) {
+	f := newFlakyServer(t)
+	f.mode.Store(http.StatusInternalServerError)
+	const cooldown = 50 * time.Millisecond
+	client := NewClient(f.srv.URL, f.srv.Client(), WithCircuitBreaker(2, cooldown))
+	ctx := context.Background()
+	req := DecideRequest{Subject: "alice", Object: "tv", Transaction: "use"}
+
+	// Two transient failures trip the breaker.
+	for i := 0; i < 2; i++ {
+		if _, err := client.Decide(ctx, req); !errors.Is(err, ErrRemote) {
+			t.Fatalf("attempt %d: err = %v, want remote error", i, err)
+		}
+	}
+	if _, err := client.Decide(ctx, req); !errors.Is(err, ErrCircuitOpen) {
+		t.Fatalf("open circuit: err = %v, want ErrCircuitOpen", err)
+	}
+	if n := f.hits.Load(); n != 2 {
+		t.Fatalf("open circuit leaked a request: server saw %d, want 2", n)
+	}
+
+	// The window is jittered on [cooldown/2, 3*cooldown/2); wait it out.
+	time.Sleep(cooldown*2 + 10*time.Millisecond)
+
+	// Half-open probe against a still-failing server re-opens immediately.
+	if _, err := client.Decide(ctx, req); !errors.Is(err, ErrRemote) {
+		t.Fatalf("probe: err = %v, want remote error", err)
+	}
+	if _, err := client.Decide(ctx, req); !errors.Is(err, ErrCircuitOpen) {
+		t.Fatalf("after failed probe: err = %v, want ErrCircuitOpen", err)
+	}
+	if n := f.hits.Load(); n != 3 {
+		t.Fatalf("server saw %d requests, want 3 (one probe)", n)
+	}
+
+	// Server recovers; the next probe closes the circuit for good.
+	time.Sleep(cooldown*2 + 10*time.Millisecond)
+	f.mode.Store(0)
+	for i := 0; i < 2; i++ {
+		if _, err := client.Decide(ctx, req); err != nil {
+			t.Fatalf("recovered call %d: %v", i, err)
+		}
+	}
+	if n := f.hits.Load(); n != 5 {
+		t.Fatalf("server saw %d requests, want 5", n)
+	}
+}

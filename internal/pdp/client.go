@@ -30,6 +30,10 @@ var ErrTransport = errors.New("pdp: transport error")
 type RemoteError struct {
 	Status  int
 	Message string
+	// RetryAfter is the server's parsed Retry-After hint (zero when the
+	// reply carried none). Overloaded PDPs send it on 429/503 sheds; the
+	// retry policy and circuit breaker honor it.
+	RetryAfter time.Duration
 }
 
 // Error renders the same strings the pre-typed errors produced.
@@ -51,17 +55,19 @@ type Client struct {
 	// default); retryBase seeds the exponential backoff between tries.
 	attempts  int
 	retryBase time.Duration
+	breaker   *breaker
 }
 
 // ClientOption configures a Client.
 type ClientOption func(*Client)
 
-// WithRetry enables retries for transient failures — transport errors and
-// 5xx replies — with exponential backoff plus jitter between attempts,
-// honoring context cancellation. maxAttempts counts the first try; 4xx
-// replies, decode errors, and context cancellation never retry. It is
-// opt-in so tests and latency-sensitive callers keep deterministic
-// single-shot behavior.
+// WithRetry enables retries for transient failures — transport errors,
+// 5xx replies, and 429 sheds — with exponential backoff plus jitter
+// between attempts, honoring context cancellation and any server
+// Retry-After hint. maxAttempts counts the first try; other 4xx replies,
+// decode errors, and context cancellation never retry. It is opt-in so
+// tests and latency-sensitive callers keep deterministic single-shot
+// behavior.
 func WithRetry(maxAttempts int, baseDelay time.Duration) ClientOption {
 	return func(c *Client) {
 		if maxAttempts > 1 {
@@ -69,6 +75,20 @@ func WithRetry(maxAttempts int, baseDelay time.Duration) ClientOption {
 		}
 		if baseDelay > 0 {
 			c.retryBase = baseDelay
+		}
+	}
+}
+
+// WithCircuitBreaker makes the client fail fast with ErrCircuitOpen after
+// `failures` consecutive transient failures, instead of hammering a down
+// or overloaded PDP. The circuit stays open for a jittered cooldown
+// (floored at any server Retry-After hint), then lets one probe through:
+// probe success closes it, probe failure re-opens it. Composes under
+// WithRetry — each retry attempt consults the breaker.
+func WithCircuitBreaker(failures int, cooldown time.Duration) ClientOption {
+	return func(c *Client) {
+		if failures > 0 && cooldown > 0 {
+			c.breaker = newBreaker(failures, cooldown)
 		}
 	}
 }
@@ -196,20 +216,30 @@ func (c *Client) get(ctx context.Context, path string, out any) error {
 
 // do runs one request, retrying transient failures when the client was
 // built WithRetry. The request is rebuilt per attempt so bodies replay.
+// Every attempt consults the circuit breaker (when one is configured) and
+// feeds its outcome back, so sustained failure degrades to fail-fast.
 func (c *Client) do(ctx context.Context, build func() (*http.Request, error), out any) error {
 	delay := c.retryBase
 	for attempt := 1; ; attempt++ {
+		if c.breaker != nil && !c.breaker.allow(time.Now()) {
+			return ErrCircuitOpen
+		}
 		req, err := build()
 		if err != nil {
 			return err
 		}
 		err = c.doOnce(req, out)
+		c.observe(err)
 		if err == nil || attempt >= c.attempts || !transient(err) || ctx.Err() != nil {
 			return err
 		}
 		// Full jitter on [delay/2, 3*delay/2): decorrelates a fleet of
-		// retrying clients.
+		// retrying clients. A server Retry-After hint puts a floor under
+		// the sleep — the server knows its own recovery better than we do.
 		sleep := delay/2 + time.Duration(rand.Int63n(int64(delay)+1))
+		if ra := retryAfterOf(err); ra > sleep {
+			sleep = ra
+		}
 		t := time.NewTimer(sleep)
 		select {
 		case <-ctx.Done():
@@ -221,17 +251,48 @@ func (c *Client) do(ctx context.Context, build func() (*http.Request, error), ou
 	}
 }
 
+// observe classifies one attempt's outcome for the circuit breaker. A
+// definitive reply — success, 4xx, or a decode error on a 2xx — proves the
+// server responsive and closes the circuit; a transient failure counts
+// against it; the caller's own context ending says nothing either way.
+func (c *Client) observe(err error) {
+	if c.breaker == nil {
+		return
+	}
+	switch {
+	case err == nil:
+		c.breaker.success()
+	case errors.Is(err, context.Canceled), errors.Is(err, context.DeadlineExceeded):
+		c.breaker.neutral()
+	case transient(err):
+		c.breaker.failure(time.Now(), retryAfterOf(err))
+	default:
+		c.breaker.success()
+	}
+}
+
+// retryAfterOf extracts the server's Retry-After hint from an error, if
+// the error carries one.
+func retryAfterOf(err error) time.Duration {
+	var re *RemoteError
+	if errors.As(err, &re) {
+		return re.RetryAfter
+	}
+	return 0
+}
+
 // transient reports whether a failure is worth retrying: transport
-// errors (the server may be back next attempt) and 5xx replies. Context
+// errors (the server may be back next attempt), 5xx replies, and 429
+// sheds (the server explicitly asked for a later retry). Context
 // cancellation and deadline expiry are the caller giving up, never
-// retried; 4xx replies and decode errors are permanent.
+// retried; other 4xx replies and decode errors are permanent.
 func transient(err error) bool {
 	if errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded) {
 		return false
 	}
 	var re *RemoteError
 	if errors.As(err, &re) {
-		return re.Status >= 500
+		return re.Status >= 500 || re.Status == http.StatusTooManyRequests
 	}
 	return errors.Is(err, ErrTransport)
 }
@@ -246,7 +307,10 @@ func (c *Client) doOnce(req *http.Request, out any) error {
 		_ = resp.Body.Close()
 	}()
 	if resp.StatusCode/100 != 2 {
-		remote := &RemoteError{Status: resp.StatusCode}
+		remote := &RemoteError{
+			Status:     resp.StatusCode,
+			RetryAfter: parseRetryAfter(resp.Header.Get("Retry-After")),
+		}
 		var e ErrorResponse
 		if err := json.NewDecoder(resp.Body).Decode(&e); err == nil && e.Error != "" {
 			remote.Message = e.Error
@@ -260,4 +324,24 @@ func (c *Client) doOnce(req *http.Request, out any) error {
 		return fmt.Errorf("pdp: decode response: %w", err)
 	}
 	return nil
+}
+
+// parseRetryAfter reads an RFC 9110 Retry-After value: delay seconds or an
+// HTTP date. Unparseable or past values yield zero (no hint).
+func parseRetryAfter(raw string) time.Duration {
+	if raw == "" {
+		return 0
+	}
+	if secs, err := strconv.Atoi(raw); err == nil {
+		if secs < 0 {
+			return 0
+		}
+		return time.Duration(secs) * time.Second
+	}
+	if at, err := http.ParseTime(raw); err == nil {
+		if d := time.Until(at); d > 0 {
+			return d
+		}
+	}
+	return 0
 }

@@ -1,0 +1,152 @@
+package pdp
+
+import (
+	"context"
+	"math"
+	"net/http"
+	"runtime/debug"
+	"strconv"
+	"sync/atomic"
+	"time"
+)
+
+// limiter is the PDP's admission control: a max-inflight semaphore with a
+// bounded wait. A request that cannot get a slot within the wait deadline
+// is shed with 429 + Retry-After (or 503 when the client hung up first),
+// so upstream balancers and retrying clients back off instead of piling
+// onto a saturated decision engine — overload degrades to fast, honest
+// rejections, never to unbounded queueing.
+type limiter struct {
+	sem        chan struct{}
+	maxWait    time.Duration
+	retryAfter string // precomputed Retry-After seconds hint
+	inflight   atomic.Int64
+	shed       atomic.Uint64
+}
+
+func newLimiter(n int, maxWait time.Duration) *limiter {
+	if maxWait < 0 {
+		maxWait = 0
+	}
+	// The retry hint is the admission wait rounded up: by then at least
+	// one wait window has drained, so an immediate retry storm is pushed
+	// past the current burst.
+	secs := int(math.Ceil(maxWait.Seconds()))
+	if secs < 1 {
+		secs = 1
+	}
+	return &limiter{
+		sem:        make(chan struct{}, n),
+		maxWait:    maxWait,
+		retryAfter: strconv.Itoa(secs),
+	}
+}
+
+// acquire claims an admission slot, waiting up to maxWait. It returns the
+// release func, or a nil release and the HTTP status the request should be
+// shed with: 429 when the wait deadline expired (the server is saturated,
+// retry later), 503 when the client's context ended while queued.
+func (l *limiter) acquire(ctx context.Context) (release func(), status int) {
+	select {
+	case l.sem <- struct{}{}:
+	default:
+		t := time.NewTimer(l.maxWait)
+		select {
+		case l.sem <- struct{}{}:
+			t.Stop()
+		case <-t.C:
+			l.shed.Add(1)
+			return nil, http.StatusTooManyRequests
+		case <-ctx.Done():
+			t.Stop()
+			l.shed.Add(1)
+			return nil, http.StatusServiceUnavailable
+		}
+	}
+	l.inflight.Add(1)
+	return func() {
+		l.inflight.Add(-1)
+		<-l.sem
+	}, 0
+}
+
+// WithMaxInflight bounds concurrent decision work (POST /v1/decide,
+// /v1/decide/batch, /v1/check). Up to n requests mediate at once; further
+// requests wait at most maxWait for a slot and are then shed with
+// 429 Too Many Requests carrying a Retry-After hint (503 if the caller
+// gave up while queued). Shed counts and the live inflight gauge are
+// exported via GET /v1/statsz. n <= 0 disables admission control.
+func WithMaxInflight(n int, maxWait time.Duration) ServerOption {
+	return func(s *Server) {
+		if n > 0 {
+			s.limiter = newLimiter(n, maxWait)
+		}
+	}
+}
+
+// ServerStats is the "server" section of /v1/statsz: request-admission
+// and fault-containment gauges.
+type ServerStats struct {
+	// InflightNow is the number of decision requests currently admitted.
+	InflightNow int64 `json:"inflight_now"`
+	// InflightLimit is the admission bound (0 = admission control off).
+	InflightLimit int `json:"inflight_limit"`
+	// Shed counts requests rejected by admission control (429 or 503).
+	Shed uint64 `json:"shed"`
+	// RecoveredPanics counts handler panics absorbed by the recovery
+	// middleware instead of killing the server.
+	RecoveredPanics uint64 `json:"recovered_panics"`
+}
+
+// serverStats snapshots the gauges.
+func (s *Server) serverStats() ServerStats {
+	st := ServerStats{RecoveredPanics: s.recovered.Load()}
+	if s.limiter != nil {
+		st.InflightNow = s.limiter.inflight.Load()
+		st.InflightLimit = cap(s.limiter.sem)
+		st.Shed = s.limiter.shed.Load()
+	}
+	return st
+}
+
+// trackingWriter remembers whether the handler already wrote, so the
+// panic-recovery middleware knows if a 500 can still be sent cleanly.
+type trackingWriter struct {
+	http.ResponseWriter
+	wrote bool
+}
+
+func (t *trackingWriter) WriteHeader(code int) {
+	t.wrote = true
+	t.ResponseWriter.WriteHeader(code)
+}
+
+func (t *trackingWriter) Write(b []byte) (int, error) {
+	t.wrote = true
+	return t.ResponseWriter.Write(b)
+}
+
+// Unwrap lets http.ResponseController (used by the replication watch
+// handler for its long-poll write deadline) reach the real writer.
+func (t *trackingWriter) Unwrap() http.ResponseWriter { return t.ResponseWriter }
+
+// recoverPanic is the deferred tail of ServeHTTP: any handler panic is
+// absorbed, counted, logged with its stack, and answered with a 500 if
+// the response has not started — one poisoned request must never take the
+// PDP down with it. http.ErrAbortHandler is the stdlib's deliberate
+// abort signal and is re-raised for net/http to handle.
+func (s *Server) recoverPanic(w *trackingWriter, r *http.Request) {
+	p := recover()
+	if p == nil {
+		return
+	}
+	if p == http.ErrAbortHandler {
+		panic(p)
+	}
+	s.recovered.Add(1)
+	s.logger.Printf("pdp: recovered panic serving %s %s: %v\n%s",
+		r.Method, r.URL.Path, p, debug.Stack())
+	if !w.wrote {
+		s.writeStatus(w, http.StatusInternalServerError, "internal error")
+	}
+}

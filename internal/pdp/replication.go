@@ -50,9 +50,11 @@ func WithFollower(f *replica.Follower) ServerOption {
 }
 
 // StatszResponse is the /v1/statsz reply: the decision-cache counters,
-// plus a replication section when the server is a follower.
+// the server's admission/containment gauges, plus a replication section
+// when the server is a follower.
 type StatszResponse struct {
 	core.Stats
+	Server      *ServerStats   `json:"server,omitempty"`
 	Replication *replica.Stats `json:"replication,omitempty"`
 }
 

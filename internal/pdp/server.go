@@ -9,10 +9,12 @@ import (
 	"net/http"
 	"strconv"
 	"strings"
+	"sync/atomic"
 	"time"
 
 	"github.com/aware-home/grbac/internal/audit"
 	"github.com/aware-home/grbac/internal/core"
+	"github.com/aware-home/grbac/internal/faults"
 	"github.com/aware-home/grbac/internal/replica"
 )
 
@@ -35,6 +37,8 @@ type Server struct {
 	replicaSrc   *replica.Source
 	follower     *replica.Follower
 	watchMaxWait time.Duration
+	limiter      *limiter
+	recovered    atomic.Uint64
 }
 
 // ServerOption configures a Server.
@@ -61,9 +65,9 @@ func NewServer(sys *core.System, opts ...ServerOption) *Server {
 		opt(s)
 	}
 	mux := http.NewServeMux()
-	mux.HandleFunc("/v1/decide", s.handleDecide)
-	mux.HandleFunc("/v1/decide/batch", s.handleDecideBatch)
-	mux.HandleFunc("/v1/check", s.handleCheck)
+	mux.HandleFunc("/v1/decide", s.limited(s.handleDecide))
+	mux.HandleFunc("/v1/decide/batch", s.limited(s.handleDecideBatch))
+	mux.HandleFunc("/v1/check", s.limited(s.handleCheck))
 	mux.HandleFunc("/v1/state", s.handleState)
 	mux.HandleFunc("/v1/healthz", s.handleHealthz)
 	mux.HandleFunc("/v1/statsz", s.handleStatsz)
@@ -88,9 +92,37 @@ func NewServer(sys *core.System, opts ...ServerOption) *Server {
 
 var _ http.Handler = (*Server)(nil)
 
-// ServeHTTP dispatches to the API mux.
+// ServeHTTP dispatches to the API mux behind the panic-recovery
+// middleware: a crashing handler is contained, counted, and answered
+// with a 500 rather than tearing the connection (or the process) down.
 func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
-	s.mux.ServeHTTP(w, r)
+	tw := &trackingWriter{ResponseWriter: w}
+	defer s.recoverPanic(tw, r)
+	s.mux.ServeHTTP(tw, r)
+}
+
+// limited wraps a decision handler with admission control and the
+// pdp.decide fault point. With no limiter configured only the fault hook
+// remains (one atomic load when injection is off).
+func (s *Server) limited(h http.HandlerFunc) http.HandlerFunc {
+	return func(w http.ResponseWriter, r *http.Request) {
+		if s.limiter != nil {
+			release, status := s.limiter.acquire(r.Context())
+			if release == nil {
+				w.Header().Set("Retry-After", s.limiter.retryAfter)
+				s.writeStatus(w, status, "overloaded: decision capacity exhausted, retry later")
+				return
+			}
+			defer release()
+		}
+		// Inside the admission slot, so injected latency occupies real
+		// capacity and drives the shedding path under test.
+		if err := faults.Inject(faults.PDPDecide); err != nil {
+			s.writeStatus(w, http.StatusInternalServerError, "fault injected: "+err.Error())
+			return
+		}
+		h(w, r)
+	}
 }
 
 func (s *Server) handleDecide(w http.ResponseWriter, r *http.Request) {
@@ -204,7 +236,8 @@ func (s *Server) handleStatsz(w http.ResponseWriter, r *http.Request) {
 		s.writeStatus(w, http.StatusMethodNotAllowed, "GET only")
 		return
 	}
-	resp := StatszResponse{Stats: s.sys.Stats()}
+	srv := s.serverStats()
+	resp := StatszResponse{Stats: s.sys.Stats(), Server: &srv}
 	if s.follower != nil {
 		st := s.follower.Stats()
 		resp.Replication = &st

@@ -11,6 +11,8 @@ import (
 	"strconv"
 	"strings"
 	"time"
+
+	"github.com/aware-home/grbac/internal/faults"
 )
 
 // ErrFeed reports a non-2xx reply from the primary's replication feed.
@@ -44,6 +46,11 @@ func NewClient(baseURL string, httpClient *http.Client) *Client {
 
 // Snapshot fetches the primary's current policy export.
 func (c *Client) Snapshot(ctx context.Context) (Snapshot, error) {
+	// Injected errors model a dropped resync; the follower's sync loop
+	// must absorb them with backoff.
+	if err := faults.Inject(faults.ReplicaSnapshot); err != nil {
+		return Snapshot{}, fmt.Errorf("replica: %w", err)
+	}
 	var snap Snapshot
 	err := c.get(ctx, SnapshotPath, &snap)
 	return snap, err
@@ -54,6 +61,10 @@ func (c *Client) Snapshot(ctx context.Context) (Snapshot, error) {
 // the primary's position. An unchanged position is a normal return: it is
 // the primary saying "still here, nothing new".
 func (c *Client) Watch(ctx context.Context, epoch string, after uint64) (WatchResponse, error) {
+	// Injected errors model a dropped long-poll (partition, lost reply).
+	if err := faults.Inject(faults.ReplicaWatch); err != nil {
+		return WatchResponse{}, fmt.Errorf("replica: %w", err)
+	}
 	q := url.Values{}
 	q.Set("epoch", epoch)
 	q.Set("after", strconv.FormatUint(after, 10))

@@ -13,6 +13,7 @@ import (
 	"time"
 
 	"github.com/aware-home/grbac/internal/core"
+	"github.com/aware-home/grbac/internal/faults"
 )
 
 // Version is the current snapshot format version.
@@ -30,6 +31,9 @@ type Snapshot struct {
 
 // Save writes the system's current policy state to path atomically.
 func Save(path string, sys *core.System, at time.Time) error {
+	if err := faults.Inject(faults.StoreSave); err != nil {
+		return fmt.Errorf("store: %w", err)
+	}
 	snap := Snapshot{Version: Version, SavedAt: at, State: sys.Export()}
 	raw, err := json.MarshalIndent(snap, "", "  ")
 	if err != nil {
@@ -64,6 +68,9 @@ func Save(path string, sys *core.System, at time.Time) error {
 
 // Load reads a snapshot file and reconstructs a fresh system from it.
 func Load(path string, opts ...core.Option) (*core.System, Snapshot, error) {
+	if err := faults.Inject(faults.StoreLoad); err != nil {
+		return nil, Snapshot{}, fmt.Errorf("store: %w", err)
+	}
 	raw, err := os.ReadFile(path)
 	if err != nil {
 		return nil, Snapshot{}, fmt.Errorf("store: read: %w", err)

@@ -13,7 +13,11 @@
 #      BENCHGUARD_PAR_SPEEDUP x (adaptive default: 3 on 8+ cores, 0.7 below);
 #   5. warm CheckAccess must allocate nothing;
 #   6. the lock-free Decide path must show no sync.RWMutex contention
-#      under the mutex profiler.
+#      under the mutex profiler;
+#   7. a disabled fault-injection hook (faults.Inject with no active plan)
+#      must allocate nothing and cost at most BENCHGUARD_MAX_FAULT_NS
+#      (default 100ns) — the hooks are compiled into the hot paths that
+#      guards 1-6 measure, so they must stay free when idle.
 set -eu
 
 cd "$(dirname "$0")/.."
@@ -126,4 +130,36 @@ if echo "$mtop" | grep -F 'sync.(*RWMutex)'; then
 	exit 1
 fi
 echo "benchguard: mutex profile clean (no RWMutex contention on the lock-free path)"
+
+# Guard 7: the disabled fault-injection hook. Every guard above already
+# runs with the hooks compiled in (Decide's handlers, the event bus, the
+# replication transport all call faults.Inject), so a regression there
+# would trip guards 1-6 too; this measures the hook itself so a slow
+# Inject cannot hide inside benchmark noise.
+fault_ns_budget=${BENCHGUARD_MAX_FAULT_NS:-100}
+fout=$(go test -run '^$' -bench 'DisabledInject' -benchtime 1000000x -benchmem \
+	./internal/faults)
+echo "$fout"
+
+ffield_of() {
+	echo "$fout" | awk -v pat="$1" -v f="$2" '$1 ~ pat { print $f; exit }'
+}
+
+# GOMAXPROCS >1 suffixes the name with "-N"; a 1-core runner does not.
+fault_ns=$(ffield_of '^BenchmarkDisabledInject(-[0-9]+)?$' 3)
+fault_allocs=$(ffield_of '^BenchmarkDisabledInject(-[0-9]+)?$' 7)
+if [ -z "$fault_ns" ] || [ -z "$fault_allocs" ]; then
+	echo "benchguard: missing DisabledInject results" >&2
+	exit 1
+fi
+
+echo "benchguard: disabled fault hook=${fault_ns}ns/op, $fault_allocs allocs/op, budget=${fault_ns_budget}ns"
+if [ "$fault_allocs" -ne 0 ]; then
+	echo "benchguard: FAIL: disabled fault hook allocates ($fault_allocs allocs/op, want 0)" >&2
+	exit 1
+fi
+if ! awk -v ns="$fault_ns" -v max="$fault_ns_budget" 'BEGIN { exit !(ns <= max) }'; then
+	echo "benchguard: FAIL: disabled fault hook costs ${fault_ns}ns/op (budget ${fault_ns_budget}ns)" >&2
+	exit 1
+fi
 echo "benchguard: OK"
