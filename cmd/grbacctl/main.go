@@ -8,6 +8,8 @@
 //	grbacctl state
 //	grbacctl health
 //	grbacctl stats
+//	grbacctl top
+//	grbacctl traces -limit 10
 //	grbacctl -server http://follower:8126 replication
 package main
 
@@ -33,7 +35,7 @@ func main() {
 	flag.Parse()
 
 	if flag.NArg() < 1 {
-		log.Fatal("usage: grbacctl [flags] check|decide|state|health|stats|replication|audit|who-can|what-can [subcommand flags]")
+		log.Fatal("usage: grbacctl [flags] check|decide|state|health|stats|top|traces|replication|audit|who-can|what-can [subcommand flags]")
 	}
 	client := pdp.NewClient(*server, nil)
 	ctx, cancel := context.WithTimeout(context.Background(), *timeout)
@@ -120,6 +122,24 @@ func main() {
 			log.Fatal(err)
 		}
 		printJSON(st)
+	case "top":
+		// Scrape GET /metrics and render the operator summary.
+		samples, err := client.Metrics(ctx)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Print(renderTop(samples))
+	case "traces":
+		fs := flag.NewFlagSet("traces", flag.ExitOnError)
+		limit := fs.Int("limit", 20, "most recent N traces")
+		if err := fs.Parse(flag.Args()[1:]); err != nil {
+			log.Fatal(err)
+		}
+		traces, err := client.Traces(ctx, *limit)
+		if err != nil {
+			log.Fatal(err)
+		}
+		printJSON(traces)
 	case "replication":
 		st, err := client.Statsz(ctx)
 		if err != nil {

@@ -1,0 +1,181 @@
+package main
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"time"
+
+	"github.com/aware-home/grbac/internal/obs"
+)
+
+// renderTop condenses a /metrics scrape into an operator summary: policy
+// and cache counters, admission state, per-route latency (mean and a
+// bucket-resolution p95), and — when the server exports them — event-bus,
+// environment-engine, and replication sections.
+func renderTop(samples []obs.Sample) string {
+	g := scrape(samples)
+	var b strings.Builder
+
+	fmt.Fprintf(&b, "policy   generation=%.0f  snapshot_compiles=%.0f  invalidations=%.0f  fail_safe_denies=%.0f\n",
+		g.val("grbac_policy_generation"),
+		g.val("grbac_policy_snapshot_compiles_total"),
+		g.val("grbac_policy_invalidations_total"),
+		g.val("grbac_fail_safe_denies_total"))
+
+	hits := g.val("grbac_decision_cache_hits_total")
+	misses := g.val("grbac_decision_cache_misses_total")
+	rate := 0.0
+	if hits+misses > 0 {
+		rate = 100 * hits / (hits + misses)
+	}
+	fmt.Fprintf(&b, "cache    hits=%.0f  misses=%.0f  hit_rate=%.1f%%  entries=%.0f  evictions=%.0f\n",
+		hits, misses, rate,
+		g.val("grbac_decision_cache_entries"),
+		g.val("grbac_decision_cache_evictions_total"))
+
+	fmt.Fprintf(&b, "server   inflight=%.0f  shed=%.0f  recovered_panics=%.0f\n",
+		g.val("grbac_http_inflight"),
+		g.val("grbac_http_shed_total"),
+		g.val("grbac_http_recovered_panics_total"))
+
+	if routes := g.routes(); len(routes) > 0 {
+		fmt.Fprintf(&b, "http     %-22s %10s %12s %12s\n", "route", "requests", "mean", "p95<=")
+		for _, rt := range routes {
+			fmt.Fprintf(&b, "         %-22s %10.0f %12s %12s\n",
+				rt.route, rt.count, fmtSeconds(rt.mean), fmtSeconds(rt.p95))
+		}
+	}
+
+	if g.has("grbac_event_published_total") {
+		fmt.Fprintf(&b, "events   published=%.0f  delivered=%.0f  dropped=%.0f  subscriber_panics=%.0f\n",
+			g.val("grbac_event_published_total"),
+			g.val("grbac_event_deliveries_total"),
+			g.val("grbac_event_dropped_total"),
+			g.val("grbac_event_subscriber_panics_total"))
+	}
+	if g.has("grbac_env_role_activations_total") {
+		fmt.Fprintf(&b, "env      activations=%.0f  deactivations=%.0f  defined_roles=%.0f  expired_context_keys=%.0f\n",
+			g.val("grbac_env_role_activations_total"),
+			g.val("grbac_env_role_deactivations_total"),
+			g.val("grbac_env_defined_roles"),
+			g.val("grbac_env_expired_context_keys"))
+	}
+	if g.has("grbac_replica_lag_generations") {
+		fmt.Fprintf(&b, "replica  lag=%.0f  stale=%.0f  syncs=%.0f  errors=%.0f  watch_reconnects=%.0f  last_contact_age=%.1fs\n",
+			g.val("grbac_replica_lag_generations"),
+			g.val("grbac_replica_stale"),
+			g.val("grbac_replica_syncs_total"),
+			g.val("grbac_replica_errors_total"),
+			g.val("grbac_replica_watch_reconnects_total"),
+			g.val("grbac_replica_last_contact_age_seconds"))
+	}
+	return b.String()
+}
+
+// scrapeView indexes a sample list for the renderer.
+type scrapeView struct{ samples []obs.Sample }
+
+func scrape(samples []obs.Sample) scrapeView { return scrapeView{samples: samples} }
+
+func (g scrapeView) has(name string) bool {
+	for _, s := range g.samples {
+		if s.Name == name {
+			return true
+		}
+	}
+	return false
+}
+
+// val returns the first sample's value for name (0 when absent).
+func (g scrapeView) val(name string) float64 {
+	for _, s := range g.samples {
+		if s.Name == name {
+			return s.Value
+		}
+	}
+	return 0
+}
+
+// routeLatency is one route's digest of the request-duration histogram.
+type routeLatency struct {
+	route string
+	count float64
+	mean  float64
+	// p95 is the upper bound of the bucket containing the 95th
+	// percentile — the resolution the fixed buckets allow.
+	p95 float64
+}
+
+// routes digests grbac_http_request_duration_seconds into per-route rows.
+func (g scrapeView) routes() []routeLatency {
+	const base = "grbac_http_request_duration_seconds"
+	type bucket struct{ le, cum float64 }
+	counts := map[string]float64{}
+	sums := map[string]float64{}
+	buckets := map[string][]bucket{}
+	for _, s := range g.samples {
+		route := s.Label("route")
+		if route == "" {
+			continue
+		}
+		switch s.Name {
+		case base + "_count":
+			counts[route] = s.Value
+		case base + "_sum":
+			sums[route] = s.Value
+		case base + "_bucket":
+			le := s.Label("le")
+			v := -1.0 // sentinel for +Inf: sorts last, renders ">max"
+			if le != "+Inf" {
+				fmt.Sscanf(le, "%g", &v)
+			}
+			buckets[route] = append(buckets[route], bucket{le: v, cum: s.Value})
+		}
+	}
+	out := make([]routeLatency, 0, len(counts))
+	for route, n := range counts {
+		r := routeLatency{route: route, count: n}
+		if n > 0 {
+			r.mean = sums[route] / n
+			bs := buckets[route]
+			sort.Slice(bs, func(i, j int) bool {
+				if bs[i].le < 0 || bs[j].le < 0 {
+					return bs[j].le < 0 && bs[i].le >= 0
+				}
+				return bs[i].le < bs[j].le
+			})
+			rank := 0.95 * n
+			for _, bk := range bs {
+				if bk.cum >= rank {
+					r.p95 = bk.le
+					break
+				}
+			}
+		}
+		out = append(out, r)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].route < out[j].route })
+	return out
+}
+
+// fmtSeconds renders a seconds value at a human scale; negative marks the
+// open +Inf bucket.
+func fmtSeconds(s float64) string {
+	if s < 0 {
+		return ">max"
+	}
+	d := time.Duration(s * float64(time.Second))
+	switch {
+	case d == 0:
+		return "0"
+	case d < time.Microsecond:
+		return d.String()
+	case d < time.Millisecond:
+		return d.Round(100 * time.Nanosecond).String()
+	case d < time.Second:
+		return d.Round(10 * time.Microsecond).String()
+	default:
+		return d.Round(time.Millisecond).String()
+	}
+}

@@ -1,0 +1,64 @@
+package main
+
+import (
+	"strings"
+	"testing"
+
+	"github.com/aware-home/grbac/internal/obs"
+)
+
+func TestRenderTop(t *testing.T) {
+	exposition := `
+# TYPE grbac_policy_generation gauge
+grbac_policy_generation 4
+# TYPE grbac_decision_cache_hits_total counter
+grbac_decision_cache_hits_total 30
+# TYPE grbac_decision_cache_misses_total counter
+grbac_decision_cache_misses_total 10
+# TYPE grbac_http_request_duration_seconds histogram
+grbac_http_request_duration_seconds_bucket{route="/v1/decide",le="0.0001"} 90
+grbac_http_request_duration_seconds_bucket{route="/v1/decide",le="0.00025"} 96
+grbac_http_request_duration_seconds_bucket{route="/v1/decide",le="+Inf"} 100
+grbac_http_request_duration_seconds_sum{route="/v1/decide"} 0.01
+grbac_http_request_duration_seconds_count{route="/v1/decide"} 100
+# TYPE grbac_replica_lag_generations gauge
+grbac_replica_lag_generations 2
+grbac_replica_stale 0
+`
+	samples, err := obs.ParseText(strings.NewReader(exposition))
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := renderTop(samples)
+
+	for _, want := range []string{
+		"generation=4",
+		"hits=30",
+		"misses=10",
+		"hit_rate=75.0%",
+		"/v1/decide",
+		"lag=2",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("top output missing %q:\n%s", want, out)
+		}
+	}
+	// Mean = 0.01s / 100 = 100µs; p95 lands in the 250µs bucket.
+	if !strings.Contains(out, "100µs") {
+		t.Errorf("top output missing mean 100µs:\n%s", out)
+	}
+	if !strings.Contains(out, "250µs") {
+		t.Errorf("top output missing p95 bucket 250µs:\n%s", out)
+	}
+	// No event/env samples: those sections are omitted.
+	if strings.Contains(out, "events") || strings.Contains(out, "activations") {
+		t.Errorf("top output has sections for absent families:\n%s", out)
+	}
+}
+
+func TestRenderTopEmptyScrape(t *testing.T) {
+	out := renderTop(nil)
+	if !strings.Contains(out, "hit_rate=0.0%") {
+		t.Errorf("empty scrape must render zeros without dividing by zero:\n%s", out)
+	}
+}

@@ -28,6 +28,7 @@ import (
 	"flag"
 	"log"
 	"net/http"
+	"net/http/pprof"
 	"os"
 	"os/signal"
 	"syscall"
@@ -36,7 +37,9 @@ import (
 	grbac "github.com/aware-home/grbac"
 	"github.com/aware-home/grbac/internal/audit"
 	"github.com/aware-home/grbac/internal/core"
+	"github.com/aware-home/grbac/internal/event"
 	"github.com/aware-home/grbac/internal/faults"
+	"github.com/aware-home/grbac/internal/obs"
 	"github.com/aware-home/grbac/internal/pdp"
 	"github.com/aware-home/grbac/internal/replica"
 	"github.com/aware-home/grbac/internal/store"
@@ -57,6 +60,9 @@ func main() {
 	inflightWait := flag.Duration("inflight-wait", 50*time.Millisecond, "how long an over-limit decision request may wait for an admission slot before shedding")
 	faultSpec := flag.String("faults", "", "chaos drills: fault-injection spec, e.g. 'pdp.decide:delay=50ms,prob=0.5;replica.watch:error=dropped,every=3'")
 	faultSeed := flag.Int64("faults-seed", 1, "seed for the fault plan's probability draws, for reproducible chaos runs")
+	metricsOn := flag.Bool("metrics", true, "expose Prometheus metrics at GET /metrics")
+	traceBuffer := flag.Int("trace-buffer", obs.DefaultTraceCapacity, "decision traces retained for GET /v1/traces (0 disables tracing)")
+	pprofOn := flag.Bool("pprof", false, "expose net/http/pprof under /debug/pprof/ (opt-in; CPU profiles longer than the write timeout are truncated)")
 	flag.Parse()
 
 	if *faultSpec != "" {
@@ -76,6 +82,15 @@ func main() {
 	trail := audit.NewLogger()
 	serverOpts = append(serverOpts, pdp.WithAuditLogger(trail))
 
+	var reg *obs.Registry
+	if *metricsOn {
+		reg = obs.NewRegistry()
+		serverOpts = append(serverOpts, pdp.WithMetrics(reg))
+	}
+	if *traceBuffer > 0 {
+		serverOpts = append(serverOpts, pdp.WithTracer(obs.NewTracer(*traceBuffer)))
+	}
+
 	if *follow != "" {
 		if *policyPath != "" || *snapshotPath != "" || *admin {
 			log.Fatal("-follow is exclusive with -policy, -snapshot, and -admin: a follower's policy comes from its primary")
@@ -89,10 +104,20 @@ func main() {
 		serverOpts = append(serverOpts, pdp.WithFollower(follower))
 		log.Printf("following primary %s (max staleness %v)", *follow, *maxStaleness)
 	} else {
+		var engine *grbac.EnvironmentEngine
 		var err error
-		sys, err = loadSystem(*policyPath, *snapshotPath)
+		sys, engine, err = loadSystem(*policyPath, *snapshotPath)
 		if err != nil {
 			log.Fatal(err)
+		}
+		if engine != nil && reg != nil {
+			// Wire the event bus so environment role transitions are
+			// published and counted, and export the bus and engine gauges
+			// alongside the server's own metrics.
+			bus := event.NewBus()
+			engine.AttachBus(bus)
+			bus.RegisterMetrics(reg)
+			engine.RegisterMetrics(reg)
 		}
 		if *threshold > 0 {
 			if err := sys.SetMinConfidence(*threshold); err != nil {
@@ -113,11 +138,25 @@ func main() {
 	}
 
 	server := pdp.NewServer(sys, serverOpts...)
+	handler := http.Handler(server)
+	if *pprofOn {
+		// pprof rides an outer mux so the PDP mux stays free of debug
+		// routes when profiling is off (the default).
+		outer := http.NewServeMux()
+		outer.HandleFunc("/debug/pprof/", pprof.Index)
+		outer.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+		outer.HandleFunc("/debug/pprof/profile", pprof.Profile)
+		outer.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+		outer.HandleFunc("/debug/pprof/trace", pprof.Trace)
+		outer.Handle("/", server)
+		handler = outer
+		log.Print("pprof ENABLED at /debug/pprof/")
+	}
 	log.Printf("serving GRBAC PDP on %s (%d permissions, %d subjects)",
 		*addr, len(sys.Permissions()), len(sys.Subjects()))
 	httpServer := &http.Server{
 		Addr:    *addr,
-		Handler: server,
+		Handler: handler,
 		// Defense against slow or stuck clients. The replication watch
 		// handler outlives WriteTimeout by design: it extends its own
 		// per-request write deadline (http.ResponseController) to cover
@@ -151,37 +190,40 @@ func main() {
 	}
 }
 
-func loadSystem(policyPath, snapshotPath string) (*core.System, error) {
+// loadSystem builds the system and, when the policy came from the policy
+// language, the environment engine behind it (nil for snapshots, which
+// carry no live environment definitions).
+func loadSystem(policyPath, snapshotPath string) (*core.System, *grbac.EnvironmentEngine, error) {
 	switch {
 	case policyPath != "" && snapshotPath != "":
 		log.Fatal("-policy and -snapshot are mutually exclusive")
-		return nil, nil
+		return nil, nil, nil
 	case snapshotPath != "":
 		sys, snap, err := store.Load(snapshotPath)
 		if err != nil {
-			return nil, err
+			return nil, nil, err
 		}
 		log.Printf("loaded snapshot %s (saved %s)", snapshotPath, snap.SavedAt.Format(time.RFC3339))
-		return sys, nil
+		return sys, nil, nil
 	case policyPath != "":
 		src, err := os.ReadFile(policyPath)
 		if err != nil {
-			return nil, err
+			return nil, nil, err
 		}
 		sys, engine, err := grbac.BuildPolicy(string(src))
 		if err != nil {
-			return nil, err
+			return nil, nil, err
 		}
 		sys.SetEnvironmentSource(engine)
 		log.Printf("compiled policy %s", policyPath)
-		return sys, nil
+		return sys, engine, nil
 	default:
 		sys, engine, err := grbac.BuildPolicy(grbac.DefaultHomePolicy)
 		if err != nil {
-			return nil, err
+			return nil, nil, err
 		}
 		sys.SetEnvironmentSource(engine)
 		log.Print("serving the built-in Aware Home policy")
-		return sys, nil
+		return sys, engine, nil
 	}
 }

@@ -11,12 +11,15 @@ import (
 )
 
 func TestLoadSystemBuiltin(t *testing.T) {
-	sys, err := loadSystem("", "")
+	sys, engine, err := loadSystem("", "")
 	if err != nil {
 		t.Fatal(err)
 	}
 	if !sys.HasSubject("alice") || !sys.HasObject("tv") {
 		t.Fatal("built-in Aware Home policy not loaded")
+	}
+	if engine == nil {
+		t.Fatal("built-in policy must come with its environment engine")
 	}
 }
 
@@ -34,9 +37,12 @@ grant r t o;
 	if err := os.WriteFile(path, []byte(src), 0o600); err != nil {
 		t.Fatal(err)
 	}
-	sys, err := loadSystem(path, "")
+	sys, engine, err := loadSystem(path, "")
 	if err != nil {
 		t.Fatal(err)
+	}
+	if engine == nil {
+		t.Fatal("compiled policy must come with its environment engine")
 	}
 	ok, err := sys.CheckAccess(core.Request{Subject: "u", Object: "x",
 		Transaction: "t", Environment: []core.RoleID{}})
@@ -46,14 +52,14 @@ grant r t o;
 }
 
 func TestLoadSystemPolicyFileErrors(t *testing.T) {
-	if _, err := loadSystem(filepath.Join(t.TempDir(), "missing.policy"), ""); err == nil {
+	if _, _, err := loadSystem(filepath.Join(t.TempDir(), "missing.policy"), ""); err == nil {
 		t.Fatal("missing policy file loaded")
 	}
 	bad := filepath.Join(t.TempDir(), "bad.policy")
 	if err := os.WriteFile(bad, []byte("nonsense;"), 0o600); err != nil {
 		t.Fatal(err)
 	}
-	if _, err := loadSystem(bad, ""); err == nil {
+	if _, _, err := loadSystem(bad, ""); err == nil {
 		t.Fatal("bad policy compiled")
 	}
 }
@@ -68,14 +74,17 @@ func TestLoadSystemSnapshot(t *testing.T) {
 	if err := store.Save(path, src, time.Now()); err != nil {
 		t.Fatal(err)
 	}
-	sys, err := loadSystem("", path)
+	sys, engine, err := loadSystem("", path)
 	if err != nil {
 		t.Fatal(err)
 	}
 	if !sys.HasSubject("u") {
 		t.Fatal("snapshot not restored")
 	}
-	if _, err := loadSystem("", filepath.Join(dir, "missing.json")); err == nil {
+	if engine != nil {
+		t.Fatal("snapshots carry no environment engine")
+	}
+	if _, _, err := loadSystem("", filepath.Join(dir, "missing.json")); err == nil {
 		t.Fatal("missing snapshot loaded")
 	}
 }

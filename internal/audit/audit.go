@@ -38,6 +38,11 @@ type Record struct {
 	Reason string `json:"reason"`
 	// MatchedRules counts the permissions that applied.
 	MatchedRules int `json:"matched_rules"`
+	// CorrelationID ties the record to the PDP request that produced it:
+	// the server stores the X-Correlation-ID it answered with, so an audit
+	// line, a decision trace, and a wire reply can be joined. Empty for
+	// decisions logged outside a request context.
+	CorrelationID string `json:"correlation_id,omitempty"`
 }
 
 // String renders the record as a log line.
@@ -94,21 +99,28 @@ func NewLogger(opts ...LoggerOption) *Logger {
 
 // Log records one decision and returns the stored record.
 func (l *Logger) Log(req core.Request, d core.Decision) Record {
+	return l.LogWith(req, d, "")
+}
+
+// LogWith records one decision stamped with the correlation ID of the
+// request that carried it, and returns the stored record.
+func (l *Logger) LogWith(req core.Request, d core.Decision, correlationID string) Record {
 	l.mu.Lock()
 	defer l.mu.Unlock()
 	l.seq++
 	rec := Record{
-		Seq:          l.seq,
-		Time:         l.now(),
-		Subject:      req.Subject,
-		Object:       req.Object,
-		Transaction:  req.Transaction,
-		Allowed:      d.Allowed,
-		Effect:       d.Effect.String(),
-		DefaultDeny:  d.DefaultDeny,
-		Strategy:     d.Strategy,
-		Reason:       d.Reason,
-		MatchedRules: len(d.Matches),
+		Seq:           l.seq,
+		Time:          l.now(),
+		Subject:       req.Subject,
+		Object:        req.Object,
+		Transaction:   req.Transaction,
+		Allowed:       d.Allowed,
+		Effect:        d.Effect.String(),
+		DefaultDeny:   d.DefaultDeny,
+		Strategy:      d.Strategy,
+		Reason:        d.Reason,
+		MatchedRules:  len(d.Matches),
+		CorrelationID: correlationID,
 	}
 	if len(l.buf) < l.max {
 		l.buf = append(l.buf, rec)

@@ -27,6 +27,13 @@ type Stats struct {
 	DecisionEvictions uint64 `json:"decision_evictions"`
 	// Invalidations counts generation bumps.
 	Invalidations uint64 `json:"invalidations"`
+	// SnapshotCompiles counts lazy policy-snapshot recompilations: the
+	// first post-mutation Decide pays one compile and publishes it.
+	SnapshotCompiles uint64 `json:"snapshot_compiles"`
+	// FailSafeDenies counts denials issued because no mediation rule
+	// matched at all (the fail-safe default), as opposed to an explicit
+	// negative permission winning.
+	FailSafeDenies uint64 `json:"fail_safe_denies"`
 	// DecisionEntries is the number of entries currently cached.
 	DecisionEntries int `json:"decision_entries"`
 	// DecisionCapacity is the cache's entry bound; 0 means caching is

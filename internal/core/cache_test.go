@@ -292,3 +292,109 @@ func TestDecideErrorsAreNotCached(t *testing.T) {
 		t.Fatalf("errored decision was cached: %+v", st)
 	}
 }
+
+// TestHashCollisionFallsBackToMiss forces two different requests onto one
+// FNV digest and proves the full-field confirmation (matches, via
+// credsEqual/envEqual) turns the collision into a cache miss — never into
+// the other request's answer. The cache API takes the digest explicitly,
+// so the test stores request A under digest h and then probes h with
+// request B: every field comparison must reject the aliased entry.
+func TestHashCollisionFallsBackToMiss(t *testing.T) {
+	c := newDecisionCache(64)
+	const h, gen = uint64(0xdecade), uint64(7)
+
+	reqA := Request{
+		Subject: "alice", Object: "tv", Transaction: "use",
+		Environment: []RoleID{"weekdays"},
+	}
+	dA := Decision{Allowed: true, Effect: Permit, Reason: "A's decision"}
+	c.put(h, gen, reqA, dA)
+
+	// Same digest, different request fields — each variant differs from
+	// reqA in exactly one key component.
+	variants := []Request{
+		{Subject: "bob", Object: "tv", Transaction: "use",
+			Environment: []RoleID{"weekdays"}},
+		{Subject: "alice", Object: "stereo", Transaction: "use",
+			Environment: []RoleID{"weekdays"}},
+		{Subject: "alice", Object: "tv", Transaction: "program",
+			Environment: []RoleID{"weekdays"}},
+		{Subject: "alice", Session: "sess-1", Object: "tv", Transaction: "use",
+			Environment: []RoleID{"weekdays"}},
+		// envEqual must reject a different environment snapshot.
+		{Subject: "alice", Object: "tv", Transaction: "use",
+			Environment: []RoleID{"weekend"}},
+		{Subject: "alice", Object: "tv", Transaction: "use",
+			Environment: []RoleID{"weekdays", "night"}},
+		{Subject: "alice", Object: "tv", Transaction: "use",
+			Environment: []RoleID{}},
+		// credsEqual must reject differing evidence: an extra credential,
+		// a different confidence, and nil-vs-empty (fully trusted vs none).
+		{Subject: "alice", Object: "tv", Transaction: "use",
+			Credentials: CredentialSet{{Subject: "alice", Confidence: 0.9}},
+			Environment: []RoleID{"weekdays"}},
+		{Subject: "alice", Object: "tv", Transaction: "use",
+			Credentials: CredentialSet{},
+			Environment: []RoleID{"weekdays"}},
+	}
+	for i, reqB := range variants {
+		if d, ok := c.get(h, gen, reqB); ok {
+			t.Fatalf("variant %d: collision served request A's decision %+v", i, d)
+		}
+		if _, ok := c.allowed(h, gen, reqB); ok {
+			t.Fatalf("variant %d: allowed() served the aliased entry", i)
+		}
+	}
+
+	// A itself still hits — under the same digest and generation.
+	if d, ok := c.get(h, gen, reqA); !ok || d.Reason != "A's decision" {
+		t.Fatalf("request A no longer hits its own entry: %+v, %v", d, ok)
+	}
+	// ... but not at a different generation.
+	if _, ok := c.get(h, gen+1, reqA); ok {
+		t.Fatal("stale-generation entry served")
+	}
+
+	// After the collision miss, the colliding request's own put displaces
+	// the aliased entry (one digest, one slot) and B then hits correctly.
+	reqB := variants[0]
+	dB := Decision{Allowed: false, Effect: Deny, Reason: "B's decision"}
+	c.put(h, gen, reqB, dB)
+	if d, ok := c.get(h, gen, reqB); !ok || d.Reason != "B's decision" {
+		t.Fatalf("request B after put: %+v, %v", d, ok)
+	}
+	if _, ok := c.get(h, gen, reqA); ok {
+		t.Fatal("displaced entry A still served after B overwrote the slot")
+	}
+}
+
+// TestSnapshotCompileCounter proves Stats.SnapshotCompiles counts exactly
+// the lazy recompiles: one per first-decide-after-mutation, none on warm
+// calls.
+func TestSnapshotCompileCounter(t *testing.T) {
+	s := newHomeSystem(t)
+	grantEntertainment(t, s)
+	base := s.Stats().SnapshotCompiles
+
+	req := Request{
+		Subject: "alice", Object: "tv", Transaction: "use",
+		Environment: []RoleID{"weekday-free-time"},
+	}
+	for i := 0; i < 3; i++ {
+		if _, err := s.Decide(req); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if got := s.Stats().SnapshotCompiles; got != base+1 {
+		t.Fatalf("SnapshotCompiles = %d, want %d (one compile for three warm decides)", got, base+1)
+	}
+	if err := s.AddSubject("carol"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.Decide(req); err != nil {
+		t.Fatal(err)
+	}
+	if got := s.Stats().SnapshotCompiles; got != base+2 {
+		t.Fatalf("SnapshotCompiles = %d, want %d after one mutation", got, base+2)
+	}
+}

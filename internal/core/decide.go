@@ -127,20 +127,29 @@ var emptyEnv = []RoleID{}
 // freshness (fail-safe) deny from an ordinary policy deny. Allowed
 // decisions are never annotated: fresh-enough context satisfied a
 // permission, and the reason must stay the rule that granted it.
-func annotateFailSafe(d *Decision, src EnvironmentSource) {
+func annotateFailSafe(d *Decision, src EnvironmentSource) bool {
 	if d.Allowed || src == nil {
-		return
+		return false
 	}
 	exp, ok := src.(ExpiringEnvironmentSource)
 	if !ok {
-		return
+		return false
 	}
 	keys := exp.ExpiredContext()
 	if len(keys) == 0 {
-		return
+		return false
 	}
 	d.Reason += "; fail-safe: environment context expired (" +
 		strings.Join(keys, ", ") + "), roles over stale context are inactive"
+	return true
+}
+
+// noteFailSafe records one fail-safe-annotated deny in the stats counter
+// when annotateFailSafe reports it fired.
+func (s *System) noteFailSafe(annotated bool) {
+	if annotated {
+		s.failSafeDenies.Add(1)
+	}
 }
 
 // decideOn mediates one request against a compiled snapshot, consulting
@@ -153,7 +162,7 @@ func (s *System) decideOn(sn *snapshot, req Request) (Decision, error) {
 	if s.cache == nil {
 		d, err := sn.decide(req)
 		if err == nil && live {
-			annotateFailSafe(&d, sn.envSource)
+			s.noteFailSafe(annotateFailSafe(&d, sn.envSource))
 		}
 		return d, err
 	}
@@ -179,7 +188,7 @@ func (s *System) decideOn(sn *snapshot, req Request) (Decision, error) {
 		return d, err
 	}
 	if live {
-		annotateFailSafe(&d, sn.envSource)
+		s.noteFailSafe(annotateFailSafe(&d, sn.envSource))
 	}
 	if s.cache.put(h, sn.gen, req, d) {
 		s.decEvictions.Add(1)
@@ -198,7 +207,7 @@ func (s *System) decideSerialized(req Request) (Decision, error) {
 	if s.cache == nil {
 		d, err := s.decideLocked(req)
 		if err == nil && live {
-			annotateFailSafe(&d, s.envSource)
+			s.noteFailSafe(annotateFailSafe(&d, s.envSource))
 		}
 		return d, err
 	}
@@ -221,7 +230,7 @@ func (s *System) decideSerialized(req Request) (Decision, error) {
 		return d, err
 	}
 	if live {
-		annotateFailSafe(&d, s.envSource)
+		s.noteFailSafe(annotateFailSafe(&d, s.envSource))
 	}
 	if s.cache.put(h, s.gen, req, d) {
 		s.decEvictions.Add(1)
@@ -513,7 +522,7 @@ func (s *System) CheckAccess(req Request) (bool, error) {
 	// Annotate before caching so a later Decide hitting this entry reads
 	// the same fail-safe reason a cold Decide would have produced.
 	if live {
-		annotateFailSafe(&d, sn.envSource)
+		s.noteFailSafe(annotateFailSafe(&d, sn.envSource))
 	}
 	if s.cache.put(h, sn.gen, req, d) {
 		s.decEvictions.Add(1)

@@ -96,10 +96,12 @@ type System struct {
 	cacheCap int
 	// Cache counters are atomics because hits and misses are recorded
 	// while only the read lock is held.
-	decHits       atomic.Uint64
-	decMisses     atomic.Uint64
-	decEvictions  atomic.Uint64
-	invalidations atomic.Uint64
+	decHits        atomic.Uint64
+	decMisses      atomic.Uint64
+	decEvictions   atomic.Uint64
+	invalidations  atomic.Uint64
+	snapCompiles   atomic.Uint64
+	failSafeDenies atomic.Uint64
 }
 
 // Option configures a System at construction time.
@@ -218,6 +220,7 @@ func (s *System) currentSnapshot() *snapshot {
 	sn := s.compileSnapshotLocked()
 	s.snap.Store(sn)
 	s.mu.RUnlock()
+	s.snapCompiles.Add(1)
 	return sn
 }
 
@@ -253,6 +256,8 @@ func (s *System) Stats() Stats {
 		DecisionMisses:    s.decMisses.Load(),
 		DecisionEvictions: s.decEvictions.Load(),
 		Invalidations:     s.invalidations.Load(),
+		SnapshotCompiles:  s.snapCompiles.Load(),
+		FailSafeDenies:    s.failSafeDenies.Load(),
 		DecisionCapacity:  s.cacheCap,
 	}
 	if s.cache != nil {

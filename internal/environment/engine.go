@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"sort"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"github.com/aware-home/grbac/internal/core"
@@ -26,6 +27,10 @@ type Engine struct {
 	now        func() time.Time
 	bus        *event.Bus
 	lastActive map[core.RoleID]bool
+	// Transition counters are atomics so a metrics scrape never touches
+	// the engine mutex.
+	activations   atomic.Uint64
+	deactivations atomic.Uint64
 }
 
 // EngineOption configures an Engine.
@@ -54,10 +59,34 @@ func NewEngine(store *Store, opts ...EngineOption) *Engine {
 		opt(e)
 	}
 	if e.bus != nil {
-		e.bus.Subscribe(func(event.Event) { e.publishTransitions() },
-			event.TypeStateChanged, event.TypeClockTick)
+		e.subscribe()
 	}
 	return e
+}
+
+// AttachBus wires a bus onto an engine built without one: the engine
+// subscribes to state changes and clock ticks and starts publishing role
+// activation transitions, exactly as if it had been constructed with
+// WithBus. It exists for callers — grbacd among them — that obtain the
+// engine from a policy loader that does not thread bus options through.
+// Attaching when a bus is already wired is a no-op.
+func (e *Engine) AttachBus(b *event.Bus) {
+	if b == nil {
+		return
+	}
+	e.mu.Lock()
+	if e.bus != nil {
+		e.mu.Unlock()
+		return
+	}
+	e.bus = b
+	e.mu.Unlock()
+	e.subscribe()
+}
+
+func (e *Engine) subscribe() {
+	e.bus.Subscribe(func(event.Event) { e.publishTransitions() },
+		event.TypeStateChanged, event.TypeClockTick)
 }
 
 // Define registers (or replaces) the condition behind an environment role.
@@ -216,6 +245,11 @@ func (e *Engine) publishTransitions() {
 		if active != e.lastActive[r] {
 			e.lastActive[r] = active
 			changes = append(changes, change{r, active})
+			if active {
+				e.activations.Add(1)
+			} else {
+				e.deactivations.Add(1)
+			}
 		}
 	}
 	bus := e.bus
@@ -239,3 +273,8 @@ func (e *Engine) publishTransitions() {
 // it after advancing their clock. With a bus attached this is equivalent to
 // publishing a clock.tick event.
 func (e *Engine) Tick() { e.publishTransitions() }
+
+// Activations reports how many role activation transitions the engine has
+// published; Deactivations the reverse transitions.
+func (e *Engine) Activations() uint64   { return e.activations.Load() }
+func (e *Engine) Deactivations() uint64 { return e.deactivations.Load() }

@@ -1,0 +1,24 @@
+package environment
+
+import "github.com/aware-home/grbac/internal/obs"
+
+// RegisterMetrics exports the engine's transition counters and the number
+// of currently expired context keys on a metrics registry. All collectors
+// are scrape-time: nothing on the activation-evaluation path changes.
+func (e *Engine) RegisterMetrics(reg *obs.Registry) {
+	if e == nil || reg == nil {
+		return
+	}
+	reg.NewCounterFunc("grbac_env_role_activations_total",
+		"Environment role activation transitions published by the engine.",
+		func() float64 { return float64(e.Activations()) })
+	reg.NewCounterFunc("grbac_env_role_deactivations_total",
+		"Environment role deactivation transitions published by the engine.",
+		func() float64 { return float64(e.Deactivations()) })
+	reg.NewGaugeFunc("grbac_env_expired_context_keys",
+		"Context attribute keys currently past their freshness TTL (fail-safe denies while > 0).",
+		func() float64 { return float64(len(e.ExpiredContext())) })
+	reg.NewGaugeFunc("grbac_env_defined_roles",
+		"Environment roles with a registered activation condition.",
+		func() float64 { return float64(len(e.Roles())) })
+}

@@ -25,6 +25,11 @@ type Bus struct {
 	log    *Log
 	logger *log.Logger
 	panics atomic.Uint64
+	// Delivery counters are atomics: published is bumped under the lock,
+	// but delivered/dropped are bumped during the unlocked delivery walk.
+	published atomic.Uint64
+	delivered atomic.Uint64
+	dropped   atomic.Uint64
 }
 
 type subscription struct {
@@ -107,6 +112,7 @@ func (b *Bus) Publish(e Event) Event {
 		}
 	}
 	b.mu.Unlock()
+	b.published.Add(1)
 
 	// Deliver outside the lock so handlers may publish or subscribe.
 	for _, h := range handlers {
@@ -130,13 +136,25 @@ func (b *Bus) deliver(h Handler, e Event) {
 		}
 	}()
 	if err := faults.Inject(faults.EventDeliver); err != nil {
+		b.dropped.Add(1)
 		return // injected drop: the subscriber misses this event
 	}
 	h(e)
+	b.delivered.Add(1)
 }
 
 // RecoveredPanics reports how many subscriber panics the bus has absorbed.
 func (b *Bus) RecoveredPanics() uint64 { return b.panics.Load() }
+
+// Published reports the number of events ever published on the bus.
+func (b *Bus) Published() uint64 { return b.published.Load() }
+
+// Delivered reports the number of successful subscriber deliveries (one
+// event fanning out to three subscribers counts three).
+func (b *Bus) Delivered() uint64 { return b.delivered.Load() }
+
+// Dropped reports deliveries suppressed by fault injection.
+func (b *Bus) Dropped() uint64 { return b.dropped.Load() }
 
 // Seq returns the sequence number of the most recently published event.
 func (b *Bus) Seq() uint64 {

@@ -1,0 +1,25 @@
+package event
+
+import "github.com/aware-home/grbac/internal/obs"
+
+// RegisterMetrics exports the bus's delivery counters on a metrics
+// registry as scrape-time collectors, so the publish/deliver hot path
+// stays exactly as instrumented-free as before — the atomics it already
+// maintains are simply read when /metrics is scraped.
+func (b *Bus) RegisterMetrics(reg *obs.Registry) {
+	if b == nil || reg == nil {
+		return
+	}
+	reg.NewCounterFunc("grbac_event_published_total",
+		"Events published on the in-process bus.",
+		func() float64 { return float64(b.Published()) })
+	reg.NewCounterFunc("grbac_event_deliveries_total",
+		"Successful subscriber deliveries (one event fanning out to N subscribers counts N).",
+		func() float64 { return float64(b.Delivered()) })
+	reg.NewCounterFunc("grbac_event_dropped_total",
+		"Deliveries suppressed by fault injection.",
+		func() float64 { return float64(b.Dropped()) })
+	reg.NewCounterFunc("grbac_event_subscriber_panics_total",
+		"Subscriber panics recovered by the bus.",
+		func() float64 { return float64(b.RecoveredPanics()) })
+}

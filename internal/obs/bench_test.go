@@ -1,0 +1,53 @@
+package obs
+
+import (
+	"testing"
+	"time"
+)
+
+// BenchmarkDisabledObsHook measures the cost instrumented hot paths pay
+// when observability is off: every obs instrument is nil-safe, so a
+// disabled hook is a nil check and an immediate return. CI's benchguard
+// guard 8 asserts this stays at zero allocations and within a small
+// ns/op budget — the price of compiling the hooks into the warm
+// CheckAccess and PDP handler paths must be ~free when nothing is
+// scraping.
+func BenchmarkDisabledObsHook(b *testing.B) {
+	var (
+		c  *Counter
+		h  *Histogram
+		tr *Tracer
+	)
+	start := time.Now()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		c.Inc()
+		h.ObserveSince(start)
+		tr.Record(DecisionTrace{})
+	}
+}
+
+// BenchmarkEnabledCounter is the enabled-path cost for one counter
+// increment (an atomic add), for the EXPERIMENTS.md E19 overhead table.
+func BenchmarkEnabledCounter(b *testing.B) {
+	r := NewRegistry()
+	c := r.NewCounter("grbac_bench_total", "")
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		c.Inc()
+	}
+}
+
+// BenchmarkEnabledHistogramObserve is the enabled-path cost for one
+// latency observation (bucket scan + two atomic adds + CAS sum).
+func BenchmarkEnabledHistogramObserve(b *testing.B) {
+	r := NewRegistry()
+	h := r.NewHistogram("grbac_bench_seconds", "", nil)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		h.Observe(0.0003)
+	}
+}

@@ -1,0 +1,133 @@
+package obs
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+)
+
+// Sample is one parsed exposition line: a metric name, its label set,
+// and its value. grbacctl top scrapes GET /metrics and renders samples.
+type Sample struct {
+	Name   string
+	Labels map[string]string
+	Value  float64
+}
+
+// Label returns the value of one label ("" when absent).
+func (s Sample) Label(name string) string { return s.Labels[name] }
+
+// ParseText parses a Prometheus text exposition (the format
+// WritePrometheus produces) into samples, in input order. Comment and
+// blank lines are skipped; a malformed line is an error.
+func ParseText(r io.Reader) ([]Sample, error) {
+	var out []Sample
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 64*1024), 1024*1024)
+	lineNo := 0
+	for sc.Scan() {
+		lineNo++
+		line := strings.TrimSpace(sc.Text())
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		s, err := parseSampleLine(line)
+		if err != nil {
+			return nil, fmt.Errorf("obs: line %d: %w", lineNo, err)
+		}
+		out = append(out, s)
+	}
+	if err := sc.Err(); err != nil {
+		return nil, fmt.Errorf("obs: read exposition: %w", err)
+	}
+	return out, nil
+}
+
+func parseSampleLine(line string) (Sample, error) {
+	s := Sample{Labels: map[string]string{}}
+	rest := line
+	if i := strings.IndexAny(rest, "{ \t"); i < 0 {
+		return s, fmt.Errorf("no value in %q", line)
+	} else {
+		s.Name = rest[:i]
+		rest = rest[i:]
+	}
+	if strings.HasPrefix(rest, "{") {
+		end, err := parseLabels(rest, s.Labels)
+		if err != nil {
+			return s, err
+		}
+		rest = rest[end:]
+	}
+	rest = strings.TrimSpace(rest)
+	// A timestamp may trail the value; keep only the first field.
+	if i := strings.IndexAny(rest, " \t"); i >= 0 {
+		rest = rest[:i]
+	}
+	v, err := parseValue(rest)
+	if err != nil {
+		return s, fmt.Errorf("bad value %q: %w", rest, err)
+	}
+	s.Value = v
+	return s, nil
+}
+
+// parseLabels reads a {name="value",...} block starting at raw[0] == '{'
+// and returns the index just past the closing brace.
+func parseLabels(raw string, into map[string]string) (int, error) {
+	i := 1
+	for {
+		for i < len(raw) && (raw[i] == ',' || raw[i] == ' ') {
+			i++
+		}
+		if i < len(raw) && raw[i] == '}' {
+			return i + 1, nil
+		}
+		eq := strings.IndexByte(raw[i:], '=')
+		if eq < 0 {
+			return 0, fmt.Errorf("unterminated label block in %q", raw)
+		}
+		name := raw[i : i+eq]
+		i += eq + 1
+		if i >= len(raw) || raw[i] != '"' {
+			return 0, fmt.Errorf("unquoted label value in %q", raw)
+		}
+		i++
+		var val strings.Builder
+		for {
+			if i >= len(raw) {
+				return 0, fmt.Errorf("unterminated label value in %q", raw)
+			}
+			c := raw[i]
+			if c == '\\' && i+1 < len(raw) {
+				switch raw[i+1] {
+				case 'n':
+					val.WriteByte('\n')
+				default:
+					val.WriteByte(raw[i+1])
+				}
+				i += 2
+				continue
+			}
+			if c == '"' {
+				i++
+				break
+			}
+			val.WriteByte(c)
+			i++
+		}
+		into[name] = val.String()
+	}
+}
+
+func parseValue(raw string) (float64, error) {
+	switch raw {
+	case "+Inf", "Inf":
+		return strconv.ParseFloat("+Inf", 64)
+	case "-Inf":
+		return strconv.ParseFloat("-Inf", 64)
+	}
+	return strconv.ParseFloat(raw, 64)
+}

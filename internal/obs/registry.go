@@ -1,0 +1,334 @@
+package obs
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"regexp"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+)
+
+// Registry holds a set of named metrics and renders them in the
+// Prometheus text exposition format. All methods are safe for concurrent
+// use; registration is get-or-create, so independent subsystems may ask
+// for the same instrument and share it.
+type Registry struct {
+	mu      sync.Mutex
+	metrics map[string]any // *Counter | *Gauge | *funcCollector | *Histogram | *CounterVec | *HistogramVec
+	order   []string
+}
+
+// NewRegistry builds an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{metrics: make(map[string]any)}
+}
+
+var metricNameRE = regexp.MustCompile(`^[a-zA-Z_:][a-zA-Z0-9_:]*$`)
+
+func checkName(name string) {
+	if !metricNameRE.MatchString(name) {
+		panic(fmt.Sprintf("obs: invalid metric name %q", name))
+	}
+}
+
+// register stores m under name, or returns the existing metric when one
+// of the same concrete type is already registered. A name collision
+// across types is a programming error and panics. Function-backed
+// collectors are replaced (last wins), so a rebuilt server can re-wire
+// its closures over a long-lived registry.
+func (r *Registry) register(name string, m any) any {
+	checkName(name)
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if old, ok := r.metrics[name]; ok {
+		if fmt.Sprintf("%T", old) != fmt.Sprintf("%T", m) {
+			panic(fmt.Sprintf("obs: metric %q re-registered as %T (was %T)", name, m, old))
+		}
+		if _, isFunc := m.(*funcCollector); isFunc {
+			r.metrics[name] = m
+			return m
+		}
+		return old
+	}
+	r.metrics[name] = m
+	r.order = append(r.order, name)
+	return m
+}
+
+// NewCounter registers (or returns the existing) counter under name.
+func (r *Registry) NewCounter(name, help string) *Counter {
+	c := &Counter{metricMeta: metricMeta{name: name, help: help}}
+	return r.register(name, c).(*Counter)
+}
+
+// NewGauge registers (or returns the existing) gauge under name.
+func (r *Registry) NewGauge(name, help string) *Gauge {
+	g := &Gauge{metricMeta: metricMeta{name: name, help: help}}
+	return r.register(name, g).(*Gauge)
+}
+
+// NewCounterFunc registers a counter whose value is fn(), read at scrape
+// time. Re-registering replaces the function.
+func (r *Registry) NewCounterFunc(name, help string, fn func() float64) {
+	r.register(name, &funcCollector{metricMeta: metricMeta{name: name, help: help}, kind: "counter", fn: fn})
+}
+
+// NewGaugeFunc registers a gauge whose value is fn(), read at scrape
+// time. Re-registering replaces the function.
+func (r *Registry) NewGaugeFunc(name, help string, fn func() float64) {
+	r.register(name, &funcCollector{metricMeta: metricMeta{name: name, help: help}, kind: "gauge", fn: fn})
+}
+
+// NewHistogram registers (or returns the existing) histogram under name.
+// Nil or empty bounds select DefLatencyBuckets.
+func (r *Registry) NewHistogram(name, help string, bounds []float64) *Histogram {
+	bounds = validateBuckets(bounds)
+	h := &Histogram{
+		metricMeta: metricMeta{name: name, help: help},
+		bounds:     bounds,
+		counts:     makeCounts(len(bounds) + 1),
+	}
+	return r.register(name, h).(*Histogram)
+}
+
+// CounterVec is a family of counters distinguished by label values.
+type CounterVec struct {
+	metricMeta
+	mu       sync.Mutex
+	children map[string]*Counter
+	ordered  []*Counter
+}
+
+// NewCounterVec registers (or returns the existing) labeled counter
+// family under name.
+func (r *Registry) NewCounterVec(name, help string, labelNames ...string) *CounterVec {
+	v := &CounterVec{
+		metricMeta: metricMeta{name: name, help: help, labelNames: labelNames},
+		children:   make(map[string]*Counter),
+	}
+	return r.register(name, v).(*CounterVec)
+}
+
+// With returns the child counter for the given label values, creating it
+// on first use. Resolve children once at setup time on hot paths.
+func (v *CounterVec) With(labelValues ...string) *Counter {
+	if len(labelValues) != len(v.labelNames) {
+		panic(fmt.Sprintf("obs: %s wants %d label values, got %d", v.name, len(v.labelNames), len(labelValues)))
+	}
+	key := strings.Join(labelValues, "\x00")
+	v.mu.Lock()
+	defer v.mu.Unlock()
+	if c, ok := v.children[key]; ok {
+		return c
+	}
+	c := &Counter{metricMeta: metricMeta{
+		name: v.name, help: v.help,
+		labelNames:  v.labelNames,
+		labelValues: append([]string(nil), labelValues...),
+	}}
+	v.children[key] = c
+	v.ordered = append(v.ordered, c)
+	return c
+}
+
+// HistogramVec is a family of histograms distinguished by label values,
+// sharing one set of bucket bounds.
+type HistogramVec struct {
+	metricMeta
+	bounds   []float64
+	mu       sync.Mutex
+	children map[string]*Histogram
+	ordered  []*Histogram
+}
+
+// NewHistogramVec registers (or returns the existing) labeled histogram
+// family under name. Nil or empty bounds select DefLatencyBuckets.
+func (r *Registry) NewHistogramVec(name, help string, bounds []float64, labelNames ...string) *HistogramVec {
+	v := &HistogramVec{
+		metricMeta: metricMeta{name: name, help: help, labelNames: labelNames},
+		bounds:     validateBuckets(bounds),
+		children:   make(map[string]*Histogram),
+	}
+	return r.register(name, v).(*HistogramVec)
+}
+
+// With returns the child histogram for the given label values, creating
+// it on first use. Resolve children once at setup time on hot paths.
+func (v *HistogramVec) With(labelValues ...string) *Histogram {
+	if len(labelValues) != len(v.labelNames) {
+		panic(fmt.Sprintf("obs: %s wants %d label values, got %d", v.name, len(v.labelNames), len(labelValues)))
+	}
+	key := strings.Join(labelValues, "\x00")
+	v.mu.Lock()
+	defer v.mu.Unlock()
+	if h, ok := v.children[key]; ok {
+		return h
+	}
+	h := &Histogram{
+		metricMeta: metricMeta{
+			name: v.name, help: v.help,
+			labelNames:  v.labelNames,
+			labelValues: append([]string(nil), labelValues...),
+		},
+		bounds: v.bounds,
+		counts: makeCounts(len(v.bounds) + 1),
+	}
+	v.children[key] = h
+	v.ordered = append(v.ordered, h)
+	return h
+}
+
+// WritePrometheus renders every registered metric in the Prometheus text
+// exposition format (version 0.0.4), names in registration order.
+func (r *Registry) WritePrometheus(w io.Writer) error {
+	r.mu.Lock()
+	names := append([]string(nil), r.order...)
+	metrics := make([]any, len(names))
+	for i, n := range names {
+		metrics[i] = r.metrics[n]
+	}
+	r.mu.Unlock()
+
+	var b strings.Builder
+	for i, name := range names {
+		switch m := metrics[i].(type) {
+		case *Counter:
+			header(&b, name, m.help, "counter")
+			sample(&b, &m.metricMeta, "", "", float64(m.Value()))
+		case *Gauge:
+			header(&b, name, m.help, "gauge")
+			sample(&b, &m.metricMeta, "", "", m.Value())
+		case *funcCollector:
+			header(&b, name, m.help, m.kind)
+			sample(&b, &m.metricMeta, "", "", m.fn())
+		case *Histogram:
+			header(&b, name, m.help, "histogram")
+			writeHistogram(&b, m)
+		case *CounterVec:
+			header(&b, name, m.help, "counter")
+			m.mu.Lock()
+			children := append([]*Counter(nil), m.ordered...)
+			m.mu.Unlock()
+			sortByLabels(children, func(c *Counter) []string { return c.labelValues })
+			for _, c := range children {
+				sample(&b, &c.metricMeta, "", "", float64(c.Value()))
+			}
+		case *HistogramVec:
+			header(&b, name, m.help, "histogram")
+			m.mu.Lock()
+			children := append([]*Histogram(nil), m.ordered...)
+			m.mu.Unlock()
+			sortByLabels(children, func(h *Histogram) []string { return h.labelValues })
+			for _, h := range children {
+				writeHistogram(&b, h)
+			}
+		}
+	}
+	_, err := io.WriteString(w, b.String())
+	return err
+}
+
+func sortByLabels[T any](children []T, labels func(T) []string) {
+	sort.SliceStable(children, func(i, j int) bool {
+		li, lj := labels(children[i]), labels(children[j])
+		for k := range li {
+			if li[k] != lj[k] {
+				return li[k] < lj[k]
+			}
+		}
+		return false
+	})
+}
+
+func header(b *strings.Builder, name, help, typ string) {
+	if help != "" {
+		b.WriteString("# HELP ")
+		b.WriteString(name)
+		b.WriteByte(' ')
+		b.WriteString(escapeHelp(help))
+		b.WriteByte('\n')
+	}
+	b.WriteString("# TYPE ")
+	b.WriteString(name)
+	b.WriteByte(' ')
+	b.WriteString(typ)
+	b.WriteByte('\n')
+}
+
+// sample writes one line: name[{labels}] value. extraName/extraValue
+// append one more label pair (the histogram writer's le).
+func sample(b *strings.Builder, m *metricMeta, extraName, extraValue string, v float64) {
+	b.WriteString(m.name)
+	if extraName == "" && len(m.labelNames) == 0 {
+		b.WriteByte(' ')
+	} else {
+		b.WriteByte('{')
+		first := true
+		for i, ln := range m.labelNames {
+			if !first {
+				b.WriteByte(',')
+			}
+			first = false
+			b.WriteString(ln)
+			b.WriteString(`="`)
+			b.WriteString(escapeLabel(m.labelValues[i]))
+			b.WriteByte('"')
+		}
+		if extraName != "" {
+			if !first {
+				b.WriteByte(',')
+			}
+			b.WriteString(extraName)
+			b.WriteString(`="`)
+			b.WriteString(extraValue)
+			b.WriteByte('"')
+		}
+		b.WriteString("} ")
+	}
+	b.WriteString(formatValue(v))
+	b.WriteByte('\n')
+}
+
+// writeHistogram writes the cumulative _bucket series plus _sum and
+// _count for one histogram (possibly a vec child carrying labels).
+func writeHistogram(b *strings.Builder, h *Histogram) {
+	bucketMeta := h.metricMeta
+	bucketMeta.name = h.name + "_bucket"
+	var cum uint64
+	for i, bound := range h.bounds {
+		cum += h.counts[i].Load()
+		sample(b, &bucketMeta, "le", formatValue(bound), float64(cum))
+	}
+	cum += h.counts[len(h.bounds)].Load()
+	sample(b, &bucketMeta, "le", "+Inf", float64(cum))
+	sumMeta := h.metricMeta
+	sumMeta.name = h.name + "_sum"
+	sample(b, &sumMeta, "", "", h.Sum())
+	countMeta := h.metricMeta
+	countMeta.name = h.name + "_count"
+	sample(b, &countMeta, "", "", float64(cum))
+}
+
+func formatValue(v float64) string {
+	if math.IsInf(v, 1) {
+		return "+Inf"
+	}
+	if math.IsInf(v, -1) {
+		return "-Inf"
+	}
+	return strconv.FormatFloat(v, 'g', -1, 64)
+}
+
+func escapeHelp(s string) string {
+	s = strings.ReplaceAll(s, `\`, `\\`)
+	return strings.ReplaceAll(s, "\n", `\n`)
+}
+
+func escapeLabel(s string) string {
+	s = strings.ReplaceAll(s, `\`, `\\`)
+	s = strings.ReplaceAll(s, `"`, `\"`)
+	return strings.ReplaceAll(s, "\n", `\n`)
+}

@@ -1,0 +1,125 @@
+package obs
+
+import (
+	"sync"
+	"time"
+)
+
+// TraceStep is one timed phase inside a decision trace: decode, mediate,
+// audit, encode.
+type TraceStep struct {
+	Name            string  `json:"name"`
+	DurationSeconds float64 `json:"duration_seconds"`
+}
+
+// DecisionTrace is one PDP decision request, end to end. The correlation
+// ID is the join key: the same value is returned in the response's
+// X-Correlation-ID header and stored on the audit record, so a trace, a
+// wire reply, and an audit line can be tied back together.
+type DecisionTrace struct {
+	// Seq numbers traces in recording order, starting at 1.
+	Seq uint64 `json:"seq"`
+	// CorrelationID identifies the request across trace, response, and
+	// audit record.
+	CorrelationID string `json:"correlation_id"`
+	// Route is the served endpoint ("/v1/decide", "/v1/check", ...).
+	Route string `json:"route"`
+	// Start is when the server began handling the request.
+	Start time.Time `json:"start"`
+	// DurationSeconds is the total handling time.
+	DurationSeconds float64 `json:"duration_seconds"`
+	// Status is the HTTP status the request was answered with.
+	Status int `json:"status"`
+	// Allowed is the decision outcome; nil when the request never
+	// produced one (malformed, shed, errored).
+	Allowed *bool `json:"allowed,omitempty"`
+	// Stale marks decisions served from a follower past its staleness
+	// bound.
+	Stale bool `json:"stale,omitempty"`
+	// Steps are the timed phases of the request.
+	Steps []TraceStep `json:"steps,omitempty"`
+}
+
+// Tracer keeps the most recent decision traces in a bounded ring. Like
+// every obs instrument it is nil-safe: recording into a nil tracer is a
+// no-op, so a disabled tracer costs its callers one branch.
+type Tracer struct {
+	mu   sync.Mutex
+	buf  []DecisionTrace
+	head int
+	max  int
+	seq  uint64
+}
+
+// DefaultTraceCapacity bounds a tracer built with capacity <= 0.
+const DefaultTraceCapacity = 256
+
+// NewTracer builds a tracer retaining up to capacity traces
+// (DefaultTraceCapacity when capacity <= 0).
+func NewTracer(capacity int) *Tracer {
+	if capacity <= 0 {
+		capacity = DefaultTraceCapacity
+	}
+	return &Tracer{max: capacity}
+}
+
+// Record stores one trace, stamping its Seq, evicting the oldest past
+// capacity. Safe on a nil tracer (no-op).
+func (t *Tracer) Record(tr DecisionTrace) {
+	if t == nil {
+		return
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	t.seq++
+	tr.Seq = t.seq
+	if len(t.buf) < t.max {
+		t.buf = append(t.buf, tr)
+		return
+	}
+	t.buf[t.head] = tr
+	t.head = (t.head + 1) % t.max
+}
+
+// Recorded reports the total number of traces ever recorded (0 for nil).
+func (t *Tracer) Recorded() uint64 {
+	if t == nil {
+		return 0
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.seq
+}
+
+// Recent returns up to n retained traces, newest first (n <= 0 means
+// all). Safe on a nil tracer (returns nil).
+func (t *Tracer) Recent(n int) []DecisionTrace {
+	if t == nil {
+		return nil
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	out := make([]DecisionTrace, 0, len(t.buf))
+	// Oldest-first ring order is buf[head:], buf[:head]; walk it backwards.
+	for i := len(t.buf) - 1; i >= 0; i-- {
+		out = append(out, t.buf[(t.head+i)%len(t.buf)])
+	}
+	if n > 0 && len(out) > n {
+		out = out[:n]
+	}
+	return out
+}
+
+// Find returns the retained trace with the given correlation ID (the
+// newest, if several reused one) and whether it was found.
+func (t *Tracer) Find(correlationID string) (DecisionTrace, bool) {
+	if t == nil {
+		return DecisionTrace{}, false
+	}
+	for _, tr := range t.Recent(0) {
+		if tr.CorrelationID == correlationID {
+			return tr, true
+		}
+	}
+	return DecisionTrace{}, false
+}

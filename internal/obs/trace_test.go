@@ -1,0 +1,59 @@
+package obs
+
+import (
+	"fmt"
+	"testing"
+	"time"
+)
+
+func TestTracerRingEviction(t *testing.T) {
+	tr := NewTracer(3)
+	for i := 1; i <= 5; i++ {
+		tr.Record(DecisionTrace{CorrelationID: fmt.Sprintf("c%d", i), Start: time.Now()})
+	}
+	if tr.Recorded() != 5 {
+		t.Fatalf("recorded = %d, want 5", tr.Recorded())
+	}
+	got := tr.Recent(0)
+	if len(got) != 3 {
+		t.Fatalf("retained = %d, want 3", len(got))
+	}
+	// Newest first, oldest evicted.
+	for i, want := range []string{"c5", "c4", "c3"} {
+		if got[i].CorrelationID != want {
+			t.Fatalf("recent[%d] = %s, want %s", i, got[i].CorrelationID, want)
+		}
+	}
+	if got[0].Seq != 5 {
+		t.Fatalf("newest seq = %d, want 5", got[0].Seq)
+	}
+	if limited := tr.Recent(2); len(limited) != 2 || limited[0].CorrelationID != "c5" {
+		t.Fatalf("Recent(2) = %v", limited)
+	}
+}
+
+func TestTracerFind(t *testing.T) {
+	tr := NewTracer(8)
+	tr.Record(DecisionTrace{CorrelationID: "x", Status: 200})
+	tr.Record(DecisionTrace{CorrelationID: "y", Status: 404})
+	found, ok := tr.Find("y")
+	if !ok || found.Status != 404 {
+		t.Fatalf("Find(y) = %+v, %v", found, ok)
+	}
+	if _, ok := tr.Find("absent"); ok {
+		t.Fatal("Find(absent) reported a hit")
+	}
+	if _, ok := (*Tracer)(nil).Find("x"); ok {
+		t.Fatal("nil tracer Find reported a hit")
+	}
+}
+
+func TestTracerDefaultCapacity(t *testing.T) {
+	tr := NewTracer(0)
+	for i := 0; i < DefaultTraceCapacity+10; i++ {
+		tr.Record(DecisionTrace{})
+	}
+	if got := len(tr.Recent(0)); got != DefaultTraceCapacity {
+		t.Fatalf("retained = %d, want %d", got, DefaultTraceCapacity)
+	}
+}

@@ -13,6 +13,14 @@ import (
 // default deny — rather than queueing on a server that is down.
 var ErrCircuitOpen = errors.New("pdp: circuit open")
 
+// defaultBreakerCooldown replaces a non-positive cooldown passed to
+// WithCircuitBreaker; maxRetryDelay caps the retry loop's exponential
+// doubling.
+const (
+	defaultBreakerCooldown = time.Second
+	maxRetryDelay          = 30 * time.Second
+)
+
 type breakerState int
 
 const (
@@ -38,6 +46,15 @@ type breaker struct {
 }
 
 func newBreaker(threshold int, cooldown time.Duration) *breaker {
+	// WithCircuitBreaker clamps before calling, but a breaker constructed
+	// directly must be safe too: trip feeds cooldown to rand.Int63n, which
+	// panics on n <= 0.
+	if threshold < 1 {
+		threshold = 1
+	}
+	if cooldown <= 0 {
+		cooldown = defaultBreakerCooldown
+	}
 	return &breaker{threshold: threshold, cooldown: cooldown}
 }
 

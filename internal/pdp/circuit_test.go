@@ -5,6 +5,7 @@ import (
 	"errors"
 	"net/http"
 	"net/http/httptest"
+	"strings"
 	"sync/atomic"
 	"testing"
 	"time"
@@ -173,5 +174,102 @@ func TestCircuitBreakerLifecycle(t *testing.T) {
 	}
 	if n := f.hits.Load(); n != 5 {
 		t.Fatalf("server saw %d requests, want 5", n)
+	}
+}
+
+// TestRetryAfterClamped proves a hostile or misconfigured Retry-After —
+// an enormous delay-seconds value or an HTTP date years out — cannot push
+// the hint past MaxRetryAfter, and that the clamp is surfaced on the
+// RemoteError and in its rendering.
+func TestRetryAfterClamped(t *testing.T) {
+	cases := []struct {
+		name   string
+		header string
+	}{
+		{"huge-seconds", "99999999999"},
+		{"overflow-seconds", "999999999999999999"},
+		{"far-future-date", time.Now().Add(365 * 24 * time.Hour).UTC().Format(http.TimeFormat)},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+				w.Header().Set("Retry-After", tc.header)
+				w.WriteHeader(http.StatusServiceUnavailable)
+			}))
+			t.Cleanup(srv.Close)
+			client := NewClient(srv.URL, srv.Client())
+			_, err := client.Decide(context.Background(), DecideRequest{Object: "tv", Transaction: "use"})
+			var re *RemoteError
+			if !errors.As(err, &re) {
+				t.Fatalf("err = %v", err)
+			}
+			if re.RetryAfter != MaxRetryAfter {
+				t.Fatalf("RetryAfter = %v, want clamped to %v", re.RetryAfter, MaxRetryAfter)
+			}
+			if !re.RetryAfterClamped {
+				t.Fatal("RetryAfterClamped not set")
+			}
+			if !strings.Contains(re.Error(), "clamped") {
+				t.Fatalf("Error() = %q, want the clamp surfaced", re.Error())
+			}
+		})
+	}
+	// Sane hints still pass through unclamped.
+	d, clamped := parseRetryAfter("7")
+	if d != 7*time.Second || clamped {
+		t.Fatalf("parseRetryAfter(7) = %v, %v", d, clamped)
+	}
+	if d, clamped := parseRetryAfter("-3"); d != 0 || clamped {
+		t.Fatalf("parseRetryAfter(-3) = %v, %v", d, clamped)
+	}
+}
+
+// TestBreakerOptionClamps proves degenerate breaker settings are clamped
+// into a working breaker instead of silently dropped or a rand.Int63n
+// panic in trip: a zero/negative cooldown opens for the default window,
+// and failures < 1 trips on the first transient failure.
+func TestBreakerOptionClamps(t *testing.T) {
+	c := NewClient("http://unused", nil, WithCircuitBreaker(0, -time.Second))
+	if c.breaker == nil {
+		t.Fatal("degenerate settings must still install a breaker")
+	}
+	if c.breaker.threshold != 1 || c.breaker.cooldown != defaultBreakerCooldown {
+		t.Fatalf("breaker = threshold %d cooldown %v, want 1/%v",
+			c.breaker.threshold, c.breaker.cooldown, defaultBreakerCooldown)
+	}
+	// trip must not panic even on a directly constructed degenerate
+	// breaker, and the window must be positive.
+	b := newBreaker(-5, 0)
+	now := time.Now()
+	b.failure(now, 0)
+	if b.state != breakerOpen {
+		t.Fatalf("state = %v after one failure with clamped threshold", b.state)
+	}
+	if !b.openUntil.After(now) {
+		t.Fatal("open window is not in the future")
+	}
+	// The server hint still floors the window.
+	b2 := newBreaker(1, time.Millisecond)
+	b2.failure(now, 10*time.Second)
+	if got := b2.openUntil.Sub(now); got < 10*time.Second {
+		t.Fatalf("open window %v undercuts the 10s Retry-After floor", got)
+	}
+}
+
+// TestRetryDelayCapped drives the backoff doubling far past maxRetryDelay
+// and checks it saturates instead of overflowing into a negative delay
+// (which would reach rand.Int63n as n <= 0 and panic).
+func TestRetryDelayCapped(t *testing.T) {
+	d := 100 * time.Millisecond
+	for i := 0; i < 200; i++ {
+		if d < maxRetryDelay {
+			d *= 2
+			if d > maxRetryDelay {
+				d = maxRetryDelay
+			}
+		}
+	}
+	if d != maxRetryDelay {
+		t.Fatalf("delay = %v after 200 doublings, want saturated at %v", d, maxRetryDelay)
 	}
 }

@@ -32,16 +32,32 @@ type RemoteError struct {
 	Message string
 	// RetryAfter is the server's parsed Retry-After hint (zero when the
 	// reply carried none). Overloaded PDPs send it on 429/503 sheds; the
-	// retry policy and circuit breaker honor it.
+	// retry policy and circuit breaker honor it. Hints beyond
+	// MaxRetryAfter are clamped to it — a misconfigured (or hostile)
+	// server must not be able to wedge the breaker open for hours with one
+	// far-future HTTP date.
 	RetryAfter time.Duration
+	// RetryAfterClamped reports that the server's hint exceeded
+	// MaxRetryAfter and RetryAfter carries the clamped value, not the
+	// server's.
+	RetryAfterClamped bool
 }
 
-// Error renders the same strings the pre-typed errors produced.
+// MaxRetryAfter caps how far a server Retry-After hint can push out the
+// retry sleep floor and the breaker's open window.
+const MaxRetryAfter = 5 * time.Minute
+
+// Error renders the same strings the pre-typed errors produced, noting a
+// clamped Retry-After so operators can see the server asked for more.
 func (e *RemoteError) Error() string {
-	if e.Message != "" {
-		return fmt.Sprintf("pdp: remote error: %d: %s", e.Status, e.Message)
+	suffix := ""
+	if e.RetryAfterClamped {
+		suffix = fmt.Sprintf(" (Retry-After clamped to %v)", e.RetryAfter)
 	}
-	return fmt.Sprintf("pdp: remote error: status %d", e.Status)
+	if e.Message != "" {
+		return fmt.Sprintf("pdp: remote error: %d: %s%s", e.Status, e.Message, suffix)
+	}
+	return fmt.Sprintf("pdp: remote error: status %d%s", e.Status, suffix)
 }
 
 // Is makes errors.Is(err, ErrRemote) hold for RemoteError values.
@@ -85,11 +101,21 @@ func WithRetry(maxAttempts int, baseDelay time.Duration) ClientOption {
 // (floored at any server Retry-After hint), then lets one probe through:
 // probe success closes it, probe failure re-opens it. Composes under
 // WithRetry — each retry attempt consults the breaker.
+//
+// Degenerate settings are clamped rather than ignored: failures < 1
+// becomes 1 (trip on the first transient failure) and cooldown <= 0
+// becomes defaultBreakerCooldown, so asking for a breaker always yields a
+// working one — never a zero-width open window, and never a negative
+// cooldown reaching the jitter's rand.Int63n (which panics on n <= 0).
 func WithCircuitBreaker(failures int, cooldown time.Duration) ClientOption {
 	return func(c *Client) {
-		if failures > 0 && cooldown > 0 {
-			c.breaker = newBreaker(failures, cooldown)
+		if failures < 1 {
+			failures = 1
 		}
+		if cooldown <= 0 {
+			cooldown = defaultBreakerCooldown
+		}
+		c.breaker = newBreaker(failures, cooldown)
 	}
 }
 
@@ -235,7 +261,8 @@ func (c *Client) do(ctx context.Context, build func() (*http.Request, error), ou
 		}
 		// Full jitter on [delay/2, 3*delay/2): decorrelates a fleet of
 		// retrying clients. A server Retry-After hint puts a floor under
-		// the sleep — the server knows its own recovery better than we do.
+		// the sleep — the server knows its own recovery better than we do
+		// (but the hint was already clamped at MaxRetryAfter on parse).
 		sleep := delay/2 + time.Duration(rand.Int63n(int64(delay)+1))
 		if ra := retryAfterOf(err); ra > sleep {
 			sleep = ra
@@ -247,7 +274,15 @@ func (c *Client) do(ctx context.Context, build func() (*http.Request, error), ou
 			return err
 		case <-t.C:
 		}
-		delay *= 2
+		// Cap the doubling: with many attempts configured, unbounded
+		// growth both overflows time.Duration eventually and produces
+		// pointlessly huge sleeps long before that.
+		if delay < maxRetryDelay {
+			delay *= 2
+			if delay > maxRetryDelay {
+				delay = maxRetryDelay
+			}
+		}
 	}
 }
 
@@ -307,9 +342,11 @@ func (c *Client) doOnce(req *http.Request, out any) error {
 		_ = resp.Body.Close()
 	}()
 	if resp.StatusCode/100 != 2 {
+		ra, clamped := parseRetryAfter(resp.Header.Get("Retry-After"))
 		remote := &RemoteError{
-			Status:     resp.StatusCode,
-			RetryAfter: parseRetryAfter(resp.Header.Get("Retry-After")),
+			Status:            resp.StatusCode,
+			RetryAfter:        ra,
+			RetryAfterClamped: clamped,
 		}
 		var e ErrorResponse
 		if err := json.NewDecoder(resp.Body).Decode(&e); err == nil && e.Error != "" {
@@ -327,21 +364,31 @@ func (c *Client) doOnce(req *http.Request, out any) error {
 }
 
 // parseRetryAfter reads an RFC 9110 Retry-After value: delay seconds or an
-// HTTP date. Unparseable or past values yield zero (no hint).
-func parseRetryAfter(raw string) time.Duration {
+// HTTP date. Unparseable or past values yield zero (no hint). Values past
+// MaxRetryAfter — a delay-seconds overflow attempt or an HTTP date years
+// out — are clamped to it, with clamped reporting that it happened.
+func parseRetryAfter(raw string) (d time.Duration, clamped bool) {
 	if raw == "" {
-		return 0
+		return 0, false
 	}
 	if secs, err := strconv.Atoi(raw); err == nil {
 		if secs < 0 {
-			return 0
+			return 0, false
 		}
-		return time.Duration(secs) * time.Second
+		// Bound before multiplying: a huge seconds count would overflow
+		// the Duration arithmetic itself.
+		if time.Duration(secs) > MaxRetryAfter/time.Second {
+			return MaxRetryAfter, true
+		}
+		return time.Duration(secs) * time.Second, false
 	}
 	if at, err := http.ParseTime(raw); err == nil {
 		if d := time.Until(at); d > 0 {
-			return d
+			if d > MaxRetryAfter {
+				return MaxRetryAfter, true
+			}
+			return d, false
 		}
 	}
-	return 0
+	return 0, false
 }

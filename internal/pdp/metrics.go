@@ -1,0 +1,293 @@
+package pdp
+
+import (
+	"context"
+	"crypto/rand"
+	"encoding/hex"
+	"fmt"
+	"io"
+	"net/http"
+	"strconv"
+	"sync/atomic"
+	"time"
+
+	"github.com/aware-home/grbac/internal/core"
+	"github.com/aware-home/grbac/internal/obs"
+)
+
+// CorrelationHeader carries the request correlation ID. A caller may send
+// one; otherwise the server generates one. Either way the response echoes
+// it, the audit record stores it, and the decision trace is keyed by it,
+// so all three views of one request can be joined after the fact.
+const CorrelationHeader = "X-Correlation-ID"
+
+// WithMetrics exports the server's operational state on reg in the
+// Prometheus text format at GET /metrics: per-route request latency
+// histograms and status counters, the decision-cache and policy-engine
+// counters System.Stats already maintains, admission-control gauges, and
+// replication health when the server is a follower. Everything except the
+// route histograms is a scrape-time read over existing atomics, so the
+// decision hot path carries no new instrumentation.
+func WithMetrics(reg *obs.Registry) ServerOption {
+	return func(s *Server) { s.metrics = reg }
+}
+
+// WithTracer records one DecisionTrace per decision request — route,
+// correlation ID, timed steps, status, outcome — into tr's bounded ring,
+// served at GET /v1/traces. Tracing is per-request plumbing on the HTTP
+// handlers only; a server built without a tracer pays nothing.
+func WithTracer(tr *obs.Tracer) ServerOption {
+	return func(s *Server) { s.tracer = tr }
+}
+
+// registerMetrics populates the registry. Called once from NewServer when
+// the server was built WithMetrics.
+func (s *Server) registerMetrics() {
+	reg := s.metrics
+	s.httpDur = reg.NewHistogramVec("grbac_http_request_duration_seconds",
+		"PDP request handling time by route.", nil, "route")
+	s.httpReqs = reg.NewCounterVec("grbac_http_requests_total",
+		"PDP requests by route and status class.", "route", "code")
+
+	// The decision engine's counters are scrape-time reads of the atomics
+	// System.Stats keeps anyway — closures, not hot-path instruments.
+	stat := func(read func(core.Stats) float64) func() float64 {
+		return func() float64 { return read(s.sys.Stats()) }
+	}
+	reg.NewGaugeFunc("grbac_policy_generation",
+		"Monotonic policy version; every mutation bumps it.",
+		stat(func(st core.Stats) float64 { return float64(st.Generation) }))
+	reg.NewCounterFunc("grbac_decision_cache_hits_total",
+		"Decide calls answered from the decision cache.",
+		stat(func(st core.Stats) float64 { return float64(st.DecisionHits) }))
+	reg.NewCounterFunc("grbac_decision_cache_misses_total",
+		"Decide calls that ran the full mediation rule.",
+		stat(func(st core.Stats) float64 { return float64(st.DecisionMisses) }))
+	reg.NewCounterFunc("grbac_decision_cache_evictions_total",
+		"Cached decisions displaced by the capacity bound.",
+		stat(func(st core.Stats) float64 { return float64(st.DecisionEvictions) }))
+	reg.NewCounterFunc("grbac_policy_invalidations_total",
+		"Policy generation bumps (each invalidates all cached decisions).",
+		stat(func(st core.Stats) float64 { return float64(st.Invalidations) }))
+	reg.NewCounterFunc("grbac_policy_snapshot_compiles_total",
+		"Lazy policy-snapshot recompilations after mutations.",
+		stat(func(st core.Stats) float64 { return float64(st.SnapshotCompiles) }))
+	reg.NewCounterFunc("grbac_fail_safe_denies_total",
+		"Denials issued because no mediation rule matched (fail-safe default).",
+		stat(func(st core.Stats) float64 { return float64(st.FailSafeDenies) }))
+	reg.NewGaugeFunc("grbac_decision_cache_entries",
+		"Decisions currently cached.",
+		stat(func(st core.Stats) float64 { return float64(st.DecisionEntries) }))
+
+	reg.NewGaugeFunc("grbac_http_inflight",
+		"Decision requests currently admitted.",
+		func() float64 { return float64(s.serverStats().InflightNow) })
+	reg.NewCounterFunc("grbac_http_shed_total",
+		"Decision requests rejected by admission control (429 or 503).",
+		func() float64 { return float64(s.serverStats().Shed) })
+	reg.NewCounterFunc("grbac_http_recovered_panics_total",
+		"Handler panics absorbed by the recovery middleware.",
+		func() float64 { return float64(s.serverStats().RecoveredPanics) })
+	if s.tracer != nil {
+		reg.NewCounterFunc("grbac_decision_traces_total",
+			"Decision traces recorded (the ring retains only the newest).",
+			func() float64 { return float64(s.tracer.Recorded()) })
+	}
+	if s.follower != nil {
+		s.follower.RegisterMetrics(reg)
+	}
+}
+
+// instrument wraps a handler with the route's latency histogram and
+// status counter and, for decision routes (traced), the per-request
+// decision tracer. With neither configured the handler is returned
+// untouched, so an uninstrumented server serves exactly the old path.
+func (s *Server) instrument(route string, traced bool, h http.HandlerFunc) http.HandlerFunc {
+	traced = traced && s.tracer != nil
+	var dur *obs.Histogram
+	if s.metrics != nil {
+		// Resolve the child once; the per-request work is one Observe.
+		dur = s.httpDur.With(route)
+	}
+	if dur == nil && !traced {
+		return h
+	}
+	return func(w http.ResponseWriter, r *http.Request) {
+		start := time.Now()
+		var rt *reqTrace
+		if traced {
+			rt = &reqTrace{}
+			r = r.WithContext(context.WithValue(r.Context(), reqTraceKey{}, rt))
+		}
+		h(w, r)
+		status := http.StatusOK
+		if tw, ok := w.(*trackingWriter); ok && tw.status != 0 {
+			status = tw.status
+		}
+		if dur != nil {
+			dur.ObserveSince(start)
+			s.httpReqs.With(route, statusClass(status)).Inc()
+		}
+		if rt != nil {
+			s.tracer.Record(obs.DecisionTrace{
+				CorrelationID:   w.Header().Get(CorrelationHeader),
+				Route:           route,
+				Start:           start,
+				DurationSeconds: time.Since(start).Seconds(),
+				Status:          status,
+				Allowed:         rt.allowed,
+				Stale:           rt.stale,
+				Steps:           rt.steps,
+			})
+		}
+	}
+}
+
+func statusClass(code int) string {
+	return strconv.Itoa(code/100) + "xx"
+}
+
+// reqTrace accumulates the decision-specific trace fields while a handler
+// runs; the instrument middleware stores one in the request context and
+// records the finished trace afterwards. Methods are nil-safe so handlers
+// call them unconditionally and an untraced request costs nothing extra.
+type reqTrace struct {
+	allowed *bool
+	stale   bool
+	steps   []obs.TraceStep
+}
+
+type reqTraceKey struct{}
+
+// traceOf returns the request's trace carrier, or nil when untraced.
+func traceOf(r *http.Request) *reqTrace {
+	rt, _ := r.Context().Value(reqTraceKey{}).(*reqTrace)
+	return rt
+}
+
+// step appends one timed phase, measured from start to now.
+func (rt *reqTrace) step(name string, start time.Time) {
+	if rt == nil {
+		return
+	}
+	rt.steps = append(rt.steps, obs.TraceStep{
+		Name:            name,
+		DurationSeconds: time.Since(start).Seconds(),
+	})
+}
+
+// decision records the request's outcome.
+func (rt *reqTrace) decision(allowed, stale bool) {
+	if rt == nil {
+		return
+	}
+	rt.allowed = &allowed
+	rt.stale = stale
+}
+
+// markStale records staleness for replies without a single boolean
+// outcome (batches).
+func (rt *reqTrace) markStale(stale bool) {
+	if rt == nil {
+		return
+	}
+	rt.stale = stale
+}
+
+// correlate resolves the request's correlation ID — the caller's
+// CorrelationHeader when present, a fresh random one otherwise — and
+// stamps it on the response headers before any body is written.
+func (s *Server) correlate(w http.ResponseWriter, r *http.Request) string {
+	id := r.Header.Get(CorrelationHeader)
+	if id == "" {
+		id = newCorrelationID()
+	}
+	w.Header().Set(CorrelationHeader, id)
+	return id
+}
+
+var corrFallback atomic.Uint64
+
+func newCorrelationID() string {
+	var b [8]byte
+	if _, err := rand.Read(b[:]); err != nil {
+		// crypto/rand failing is effectively impossible; a process-local
+		// sequence still yields usable (if guessable) join keys.
+		return "seq-" + strconv.FormatUint(corrFallback.Add(1), 16)
+	}
+	return hex.EncodeToString(b[:])
+}
+
+// handleMetrics serves GET /metrics in the Prometheus text format.
+func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet {
+		s.writeStatus(w, http.StatusMethodNotAllowed, "GET only")
+		return
+	}
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+	if err := s.metrics.WritePrometheus(w); err != nil {
+		s.logger.Printf("pdp: write metrics: %v", err)
+	}
+}
+
+// handleTraces serves the decision-trace ring:
+// GET /v1/traces?limit=N&correlation_id=ID (newest first).
+func (s *Server) handleTraces(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet {
+		s.writeStatus(w, http.StatusMethodNotAllowed, "GET only")
+		return
+	}
+	q := r.URL.Query()
+	if id := q.Get("correlation_id"); id != "" {
+		tr, ok := s.tracer.Find(id)
+		if !ok {
+			s.writeStatus(w, http.StatusNotFound, "no retained trace for correlation id "+id)
+			return
+		}
+		s.writeJSON(w, http.StatusOK, []obs.DecisionTrace{tr})
+		return
+	}
+	n := 0
+	if lim := q.Get("limit"); lim != "" {
+		v, err := strconv.Atoi(lim)
+		if err != nil || v < 0 {
+			s.writeStatus(w, http.StatusBadRequest, "bad limit")
+			return
+		}
+		n = v
+	}
+	s.writeJSON(w, http.StatusOK, s.tracer.Recent(n))
+}
+
+// Metrics scrapes the server's GET /metrics exposition and parses it into
+// samples; `grbacctl top` renders them.
+func (c *Client) Metrics(ctx context.Context) ([]obs.Sample, error) {
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, c.base+"/metrics", nil)
+	if err != nil {
+		return nil, fmt.Errorf("pdp: build request: %w", err)
+	}
+	resp, err := c.http.Do(req)
+	if err != nil {
+		return nil, fmt.Errorf("%w: %w", ErrTransport, err)
+	}
+	defer func() {
+		_, _ = io.Copy(io.Discard, resp.Body)
+		_ = resp.Body.Close()
+	}()
+	if resp.StatusCode/100 != 2 {
+		return nil, &RemoteError{Status: resp.StatusCode}
+	}
+	return obs.ParseText(resp.Body)
+}
+
+// Traces fetches the server's recent decision traces, newest first
+// (limit <= 0 fetches all retained).
+func (c *Client) Traces(ctx context.Context, limit int) ([]obs.DecisionTrace, error) {
+	path := "/v1/traces"
+	if limit > 0 {
+		path += "?limit=" + strconv.Itoa(limit)
+	}
+	var out []obs.DecisionTrace
+	err := c.get(ctx, path, &out)
+	return out, err
+}

@@ -1,0 +1,256 @@
+package pdp
+
+import (
+	"bytes"
+	"context"
+	"net/http"
+	"net/http/httptest"
+	"testing"
+
+	"github.com/aware-home/grbac/internal/audit"
+	"github.com/aware-home/grbac/internal/obs"
+)
+
+// obsServer builds an instrumented PDP over the family-TV fixture with
+// metrics, tracing, and an audit trail all enabled.
+func obsServer(t *testing.T) (*httptest.Server, *Client, *audit.Logger, *obs.Tracer) {
+	t.Helper()
+	trail := audit.NewLogger()
+	tracer := obs.NewTracer(16)
+	ts, _ := newTestServer(t,
+		WithMetrics(obs.NewRegistry()),
+		WithTracer(tracer),
+		WithAuditLogger(trail))
+	return ts, NewClient(ts.URL, nil), trail, tracer
+}
+
+func TestMetricsEndpoint(t *testing.T) {
+	_, client, _, _ := obsServer(t)
+	ctx := context.Background()
+
+	req := DecideRequest{Subject: "alice", Object: "tv", Transaction: "use",
+		Environment: []string{"weekday-free-time"}}
+	for i := 0; i < 3; i++ {
+		if _, err := client.Decide(ctx, req); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if _, err := client.Check(ctx, req); err != nil {
+		t.Fatal(err)
+	}
+
+	samples, err := client.Metrics(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	find := func(name string, labels map[string]string) (float64, bool) {
+		for _, s := range samples {
+			if s.Name != name {
+				continue
+			}
+			match := true
+			for k, v := range labels {
+				if s.Label(k) != v {
+					match = false
+					break
+				}
+			}
+			if match {
+				return s.Value, true
+			}
+		}
+		return 0, false
+	}
+
+	if v, ok := find("grbac_http_request_duration_seconds_count", map[string]string{"route": "/v1/decide"}); !ok || v != 3 {
+		t.Fatalf("decide duration count = %v, %v; want 3", v, ok)
+	}
+	if v, ok := find("grbac_http_requests_total", map[string]string{"route": "/v1/decide", "code": "2xx"}); !ok || v != 3 {
+		t.Fatalf("decide 2xx counter = %v, %v; want 3", v, ok)
+	}
+	if v, ok := find("grbac_http_request_duration_seconds_count", map[string]string{"route": "/v1/check"}); !ok || v != 1 {
+		t.Fatalf("check duration count = %v, %v; want 1", v, ok)
+	}
+	// The cache answered the repeats: hits and misses both moved.
+	if v, ok := find("grbac_decision_cache_misses_total", nil); !ok || v < 1 {
+		t.Fatalf("cache misses = %v, %v; want >= 1", v, ok)
+	}
+	if v, ok := find("grbac_decision_cache_hits_total", nil); !ok || v < 1 {
+		t.Fatalf("cache hits = %v, %v; want >= 1", v, ok)
+	}
+	for _, name := range []string{
+		"grbac_policy_generation",
+		"grbac_policy_snapshot_compiles_total",
+		"grbac_fail_safe_denies_total",
+		"grbac_decision_cache_entries",
+		"grbac_http_inflight",
+		"grbac_http_shed_total",
+		"grbac_http_recovered_panics_total",
+		"grbac_decision_traces_total",
+	} {
+		if _, ok := find(name, nil); !ok {
+			t.Errorf("family %s missing from /metrics", name)
+		}
+	}
+	// Latency histograms expose cumulative buckets.
+	if v, ok := find("grbac_http_request_duration_seconds_bucket", map[string]string{"route": "/v1/decide", "le": "+Inf"}); !ok || v != 3 {
+		t.Fatalf("decide +Inf bucket = %v, %v; want 3", v, ok)
+	}
+}
+
+func TestMetricsDisabledByDefault(t *testing.T) {
+	ts, _ := newTestServer(t)
+	resp, err := http.Get(ts.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusNotFound {
+		t.Fatalf("/metrics on an uninstrumented server = %d, want 404", resp.StatusCode)
+	}
+	resp, err = http.Get(ts.URL + "/v1/traces")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusNotFound {
+		t.Fatalf("/v1/traces on an untraced server = %d, want 404", resp.StatusCode)
+	}
+}
+
+func TestCorrelationIDJoinsAuditAndTrace(t *testing.T) {
+	ts, client, trail, tracer := obsServer(t)
+
+	body := []byte(`{"subject":"alice","object":"tv","transaction":"use","environment":["weekday-free-time"]}`)
+	req, err := http.NewRequest(http.MethodPost, ts.URL+"/v1/decide", bytes.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	req.Header.Set("Content-Type", "application/json")
+	req.Header.Set(CorrelationHeader, "corr-join-1")
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("decide = %d", resp.StatusCode)
+	}
+	if got := resp.Header.Get(CorrelationHeader); got != "corr-join-1" {
+		t.Fatalf("response header %s = %q, want corr-join-1", CorrelationHeader, got)
+	}
+
+	// Audit record carries the same ID.
+	recs := trail.Records()
+	if len(recs) != 1 {
+		t.Fatalf("audit records = %d, want 1", len(recs))
+	}
+	if recs[0].CorrelationID != "corr-join-1" {
+		t.Fatalf("audit correlation id = %q, want corr-join-1", recs[0].CorrelationID)
+	}
+
+	// The trace is retained and findable by the same ID — server side...
+	tr, ok := tracer.Find("corr-join-1")
+	if !ok {
+		t.Fatal("no trace recorded for corr-join-1")
+	}
+	if tr.Route != "/v1/decide" || tr.Status != http.StatusOK {
+		t.Fatalf("trace route/status = %s/%d", tr.Route, tr.Status)
+	}
+	if tr.Allowed == nil || !*tr.Allowed {
+		t.Fatalf("trace allowed = %v, want true", tr.Allowed)
+	}
+	if len(tr.Steps) == 0 {
+		t.Fatal("trace has no timed steps")
+	}
+	// ...and over the wire.
+	traces, err := client.Traces(context.Background(), 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(traces) != 1 || traces[0].CorrelationID != "corr-join-1" {
+		t.Fatalf("GET /v1/traces = %+v, want one trace for corr-join-1", traces)
+	}
+}
+
+func TestCorrelationIDGeneratedWhenAbsent(t *testing.T) {
+	_, client, trail, _ := obsServer(t)
+
+	d, err := client.Decide(context.Background(), DecideRequest{
+		Subject: "alice", Object: "tv", Transaction: "use",
+		Environment: []string{"weekday-free-time"}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d.CorrelationID == "" {
+		t.Fatal("server did not generate a correlation id")
+	}
+	recs := trail.Records()
+	if len(recs) != 1 || recs[0].CorrelationID != d.CorrelationID {
+		t.Fatalf("audit correlation id %q does not join reply %q",
+			recs[0].CorrelationID, d.CorrelationID)
+	}
+}
+
+func TestBatchCorrelationCoversEveryItem(t *testing.T) {
+	_, client, trail, _ := obsServer(t)
+	reqs := []DecideRequest{
+		{Subject: "alice", Object: "tv", Transaction: "use", Environment: []string{"weekday-free-time"}},
+		{Subject: "alice", Object: "tv", Transaction: "use", Environment: []string{}},
+	}
+	resp, err := client.DecideBatch(context.Background(), reqs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.CorrelationID == "" {
+		t.Fatal("batch reply has no correlation id")
+	}
+	recs := trail.Records()
+	if len(recs) != len(reqs) {
+		t.Fatalf("audit records = %d, want %d", len(recs), len(reqs))
+	}
+	for i, r := range recs {
+		if r.CorrelationID != resp.CorrelationID {
+			t.Fatalf("record %d correlation id = %q, want %q", i, r.CorrelationID, resp.CorrelationID)
+		}
+	}
+}
+
+func TestTracesEndpointLimitAndOrder(t *testing.T) {
+	_, client, _, _ := obsServer(t)
+	ctx := context.Background()
+	req := DecideRequest{Subject: "alice", Object: "tv", Transaction: "use",
+		Environment: []string{"weekday-free-time"}}
+	for i := 0; i < 4; i++ {
+		if _, err := client.Check(ctx, req); err != nil {
+			t.Fatal(err)
+		}
+	}
+	traces, err := client.Traces(ctx, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(traces) != 2 {
+		t.Fatalf("limit=2 returned %d traces", len(traces))
+	}
+	if traces[0].Seq <= traces[1].Seq {
+		t.Fatalf("traces not newest-first: seqs %d, %d", traces[0].Seq, traces[1].Seq)
+	}
+	// A malformed request is traced too, with its error status.
+	resp, err := http.Post(client.base+"/v1/decide", "application/json",
+		bytes.NewReader([]byte(`{nope`)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	traces, err = client.Traces(ctx, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(traces) != 1 || traces[0].Status != http.StatusBadRequest {
+		t.Fatalf("newest trace = %+v, want status 400", traces)
+	}
+	if traces[0].Allowed != nil {
+		t.Fatal("malformed request must not carry a decision outcome")
+	}
+}

@@ -109,19 +109,27 @@ func (s *Server) serverStats() ServerStats {
 	return st
 }
 
-// trackingWriter remembers whether the handler already wrote, so the
-// panic-recovery middleware knows if a 500 can still be sent cleanly.
+// trackingWriter remembers whether the handler already wrote — so the
+// panic-recovery middleware knows if a 500 can still be sent cleanly —
+// and which status it wrote, for the metrics and tracing middleware.
 type trackingWriter struct {
 	http.ResponseWriter
-	wrote bool
+	wrote  bool
+	status int // first status written; 0 until then
 }
 
 func (t *trackingWriter) WriteHeader(code int) {
+	if !t.wrote {
+		t.status = code
+	}
 	t.wrote = true
 	t.ResponseWriter.WriteHeader(code)
 }
 
 func (t *trackingWriter) Write(b []byte) (int, error) {
+	if !t.wrote {
+		t.status = http.StatusOK
+	}
 	t.wrote = true
 	return t.ResponseWriter.Write(b)
 }

@@ -15,6 +15,7 @@ import (
 	"github.com/aware-home/grbac/internal/audit"
 	"github.com/aware-home/grbac/internal/core"
 	"github.com/aware-home/grbac/internal/faults"
+	"github.com/aware-home/grbac/internal/obs"
 	"github.com/aware-home/grbac/internal/replica"
 )
 
@@ -39,18 +40,21 @@ type Server struct {
 	watchMaxWait time.Duration
 	limiter      *limiter
 	recovered    atomic.Uint64
+	metrics      *obs.Registry
+	tracer       *obs.Tracer
+	httpDur      *obs.HistogramVec
+	httpReqs     *obs.CounterVec
 }
 
 // ServerOption configures a Server.
 type ServerOption func(*Server)
 
 // WithAuditLogger wires decisions through an audit trail and exposes it at
-// GET /v1/audit.
+// GET /v1/audit. The decision handlers log each successful decision
+// themselves (rather than through audit.Wrap) so the record carries the
+// request's correlation ID and can be joined to the wire reply and trace.
 func WithAuditLogger(l *audit.Logger) ServerOption {
-	return func(s *Server) {
-		s.decider = audit.Wrap(s.sys, l)
-		s.trail = l
-	}
+	return func(s *Server) { s.trail = l }
 }
 
 // WithErrorLog sets the server's error logger (default: log.Default()).
@@ -64,13 +68,22 @@ func NewServer(sys *core.System, opts ...ServerOption) *Server {
 	for _, opt := range opts {
 		opt(s)
 	}
+	if s.metrics != nil {
+		s.registerMetrics()
+	}
 	mux := http.NewServeMux()
-	mux.HandleFunc("/v1/decide", s.limited(s.handleDecide))
-	mux.HandleFunc("/v1/decide/batch", s.limited(s.handleDecideBatch))
-	mux.HandleFunc("/v1/check", s.limited(s.handleCheck))
-	mux.HandleFunc("/v1/state", s.handleState)
-	mux.HandleFunc("/v1/healthz", s.handleHealthz)
-	mux.HandleFunc("/v1/statsz", s.handleStatsz)
+	mux.HandleFunc("/v1/decide", s.instrument("/v1/decide", true, s.limited(s.handleDecide)))
+	mux.HandleFunc("/v1/decide/batch", s.instrument("/v1/decide/batch", true, s.limited(s.handleDecideBatch)))
+	mux.HandleFunc("/v1/check", s.instrument("/v1/check", true, s.limited(s.handleCheck)))
+	mux.HandleFunc("/v1/state", s.instrument("/v1/state", false, s.handleState))
+	mux.HandleFunc("/v1/healthz", s.instrument("/v1/healthz", false, s.handleHealthz))
+	mux.HandleFunc("/v1/statsz", s.instrument("/v1/statsz", false, s.handleStatsz))
+	if s.metrics != nil {
+		mux.HandleFunc("/metrics", s.handleMetrics)
+	}
+	if s.tracer != nil {
+		mux.HandleFunc("/v1/traces", s.handleTraces)
+	}
 	if s.trail != nil {
 		mux.HandleFunc("/v1/audit", s.handleAudit)
 	}
@@ -126,17 +139,31 @@ func (s *Server) limited(h http.HandlerFunc) http.HandlerFunc {
 }
 
 func (s *Server) handleDecide(w http.ResponseWriter, r *http.Request) {
+	corr := s.correlate(w, r)
+	rt := traceOf(r)
+	t := time.Now()
 	req, ok := s.readDecideRequest(w, r)
+	rt.step("decode", t)
 	if !ok {
 		return
 	}
-	d, err := s.decider.Decide(req.toCore())
+	coreReq := req.toCore()
+	t = time.Now()
+	d, err := s.decider.Decide(coreReq)
+	rt.step("mediate", t)
 	if err != nil {
 		s.writeError(w, err)
 		return
 	}
+	if s.trail != nil {
+		t = time.Now()
+		s.trail.LogWith(coreReq, d, corr)
+		rt.step("audit", t)
+	}
 	resp := fromDecision(d)
 	resp.Stale = s.stale()
+	resp.CorrelationID = corr
+	rt.decision(d.Allowed, resp.Stale)
 	s.writeJSON(w, http.StatusOK, resp)
 }
 
@@ -148,8 +175,13 @@ type batchDecider interface {
 }
 
 func (s *Server) handleDecideBatch(w http.ResponseWriter, r *http.Request) {
+	corr := s.correlate(w, r)
+	rt := traceOf(r)
+	t := time.Now()
 	var req BatchDecideRequest
-	if !s.readBody(w, r, &req, http.MethodPost) {
+	ok := s.readBody(w, r, &req, http.MethodPost)
+	rt.step("decode", t)
+	if !ok {
 		return
 	}
 	if len(req.Requests) == 0 {
@@ -165,6 +197,7 @@ func (s *Server) handleDecideBatch(w http.ResponseWriter, r *http.Request) {
 	for i, dr := range req.Requests {
 		coreReqs[i] = dr.toCore()
 	}
+	t = time.Now()
 	var results []core.BatchResult
 	if bd, ok := s.decider.(batchDecider); ok {
 		results = bd.DecideBatch(coreReqs)
@@ -174,7 +207,22 @@ func (s *Server) handleDecideBatch(w http.ResponseWriter, r *http.Request) {
 			results[i].Decision, results[i].Err = s.decider.Decide(cr)
 		}
 	}
-	resp := BatchDecideResponse{Results: make([]BatchItem, len(results)), Stale: s.stale()}
+	rt.step("mediate", t)
+	if s.trail != nil {
+		t = time.Now()
+		for i, res := range results {
+			if res.Err == nil {
+				s.trail.LogWith(coreReqs[i], res.Decision, corr)
+			}
+		}
+		rt.step("audit", t)
+	}
+	resp := BatchDecideResponse{
+		Results:       make([]BatchItem, len(results)),
+		Stale:         s.stale(),
+		CorrelationID: corr,
+	}
+	rt.markStale(resp.Stale)
 	for i, res := range results {
 		if res.Err != nil {
 			resp.Results[i].Error = res.Err.Error()
@@ -187,16 +235,28 @@ func (s *Server) handleDecideBatch(w http.ResponseWriter, r *http.Request) {
 }
 
 func (s *Server) handleCheck(w http.ResponseWriter, r *http.Request) {
+	corr := s.correlate(w, r)
+	rt := traceOf(r)
+	t := time.Now()
 	req, ok := s.readDecideRequest(w, r)
+	rt.step("decode", t)
 	if !ok {
 		return
 	}
-	d, err := s.decider.Decide(req.toCore())
+	coreReq := req.toCore()
+	t = time.Now()
+	d, err := s.decider.Decide(coreReq)
+	rt.step("mediate", t)
 	if err != nil {
 		s.writeError(w, err)
 		return
 	}
-	s.writeJSON(w, http.StatusOK, CheckResponse{Allowed: d.Allowed, Stale: s.stale()})
+	if s.trail != nil {
+		s.trail.LogWith(coreReq, d, corr)
+	}
+	resp := CheckResponse{Allowed: d.Allowed, Stale: s.stale(), CorrelationID: corr}
+	rt.decision(d.Allowed, resp.Stale)
+	s.writeJSON(w, http.StatusOK, resp)
 }
 
 func (s *Server) handleState(w http.ResponseWriter, r *http.Request) {

@@ -15,6 +15,8 @@
 //	GET  /v1/statsz           — decision-cache + replication statistics
 //	GET  /v1/replica/snapshot — generation-stamped policy export (WithReplicaSource)
 //	GET  /v1/replica/watch    — long-poll on the policy generation (WithReplicaSource)
+//	GET  /metrics             — Prometheus text exposition (WithMetrics)
+//	GET  /v1/traces           — recent decision traces, newest first (WithTracer)
 //
 // A server built WithFollower serves decisions from a policy replicated
 // off a primary (see internal/replica) and answers mutation endpoints
@@ -67,6 +69,10 @@ type DecideResponse struct {
 	Reason      string  `json:"reason"`
 	Matches     []Match `json:"matches,omitempty"`
 	Stale       bool    `json:"stale,omitempty"`
+	// CorrelationID echoes the request's X-Correlation-ID (server-generated
+	// when the caller sent none): the join key across this reply, the audit
+	// record, and the decision trace.
+	CorrelationID string `json:"correlation_id,omitempty"`
 }
 
 // CheckResponse is the reply to /v1/check. Stale marks decisions from a
@@ -74,6 +80,8 @@ type DecideResponse struct {
 type CheckResponse struct {
 	Allowed bool `json:"allowed"`
 	Stale   bool `json:"stale,omitempty"`
+	// CorrelationID is the request's correlation join key (see DecideResponse).
+	CorrelationID string `json:"correlation_id,omitempty"`
 }
 
 // BatchDecideRequest carries the requests for POST /v1/decide/batch.
@@ -96,6 +104,9 @@ type BatchItem struct {
 type BatchDecideResponse struct {
 	Results []BatchItem `json:"results"`
 	Stale   bool        `json:"stale,omitempty"`
+	// CorrelationID is the batch's correlation join key; every item's audit
+	// record carries the same value (see DecideResponse).
+	CorrelationID string `json:"correlation_id,omitempty"`
 }
 
 // ErrorResponse is the body of every non-2xx reply.

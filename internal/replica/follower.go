@@ -45,6 +45,9 @@ type Stats struct {
 	Syncs uint64 `json:"syncs"`
 	// Errors counts failed fetch/watch/apply attempts.
 	Errors uint64 `json:"errors"`
+	// WatchReconnects counts watch streams that broke and forced the
+	// follower back through backoff and a fresh snapshot.
+	WatchReconnects uint64 `json:"watch_reconnects"`
 	// LastSyncAgeSeconds is the age of the last applied snapshot.
 	LastSyncAgeSeconds float64 `json:"last_sync_age_seconds"`
 	// LastContactAgeSeconds is the age of the last successful exchange
@@ -83,6 +86,7 @@ type Follower struct {
 	lastContact time.Time
 	syncs       uint64
 	errs        uint64
+	reconnects  uint64
 }
 
 // FollowerOption configures a Follower.
@@ -96,7 +100,11 @@ func WithMaxStaleness(d time.Duration) FollowerOption {
 }
 
 // WithBackoff bounds the exponential retry backoff after transport errors
-// (defaults 100ms..5s). Jitter of ±half the current delay is always applied.
+// (defaults 100ms..5s). Jitter of ±half the current delay is always
+// applied. Non-positive bounds are clamped at construction time — min <= 0
+// falls back to the default and max is raised to at least min — so a
+// misconfigured follower degrades to sane pacing instead of spinning a
+// zero-delay retry loop against a struggling primary.
 func WithBackoff(min, max time.Duration) FollowerOption {
 	return func(f *Follower) { f.backoffMin, f.backoffMax = min, max }
 }
@@ -145,6 +153,21 @@ func NewFollower(sys *core.System, primaryURL string, opts ...FollowerOption) *F
 	}
 	for _, opt := range opts {
 		opt(f)
+	}
+	// Clamp tuning that would otherwise produce a hot retry loop (zero or
+	// negative backoff feeds jitter's rand.Int63n nothing sane) or
+	// immediately-expiring request contexts.
+	if f.backoffMin <= 0 {
+		f.backoffMin = defaultBackoffMin
+	}
+	if f.backoffMax < f.backoffMin {
+		f.backoffMax = f.backoffMin
+	}
+	if f.fetchTimeout <= 0 {
+		f.fetchTimeout = defaultFetchTimeout
+	}
+	if f.watchTimeout <= 0 {
+		f.watchTimeout = defaultWatchTimeout
 	}
 	if f.fetch == nil {
 		cl := NewClient(primaryURL, nil)
@@ -197,6 +220,9 @@ func (f *Follower) Run(ctx context.Context) error {
 				return ctx.Err()
 			}
 			f.noteError()
+			f.mu.Lock()
+			f.reconnects++
+			f.mu.Unlock()
 			f.logger.Printf("replica: watch on %s failed (re-syncing in ~%v): %v",
 				f.primaryURL, backoff, err)
 			if !sleepCtx(ctx, jitter(backoff)) {
@@ -302,6 +328,7 @@ func (f *Follower) Stats() Stats {
 		Lag:                   f.primaryGen - f.appliedGen,
 		Syncs:                 f.syncs,
 		Errors:                f.errs,
+		WatchReconnects:       f.reconnects,
 		LastSyncAgeSeconds:    -1,
 		LastContactAgeSeconds: -1,
 		MaxStalenessSeconds:   f.maxStaleness.Seconds(),
@@ -319,7 +346,9 @@ func (f *Follower) Stats() Stats {
 }
 
 // jitter spreads d to [d/2, 3d/2) so a fleet of followers does not
-// hammer a recovering primary in lockstep.
+// hammer a recovering primary in lockstep. Non-positive d (impossible
+// after NewFollower's clamps, but cheap to guard) passes through
+// untouched rather than reaching rand.Int63n, which panics on n <= 0.
 func jitter(d time.Duration) time.Duration {
 	if d <= 0 {
 		return d

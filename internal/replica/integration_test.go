@@ -95,14 +95,22 @@ func waitFor(t testing.TB, what string, cond func() bool) {
 }
 
 // rawDecide posts a decision request and returns the reply verbatim, so
-// primary and follower answers can be compared byte for byte.
+// primary and follower answers can be compared byte for byte. The
+// correlation ID is pinned (servers echo a caller-supplied one) so the
+// replies stay comparable across nodes.
 func rawDecide(t *testing.T, baseURL string, req pdp.DecideRequest) (int, []byte) {
 	t.Helper()
 	body, err := json.Marshal(req)
 	if err != nil {
 		t.Fatal(err)
 	}
-	resp, err := http.Post(baseURL+"/v1/decide", "application/json", bytes.NewReader(body))
+	hreq, err := http.NewRequest(http.MethodPost, baseURL+"/v1/decide", bytes.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	hreq.Header.Set("Content-Type", "application/json")
+	hreq.Header.Set(pdp.CorrelationHeader, "differential")
+	resp, err := http.DefaultClient.Do(hreq)
 	if err != nil {
 		t.Fatalf("POST /v1/decide: %v", err)
 	}

@@ -1,0 +1,35 @@
+package replica
+
+import "github.com/aware-home/grbac/internal/obs"
+
+// RegisterMetrics exports replication health on a metrics registry as
+// scrape-time collectors over Stats(), so the sync loop itself carries no
+// instrumentation.
+func (f *Follower) RegisterMetrics(reg *obs.Registry) {
+	if f == nil || reg == nil {
+		return
+	}
+	reg.NewGaugeFunc("grbac_replica_lag_generations",
+		"Policy mutations observed at the primary but not yet applied locally.",
+		func() float64 { return float64(f.Stats().Lag) })
+	reg.NewGaugeFunc("grbac_replica_last_contact_age_seconds",
+		"Seconds since the last successful exchange with the primary (-1 before first contact).",
+		func() float64 { return f.Stats().LastContactAgeSeconds })
+	reg.NewGaugeFunc("grbac_replica_stale",
+		"1 while the follower is past its staleness bound, else 0.",
+		func() float64 {
+			if f.Stale() {
+				return 1
+			}
+			return 0
+		})
+	reg.NewCounterFunc("grbac_replica_syncs_total",
+		"Snapshots successfully applied.",
+		func() float64 { return float64(f.Stats().Syncs) })
+	reg.NewCounterFunc("grbac_replica_errors_total",
+		"Failed fetch/watch/apply attempts.",
+		func() float64 { return float64(f.Stats().Errors) })
+	reg.NewCounterFunc("grbac_replica_watch_reconnects_total",
+		"Watch streams that broke and forced backoff plus a fresh snapshot.",
+		func() float64 { return float64(f.Stats().WatchReconnects) })
+}

@@ -299,3 +299,66 @@ func TestFollowerStaleness(t *testing.T) {
 		t.Fatal("staleness disabled but Stale() true")
 	}
 }
+
+// TestFollowerOptionClamps proves degenerate tuning cannot produce a
+// hot retry loop or panic the jitter: zero and negative backoff bounds
+// fall back to defaults, an inverted max is raised to min, and
+// non-positive timeouts revert to defaults.
+func TestFollowerOptionClamps(t *testing.T) {
+	f := NewFollower(core.NewSystem(), "",
+		WithFetcher(&localFetcher{}),
+		WithBackoff(0, -time.Second),
+		WithFetchTimeout(-1),
+		WithWatchTimeout(0))
+	if f.backoffMin != defaultBackoffMin {
+		t.Fatalf("backoffMin = %v, want default %v", f.backoffMin, defaultBackoffMin)
+	}
+	if f.backoffMax != defaultBackoffMin {
+		t.Fatalf("backoffMax = %v, want raised to min %v", f.backoffMax, defaultBackoffMin)
+	}
+	if f.fetchTimeout != defaultFetchTimeout || f.watchTimeout != defaultWatchTimeout {
+		t.Fatalf("timeouts = %v/%v, want defaults", f.fetchTimeout, f.watchTimeout)
+	}
+	// Inverted but positive bounds: max raised to min, min kept.
+	f2 := NewFollower(core.NewSystem(), "",
+		WithFetcher(&localFetcher{}),
+		WithBackoff(2*time.Second, time.Second))
+	if f2.backoffMin != 2*time.Second || f2.backoffMax != 2*time.Second {
+		t.Fatalf("inverted bounds clamped to %v/%v, want 2s/2s", f2.backoffMin, f2.backoffMax)
+	}
+	// jitter's own guard: non-positive inputs pass through.
+	if got := jitter(-time.Second); got != -time.Second {
+		t.Fatalf("jitter(-1s) = %v", got)
+	}
+	if got := jitter(0); got != 0 {
+		t.Fatalf("jitter(0) = %v", got)
+	}
+}
+
+// TestFollowerCountsWatchReconnects breaks the watch stream and checks the
+// reconnect counter moves.
+func TestFollowerCountsWatchReconnects(t *testing.T) {
+	primary := primarySystem(t)
+	fetch := &localFetcher{}
+	fetch.setSource(NewSource(primary))
+
+	f := NewFollower(core.NewSystem(), "", WithFetcher(fetch),
+		WithBackoff(time.Millisecond, 5*time.Millisecond))
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	go func() { _ = f.Run(ctx) }()
+
+	waitFor(t, "initial sync", func() bool { return f.Stats().Syncs > 0 })
+	// Fail the transport: the in-flight watch returns an error, Run counts
+	// a reconnect and backs off.
+	fetch.setFail(errors.New("transport down"))
+	waitFor(t, "watch reconnect counted", func() bool {
+		return f.Stats().WatchReconnects > 0
+	})
+	// Heal and confirm the loop recovers.
+	fetch.setFail(nil)
+	waitFor(t, "recovery after reconnect", func() bool {
+		st := f.Stats()
+		return st.AppliedGeneration == primary.Generation() && !st.Stale
+	})
+}

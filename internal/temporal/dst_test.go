@@ -1,0 +1,194 @@
+package temporal
+
+import (
+	"testing"
+	"time"
+)
+
+// DST regression tests, pinned to America/New_York:
+//   - spring forward 2026-03-08: wall clocks jump 02:00 EST -> 03:00 EDT
+//     (the 02:00..02:59 wall hour does not exist that day)
+//   - fall back 2026-11-01: wall clocks repeat 01:00..01:59 (first in EDT,
+//     then again in EST)
+//
+// DailyWindow membership is defined on wall clocks, so the invariants are:
+// a window loses the skipped hour, gains the repeated hour, and
+// NextTransition reports the actual instants membership flips at —
+// in absolute time, never at nonexistent wall times.
+
+func nyc(t *testing.T) *time.Location {
+	t.Helper()
+	loc, err := time.LoadLocation("America/New_York")
+	if err != nil {
+		t.Skipf("tzdata unavailable: %v", err)
+	}
+	return loc
+}
+
+func TestSpringForwardSkipsWindowHours(t *testing.T) {
+	loc := nyc(t)
+	// Sanity: the gap really is where we think it is.
+	if got := time.Date(2026, 3, 8, 2, 30, 0, 0, loc); got.Hour() == 2 {
+		t.Fatalf("expected 02:30 to be nonexistent on 2026-03-08 in %v, got %v", loc, got)
+	}
+
+	w, err := NewDailyWindow("02:00", "03:00")
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The whole window falls inside the gap: no instant that day has a
+	// wall clock in [02:00, 03:00).
+	day := time.Date(2026, 3, 8, 0, 0, 0, 0, loc)
+	if n := CoverageInWindow(w, day, day.AddDate(0, 0, 1), time.Minute); n != 0 {
+		t.Fatalf("window inside the DST gap covered %d minutes, want 0", n)
+	}
+	// The day before, it covers the full hour.
+	prev := time.Date(2026, 3, 7, 0, 0, 0, 0, loc)
+	if n := CoverageInWindow(w, prev, prev.AddDate(0, 0, 1), time.Minute); n != 60 {
+		t.Fatalf("window on a normal day covered %d minutes, want 60", n)
+	}
+
+	// A window straddling the gap loses exactly the skipped hour. Note the
+	// day is only 23 absolute hours long.
+	straddle, err := NewDailyWindow("01:30", "03:30")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n := CoverageInWindow(straddle, day, day.AddDate(0, 0, 1), time.Minute); n != 60 {
+		t.Fatalf("straddling window covered %d minutes on the 23h day, want 60 (120 minus the skipped hour)", n)
+	}
+}
+
+func TestSpringForwardNextTransition(t *testing.T) {
+	loc := nyc(t)
+	w, err := NewDailyWindow("01:00", "02:30")
+	if err != nil {
+		t.Fatal(err)
+	}
+	// At 01:30 EST we are inside the window. The window's nominal end,
+	// 02:30, does not exist that day: membership actually ends at the
+	// first instant past the gap, 03:00 EDT.
+	from := time.Date(2026, 3, 8, 1, 30, 0, 0, loc)
+	if !w.Contains(from) {
+		t.Fatal("01:30 EST must be inside 01:00-02:30")
+	}
+	at, ok := NextTransition(w, from, 6*time.Hour)
+	if !ok {
+		t.Fatal("no transition found")
+	}
+	want := time.Date(2026, 3, 8, 3, 0, 0, 0, loc)
+	if !at.Equal(want) {
+		t.Fatalf("transition at %v, want %v (first instant after the gap)", at, want)
+	}
+	if at.Hour() == 2 {
+		t.Fatalf("transition reported at nonexistent wall hour: %v", at)
+	}
+
+	// A window that starts inside the gap also activates at 03:00 EDT.
+	w2, err := NewDailyWindow("02:15", "05:00")
+	if err != nil {
+		t.Fatal(err)
+	}
+	from2 := time.Date(2026, 3, 8, 1, 0, 0, 0, loc)
+	at2, ok := NextTransition(w2, from2, 6*time.Hour)
+	if !ok || !at2.Equal(want) {
+		t.Fatalf("gap-start window transition = %v, %v; want %v", at2, ok, want)
+	}
+}
+
+func TestFallBackRepeatsWindowHours(t *testing.T) {
+	loc := nyc(t)
+	w, err := NewDailyWindow("01:00", "02:00")
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The 01:xx wall hour happens twice on 2026-11-01 (EDT then EST), so
+	// the one-hour window covers 120 absolute minutes.
+	day := time.Date(2026, 11, 1, 0, 0, 0, 0, loc)
+	if n := CoverageInWindow(w, day, day.AddDate(0, 0, 1), time.Minute); n != 120 {
+		t.Fatalf("window over the repeated hour covered %d minutes, want 120", n)
+	}
+	// Both passes are contained.
+	firstPass := time.Date(2026, 11, 1, 0, 30, 0, 0, loc).Add(time.Hour)      // 01:30 EDT
+	secondPass := time.Date(2026, 11, 1, 0, 30, 0, 0, loc).Add(2 * time.Hour) // 01:30 EST
+	if firstPass.Hour() != 1 || secondPass.Hour() != 1 {
+		t.Fatalf("fixture wrong: passes at %v and %v", firstPass, secondPass)
+	}
+	if !w.Contains(firstPass) || !w.Contains(secondPass) {
+		t.Fatal("both passes through 01:30 must be inside the window")
+	}
+}
+
+func TestFallBackNextTransition(t *testing.T) {
+	loc := nyc(t)
+	w, err := NewDailyWindow("01:00", "02:00")
+	if err != nil {
+		t.Fatal(err)
+	}
+	// From 01:30 EDT the window stays satisfied straight through the
+	// repeated hour: 30 first-pass minutes remain, then wall clocks fall
+	// back into 01:00 EST and the window runs a second full hour, so the
+	// exit at 02:00 EST comes 1h30m later — not the naive 30 minutes.
+	from := time.Date(2026, 11, 1, 0, 30, 0, 0, loc).Add(time.Hour) // 01:30 EDT
+	at, ok := NextTransition(w, from, 6*time.Hour)
+	if !ok {
+		t.Fatal("no transition found")
+	}
+	if got := at.Sub(from); got != 90*time.Minute {
+		t.Fatalf("exit after %v, want 1h30m (through the repeated hour)", got)
+	}
+	if at.Hour() != 2 || at.Minute() != 0 {
+		t.Fatalf("exit at wall %02d:%02d, want 02:00", at.Hour(), at.Minute())
+	}
+}
+
+func TestWeekdayAcrossDSTDays(t *testing.T) {
+	loc := nyc(t)
+	sundays := Weekdays(time.Sunday)
+	// Both DST-change days in 2026 are Sundays; membership must hold for
+	// every instant of each, whatever the day's absolute length.
+	for _, day := range []time.Time{
+		time.Date(2026, 3, 8, 0, 0, 0, 0, loc),
+		time.Date(2026, 11, 1, 0, 0, 0, 0, loc),
+	} {
+		next := day.AddDate(0, 0, 1)
+		mins := int(next.Sub(day) / time.Minute)
+		if n := CoverageInWindow(sundays, day, next, time.Minute); n != mins {
+			t.Fatalf("weekday covered %d of %d minutes on %v", n, mins, day)
+		}
+	}
+}
+
+// TestMidnightAsWindowStart pins the "24:00" normalization: parseClock
+// accepts 24:00 (minute 1440), but no instant has that minute-of-day, so
+// an unnormalized Start of 1440 made the window unmatchable — and made
+// "24:00-00:00" disagree with the equivalent "00:00-00:00" full-day form.
+func TestMidnightAsWindowStart(t *testing.T) {
+	loc := nyc(t)
+	at := time.Date(2026, 6, 1, 3, 0, 0, 0, loc)
+
+	w, err := NewDailyWindow("24:00", "06:00")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if w.Start != 0 {
+		t.Fatalf("Start = %d, want normalized to 0", w.Start)
+	}
+	if !w.Contains(at) {
+		t.Fatal("03:00 must be inside 24:00-06:00 (i.e. 00:00-06:00)")
+	}
+
+	fullDay, err := NewDailyWindow("24:00", "00:00")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !fullDay.Contains(at) {
+		t.Fatal("24:00-00:00 must behave like 00:00-00:00 (full day)")
+	}
+
+	// Direct construction without the constructor is folded defensively.
+	raw := DailyWindow{Start: 1440, End: 360}
+	if !raw.Contains(at) {
+		t.Fatal("directly constructed Start 1440 must fold to midnight")
+	}
+}

@@ -19,7 +19,10 @@ type DailyWindow struct {
 
 var _ Period = DailyWindow{}
 
-// NewDailyWindow builds a window from "HH:MM" strings.
+// NewDailyWindow builds a window from "HH:MM" strings. "24:00" is
+// accepted as a synonym for midnight: as an End it means "until the end
+// of the day"; as a Start it is normalized to 00:00, since minute-of-day
+// values are 0..1439 and a start of 1440 could otherwise never match.
 func NewDailyWindow(start, end string) (DailyWindow, error) {
 	s, err := parseClock(start)
 	if err != nil {
@@ -29,13 +32,25 @@ func NewDailyWindow(start, end string) (DailyWindow, error) {
 	if err != nil {
 		return DailyWindow{}, err
 	}
+	if s == 1440 {
+		s = 0
+	}
 	return DailyWindow{Start: s, End: e}, nil
 }
 
-// Contains reports whether t's time of day falls in the window.
+// Contains reports whether t's time of day falls in the window. Membership
+// is wall-clock: across a DST change the window covers whatever instants
+// actually display its clock range, so a spring-forward gap shortens (or
+// skips) it and a fall-back repeat covers both passes.
 func (w DailyWindow) Contains(t time.Time) bool {
 	m := minuteOfDay(t)
 	start, end := w.Start, w.End
+	// A directly constructed Start of 1440 ("24:00") is midnight; fold it
+	// so the wrap logic below cannot be asked for minute 1440, which no
+	// instant has.
+	if start >= 1440 {
+		start -= 1440
+	}
 	if start == end {
 		return true
 	}

@@ -17,7 +17,11 @@
 #   7. a disabled fault-injection hook (faults.Inject with no active plan)
 #      must allocate nothing and cost at most BENCHGUARD_MAX_FAULT_NS
 #      (default 100ns) — the hooks are compiled into the hot paths that
-#      guards 1-6 measure, so they must stay free when idle.
+#      guards 1-6 measure, so they must stay free when idle;
+#   8. the disabled observability hooks (nil obs.Counter/Histogram/Tracer)
+#      must allocate nothing and cost at most BENCHGUARD_MAX_OBS_NS
+#      (default 100ns) combined, the same idle-freedom discipline for the
+#      metrics layer.
 set -eu
 
 cd "$(dirname "$0")/.."
@@ -160,6 +164,35 @@ if [ "$fault_allocs" -ne 0 ]; then
 fi
 if ! awk -v ns="$fault_ns" -v max="$fault_ns_budget" 'BEGIN { exit !(ns <= max) }'; then
 	echo "benchguard: FAIL: disabled fault hook costs ${fault_ns}ns/op (budget ${fault_ns_budget}ns)" >&2
+	exit 1
+fi
+
+# Guard 8: the disabled observability hooks. One op is a nil-counter Inc,
+# a nil-histogram ObserveSince, and a nil-tracer Record back to back — the
+# three hooks an instrumented-but-disabled hot path pays per decision.
+obs_ns_budget=${BENCHGUARD_MAX_OBS_NS:-100}
+oout=$(go test -run '^$' -bench 'DisabledObsHook' -benchtime 1000000x -benchmem \
+	./internal/obs)
+echo "$oout"
+
+ofield_of() {
+	echo "$oout" | awk -v pat="$1" -v f="$2" '$1 ~ pat { print $f; exit }'
+}
+
+obs_ns=$(ofield_of '^BenchmarkDisabledObsHook(-[0-9]+)?$' 3)
+obs_allocs=$(ofield_of '^BenchmarkDisabledObsHook(-[0-9]+)?$' 7)
+if [ -z "$obs_ns" ] || [ -z "$obs_allocs" ]; then
+	echo "benchguard: missing DisabledObsHook results" >&2
+	exit 1
+fi
+
+echo "benchguard: disabled obs hooks=${obs_ns}ns/op, $obs_allocs allocs/op, budget=${obs_ns_budget}ns"
+if [ "$obs_allocs" -ne 0 ]; then
+	echo "benchguard: FAIL: disabled obs hooks allocate ($obs_allocs allocs/op, want 0)" >&2
+	exit 1
+fi
+if ! awk -v ns="$obs_ns" -v max="$obs_ns_budget" 'BEGIN { exit !(ns <= max) }'; then
+	echo "benchguard: FAIL: disabled obs hooks cost ${obs_ns}ns/op (budget ${obs_ns_budget}ns)" >&2
 	exit 1
 fi
 echo "benchguard: OK"

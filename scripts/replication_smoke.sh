@@ -69,4 +69,31 @@ wait_until "follower convergence" converged
 
 echo "replication_smoke: follower state after convergence:"
 "$workdir/grbacctl" -server "$follower" replication
+
+# Observability smoke: a decision against each node, then assert the
+# /metrics expositions carry the decide histogram, the cache counters,
+# and (on the follower) replication lag.
+curl -sf -X POST "$primary/v1/check" -H 'Content-Type: application/json' \
+	-d '{"subject":"alice","object":"tv","transaction":"use","environment":["weekday-free-time"]}' \
+	>/dev/null
+curl -sf -X POST "$follower/v1/check" -H 'Content-Type: application/json' \
+	-d '{"subject":"alice","object":"tv","transaction":"use","environment":["weekday-free-time"]}' \
+	>/dev/null
+
+metrics_have() {
+	url=$1
+	family=$2
+	curl -sf "$url/metrics" | grep -q "^$family" || {
+		echo "replication_smoke: FAIL: $url/metrics missing $family" >&2
+		exit 1
+	}
+}
+metrics_have "$primary" 'grbac_http_request_duration_seconds_bucket{route="/v1/check"'
+metrics_have "$primary" grbac_decision_cache_hits_total
+metrics_have "$primary" grbac_decision_cache_misses_total
+metrics_have "$primary" grbac_policy_snapshot_compiles_total
+metrics_have "$follower" grbac_replica_lag_generations
+metrics_have "$follower" grbac_replica_syncs_total
+echo "replication_smoke: metrics exposition OK"
+"$workdir/grbacctl" -server "$follower" top
 echo "replication_smoke: OK"
