@@ -1,6 +1,6 @@
 # Standard developer entry points; everything is plain `go` underneath.
 
-.PHONY: all build vet test race bench benchguard replication-smoke chaos-smoke fuzz cover experiments fmt
+.PHONY: all build vet test race bench benchguard replication-smoke chaos-smoke crash-smoke fuzz cover experiments fmt
 
 all: build vet test
 
@@ -35,11 +35,18 @@ replication-smoke:
 chaos-smoke:
 	./scripts/chaos_smoke.sh
 
+# End-to-end durability drill: boots grbacd with a data directory, kills
+# it -9 mid-mutation-flood, restarts it, and asserts the epoch survived,
+# no acked mutation was lost, and the recovered policy still decides.
+crash-smoke:
+	./scripts/crash_recovery_smoke.sh
+
 # Run every native fuzz target for a short budget each.
 fuzz:
 	go test -run '^$$' -fuzz FuzzDecide -fuzztime 10s ./internal/core
 	go test -run '^$$' -fuzz FuzzParse -fuzztime 10s ./internal/temporal
 	go test -run '^$$' -fuzz FuzzParse -fuzztime 10s ./internal/policy
+	go test -run '^$$' -fuzz FuzzWALReplay -fuzztime 10s ./internal/store
 
 cover:
 	go test -cover ./...

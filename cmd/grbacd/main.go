@@ -20,6 +20,14 @@
 //
 // Past -max-staleness without primary contact the follower keeps serving
 // (decisions marked "stale": true) while /v1/healthz degrades to 503.
+//
+// With -data-dir the primary's policy is durable: every mutation is
+// written to a write-ahead log before it is acknowledged, periodic
+// checkpoint snapshots bound replay time, and a restart recovers the
+// exact pre-crash policy, generation, and replication epoch — so
+// followers catch up through a delta fetch instead of a full resync:
+//
+//	grbacd -addr :8125 -admin -data-dir /var/lib/grbacd &
 package main
 
 import (
@@ -53,6 +61,8 @@ func main() {
 	snapshotPath := flag.String("snapshot", "", "JSON policy snapshot file")
 	threshold := flag.Float64("min-confidence", 0, "system-wide authentication threshold override (0 = keep policy value)")
 	admin := flag.Bool("admin", false, "enable the policy administration and session endpoints")
+	dataDir := flag.String("data-dir", "", "durable policy store directory (WAL + checkpoints): mutations survive restarts and followers resume via delta sync")
+	walCheckpointEvery := flag.Int("wal-checkpoint-every", store.DefaultCheckpointEvery, "WAL records between checkpoint snapshots in -data-dir")
 	follow := flag.String("follow", "", "primary PDP base URL to replicate from (follower mode: read-only, policy comes from the primary)")
 	maxStaleness := flag.Duration("max-staleness", 30*time.Second, "follower mode: degrade health and mark decisions stale after this long without primary contact (0 disables)")
 	shutdownGrace := flag.Duration("shutdown-grace", 10*time.Second, "how long to let in-flight requests drain on SIGINT/SIGTERM")
@@ -78,6 +88,7 @@ func main() {
 	defer stop()
 
 	var sys *core.System
+	var dur *store.Durable
 	var serverOpts []pdp.ServerOption
 	trail := audit.NewLogger()
 	serverOpts = append(serverOpts, pdp.WithAuditLogger(trail))
@@ -92,8 +103,8 @@ func main() {
 	}
 
 	if *follow != "" {
-		if *policyPath != "" || *snapshotPath != "" || *admin {
-			log.Fatal("-follow is exclusive with -policy, -snapshot, and -admin: a follower's policy comes from its primary")
+		if *policyPath != "" || *snapshotPath != "" || *admin || *dataDir != "" {
+			log.Fatal("-follow is exclusive with -policy, -snapshot, -admin, and -data-dir: a follower's policy comes from its primary")
 		}
 		sys = core.NewSystem()
 		follower := replica.NewFollower(sys, *follow,
@@ -109,6 +120,31 @@ func main() {
 		sys, engine, err = loadSystem(*policyPath, *snapshotPath)
 		if err != nil {
 			log.Fatal(err)
+		}
+		if *dataDir != "" {
+			// The loaded policy only seeds an empty data dir; once the
+			// store holds state, the recovered policy wins and -policy /
+			// -snapshot are ignored for content (still fine as defaults).
+			seedState, _ := sys.Snapshot()
+			dur, err = store.Open(*dataDir,
+				store.WithCheckpointEvery(*walCheckpointEvery),
+				store.WithSeedState(&seedState))
+			if err != nil {
+				log.Fatal(err)
+			}
+			sys = dur.System()
+			if engine != nil {
+				// Re-attach the environment engine to the recovered system:
+				// environment definitions are live Go values the snapshot
+				// cannot carry.
+				sys.SetEnvironmentSource(engine)
+			}
+			st := dur.Stats()
+			log.Printf("durable store %s: epoch %s generation %d (replayed %d WAL records on top of checkpoint gen %d)",
+				*dataDir, st.Epoch, st.Generation, st.Replay.Records, st.CheckpointGeneration)
+			if reg != nil {
+				dur.RegisterMetrics(reg)
+			}
 		}
 		if engine != nil && reg != nil {
 			// Wire the event bus so environment role transitions are
@@ -130,8 +166,17 @@ func main() {
 		}
 	}
 	// Every node exposes the feed, so followers can chain off followers
-	// and any node can be promoted to primary.
-	serverOpts = append(serverOpts, pdp.WithReplicaSource(replica.NewSource(sys)))
+	// and any node can be promoted to primary. A durable primary pins the
+	// feed epoch to the store's persisted one and serves delta catch-up
+	// from its WAL tail, so followers survive its restarts cheaply.
+	var srcOpts []replica.SourceOption
+	if dur != nil {
+		srcOpts = append(srcOpts,
+			replica.WithSourceEpoch(dur.Epoch()),
+			replica.WithDeltaProvider(dur))
+		serverOpts = append(serverOpts, pdp.WithDurableStore(dur))
+	}
+	serverOpts = append(serverOpts, pdp.WithReplicaSource(replica.NewSource(sys, srcOpts...)))
 	if *maxInflight > 0 {
 		serverOpts = append(serverOpts, pdp.WithMaxInflight(*maxInflight, *inflightWait))
 		log.Printf("admission control: %d in flight, %v wait", *maxInflight, *inflightWait)
@@ -185,6 +230,12 @@ func main() {
 		}
 		if err := <-errCh; err != nil && !errors.Is(err, http.ErrServerClosed) {
 			log.Printf("serve: %v", err)
+		}
+		if dur != nil {
+			// Final checkpoint: the next boot replays nothing.
+			if err := dur.Close(); err != nil {
+				log.Printf("store close: %v", err)
+			}
 		}
 		log.Print("bye")
 	}

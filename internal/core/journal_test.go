@@ -1,0 +1,216 @@
+package core
+
+import (
+	"encoding/json"
+	"errors"
+	"reflect"
+	"testing"
+)
+
+// recordingJournal captures every journal callback in order.
+type recordingJournal struct {
+	records  []Mutation
+	observed []uint64
+	failWith error
+}
+
+func (j *recordingJournal) Record(m Mutation, export func() State) error {
+	if j.failWith != nil {
+		return j.failWith
+	}
+	// Exercise the export closure the way the durable store does on
+	// checkpoints: it must be callable under the write lock.
+	_ = export()
+	j.records = append(j.records, m)
+	return nil
+}
+
+func (j *recordingJournal) ObserveGeneration(gen uint64) {
+	j.observed = append(j.observed, gen)
+}
+
+// gens flattens records + observations into one generation sequence.
+func (j *recordingJournal) gens() []uint64 {
+	out := make([]uint64, 0, len(j.records)+len(j.observed))
+	for _, m := range j.records {
+		out = append(out, m.Gen)
+	}
+	out = append(out, j.observed...)
+	return out
+}
+
+// TestJournalCoversEveryGeneration pins the core journaling contract:
+// every generation bump reaches exactly one of Record/ObserveGeneration,
+// so the union of the two streams is the contiguous generation sequence.
+// A mutator that bumps without reporting (or reports twice) breaks the
+// durable store's delta feed; this test is the tripwire.
+func TestJournalCoversEveryGeneration(t *testing.T) {
+	sys := NewSystem()
+	j := &recordingJournal{}
+	sys.SetJournal(j)
+	startGen := sys.Generation()
+
+	must := func(err error) {
+		t.Helper()
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	// One of everything: every mutator in the public API.
+	must(sys.AddRole(Role{ID: "parent-role", Kind: SubjectRole}))
+	must(sys.AddRole(Role{ID: "child-role", Kind: SubjectRole}))
+	must(sys.AddRole(Role{ID: "spare-role", Kind: SubjectRole}))
+	must(sys.AddRole(Role{ID: "devices", Kind: ObjectRole}))
+	must(sys.AddRole(Role{ID: "daytime", Kind: EnvironmentRole}))
+	must(sys.AddRoleParent(SubjectRole, "child-role", "parent-role"))
+	must(sys.AddSubject("alice"))
+	must(sys.AddObject("tv"))
+	must(sys.AddTransaction(Transaction{ID: "use", Steps: []Access{{Action: "power-on"}}}))
+	must(sys.AssignSubjectRole("alice", "child-role"))
+	must(sys.AssignObjectRole("tv", "devices"))
+	must(sys.Grant(Permission{Subject: "child-role", Transaction: "use", Object: "devices", Environment: "daytime", Effect: Permit}))
+	must(sys.AddSoDConstraint(SoDConstraint{Name: "no-both", Kind: DynamicSoD, Roles: []RoleID{"parent-role", "spare-role"}}))
+	must(sys.SetMinConfidence(0.5))
+	sys.SetConflictStrategy(PermitOverrides{})
+	sys.SetEnvironmentSource(nil)
+
+	// Ephemeral session churn interleaved with durable mutations.
+	sid, err := sys.CreateSession("alice")
+	must(err)
+	must(sys.ActivateRole(sid, "child-role"))
+	must(sys.DeactivateRole(sid, "child-role"))
+	must(sys.CloseSession(sid))
+
+	// The removal half of the API.
+	must(sys.RemoveSoDConstraint("no-both"))
+	must(sys.Revoke(Permission{Subject: "child-role", Transaction: "use", Object: "devices", Environment: "daytime", Effect: Permit}))
+	must(sys.RevokeObjectRole("tv", "devices"))
+	must(sys.RevokeSubjectRole("alice", "child-role"))
+	must(sys.RemoveRoleParent(SubjectRole, "child-role", "parent-role"))
+	must(sys.RemoveRole(SubjectRole, "spare-role"))
+	must(sys.RemoveObject("tv"))
+	must(sys.RemoveSubject("alice"))
+
+	// Wholesale swap.
+	must(sys.Replace(State{MinConfidence: 0.25}))
+
+	endGen := sys.Generation()
+	seen := make(map[uint64]bool)
+	for _, g := range j.gens() {
+		if g <= startGen || g > endGen {
+			t.Fatalf("journal saw generation %d outside (%d, %d]", g, startGen, endGen)
+		}
+		if seen[g] {
+			t.Fatalf("generation %d reported twice", g)
+		}
+		seen[g] = true
+	}
+	for g := startGen + 1; g <= endGen; g++ {
+		if !seen[g] {
+			t.Fatalf("generation %d bumped but never reported to the journal", g)
+		}
+	}
+
+	// AdvanceGeneration jumps are observed, not recorded.
+	preObserved := len(j.observed)
+	sys.AdvanceGeneration(endGen + 10)
+	if sys.Generation() != endGen+10 {
+		t.Fatalf("AdvanceGeneration: generation = %d, want %d", sys.Generation(), endGen+10)
+	}
+	if len(j.observed) != preObserved+1 || j.observed[len(j.observed)-1] != endGen+10 {
+		t.Fatal("AdvanceGeneration not observed by the journal")
+	}
+	sys.AdvanceGeneration(5) // backwards: no-op
+	if sys.Generation() != endGen+10 {
+		t.Fatal("AdvanceGeneration moved the generation backwards")
+	}
+}
+
+// TestJournalReplayRoundTrip replays the recorded mutation stream through
+// Apply on a fresh system and requires the exported states to agree — the
+// property WAL recovery and delta sync both stand on.
+func TestJournalReplayRoundTrip(t *testing.T) {
+	sys := NewSystem()
+	j := &recordingJournal{}
+	sys.SetJournal(j)
+
+	ops := []error{
+		sys.AddRole(Role{ID: "adult", Kind: SubjectRole}),
+		sys.AddRole(Role{ID: "guest", Kind: SubjectRole}),
+		sys.AddRole(Role{ID: "media", Kind: ObjectRole}),
+		sys.AddRole(Role{ID: "evening", Kind: EnvironmentRole}),
+		sys.AddSubject("bob"),
+		sys.AddObject("stereo"),
+		sys.AddTransaction(Transaction{ID: "play", Steps: []Access{{Action: "start"}}}),
+		sys.AssignSubjectRole("bob", "adult"),
+		sys.AssignObjectRole("stereo", "media"),
+		sys.Grant(Permission{Subject: "adult", Transaction: "play", Object: "media", Environment: "evening", Effect: Permit}),
+		sys.SetMinConfidence(0.75),
+		sys.RemoveRole(SubjectRole, "guest"),
+	}
+	for i, err := range ops {
+		if err != nil {
+			t.Fatalf("op %d: %v", i, err)
+		}
+	}
+
+	replayed := NewSystem()
+	for i, m := range j.records {
+		// Round-trip each mutation through its wire encoding so the replay
+		// exercises exactly what a WAL or delta feed carries.
+		var back Mutation
+		raw, err := marshalRoundTrip(m, &back)
+		if err != nil {
+			t.Fatalf("record %d (%s): %v (json: %s)", i, m.Op, err, raw)
+		}
+		if err := replayed.Apply(back); err != nil {
+			t.Fatalf("replay record %d (%s): %v", i, m.Op, err)
+		}
+	}
+	if !reflect.DeepEqual(replayed.Export(), sys.Export()) {
+		t.Fatalf("replayed state differs:\n got %+v\nwant %+v", replayed.Export(), sys.Export())
+	}
+}
+
+// TestJournalErrorPropagates pins the volatile-mutation contract: a
+// failing journal surfaces ErrJournal to the caller while the in-memory
+// mutation stays applied.
+func TestJournalErrorPropagates(t *testing.T) {
+	sys := NewSystem()
+	j := &recordingJournal{failWith: errors.New("disk full")}
+	sys.SetJournal(j)
+	err := sys.AddSubject("carol")
+	if !errors.Is(err, ErrJournal) {
+		t.Fatalf("err = %v, want ErrJournal", err)
+	}
+	if !sys.HasSubject("carol") {
+		t.Fatal("mutation rolled back; it must stay applied (volatile)")
+	}
+}
+
+// TestApplyRejectsMalformedMutations covers the dispatch guard rails.
+func TestApplyRejectsMalformedMutations(t *testing.T) {
+	sys := NewSystem()
+	for _, m := range []Mutation{
+		{Op: "no-such-op"},
+		{Op: OpAddRole},        // missing role
+		{Op: OpAddTransaction}, // missing transaction
+		{Op: OpGrant},          // missing permission
+		{Op: OpRevoke},         // missing permission
+		{Op: OpAddSoD},         // missing constraint
+		{Op: OpReplace},        // missing state
+	} {
+		if err := sys.Apply(m); !errors.Is(err, ErrInvalid) {
+			t.Errorf("Apply(%s) = %v, want ErrInvalid", m.Op, err)
+		}
+	}
+}
+
+func marshalRoundTrip(m Mutation, out *Mutation) (string, error) {
+	raw, err := json.Marshal(m)
+	if err != nil {
+		return "", err
+	}
+	return string(raw), json.Unmarshal(raw, out)
+}

@@ -46,6 +46,8 @@ func (s *System) CreateSession(subject SubjectID) (SessionID, error) {
 		created: s.now(),
 	}
 	s.invalidateLocked()
+	// Sessions are ephemeral: the bump is observed, never journaled.
+	s.observeLocked()
 	return id, nil
 }
 
@@ -58,6 +60,7 @@ func (s *System) CloseSession(id SessionID) error {
 	}
 	delete(s.sessions, id)
 	s.invalidateLocked()
+	s.observeLocked()
 	return nil
 }
 
@@ -102,6 +105,7 @@ func (s *System) ActivateRole(id SessionID, role RoleID) error {
 	}
 	sess.active[role] = true
 	s.invalidateLocked()
+	s.observeLocked()
 	return nil
 }
 
@@ -118,6 +122,7 @@ func (s *System) DeactivateRole(id SessionID, role RoleID) error {
 	}
 	delete(sess.active, role)
 	s.invalidateLocked()
+	s.observeLocked()
 	return nil
 }
 

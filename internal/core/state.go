@@ -153,7 +153,11 @@ func (s *System) Import(st State) error {
 	}
 	s.threshold = st.MinConfidence
 	s.invalidateLocked()
-	return nil
+	// Journaled as a wholesale replace: the record carries a fresh export
+	// (not the caller's State value) so the journal's copy shares no slices
+	// with memory the caller may later mutate.
+	exp := s.exportLocked()
+	return s.recordLocked(Mutation{Op: OpReplace, State: &exp})
 }
 
 // Replace swaps the policy store for the snapshot, atomically from the
@@ -198,7 +202,8 @@ func (s *System) Replace(st State) error {
 		}
 	}
 	s.invalidateLocked()
-	return nil
+	exp := s.exportLocked()
+	return s.recordLocked(Mutation{Op: OpReplace, State: &exp})
 }
 
 // importRoles inserts roles into an empty graph, deferring parent edges so

@@ -71,6 +71,11 @@ type System struct {
 	envSource EnvironmentSource
 	now       func() time.Time
 
+	// journal, when set, observes every generation bump under the write
+	// lock: serializable mutations through Record, ephemeral bumps through
+	// ObserveGeneration (see the Journal contract in mutation.go).
+	journal Journal
+
 	// gen is the monotonic policy generation. Every mutating call bumps
 	// it under the write lock, instantly invalidating all cached
 	// decisions (entries are stamped with the generation they were
@@ -294,7 +299,7 @@ func (s *System) AddSubject(id SubjectID) error {
 	}
 	s.subjects[id] = &subjectRec{roles: make(map[RoleID]bool)}
 	s.invalidateLocked()
-	return nil
+	return s.recordLocked(Mutation{Op: OpAddSubject, Subject: id})
 }
 
 // RemoveSubject deletes a subject and its role assignments. Sessions owned
@@ -312,7 +317,7 @@ func (s *System) RemoveSubject(id SubjectID) error {
 		}
 	}
 	s.invalidateLocked()
-	return nil
+	return s.recordLocked(Mutation{Op: OpRemoveSubject, Subject: id})
 }
 
 // Subjects returns all subject IDs in sorted order.
@@ -347,7 +352,7 @@ func (s *System) AddObject(id ObjectID) error {
 	}
 	s.objects[id] = &objectRec{roles: make(map[RoleID]bool)}
 	s.invalidateLocked()
-	return nil
+	return s.recordLocked(Mutation{Op: OpAddObject, Object: id})
 }
 
 // RemoveObject deletes an object and its role assignments.
@@ -359,7 +364,7 @@ func (s *System) RemoveObject(id ObjectID) error {
 	}
 	delete(s.objects, id)
 	s.invalidateLocked()
-	return nil
+	return s.recordLocked(Mutation{Op: OpRemoveObject, Object: id})
 }
 
 // Objects returns all object IDs in sorted order.
@@ -402,7 +407,8 @@ func (s *System) AddRole(r Role) error {
 		return err
 	}
 	s.invalidateLocked()
-	return nil
+	rc := r.clone()
+	return s.recordLocked(Mutation{Op: OpAddRole, Role: &rc})
 }
 
 // AddRoleParent adds a hierarchy edge making parent a generalization of
@@ -418,7 +424,7 @@ func (s *System) AddRoleParent(kind RoleKind, child, parent RoleID) error {
 		return err
 	}
 	s.invalidateLocked()
-	return nil
+	return s.recordLocked(Mutation{Op: OpAddRoleParent, Kind: kind, RoleID: child, Parent: parent})
 }
 
 // RemoveRoleParent removes a hierarchy edge.
@@ -433,7 +439,7 @@ func (s *System) RemoveRoleParent(kind RoleKind, child, parent RoleID) error {
 		return err
 	}
 	s.invalidateLocked()
-	return nil
+	return s.recordLocked(Mutation{Op: OpRemoveRoleParent, Kind: kind, RoleID: child, Parent: parent})
 }
 
 // RemoveRole deletes a role, its hierarchy edges, every assignment of it,
@@ -471,7 +477,7 @@ func (s *System) RemoveRole(kind RoleKind, id RoleID) error {
 	s.perms = kept
 	s.rebuildIndexLocked()
 	s.invalidateLocked()
-	return nil
+	return s.recordLocked(Mutation{Op: OpRemoveRole, Kind: kind, RoleID: id})
 }
 
 // rebuildIndexLocked reconstructs the transaction index from the
@@ -587,7 +593,7 @@ func (s *System) AssignSubjectRole(sub SubjectID, role RoleID) error {
 	}
 	rec.roles[role] = true
 	s.invalidateLocked()
-	return nil
+	return s.recordLocked(Mutation{Op: OpAssignSubjectRole, Subject: sub, RoleID: role})
 }
 
 // RevokeSubjectRole removes a direct role assignment. Active sessions keep
@@ -615,7 +621,7 @@ func (s *System) RevokeSubjectRole(sub SubjectID, role RoleID) error {
 		}
 	}
 	s.invalidateLocked()
-	return nil
+	return s.recordLocked(Mutation{Op: OpRevokeSubjectRole, Subject: sub, RoleID: role})
 }
 
 // AuthorizedRoles returns the subject's directly assigned roles, sorted.
@@ -654,7 +660,7 @@ func (s *System) AssignObjectRole(obj ObjectID, role RoleID) error {
 	}
 	rec.roles[role] = true
 	s.invalidateLocked()
-	return nil
+	return s.recordLocked(Mutation{Op: OpAssignObjectRole, Object: obj, RoleID: role})
 }
 
 // RevokeObjectRole removes an object classification.
@@ -670,7 +676,7 @@ func (s *System) RevokeObjectRole(obj ObjectID, role RoleID) error {
 	}
 	delete(rec.roles, role)
 	s.invalidateLocked()
-	return nil
+	return s.recordLocked(Mutation{Op: OpRevokeObjectRole, Object: obj, RoleID: role})
 }
 
 // ObjectRoles returns the object's directly assigned roles, sorted.
@@ -709,7 +715,8 @@ func (s *System) AddTransaction(t Transaction) error {
 	}
 	s.transactions[t.ID] = t.clone()
 	s.invalidateLocked()
-	return nil
+	tc := t.clone()
+	return s.recordLocked(Mutation{Op: OpAddTransaction, Transaction: &tc})
 }
 
 // Transaction returns a copy of the named transaction.
@@ -787,7 +794,8 @@ func (s *System) Grant(p Permission) error {
 	s.perms = append(s.perms, p)
 	s.permIndex[p.Transaction] = append(s.permIndex[p.Transaction], len(s.perms)-1)
 	s.invalidateLocked()
-	return nil
+	pc := p
+	return s.recordLocked(Mutation{Op: OpGrant, Permission: &pc})
 }
 
 // Revoke removes the first permission equal to p.
@@ -799,7 +807,8 @@ func (s *System) Revoke(p Permission) error {
 			s.perms = append(s.perms[:i], s.perms[i+1:]...)
 			s.rebuildIndexLocked()
 			s.invalidateLocked()
-			return nil
+			pc := p
+			return s.recordLocked(Mutation{Op: OpRevoke, Permission: &pc})
 		}
 	}
 	return fmt.Errorf("%w: no such permission", ErrNotFound)
@@ -844,7 +853,8 @@ func (s *System) AddSoDConstraint(c SoDConstraint) error {
 	}
 	s.sods = append(s.sods, c.clone())
 	s.invalidateLocked()
-	return nil
+	cc := c.clone()
+	return s.recordLocked(Mutation{Op: OpAddSoD, SoD: &cc})
 }
 
 // RemoveSoDConstraint deletes the named constraint.
@@ -855,7 +865,7 @@ func (s *System) RemoveSoDConstraint(name string) error {
 		if c.Name == name {
 			s.sods = append(s.sods[:i], s.sods[i+1:]...)
 			s.invalidateLocked()
-			return nil
+			return s.recordLocked(Mutation{Op: OpRemoveSoD, Name: name})
 		}
 	}
 	return fmt.Errorf("%w: SoD constraint %q", ErrNotFound, name)
@@ -883,6 +893,10 @@ func (s *System) SetConflictStrategy(cs ConflictStrategy) {
 	}
 	s.strategy = cs
 	s.invalidateLocked()
+	// Strategies are live Go values the replay language cannot carry; the
+	// bump is observed (so journal consumers track the generation) but the
+	// swap itself is process-local configuration, like an env source.
+	s.observeLocked()
 }
 
 // SetMinConfidence sets the system-wide authentication threshold.
@@ -894,7 +908,7 @@ func (s *System) SetMinConfidence(t float64) error {
 	defer s.mu.Unlock()
 	s.threshold = t
 	s.invalidateLocked()
-	return nil
+	return s.recordLocked(Mutation{Op: OpSetMinConfidence, Threshold: t})
 }
 
 // MinConfidence returns the system-wide authentication threshold.
@@ -911,6 +925,7 @@ func (s *System) SetEnvironmentSource(src EnvironmentSource) {
 	defer s.mu.Unlock()
 	s.envSource = src
 	s.invalidateLocked()
+	s.observeLocked()
 }
 
 func isWildcard(id RoleID) bool {

@@ -31,6 +31,19 @@ const (
 	// StoreSave and StoreLoad wrap policy snapshot persistence.
 	StoreSave = "store.save"
 	StoreLoad = "store.load"
+	// StoreDirSync wraps the parent-directory fsync that makes a renamed
+	// snapshot's directory entry durable; a panic here is a crash after
+	// rename but before the entry is on disk.
+	StoreDirSync = "store.dirsync"
+	// WALAppend and WALFsync bracket one write-ahead-log append: a panic at
+	// WALAppend is a crash before the record reaches the file, a panic at
+	// WALFsync is a crash after the write but before it is durable (the
+	// torn-tail case recovery must tolerate).
+	WALAppend = "store.wal.append"
+	WALFsync  = "store.wal.fsync"
+	// Checkpoint wraps the durable store's snapshot+truncate checkpoint; a
+	// panic is a crash with the full WAL tail still pending replay.
+	Checkpoint = "store.checkpoint"
 	// EventDeliver wraps the delivery of one bus event to one subscriber:
 	// a delay is a slow subscriber, a panic is a crashing subscriber, and
 	// an error drops the delivery (a lossy subscriber).

@@ -8,6 +8,7 @@ import (
 
 	"github.com/aware-home/grbac/internal/core"
 	"github.com/aware-home/grbac/internal/replica"
+	"github.com/aware-home/grbac/internal/store"
 )
 
 // defaultWatchMaxWait caps one replication long-poll: a quiet primary
@@ -22,6 +23,15 @@ const defaultWatchMaxWait = 25 * time.Second
 // extra trust beyond what the PDP surface already assumes.
 func WithReplicaSource(src *replica.Source) ServerOption {
 	return func(s *Server) { s.replicaSrc = src }
+}
+
+// WithDurableStore surfaces the durable policy store's health — WAL
+// position, checkpoint generation, replay report — in a "store" section
+// of /v1/statsz. It does not wire the store into the decision path (the
+// store's journal hook does that at construction); this is observability
+// only.
+func WithDurableStore(d *store.Durable) ServerOption {
+	return func(s *Server) { s.durable = d }
 }
 
 // WithWatchMaxWait bounds one replication long-poll (default 25s). Tests
@@ -54,8 +64,9 @@ func WithFollower(f *replica.Follower) ServerOption {
 // when the server is a follower.
 type StatszResponse struct {
 	core.Stats
-	Server      *ServerStats   `json:"server,omitempty"`
-	Replication *replica.Stats `json:"replication,omitempty"`
+	Server      *ServerStats        `json:"server,omitempty"`
+	Replication *replica.Stats      `json:"replication,omitempty"`
+	Store       *store.DurableStats `json:"store,omitempty"`
 }
 
 // HealthResponse is the /v1/healthz reply.
@@ -115,6 +126,34 @@ func (s *Server) handleReplicaWatch(w http.ResponseWriter, r *http.Request) {
 	s.writeJSON(w, http.StatusOK, replica.WatchResponse{
 		Epoch: s.replicaSrc.Epoch(), Generation: gen,
 	})
+}
+
+// handleReplicaDelta serves the journaled mutation tail after ?after=
+// (under ?epoch=). 410 Gone means the tail cannot answer — wrong epoch,
+// or the position predates the retained window — and the follower should
+// take a full snapshot. Mounted only when the source has a delta
+// provider attached (a durable primary).
+func (s *Server) handleReplicaDelta(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet {
+		s.writeStatus(w, http.StatusMethodNotAllowed, "GET only")
+		return
+	}
+	q := r.URL.Query()
+	var after uint64
+	if raw := q.Get("after"); raw != "" {
+		n, err := strconv.ParseUint(raw, 10, 64)
+		if err != nil {
+			s.writeStatus(w, http.StatusBadRequest, "bad after: want unsigned integer")
+			return
+		}
+		after = n
+	}
+	delta, ok := s.replicaSrc.Delta(q.Get("epoch"), after)
+	if !ok {
+		s.writeStatus(w, http.StatusGone, "delta unavailable: take a full snapshot")
+		return
+	}
+	s.writeJSON(w, http.StatusOK, delta)
 }
 
 // readOnlyPaths are the mutation endpoints a follower redirects to its

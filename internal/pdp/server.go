@@ -17,6 +17,7 @@ import (
 	"github.com/aware-home/grbac/internal/faults"
 	"github.com/aware-home/grbac/internal/obs"
 	"github.com/aware-home/grbac/internal/replica"
+	"github.com/aware-home/grbac/internal/store"
 )
 
 // maxBodyBytes bounds request bodies; decision requests are small.
@@ -37,6 +38,7 @@ type Server struct {
 	adminEnabled bool
 	replicaSrc   *replica.Source
 	follower     *replica.Follower
+	durable      *store.Durable
 	watchMaxWait time.Duration
 	limiter      *limiter
 	recovered    atomic.Uint64
@@ -98,6 +100,7 @@ func NewServer(sys *core.System, opts ...ServerOption) *Server {
 	if s.replicaSrc != nil {
 		mux.HandleFunc(replica.SnapshotPath, s.handleReplicaSnapshot)
 		mux.HandleFunc(replica.WatchPath, s.handleReplicaWatch)
+		mux.HandleFunc(replica.DeltaPath, s.handleReplicaDelta)
 	}
 	s.mux = mux
 	return s
@@ -301,6 +304,10 @@ func (s *Server) handleStatsz(w http.ResponseWriter, r *http.Request) {
 	if s.follower != nil {
 		st := s.follower.Stats()
 		resp.Replication = &st
+	}
+	if s.durable != nil {
+		ds := s.durable.Stats()
+		resp.Store = &ds
 	}
 	s.writeJSON(w, http.StatusOK, resp)
 }

@@ -18,6 +18,12 @@ import (
 // ErrFeed reports a non-2xx reply from the primary's replication feed.
 var ErrFeed = errors.New("replica: feed error")
 
+// ErrDeltaUnavailable reports that the primary cannot serve a delta for
+// the requested position — its journal tail is too short, the epoch
+// changed, or it does not expose the delta endpoint at all. The follower
+// falls back to a full snapshot.
+var ErrDeltaUnavailable = errors.New("replica: delta unavailable")
+
 // Client is the follower's transport to a primary's replication feed. It
 // is deliberately single-shot — one request, one error — because the
 // Follower's sync loop owns retry policy (backoff, jitter, staleness);
@@ -76,6 +82,43 @@ func (c *Client) Watch(ctx context.Context, epoch string, after uint64) (WatchRe
 	return resp, err
 }
 
+// Delta fetches the mutations after the follower's position. A 404 (no
+// delta endpoint: in-memory primary, or an older build) or 410 (journal
+// tail too short, or epoch mismatch) comes back as ErrDeltaUnavailable.
+func (c *Client) Delta(ctx context.Context, epoch string, after uint64) (Delta, error) {
+	// Shares the snapshot fault point: an injected error models a dropped
+	// catch-up exchange, whichever form it takes.
+	if err := faults.Inject(faults.ReplicaSnapshot); err != nil {
+		return Delta{}, fmt.Errorf("replica: %w", err)
+	}
+	q := url.Values{}
+	q.Set("epoch", epoch)
+	q.Set("after", strconv.FormatUint(after, 10))
+	var d Delta
+	err := c.get(ctx, DeltaPath+"?"+q.Encode(), &d)
+	if err != nil {
+		var fe *feedStatusError
+		if errors.As(err, &fe) && (fe.status == http.StatusNotFound || fe.status == http.StatusGone) {
+			return Delta{}, fmt.Errorf("%w: status %d", ErrDeltaUnavailable, fe.status)
+		}
+		return Delta{}, err
+	}
+	return d, nil
+}
+
+// feedStatusError carries the HTTP status behind an ErrFeed, so callers
+// can distinguish "delta not served" from transport failures.
+type feedStatusError struct {
+	path   string
+	status int
+}
+
+func (e *feedStatusError) Error() string {
+	return fmt.Sprintf("%v: %s: status %d", ErrFeed, e.path, e.status)
+}
+
+func (e *feedStatusError) Unwrap() error { return ErrFeed }
+
 func (c *Client) get(ctx context.Context, path string, out any) error {
 	req, err := http.NewRequestWithContext(ctx, http.MethodGet, c.base+path, nil)
 	if err != nil {
@@ -90,7 +133,7 @@ func (c *Client) get(ctx context.Context, path string, out any) error {
 		_ = resp.Body.Close()
 	}()
 	if resp.StatusCode/100 != 2 {
-		return fmt.Errorf("%w: %s: status %d", ErrFeed, path, resp.StatusCode)
+		return &feedStatusError{path: path, status: resp.StatusCode}
 	}
 	if err := json.NewDecoder(resp.Body).Decode(out); err != nil {
 		return fmt.Errorf("replica: decode %s: %w", path, err)

@@ -2,6 +2,8 @@ package replica
 
 import (
 	"context"
+	"errors"
+	"fmt"
 	"log"
 	"math/rand"
 	"sync"
@@ -26,6 +28,16 @@ type Fetcher interface {
 	Watch(ctx context.Context, epoch string, after uint64) (WatchResponse, error)
 }
 
+// DeltaFetcher is the optional catch-up extension of Fetcher: a transport
+// that can fetch just the mutations after a position. When the configured
+// Fetcher implements it (Client does), the follower tries a delta before
+// every full snapshot and falls back on ErrDeltaUnavailable — so a
+// follower of a durable primary rides out primary restarts without ever
+// refetching the whole policy.
+type DeltaFetcher interface {
+	Delta(ctx context.Context, epoch string, after uint64) (Delta, error)
+}
+
 // Stats is a point-in-time report of replication health, exported through
 // the PDP's /v1/statsz and the `grbacctl replication` command. Ages are
 // seconds, -1 meaning "never".
@@ -41,8 +53,13 @@ type Stats struct {
 	// Lag is PrimaryGeneration - AppliedGeneration: the number of policy
 	// mutations the follower has observed but not yet applied.
 	Lag uint64 `json:"lag"`
-	// Syncs counts successfully applied snapshots.
+	// Syncs counts successfully applied full snapshots.
 	Syncs uint64 `json:"syncs"`
+	// DeltaSyncs counts catch-ups served from the primary's journal tail
+	// instead of a full snapshot.
+	DeltaSyncs uint64 `json:"delta_syncs"`
+	// DeltaMutations counts individual mutations applied via delta sync.
+	DeltaMutations uint64 `json:"delta_mutations"`
 	// Errors counts failed fetch/watch/apply attempts.
 	Errors uint64 `json:"errors"`
 	// WatchReconnects counts watch streams that broke and forced the
@@ -66,6 +83,7 @@ type Stats struct {
 // Stale and Stats to mark degraded service.
 type Follower struct {
 	fetch      Fetcher
+	deltaFetch DeltaFetcher // non-nil when fetch implements DeltaFetcher
 	sys        *core.System
 	primaryURL string
 
@@ -85,6 +103,8 @@ type Follower struct {
 	lastSync    time.Time
 	lastContact time.Time
 	syncs       uint64
+	deltaSyncs  uint64
+	deltaMuts   uint64
 	errs        uint64
 	reconnects  uint64
 }
@@ -183,6 +203,9 @@ func NewFollower(sys *core.System, primaryURL string, opts ...FollowerOption) *F
 		}
 		f.fetch = cl
 	}
+	if df, ok := f.fetch.(DeltaFetcher); ok {
+		f.deltaFetch = df
+	}
 	return f
 }
 
@@ -233,8 +256,26 @@ func (f *Follower) Run(ctx context.Context) error {
 	}
 }
 
-// syncOnce fetches and applies one full snapshot.
+// syncOnce converges with the primary: a journal delta when the
+// transport offers one and this follower already has a position in the
+// primary's epoch, a full snapshot otherwise. A failed delta is not a
+// sync failure — the snapshot path always stands behind it — so delta
+// errors are logged (ErrDeltaUnavailable silently: it is the primary's
+// normal "take a snapshot" answer, not a fault) and never counted.
 func (f *Follower) syncOnce(ctx context.Context) error {
+	if f.deltaFetch != nil {
+		epoch, after := f.position()
+		if epoch != "" {
+			err := f.deltaOnce(ctx, epoch, after)
+			if err == nil {
+				return nil
+			}
+			if !errors.Is(err, ErrDeltaUnavailable) && ctx.Err() == nil {
+				f.logger.Printf("replica: delta sync from %s failed (falling back to snapshot): %v",
+					f.primaryURL, err)
+			}
+		}
+	}
 	fctx, cancel := context.WithTimeout(ctx, f.fetchTimeout)
 	defer cancel()
 	snap, err := f.fetch.Snapshot(fctx)
@@ -253,6 +294,42 @@ func (f *Follower) syncOnce(ctx context.Context) error {
 	f.lastSync = now
 	f.lastContact = now
 	f.syncs++
+	f.mu.Unlock()
+	return nil
+}
+
+// deltaOnce fetches and applies the mutations after the follower's
+// position. The primary guarantees the delta is complete through
+// delta.Generation even when Mutations is shorter (ephemeral bumps), so
+// the applied position jumps to Generation, not the last mutation.
+func (f *Follower) deltaOnce(ctx context.Context, epoch string, after uint64) error {
+	fctx, cancel := context.WithTimeout(ctx, f.fetchTimeout)
+	defer cancel()
+	delta, err := f.deltaFetch.Delta(fctx, epoch, after)
+	if err != nil {
+		return err
+	}
+	if delta.Epoch != epoch {
+		return fmt.Errorf("%w: epoch changed (%s -> %s)", ErrDeltaUnavailable, epoch, delta.Epoch)
+	}
+	for i := range delta.Mutations {
+		if err := f.sys.Apply(delta.Mutations[i]); err != nil {
+			// A mutation the local system rejects means follower and
+			// primary diverged; only a full snapshot re-converges them.
+			return fmt.Errorf("apply delta mutation %s: %w", delta.Mutations[i].Op, err)
+		}
+	}
+	now := f.now()
+	f.mu.Lock()
+	if delta.Generation > f.primaryGen {
+		f.primaryGen = delta.Generation
+	}
+	f.appliedGen = delta.Generation
+	f.synced = true
+	f.lastSync = now
+	f.lastContact = now
+	f.deltaSyncs++
+	f.deltaMuts += uint64(len(delta.Mutations))
 	f.mu.Unlock()
 	return nil
 }
@@ -327,6 +404,8 @@ func (f *Follower) Stats() Stats {
 		AppliedGeneration:     f.appliedGen,
 		Lag:                   f.primaryGen - f.appliedGen,
 		Syncs:                 f.syncs,
+		DeltaSyncs:            f.deltaSyncs,
+		DeltaMutations:        f.deltaMuts,
 		Errors:                f.errs,
 		WatchReconnects:       f.reconnects,
 		LastSyncAgeSeconds:    -1,

@@ -24,8 +24,14 @@ func (f *Follower) RegisterMetrics(reg *obs.Registry) {
 			return 0
 		})
 	reg.NewCounterFunc("grbac_replica_syncs_total",
-		"Snapshots successfully applied.",
+		"Full snapshots successfully applied.",
 		func() float64 { return float64(f.Stats().Syncs) })
+	reg.NewCounterFunc("grbac_replica_delta_syncs_total",
+		"Catch-ups served from the primary's journal tail instead of a full snapshot.",
+		func() float64 { return float64(f.Stats().DeltaSyncs) })
+	reg.NewCounterFunc("grbac_replica_delta_mutations_total",
+		"Individual mutations applied via delta sync.",
+		func() float64 { return float64(f.Stats().DeltaMutations) })
 	reg.NewCounterFunc("grbac_replica_errors_total",
 		"Failed fetch/watch/apply attempts.",
 		func() float64 { return float64(f.Stats().Errors) })

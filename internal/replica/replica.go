@@ -43,6 +43,13 @@ import "github.com/aware-home/grbac/internal/core"
 const (
 	SnapshotPath = "/v1/replica/snapshot"
 	WatchPath    = "/v1/replica/watch"
+	// DeltaPath serves the journaled mutation tail:
+	//   GET /v1/replica/delta?epoch=e&after=g
+	//     → {"epoch": e, "after": g, "generation": g', "mutations": [...]}
+	// or 410 Gone when the tail no longer reaches back to g (or the epoch
+	// changed), telling the follower to take a full snapshot. Mounted only
+	// when the primary runs a durable store (the delta source is its WAL).
+	DeltaPath = "/v1/replica/delta"
 )
 
 // Snapshot is the wire form of the primary's policy export: the state and
@@ -59,4 +66,17 @@ type Snapshot struct {
 type WatchResponse struct {
 	Epoch      string `json:"epoch"`
 	Generation uint64 `json:"generation"`
+}
+
+// Delta is the wire form of a journal catch-up: every serializable
+// mutation with generation in (After, Generation], in order. Generation
+// may exceed the last mutation's stamp — the gap is ephemeral bumps
+// (session churn on the primary) that change no replicable state, so a
+// follower that applies Mutations is fully converged through Generation
+// and must advance its position there, not to the last mutation.
+type Delta struct {
+	Epoch      string          `json:"epoch"`
+	After      uint64          `json:"after"`
+	Generation uint64          `json:"generation"`
+	Mutations  []core.Mutation `json:"mutations,omitempty"`
 }

@@ -9,19 +9,50 @@ import (
 	"github.com/aware-home/grbac/internal/core"
 )
 
-// Source is the primary side of the replication feed: a thin wrapper over
-// a core.System that exports generation-stamped snapshots and lets a
-// watcher block until the generation advances. It is safe for concurrent
-// use by any number of watchers.
-type Source struct {
-	sys   *core.System
-	epoch string
+// DeltaProvider hands the Source a journaled mutation tail to serve as
+// deltas. The durable store (internal/store.Durable) implements it: muts
+// are the mutations with generation > after, upTo is the generation the
+// list is complete through, and ok=false means the tail no longer
+// reaches back to after and the caller needs a full snapshot.
+type DeltaProvider interface {
+	MutationsSince(after uint64) (muts []core.Mutation, upTo uint64, ok bool)
 }
 
-// NewSource builds the feed for sys, minting a fresh epoch. Construct it
-// once per process: the epoch is what tells followers "this is a new
-// primary incarnation, your generation bookkeeping is void".
-func NewSource(sys *core.System) *Source {
+// Source is the primary side of the replication feed: a thin wrapper over
+// a core.System that exports generation-stamped snapshots, lets a watcher
+// block until the generation advances, and — when a DeltaProvider is
+// attached — serves journal deltas so followers can catch up without a
+// full snapshot. It is safe for concurrent use by any number of watchers.
+type Source struct {
+	sys    *core.System
+	epoch  string
+	deltas DeltaProvider
+}
+
+// SourceOption configures NewSource.
+type SourceOption func(*Source)
+
+// WithSourceEpoch pins the feed's epoch instead of minting a random one.
+// The durable store uses it so a restarted primary resumes the epoch its
+// followers already know, making delta catch-up possible across restarts.
+func WithSourceEpoch(epoch string) SourceOption {
+	return func(s *Source) {
+		if epoch != "" {
+			s.epoch = epoch
+		}
+	}
+}
+
+// WithDeltaProvider attaches the journal tail served at DeltaPath.
+func WithDeltaProvider(p DeltaProvider) SourceOption {
+	return func(s *Source) { s.deltas = p }
+}
+
+// NewSource builds the feed for sys, minting a fresh epoch unless
+// WithSourceEpoch overrides it. Construct it once per process: the epoch
+// is what tells followers "this is a new primary incarnation, your
+// generation bookkeeping is void".
+func NewSource(sys *core.System, opts ...SourceOption) *Source {
 	var b [8]byte
 	if _, err := rand.Read(b[:]); err != nil {
 		// crypto/rand failing is a broken platform; fall back to the
@@ -30,7 +61,11 @@ func NewSource(sys *core.System) *Source {
 			b[i] = byte(time.Now().UnixNano() >> (8 * i))
 		}
 	}
-	return &Source{sys: sys, epoch: hex.EncodeToString(b[:])}
+	s := &Source{sys: sys, epoch: hex.EncodeToString(b[:])}
+	for _, opt := range opts {
+		opt(s)
+	}
+	return s
 }
 
 // Epoch returns the feed's epoch token.
@@ -40,6 +75,21 @@ func (s *Source) Epoch() string { return s.epoch }
 func (s *Source) Snapshot() Snapshot {
 	st, gen := s.sys.Snapshot()
 	return Snapshot{Epoch: s.epoch, Generation: gen, State: st}
+}
+
+// Delta returns the mutations after the follower's position, or ok=false
+// when delta sync is unavailable — no provider attached, the caller's
+// epoch is not this incarnation's, or the journal tail no longer reaches
+// back to after — and the follower must take a full snapshot instead.
+func (s *Source) Delta(epoch string, after uint64) (Delta, bool) {
+	if s.deltas == nil || epoch != s.epoch {
+		return Delta{}, false
+	}
+	muts, upTo, ok := s.deltas.MutationsSince(after)
+	if !ok {
+		return Delta{}, false
+	}
+	return Delta{Epoch: s.epoch, After: after, Generation: upTo, Mutations: muts}, true
 }
 
 // Wait blocks until the policy generation exceeds after, the caller's

@@ -1,0 +1,43 @@
+package store
+
+import (
+	"testing"
+
+	"github.com/aware-home/grbac/internal/core"
+)
+
+// BenchmarkWarmDecide compares the warm decision path on a plain in-memory
+// system against the same policy behind the durable store. The journal
+// engages only on mutation, so the durable variant must match the
+// in-memory one — same allocations, latency within noise. benchguard.sh
+// (guard 9) enforces exactly that.
+func BenchmarkWarmDecide(b *testing.B) {
+	req := core.Request{Subject: "alice", Object: "tv", Transaction: "use",
+		Environment: []core.RoleID{"weekday-free-time"}}
+	b.Run("memory", func(b *testing.B) {
+		benchWarmDecide(b, buildSystem(b), req)
+	})
+	b.Run("durable", func(b *testing.B) {
+		seed := buildSystem(b).Export()
+		dur, err := Open(b.TempDir(), WithSeedState(&seed), quiet)
+		if err != nil {
+			b.Fatal(err)
+		}
+		defer dur.Close()
+		benchWarmDecide(b, dur.System(), req)
+	})
+}
+
+func benchWarmDecide(b *testing.B, sys *core.System, req core.Request) {
+	b.Helper()
+	if ok, err := sys.CheckAccess(req); err != nil || !ok {
+		b.Fatalf("warmup decision = %v, %v; want permit", ok, err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if ok, _ := sys.CheckAccess(req); !ok {
+			b.Fatal("warm decision flipped to deny")
+		}
+	}
+}

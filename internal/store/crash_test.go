@@ -1,0 +1,524 @@
+package store
+
+import (
+	"fmt"
+	"io"
+	"log"
+	"os"
+	"path/filepath"
+	"reflect"
+	"testing"
+
+	"github.com/aware-home/grbac/internal/core"
+	"github.com/aware-home/grbac/internal/faults"
+)
+
+// quiet discards the store's operational log: crash trials repair torn
+// tails on almost every boot, and the expected-repair messages would
+// drown real failures.
+var quiet = WithDurableLogger(log.New(io.Discard, "", 0))
+
+// The crash matrix kills the durable store at every named fault point, at
+// every occurrence of that point, and checks that recovery always lands on
+// a prefix-consistent state: the recovered export equals the differential
+// oracle after some number of durable mutations, never a partial or
+// reordered one; no acknowledged mutation is lost; generation and epoch
+// stay monotonic across the crash; and the workload can resume from the
+// recovered prefix and converge to the oracle's final state.
+
+// crashCheckpointEvery is small so the scripted workload crosses several
+// checkpoint boundaries.
+const crashCheckpointEvery = 4
+
+// crashStep is one step of the scripted workload. Durable steps go through
+// the journal (one WAL record each); ephemeral steps only bump the
+// generation (session churn) and must survive a crash by disappearing.
+type crashStep struct {
+	durable bool
+	run     func(*core.System) error
+}
+
+// crashWorkload scripts a linear mutation history touching every kind of
+// durable mutation, interleaved with ephemeral session churn. Each durable
+// step must leave a distinct export (verified by the oracle builder), so a
+// recovered state identifies exactly one prefix.
+func crashWorkload() []crashStep {
+	var steps []crashStep
+	d := func(fn func(*core.System) error) {
+		steps = append(steps, crashStep{durable: true, run: fn})
+	}
+	churn := func(subject core.SubjectID, role core.RoleID) {
+		steps = append(steps, crashStep{run: func(s *core.System) error {
+			sid, err := s.CreateSession(subject)
+			if err != nil {
+				return err
+			}
+			if err := s.ActivateRole(sid, role); err != nil {
+				return err
+			}
+			if err := s.DeactivateRole(sid, role); err != nil {
+				return err
+			}
+			return s.CloseSession(sid)
+		}})
+	}
+
+	d(func(s *core.System) error { return s.AddRole(core.Role{ID: "family", Kind: core.SubjectRole}) })
+	d(func(s *core.System) error { return s.AddRole(core.Role{ID: "child", Kind: core.SubjectRole}) })
+	d(func(s *core.System) error { return s.AddRole(core.Role{ID: "guest", Kind: core.SubjectRole}) })
+	d(func(s *core.System) error { return s.AddRoleParent(core.SubjectRole, "child", "family") })
+	d(func(s *core.System) error { return s.AddRole(core.Role{ID: "devices", Kind: core.ObjectRole}) })
+	d(func(s *core.System) error { return s.AddRole(core.Role{ID: "daytime", Kind: core.EnvironmentRole}) })
+	d(func(s *core.System) error { return s.AddSubject("alice") })
+	d(func(s *core.System) error { return s.AssignSubjectRole("alice", "child") })
+	d(func(s *core.System) error { return s.AddObject("tv") })
+	d(func(s *core.System) error { return s.AssignObjectRole("tv", "devices") })
+	d(func(s *core.System) error {
+		return s.AddTransaction(core.Transaction{ID: "use", Steps: []core.Access{{Action: "power-on"}}})
+	})
+	d(func(s *core.System) error {
+		return s.Grant(core.Permission{Subject: "child", Transaction: "use", Object: "devices",
+			Environment: "daytime", Effect: core.Permit})
+	})
+	churn("alice", "child")
+	d(func(s *core.System) error { return s.SetMinConfidence(0.25) })
+	d(func(s *core.System) error {
+		return s.AddSoDConstraint(core.SoDConstraint{Name: "no-dual", Kind: core.DynamicSoD,
+			Roles: []core.RoleID{"family", "guest"}})
+	})
+	for i := 0; i < 5; i++ {
+		id := core.SubjectID(fmt.Sprintf("resident-%d", i))
+		d(func(s *core.System) error { return s.AddSubject(id) })
+		d(func(s *core.System) error { return s.AssignSubjectRole(id, "child") })
+		if i%2 == 0 {
+			churn("alice", "child")
+		}
+	}
+	d(func(s *core.System) error { return s.RemoveSoDConstraint("no-dual") })
+	d(func(s *core.System) error { return s.RemoveSubject("resident-0") })
+	d(func(s *core.System) error {
+		return s.AddTransaction(core.Transaction{ID: "dim", Steps: []core.Access{{Action: "dim"}}})
+	})
+	d(func(s *core.System) error {
+		return s.Grant(core.Permission{Subject: "family", Transaction: "dim", Object: "devices",
+			Environment: "daytime", Effect: core.Permit})
+	})
+	churn("alice", "child")
+	d(func(s *core.System) error { return s.SetMinConfidence(0.5) })
+	d(func(s *core.System) error { return s.RemoveRole(core.SubjectRole, "guest") })
+	return steps
+}
+
+// crashOracle replays the workload on a plain in-memory system, recording
+// the export after every durable step. oracle[j] is the state after j
+// durable mutations; durFlat[j-1] is the flat step index of the j-th one.
+func crashOracle(t *testing.T, steps []crashStep) (oracle []core.State, durFlat []int) {
+	t.Helper()
+	sys := core.NewSystem()
+	oracle = append(oracle, sys.Export())
+	for fi, st := range steps {
+		if err := st.run(sys); err != nil {
+			t.Fatalf("oracle step %d: %v", fi, err)
+		}
+		if st.durable {
+			oracle = append(oracle, sys.Export())
+			durFlat = append(durFlat, fi)
+		}
+	}
+	// Prefix identification relies on every durable step changing the
+	// export; a workload edit that breaks this would silently weaken the
+	// matrix, so fail loudly instead.
+	for a := range oracle {
+		for b := a + 1; b < len(oracle); b++ {
+			if reflect.DeepEqual(oracle[a], oracle[b]) {
+				t.Fatalf("oracle states %d and %d are identical; workload steps must each change the export", a, b)
+			}
+		}
+	}
+	return oracle, durFlat
+}
+
+// runCrashTrial runs the workload against a fresh durable store with one
+// panic armed at the occurrence-th hit of point, "crashes" there (the
+// panic is recovered, the store abandoned un-Closed, exactly as a killed
+// process leaves it), reopens the directory, and checks every recovery
+// invariant. It reports whether the armed fault actually fired; a trial
+// that never crashed means occurrence exceeds the point's hit count.
+func runCrashTrial(t *testing.T, point string, occurrence int, steps []crashStep, oracle []core.State, durFlat []int) bool {
+	t.Helper()
+	dir := t.TempDir()
+	faults.Activate(faults.NewPlan(1, faults.Rule{
+		Point: point, After: occurrence, Limit: 1,
+		Action: faults.Action{Panic: "injected crash at " + point},
+	}))
+	defer faults.Deactivate()
+
+	acked := 0 // durable steps whose mutator returned successfully
+	var preGen uint64
+	epoch := ""
+	crashed := func() (c bool) {
+		defer func() {
+			if r := recover(); r != nil {
+				c = true
+			}
+		}()
+		dur, err := Open(dir, WithCheckpointEvery(crashCheckpointEvery), quiet)
+		if err != nil {
+			t.Fatalf("%s[%d]: open: %v", point, occurrence, err)
+		}
+		epoch = dur.Epoch()
+		sys := dur.System()
+		for fi, st := range steps {
+			if err := st.run(sys); err != nil {
+				t.Fatalf("%s[%d]: step %d: %v", point, occurrence, fi, err)
+			}
+			if st.durable {
+				acked++
+			}
+			preGen = sys.Generation()
+		}
+		return false
+		// The store is deliberately never Closed: a crash does not checkpoint.
+	}()
+	faults.Deactivate()
+
+	if !crashed {
+		// Terminating trial: the point ran out of occurrences. The full
+		// run must still match the oracle end state.
+		dur, err := Open(dir, WithCheckpointEvery(crashCheckpointEvery), quiet)
+		if err != nil {
+			t.Fatalf("%s[%d]: reopen after clean run: %v", point, occurrence, err)
+		}
+		defer dur.Close()
+		if got := dur.System().Export(); !reflect.DeepEqual(got, oracle[len(oracle)-1]) {
+			t.Fatalf("%s[%d]: clean run reopened to a different state", point, occurrence)
+		}
+		return false
+	}
+
+	dur, err := Open(dir, WithCheckpointEvery(crashCheckpointEvery), quiet)
+	if err != nil {
+		t.Fatalf("%s[%d]: recovery open: %v", point, occurrence, err)
+	}
+	defer dur.Close()
+	sys := dur.System()
+
+	// Epoch resumes (when the crash happened after Open minted it) and the
+	// generation never regresses below anything observed pre-crash.
+	if epoch != "" && dur.Epoch() != epoch {
+		t.Fatalf("%s[%d]: epoch changed across crash: %s -> %s", point, occurrence, epoch, dur.Epoch())
+	}
+	if g := sys.Generation(); g < preGen {
+		t.Fatalf("%s[%d]: generation regressed across crash: %d < %d", point, occurrence, g, preGen)
+	}
+
+	// Prefix consistency against the differential oracle.
+	got := sys.Export()
+	j := -1
+	for k := range oracle {
+		if reflect.DeepEqual(got, oracle[k]) {
+			j = k
+			break
+		}
+	}
+	if j < 0 {
+		t.Fatalf("%s[%d]: recovered state matches no oracle prefix (partial mutation?)", point, occurrence)
+	}
+	if j < acked {
+		t.Fatalf("%s[%d]: acknowledged mutation lost: recovered prefix %d < %d acked", point, occurrence, j, acked)
+	}
+
+	// Point-specific exactness. A crash before the WAL write loses exactly
+	// the unacknowledged mutation; a crash after the write (fsync, or any
+	// checkpoint activity, which only starts once the record is durable)
+	// keeps it. Checkpoint-family points can also fire inside Open itself
+	// (initial checkpoint, epoch write) — then nothing was acked and the
+	// recovered store must be at the empty prefix.
+	switch {
+	case epoch == "":
+		if j != 0 {
+			t.Fatalf("%s[%d]: crash during Open recovered prefix %d, want 0", point, occurrence, j)
+		}
+	case point == faults.WALAppend:
+		if j != acked {
+			t.Fatalf("%s[%d]: recovered prefix %d, want exactly acked %d (append crash must lose the torn record)", point, occurrence, j, acked)
+		}
+	case point == faults.WALFsync, point == faults.Checkpoint,
+		point == faults.StoreSave, point == faults.StoreDirSync:
+		if j != acked+1 {
+			t.Fatalf("%s[%d]: recovered prefix %d, want acked+1 = %d (record was written before the crash)", point, occurrence, j, acked+1)
+		}
+	}
+
+	// Resume the workload from the recovered prefix; it must converge to
+	// the oracle's final state.
+	start := 0
+	if j > 0 {
+		start = durFlat[j-1] + 1
+	}
+	for fi, st := range steps[start:] {
+		if err := st.run(sys); err != nil {
+			t.Fatalf("%s[%d]: resume step %d: %v", point, occurrence, start+fi, err)
+		}
+	}
+	if !reflect.DeepEqual(sys.Export(), oracle[len(oracle)-1]) {
+		t.Fatalf("%s[%d]: resumed run did not converge to the oracle's final state", point, occurrence)
+	}
+	return true
+}
+
+func TestCrashMatrix(t *testing.T) {
+	steps := crashWorkload()
+	oracle, durFlat := crashOracle(t, steps)
+	points := []string{
+		faults.WALAppend,
+		faults.WALFsync,
+		faults.Checkpoint,
+		faults.StoreSave,
+		faults.StoreDirSync,
+	}
+	for _, point := range points {
+		point := point
+		t.Run(point, func(t *testing.T) {
+			fired := 0
+			for i := 0; ; i++ {
+				if i > 500 {
+					t.Fatal("crash point never exhausted after 500 occurrences")
+				}
+				if !runCrashTrial(t, point, i, steps, oracle, durFlat) {
+					break
+				}
+				fired++
+			}
+			if fired == 0 {
+				t.Fatalf("fault point %s never fired: the matrix covered nothing", point)
+			}
+			t.Logf("%s: %d crash occurrences recovered cleanly", point, fired)
+		})
+	}
+}
+
+// TestWALTruncationSweep cuts the WAL at every byte offset and requires
+// recovery to land exactly on the prefix of complete, valid records before
+// the cut — the byte-level form of prefix consistency, covering torn
+// writes the fault points cannot model.
+func TestWALTruncationSweep(t *testing.T) {
+	// Build a reference directory: big checkpoint interval so every
+	// mutation stays in the WAL, store abandoned un-Closed so the log
+	// survives intact.
+	refDir := t.TempDir()
+	steps := crashWorkload()
+	var durSteps []crashStep
+	for _, st := range steps {
+		if st.durable {
+			durSteps = append(durSteps, st)
+		}
+	}
+	// First 10 durable mutations keep the sweep fast (every byte offset
+	// re-opens the store) while still spanning many record boundaries.
+	durSteps = durSteps[:10]
+	dur, err := Open(refDir, WithCheckpointEvery(1<<20), quiet)
+	if err != nil {
+		t.Fatal(err)
+	}
+	oracle := []core.State{dur.System().Export()}
+	for i, st := range durSteps {
+		if err := st.run(dur.System()); err != nil {
+			t.Fatalf("step %d: %v", i, err)
+		}
+		oracle = append(oracle, dur.System().Export())
+	}
+	epoch := dur.Epoch()
+	wal, err := os.ReadFile(filepath.Join(refDir, WALFile))
+	if err != nil {
+		t.Fatal(err)
+	}
+	snapRaw, err := os.ReadFile(filepath.Join(refDir, SnapshotFile))
+	if err != nil {
+		t.Fatal(err)
+	}
+	epochRaw, err := os.ReadFile(filepath.Join(refDir, EpochFile))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(wal) == 0 {
+		t.Fatal("reference WAL is empty; sweep covers nothing")
+	}
+
+	// lineEnd[k] = byte offset just past the k-th complete record, so the
+	// expected prefix at cut off is the number of ends <= off.
+	var lineEnds []int
+	for i, b := range wal {
+		if b == '\n' {
+			lineEnds = append(lineEnds, i+1)
+		}
+	}
+	if len(lineEnds) != len(durSteps) {
+		t.Fatalf("WAL holds %d records, want %d", len(lineEnds), len(durSteps))
+	}
+
+	sweepRoot := t.TempDir()
+	for off := 0; off <= len(wal); off++ {
+		dir := filepath.Join(sweepRoot, fmt.Sprintf("cut-%d", off))
+		if err := os.Mkdir(dir, 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(filepath.Join(dir, SnapshotFile), snapRaw, 0o644); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(filepath.Join(dir, EpochFile), epochRaw, 0o644); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(filepath.Join(dir, WALFile), wal[:off], 0o644); err != nil {
+			t.Fatal(err)
+		}
+
+		want := 0
+		for _, end := range lineEnds {
+			if end <= off {
+				want++
+			}
+		}
+		cut, err := Open(dir, WithCheckpointEvery(1<<20), quiet)
+		if err != nil {
+			t.Fatalf("cut %d: open: %v", off, err)
+		}
+		if cut.Epoch() != epoch {
+			t.Fatalf("cut %d: epoch changed", off)
+		}
+		st := cut.Stats()
+		if st.Replay.Records != want {
+			t.Fatalf("cut %d: replayed %d records, want %d", off, st.Replay.Records, want)
+		}
+		if !reflect.DeepEqual(cut.System().Export(), oracle[want]) {
+			t.Fatalf("cut %d: recovered state is not the %d-record prefix", off, want)
+		}
+		// The repair truncated the torn tail, so a second boot replays
+		// cleanly with nothing left to drop.
+		if err := func() error {
+			fi, err := os.Stat(filepath.Join(dir, WALFile))
+			if err != nil {
+				return err
+			}
+			wantSize := int64(0)
+			if want > 0 {
+				wantSize = int64(lineEnds[want-1])
+			}
+			if fi.Size() != wantSize {
+				return fmt.Errorf("repaired WAL is %d bytes, want %d", fi.Size(), wantSize)
+			}
+			return nil
+		}(); err != nil {
+			t.Fatalf("cut %d: %v", off, err)
+		}
+		// Abandon without Close (Close would checkpoint and truncate); the
+		// reopen below must see the identical state from the repaired log.
+		re, err := Open(dir, WithCheckpointEvery(1<<20), quiet)
+		if err != nil {
+			t.Fatalf("cut %d: second open: %v", off, err)
+		}
+		if re.Stats().Replay.TruncatedBytes != 0 {
+			t.Fatalf("cut %d: second boot still found a torn tail", off)
+		}
+		if !reflect.DeepEqual(re.System().Export(), oracle[want]) {
+			t.Fatalf("cut %d: second boot diverged", off)
+		}
+		if err := os.RemoveAll(dir); err != nil {
+			t.Fatal(err)
+		}
+	}
+}
+
+// TestWALCorruptionStopsAtPrefix flips a bit mid-log and appends garbage,
+// checking the checksum fails closed: everything before the damage
+// replays, nothing after it does.
+func TestWALCorruptionStopsAtPrefix(t *testing.T) {
+	dir := t.TempDir()
+	steps := crashWorkload()
+	dur, err := Open(dir, WithCheckpointEvery(1<<20), quiet)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var oracle []core.State
+	oracle = append(oracle, dur.System().Export())
+	n := 0
+	for _, st := range steps {
+		if !st.durable {
+			continue
+		}
+		if err := st.run(dur.System()); err != nil {
+			t.Fatal(err)
+		}
+		oracle = append(oracle, dur.System().Export())
+		if n++; n == 8 {
+			break
+		}
+	}
+	walPath := filepath.Join(dir, WALFile)
+	wal, err := os.ReadFile(walPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var lineEnds []int
+	for i, b := range wal {
+		if b == '\n' {
+			lineEnds = append(lineEnds, i+1)
+		}
+	}
+
+	t.Run("bit flip", func(t *testing.T) {
+		// Corrupt a byte inside the 5th record's mutation payload.
+		mangled := append([]byte(nil), wal...)
+		mid := lineEnds[3] + (lineEnds[4]-lineEnds[3])/2
+		mangled[mid] ^= 0x40
+		d2 := reopenWithWAL(t, dir, mangled)
+		defer d2.Close()
+		st := d2.Stats()
+		if st.Replay.Records != 4 {
+			t.Fatalf("replayed %d records past a corrupt one, want 4", st.Replay.Records)
+		}
+		if st.Replay.TruncatedBytes != int64(len(mangled)-lineEnds[3]) {
+			t.Fatalf("truncated %d bytes, want %d", st.Replay.TruncatedBytes, len(mangled)-lineEnds[3])
+		}
+		if !reflect.DeepEqual(d2.System().Export(), oracle[4]) {
+			t.Fatal("recovered state is not the 4-record prefix")
+		}
+	})
+
+	t.Run("garbage tail", func(t *testing.T) {
+		mangled := append(append([]byte(nil), wal...), []byte("{\"gen\":99,not json")...)
+		d2 := reopenWithWAL(t, dir, mangled)
+		defer d2.Close()
+		st := d2.Stats()
+		if st.Replay.Records != 8 || st.Replay.TruncatedBytes == 0 {
+			t.Fatalf("replay = %+v, want all 8 records and a dropped tail", st.Replay)
+		}
+		if !reflect.DeepEqual(d2.System().Export(), oracle[8]) {
+			t.Fatal("garbage tail changed the recovered state")
+		}
+	})
+}
+
+// reopenWithWAL clones dir's snapshot and epoch files next to the given
+// WAL bytes and opens the clone.
+func reopenWithWAL(t *testing.T, refDir string, wal []byte) *Durable {
+	t.Helper()
+	dir := t.TempDir()
+	for _, name := range []string{SnapshotFile, EpochFile} {
+		raw, err := os.ReadFile(filepath.Join(refDir, name))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(filepath.Join(dir, name), raw, 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := os.WriteFile(filepath.Join(dir, WALFile), wal, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	d, err := Open(dir, WithCheckpointEvery(1<<20), quiet)
+	if err != nil {
+		t.Fatalf("open with mangled WAL: %v", err)
+	}
+	return d
+}

@@ -1,10 +1,15 @@
-// Package store persists GRBAC policy snapshots as versioned JSON files,
-// giving the prototype system durable policies across restarts. Writes are
-// atomic (temp file + rename) so a crash mid-save never corrupts the
-// previous snapshot.
+// Package store persists GRBAC policy. Two layers:
+//
+//   - Save/Load: one-shot snapshot files (versioned JSON, atomic
+//     temp+fsync+rename+dirsync writes), used by grbac-policy and for
+//     boot-time policy distribution.
+//   - Durable: a write-ahead-logged store (durable.go) that journals every
+//     core.System mutation, checkpoints snapshots, and replays
+//     snapshot+WAL-tail on boot — crash-safe persistence for a live PDP.
 package store
 
 import (
+	"bytes"
 	"encoding/json"
 	"errors"
 	"fmt"
@@ -22,23 +27,46 @@ const Version = 1
 // ErrVersion reports a snapshot produced by an incompatible format.
 var ErrVersion = errors.New("store: unsupported snapshot version")
 
-// Snapshot is the on-disk envelope around a core.State.
+// ErrCorrupt reports a snapshot or WAL record that is structurally broken —
+// truncated JSON, trailing garbage, a failed checksum, or an empty file.
+// Load never half-imports: on ErrCorrupt no core.System is returned.
+var ErrCorrupt = errors.New("store: corrupt data")
+
+// Snapshot is the on-disk envelope around a core.State. Generation stamps
+// checkpoints written by the durable store (0 for plain Save files, whose
+// generation is meaningless across processes).
 type Snapshot struct {
-	Version int        `json:"version"`
-	SavedAt time.Time  `json:"saved_at"`
-	State   core.State `json:"state"`
+	Version    int        `json:"version"`
+	SavedAt    time.Time  `json:"saved_at"`
+	Generation uint64     `json:"generation,omitempty"`
+	State      core.State `json:"state"`
 }
 
 // Save writes the system's current policy state to path atomically.
 func Save(path string, sys *core.System, at time.Time) error {
+	st, gen := sys.Snapshot()
+	return writeSnapshot(path, Snapshot{Version: Version, SavedAt: at, Generation: gen, State: st}, true)
+}
+
+// writeSnapshot writes snap to path with full crash safety: the bytes are
+// fsynced in a temp file, renamed over path, and then the parent directory
+// is fsynced so the rename itself survives a crash. A reader at any moment
+// sees either the old complete file or the new complete file. sync=false
+// keeps the atomic rename but skips both fsyncs (WithoutFsync stores).
+func writeSnapshot(path string, snap Snapshot, sync bool) error {
 	if err := faults.Inject(faults.StoreSave); err != nil {
 		return fmt.Errorf("store: %w", err)
 	}
-	snap := Snapshot{Version: Version, SavedAt: at, State: sys.Export()}
 	raw, err := json.MarshalIndent(snap, "", "  ")
 	if err != nil {
 		return fmt.Errorf("store: encode: %w", err)
 	}
+	return atomicWriteFile(path, raw, sync)
+}
+
+// atomicWriteFile is the temp+fsync+rename+dirsync envelope shared by
+// snapshot checkpoints and the durable store's epoch file.
+func atomicWriteFile(path string, raw []byte, sync bool) error {
 	dir := filepath.Dir(path)
 	tmp, err := os.CreateTemp(dir, ".grbac-snapshot-*")
 	if err != nil {
@@ -53,9 +81,11 @@ func Save(path string, sys *core.System, at time.Time) error {
 		_ = tmp.Close()
 		return fmt.Errorf("store: write: %w", err)
 	}
-	if err := tmp.Sync(); err != nil {
-		_ = tmp.Close()
-		return fmt.Errorf("store: sync: %w", err)
+	if sync {
+		if err := tmp.Sync(); err != nil {
+			_ = tmp.Close()
+			return fmt.Errorf("store: sync: %w", err)
+		}
 	}
 	if err := tmp.Close(); err != nil {
 		return fmt.Errorf("store: close: %w", err)
@@ -63,10 +93,33 @@ func Save(path string, sys *core.System, at time.Time) error {
 	if err := os.Rename(tmpName, path); err != nil {
 		return fmt.Errorf("store: rename: %w", err)
 	}
+	// The rename updated the directory, not the file: without syncing the
+	// directory a crash here can lose the new entry (and with it the whole
+	// snapshot) even though the data blocks were fsynced.
+	if sync {
+		if err := syncDir(dir); err != nil {
+			return fmt.Errorf("store: sync dir: %w", err)
+		}
+	}
 	return nil
 }
 
-// Load reads a snapshot file and reconstructs a fresh system from it.
+// syncDir fsyncs a directory so renames inside it are durable.
+func syncDir(dir string) error {
+	if err := faults.Inject(faults.StoreDirSync); err != nil {
+		return err
+	}
+	d, err := os.Open(dir)
+	if err != nil {
+		return err
+	}
+	defer d.Close()
+	return d.Sync()
+}
+
+// Load reads a snapshot file and reconstructs a fresh system from it. On
+// any decode failure the error wraps ErrCorrupt (or ErrVersion for a clean
+// version skew) and no system is returned.
 func Load(path string, opts ...core.Option) (*core.System, Snapshot, error) {
 	if err := faults.Inject(faults.StoreLoad); err != nil {
 		return nil, Snapshot{}, fmt.Errorf("store: %w", err)
@@ -75,9 +128,18 @@ func Load(path string, opts ...core.Option) (*core.System, Snapshot, error) {
 	if err != nil {
 		return nil, Snapshot{}, fmt.Errorf("store: read: %w", err)
 	}
+	if len(raw) == 0 {
+		return nil, Snapshot{}, fmt.Errorf("%w: %s is empty", ErrCorrupt, path)
+	}
 	var snap Snapshot
-	if err := json.Unmarshal(raw, &snap); err != nil {
-		return nil, Snapshot{}, fmt.Errorf("store: decode: %w", err)
+	dec := json.NewDecoder(bytes.NewReader(raw))
+	if err := dec.Decode(&snap); err != nil {
+		return nil, Snapshot{}, fmt.Errorf("%w: decode %s: %v", ErrCorrupt, path, err)
+	}
+	// A syntactically complete document followed by trailing bytes is a
+	// torn or doubled write, not a snapshot.
+	if dec.More() {
+		return nil, Snapshot{}, fmt.Errorf("%w: %s has trailing data after the snapshot document", ErrCorrupt, path)
 	}
 	if snap.Version != Version {
 		return nil, Snapshot{}, fmt.Errorf("%w: got %d, want %d", ErrVersion, snap.Version, Version)

@@ -9,6 +9,7 @@ import (
 	"time"
 
 	"github.com/aware-home/grbac/internal/core"
+	"github.com/aware-home/grbac/internal/faults"
 	"github.com/aware-home/grbac/internal/policy"
 )
 
@@ -24,7 +25,7 @@ grant child use entertainment-devices when weekday-free-time;
 threshold 0.25;
 `
 
-func buildSystem(t *testing.T) *core.System {
+func buildSystem(t testing.TB) *core.System {
 	t.Helper()
 	compiled, err := policy.Compile(testPolicy)
 	if err != nil {
@@ -123,6 +124,80 @@ func TestSaveErrors(t *testing.T) {
 	}
 	if len(entries) != 1 {
 		t.Fatalf("leftover files after failed save: %v", entries)
+	}
+}
+
+// TestSaveSyncsDir pins the durability of the rename itself: Save must
+// fsync the parent directory after renaming the snapshot into place, and
+// must report failure if that sync fails (the data blocks being safe is
+// not enough — an unsynced directory entry can vanish in a crash).
+func TestSaveSyncsDir(t *testing.T) {
+	sys := buildSystem(t)
+	dir := t.TempDir()
+	path := filepath.Join(dir, "policy.json")
+	plan := faults.NewPlan(1, faults.Rule{
+		Point: faults.StoreDirSync, Limit: 1,
+		Action: faults.Action{Err: errors.New("simulated dir fsync failure")},
+	})
+	faults.Activate(plan)
+	defer faults.Deactivate()
+	if err := Save(path, sys, savedAt); err == nil {
+		t.Fatal("Save succeeded despite a failed directory fsync")
+	}
+	if got := plan.Fired(faults.StoreDirSync); got != 1 {
+		t.Fatalf("directory fsync point fired %d times, want 1: Save skipped the dir sync", got)
+	}
+	// The rename preceded the failed sync, so the file is visibly in place
+	// — the error reports durability, not visibility.
+	if _, err := os.Stat(path); err != nil {
+		t.Fatalf("snapshot missing after rename: %v", err)
+	}
+	faults.Deactivate()
+	if err := Save(path, sys, savedAt); err != nil {
+		t.Fatalf("clean save after injected failure: %v", err)
+	}
+}
+
+// TestLoadCorruptSnapshots feeds Load every corruption shape a crashed or
+// meddled-with disk can produce and requires a typed error with no system
+// returned: a PDP must refuse to boot from damaged policy, never
+// half-import it.
+func TestLoadCorruptSnapshots(t *testing.T) {
+	dir := t.TempDir()
+	valid := filepath.Join(dir, "valid.json")
+	if err := Save(valid, buildSystem(t), savedAt); err != nil {
+		t.Fatal(err)
+	}
+	validRaw, err := os.ReadFile(valid)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	cases := []struct {
+		name string
+		raw  []byte
+		want error
+	}{
+		{"zero byte file", nil, ErrCorrupt},
+		{"truncated json", validRaw[:len(validRaw)/2], ErrCorrupt},
+		{"trailing garbage", append(append([]byte(nil), validRaw...), []byte("{}")...), ErrCorrupt},
+		{"doubled document", append(append([]byte(nil), validRaw...), validRaw...), ErrCorrupt},
+		{"version skew", []byte(`{"version": 99, "state": {}}`), ErrVersion},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			path := filepath.Join(dir, "case.json")
+			if err := os.WriteFile(path, tc.raw, 0o600); err != nil {
+				t.Fatal(err)
+			}
+			sys, _, err := Load(path)
+			if !errors.Is(err, tc.want) {
+				t.Fatalf("Load = %v, want %v", err, tc.want)
+			}
+			if sys != nil {
+				t.Fatal("Load returned a system alongside the error")
+			}
+		})
 	}
 }
 

@@ -21,7 +21,11 @@
 #   8. the disabled observability hooks (nil obs.Counter/Histogram/Tracer)
 #      must allocate nothing and cost at most BENCHGUARD_MAX_OBS_NS
 #      (default 100ns) combined, the same idle-freedom discipline for the
-#      metrics layer.
+#      metrics layer;
+#   9. the warm Decide path behind the durable store (WAL journal attached)
+#      must allocate exactly as much as the plain in-memory system and stay
+#      within BENCHGUARD_WAL_RATIO x (default 3) of its latency — the
+#      journal engages on mutation only, never on reads.
 set -eu
 
 cd "$(dirname "$0")/.."
@@ -193,6 +197,40 @@ if [ "$obs_allocs" -ne 0 ]; then
 fi
 if ! awk -v ns="$obs_ns" -v max="$obs_ns_budget" 'BEGIN { exit !(ns <= max) }'; then
 	echo "benchguard: FAIL: disabled obs hooks cost ${obs_ns}ns/op (budget ${obs_ns_budget}ns)" >&2
+	exit 1
+fi
+
+# Guard 9: the durable store must be free on the read path. The WAL
+# journal hooks into mutations; a decision on a recovered system is the
+# same cached lookup as on a plain in-memory one. Allocations must match
+# exactly; latency gets a generous ratio because both numbers sit in the
+# low hundreds of ns where scheduler noise is proportionally large.
+wal_ratio=${BENCHGUARD_WAL_RATIO:-3}
+sout=$(go test -run '^$' -bench 'WarmDecide' -benchtime 20000x -benchmem \
+	./internal/store)
+echo "$sout"
+
+sfield_of() {
+	echo "$sout" | awk -v pat="$1" -v f="$2" '$1 ~ pat { print $f; exit }'
+}
+
+mem_ns=$(sfield_of 'WarmDecide/memory' 3)
+mem_allocs=$(sfield_of 'WarmDecide/memory' 7)
+dur_ns=$(sfield_of 'WarmDecide/durable' 3)
+dur_allocs=$(sfield_of 'WarmDecide/durable' 7)
+if [ -z "$mem_ns" ] || [ -z "$mem_allocs" ] || [ -z "$dur_ns" ] || [ -z "$dur_allocs" ]; then
+	echo "benchguard: missing WarmDecide results" >&2
+	exit 1
+fi
+
+echo "benchguard: warm Decide memory=${mem_ns}ns/op ($mem_allocs allocs/op), durable=${dur_ns}ns/op ($dur_allocs allocs/op), ratio budget=x$wal_ratio"
+if [ "$dur_allocs" -ne "$mem_allocs" ]; then
+	echo "benchguard: FAIL: durable warm Decide allocates differently ($dur_allocs vs $mem_allocs allocs/op)" >&2
+	exit 1
+fi
+if ! awk -v d="$dur_ns" -v m="$mem_ns" -v need="$wal_ratio" \
+	'BEGIN { exit !(d <= m * need) }'; then
+	echo "benchguard: FAIL: durable warm Decide ${dur_ns}ns/op exceeds x$wal_ratio of in-memory ${mem_ns}ns/op" >&2
 	exit 1
 fi
 echo "benchguard: OK"
