@@ -1,6 +1,6 @@
 # Standard developer entry points; everything is plain `go` underneath.
 
-.PHONY: all build vet test race bench benchguard replication-smoke chaos-smoke crash-smoke fuzz cover experiments fmt
+.PHONY: all build vet test race bench benchguard replication-smoke chaos-smoke crash-smoke sdk-smoke fuzz cover experiments fmt
 
 all: build vet test
 
@@ -40,6 +40,12 @@ chaos-smoke:
 # no acked mutation was lost, and the recovered policy still decides.
 crash-smoke:
 	./scripts/crash_recovery_smoke.sh
+
+# End-to-end embedded-SDK drill: boots a primary grbacd and drives the
+# examples/embedded program through local mediation, remote fallback,
+# and watch-driven invalidation after an admin mutation.
+sdk-smoke:
+	./scripts/sdk_smoke.sh
 
 # Run every native fuzz target for a short budget each.
 fuzz:

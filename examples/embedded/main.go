@@ -1,0 +1,97 @@
+// Command embedded demonstrates the embedded PEP SDK: instead of asking
+// the PDP over HTTP per request, the process bootstraps a full policy
+// snapshot from a primary grbacd, rides its watch feed, and mediates
+// in-process at memory speed. Start a primary first:
+//
+//	grbacd -addr :8125 -admin &
+//	go run ./examples/embedded -primary http://127.0.0.1:8125
+//
+// The program answers one locally-evaluable request from the embedded
+// snapshot, then one nil-environment request (which only the primary's
+// live sensors can answer, so it falls back over HTTP). With
+// -wait-change it then blocks on the push-invalidation signal until a
+// policy mutation on the primary flips the local decision — grant a
+// deny rule via the admin API and watch the flip arrive with no polling:
+//
+//	curl -X POST http://127.0.0.1:8125/v1/admin/permissions \
+//	  -H 'Content-Type: application/json' \
+//	  -d '{"subject":"child","object":"entertainment-devices",
+//	       "environment":"weekday-free-time","transaction":"use","effect":"deny"}'
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"log"
+	"time"
+
+	grbac "github.com/aware-home/grbac"
+	"github.com/aware-home/grbac/sdk"
+)
+
+func main() {
+	primary := flag.String("primary", "http://127.0.0.1:8125", "primary PDP base URL")
+	waitChange := flag.Bool("wait-change", false, "after the demo decisions, block until a primary mutation flips the local decision")
+	waitTimeout := flag.Duration("wait-timeout", time.Minute, "give up on -wait-change after this long")
+	flag.Parse()
+
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+	c, err := sdk.New(ctx, *primary)
+	cancel()
+	if err != nil {
+		log.Fatalf("bootstrap from %s: %v", *primary, err)
+	}
+	defer c.Close()
+	fmt.Printf("synced: generation=%d\n", c.Generation())
+
+	// The stock Aware Home policy: alice is a child, the tv is an
+	// entertainment device, and children may use entertainment devices
+	// during weekday free time. The caller asserts the environment role,
+	// so the embedded snapshot can answer without leaving the process.
+	req := grbac.Request{
+		Subject: "alice", Object: "tv", Transaction: "use",
+		Environment: []grbac.RoleID{"weekday-free-time"},
+	}
+	d, err := c.Decide(context.Background(), req)
+	if err != nil {
+		log.Fatalf("local decide: %v", err)
+	}
+	fmt.Printf("decide: allowed=%v source=%s stale=%v\n", d.Allowed, d.Source, d.Stale)
+
+	// A nil environment means "consult the live environment sensors" —
+	// state only the primary holds — so the SDK routes this one over HTTP.
+	live := grbac.Request{Subject: "alice", Object: "tv", Transaction: "use"}
+	ld, err := c.Decide(context.Background(), live)
+	if err != nil {
+		log.Fatalf("remote decide: %v", err)
+	}
+	fmt.Printf("decide (live environment): allowed=%v source=%s\n", ld.Allowed, ld.Source)
+
+	if !*waitChange {
+		return
+	}
+
+	fmt.Printf("waiting for a primary mutation to flip the decision (allowed=%v now)...\n", d.Allowed)
+	was := d.Allowed
+	deadline := time.After(*waitTimeout)
+	for {
+		// Arm the signal before re-checking so a flip cannot slip between
+		// the decision and the wait.
+		ch := c.PolicyChanged()
+		d, err := c.Decide(context.Background(), req)
+		if err != nil {
+			log.Fatalf("decide during wait: %v", err)
+		}
+		if d.Allowed != was {
+			fmt.Printf("flipped: allowed=%v source=%s generation=%d\n",
+				d.Allowed, d.Source, c.Generation())
+			return
+		}
+		select {
+		case <-ch:
+		case <-deadline:
+			log.Fatalf("no policy change within %v", *waitTimeout)
+		}
+	}
+}

@@ -49,6 +49,11 @@ func All() []Experiment {
 		// E16 (replication cost) lives in internal/replica's benchmarks;
 		// see EXPERIMENTS.md §E16.
 		{ID: "E17", Title: "Parallel mediation scaling (derived)", Source: "§1 connected-home deployment", Run: RunE17},
+		// E18 (fault-injection drill) lives in internal/faults' chaos
+		// tests, E19 (observability overhead) in internal/obs' benchmarks,
+		// and E20 (durable restart) in internal/store's recovery harness;
+		// see EXPERIMENTS.md §E18–§E20.
+		{ID: "E21", Title: "Embedded PEP SDK mediation (derived)", Source: "§1 enforcement-point cost", Run: RunE21},
 	}
 }
 

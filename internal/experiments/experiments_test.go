@@ -11,8 +11,8 @@ import (
 
 func TestAllRegistryIsComplete(t *testing.T) {
 	all := All()
-	if len(all) != 16 {
-		t.Fatalf("experiments = %d, want 16", len(all))
+	if len(all) != 17 {
+		t.Fatalf("experiments = %d, want 17", len(all))
 	}
 	seen := make(map[string]bool)
 	for _, e := range all {
@@ -218,6 +218,22 @@ func TestE17TableShape(t *testing.T) {
 	for _, g := range []string{"1 ", "2 ", "4 ", "8 ", "16 "} {
 		if !strings.Contains(out, "\n"+g) {
 			t.Fatalf("E17 missing row for %s goroutines:\n%s", strings.TrimSpace(g), out)
+		}
+	}
+}
+
+func TestE21TableShape(t *testing.T) {
+	if testing.Short() {
+		t.Skip("embedded-vs-remote sweep is slow")
+	}
+	out := runCapture(t, "E21")
+	for _, want := range []string{
+		"embedded SDK vs remote PDP", "embedded ", "remote ",
+		"embedded speedup over HTTP round trip: x",
+		"remote fallbacks: 0",
+	} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("E21 missing %q:\n%s", want, out)
 		}
 	}
 }

@@ -60,6 +60,11 @@ const (
 	// delay is slow mediation (holding an admission slot), an error is an
 	// internal failure, a panic exercises the recovery middleware.
 	PDPDecide = "pdp.decide"
+	// SDKFallback wraps the embedded SDK's remote-fallback call: an error
+	// is an unreachable primary (forcing the fail-safe deny path), a delay
+	// is a slow remote Decide. The SDK's resync transport shares
+	// ReplicaSnapshot and ReplicaWatch with the follower.
+	SDKFallback = "sdk.fallback"
 )
 
 // Action is what a rule does when it fires. All set fields apply: the

@@ -7,7 +7,6 @@ import (
 	"errors"
 	"fmt"
 	"io"
-	"math/rand"
 	"net/http"
 	"strconv"
 	"strings"
@@ -15,6 +14,7 @@ import (
 
 	"github.com/aware-home/grbac/internal/core"
 	"github.com/aware-home/grbac/internal/replica"
+	"github.com/aware-home/grbac/internal/retry"
 )
 
 // ErrRemote reports a non-2xx reply from the PDP server.
@@ -245,7 +245,11 @@ func (c *Client) get(ctx context.Context, path string, out any) error {
 // Every attempt consults the circuit breaker (when one is configured) and
 // feeds its outcome back, so sustained failure degrades to fail-fast.
 func (c *Client) do(ctx context.Context, build func() (*http.Request, error), out any) error {
-	delay := c.retryBase
+	// The shared policy: exponential doubling from retryBase, capped at
+	// maxRetryDelay (unbounded growth would overflow time.Duration and
+	// produce pointlessly huge sleeps long before that), with full jitter
+	// decorrelating a fleet of retrying clients.
+	bo := retry.New(c.retryBase, maxRetryDelay, 100*time.Millisecond)
 	for attempt := 1; ; attempt++ {
 		if c.breaker != nil && !c.breaker.allow(time.Now()) {
 			return ErrCircuitOpen
@@ -259,11 +263,10 @@ func (c *Client) do(ctx context.Context, build func() (*http.Request, error), ou
 		if err == nil || attempt >= c.attempts || !transient(err) || ctx.Err() != nil {
 			return err
 		}
-		// Full jitter on [delay/2, 3*delay/2): decorrelates a fleet of
-		// retrying clients. A server Retry-After hint puts a floor under
-		// the sleep — the server knows its own recovery better than we do
-		// (but the hint was already clamped at MaxRetryAfter on parse).
-		sleep := delay/2 + time.Duration(rand.Int63n(int64(delay)+1))
+		// A server Retry-After hint puts a floor under the sleep — the
+		// server knows its own recovery better than we do (but the hint
+		// was already clamped at MaxRetryAfter on parse).
+		sleep := bo.Delay()
 		if ra := retryAfterOf(err); ra > sleep {
 			sleep = ra
 		}
@@ -273,15 +276,6 @@ func (c *Client) do(ctx context.Context, build func() (*http.Request, error), ou
 			t.Stop()
 			return err
 		case <-t.C:
-		}
-		// Cap the doubling: with many attempts configured, unbounded
-		// growth both overflows time.Duration eventually and produces
-		// pointlessly huge sleeps long before that.
-		if delay < maxRetryDelay {
-			delay *= 2
-			if delay > maxRetryDelay {
-				delay = maxRetryDelay
-			}
 		}
 	}
 }

@@ -114,6 +114,76 @@ type ErrorResponse struct {
 	Error string `json:"error"`
 }
 
+// FromCoreRequest converts a core request into its wire form — the
+// inverse of toCore — so in-process mediators (the embedded SDK) can fall
+// back to a remote Decide without hand-building wire structs. The
+// nil-vs-empty environment distinction is preserved: nil stays absent
+// (the server consults its live environment source), an empty non-nil
+// slice stays an explicit "no roles active".
+func FromCoreRequest(req core.Request) DecideRequest {
+	out := DecideRequest{
+		Subject:     string(req.Subject),
+		Session:     string(req.Session),
+		Object:      string(req.Object),
+		Transaction: string(req.Transaction),
+	}
+	for _, c := range req.Credentials {
+		out.Credentials = append(out.Credentials, Credential{
+			Subject:    string(c.Subject),
+			Role:       string(c.Role),
+			Confidence: c.Confidence,
+			Source:     c.Source,
+		})
+	}
+	if req.Environment != nil {
+		out.Environment = make([]string, 0, len(req.Environment))
+		for _, e := range req.Environment {
+			out.Environment = append(out.Environment, string(e))
+		}
+	}
+	return out
+}
+
+// ToCore converts a wire decision back into core form for callers that
+// mix remote and in-process mediation. The wire carries less than a core
+// decision (matches lose their full Permission, role sets are not sent),
+// so the reconstruction is partial: outcome, strategy, reason, and the
+// match triples survive.
+func (r DecideResponse) ToCore() core.Decision {
+	d := core.Decision{
+		Allowed:     r.Allowed,
+		Effect:      effectFromString(r.Effect),
+		DefaultDeny: r.DefaultDeny,
+		Strategy:    r.Strategy,
+		Reason:      r.Reason,
+	}
+	for _, m := range r.Matches {
+		d.Matches = append(d.Matches, core.Match{
+			Permission: core.Permission{
+				Subject:     core.RoleID(m.SubjectRole),
+				Object:      core.RoleID(m.ObjectRole),
+				Environment: core.RoleID(m.EnvironmentRole),
+				Transaction: core.TransactionID(m.Transaction),
+				Effect:      effectFromString(m.Effect),
+			},
+			SubjectRole:     core.RoleID(m.SubjectRole),
+			ObjectRole:      core.RoleID(m.ObjectRole),
+			EnvironmentRole: core.RoleID(m.EnvironmentRole),
+			Confidence:      m.Confidence,
+		})
+	}
+	return d
+}
+
+// effectFromString parses the wire effect; anything unrecognized reads as
+// Deny, the closed-world default.
+func effectFromString(s string) core.Effect {
+	if s == core.Permit.String() {
+		return core.Permit
+	}
+	return core.Deny
+}
+
 // toCore converts a wire request into a core request.
 func (r DecideRequest) toCore() core.Request {
 	req := core.Request{

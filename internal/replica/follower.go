@@ -1,458 +1,22 @@
 package replica
 
-import (
-	"context"
-	"errors"
-	"fmt"
-	"log"
-	"math/rand"
-	"sync"
-	"time"
+import "github.com/aware-home/grbac/internal/core"
 
-	"github.com/aware-home/grbac/internal/core"
-)
+// Follower is the read-only-PDP name for the replication Puller: a
+// follower grbacd keeps its local core.System converged with the
+// primary's feed and serves Decide traffic from it, redirecting
+// mutations. The same sync engine also powers the embedded SDK (package
+// sdk), which is why the machinery lives on Puller; Follower is a plain
+// alias, so the two names are one type and every option and method works
+// on both.
+type Follower = Puller
 
-// Default tuning for the follower's sync loop.
-const (
-	defaultBackoffMin   = 100 * time.Millisecond
-	defaultBackoffMax   = 5 * time.Second
-	defaultFetchTimeout = 30 * time.Second
-	defaultWatchTimeout = 60 * time.Second
-	defaultMaxStaleness = 30 * time.Second
-)
-
-// Fetcher is the transport the Follower pulls from. Client implements it
-// over HTTP; tests implement it in-process.
-type Fetcher interface {
-	Snapshot(ctx context.Context) (Snapshot, error)
-	Watch(ctx context.Context, epoch string, after uint64) (WatchResponse, error)
-}
-
-// DeltaFetcher is the optional catch-up extension of Fetcher: a transport
-// that can fetch just the mutations after a position. When the configured
-// Fetcher implements it (Client does), the follower tries a delta before
-// every full snapshot and falls back on ErrDeltaUnavailable — so a
-// follower of a durable primary rides out primary restarts without ever
-// refetching the whole policy.
-type DeltaFetcher interface {
-	Delta(ctx context.Context, epoch string, after uint64) (Delta, error)
-}
-
-// Stats is a point-in-time report of replication health, exported through
-// the PDP's /v1/statsz and the `grbacctl replication` command. Ages are
-// seconds, -1 meaning "never".
-type Stats struct {
-	// PrimaryURL is the feed being followed (empty for in-process fetchers).
-	PrimaryURL string `json:"primary_url,omitempty"`
-	// Epoch is the primary incarnation last synced from.
-	Epoch string `json:"epoch,omitempty"`
-	// PrimaryGeneration is the highest generation observed at the primary.
-	PrimaryGeneration uint64 `json:"primary_generation"`
-	// AppliedGeneration is the generation of the last applied snapshot.
-	AppliedGeneration uint64 `json:"applied_generation"`
-	// Lag is PrimaryGeneration - AppliedGeneration: the number of policy
-	// mutations the follower has observed but not yet applied.
-	Lag uint64 `json:"lag"`
-	// Syncs counts successfully applied full snapshots.
-	Syncs uint64 `json:"syncs"`
-	// DeltaSyncs counts catch-ups served from the primary's journal tail
-	// instead of a full snapshot.
-	DeltaSyncs uint64 `json:"delta_syncs"`
-	// DeltaMutations counts individual mutations applied via delta sync.
-	DeltaMutations uint64 `json:"delta_mutations"`
-	// Errors counts failed fetch/watch/apply attempts.
-	Errors uint64 `json:"errors"`
-	// WatchReconnects counts watch streams that broke and forced the
-	// follower back through backoff and a fresh snapshot.
-	WatchReconnects uint64 `json:"watch_reconnects"`
-	// LastSyncAgeSeconds is the age of the last applied snapshot.
-	LastSyncAgeSeconds float64 `json:"last_sync_age_seconds"`
-	// LastContactAgeSeconds is the age of the last successful exchange
-	// with the primary (watch keepalives count: an idle but reachable
-	// primary is not staleness).
-	LastContactAgeSeconds float64 `json:"last_contact_age_seconds"`
-	// MaxStalenessSeconds is the configured bound; 0 disables staleness.
-	MaxStalenessSeconds float64 `json:"max_staleness_seconds"`
-	// Stale reports whether the staleness bound has been exceeded.
-	Stale bool `json:"stale"`
-}
-
-// Follower keeps a local core.System converged with a primary's
-// replication feed. Construct with NewFollower, start Run in a goroutine,
-// and serve Decide traffic from the system as usual; the PDP layer uses
-// Stale and Stats to mark degraded service.
-type Follower struct {
-	fetch      Fetcher
-	deltaFetch DeltaFetcher // non-nil when fetch implements DeltaFetcher
-	sys        *core.System
-	primaryURL string
-
-	maxStaleness time.Duration
-	backoffMin   time.Duration
-	backoffMax   time.Duration
-	fetchTimeout time.Duration
-	watchTimeout time.Duration
-	now          func() time.Time
-	logger       *log.Logger
-
-	mu          sync.Mutex
-	epoch       string
-	primaryGen  uint64
-	appliedGen  uint64
-	synced      bool
-	lastSync    time.Time
-	lastContact time.Time
-	syncs       uint64
-	deltaSyncs  uint64
-	deltaMuts   uint64
-	errs        uint64
-	reconnects  uint64
-}
-
-// FollowerOption configures a Follower.
-type FollowerOption func(*Follower)
-
-// WithMaxStaleness sets how long the follower may go without contact from
-// the primary before it reports itself stale (default 30s; d <= 0
-// disables staleness entirely).
-func WithMaxStaleness(d time.Duration) FollowerOption {
-	return func(f *Follower) { f.maxStaleness = d }
-}
-
-// WithBackoff bounds the exponential retry backoff after transport errors
-// (defaults 100ms..5s). Jitter of ±half the current delay is always
-// applied. Non-positive bounds are clamped at construction time — min <= 0
-// falls back to the default and max is raised to at least min — so a
-// misconfigured follower degrades to sane pacing instead of spinning a
-// zero-delay retry loop against a struggling primary.
-func WithBackoff(min, max time.Duration) FollowerOption {
-	return func(f *Follower) { f.backoffMin, f.backoffMax = min, max }
-}
-
-// WithWatchTimeout sets the client-side deadline on one watch long-poll
-// (default 60s). It must exceed the primary's long-poll cap, or quiet
-// watches will be misread as primary failures.
-func WithWatchTimeout(d time.Duration) FollowerOption {
-	return func(f *Follower) { f.watchTimeout = d }
-}
-
-// WithFetchTimeout sets the deadline on one snapshot fetch (default 30s).
-func WithFetchTimeout(d time.Duration) FollowerOption {
-	return func(f *Follower) { f.fetchTimeout = d }
-}
-
-// WithFetcher substitutes the transport (tests, in-process replication).
-func WithFetcher(fetch Fetcher) FollowerOption {
-	return func(f *Follower) { f.fetch = fetch }
-}
-
-// WithFollowerLogger sets the sync loop's logger (default log.Default()).
-func WithFollowerLogger(l *log.Logger) FollowerOption {
-	return func(f *Follower) { f.logger = l }
-}
-
-// WithFollowerClock overrides the staleness clock, for tests.
-func WithFollowerClock(now func() time.Time) FollowerOption {
-	return func(f *Follower) { f.now = now }
-}
+// FollowerOption configures a Follower (alias of PullerOption).
+type FollowerOption = PullerOption
 
 // NewFollower builds a follower that replicates primaryURL's feed into
 // sys. sys should be freshly constructed and not administered locally:
 // every sync replaces its policy wholesale.
 func NewFollower(sys *core.System, primaryURL string, opts ...FollowerOption) *Follower {
-	f := &Follower{
-		sys:          sys,
-		primaryURL:   primaryURL,
-		maxStaleness: defaultMaxStaleness,
-		backoffMin:   defaultBackoffMin,
-		backoffMax:   defaultBackoffMax,
-		fetchTimeout: defaultFetchTimeout,
-		watchTimeout: defaultWatchTimeout,
-		now:          time.Now,
-		logger:       log.Default(),
-	}
-	for _, opt := range opts {
-		opt(f)
-	}
-	// Clamp tuning that would otherwise produce a hot retry loop (zero or
-	// negative backoff feeds jitter's rand.Int63n nothing sane) or
-	// immediately-expiring request contexts.
-	if f.backoffMin <= 0 {
-		f.backoffMin = defaultBackoffMin
-	}
-	if f.backoffMax < f.backoffMin {
-		f.backoffMax = f.backoffMin
-	}
-	if f.fetchTimeout <= 0 {
-		f.fetchTimeout = defaultFetchTimeout
-	}
-	if f.watchTimeout <= 0 {
-		f.watchTimeout = defaultWatchTimeout
-	}
-	if f.fetch == nil {
-		cl := NewClient(primaryURL, nil)
-		// Keepalives must arrive well inside the staleness bound, or an
-		// idle-but-reachable primary reads as stale: ask the primary to
-		// answer "no change" at a third of the bound (it may answer
-		// sooner if its own cap is tighter).
-		if f.maxStaleness > 0 {
-			cl.MaxWait = f.maxStaleness / 3
-			if cl.MaxWait < 100*time.Millisecond {
-				cl.MaxWait = 100 * time.Millisecond
-			}
-		}
-		f.fetch = cl
-	}
-	if df, ok := f.fetch.(DeltaFetcher); ok {
-		f.deltaFetch = df
-	}
-	return f
-}
-
-// System returns the follower's local decision engine.
-func (f *Follower) System() *core.System { return f.sys }
-
-// PrimaryURL returns the feed URL this follower pulls from.
-func (f *Follower) PrimaryURL() string { return f.primaryURL }
-
-// Run drives the sync loop until ctx is done: snapshot, then watch; on
-// any error, exponential backoff with jitter and a fresh snapshot. It
-// always returns ctx.Err().
-func (f *Follower) Run(ctx context.Context) error {
-	backoff := f.backoffMin
-	for {
-		if err := ctx.Err(); err != nil {
-			return err
-		}
-		if err := f.syncOnce(ctx); err != nil {
-			if ctx.Err() != nil {
-				return ctx.Err()
-			}
-			f.noteError()
-			f.logger.Printf("replica: sync from %s failed (retrying in ~%v): %v",
-				f.primaryURL, backoff, err)
-			if !sleepCtx(ctx, jitter(backoff)) {
-				return ctx.Err()
-			}
-			backoff = nextBackoff(backoff, f.backoffMax)
-			continue
-		}
-		backoff = f.backoffMin
-		if err := f.watchLoop(ctx); err != nil {
-			if ctx.Err() != nil {
-				return ctx.Err()
-			}
-			f.noteError()
-			f.mu.Lock()
-			f.reconnects++
-			f.mu.Unlock()
-			f.logger.Printf("replica: watch on %s failed (re-syncing in ~%v): %v",
-				f.primaryURL, backoff, err)
-			if !sleepCtx(ctx, jitter(backoff)) {
-				return ctx.Err()
-			}
-			backoff = nextBackoff(backoff, f.backoffMax)
-		}
-	}
-}
-
-// syncOnce converges with the primary: a journal delta when the
-// transport offers one and this follower already has a position in the
-// primary's epoch, a full snapshot otherwise. A failed delta is not a
-// sync failure — the snapshot path always stands behind it — so delta
-// errors are logged (ErrDeltaUnavailable silently: it is the primary's
-// normal "take a snapshot" answer, not a fault) and never counted.
-func (f *Follower) syncOnce(ctx context.Context) error {
-	if f.deltaFetch != nil {
-		epoch, after := f.position()
-		if epoch != "" {
-			err := f.deltaOnce(ctx, epoch, after)
-			if err == nil {
-				return nil
-			}
-			if !errors.Is(err, ErrDeltaUnavailable) && ctx.Err() == nil {
-				f.logger.Printf("replica: delta sync from %s failed (falling back to snapshot): %v",
-					f.primaryURL, err)
-			}
-		}
-	}
-	fctx, cancel := context.WithTimeout(ctx, f.fetchTimeout)
-	defer cancel()
-	snap, err := f.fetch.Snapshot(fctx)
-	if err != nil {
-		return err
-	}
-	if err := f.sys.Replace(snap.State); err != nil {
-		return err
-	}
-	now := f.now()
-	f.mu.Lock()
-	f.epoch = snap.Epoch
-	f.primaryGen = snap.Generation
-	f.appliedGen = snap.Generation
-	f.synced = true
-	f.lastSync = now
-	f.lastContact = now
-	f.syncs++
-	f.mu.Unlock()
-	return nil
-}
-
-// deltaOnce fetches and applies the mutations after the follower's
-// position. The primary guarantees the delta is complete through
-// delta.Generation even when Mutations is shorter (ephemeral bumps), so
-// the applied position jumps to Generation, not the last mutation.
-func (f *Follower) deltaOnce(ctx context.Context, epoch string, after uint64) error {
-	fctx, cancel := context.WithTimeout(ctx, f.fetchTimeout)
-	defer cancel()
-	delta, err := f.deltaFetch.Delta(fctx, epoch, after)
-	if err != nil {
-		return err
-	}
-	if delta.Epoch != epoch {
-		return fmt.Errorf("%w: epoch changed (%s -> %s)", ErrDeltaUnavailable, epoch, delta.Epoch)
-	}
-	for i := range delta.Mutations {
-		if err := f.sys.Apply(delta.Mutations[i]); err != nil {
-			// A mutation the local system rejects means follower and
-			// primary diverged; only a full snapshot re-converges them.
-			return fmt.Errorf("apply delta mutation %s: %w", delta.Mutations[i].Op, err)
-		}
-	}
-	now := f.now()
-	f.mu.Lock()
-	if delta.Generation > f.primaryGen {
-		f.primaryGen = delta.Generation
-	}
-	f.appliedGen = delta.Generation
-	f.synced = true
-	f.lastSync = now
-	f.lastContact = now
-	f.deltaSyncs++
-	f.deltaMuts += uint64(len(delta.Mutations))
-	f.mu.Unlock()
-	return nil
-}
-
-// watchLoop long-polls the primary, re-snapshotting whenever the feed
-// position moves (generation advance, or epoch change after a primary
-// restart). It returns on the first transport error.
-func (f *Follower) watchLoop(ctx context.Context) error {
-	for {
-		if err := ctx.Err(); err != nil {
-			return err
-		}
-		epoch, after := f.position()
-		wctx, cancel := context.WithTimeout(ctx, f.watchTimeout)
-		resp, err := f.fetch.Watch(wctx, epoch, after)
-		cancel()
-		if err != nil {
-			return err
-		}
-		f.noteContact(resp)
-		if resp.Epoch != epoch || resp.Generation != after {
-			if err := f.syncOnce(ctx); err != nil {
-				return err
-			}
-		}
-	}
-}
-
-func (f *Follower) position() (string, uint64) {
-	f.mu.Lock()
-	defer f.mu.Unlock()
-	return f.epoch, f.appliedGen
-}
-
-func (f *Follower) noteContact(resp WatchResponse) {
-	now := f.now()
-	f.mu.Lock()
-	f.lastContact = now
-	if resp.Epoch == f.epoch && resp.Generation > f.primaryGen {
-		f.primaryGen = resp.Generation
-	}
-	f.mu.Unlock()
-}
-
-func (f *Follower) noteError() {
-	f.mu.Lock()
-	f.errs++
-	f.mu.Unlock()
-}
-
-// Stale reports whether the follower has gone longer than the staleness
-// bound without hearing from the primary (or has never synced at all).
-// A stale follower still serves decisions; the PDP layer marks them.
-func (f *Follower) Stale() bool {
-	if f.maxStaleness <= 0 {
-		return false
-	}
-	f.mu.Lock()
-	defer f.mu.Unlock()
-	return !f.synced || f.now().Sub(f.lastContact) > f.maxStaleness
-}
-
-// Stats reports replication health.
-func (f *Follower) Stats() Stats {
-	now := f.now()
-	f.mu.Lock()
-	defer f.mu.Unlock()
-	st := Stats{
-		PrimaryURL:            f.primaryURL,
-		Epoch:                 f.epoch,
-		PrimaryGeneration:     f.primaryGen,
-		AppliedGeneration:     f.appliedGen,
-		Lag:                   f.primaryGen - f.appliedGen,
-		Syncs:                 f.syncs,
-		DeltaSyncs:            f.deltaSyncs,
-		DeltaMutations:        f.deltaMuts,
-		Errors:                f.errs,
-		WatchReconnects:       f.reconnects,
-		LastSyncAgeSeconds:    -1,
-		LastContactAgeSeconds: -1,
-		MaxStalenessSeconds:   f.maxStaleness.Seconds(),
-	}
-	if !f.lastSync.IsZero() {
-		st.LastSyncAgeSeconds = now.Sub(f.lastSync).Seconds()
-	}
-	if !f.lastContact.IsZero() {
-		st.LastContactAgeSeconds = now.Sub(f.lastContact).Seconds()
-	}
-	if f.maxStaleness > 0 {
-		st.Stale = !f.synced || now.Sub(f.lastContact) > f.maxStaleness
-	}
-	return st
-}
-
-// jitter spreads d to [d/2, 3d/2) so a fleet of followers does not
-// hammer a recovering primary in lockstep. Non-positive d (impossible
-// after NewFollower's clamps, but cheap to guard) passes through
-// untouched rather than reaching rand.Int63n, which panics on n <= 0.
-func jitter(d time.Duration) time.Duration {
-	if d <= 0 {
-		return d
-	}
-	half := int64(d / 2)
-	return time.Duration(half + rand.Int63n(2*half+1))
-}
-
-func nextBackoff(d, max time.Duration) time.Duration {
-	d *= 2
-	if d > max {
-		return max
-	}
-	return d
-}
-
-// sleepCtx sleeps for d or until ctx is done, reporting whether the full
-// sleep elapsed.
-func sleepCtx(ctx context.Context, d time.Duration) bool {
-	t := time.NewTimer(d)
-	defer t.Stop()
-	select {
-	case <-ctx.Done():
-		return false
-	case <-t.C:
-		return true
-	}
+	return NewPuller(sys, primaryURL, opts...)
 }

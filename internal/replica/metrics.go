@@ -38,4 +38,7 @@ func (f *Follower) RegisterMetrics(reg *obs.Registry) {
 	reg.NewCounterFunc("grbac_replica_watch_reconnects_total",
 		"Watch streams that broke and forced backoff plus a fresh snapshot.",
 		func() float64 { return float64(f.Stats().WatchReconnects) })
+	reg.NewCounterFunc("grbac_replica_epoch_flips_total",
+		"Primary epoch changes observed mid-watch (restarts/replacements); re-synced without backoff.",
+		func() float64 { return float64(f.Stats().EpochFlips) })
 }

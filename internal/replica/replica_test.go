@@ -9,6 +9,7 @@ import (
 	"time"
 
 	"github.com/aware-home/grbac/internal/core"
+	"github.com/aware-home/grbac/internal/retry"
 )
 
 // primarySystem builds a small policy with one permit rule.
@@ -255,6 +256,47 @@ func TestFollowerResyncsAcrossEpochChange(t *testing.T) {
 		return st.AppliedGeneration == restarted.Generation() &&
 			f.System().HasSubject("zed")
 	})
+
+	// The flip is accounted as an epoch flip, not a transport failure:
+	// no backoff-triggering error and no reconnect counted for it.
+	waitFor(t, "epoch flip counted", func() bool { return f.Stats().EpochFlips >= 1 })
+	if st := f.Stats(); st.Errors != 0 {
+		t.Fatalf("epoch flip counted as %d errors, want 0", st.Errors)
+	}
+}
+
+// TestWatchEpochChangeReturnsTypedError is the regression test for the
+// epoch-flip error contract: a primary restart mid-watch must surface as
+// ErrEpochChanged carrying both incarnations, not as a generic transport
+// error, so followers and embedded SDK clients can log flips distinctly.
+func TestWatchEpochChangeReturnsTypedError(t *testing.T) {
+	primary := primarySystem(t)
+	fetch := &localFetcher{}
+	fetch.setSource(NewSource(primary))
+
+	p := NewPuller(core.NewSystem(), "", WithFetcher(fetch))
+	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+	defer cancel()
+	if err := p.syncOnce(ctx); err != nil {
+		t.Fatal(err)
+	}
+	oldEpoch, _ := p.position()
+
+	// "Restart" the primary under a fresh epoch; the next watch exchange
+	// reports the new epoch and the loop must return the typed error.
+	fetch.setSource(NewSource(core.NewSystem()))
+	err := p.watchLoop(ctx)
+	if !errors.Is(err, ErrEpochChanged) {
+		t.Fatalf("watchLoop returned %v, want ErrEpochChanged", err)
+	}
+	var flip *EpochChangeError
+	if !errors.As(err, &flip) {
+		t.Fatalf("watchLoop returned %T, want *EpochChangeError", err)
+	}
+	if flip.Old != oldEpoch || flip.New == "" || flip.New == oldEpoch {
+		t.Fatalf("flip = %s -> %s, want old %s and a distinct new epoch",
+			flip.Old, flip.New, oldEpoch)
+	}
 }
 
 func TestFollowerStaleness(t *testing.T) {
@@ -326,12 +368,13 @@ func TestFollowerOptionClamps(t *testing.T) {
 	if f2.backoffMin != 2*time.Second || f2.backoffMax != 2*time.Second {
 		t.Fatalf("inverted bounds clamped to %v/%v, want 2s/2s", f2.backoffMin, f2.backoffMax)
 	}
-	// jitter's own guard: non-positive inputs pass through.
-	if got := jitter(-time.Second); got != -time.Second {
-		t.Fatalf("jitter(-1s) = %v", got)
+	// The shared jitter's own guard: non-positive inputs pass through
+	// (full coverage lives in internal/retry's table tests).
+	if got := retry.Jitter(-time.Second); got != -time.Second {
+		t.Fatalf("retry.Jitter(-1s) = %v", got)
 	}
-	if got := jitter(0); got != 0 {
-		t.Fatalf("jitter(0) = %v", got)
+	if got := retry.Jitter(0); got != 0 {
+		t.Fatalf("retry.Jitter(0) = %v", got)
 	}
 }
 

@@ -1,0 +1,101 @@
+package retry
+
+import (
+	"testing"
+	"time"
+)
+
+func TestJitterBounds(t *testing.T) {
+	for _, d := range []time.Duration{
+		time.Millisecond, 100 * time.Millisecond, time.Second, 5 * time.Second,
+	} {
+		for i := 0; i < 200; i++ {
+			got := Jitter(d)
+			if got < d/2 || got > d+d/2 {
+				t.Fatalf("Jitter(%v) = %v outside [%v, %v]", d, got, d/2, d+d/2)
+			}
+		}
+	}
+}
+
+func TestJitterPassesNonPositiveThrough(t *testing.T) {
+	for _, d := range []time.Duration{0, -time.Second} {
+		if got := Jitter(d); got != d {
+			t.Fatalf("Jitter(%v) = %v, want unchanged", d, got)
+		}
+	}
+}
+
+func TestNext(t *testing.T) {
+	tests := []struct {
+		name   string
+		d, max time.Duration
+		want   time.Duration
+	}{
+		{"doubles", 100 * time.Millisecond, 5 * time.Second, 200 * time.Millisecond},
+		{"clamps at max", 3 * time.Second, 5 * time.Second, 5 * time.Second},
+		{"stays at max", 5 * time.Second, 5 * time.Second, 5 * time.Second},
+		{"above max clamps down", 8 * time.Second, 5 * time.Second, 5 * time.Second},
+		{"uncapped doubles", 4 * time.Second, 0, 8 * time.Second},
+		{"zero jumps to max", 0, 5 * time.Second, 5 * time.Second},
+		{"negative jumps to max", -time.Second, 5 * time.Second, 5 * time.Second},
+		{"zero uncapped stays", 0, 0, 0},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			if got := Next(tt.d, tt.max); got != tt.want {
+				t.Fatalf("Next(%v, %v) = %v, want %v", tt.d, tt.max, got, tt.want)
+			}
+		})
+	}
+}
+
+func TestNewClamps(t *testing.T) {
+	fallback := 100 * time.Millisecond
+	tests := []struct {
+		name             string
+		min, max         time.Duration
+		wantMin, wantMax time.Duration
+	}{
+		{"sane bounds kept", time.Second, 5 * time.Second, time.Second, 5 * time.Second},
+		{"zero min falls back", 0, 5 * time.Second, fallback, 5 * time.Second},
+		{"negative min falls back", -1, 5 * time.Second, fallback, 5 * time.Second},
+		{"inverted max raised", 2 * time.Second, time.Second, 2 * time.Second, 2 * time.Second},
+		{"both degenerate", 0, -time.Second, fallback, fallback},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			b := New(tt.min, tt.max, fallback)
+			if b.Min != tt.wantMin || b.Max != tt.wantMax {
+				t.Fatalf("New(%v, %v) = {%v, %v}, want {%v, %v}",
+					tt.min, tt.max, b.Min, b.Max, tt.wantMin, tt.wantMax)
+			}
+		})
+	}
+}
+
+// TestBackoffSchedule pins the exponential envelope: each Delay draws its
+// jitter around double the previous base, clamped at Max, and Reset
+// rewinds to Min.
+func TestBackoffSchedule(t *testing.T) {
+	b := New(100*time.Millisecond, 400*time.Millisecond, 100*time.Millisecond)
+	for i, base := range []time.Duration{
+		100 * time.Millisecond, 200 * time.Millisecond,
+		400 * time.Millisecond, 400 * time.Millisecond,
+	} {
+		if cur := b.Current(); cur != base {
+			t.Fatalf("attempt %d: Current() = %v, want %v", i, cur, base)
+		}
+		got := b.Delay()
+		if got < base/2 || got > base+base/2 {
+			t.Fatalf("attempt %d: Delay() = %v outside jitter of %v", i, got, base)
+		}
+	}
+	b.Reset()
+	if cur := b.Current(); cur != 100*time.Millisecond {
+		t.Fatalf("after Reset, Current() = %v, want Min", cur)
+	}
+	if got := b.Delay(); got < 50*time.Millisecond || got > 150*time.Millisecond {
+		t.Fatalf("after Reset, Delay() = %v outside jitter of Min", got)
+	}
+}

@@ -26,6 +26,10 @@
 #      must allocate exactly as much as the plain in-memory system and stay
 #      within BENCHGUARD_WAL_RATIO x (default 3) of its latency — the
 #      journal engages on mutation only, never on reads.
+#  10. the embedded SDK's warm CheckAccess must allocate nothing — it is
+#      the server's own zero-alloc cache hit running in the caller's
+#      address space — and beat the HTTP round trip to the primary by
+#      BENCHGUARD_SDK_SPEEDUP x (default 10).
 set -eu
 
 cd "$(dirname "$0")/.."
@@ -231,6 +235,40 @@ fi
 if ! awk -v d="$dur_ns" -v m="$mem_ns" -v need="$wal_ratio" \
 	'BEGIN { exit !(d <= m * need) }'; then
 	echo "benchguard: FAIL: durable warm Decide ${dur_ns}ns/op exceeds x$wal_ratio of in-memory ${mem_ns}ns/op" >&2
+	exit 1
+fi
+
+# Guard 10: the embedded SDK (E21). Warm CheckAccess through the SDK is
+# the same zero-alloc cache hit guard 5 pins, just replicated into the
+# caller's process — so it must stay at exactly 0 allocs/op, and the
+# whole point of embedding is dodging the HTTP round trip, so it must
+# beat the remote path by BENCHGUARD_SDK_SPEEDUP x (default 10; the
+# measured gap on loopback is >100x, so 10 leaves CI headroom).
+sdk_speedup=${BENCHGUARD_SDK_SPEEDUP:-10}
+kout=$(go test -run '^$' -bench 'E21EmbeddedMediation' -benchtime 5000x \
+	-benchmem ./sdk)
+echo "$kout"
+
+kfield_of() {
+	echo "$kout" | awk -v pat="$1" -v f="$2" '$1 ~ pat { print $f; exit }'
+}
+
+emb_ns=$(kfield_of 'E21EmbeddedMediation/embedded' 3)
+emb_allocs=$(kfield_of 'E21EmbeddedMediation/embedded' 7)
+rem_ns=$(kfield_of 'E21EmbeddedMediation/remote' 3)
+if [ -z "$emb_ns" ] || [ -z "$emb_allocs" ] || [ -z "$rem_ns" ]; then
+	echo "benchguard: missing E21EmbeddedMediation results" >&2
+	exit 1
+fi
+
+echo "benchguard: embedded=${emb_ns}ns/op ($emb_allocs allocs/op), remote=${rem_ns}ns/op, required=x$sdk_speedup"
+if [ "$emb_allocs" -ne 0 ]; then
+	echo "benchguard: FAIL: embedded warm CheckAccess allocates ($emb_allocs allocs/op, want 0)" >&2
+	exit 1
+fi
+if ! awk -v e="$emb_ns" -v r="$rem_ns" -v need="$sdk_speedup" \
+	'BEGIN { exit !(r / e >= need) }'; then
+	echo "benchguard: FAIL: embedded mediation only x$(awk -v e="$emb_ns" -v r="$rem_ns" 'BEGIN { printf "%.2f", r / e }') of remote (need x$sdk_speedup)" >&2
 	exit 1
 fi
 echo "benchguard: OK"
