@@ -1,6 +1,6 @@
 # Standard developer entry points; everything is plain `go` underneath.
 
-.PHONY: all build vet test race bench benchguard replication-smoke chaos-smoke crash-smoke sdk-smoke fuzz cover experiments fmt
+.PHONY: all build vet test race bench benchguard replication-smoke chaos-smoke crash-smoke sdk-smoke shard-smoke fuzz cover experiments fmt
 
 all: build vet test
 
@@ -46,6 +46,12 @@ crash-smoke:
 # and watch-driven invalidation after an admin mutation.
 sdk-smoke:
 	./scripts/sdk_smoke.sh
+
+# End-to-end sharding drill: boots two shards + a routing tier + a
+# follower and asserts partitioning, routed decides, scatter unions,
+# replication behind the router, and shard-down degradation.
+shard-smoke:
+	./scripts/shard_smoke.sh
 
 # Run every native fuzz target for a short budget each.
 fuzz:

@@ -22,7 +22,7 @@ import (
 func main() {
 	log.SetFlags(0)
 	log.SetPrefix("grbac-bench: ")
-	runID := flag.String("run", "", "run a single experiment (E1..E21)")
+	runID := flag.String("run", "", "run a single experiment (E1..E22)")
 	list := flag.Bool("list", false, "list experiments and exit")
 	flag.Parse()
 

@@ -25,6 +25,7 @@ import (
 
 	"github.com/aware-home/grbac/internal/pdp"
 	"github.com/aware-home/grbac/internal/replica"
+	"github.com/aware-home/grbac/internal/shard"
 )
 
 func main() {
@@ -35,7 +36,7 @@ func main() {
 	flag.Parse()
 
 	if flag.NArg() < 1 {
-		log.Fatal("usage: grbacctl [flags] check|decide|state|health|stats|top|traces|replication|audit|who-can|what-can [subcommand flags]")
+		log.Fatal("usage: grbacctl [flags] check|decide|state|health|shards|stats|top|traces|replication|audit|who-can|what-can [subcommand flags]")
 	}
 	client := pdp.NewClient(*server, nil)
 	ctx, cancel := context.WithTimeout(context.Background(), *timeout)
@@ -159,6 +160,23 @@ func main() {
 		}
 		fmt.Println("unhealthy")
 		os.Exit(1)
+	case "shards":
+		// Ask the routing tier for its shard map, then probe each shard.
+		var w shard.Wire
+		if err := client.Call(ctx, "GET", pdp.ShardMapPath, nil, &w); err != nil {
+			log.Fatalf("%v (is %s a grbacd -route node?)", err, *server)
+		}
+		fmt.Printf("shard map v%d (%d shards, %d vnodes)\n", w.Version, len(w.Shards), w.VNodes)
+		exit := 0
+		for _, s := range w.Shards {
+			state := "ok"
+			if !pdp.NewClient(s.Addr, nil).Healthy(ctx) {
+				state = "UNREACHABLE"
+				exit = 1
+			}
+			fmt.Printf("  %-12s %-32s %s\n", s.ID, s.Addr, state)
+		}
+		os.Exit(exit)
 	default:
 		log.Fatalf("unknown command %q", cmd)
 	}

@@ -79,7 +79,9 @@ func (s *System) exportLocked() State {
 
 // Import rebuilds a System from a snapshot. The system must be freshly
 // constructed (empty); importing into a populated system returns ErrInvalid.
-func (s *System) Import(st State) error {
+func (s *System) Import(st State) (err error) {
+	var commit commitTicket
+	defer commit.settle(&err)
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	if len(s.subjects) != 0 || len(s.objects) != 0 ||
@@ -157,7 +159,7 @@ func (s *System) Import(st State) error {
 	// (not the caller's State value) so the journal's copy shares no slices
 	// with memory the caller may later mutate.
 	exp := s.exportLocked()
-	return s.recordLocked(Mutation{Op: OpReplace, State: &exp})
+	return s.recordLocked(&commit, Mutation{Op: OpReplace, State: &exp})
 }
 
 // Replace swaps the policy store for the snapshot, atomically from the
@@ -171,7 +173,9 @@ func (s *System) Import(st State) error {
 // pruned against the new policy: sessions whose subject vanished are
 // closed, and active roles no longer in the subject's authorized closure
 // are deactivated, mirroring RevokeSubjectRole semantics.
-func (s *System) Replace(st State) error {
+func (s *System) Replace(st State) (err error) {
+	var commit commitTicket
+	defer commit.settle(&err)
 	tmp := NewSystem()
 	if err := tmp.Import(st); err != nil {
 		return err
@@ -203,7 +207,7 @@ func (s *System) Replace(st State) error {
 	}
 	s.invalidateLocked()
 	exp := s.exportLocked()
-	return s.recordLocked(Mutation{Op: OpReplace, State: &exp})
+	return s.recordLocked(&commit, Mutation{Op: OpReplace, State: &exp})
 }
 
 // importRoles inserts roles into an empty graph, deferring parent edges so

@@ -288,7 +288,9 @@ func (s *System) graph(kind RoleKind) (*roleGraph, error) {
 // --- Entities -------------------------------------------------------------
 
 // AddSubject registers a user.
-func (s *System) AddSubject(id SubjectID) error {
+func (s *System) AddSubject(id SubjectID) (err error) {
+	var commit commitTicket
+	defer commit.settle(&err)
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	if id == "" {
@@ -299,12 +301,14 @@ func (s *System) AddSubject(id SubjectID) error {
 	}
 	s.subjects[id] = &subjectRec{roles: make(map[RoleID]bool)}
 	s.invalidateLocked()
-	return s.recordLocked(Mutation{Op: OpAddSubject, Subject: id})
+	return s.recordLocked(&commit, Mutation{Op: OpAddSubject, Subject: id})
 }
 
 // RemoveSubject deletes a subject and its role assignments. Sessions owned
 // by the subject are closed.
-func (s *System) RemoveSubject(id SubjectID) error {
+func (s *System) RemoveSubject(id SubjectID) (err error) {
+	var commit commitTicket
+	defer commit.settle(&err)
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	if _, ok := s.subjects[id]; !ok {
@@ -317,7 +321,7 @@ func (s *System) RemoveSubject(id SubjectID) error {
 		}
 	}
 	s.invalidateLocked()
-	return s.recordLocked(Mutation{Op: OpRemoveSubject, Subject: id})
+	return s.recordLocked(&commit, Mutation{Op: OpRemoveSubject, Subject: id})
 }
 
 // Subjects returns all subject IDs in sorted order.
@@ -341,7 +345,9 @@ func (s *System) HasSubject(id SubjectID) bool {
 }
 
 // AddObject registers a resource.
-func (s *System) AddObject(id ObjectID) error {
+func (s *System) AddObject(id ObjectID) (err error) {
+	var commit commitTicket
+	defer commit.settle(&err)
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	if id == "" {
@@ -352,11 +358,13 @@ func (s *System) AddObject(id ObjectID) error {
 	}
 	s.objects[id] = &objectRec{roles: make(map[RoleID]bool)}
 	s.invalidateLocked()
-	return s.recordLocked(Mutation{Op: OpAddObject, Object: id})
+	return s.recordLocked(&commit, Mutation{Op: OpAddObject, Object: id})
 }
 
 // RemoveObject deletes an object and its role assignments.
-func (s *System) RemoveObject(id ObjectID) error {
+func (s *System) RemoveObject(id ObjectID) (err error) {
+	var commit commitTicket
+	defer commit.settle(&err)
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	if _, ok := s.objects[id]; !ok {
@@ -364,7 +372,7 @@ func (s *System) RemoveObject(id ObjectID) error {
 	}
 	delete(s.objects, id)
 	s.invalidateLocked()
-	return s.recordLocked(Mutation{Op: OpRemoveObject, Object: id})
+	return s.recordLocked(&commit, Mutation{Op: OpRemoveObject, Object: id})
 }
 
 // Objects returns all object IDs in sorted order.
@@ -390,7 +398,9 @@ func (s *System) HasObject(id ObjectID) bool {
 // --- Roles ----------------------------------------------------------------
 
 // AddRole defines a role of any kind. Parents must already exist.
-func (s *System) AddRole(r Role) error {
+func (s *System) AddRole(r Role) (err error) {
+	var commit commitTicket
+	defer commit.settle(&err)
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	if !r.Kind.Valid() {
@@ -408,12 +418,14 @@ func (s *System) AddRole(r Role) error {
 	}
 	s.invalidateLocked()
 	rc := r.clone()
-	return s.recordLocked(Mutation{Op: OpAddRole, Role: &rc})
+	return s.recordLocked(&commit, Mutation{Op: OpAddRole, Role: &rc})
 }
 
 // AddRoleParent adds a hierarchy edge making parent a generalization of
 // child, rejecting cycles.
-func (s *System) AddRoleParent(kind RoleKind, child, parent RoleID) error {
+func (s *System) AddRoleParent(kind RoleKind, child, parent RoleID) (err error) {
+	var commit commitTicket
+	defer commit.settle(&err)
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	g, err := s.graph(kind)
@@ -424,11 +436,13 @@ func (s *System) AddRoleParent(kind RoleKind, child, parent RoleID) error {
 		return err
 	}
 	s.invalidateLocked()
-	return s.recordLocked(Mutation{Op: OpAddRoleParent, Kind: kind, RoleID: child, Parent: parent})
+	return s.recordLocked(&commit, Mutation{Op: OpAddRoleParent, Kind: kind, RoleID: child, Parent: parent})
 }
 
 // RemoveRoleParent removes a hierarchy edge.
-func (s *System) RemoveRoleParent(kind RoleKind, child, parent RoleID) error {
+func (s *System) RemoveRoleParent(kind RoleKind, child, parent RoleID) (err error) {
+	var commit commitTicket
+	defer commit.settle(&err)
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	g, err := s.graph(kind)
@@ -439,12 +453,14 @@ func (s *System) RemoveRoleParent(kind RoleKind, child, parent RoleID) error {
 		return err
 	}
 	s.invalidateLocked()
-	return s.recordLocked(Mutation{Op: OpRemoveRoleParent, Kind: kind, RoleID: child, Parent: parent})
+	return s.recordLocked(&commit, Mutation{Op: OpRemoveRoleParent, Kind: kind, RoleID: child, Parent: parent})
 }
 
 // RemoveRole deletes a role, its hierarchy edges, every assignment of it,
 // and every permission that references it.
-func (s *System) RemoveRole(kind RoleKind, id RoleID) error {
+func (s *System) RemoveRole(kind RoleKind, id RoleID) (err error) {
+	var commit commitTicket
+	defer commit.settle(&err)
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	g, err := s.graph(kind)
@@ -477,7 +493,7 @@ func (s *System) RemoveRole(kind RoleKind, id RoleID) error {
 	s.perms = kept
 	s.rebuildIndexLocked()
 	s.invalidateLocked()
-	return s.recordLocked(Mutation{Op: OpRemoveRole, Kind: kind, RoleID: id})
+	return s.recordLocked(&commit, Mutation{Op: OpRemoveRole, Kind: kind, RoleID: id})
 }
 
 // rebuildIndexLocked reconstructs the transaction index from the
@@ -567,7 +583,9 @@ func (s *System) RoleDepth(kind RoleKind, id RoleID) int {
 // checking every static separation-of-duty constraint against the upward
 // closure of the would-be role set (§4.1.2: "if roles R1 and R2 exhibit
 // static SoD and subject S has acted in role R1, he may never act in R2").
-func (s *System) AssignSubjectRole(sub SubjectID, role RoleID) error {
+func (s *System) AssignSubjectRole(sub SubjectID, role RoleID) (err error) {
+	var commit commitTicket
+	defer commit.settle(&err)
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	rec, ok := s.subjects[sub]
@@ -593,12 +611,14 @@ func (s *System) AssignSubjectRole(sub SubjectID, role RoleID) error {
 	}
 	rec.roles[role] = true
 	s.invalidateLocked()
-	return s.recordLocked(Mutation{Op: OpAssignSubjectRole, Subject: sub, RoleID: role})
+	return s.recordLocked(&commit, Mutation{Op: OpAssignSubjectRole, Subject: sub, RoleID: role})
 }
 
 // RevokeSubjectRole removes a direct role assignment. Active sessions keep
 // activated roles only if still authorized; otherwise they are deactivated.
-func (s *System) RevokeSubjectRole(sub SubjectID, role RoleID) error {
+func (s *System) RevokeSubjectRole(sub SubjectID, role RoleID) (err error) {
+	var commit commitTicket
+	defer commit.settle(&err)
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	rec, ok := s.subjects[sub]
@@ -621,7 +641,7 @@ func (s *System) RevokeSubjectRole(sub SubjectID, role RoleID) error {
 		}
 	}
 	s.invalidateLocked()
-	return s.recordLocked(Mutation{Op: OpRevokeSubjectRole, Subject: sub, RoleID: role})
+	return s.recordLocked(&commit, Mutation{Op: OpRevokeSubjectRole, Subject: sub, RoleID: role})
 }
 
 // AuthorizedRoles returns the subject's directly assigned roles, sorted.
@@ -648,7 +668,9 @@ func (s *System) EffectiveSubjectRoles(sub SubjectID) ([]RoleID, error) {
 }
 
 // AssignObjectRole classifies an object into an object role.
-func (s *System) AssignObjectRole(obj ObjectID, role RoleID) error {
+func (s *System) AssignObjectRole(obj ObjectID, role RoleID) (err error) {
+	var commit commitTicket
+	defer commit.settle(&err)
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	rec, ok := s.objects[obj]
@@ -660,11 +682,13 @@ func (s *System) AssignObjectRole(obj ObjectID, role RoleID) error {
 	}
 	rec.roles[role] = true
 	s.invalidateLocked()
-	return s.recordLocked(Mutation{Op: OpAssignObjectRole, Object: obj, RoleID: role})
+	return s.recordLocked(&commit, Mutation{Op: OpAssignObjectRole, Object: obj, RoleID: role})
 }
 
 // RevokeObjectRole removes an object classification.
-func (s *System) RevokeObjectRole(obj ObjectID, role RoleID) error {
+func (s *System) RevokeObjectRole(obj ObjectID, role RoleID) (err error) {
+	var commit commitTicket
+	defer commit.settle(&err)
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	rec, ok := s.objects[obj]
@@ -676,7 +700,7 @@ func (s *System) RevokeObjectRole(obj ObjectID, role RoleID) error {
 	}
 	delete(rec.roles, role)
 	s.invalidateLocked()
-	return s.recordLocked(Mutation{Op: OpRevokeObjectRole, Object: obj, RoleID: role})
+	return s.recordLocked(&commit, Mutation{Op: OpRevokeObjectRole, Object: obj, RoleID: role})
 }
 
 // ObjectRoles returns the object's directly assigned roles, sorted.
@@ -704,7 +728,9 @@ func (s *System) EffectiveObjectRoles(obj ObjectID) ([]RoleID, error) {
 // --- Transactions ---------------------------------------------------------
 
 // AddTransaction defines a transaction.
-func (s *System) AddTransaction(t Transaction) error {
+func (s *System) AddTransaction(t Transaction) (err error) {
+	var commit commitTicket
+	defer commit.settle(&err)
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	if err := validateTransaction(t); err != nil {
@@ -716,7 +742,7 @@ func (s *System) AddTransaction(t Transaction) error {
 	s.transactions[t.ID] = t.clone()
 	s.invalidateLocked()
 	tc := t.clone()
-	return s.recordLocked(Mutation{Op: OpAddTransaction, Transaction: &tc})
+	return s.recordLocked(&commit, Mutation{Op: OpAddTransaction, Transaction: &tc})
 }
 
 // Transaction returns a copy of the named transaction.
@@ -765,7 +791,9 @@ func (s *System) TransactionsForAction(a Action) []TransactionID {
 // Grant installs a permission after validating that each leg names an
 // existing role of the right kind (or the corresponding wildcard) and that
 // the transaction exists (or is AnyTransaction).
-func (s *System) Grant(p Permission) error {
+func (s *System) Grant(p Permission) (err error) {
+	var commit commitTicket
+	defer commit.settle(&err)
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	if err := validatePermission(p); err != nil {
@@ -795,11 +823,13 @@ func (s *System) Grant(p Permission) error {
 	s.permIndex[p.Transaction] = append(s.permIndex[p.Transaction], len(s.perms)-1)
 	s.invalidateLocked()
 	pc := p
-	return s.recordLocked(Mutation{Op: OpGrant, Permission: &pc})
+	return s.recordLocked(&commit, Mutation{Op: OpGrant, Permission: &pc})
 }
 
 // Revoke removes the first permission equal to p.
-func (s *System) Revoke(p Permission) error {
+func (s *System) Revoke(p Permission) (err error) {
+	var commit commitTicket
+	defer commit.settle(&err)
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	for i, q := range s.perms {
@@ -808,7 +838,7 @@ func (s *System) Revoke(p Permission) error {
 			s.rebuildIndexLocked()
 			s.invalidateLocked()
 			pc := p
-			return s.recordLocked(Mutation{Op: OpRevoke, Permission: &pc})
+			return s.recordLocked(&commit, Mutation{Op: OpRevoke, Permission: &pc})
 		}
 	}
 	return fmt.Errorf("%w: no such permission", ErrNotFound)
@@ -826,7 +856,9 @@ func (s *System) Permissions() []Permission {
 // AddSoDConstraint installs a separation-of-duty constraint. Static
 // constraints are checked retroactively: installation fails if an existing
 // subject already violates the constraint.
-func (s *System) AddSoDConstraint(c SoDConstraint) error {
+func (s *System) AddSoDConstraint(c SoDConstraint) (err error) {
+	var commit commitTicket
+	defer commit.settle(&err)
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	if err := validateSoD(c); err != nil {
@@ -854,18 +886,20 @@ func (s *System) AddSoDConstraint(c SoDConstraint) error {
 	s.sods = append(s.sods, c.clone())
 	s.invalidateLocked()
 	cc := c.clone()
-	return s.recordLocked(Mutation{Op: OpAddSoD, SoD: &cc})
+	return s.recordLocked(&commit, Mutation{Op: OpAddSoD, SoD: &cc})
 }
 
 // RemoveSoDConstraint deletes the named constraint.
-func (s *System) RemoveSoDConstraint(name string) error {
+func (s *System) RemoveSoDConstraint(name string) (err error) {
+	var commit commitTicket
+	defer commit.settle(&err)
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	for i, c := range s.sods {
 		if c.Name == name {
 			s.sods = append(s.sods[:i], s.sods[i+1:]...)
 			s.invalidateLocked()
-			return s.recordLocked(Mutation{Op: OpRemoveSoD, Name: name})
+			return s.recordLocked(&commit, Mutation{Op: OpRemoveSoD, Name: name})
 		}
 	}
 	return fmt.Errorf("%w: SoD constraint %q", ErrNotFound, name)
@@ -900,7 +934,9 @@ func (s *System) SetConflictStrategy(cs ConflictStrategy) {
 }
 
 // SetMinConfidence sets the system-wide authentication threshold.
-func (s *System) SetMinConfidence(t float64) error {
+func (s *System) SetMinConfidence(t float64) (err error) {
+	var commit commitTicket
+	defer commit.settle(&err)
 	if t < 0 || t > 1 {
 		return fmt.Errorf("%w: threshold %v outside [0,1]", ErrInvalid, t)
 	}
@@ -908,7 +944,7 @@ func (s *System) SetMinConfidence(t float64) error {
 	defer s.mu.Unlock()
 	s.threshold = t
 	s.invalidateLocked()
-	return s.recordLocked(Mutation{Op: OpSetMinConfidence, Threshold: t})
+	return s.recordLocked(&commit, Mutation{Op: OpSetMinConfidence, Threshold: t})
 }
 
 // MinConfidence returns the system-wide authentication threshold.

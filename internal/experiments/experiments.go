@@ -54,6 +54,7 @@ func All() []Experiment {
 		// and E20 (durable restart) in internal/store's recovery harness;
 		// see EXPERIMENTS.md §E18–§E20.
 		{ID: "E21", Title: "Embedded PEP SDK mediation (derived)", Source: "§1 enforcement-point cost", Run: RunE21},
+		{ID: "E22", Title: "Sharded subject-space scaling (derived)", Source: "ROADMAP scale-out target", Run: RunE22},
 	}
 }
 

@@ -1,0 +1,230 @@
+package experiments
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"math/rand"
+	"os"
+	"time"
+
+	"github.com/aware-home/grbac/internal/core"
+	"github.com/aware-home/grbac/internal/shard"
+)
+
+// BenchShardFile is where RunE22 records its scaling table, so CI
+// (benchguard guard 11) and the README can cite the numbers as data.
+const BenchShardFile = "BENCH_SHARD.json"
+
+// BenchShardRow is one shard-count measurement in BENCH_SHARD.json.
+type BenchShardRow struct {
+	Shards       int     `json:"shards"`
+	Subjects     int     `json:"subjects_per_shard"`
+	Decides      int     `json:"decides"`
+	ChurnOps     int     `json:"session_churn_ops"`
+	NSPerDecide  int64   `json:"ns_per_decide"`
+	DecidesPerS  float64 `json:"decides_per_sec"`
+	SpeedupOver1 float64 `json:"speedup_over_1_shard"`
+}
+
+// BenchShardReport is the emitted BENCH_SHARD.json document.
+type BenchShardReport struct {
+	Experiment    string          `json:"experiment"`
+	Workload      string          `json:"workload"`
+	TotalSubjects int             `json:"total_subjects"`
+	ZipfS         float64         `json:"zipf_s"`
+	ChurnEvery    int             `json:"churn_every"`
+	Rows          []BenchShardRow `json:"rows"`
+	SpeedupAt4    float64         `json:"speedup_at_4_shards"`
+}
+
+// e22ShardCounts is the sweep recorded in BENCH_SHARD.json.
+var e22ShardCounts = []int{1, 2, 4, 8}
+
+const (
+	e22Subjects   = 4096 // household-of-things scale: every badge, phone, and sensor identity
+	e22Ops        = 8192 // total workload ops per shard count
+	e22ChurnEvery = 16   // 1 session create+close per 16 decides
+	e22ZipfS      = 1.2  // zipf skew: a few hot subjects dominate, the tail is long
+)
+
+// e22Shard is one partition: a full policy replica holding only its
+// slice of the subject space, exactly what a grbacd shard holds.
+type e22Shard struct {
+	sys  *core.System
+	subs int
+}
+
+// newE22Cluster builds k shards, replicates the shared role/object/
+// transaction policy to each, and partitions the subject space by the
+// consistent-hash map — the same split `grbacd -route` enforces.
+func newE22Cluster(k int, subjects []core.SubjectID) (*shard.Map, map[string]*e22Shard, error) {
+	infos := make([]shard.Info, k)
+	for i := range infos {
+		infos[i] = shard.Info{ID: fmt.Sprintf("s%d", i), Addr: fmt.Sprintf("mem://s%d", i)}
+	}
+	m, err := shard.New(0, infos...)
+	if err != nil {
+		return nil, nil, err
+	}
+	cluster := make(map[string]*e22Shard, k)
+	for _, info := range infos {
+		sys := core.NewSystem()
+		for _, r := range []core.Role{
+			{ID: "family-member", Kind: core.SubjectRole},
+			{ID: "child", Kind: core.SubjectRole, Parents: []core.RoleID{"family-member"}},
+			{ID: "entertainment-devices", Kind: core.ObjectRole},
+			{ID: "weekday-free-time", Kind: core.EnvironmentRole},
+		} {
+			mustNil(sys.AddRole(r))
+		}
+		mustNil(sys.AddObject("tv"))
+		mustNil(sys.AssignObjectRole("tv", "entertainment-devices"))
+		mustNil(sys.AddTransaction(core.SimpleTransaction("use")))
+		mustNil(sys.Grant(core.Permission{
+			Subject: "child", Transaction: "use", Object: "entertainment-devices",
+			Environment: "weekday-free-time", Effect: core.Permit,
+		}))
+		cluster[info.ID] = &e22Shard{sys: sys}
+	}
+	for _, sub := range subjects {
+		sh := cluster[m.Owner(string(sub)).ID]
+		mustNil(sh.sys.AddSubject(sub))
+		mustNil(sh.sys.AssignSubjectRole(sub, "child"))
+		sh.subs++
+	}
+	return m, cluster, nil
+}
+
+// RunE22 measures aggregate decide throughput as the subject space is
+// partitioned across 1, 2, 4, and 8 shards, and writes the table to
+// BENCH_SHARD.json. The workload is the realistic mix a PDP actually
+// serves: zipf-skewed CheckAccess decides with a session create/close
+// every e22ChurnEvery ops. Session churn is what makes sharding pay on
+// the decide path — every mutation retires the shard's compiled
+// snapshot, and the recompile walks that shard's subjects and sessions
+// (O(subjects/K)), so partitioning shrinks both the recompile bill and
+// the blast radius of each invalidation. The fixed network hop a router
+// adds is E21's measurement, deliberately excluded here: this experiment
+// isolates per-shard mediation capacity, the quantity that must scale
+// for the ROADMAP's millions-of-subjects target.
+func RunE22(w io.Writer) error {
+	subjects := make([]core.SubjectID, e22Subjects)
+	for i := range subjects {
+		subjects[i] = core.SubjectID(fmt.Sprintf("member-%04d", i))
+	}
+	req := core.Request{
+		Object: "tv", Transaction: "use",
+		Environment: []core.RoleID{"weekday-free-time"},
+	}
+
+	report := BenchShardReport{
+		Experiment:    "E22",
+		Workload:      "zipf decide + session churn, single-core sequential",
+		TotalSubjects: e22Subjects,
+		ZipfS:         e22ZipfS,
+		ChurnEvery:    e22ChurnEvery,
+	}
+	fmt.Fprintf(w, "aggregate decide throughput vs shard count (%d subjects, zipf s=%.1f, churn 1/%d):\n",
+		e22Subjects, e22ZipfS, e22ChurnEvery)
+	fmt.Fprintln(w, "shards  subj/shard  decides  churn   per-decide    dec/s      speedup")
+
+	var base float64
+	for _, k := range e22ShardCounts {
+		m, cluster, err := newE22Cluster(k, subjects)
+		if err != nil {
+			return err
+		}
+		// Same seed for every shard count: identical op sequence, only the
+		// partitioning differs.
+		rng := rand.New(rand.NewSource(22))
+		zipf := rand.NewZipf(rng, e22ZipfS, 1, uint64(e22Subjects-1))
+
+		// Pre-draw the workload so the measured loop is mediation only.
+		type op struct {
+			shard *core.System
+			sub   core.SubjectID
+			churn bool
+		}
+		ops := make([]op, e22Ops)
+		var decides, churns int
+		for i := range ops {
+			sub := subjects[zipf.Uint64()]
+			ops[i] = op{
+				shard: cluster[m.Owner(string(sub)).ID].sys,
+				sub:   sub,
+				churn: i%e22ChurnEvery == e22ChurnEvery-1,
+			}
+			if ops[i].churn {
+				churns++
+			} else {
+				decides++
+			}
+		}
+
+		// Warm every shard's snapshot so row 1 doesn't pay k cold compiles
+		// the others don't.
+		for _, sh := range cluster {
+			r := req
+			r.Subject = "member-0000"
+			_, _ = sh.sys.CheckAccess(r)
+		}
+
+		i := 0
+		_, elapsedPer := Throughput(len(ops), func() {
+			o := ops[i]
+			i++
+			if o.churn {
+				sid, err := o.shard.CreateSession(o.sub)
+				if err != nil {
+					panic(err)
+				}
+				if err := o.shard.CloseSession(sid); err != nil {
+					panic(err)
+				}
+				return
+			}
+			r := req
+			r.Subject = o.sub
+			ok, err := o.shard.CheckAccess(r)
+			if err != nil {
+				panic(err)
+			}
+			if !ok {
+				panic(fmt.Sprintf("E22: decide for %s denied", o.sub))
+			}
+		})
+
+		totalNS := elapsedPer.Nanoseconds() * int64(len(ops))
+		perDecide := totalNS / int64(decides)
+		decPS := float64(decides) / (float64(totalNS) / 1e9)
+		if k == 1 {
+			base = decPS
+		}
+		row := BenchShardRow{
+			Shards:       k,
+			Subjects:     e22Subjects / k,
+			Decides:      decides,
+			ChurnOps:     churns,
+			NSPerDecide:  perDecide,
+			DecidesPerS:  decPS,
+			SpeedupOver1: decPS / base,
+		}
+		report.Rows = append(report.Rows, row)
+		if k == 4 {
+			report.SpeedupAt4 = row.SpeedupOver1
+		}
+		fmt.Fprintf(w, "%-6d  %-10d  %-7d  %-6d  %-12v  %-9.0f  x%.2f\n",
+			k, row.Subjects, decides, churns, time.Duration(perDecide), decPS, row.SpeedupOver1)
+	}
+
+	data, err := json.MarshalIndent(report, "", "  ")
+	if err != nil {
+		return err
+	}
+	if err := os.WriteFile(BenchShardFile, append(data, '\n'), 0o644); err != nil {
+		return fmt.Errorf("E22: write %s: %w", BenchShardFile, err)
+	}
+	fmt.Fprintf(w, "wrote %s (speedup at 4 shards: x%.2f)\n", BenchShardFile, report.SpeedupAt4)
+	return nil
+}

@@ -74,6 +74,13 @@ type WhoCanResponse struct {
 	Subjects []string `json:"subjects"`
 }
 
+// SubjectsInRoleResponse lists the subjects holding a subject role. On a
+// shard the answer covers only that shard's subject partition; the router
+// scatter-gathers and unions the per-shard answers.
+type SubjectsInRoleResponse struct {
+	Subjects []string `json:"subjects"`
+}
+
 // WhatCanResponse lists a subject's entitlements.
 type WhatCanResponse struct {
 	Entitlements []EntitlementWire `json:"entitlements"`
@@ -103,6 +110,7 @@ func (s *Server) registerAdmin(mux *http.ServeMux) {
 	mux.HandleFunc("/v1/sessions/roles", s.handleSessionRoles)
 	mux.HandleFunc("/v1/query/who-can", s.handleWhoCan)
 	mux.HandleFunc("/v1/query/what-can", s.handleWhatCan)
+	mux.HandleFunc("/v1/query/subjects-in-role", s.handleSubjectsInRole)
 }
 
 func parseRoleKind(kind string) (core.RoleKind, error) {
@@ -348,6 +356,24 @@ func (s *Server) handleWhoCan(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	resp := WhoCanResponse{Subjects: make([]string, 0, len(subjects))}
+	for _, sub := range subjects {
+		resp.Subjects = append(resp.Subjects, string(sub))
+	}
+	s.writeJSON(w, http.StatusOK, resp)
+}
+
+func (s *Server) handleSubjectsInRole(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet {
+		s.writeStatus(w, http.StatusMethodNotAllowed, "GET only")
+		return
+	}
+	role := r.URL.Query().Get("role")
+	if role == "" {
+		s.writeError(w, fmt.Errorf("%w: missing role parameter", core.ErrInvalid))
+		return
+	}
+	subjects := s.sys.SubjectsInRole(core.RoleID(role))
+	resp := SubjectsInRoleResponse{Subjects: make([]string, 0, len(subjects))}
 	for _, sub := range subjects {
 		resp.Subjects = append(resp.Subjects, string(sub))
 	}

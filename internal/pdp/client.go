@@ -8,6 +8,7 @@ import (
 	"fmt"
 	"io"
 	"net/http"
+	"net/url"
 	"strconv"
 	"strings"
 	"time"
@@ -119,11 +120,40 @@ func WithCircuitBreaker(failures int, cooldown time.Duration) ClientOption {
 	}
 }
 
+// pooledHTTPClient is the shared fan-out-tuned transport behind every
+// Client built with a nil httpClient. http.DefaultTransport keeps only 2
+// idle connections per host (DefaultMaxIdleConnsPerHost), so a router
+// scatter-gathering dozens of concurrent requests at the same shard
+// opens and tears down a TCP connection for nearly every call. Raising
+// the idle pool to match the fan-out makes reuse the common case;
+// MaxConnsPerHost bounds the damage of an unresponsive shard (a capped
+// connection pile-up instead of an unbounded FD leak).
+var pooledHTTPClient = newPooledHTTPClient()
+
+func newPooledHTTPClient() *http.Client {
+	t, ok := http.DefaultTransport.(*http.Transport)
+	if !ok {
+		return &http.Client{}
+	}
+	t = t.Clone()
+	t.MaxIdleConns = 256
+	t.MaxIdleConnsPerHost = 64
+	t.MaxConnsPerHost = 256
+	t.IdleConnTimeout = 90 * time.Second
+	return &http.Client{Transport: t}
+}
+
+// PooledHTTPClient returns the shared connection-pooled client the pdp
+// package uses by default, so other layers (router, SDK, replica pullers)
+// can ride the same tuned transport instead of http.DefaultClient.
+func PooledHTTPClient() *http.Client { return pooledHTTPClient }
+
 // NewClient builds a client for the PDP at baseURL (e.g.
-// "http://localhost:8125"). A nil httpClient uses http.DefaultClient.
+// "http://localhost:8125"). A nil httpClient selects the shared
+// fan-out-tuned pooled client (see PooledHTTPClient).
 func NewClient(baseURL string, httpClient *http.Client, opts ...ClientOption) *Client {
 	if httpClient == nil {
-		httpClient = http.DefaultClient
+		httpClient = pooledHTTPClient
 	}
 	c := &Client{
 		base:      strings.TrimRight(baseURL, "/"),
@@ -209,6 +239,32 @@ func (c *Client) ReplicaWatch(ctx context.Context, epoch string, after uint64) (
 func (c *Client) Healthy(ctx context.Context) bool {
 	var out HealthResponse
 	return c.get(ctx, "/v1/healthz", &out) == nil && out.Status == "ok"
+}
+
+// SubjectsInRole asks the server which of its subjects hold the subject
+// role (directly or through inheritance). On a shard it covers only that
+// shard's partition — the router unions the per-shard answers.
+func (c *Client) SubjectsInRole(ctx context.Context, role string) (SubjectsInRoleResponse, error) {
+	var resp SubjectsInRoleResponse
+	err := c.get(ctx, "/v1/query/subjects-in-role?role="+url.QueryEscape(role), &resp)
+	return resp, err
+}
+
+// Call issues an arbitrary JSON request against the server — the
+// router's generic forwarding primitive for admin endpoints, so every
+// admin wire shape does not need a dedicated method. A nil `in` sends no
+// body; a nil `out` discards the reply body.
+func (c *Client) Call(ctx context.Context, method, path string, in, out any) error {
+	if in == nil {
+		return c.do(ctx, func() (*http.Request, error) {
+			req, err := http.NewRequestWithContext(ctx, method, c.base+path, nil)
+			if err != nil {
+				return nil, fmt.Errorf("pdp: build request: %w", err)
+			}
+			return req, nil
+		}, out)
+	}
+	return c.request(ctx, method, path, in, out)
 }
 
 func (c *Client) post(ctx context.Context, path string, in, out any) error {

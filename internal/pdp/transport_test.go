@@ -1,0 +1,97 @@
+package pdp
+
+import (
+	"context"
+	"net"
+	"net/http"
+	"net/http/httptest"
+	"sync"
+	"sync/atomic"
+	"testing"
+)
+
+// TestPooledTransportConfig pins the pool sizing of the shared transport.
+// The regression this guards: http.DefaultTransport keeps only 2 idle
+// connections per host (DefaultMaxIdleConnsPerHost), so a router or SDK
+// fanning 8+ concurrent calls at one shard would tear down and re-dial
+// almost every connection between bursts.
+func TestPooledTransportConfig(t *testing.T) {
+	hc := PooledHTTPClient()
+	tr, ok := hc.Transport.(*http.Transport)
+	if !ok {
+		t.Fatalf("pooled client transport is %T, want *http.Transport", hc.Transport)
+	}
+	if tr.MaxIdleConnsPerHost <= http.DefaultMaxIdleConnsPerHost {
+		t.Fatalf("MaxIdleConnsPerHost = %d, must exceed the default %d",
+			tr.MaxIdleConnsPerHost, http.DefaultMaxIdleConnsPerHost)
+	}
+	if tr.MaxIdleConnsPerHost < 64 {
+		t.Fatalf("MaxIdleConnsPerHost = %d, want ≥ 64 for scatter fan-out", tr.MaxIdleConnsPerHost)
+	}
+	if tr.MaxConnsPerHost == 0 || tr.MaxConnsPerHost < tr.MaxIdleConnsPerHost {
+		t.Fatalf("MaxConnsPerHost = %d, want a bound ≥ MaxIdleConnsPerHost %d",
+			tr.MaxConnsPerHost, tr.MaxIdleConnsPerHost)
+	}
+	if tr.MaxIdleConns < tr.MaxIdleConnsPerHost {
+		t.Fatalf("MaxIdleConns = %d < per-host %d", tr.MaxIdleConns, tr.MaxIdleConnsPerHost)
+	}
+	// NewClient with a nil http.Client must pick the pooled transport, not
+	// http.DefaultClient.
+	c := NewClient("http://example.invalid", nil)
+	if c.http != pooledHTTPClient {
+		t.Fatal("NewClient(nil) did not select the pooled HTTP client")
+	}
+	if PooledHTTPClient() != pooledHTTPClient {
+		t.Fatal("PooledHTTPClient must return the shared instance")
+	}
+}
+
+// TestConnectionReuseAcrossBursts proves connections are actually reused:
+// repeated concurrent bursts against one server must ride kept-alive
+// connections, not dial per request. Under the pre-pool default (2 idle
+// conns/host) each 8-wide burst discarded 6 connections and the next
+// burst re-dialed them.
+func TestConnectionReuseAcrossBursts(t *testing.T) {
+	var conns atomic.Int64
+	srv := httptest.NewUnstartedServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "application/json")
+		_, _ = w.Write([]byte(`{"status":"ok"}`))
+	}))
+	srv.Config.ConnState = func(c net.Conn, s http.ConnState) {
+		if s == http.StateNew {
+			conns.Add(1)
+		}
+	}
+	srv.Start()
+	defer srv.Close()
+
+	// A dedicated pooled transport so parallel tests can't share its conns.
+	hc := &http.Client{Transport: PooledHTTPClient().Transport.(*http.Transport).Clone()}
+	client := NewClient(srv.URL, hc)
+	ctx := context.Background()
+
+	const bursts, width = 4, 8
+	for b := 0; b < bursts; b++ {
+		var wg sync.WaitGroup
+		for i := 0; i < width; i++ {
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				if !client.Healthy(ctx) {
+					t.Error("health probe failed")
+				}
+			}()
+		}
+		wg.Wait()
+	}
+
+	total := conns.Load()
+	if total > width {
+		t.Fatalf("%d bursts × %d requests opened %d connections — pool is not reusing (want ≤ %d)",
+			bursts, width, total, width)
+	}
+	if total == 0 {
+		t.Fatal("no connections observed — test wiring broken")
+	}
+	t.Logf("%d requests over %d connections", bursts*width, total)
+}

@@ -39,13 +39,33 @@ type Client struct {
 	MaxWait time.Duration
 }
 
+// pooledFeedClient is the default transport for feed clients. The stock
+// http.DefaultTransport keeps only 2 idle connections per host, so a
+// process running several followers against one primary (shards syncing
+// shared policy, tests, the smoke harness) would re-dial between polls;
+// the widened pool keeps those connections alive. Mirrors the pdp
+// client's pool (replica cannot import pdp — pdp imports replica).
+var pooledFeedClient = func() *http.Client {
+	tr, ok := http.DefaultTransport.(*http.Transport)
+	if !ok {
+		return &http.Client{}
+	}
+	t := tr.Clone()
+	t.MaxIdleConns = 256
+	t.MaxIdleConnsPerHost = 64
+	t.MaxConnsPerHost = 256
+	t.IdleConnTimeout = 90 * time.Second
+	return &http.Client{Transport: t}
+}()
+
 // NewClient builds a feed client for the primary at baseURL. A nil
-// httpClient uses http.DefaultClient; whichever client is used must not
+// httpClient selects a shared pooled transport that keeps per-host
+// connections alive across polls; whichever client is used must not
 // have a Timeout shorter than the primary's long-poll cap, or every
 // quiet watch will abort early. Per-call deadlines belong on the context.
 func NewClient(baseURL string, httpClient *http.Client) *Client {
 	if httpClient == nil {
-		httpClient = http.DefaultClient
+		httpClient = pooledFeedClient
 	}
 	return &Client{base: strings.TrimRight(baseURL, "/"), http: httpClient}
 }

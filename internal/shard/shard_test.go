@@ -1,0 +1,248 @@
+package shard
+
+import (
+	"encoding/json"
+	"fmt"
+	"testing"
+)
+
+func mkShards(n int) []Info {
+	out := make([]Info, n)
+	for i := range out {
+		out[i] = Info{ID: fmt.Sprintf("shard-%02d", i), Addr: fmt.Sprintf("http://127.0.0.1:%d", 9000+i)}
+	}
+	return out
+}
+
+func keys(n int) []string {
+	out := make([]string, n)
+	for i := range out {
+		out[i] = fmt.Sprintf("subject-%06d", i)
+	}
+	return out
+}
+
+// TestOwnerDeterministic pins that placement is a pure function of
+// (map contents, subject): two independently built maps agree everywhere,
+// which is what lets routers and SDK clients route without coordination.
+func TestOwnerDeterministic(t *testing.T) {
+	a, err := New(0, mkShards(5)...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := New(0, mkShards(5)...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, k := range keys(2000) {
+		if a.Owner(k) != b.Owner(k) {
+			t.Fatalf("placement of %q differs between identical maps", k)
+		}
+	}
+}
+
+// TestDistributionBalance asserts the virtual-node ring spreads subjects
+// across shards with a bounded max/min load ratio, for every cluster size
+// the sharding story targets.
+func TestDistributionBalance(t *testing.T) {
+	const nKeys = 20000
+	for _, nShards := range []int{2, 4, 8, 16} {
+		m, err := New(DefaultVNodes, mkShards(nShards)...)
+		if err != nil {
+			t.Fatal(err)
+		}
+		load := map[string]int{}
+		for _, k := range keys(nKeys) {
+			load[m.Owner(k).ID]++
+		}
+		if len(load) != nShards {
+			t.Fatalf("%d shards: only %d received load", nShards, len(load))
+		}
+		min, max := nKeys, 0
+		for _, n := range load {
+			if n < min {
+				min = n
+			}
+			if n > max {
+				max = n
+			}
+		}
+		ratio := float64(max) / float64(min)
+		t.Logf("%2d shards: min=%d max=%d ratio=%.3f", nShards, min, max, ratio)
+		if ratio > 1.5 {
+			t.Fatalf("%d shards: max/min load ratio %.3f exceeds 1.5 (min=%d max=%d)",
+				nShards, ratio, min, max)
+		}
+	}
+}
+
+// TestMinimalMovementOnAdd asserts the defining consistent-hash property:
+// growing N→N+1 shards reassigns at most ~K/(N+1) of K subjects (within
+// 50% slack for hash variance), and every reassigned subject lands on the
+// NEW shard — existing shards never trade keys with each other.
+func TestMinimalMovementOnAdd(t *testing.T) {
+	const nKeys = 20000
+	for _, nShards := range []int{1, 2, 4, 8} {
+		before, err := New(DefaultVNodes, mkShards(nShards)...)
+		if err != nil {
+			t.Fatal(err)
+		}
+		newShard := Info{ID: "shard-new", Addr: "http://127.0.0.1:9999"}
+		after, err := before.Add(newShard)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if after.Version() != before.Version()+1 {
+			t.Fatalf("Add must bump version: %d → %d", before.Version(), after.Version())
+		}
+		moved := 0
+		for _, k := range keys(nKeys) {
+			oldOwner, newOwner := before.Owner(k), after.Owner(k)
+			if oldOwner == newOwner {
+				continue
+			}
+			moved++
+			if newOwner.ID != newShard.ID {
+				t.Fatalf("%d shards: key %q moved %s→%s, not onto the new shard",
+					nShards, k, oldOwner.ID, newOwner.ID)
+			}
+		}
+		bound := int(1.5 * float64(nKeys) / float64(nShards+1))
+		t.Logf("%2d→%2d shards: moved %d/%d keys (bound %d)", nShards, nShards+1, moved, nKeys, bound)
+		if moved > bound {
+			t.Fatalf("%d shards: %d keys moved on add, bound K/N+ε = %d", nShards, moved, bound)
+		}
+		if moved == 0 {
+			t.Fatalf("%d shards: new shard received no keys", nShards)
+		}
+	}
+}
+
+// TestMinimalMovementOnRemove asserts the inverse: removing a shard moves
+// exactly the keys it owned, and nothing else.
+func TestMinimalMovementOnRemove(t *testing.T) {
+	const nKeys = 20000
+	before, err := New(DefaultVNodes, mkShards(5)...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	const victim = "shard-02"
+	after, err := before.Remove(victim)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, k := range keys(nKeys) {
+		oldOwner, newOwner := before.Owner(k), after.Owner(k)
+		if oldOwner.ID == victim {
+			if newOwner.ID == victim {
+				t.Fatalf("key %q still owned by removed shard", k)
+			}
+			continue
+		}
+		if oldOwner != newOwner {
+			t.Fatalf("key %q moved %s→%s though its owner was not removed",
+				k, oldOwner.ID, newOwner.ID)
+		}
+	}
+	if _, ok := after.Get(victim); ok {
+		t.Fatal("removed shard still resolvable")
+	}
+}
+
+// TestWireRoundTrip pins that a map survives JSON serialization with
+// identical placement — the router hands its map to SDK clients this way.
+func TestWireRoundTrip(t *testing.T) {
+	m, err := New(32, mkShards(4)...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m2, err := m.Add(Info{ID: "zz-late", Addr: "http://127.0.0.1:9100"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	raw, err := json.Marshal(m2.Wire())
+	if err != nil {
+		t.Fatal(err)
+	}
+	var w Wire
+	if err := json.Unmarshal(raw, &w); err != nil {
+		t.Fatal(err)
+	}
+	back, err := FromWire(w)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.Version() != m2.Version() || back.VNodes() != m2.VNodes() || back.Len() != m2.Len() {
+		t.Fatalf("round trip changed shape: %+v vs %+v", back.Wire(), m2.Wire())
+	}
+	for _, k := range keys(2000) {
+		if back.Owner(k) != m2.Owner(k) {
+			t.Fatalf("round trip changed placement of %q", k)
+		}
+	}
+}
+
+// TestValidation covers the constructor's error paths.
+func TestValidation(t *testing.T) {
+	if _, err := New(8); err == nil {
+		t.Fatal("empty map must be rejected")
+	}
+	if _, err := New(8, Info{ID: "", Addr: "x"}); err == nil {
+		t.Fatal("empty shard ID must be rejected")
+	}
+	if _, err := New(8, Info{ID: "a", Addr: "x"}, Info{ID: "a", Addr: "y"}); err == nil {
+		t.Fatal("duplicate shard ID must be rejected")
+	}
+	if _, err := New(8, Info{ID: "a/b", Addr: "x"}); err == nil {
+		t.Fatal("shard ID with session separator must be rejected")
+	}
+	if _, err := FromWire(Wire{Version: 0, VNodes: 8, Shards: mkShards(1)}); err == nil {
+		t.Fatal("wire version 0 must be rejected")
+	}
+	m, err := New(8, mkShards(2)...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := m.Add(Info{ID: "shard-00", Addr: "x"}); err == nil {
+		t.Fatal("duplicate Add must be rejected")
+	}
+	if _, err := m.Remove("nope"); err == nil {
+		t.Fatal("Remove of unknown shard must be rejected")
+	}
+	if _, err := m.Remove("shard-00"); err != nil {
+		t.Fatalf("Remove of known shard: %v", err)
+	}
+}
+
+// TestSessionQualification covers the shard-qualified session ID format.
+func TestSessionQualification(t *testing.T) {
+	q := QualifySession("s1", "sess-42-alice")
+	shardID, sid, ok := SplitSession(q)
+	if !ok || shardID != "s1" || sid != "sess-42-alice" {
+		t.Fatalf("SplitSession(%q) = %q, %q, %v", q, shardID, sid, ok)
+	}
+	// Session IDs may themselves contain the separator (sess-1-alice/x);
+	// only the first one splits.
+	shardID, sid, ok = SplitSession("s2/sess-1-a/b")
+	if !ok || shardID != "s2" || sid != "sess-1-a/b" {
+		t.Fatalf("nested split = %q, %q, %v", shardID, sid, ok)
+	}
+	for _, bad := range []string{"", "nosep", "/leading", "trailing/"} {
+		if _, _, ok := SplitSession(bad); ok {
+			t.Fatalf("SplitSession(%q) should fail", bad)
+		}
+	}
+}
+
+func BenchmarkOwner(b *testing.B) {
+	m, err := New(DefaultVNodes, mkShards(8)...)
+	if err != nil {
+		b.Fatal(err)
+	}
+	ks := keys(1024)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = m.Owner(ks[i&1023])
+	}
+}

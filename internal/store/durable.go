@@ -75,6 +75,11 @@ type DurableStats struct {
 	// WALAppends and WALFsyncs count appends and fsyncs this process.
 	WALAppends uint64 `json:"wal_appends"`
 	WALFsyncs  uint64 `json:"wal_fsyncs"`
+	// GroupCommit reports whether fsync coalescing is active;
+	// WALCommitWaits counts mutators that blocked for a group fsync. The
+	// coalescing win under a burst is WALCommitWaits ≫ WALFsyncs.
+	GroupCommit    bool   `json:"group_commit,omitempty"`
+	WALCommitWaits uint64 `json:"wal_commit_waits,omitempty"`
 	// Checkpoints counts snapshot+truncate checkpoints this process.
 	Checkpoints uint64 `json:"checkpoints"`
 	// DeltaTailLen is the number of recent mutations held for delta sync.
@@ -99,6 +104,7 @@ type Durable struct {
 	checkpointEvery int
 	deltaLogSize    int
 	fsync           bool
+	group           bool
 	seed            *core.State
 	sysOpts         []core.Option
 	logger          *log.Logger
@@ -126,6 +132,10 @@ type Durable struct {
 	replay      ReplayStats
 	failed      error
 	closed      bool
+
+	// gc is the group-commit engine; non-nil only under WithGroupCommit.
+	// Set once in Open, immutable after — reads need no lock.
+	gc *committer
 
 	fsyncHist *obs.Histogram // nil until RegisterMetrics; nil-safe
 }
@@ -271,6 +281,9 @@ func Open(dir string, opts ...DurableOption) (*Durable, error) {
 	d.walSize = size
 	d.walRecords = stats.Records + stats.Skipped
 	d.lastGen = lastGen
+	if d.group {
+		d.gc = newCommitter(d.wal, d.fsync)
+	}
 
 	// Seed only a genuinely empty directory: durable state, even an empty
 	// snapshot, always wins.
@@ -292,6 +305,11 @@ func Open(dir string, opts ...DurableOption) (*Durable, error) {
 	}
 	sys.AdvanceGeneration(gen0)
 	d.maxSeen = gen0
+	if d.gc != nil {
+		// Everything replayed (or reserved) at boot is already on disk.
+		d.gc.noteAppend(gen0)
+		d.gc.noteDurable(gen0)
+	}
 	d.reserved = gen0 + genReserveChunk
 	if err := d.writeEpochLocked(); err != nil {
 		_ = d.wal.Close()
@@ -368,6 +386,11 @@ func (d *Durable) Record(m core.Mutation, export func() core.State) error {
 	if d.failed != nil {
 		return d.failed
 	}
+	if d.gc != nil {
+		if err := d.gc.sticky(); err != nil {
+			return err
+		}
+	}
 	if d.closed {
 		return fmt.Errorf("store: durable store closed")
 	}
@@ -389,20 +412,28 @@ func (d *Durable) Record(m core.Mutation, export func() core.State) error {
 		return fmt.Errorf("store: wal write: %w", err)
 	}
 	d.walSize += int64(len(line))
-	if err := faults.Inject(faults.WALFsync); err != nil {
-		return fmt.Errorf("store: wal fsync: %w", err)
-	}
-	if d.fsync {
-		start := time.Now()
-		if err := d.wal.Sync(); err != nil {
-			// A failed fsync leaves the page cache in an unknown state;
-			// acknowledging further writes would be lying about
-			// durability. Fail sticky (the PostgreSQL fsync lesson).
-			d.failed = fmt.Errorf("store: wal fsync failed, store is read-only: %w", err)
-			return d.failed
+	if d.gc != nil {
+		// Group commit: the fsync is owed, not issued. The mutator settles
+		// it via WaitDurable after releasing the System write lock, where
+		// concurrent mutators coalesce into one shared fsync. The fault
+		// point moves with the fsync (see committer.wait).
+		d.gc.noteAppend(m.Gen)
+	} else {
+		if err := faults.Inject(faults.WALFsync); err != nil {
+			return fmt.Errorf("store: wal fsync: %w", err)
 		}
-		d.fsyncHist.ObserveSince(start)
-		d.fsyncs++
+		if d.fsync {
+			start := time.Now()
+			if err := d.wal.Sync(); err != nil {
+				// A failed fsync leaves the page cache in an unknown state;
+				// acknowledging further writes would be lying about
+				// durability. Fail sticky (the PostgreSQL fsync lesson).
+				d.failed = fmt.Errorf("store: wal fsync failed, store is read-only: %w", err)
+				return d.failed
+			}
+			d.fsyncHist.ObserveSince(start)
+			d.fsyncs++
+		}
 	}
 	d.appends++
 	d.walRecords++
@@ -465,6 +496,11 @@ func (d *Durable) checkpointLocked(st core.State, gen uint64) error {
 	}
 	d.baseGen = gen
 	d.checkpoints++
+	if d.gc != nil {
+		// The fsynced snapshot covers every generation it includes: waiters
+		// at or below gen are durable without a WAL fsync of their own.
+		d.gc.noteDurable(gen)
+	}
 	// From here the snapshot covers every logged record: a failed truncate
 	// leaves stale records that replay will skip (gen <= baseGen), so it
 	// degrades space, not correctness.
@@ -537,6 +573,16 @@ func (d *Durable) Stats() DurableStats {
 	if d.failed != nil {
 		st.Failed = d.failed.Error()
 	}
+	if d.gc != nil {
+		st.GroupCommit = true
+		_, durable, fsyncs, waits := d.gc.stats()
+		st.DurableGeneration = durable
+		st.WALFsyncs += fsyncs
+		st.WALCommitWaits = waits
+		if err := d.gc.sticky(); err != nil && st.Failed == "" {
+			st.Failed = err.Error()
+		}
+	}
 	return st
 }
 
@@ -549,6 +595,15 @@ func (d *Durable) RegisterMetrics(reg *obs.Registry) {
 	d.fsyncHist = reg.NewHistogram("grbac_wal_fsync_seconds",
 		"Latency of one WAL fsync.", nil)
 	d.mu.Unlock()
+	if d.gc != nil {
+		d.gc.mu.Lock()
+		d.gc.hist = reg.NewHistogram("grbac_wal_group_fsync_seconds",
+			"Latency of one coalesced group-commit fsync.", nil)
+		d.gc.mu.Unlock()
+		reg.NewCounterFunc("grbac_wal_commit_waits_total",
+			"Mutators that blocked for a group-commit fsync.",
+			func() float64 { return float64(d.Stats().WALCommitWaits) })
+	}
 	reg.NewCounterFunc("grbac_wal_appends_total",
 		"Mutations appended to the write-ahead log.",
 		func() float64 { return float64(d.Stats().WALAppends) })
@@ -613,6 +668,11 @@ func (d *Durable) Close() error {
 		if err := d.checkpointLocked(st, gen); err != nil {
 			firstErr = err
 		}
+	}
+	if d.gc != nil {
+		// The final checkpoint (above) advanced the durable watermark past
+		// every journaled generation, so this releases no waiter early.
+		d.gc.shutdown()
 	}
 	if err := d.wal.Close(); err != nil && firstErr == nil {
 		firstErr = err

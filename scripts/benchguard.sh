@@ -29,7 +29,12 @@
 #  10. the embedded SDK's warm CheckAccess must allocate nothing — it is
 #      the server's own zero-alloc cache hit running in the caller's
 #      address space — and beat the HTTP round trip to the primary by
-#      BENCHGUARD_SDK_SPEEDUP x (default 10).
+#      BENCHGUARD_SDK_SPEEDUP x (default 10);
+#  11. sharded scaling (E22): aggregate decide throughput at 4 shards must
+#      be at least BENCHGUARD_SHARD_SPEEDUP x the 1-shard baseline
+#      (default 3). The scaling is algorithmic — partitioning shrinks the
+#      per-shard snapshot recompile that session churn forces — so the
+#      guard holds on single-core CI runners too.
 set -eu
 
 cd "$(dirname "$0")/.."
@@ -269,6 +274,34 @@ fi
 if ! awk -v e="$emb_ns" -v r="$rem_ns" -v need="$sdk_speedup" \
 	'BEGIN { exit !(r / e >= need) }'; then
 	echo "benchguard: FAIL: embedded mediation only x$(awk -v e="$emb_ns" -v r="$rem_ns" 'BEGIN { printf "%.2f", r / e }') of remote (need x$sdk_speedup)" >&2
+	exit 1
+fi
+
+# Guard 11: sharded scaling (E22). Run the shard sweep and hold the
+# 4-shard aggregate decide throughput to BENCHGUARD_SHARD_SPEEDUP x the
+# 1-shard baseline. E22 writes BENCH_SHARD.json into the working
+# directory; run it from a temp dir so the guard never dirties the
+# committed proof, then read the speedup back out of the JSON.
+shard_speedup=${BENCHGUARD_SHARD_SPEEDUP:-3}
+e22dir=$(mktemp -d)
+go build -o "$e22dir/grbac-bench" ./cmd/grbac-bench
+e22out=$(cd "$e22dir" && ./grbac-bench -run E22) || {
+	rm -rf "$e22dir"
+	echo "benchguard: FAIL: grbac-bench -run E22 errored" >&2
+	exit 1
+}
+echo "$e22out"
+at4=$(awk -F'[:,]' '/"speedup_at_4_shards"/ { gsub(/[ \t]/, "", $2); print $2 }' \
+	"$e22dir/BENCH_SHARD.json")
+rm -rf "$e22dir"
+if [ -z "$at4" ]; then
+	echo "benchguard: missing speedup_at_4_shards in BENCH_SHARD.json" >&2
+	exit 1
+fi
+
+echo "benchguard: 4-shard aggregate decide speedup=x$at4, required=x$shard_speedup"
+if ! awk -v got="$at4" -v need="$shard_speedup" 'BEGIN { exit !(got >= need) }'; then
+	echo "benchguard: FAIL: 4-shard speedup only x$at4 (need x$shard_speedup)" >&2
 	exit 1
 fi
 echo "benchguard: OK"

@@ -40,6 +40,7 @@ import (
 	"fmt"
 	"log"
 	"net/http"
+	"sync"
 	"sync/atomic"
 	"time"
 
@@ -48,6 +49,7 @@ import (
 	"github.com/aware-home/grbac/internal/faults"
 	"github.com/aware-home/grbac/internal/pdp"
 	"github.com/aware-home/grbac/internal/replica"
+	"github.com/aware-home/grbac/internal/shard"
 )
 
 // Source reports which mediation path produced a Decision.
@@ -147,6 +149,11 @@ type Client struct {
 	fetcher          replica.Fetcher
 	pullerOpts       []replica.PullerOption
 
+	shardRouting bool
+	homeShard    string
+	shardMap     *shard.Map
+	shardClients map[string]*pdp.Client
+
 	cancel context.CancelFunc
 	done   chan struct{}
 
@@ -227,6 +234,22 @@ func WithPullerOptions(opts ...replica.PullerOption) Option {
 	return func(c *Client) { c.pullerOpts = append(c.pullerOpts, opts...) }
 }
 
+// WithShardRouting makes the Client shard-aware: primaryURL must point at
+// a grbacd -route node, whose shard map New fetches at bootstrap. The
+// Client then replicates policy from one "home" shard (homeShard by ID,
+// or the map's first shard when empty) and mediates locally only the
+// subjects that shard owns; every other subject — and every shard-
+// qualified session — is routed remotely straight to its owning shard,
+// skipping the router hop. Local decisions on a foreign shard's subject
+// would otherwise answer "unknown subject" for subjects that exist
+// elsewhere in the cluster.
+func WithShardRouting(homeShard string) Option {
+	return func(c *Client) {
+		c.shardRouting = true
+		c.homeShard = homeShard
+	}
+}
+
 // New builds an embedded client for the primary at primaryURL, starts its
 // replication puller, and — unless WithOfflineStart — blocks until the
 // first policy snapshot is applied (bounded by WithBootstrapTimeout and
@@ -246,6 +269,17 @@ func New(ctx context.Context, primaryURL string, opts ...Option) (*Client, error
 	// the primary's exported policy wholesale on every sync.
 	c.sys = grbac.NewSystem()
 
+	feedURL := primaryURL
+	if c.shardRouting {
+		home, err := c.bootstrapShardMap(ctx, primaryURL)
+		if err != nil {
+			return nil, err
+		}
+		// Replicate from the home shard directly: the router holds no
+		// policy and serves no replication feed.
+		feedURL = home.Addr
+	}
+
 	pullerOpts := []replica.PullerOption{
 		replica.WithMaxStaleness(c.maxStaleness),
 		replica.WithFollowerLogger(c.logger),
@@ -253,7 +287,7 @@ func New(ctx context.Context, primaryURL string, opts ...Option) (*Client, error
 	if c.fetcher != nil {
 		pullerOpts = append(pullerOpts, replica.WithFetcher(c.fetcher))
 	} else if c.httpClient != nil {
-		cl := replica.NewClient(primaryURL, c.httpClient)
+		cl := replica.NewClient(feedURL, c.httpClient)
 		if c.maxStaleness > 0 {
 			cl.MaxWait = c.maxStaleness / 3
 			if cl.MaxWait < 100*time.Millisecond {
@@ -263,7 +297,7 @@ func New(ctx context.Context, primaryURL string, opts ...Option) (*Client, error
 		pullerOpts = append(pullerOpts, replica.WithFetcher(cl))
 	}
 	pullerOpts = append(pullerOpts, c.pullerOpts...)
-	c.puller = replica.NewPuller(c.sys, primaryURL, pullerOpts...)
+	c.puller = replica.NewPuller(c.sys, feedURL, pullerOpts...)
 
 	if c.noRemote {
 		c.remote = nil
@@ -293,6 +327,81 @@ func New(ctx context.Context, primaryURL string, opts ...Option) (*Client, error
 		}
 	}
 	return c, nil
+}
+
+// bootstrapShardMap fetches the routing tier's shard map, builds the
+// per-shard remote clients, and resolves the home shard this Client will
+// replicate from.
+func (c *Client) bootstrapShardMap(ctx context.Context, routerURL string) (shard.Info, error) {
+	mctx := ctx
+	if c.bootstrapTimeout > 0 {
+		var cancel context.CancelFunc
+		mctx, cancel = context.WithTimeout(ctx, c.bootstrapTimeout)
+		defer cancel()
+	}
+	var w shard.Wire
+	router := pdp.NewClient(routerURL, c.httpClient)
+	if err := router.Call(mctx, http.MethodGet, pdp.ShardMapPath, nil, &w); err != nil {
+		return shard.Info{}, fmt.Errorf("sdk: fetch shard map from %s: %w", routerURL, err)
+	}
+	m, err := shard.FromWire(w)
+	if err != nil {
+		return shard.Info{}, fmt.Errorf("sdk: shard map from %s: %w", routerURL, err)
+	}
+	c.shardMap = m
+	c.shardClients = make(map[string]*pdp.Client, m.Len())
+	for _, s := range m.Shards() {
+		c.shardClients[s.ID] = pdp.NewClient(s.Addr, c.httpClient,
+			pdp.WithRetry(3, 100*time.Millisecond))
+	}
+	if c.homeShard == "" {
+		c.homeShard = m.Shards()[0].ID
+	}
+	home, ok := m.Get(c.homeShard)
+	if !ok {
+		return shard.Info{}, fmt.Errorf("sdk: home shard %q not in shard map v%d", c.homeShard, m.Version())
+	}
+	return home, nil
+}
+
+// ShardMap returns the shard map fetched at bootstrap (nil without
+// WithShardRouting).
+func (c *Client) ShardMap() *shard.Map { return c.shardMap }
+
+// locallyOwned reports whether the replicated snapshot covers the
+// request's subject. Without shard routing every subject is local; with
+// it, only the home shard's partition is — a foreign subject evaluated
+// locally would be indistinguishable from an unknown one.
+func (c *Client) locallyOwned(req grbac.Request) bool {
+	if c.shardMap == nil {
+		return true
+	}
+	return c.shardMap.Owner(string(req.Subject)).ID == c.homeShard
+}
+
+// remoteClientFor resolves which remote PDP serves the wire request and
+// rewrites shard-qualified session IDs to their shard-local form. Without
+// a shard map (or for anything it cannot place) the configured remote —
+// the primary, or the router in sharded mode — is the answer.
+func (c *Client) remoteClientFor(req *pdp.DecideRequest) *pdp.Client {
+	if c.noRemote || c.shardMap == nil {
+		return c.remote
+	}
+	if req.Session != "" {
+		if shardID, local, ok := shard.SplitSession(req.Session); ok {
+			if cl := c.shardClients[shardID]; cl != nil {
+				req.Session = local
+				return cl
+			}
+		}
+		return c.remote
+	}
+	if req.Subject != "" {
+		if cl := c.shardClients[c.shardMap.Owner(req.Subject).ID]; cl != nil {
+			return cl
+		}
+	}
+	return c.remote
 }
 
 // Close stops the replication puller and waits for it to exit. The local
@@ -343,6 +452,9 @@ func (c *Client) Decide(ctx context.Context, req grbac.Request) (Decision, error
 	if !localEvaluable(req) {
 		return c.remoteDecide(ctx, req, "flow requires primary state (session or live environment)")
 	}
+	if !c.locallyOwned(req) {
+		return c.remoteDecide(ctx, req, "subject owned by a foreign shard")
+	}
 	if c.puller.Stale() {
 		return c.decideStale(ctx, req)
 	}
@@ -357,7 +469,7 @@ func (c *Client) Decide(ctx context.Context, req grbac.Request) (Decision, error
 // CheckAccess is the boolean hot path: a warm local check is a cache read
 // against the compiled snapshot — no Decision clone, zero allocations.
 func (c *Client) CheckAccess(ctx context.Context, req grbac.Request) (bool, error) {
-	if localEvaluable(req) && !c.puller.Stale() {
+	if localEvaluable(req) && c.locallyOwned(req) && !c.puller.Stale() {
 		ok, err := c.sys.CheckAccess(req)
 		if err != nil {
 			return false, err
@@ -383,7 +495,7 @@ func (c *Client) DecideBatch(ctx context.Context, reqs []grbac.Request) []BatchR
 	var localIdx, remoteIdx []int
 	for i, r := range reqs {
 		switch {
-		case !localEvaluable(r):
+		case !localEvaluable(r) || !c.locallyOwned(r):
 			remoteIdx = append(remoteIdx, i)
 		case stale && c.fallback == FallbackRemote:
 			remoteIdx = append(remoteIdx, i)
@@ -423,27 +535,59 @@ func (c *Client) DecideBatch(ctx context.Context, reqs []grbac.Request) []BatchR
 	return out
 }
 
-// remoteBatch sends the remote-routed indices as one batch round trip,
-// falling back to per-request fail-safe denies when the primary is
-// unreachable.
+// remoteBatch sends the remote-routed indices out as batch round trips —
+// one per owning remote (a single primary call normally; one sub-batch
+// per shard under WithShardRouting, dispatched concurrently) — falling
+// back to per-request fail-safe denies when a remote is unreachable.
 func (c *Client) remoteBatch(ctx context.Context, reqs []grbac.Request, idx []int, out []BatchResult) {
-	if c.remote == nil {
-		for _, i := range idx {
+	type group struct {
+		cl   *pdp.Client
+		idx  []int
+		wire []pdp.DecideRequest
+	}
+	groups := make(map[*pdp.Client]*group)
+	for _, i := range idx {
+		wire := pdp.FromCoreRequest(reqs[i])
+		cl := c.remoteClientFor(&wire)
+		if cl == nil {
 			out[i].Decision = c.failSafe(reqs[i], "no remote fallback configured")
+			continue
 		}
+		g := groups[cl]
+		if g == nil {
+			g = &group{cl: cl}
+			groups[cl] = g
+		}
+		g.idx = append(g.idx, i)
+		g.wire = append(g.wire, wire)
+	}
+	if len(groups) == 0 {
 		return
 	}
 	if err := faults.Inject(faults.SDKFallback); err != nil {
-		for _, i := range idx {
-			out[i].Decision = c.failSafe(reqs[i], "remote fallback failed: "+err.Error())
+		for _, g := range groups {
+			for _, i := range g.idx {
+				out[i].Decision = c.failSafe(reqs[i], "remote fallback failed: "+err.Error())
+			}
 		}
 		return
 	}
-	wire := make([]pdp.DecideRequest, len(idx))
-	for j, i := range idx {
-		wire[j] = pdp.FromCoreRequest(reqs[i])
+	var wg sync.WaitGroup
+	for _, g := range groups {
+		wg.Add(1)
+		go func(g *group) {
+			defer wg.Done()
+			// Groups own disjoint indices, so writes to out never collide.
+			c.dispatchRemoteBatch(ctx, reqs, g.cl, g.idx, g.wire, out)
+		}(g)
 	}
-	resp, err := c.remote.DecideBatch(ctx, wire)
+	wg.Wait()
+}
+
+// dispatchRemoteBatch sends one remote's sub-batch and maps the reply
+// back onto the caller's index-aligned results.
+func (c *Client) dispatchRemoteBatch(ctx context.Context, reqs []grbac.Request, cl *pdp.Client, idx []int, wire []pdp.DecideRequest, out []BatchResult) {
+	resp, err := cl.DecideBatch(ctx, wire)
 	if err != nil && definitive(err) {
 		for _, i := range idx {
 			out[i].Err = err
@@ -498,13 +642,15 @@ func (c *Client) decideStale(ctx context.Context, req grbac.Request) (Decision, 
 // remoteDecide routes one request to the primary, synthesizing a
 // fail-safe deny when no remote path exists or the call fails.
 func (c *Client) remoteDecide(ctx context.Context, req grbac.Request, why string) (Decision, error) {
-	if c.remote == nil {
+	wire := pdp.FromCoreRequest(req)
+	target := c.remoteClientFor(&wire)
+	if target == nil {
 		return c.failSafe(req, why+"; no remote fallback configured"), nil
 	}
 	if err := faults.Inject(faults.SDKFallback); err != nil {
 		return c.failSafe(req, why+"; remote fallback failed: "+err.Error()), nil
 	}
-	resp, err := c.remote.Decide(ctx, pdp.FromCoreRequest(req))
+	resp, err := target.Decide(ctx, wire)
 	if err != nil {
 		if definitive(err) {
 			// The primary answered and rejected the request itself (4xx):

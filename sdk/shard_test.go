@@ -1,0 +1,234 @@
+package sdk
+
+import (
+	"context"
+	"fmt"
+	"net/http/httptest"
+	"testing"
+
+	grbac "github.com/aware-home/grbac"
+	"github.com/aware-home/grbac/internal/core"
+	"github.com/aware-home/grbac/internal/pdp"
+	"github.com/aware-home/grbac/internal/policy"
+	"github.com/aware-home/grbac/internal/replica"
+	"github.com/aware-home/grbac/internal/shard"
+)
+
+// shardedPolicy omits the subject bindings: subjects are partitioned
+// across shards by the router, the rest is replicated everywhere.
+const shardedPolicy = `
+subject role family-member;
+subject role child extends family-member;
+object role entertainment-devices;
+env role weekday-free-time;
+object tv is entertainment-devices;
+transaction use;
+grant child use entertainment-devices when weekday-free-time;
+`
+
+// newShardedCluster boots n shards (admin + replication feed enabled, so
+// an SDK can pull policy from any of them) behind a router, registers
+// subjects through it, and returns the router's URL with the shard map.
+func newShardedCluster(t *testing.T, n, subjects int) (string, *shard.Map, []string) {
+	t.Helper()
+	compiled, err := policy.Compile(shardedPolicy)
+	if err != nil {
+		t.Fatal(err)
+	}
+	infos := make([]shard.Info, n)
+	for i := 0; i < n; i++ {
+		sys := core.NewSystem()
+		if err := compiled.Apply(sys, nil); err != nil {
+			t.Fatal(err)
+		}
+		srv := httptest.NewServer(pdp.NewServer(sys,
+			pdp.WithAdmin(),
+			pdp.WithReplicaSource(replica.NewSource(sys))))
+		t.Cleanup(srv.Close)
+		infos[i] = shard.Info{ID: fmt.Sprintf("s%d", i), Addr: srv.URL}
+	}
+	m, err := shard.New(0, infos...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rt, err := pdp.NewRouter(m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	front := httptest.NewServer(rt)
+	t.Cleanup(front.Close)
+
+	router := pdp.NewClient(front.URL, nil)
+	subs := make([]string, subjects)
+	for i := range subs {
+		subs[i] = fmt.Sprintf("member-%03d", i)
+		if err := router.UpsertSubject(context.Background(),
+			pdp.BindingRequest{ID: subs[i], Roles: []string{"child"}}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return front.URL, m, subs
+}
+
+func shardPermitReq(sub string) grbac.Request {
+	return grbac.Request{
+		Subject: grbac.SubjectID(sub), Object: "tv", Transaction: "use",
+		Environment: []grbac.RoleID{"weekday-free-time"},
+	}
+}
+
+// TestSDKShardRouting pins the client-side shard map: the SDK bootstraps
+// from the router, replicates its home shard's partition, answers home
+// subjects locally, and routes foreign subjects straight to their owning
+// shard — every decision correct either way.
+func TestSDKShardRouting(t *testing.T) {
+	routerURL, m, subs := newShardedCluster(t, 3, 24)
+	c := newEmbedded(t, routerURL, WithShardRouting(""))
+	ctx := context.Background()
+
+	if c.ShardMap() == nil || c.ShardMap().Len() != 3 {
+		t.Fatalf("ShardMap = %v, want the router's 3-shard map", c.ShardMap())
+	}
+	home := c.homeShard
+	if _, ok := m.Get(home); !ok {
+		t.Fatalf("home shard %q not in map", home)
+	}
+
+	var locals, remotes int
+	for _, sub := range subs {
+		d, err := c.Decide(ctx, shardPermitReq(sub))
+		if err != nil {
+			t.Fatalf("Decide(%s): %v", sub, err)
+		}
+		if !d.Allowed {
+			t.Fatalf("Decide(%s) denied: %+v", sub, d)
+		}
+		wantSource := SourceRemote
+		if m.Owner(sub).ID == home {
+			wantSource = SourceLocal
+		}
+		if d.Source != wantSource {
+			t.Fatalf("Decide(%s) source = %s, want %s (owner %s, home %s)",
+				sub, d.Source, wantSource, m.Owner(sub).ID, home)
+		}
+		if d.Source == SourceLocal {
+			locals++
+		} else {
+			remotes++
+		}
+	}
+	if locals == 0 || remotes == 0 {
+		t.Fatalf("locals=%d remotes=%d — test must exercise both paths", locals, remotes)
+	}
+
+	st := c.Stats()
+	if st.LocalDecisions != uint64(locals) || st.RemoteFallbacks != uint64(remotes) {
+		t.Fatalf("stats = %d local / %d remote, want %d / %d",
+			st.LocalDecisions, st.RemoteFallbacks, locals, remotes)
+	}
+}
+
+// TestSDKShardRoutingBatch pins the batch split: home subjects answer
+// from the local snapshot, foreign ones ride per-shard remote batches,
+// results stay index-aligned.
+func TestSDKShardRoutingBatch(t *testing.T) {
+	routerURL, m, subs := newShardedCluster(t, 3, 24)
+	c := newEmbedded(t, routerURL, WithShardRouting(""))
+
+	reqs := make([]grbac.Request, len(subs))
+	for i, sub := range subs {
+		reqs[i] = shardPermitReq(sub)
+	}
+	out := c.DecideBatch(context.Background(), reqs)
+	for i, r := range out {
+		if r.Err != nil {
+			t.Fatalf("batch[%d] (%s): %v", i, subs[i], r.Err)
+		}
+		if !r.Decision.Allowed {
+			t.Fatalf("batch[%d] (%s) denied — merge misaligned?", i, subs[i])
+		}
+		wantSource := SourceRemote
+		if m.Owner(subs[i]).ID == c.homeShard {
+			wantSource = SourceLocal
+		}
+		if r.Decision.Source != wantSource {
+			t.Fatalf("batch[%d] (%s) source = %s, want %s", i, subs[i], r.Decision.Source, wantSource)
+		}
+	}
+}
+
+// TestSDKShardRoutingSessions pins direct-to-shard session mediation: a
+// session minted by the router carries its shard qualifier, and the SDK
+// sends session-scoped requests straight to that shard with the local ID
+// restored.
+func TestSDKShardRoutingSessions(t *testing.T) {
+	routerURL, m, subs := newShardedCluster(t, 3, 8)
+	c := newEmbedded(t, routerURL, WithShardRouting(""))
+	ctx := context.Background()
+
+	// Pick a subject on a foreign shard so the direct route is the only
+	// way the decision can succeed locally-unreplicated state.
+	var sub string
+	for _, s := range subs {
+		if m.Owner(s).ID != c.homeShard {
+			sub = s
+			break
+		}
+	}
+	router := pdp.NewClient(routerURL, nil)
+	sid, err := router.OpenSession(ctx, sub)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := router.SetSessionRole(ctx, sid, "child", true); err != nil {
+		t.Fatal(err)
+	}
+	req := shardPermitReq(sub)
+	req.Session = grbac.SessionID(sid)
+	d, err := c.Decide(ctx, req)
+	if err != nil {
+		t.Fatalf("session decide via SDK: %v", err)
+	}
+	if !d.Allowed || d.Source != SourceRemote {
+		t.Fatalf("session decide = %+v, want remote permit", d)
+	}
+
+	// The home shard resolves by ID too: a home subject's session still
+	// routes remotely (sessions are never replicated).
+	var homeSub string
+	for _, s := range subs {
+		if m.Owner(s).ID == c.homeShard {
+			homeSub = s
+			break
+		}
+	}
+	sid2, err := router.OpenSession(ctx, homeSub)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := router.SetSessionRole(ctx, sid2, "child", true); err != nil {
+		t.Fatal(err)
+	}
+	req2 := shardPermitReq(homeSub)
+	req2.Session = grbac.SessionID(sid2)
+	d2, err := c.Decide(ctx, req2)
+	if err != nil || !d2.Allowed || d2.Source != SourceRemote {
+		t.Fatalf("home-shard session decide = %+v, %v; want remote permit", d2, err)
+	}
+}
+
+// TestSDKShardRoutingHomeShardSelection pins explicit home-shard choice
+// and rejection of unknown IDs.
+func TestSDKShardRoutingHomeShardSelection(t *testing.T) {
+	routerURL, _, _ := newShardedCluster(t, 3, 4)
+	c := newEmbedded(t, routerURL, WithShardRouting("s2"))
+	if c.homeShard != "s2" {
+		t.Fatalf("home shard = %q, want s2", c.homeShard)
+	}
+
+	ctx, cancel := context.WithTimeout(context.Background(), 5e9)
+	defer cancel()
+	if _, err := New(ctx, routerURL, WithLogger(quiet), WithShardRouting("nope")); err == nil {
+		t.Fatal("unknown home shard must fail bootstrap")
+	}
+}
