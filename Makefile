@@ -1,6 +1,6 @@
 # Standard developer entry points; everything is plain `go` underneath.
 
-.PHONY: all build vet test race bench benchguard replication-smoke chaos-smoke crash-smoke sdk-smoke shard-smoke fuzz cover experiments fmt
+.PHONY: all build vet test race bench benchguard replication-smoke chaos-smoke crash-smoke sdk-smoke shard-smoke rebalance-smoke fuzz cover experiments fmt
 
 all: build vet test
 
@@ -52,6 +52,12 @@ sdk-smoke:
 # replication behind the router, and shard-down degradation.
 shard-smoke:
 	./scripts/shard_smoke.sh
+
+# End-to-end online-rebalance drill: grows a two-shard cluster to three
+# under continuous decide load and asserts zero failed decides, balanced
+# residency, SDK map-watch convergence, and map durability on restart.
+rebalance-smoke:
+	./scripts/rebalance_smoke.sh
 
 # Run every native fuzz target for a short budget each.
 fuzz:

@@ -11,6 +11,7 @@
 //	grbacctl top
 //	grbacctl traces -limit 10
 //	grbacctl -server http://follower:8126 replication
+//	grbacctl -server http://router:8120 rebalance add -id s2 -addr http://localhost:8127 -wait 2m
 package main
 
 import (
@@ -36,7 +37,7 @@ func main() {
 	flag.Parse()
 
 	if flag.NArg() < 1 {
-		log.Fatal("usage: grbacctl [flags] check|decide|state|health|shards|stats|top|traces|replication|audit|who-can|what-can [subcommand flags]")
+		log.Fatal("usage: grbacctl [flags] check|decide|state|health|shards|rebalance|stats|top|traces|replication|audit|who-can|what-can [subcommand flags]")
 	}
 	client := pdp.NewClient(*server, nil)
 	ctx, cancel := context.WithTimeout(context.Background(), *timeout)
@@ -177,6 +178,8 @@ func main() {
 			fmt.Printf("  %-12s %-32s %s\n", s.ID, s.Addr, state)
 		}
 		os.Exit(exit)
+	case "rebalance":
+		runRebalance(ctx, client, flag.Args()[1:])
 	default:
 		log.Fatalf("unknown command %q", cmd)
 	}

@@ -49,6 +49,7 @@ import (
 	"net/http/pprof"
 	"os"
 	"os/signal"
+	"path/filepath"
 	"strings"
 	"syscall"
 	"time"
@@ -80,6 +81,8 @@ func main() {
 	routeFanout := flag.Int("route-fanout", pdp.DefaultRouterFanout, "router mode: max concurrent per-shard calls in scatter-gather fan-outs")
 	shardTimeout := flag.Duration("shard-timeout", pdp.DefaultShardTimeout, "router mode: per-shard call deadline — a down shard costs one deadline, not a hang")
 	vnodes := flag.Int("vnodes", shard.DefaultVNodes, "router mode: virtual nodes per shard on the consistent-hash ring")
+	probeInterval := flag.Duration("shard-probe-interval", 0, "router mode: background shard health-probe interval feeding /v1/healthz and grbac_shard_health (0 probes inline on /v1/healthz only)")
+	hedgeQuantile := flag.Float64("hedge-quantile", 0, "router mode: hedge scatter reads that outlive this latency quantile of the shard's recent calls, e.g. 0.95 (0 disables hedging)")
 	follow := flag.String("follow", "", "primary PDP base URL to replicate from (follower mode: read-only, policy comes from the primary)")
 	maxStaleness := flag.Duration("max-staleness", 30*time.Second, "follower mode: degrade health and mark decisions stale after this long without primary contact (0 disables)")
 	shutdownGrace := flag.Duration("shutdown-grace", 10*time.Second, "how long to let in-flight requests drain on SIGINT/SIGTERM")
@@ -105,16 +108,44 @@ func main() {
 	defer stop()
 
 	if *route != "" {
-		if *policyPath != "" || *snapshotPath != "" || *admin || *dataDir != "" || *follow != "" {
-			log.Fatal("-route is exclusive with -policy, -snapshot, -admin, -data-dir, and -follow: a router holds no policy of its own")
+		if *policyPath != "" || *snapshotPath != "" || *admin || *follow != "" {
+			log.Fatal("-route is exclusive with -policy, -snapshot, -admin, and -follow: a router holds no policy of its own")
 		}
 		m, err := parseShardList(*route, *vnodes)
 		if err != nil {
 			log.Fatal(err)
 		}
+		// With -data-dir the router is rebalance-capable: the last
+		// committed shard map persists across restarts (and overrides the
+		// boot flag when newer), and an interrupted rebalance resumes
+		// from its journal.
+		var mapPath, journalPath string
+		if *dataDir != "" {
+			if err := os.MkdirAll(*dataDir, 0o755); err != nil {
+				log.Fatal(err)
+			}
+			mapPath = filepath.Join(*dataDir, "shardmap.json")
+			journalPath = filepath.Join(*dataDir, "rebalance.journal")
+			persisted, err := shard.LoadMap(mapPath)
+			if err != nil {
+				log.Fatal(err)
+			}
+			if persisted != nil && persisted.Version() > m.Version() {
+				log.Printf("persisted shard map v%d (%d shards) overrides -route list", persisted.Version(), persisted.Len())
+				m = persisted
+			}
+		}
 		routerOpts := []pdp.RouterOption{
 			pdp.WithRouterFanout(*routeFanout),
 			pdp.WithShardTimeout(*shardTimeout),
+		}
+		if *probeInterval > 0 {
+			routerOpts = append(routerOpts, pdp.WithHealthProbes(*probeInterval))
+			log.Printf("shard health probes every %v", *probeInterval)
+		}
+		if *hedgeQuantile > 0 {
+			routerOpts = append(routerOpts, pdp.WithHedgedScatter(*hedgeQuantile))
+			log.Printf("scatter hedging at p%.0f", *hedgeQuantile*100)
 		}
 		if *metricsOn {
 			routerOpts = append(routerOpts, pdp.WithRouterMetrics(obs.NewRegistry()))
@@ -123,12 +154,42 @@ func main() {
 		if err != nil {
 			log.Fatal(err)
 		}
-		for _, s := range m.Shards() {
+		handler := http.Handler(rt)
+		if *dataDir != "" {
+			coord := shard.NewCoordinator(journalPath,
+				func(info shard.Info) shard.NodeClient { return pdp.NewMigrationNode(info.Addr) },
+				func(_ context.Context, nm *shard.Map) error {
+					// Re-commits during resume may carry the already-active
+					// version; that is convergence, not an error.
+					if err := rt.SetMap(nm); err != nil && !errors.Is(err, pdp.ErrStaleShardMap) {
+						return err
+					}
+					return shard.SaveMap(mapPath, nm)
+				}, log.Printf)
+			go func() {
+				// Resume in the background so routing starts immediately:
+				// mid-migration subjects keep deciding via the old owners'
+				// forwarding until the resumed run commits.
+				if resumed, err := coord.Resume(context.Background()); err != nil {
+					log.Printf("rebalance resume: %v", err)
+				} else if resumed {
+					log.Printf("resumed interrupted rebalance: shard map now v%d", rt.Map().Version())
+				}
+			}()
+			reb := pdp.NewRebalanceHandler(rt, coord, log.Default())
+			outer := http.NewServeMux()
+			outer.Handle(pdp.ShardRebalancePath, reb)
+			outer.Handle(pdp.ShardRebalanceStatusPath, reb)
+			outer.Handle("/", rt)
+			handler = outer
+			log.Printf("rebalance API enabled (journal %s)", journalPath)
+		}
+		for _, s := range rt.Map().Shards() {
 			log.Printf("shard %s -> %s", s.ID, s.Addr)
 		}
 		log.Printf("serving GRBAC routing tier on %s (%d shards, %d vnodes, fan-out %d, shard timeout %v)",
-			*addr, m.Len(), m.VNodes(), *routeFanout, *shardTimeout)
-		serve(ctx, stop, *addr, rt, *shutdownGrace, nil)
+			*addr, rt.Map().Len(), rt.Map().VNodes(), *routeFanout, *shardTimeout)
+		serve(ctx, stop, *addr, handler, *shutdownGrace, rt.Close)
 		return
 	}
 

@@ -1,0 +1,202 @@
+package core
+
+import (
+	"fmt"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// Subject migration primitives. When a shard rebalance moves a subject to
+// a new owner, the coordinator exports the subject's complete per-subject
+// state from the old shard (ExportSubject) and restores it on the new one
+// (RestoreSubject). Shared policy — roles, transactions, permissions, SoD
+// constraints — is replicated to every shard already, so a bundle carries
+// only what hangs off the subject itself: its record, its direct role
+// assignments, and its open sessions.
+//
+// RestoreSubject is an idempotent upsert: re-importing the same bundle is
+// a no-op, and re-importing a newer bundle for the same subject converges
+// the target to it (extra roles are revoked, the session set is replaced).
+// That is what lets a crashed migration simply re-run its move set — the
+// second pass lands on exactly the same state as a clean first pass.
+
+// SubjectBundle is the serializable migration unit for one subject.
+type SubjectBundle struct {
+	Subject SubjectState `json:"subject"`
+	// Sessions are the subject's open sessions with their shard-local IDs
+	// and active role sets. They ride along so a migrated subject's
+	// sessions survive the move; like all sessions they stay ephemeral
+	// (never journaled) on the target.
+	Sessions []SessionInfo `json:"sessions,omitempty"`
+}
+
+// ExportSubject snapshots one subject's migratable state: its record,
+// direct role assignments, and open sessions.
+func (s *System) ExportSubject(id SubjectID) (SubjectBundle, error) {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	rec, ok := s.subjects[id]
+	if !ok {
+		return SubjectBundle{}, fmt.Errorf("%w: subject %q", ErrNotFound, id)
+	}
+	b := SubjectBundle{Subject: SubjectState{ID: id, Roles: sortedRoleIDs(rec.roles)}}
+	for _, sess := range s.sessions {
+		if sess.subject == id {
+			b.Sessions = append(b.Sessions, sessionInfo(sess))
+		}
+	}
+	sortSessionInfos(b.Sessions)
+	return b, nil
+}
+
+// RestoreSubject upserts a migrated subject: the subject record and each
+// role assignment delta are journaled exactly as the equivalent public
+// mutations would be (so a WAL replay of a restored shard re-validates and
+// reproduces the same state), and the subject's session set is replaced by
+// the bundle's. Static SoD constraints are re-checked per assignment —
+// shared policy is replicated, so a bundle that was legal on the exporting
+// shard is legal here unless policy moved between export and restore, in
+// which case failing loudly beats journaling a record that replay would
+// reject.
+//
+// Restored sessions keep their exact IDs; the session sequence is advanced
+// past any "sess-<seq>-…" ID in the bundle so a later CreateSession on
+// this shard can never mint a colliding ID. Active roles no longer
+// authorized under the restored role set are dropped, mirroring
+// RevokeSubjectRole's pruning.
+func (s *System) RestoreSubject(b SubjectBundle) (err error) {
+	var commit commitTicket
+	defer commit.settle(&err)
+	s.mu.Lock()
+	defer s.mu.Unlock()
+
+	id := b.Subject.ID
+	if id == "" {
+		return fmt.Errorf("%w: empty subject ID", ErrInvalid)
+	}
+	for _, r := range b.Subject.Roles {
+		if _, ok := s.subjectRoles.get(r); !ok {
+			return fmt.Errorf("%w: subject role %q", ErrNotFound, r)
+		}
+	}
+	for _, si := range b.Sessions {
+		if si.ID == "" {
+			return fmt.Errorf("%w: empty session ID in bundle for %q", ErrInvalid, id)
+		}
+		if si.Subject != id {
+			return fmt.Errorf("%w: session %q belongs to %q, not %q", ErrInvalid, si.ID, si.Subject, id)
+		}
+	}
+
+	rec, ok := s.subjects[id]
+	if !ok {
+		rec = &subjectRec{roles: make(map[RoleID]bool)}
+		s.subjects[id] = rec
+		s.invalidateLocked()
+		if err := s.recordLocked(&commit, Mutation{Op: OpAddSubject, Subject: id}); err != nil {
+			return err
+		}
+	}
+
+	want := make(map[RoleID]bool, len(b.Subject.Roles))
+	for _, r := range b.Subject.Roles {
+		want[r] = true
+	}
+	// Assign missing roles in bundle order, re-running the static SoD
+	// check AssignSubjectRole would (replay-language consistency).
+	for _, r := range b.Subject.Roles {
+		if rec.roles[r] {
+			continue
+		}
+		next := append(setToSlice(rec.roles), r)
+		held := s.subjectRoles.closure(next)
+		for _, c := range s.sods {
+			if c.Kind != StaticSoD {
+				continue
+			}
+			if a, bRole, bad := c.violates(held); bad {
+				return fmt.Errorf("%w: constraint %q forbids %q to hold both %q and %q",
+					ErrStaticSoD, c.Name, id, a, bRole)
+			}
+		}
+		rec.roles[r] = true
+		s.invalidateLocked()
+		if err := s.recordLocked(&commit, Mutation{Op: OpAssignSubjectRole, Subject: id, RoleID: r}); err != nil {
+			return err
+		}
+	}
+	// Revoke roles the target holds but the bundle does not, so a
+	// re-import of a newer bundle converges.
+	var stray []RoleID
+	for r := range rec.roles {
+		if !want[r] {
+			stray = append(stray, r)
+		}
+	}
+	sort.Slice(stray, func(i, j int) bool { return stray[i] < stray[j] })
+	for _, r := range stray {
+		delete(rec.roles, r)
+		s.invalidateLocked()
+		if err := s.recordLocked(&commit, Mutation{Op: OpRevokeSubjectRole, Subject: id, RoleID: r}); err != nil {
+			return err
+		}
+	}
+
+	// Replace the subject's session set with the bundle's. Sessions are
+	// ephemeral: the generation bump is observed, never journaled.
+	changed := false
+	for sid, sess := range s.sessions {
+		if sess.subject == id {
+			delete(s.sessions, sid)
+			changed = true
+		}
+	}
+	authorized := s.subjectRoles.closure(setToSlice(rec.roles))
+	for _, si := range b.Sessions {
+		active := make(map[RoleID]bool, len(si.Active))
+		for _, r := range si.Active {
+			if authorized[r] {
+				active[r] = true
+			}
+		}
+		created := si.Created
+		if created.IsZero() {
+			created = s.now()
+		}
+		s.sessions[si.ID] = &session{
+			id:      si.ID,
+			subject: id,
+			active:  active,
+			created: created,
+		}
+		if seq, ok := parseSessionSeq(si.ID); ok && seq > s.sessionSeq {
+			s.sessionSeq = seq
+		}
+		changed = true
+	}
+	if changed {
+		s.invalidateLocked()
+		s.observeLocked()
+	}
+	return nil
+}
+
+// parseSessionSeq extracts the sequence number from a locally-minted
+// session ID ("sess-<seq>-<subject>"). Foreign ID shapes report ok=false
+// and never advance the sequence.
+func parseSessionSeq(id SessionID) (uint64, bool) {
+	rest, ok := strings.CutPrefix(string(id), "sess-")
+	if !ok {
+		return 0, false
+	}
+	num, _, ok := strings.Cut(rest, "-")
+	if !ok {
+		return 0, false
+	}
+	seq, err := strconv.ParseUint(num, 10, 64)
+	if err != nil {
+		return 0, false
+	}
+	return seq, true
+}

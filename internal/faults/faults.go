@@ -65,6 +65,22 @@ const (
 	// is a slow remote Decide. The SDK's resync transport shares
 	// ReplicaSnapshot and ReplicaWatch with the follower.
 	SDKFallback = "sdk.fallback"
+	// MigrateForward wraps the old owner's proxying of one request for a
+	// migrated subject during the handoff window: an error is a partition
+	// between old and new owner, a delay is a slow handoff hop.
+	MigrateForward = "migrate.forward"
+	// The Rebalance* points bracket the shard-rebalance coordinator's
+	// steps, one kill point per journaled transition: a panic is a
+	// coordinator crash the resume path must recover from. Journal wraps
+	// each journal append (crash before the step is recorded), the rest
+	// fire after the named remote step succeeds but before it is recorded.
+	RebalanceJournal  = "rebalance.journal"
+	RebalanceExport   = "rebalance.export"
+	RebalanceImport   = "rebalance.import"
+	RebalanceHandoff  = "rebalance.handoff"
+	RebalanceDelta    = "rebalance.delta"
+	RebalanceCommit   = "rebalance.commit"
+	RebalanceComplete = "rebalance.complete"
 )
 
 // Action is what a rule does when it fires. All set fields apply: the

@@ -17,7 +17,7 @@ import (
 // for the same instrument and share it.
 type Registry struct {
 	mu      sync.Mutex
-	metrics map[string]any // *Counter | *Gauge | *funcCollector | *Histogram | *CounterVec | *HistogramVec
+	metrics map[string]any // *Counter | *Gauge | *funcCollector | *Histogram | *CounterVec | *GaugeVec | *HistogramVec
 	order   []string
 }
 
@@ -134,6 +134,46 @@ func (v *CounterVec) With(labelValues ...string) *Counter {
 	return c
 }
 
+// GaugeVec is a family of gauges distinguished by label values.
+type GaugeVec struct {
+	metricMeta
+	mu       sync.Mutex
+	children map[string]*Gauge
+	ordered  []*Gauge
+}
+
+// NewGaugeVec registers (or returns the existing) labeled gauge family
+// under name.
+func (r *Registry) NewGaugeVec(name, help string, labelNames ...string) *GaugeVec {
+	v := &GaugeVec{
+		metricMeta: metricMeta{name: name, help: help, labelNames: labelNames},
+		children:   make(map[string]*Gauge),
+	}
+	return r.register(name, v).(*GaugeVec)
+}
+
+// With returns the child gauge for the given label values, creating it
+// on first use. Resolve children once at setup time on hot paths.
+func (v *GaugeVec) With(labelValues ...string) *Gauge {
+	if len(labelValues) != len(v.labelNames) {
+		panic(fmt.Sprintf("obs: %s wants %d label values, got %d", v.name, len(v.labelNames), len(labelValues)))
+	}
+	key := strings.Join(labelValues, "\x00")
+	v.mu.Lock()
+	defer v.mu.Unlock()
+	if g, ok := v.children[key]; ok {
+		return g
+	}
+	g := &Gauge{metricMeta: metricMeta{
+		name: v.name, help: v.help,
+		labelNames:  v.labelNames,
+		labelValues: append([]string(nil), labelValues...),
+	}}
+	v.children[key] = g
+	v.ordered = append(v.ordered, g)
+	return g
+}
+
 // HistogramVec is a family of histograms distinguished by label values,
 // sharing one set of bucket bounds.
 type HistogramVec struct {
@@ -215,6 +255,15 @@ func (r *Registry) WritePrometheus(w io.Writer) error {
 			sortByLabels(children, func(c *Counter) []string { return c.labelValues })
 			for _, c := range children {
 				sample(&b, &c.metricMeta, "", "", float64(c.Value()))
+			}
+		case *GaugeVec:
+			header(&b, name, m.help, "gauge")
+			m.mu.Lock()
+			children := append([]*Gauge(nil), m.ordered...)
+			m.mu.Unlock()
+			sortByLabels(children, func(g *Gauge) []string { return g.labelValues })
+			for _, g := range children {
+				sample(&b, &g.metricMeta, "", "", g.Value())
 			}
 		case *HistogramVec:
 			header(&b, name, m.help, "histogram")

@@ -160,6 +160,9 @@ func (s *Server) handleSubjects(w http.ResponseWriter, r *http.Request) {
 	if !s.readBody(w, r, &req, http.MethodPost) {
 		return
 	}
+	if s.migrateIntercept(w, r, req.ID, "", req) {
+		return
+	}
 	id := core.SubjectID(req.ID)
 	if !s.sys.HasSubject(id) {
 		if err := s.sys.AddSubject(id); err != nil {
@@ -291,6 +294,9 @@ func (s *Server) handleSessions(w http.ResponseWriter, r *http.Request) {
 	if !s.readBody(w, r, &req, http.MethodPost, http.MethodDelete) {
 		return
 	}
+	if s.migrateIntercept(w, r, req.Subject, req.Session, req) {
+		return
+	}
 	switch r.Method {
 	case http.MethodPost:
 		sid, err := s.sys.CreateSession(core.SubjectID(req.Subject))
@@ -311,6 +317,9 @@ func (s *Server) handleSessions(w http.ResponseWriter, r *http.Request) {
 func (s *Server) handleSessionRoles(w http.ResponseWriter, r *http.Request) {
 	var req SessionRoleRequest
 	if !s.readBody(w, r, &req, http.MethodPost) {
+		return
+	}
+	if s.migrateIntercept(w, r, "", req.Session, req) {
 		return
 	}
 	var err error
@@ -386,6 +395,9 @@ func (s *Server) handleWhatCan(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	q := r.URL.Query()
+	if s.migrateIntercept(w, r, q.Get("subject"), "", nil) {
+		return
+	}
 	ents, err := s.sys.WhatCan(core.SubjectID(q.Get("subject")), splitEnv(q.Get("env")))
 	if err != nil {
 		s.writeError(w, err)

@@ -42,6 +42,10 @@ type RemoteError struct {
 	// MaxRetryAfter and RetryAfter carries the clamped value, not the
 	// server's.
 	RetryAfterClamped bool
+	// Moved carries the 421 redirect payload when the server reports the
+	// request's subject migrated to another shard: the new owner and the
+	// map version to catch up to. Nil on every other status.
+	Moved *MovedInfo
 }
 
 // MaxRetryAfter caps how far a server Retry-After hint can push out the
@@ -399,8 +403,9 @@ func (c *Client) doOnce(req *http.Request, out any) error {
 			RetryAfterClamped: clamped,
 		}
 		var e ErrorResponse
-		if err := json.NewDecoder(resp.Body).Decode(&e); err == nil && e.Error != "" {
+		if err := json.NewDecoder(resp.Body).Decode(&e); err == nil {
 			remote.Message = e.Error
+			remote.Moved = e.Moved
 		}
 		return remote
 	}

@@ -1,0 +1,504 @@
+package pdp
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"github.com/aware-home/grbac/internal/core"
+	"github.com/aware-home/grbac/internal/faults"
+	"github.com/aware-home/grbac/internal/shard"
+)
+
+// Shard-side subject migration. During an online rebalance the
+// coordinator (internal/shard.Coordinator) drives each shard through
+// these endpoints:
+//
+//	GET  /v1/migrate/subjects — list this shard's subject IDs
+//	POST /v1/migrate/export   — export one subject's bundle
+//	POST /v1/migrate/import   — idempotently restore a bundle
+//	POST /v1/migrate/handoff  — start forwarding for moved subjects
+//	POST /v1/migrate/complete — drop moved subjects, switch to redirects
+//	GET  /v1/migrate/status   — current forwarding table
+//
+// Between handoff and complete the shard is in the dual-ownership
+// window: it still receives traffic from routers holding the old map,
+// but the moved subjects' state now lives on the new owner — so every
+// subject-scoped request is transparently proxied there, and the old
+// copy is never consulted again. After complete the subject is gone
+// locally and single-request callers get a typed 421 redirect carrying
+// the new owner and map version, which routers and SDK clients use to
+// refresh their map and retry.
+const (
+	MigrateSubjectsPath = "/v1/migrate/subjects"
+	MigrateExportPath   = "/v1/migrate/export"
+	MigrateImportPath   = "/v1/migrate/import"
+	MigrateHandoffPath  = "/v1/migrate/handoff"
+	MigrateCompletePath = "/v1/migrate/complete"
+	MigrateStatusPath   = "/v1/migrate/status"
+)
+
+// MigrateMove names one subject's new owner.
+type MigrateMove struct {
+	Subject string `json:"subject"`
+	Shard   string `json:"shard"`
+	Addr    string `json:"addr"`
+}
+
+// MigrateSubjectsResponse lists a shard's resident subject IDs.
+type MigrateSubjectsResponse struct {
+	Subjects []string `json:"subjects"`
+}
+
+// MigrateExportRequest asks for one subject's migration bundle.
+type MigrateExportRequest struct {
+	Subject string `json:"subject"`
+}
+
+// MigrateHandoffRequest installs forwarding entries for subjects whose
+// state has been copied to their new owners (the dual-ownership window
+// opens). MapVersion is the version the in-flight rebalance is moving to.
+type MigrateHandoffRequest struct {
+	MapVersion uint64        `json:"map_version"`
+	Moves      []MigrateMove `json:"moves"`
+}
+
+// MigrateCompleteRequest removes moved subjects from this shard and
+// flips their forwarding entries to redirect mode. Idempotent: subjects
+// already removed are skipped, entries already redirecting stay so.
+type MigrateCompleteRequest struct {
+	MapVersion uint64        `json:"map_version"`
+	Moves      []MigrateMove `json:"moves"`
+}
+
+// MigrateStatusEntry describes one forwarding-table entry.
+type MigrateStatusEntry struct {
+	Subject    string `json:"subject"`
+	Shard      string `json:"shard"`
+	Addr       string `json:"addr"`
+	Redirect   bool   `json:"redirect"`
+	MapVersion uint64 `json:"map_version"`
+}
+
+// MigrateStatusResponse is the forwarding-table summary.
+type MigrateStatusResponse struct {
+	Entries []MigrateStatusEntry `json:"entries,omitempty"`
+}
+
+// MovedInfo rides in a 421 ErrorResponse: the subject's current owner
+// and the map version that placed it there, so the caller can refresh
+// its shard map and re-route without a blind retry.
+type MovedInfo struct {
+	Subject    string `json:"subject,omitempty"`
+	Shard      string `json:"shard"`
+	Addr       string `json:"addr"`
+	MapVersion uint64 `json:"map_version"`
+}
+
+// migrateEntry is one forwarding-table entry: where the subject went,
+// and whether we proxy (dual-ownership window) or redirect (post-move).
+type migrateEntry struct {
+	target     shard.Info
+	redirect   bool
+	mapVersion uint64
+}
+
+// migrateTable is the immutable forwarding table; writers copy-on-write
+// under migrationState.mu, readers do one atomic load. sessions maps
+// shard-local session IDs of migrated subjects back to their subject so
+// session-scoped requests keep routing after the local session records
+// are gone.
+type migrateTable struct {
+	entries  map[string]migrateEntry
+	sessions map[string]string
+}
+
+// migrationState hangs off the Server; its zero value (no table, no
+// clients) costs the fast path a single nil-check atomic load.
+type migrationState struct {
+	table   atomic.Pointer[migrateTable]
+	mu      sync.Mutex
+	clients map[string]*Client
+}
+
+// clientFor returns the cached forwarding client for a new-owner addr.
+func (m *migrationState) clientFor(addr string) *Client {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if c, ok := m.clients[addr]; ok {
+		return c
+	}
+	if m.clients == nil {
+		m.clients = make(map[string]*Client)
+	}
+	c := NewClient(addr, nil, WithRetry(2, 50*time.Millisecond))
+	m.clients[addr] = c
+	return c
+}
+
+// update copy-on-writes the forwarding table.
+func (m *migrationState) update(mutate func(t *migrateTable)) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	next := &migrateTable{
+		entries:  make(map[string]migrateEntry),
+		sessions: make(map[string]string),
+	}
+	if cur := m.table.Load(); cur != nil {
+		for k, v := range cur.entries {
+			next.entries[k] = v
+		}
+		for k, v := range cur.sessions {
+			next.sessions[k] = v
+		}
+	}
+	mutate(next)
+	m.table.Store(next)
+}
+
+// migrateFor resolves a request's subject (directly, or via its session)
+// against the forwarding table. The common no-migration case is one
+// atomic load and a nil check.
+func (s *Server) migrateFor(subject, session string) (string, migrateEntry, bool) {
+	t := s.migration.table.Load()
+	if t == nil || len(t.entries) == 0 {
+		return "", migrateEntry{}, false
+	}
+	if subject == "" && session != "" {
+		if sub, ok := t.sessions[session]; ok {
+			subject = sub
+		} else if si, err := s.sys.Session(core.SessionID(session)); err == nil {
+			subject = string(si.Subject)
+		}
+	}
+	if subject == "" {
+		return "", migrateEntry{}, false
+	}
+	e, ok := t.entries[subject]
+	return subject, e, ok
+}
+
+// migrateForward proxies the (already decoded) request to the subject's
+// new owner and relays the reply verbatim. in is the decoded request
+// body to re-serialize (nil for GETs — the path+query carry everything).
+func (s *Server) migrateForward(w http.ResponseWriter, r *http.Request, e migrateEntry, in any) {
+	if err := faults.Inject(faults.MigrateForward); err != nil {
+		s.writeStatus(w, http.StatusServiceUnavailable, "handoff forward failed: "+err.Error())
+		return
+	}
+	path := r.URL.Path
+	if r.URL.RawQuery != "" {
+		path += "?" + r.URL.RawQuery
+	}
+	var raw json.RawMessage
+	err := s.migration.clientFor(e.target.Addr).Call(r.Context(), r.Method, path, in, &raw)
+	if err != nil {
+		s.relayMigrateError(w, err)
+		return
+	}
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(http.StatusOK)
+	_, _ = w.Write(raw)
+}
+
+// relayMigrateError maps a forwarding failure onto the reply: the new
+// owner's own status and body pass through, transport failures become a
+// 502 so the caller can tell "new owner said no" from "could not reach
+// new owner".
+func (s *Server) relayMigrateError(w http.ResponseWriter, err error) {
+	var re *RemoteError
+	if errors.As(err, &re) {
+		body := ErrorResponse{Error: re.Message, Moved: re.Moved}
+		if body.Error == "" {
+			body.Error = fmt.Sprintf("new owner replied %d", re.Status)
+		}
+		s.writeJSON(w, re.Status, body)
+		return
+	}
+	s.writeStatus(w, http.StatusBadGateway, "handoff forward: "+err.Error())
+}
+
+// migrateRedirect answers a single-subject request with the typed 421:
+// the subject moved, here is its owner and the map version to catch up to.
+func (s *Server) migrateRedirect(w http.ResponseWriter, subject string, e migrateEntry) {
+	s.writeJSON(w, http.StatusMisdirectedRequest, ErrorResponse{
+		Error: fmt.Sprintf("subject %q moved to shard %q (map v%d)", subject, e.target.ID, e.mapVersion),
+		Moved: &MovedInfo{
+			Subject:    subject,
+			Shard:      e.target.ID,
+			Addr:       e.target.Addr,
+			MapVersion: e.mapVersion,
+		},
+	})
+}
+
+// migrateIntercept is the hook at the top of every subject-scoped
+// handler: not-moved subjects fall through at the cost of one atomic
+// load; moved subjects are proxied (handoff window) or redirected
+// (post-complete). It reports whether it wrote the response.
+func (s *Server) migrateIntercept(w http.ResponseWriter, r *http.Request, subject, session string, in any) bool {
+	sub, e, ok := s.migrateFor(subject, session)
+	if !ok {
+		return false
+	}
+	if e.redirect {
+		s.migrateRedirect(w, sub, e)
+		return true
+	}
+	s.migrateForward(w, r, e, in)
+	return true
+}
+
+// migrateBatch mediates the batch items that belong to migrated subjects
+// on their new owners, grouped into one proxied sub-batch per owner. The
+// returned slice aligns with reqs: nil entries stay locally mediated. A
+// shard with no forwarding table returns nil outright (one atomic load).
+func (s *Server) migrateBatch(ctx context.Context, reqs []DecideRequest) []*BatchItem {
+	t := s.migration.table.Load()
+	if t == nil || len(t.entries) == 0 {
+		return nil
+	}
+	groups := make(map[string][]int)
+	for i, dr := range reqs {
+		if _, e, ok := s.migrateFor(dr.Subject, dr.Session); ok {
+			groups[e.target.Addr] = append(groups[e.target.Addr], i)
+		}
+	}
+	if len(groups) == 0 {
+		return nil
+	}
+	out := make([]*BatchItem, len(reqs))
+	for addr, idxs := range groups {
+		sub := make([]DecideRequest, len(idxs))
+		for j, i := range idxs {
+			sub[j] = reqs[i]
+		}
+		fill := func(msg string) {
+			for _, i := range idxs {
+				out[i] = &BatchItem{Error: msg}
+			}
+		}
+		if err := faults.Inject(faults.MigrateForward); err != nil {
+			fill("handoff forward failed: " + err.Error())
+			continue
+		}
+		resp, err := s.migration.clientFor(addr).DecideBatch(ctx, sub)
+		if err != nil {
+			fill("handoff forward failed: " + err.Error())
+			continue
+		}
+		if len(resp.Results) != len(idxs) {
+			fill("handoff forward failed: new owner returned a misaligned batch")
+			continue
+		}
+		for j, i := range idxs {
+			item := resp.Results[j]
+			out[i] = &item
+		}
+	}
+	return out
+}
+
+// registerMigrate mounts the migration endpoints; they ride the admin
+// plane (a shard without admin cannot be rebalanced into or out of).
+func (s *Server) registerMigrate(mux *http.ServeMux) {
+	mux.HandleFunc(MigrateSubjectsPath, s.handleMigrateSubjects)
+	mux.HandleFunc(MigrateExportPath, s.handleMigrateExport)
+	mux.HandleFunc(MigrateImportPath, s.handleMigrateImport)
+	mux.HandleFunc(MigrateHandoffPath, s.handleMigrateHandoff)
+	mux.HandleFunc(MigrateCompletePath, s.handleMigrateComplete)
+	mux.HandleFunc(MigrateStatusPath, s.handleMigrateStatus)
+}
+
+func (s *Server) handleMigrateSubjects(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet {
+		s.writeStatus(w, http.StatusMethodNotAllowed, "GET only")
+		return
+	}
+	ids := s.sys.Subjects()
+	resp := MigrateSubjectsResponse{Subjects: make([]string, 0, len(ids))}
+	for _, id := range ids {
+		resp.Subjects = append(resp.Subjects, string(id))
+	}
+	s.writeJSON(w, http.StatusOK, resp)
+}
+
+func (s *Server) handleMigrateExport(w http.ResponseWriter, r *http.Request) {
+	var req MigrateExportRequest
+	if !s.readBody(w, r, &req, http.MethodPost) {
+		return
+	}
+	b, err := s.sys.ExportSubject(core.SubjectID(req.Subject))
+	if err != nil {
+		s.writeError(w, err)
+		return
+	}
+	s.writeJSON(w, http.StatusOK, b)
+}
+
+func (s *Server) handleMigrateImport(w http.ResponseWriter, r *http.Request) {
+	var b core.SubjectBundle
+	if !s.readBody(w, r, &b, http.MethodPost) {
+		return
+	}
+	if err := s.sys.RestoreSubject(b); err != nil {
+		s.writeError(w, err)
+		return
+	}
+	// An import means this shard is (becoming) the subject's owner: a
+	// stale forwarding entry from an earlier move in the other direction
+	// must not shadow the live copy.
+	s.migration.update(func(t *migrateTable) {
+		delete(t.entries, string(b.Subject.ID))
+		for _, si := range b.Sessions {
+			delete(t.sessions, string(si.ID))
+		}
+	})
+	s.writeJSON(w, http.StatusOK, map[string]string{"status": "ok"})
+}
+
+func (s *Server) handleMigrateHandoff(w http.ResponseWriter, r *http.Request) {
+	var req MigrateHandoffRequest
+	if !s.readBody(w, r, &req, http.MethodPost) {
+		return
+	}
+	s.migration.update(func(t *migrateTable) {
+		for _, mv := range req.Moves {
+			// Re-running handoff after a crash must not demote an entry
+			// that already progressed to redirect.
+			if cur, ok := t.entries[mv.Subject]; ok && cur.redirect {
+				continue
+			}
+			t.entries[mv.Subject] = migrateEntry{
+				target:     shard.Info{ID: mv.Shard, Addr: mv.Addr},
+				mapVersion: req.MapVersion,
+			}
+		}
+	})
+	s.writeJSON(w, http.StatusOK, map[string]string{"status": "ok"})
+}
+
+func (s *Server) handleMigrateComplete(w http.ResponseWriter, r *http.Request) {
+	var req MigrateCompleteRequest
+	if !s.readBody(w, r, &req, http.MethodPost) {
+		return
+	}
+	for _, mv := range req.Moves {
+		// Capture the subject's session IDs before RemoveSubject closes
+		// them, so session-scoped calls keep resolving to the redirect.
+		var sids []string
+		if b, err := s.sys.ExportSubject(core.SubjectID(mv.Subject)); err == nil {
+			for _, si := range b.Sessions {
+				sids = append(sids, string(si.ID))
+			}
+			if err := s.sys.RemoveSubject(core.SubjectID(mv.Subject)); err != nil {
+				s.writeError(w, err)
+				return
+			}
+		}
+		s.migration.update(func(t *migrateTable) {
+			t.entries[mv.Subject] = migrateEntry{
+				target:     shard.Info{ID: mv.Shard, Addr: mv.Addr},
+				redirect:   true,
+				mapVersion: req.MapVersion,
+			}
+			for _, sid := range sids {
+				t.sessions[sid] = mv.Subject
+			}
+		})
+	}
+	s.writeJSON(w, http.StatusOK, map[string]string{"status": "ok"})
+}
+
+func (s *Server) handleMigrateStatus(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet {
+		s.writeStatus(w, http.StatusMethodNotAllowed, "GET only")
+		return
+	}
+	var resp MigrateStatusResponse
+	if t := s.migration.table.Load(); t != nil {
+		for sub, e := range t.entries {
+			resp.Entries = append(resp.Entries, MigrateStatusEntry{
+				Subject:    sub,
+				Shard:      e.target.ID,
+				Addr:       e.target.Addr,
+				Redirect:   e.redirect,
+				MapVersion: e.mapVersion,
+			})
+		}
+	}
+	sortMigrateEntries(resp.Entries)
+	s.writeJSON(w, http.StatusOK, resp)
+}
+
+func sortMigrateEntries(es []MigrateStatusEntry) {
+	for i := 1; i < len(es); i++ {
+		for j := i; j > 0 && es[j].Subject < es[j-1].Subject; j-- {
+			es[j], es[j-1] = es[j-1], es[j]
+		}
+	}
+}
+
+// MigrationNode adapts a Client into the coordinator's per-shard
+// interface (shard.NodeClient): subject bundles stay opaque JSON so the
+// shard package never imports core.
+type MigrationNode struct {
+	c *Client
+}
+
+// NewMigrationNode wraps the given addr's client for coordinator use.
+func NewMigrationNode(addr string) *MigrationNode {
+	return &MigrationNode{c: NewClient(addr, nil, WithRetry(3, 100*time.Millisecond))}
+}
+
+// Subjects lists the shard's resident subjects.
+func (n *MigrationNode) Subjects(ctx context.Context) ([]string, error) {
+	var resp MigrateSubjectsResponse
+	if err := n.c.Call(ctx, http.MethodGet, MigrateSubjectsPath, nil, &resp); err != nil {
+		return nil, err
+	}
+	return resp.Subjects, nil
+}
+
+// ExportSubject fetches one subject's bundle as opaque JSON.
+func (n *MigrationNode) ExportSubject(ctx context.Context, subject string) (json.RawMessage, error) {
+	var raw json.RawMessage
+	err := n.c.Call(ctx, http.MethodPost, MigrateExportPath, MigrateExportRequest{Subject: subject}, &raw)
+	return raw, err
+}
+
+// ImportSubject restores a bundle on the shard.
+func (n *MigrationNode) ImportSubject(ctx context.Context, bundle json.RawMessage) error {
+	return n.c.Call(ctx, http.MethodPost, MigrateImportPath, bundle, nil)
+}
+
+// Handoff opens the dual-ownership window for the given moves.
+func (n *MigrationNode) Handoff(ctx context.Context, mapVersion uint64, moves []shard.Move) error {
+	return n.c.Call(ctx, http.MethodPost, MigrateHandoffPath,
+		MigrateHandoffRequest{MapVersion: mapVersion, Moves: fromShardMoves(moves)}, nil)
+}
+
+// Complete drops the moved subjects and switches to redirects.
+func (n *MigrationNode) Complete(ctx context.Context, mapVersion uint64, moves []shard.Move) error {
+	return n.c.Call(ctx, http.MethodPost, MigrateCompletePath,
+		MigrateCompleteRequest{MapVersion: mapVersion, Moves: fromShardMoves(moves)}, nil)
+}
+
+// SetMap pushes a committed shard map to the shard's router surface; on
+// plain shards it is a no-op (404 tolerated) — routers are the consumers.
+func (n *MigrationNode) SetMap(ctx context.Context, w shard.Wire) error {
+	return n.c.Call(ctx, http.MethodPut, ShardMapPath, w, nil)
+}
+
+func fromShardMoves(moves []shard.Move) []MigrateMove {
+	out := make([]MigrateMove, 0, len(moves))
+	for _, mv := range moves {
+		out = append(out, MigrateMove{Subject: mv.Subject, Shard: mv.To.ID, Addr: mv.To.Addr})
+	}
+	return out
+}

@@ -8,6 +8,8 @@ import (
 	"log"
 	"net/http"
 	"sort"
+	"strconv"
+	"strings"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -41,18 +43,46 @@ import (
 //     default (a down shard fails the query — review answers must not
 //     silently omit a partition); ?allow_partial=1 degrades to a 200
 //     with the reachable union plus per-shard errors.
+//
+// During a rebalance, a shard that no longer owns a subject answers 421
+// with the new owner's coordinates; the router follows the redirect once
+// within the same request, so clients never observe the handoff.
 type Router struct {
-	mu       sync.Mutex // serializes SetMap
-	m        atomic.Pointer[shard.Map]
-	clients  atomic.Pointer[map[string]*Client]
+	mu    sync.Mutex // serializes SetMap and guards watch
+	view  atomic.Pointer[routerView]
+	watch chan struct{} // closed and replaced under mu on every map change
+
 	mux      *http.ServeMux
 	fanout   int
 	timeout  time.Duration
 	logger   *log.Logger
 	mkClient func(addr string) *Client
 
+	// Resilience knobs (see router_resilience.go).
+	retryBackoff time.Duration
+	probeEvery   time.Duration
+	hedge        *hedger
+	health       *healthTracker
+	stop         chan struct{}
+	stopOnce     sync.Once
+
 	metrics *routerMetrics
 	reg     *obs.Registry
+}
+
+// routerView is one immutable snapshot of the routing state: the shard
+// map and the client table built for exactly that map. Handlers capture
+// a view once per request, so a concurrent SetMap can never tear the
+// map away from its clients mid-scatter — in-flight fan-outs drain
+// against the table they started with.
+type routerView struct {
+	m       *shard.Map
+	clients map[string]*Client
+}
+
+func (v *routerView) client(id string) (*Client, bool) {
+	c, ok := v.clients[id]
+	return c, ok
 }
 
 // DefaultRouterFanout bounds how many shard calls one scatter request
@@ -63,9 +93,27 @@ const DefaultRouterFanout = 8
 // slow shard costs one deadline, not an unbounded hang.
 const DefaultShardTimeout = 5 * time.Second
 
+// DefaultReadRetryBackoff is the base backoff before the single retry of
+// an idempotent read (jittered to 0.5x–1.5x).
+const DefaultReadRetryBackoff = 25 * time.Millisecond
+
 // ShardMapPath serves the router's current shard map, consumed by
 // grbacctl and by SDK clients that route shard-direct.
 const ShardMapPath = "/v1/shard/map"
+
+// ShardMapWatchPath long-polls for shard map changes: the request parks
+// until the map version exceeds ?after (or the wait expires), then
+// returns the current wire map. Routers push rebalance commits to SDK
+// clients through this edge so the fleet flips atomically.
+const ShardMapWatchPath = "/v1/shard/map/watch"
+
+// defaultMapWatchMaxWait caps how long one map watch may park. Below
+// typical LB idle timeouts so parked watches don't die mid-flight.
+const defaultMapWatchMaxWait = 25 * time.Second
+
+// ErrStaleShardMap is returned by SetMap when the candidate map's
+// version is not strictly newer than the active map's.
+var ErrStaleShardMap = errors.New("pdp: shard map version not newer than active")
 
 // RouterOption configures NewRouter.
 type RouterOption func(*Router)
@@ -114,6 +162,9 @@ type routerMetrics struct {
 	routes  *obs.CounterVec
 	errs    *obs.CounterVec
 	scatter *obs.Histogram
+	health  *obs.GaugeVec
+	retries *obs.CounterVec
+	hedges  *obs.CounterVec
 }
 
 func (m *routerMetrics) route(shardID string) {
@@ -134,15 +185,37 @@ func (m *routerMetrics) observeScatter(start time.Time) {
 	}
 }
 
+func (m *routerMetrics) retry(shardID string) {
+	if m != nil {
+		m.retries.With(shardID).Inc()
+	}
+}
+
+func (m *routerMetrics) hedged(shardID string) {
+	if m != nil {
+		m.hedges.With(shardID).Inc()
+	}
+}
+
+func (m *routerMetrics) setHealth(shardID string, v float64) {
+	if m != nil {
+		m.health.With(shardID).Set(v)
+	}
+}
+
 // NewRouter builds a routing tier over the shard map.
 func NewRouter(m *shard.Map, opts ...RouterOption) (*Router, error) {
 	if m == nil || m.Len() == 0 {
 		return nil, fmt.Errorf("pdp: router needs a non-empty shard map")
 	}
 	rt := &Router{
-		fanout:  DefaultRouterFanout,
-		timeout: DefaultShardTimeout,
-		logger:  log.Default(),
+		fanout:       DefaultRouterFanout,
+		timeout:      DefaultShardTimeout,
+		retryBackoff: DefaultReadRetryBackoff,
+		logger:       log.Default(),
+		watch:        make(chan struct{}),
+		stop:         make(chan struct{}),
+		health:       newHealthTracker(),
 	}
 	for _, opt := range opts {
 		opt(rt)
@@ -159,6 +232,12 @@ func NewRouter(m *shard.Map, opts ...RouterOption) (*Router, error) {
 			scatter: rt.reg.NewHistogram("grbac_shard_fanout_seconds",
 				"Latency of one scatter-gather fan-out across shards.",
 				obs.DefLatencyBuckets),
+			health: rt.reg.NewGaugeVec("grbac_shard_health",
+				"Probed shard health: 1 healthy, 0.5 suspect, 0 down.", "shard"),
+			retries: rt.reg.NewCounterVec("grbac_shard_retry_total",
+				"Bounded retries of idempotent reads against a shard.", "shard"),
+			hedges: rt.reg.NewCounterVec("grbac_shard_hedge_total",
+				"Hedged second requests launched against a shard.", "shard"),
 		}
 		rt.reg.NewGaugeFunc("grbac_shard_map_version",
 			"Version of the active shard map.",
@@ -184,6 +263,7 @@ func NewRouter(m *shard.Map, opts ...RouterOption) (*Router, error) {
 	mux.HandleFunc("/v1/query/subjects-in-role", rt.handleSubjectsInRole)
 	mux.HandleFunc("/v1/query/what-can", rt.handleWhatCan)
 	mux.HandleFunc(ShardMapPath, rt.handleShardMap)
+	mux.HandleFunc(ShardMapWatchPath, rt.handleShardMapWatch)
 	mux.HandleFunc("/v1/healthz", rt.handleHealthz)
 	mux.HandleFunc("/v1/statsz", rt.handleStatsz)
 	if rt.reg != nil {
@@ -193,31 +273,42 @@ func NewRouter(m *shard.Map, opts ...RouterOption) (*Router, error) {
 		})
 	}
 	rt.mux = mux
+	if rt.probeEvery > 0 {
+		go rt.prober()
+	}
 	return rt, nil
 }
 
+// Close stops the router's background health prober (if any). Safe to
+// call multiple times; in-flight requests are unaffected.
+func (rt *Router) Close() {
+	rt.stopOnce.Do(func() { close(rt.stop) })
+}
+
 // install swaps in a map and (re)builds the per-shard client table.
+// Callers must hold rt.mu (or be the constructor, before the router is
+// shared).
 func (rt *Router) install(m *shard.Map) {
 	clients := make(map[string]*Client, m.Len())
-	old := rt.clients.Load()
-	prev := rt.m.Load()
+	prev := rt.view.Load()
 	for _, s := range m.Shards() {
 		// Reuse the existing client when the address is unchanged, so a map
 		// bump does not drop warm connection pools or breaker state.
-		if old != nil && prev != nil {
-			if p, ok := prev.Get(s.ID); ok && p.Addr == s.Addr {
-				clients[s.ID] = (*old)[s.ID]
+		if prev != nil {
+			if p, ok := prev.m.Get(s.ID); ok && p.Addr == s.Addr {
+				clients[s.ID] = prev.clients[s.ID]
 				continue
 			}
 		}
 		clients[s.ID] = rt.mkClient(s.Addr)
 	}
-	rt.m.Store(m)
-	rt.clients.Store(&clients)
+	rt.view.Store(&routerView{m: m, clients: clients})
+	rt.health.prune(m)
 }
 
-// SetMap atomically replaces the shard map. Only maps with a strictly
-// higher version are accepted, so concurrent updaters cannot roll the
+// SetMap atomically replaces the shard map and wakes every parked map
+// watch. Only maps with a strictly higher version are accepted
+// (ErrStaleShardMap otherwise), so concurrent updaters cannot roll the
 // router back.
 func (rt *Router) SetMap(m *shard.Map) error {
 	if m == nil || m.Len() == 0 {
@@ -225,22 +316,18 @@ func (rt *Router) SetMap(m *shard.Map) error {
 	}
 	rt.mu.Lock()
 	defer rt.mu.Unlock()
-	if cur := rt.m.Load(); cur != nil && m.Version() <= cur.Version() {
-		return fmt.Errorf("pdp: shard map version %d not newer than active %d",
-			m.Version(), cur.Version())
+	if cur := rt.view.Load(); cur != nil && m.Version() <= cur.m.Version() {
+		return fmt.Errorf("%w: candidate %d, active %d",
+			ErrStaleShardMap, m.Version(), cur.m.Version())
 	}
 	rt.install(m)
+	close(rt.watch)
+	rt.watch = make(chan struct{})
 	return nil
 }
 
 // Map returns the active shard map.
-func (rt *Router) Map() *shard.Map { return rt.m.Load() }
-
-// client returns the live client for a shard ID.
-func (rt *Router) client(id string) (*Client, bool) {
-	c, ok := (*rt.clients.Load())[id]
-	return c, ok
-}
+func (rt *Router) Map() *shard.Map { return rt.view.Load().m }
 
 // ServeHTTP implements http.Handler.
 func (rt *Router) ServeHTTP(w http.ResponseWriter, r *http.Request) {
@@ -311,28 +398,110 @@ func readJSONBody(w http.ResponseWriter, r *http.Request, out any, methods ...st
 	return true
 }
 
+// routeError is a routing failure with the HTTP status it should map
+// to: 400 for requests that cannot name a shard at all, 404 for session
+// qualifiers that name a shard the map doesn't have.
+type routeError struct {
+	status int
+	msg    string
+}
+
+func (e *routeError) Error() string { return e.msg }
+
+func writeRouteError(w http.ResponseWriter, e *routeError) {
+	writeJSON(w, e.status, ErrorResponse{Error: e.msg})
+}
+
+// resolveSessionShard maps a shard-qualified session ID onto its owning
+// shard and the shard-local ID. An ID with no qualifier at all is the
+// caller's malformed request (400); an ID whose qualifier is empty
+// ("/sid") or names a shard absent from the map refers to something
+// that does not exist here (404) — it must never fall through to hash
+// routing, which would silently ask an arbitrary shard.
+func resolveSessionShard(m *shard.Map, qualified string) (shard.Info, string, *routeError) {
+	if !strings.Contains(qualified, shard.SessionSep) {
+		return shard.Info{}, "", &routeError{http.StatusBadRequest,
+			fmt.Sprintf("session %q is not shard-qualified (want <shard>%s<id>)", qualified, shard.SessionSep)}
+	}
+	shardID, sid, ok := shard.SplitSession(qualified)
+	if !ok {
+		return shard.Info{}, "", &routeError{http.StatusNotFound,
+			fmt.Sprintf("session %q has an empty shard qualifier", qualified)}
+	}
+	info, found := m.Get(shardID)
+	if !found {
+		return shard.Info{}, "", &routeError{http.StatusNotFound,
+			fmt.Sprintf("session %q names unknown shard %q", qualified, shardID)}
+	}
+	return info, sid, nil
+}
+
 // route resolves the owning shard for a decision-style request: the
 // session qualifier when a session is named (sessions live where they
 // were created, surviving map changes), else the subject hash. It
 // rewrites a qualified session ID to the shard-local form in place.
-func (rt *Router) route(req *DecideRequest) (shard.Info, error) {
-	m := rt.Map()
+func route(v *routerView, req *DecideRequest) (shard.Info, *routeError) {
 	if req.Session != "" {
-		shardID, sid, ok := shard.SplitSession(req.Session)
-		if !ok {
-			return shard.Info{}, fmt.Errorf("session %q is not shard-qualified (want <shard>/<id>)", req.Session)
-		}
-		info, found := m.Get(shardID)
-		if !found {
-			return shard.Info{}, fmt.Errorf("session %q names unknown shard %q", req.Session, shardID)
+		info, sid, rerr := resolveSessionShard(v.m, req.Session)
+		if rerr != nil {
+			return shard.Info{}, rerr
 		}
 		req.Session = sid
 		return info, nil
 	}
 	if req.Subject == "" {
-		return shard.Info{}, fmt.Errorf("request names neither subject nor session")
+		return shard.Info{}, &routeError{http.StatusBadRequest,
+			"request names neither subject nor session"}
 	}
-	return m.Owner(req.Subject), nil
+	return v.m.Owner(req.Subject), nil
+}
+
+// movedClient resolves the client to follow a 421 migration redirect
+// with: the view's own client when the redirect names a shard we know
+// at that address, else a fresh client for the redirect's address (the
+// redirect can be ahead of our map during a rebalance).
+func (rt *Router) movedClient(v *routerView, err error) (*Client, string, bool) {
+	var re *RemoteError
+	if !errors.As(err, &re) || re.Status != http.StatusMisdirectedRequest || re.Moved == nil {
+		return nil, "", false
+	}
+	mv := re.Moved
+	if info, ok := v.m.Get(mv.Shard); ok && info.Addr == mv.Addr {
+		if c, ok := v.client(mv.Shard); ok {
+			return c, mv.Shard, true
+		}
+	}
+	if mv.Addr == "" {
+		return nil, "", false
+	}
+	return rt.mkClient(mv.Addr), mv.Shard, true
+}
+
+// callShard performs one single-shard call: bounded per-shard deadline,
+// one jittered retry when the call is an idempotent read that failed
+// transiently, and one follow of a 421 migration redirect. Returns the
+// ID of the shard that ultimately answered, for error attribution.
+func (rt *Router) callShard(r *http.Request, v *routerView, sh shard.Info, method, path string, in, out any, idempotent bool) (string, error) {
+	c, ok := v.client(sh.ID)
+	if !ok {
+		c = rt.mkClient(sh.Addr)
+	}
+	rt.metrics.route(sh.ID)
+	ctx, cancel := rt.shardCtx(r)
+	defer cancel()
+	var err error
+	if idempotent {
+		_, err = retryRead(rt, ctx, sh.ID, func(ctx context.Context) (struct{}, error) {
+			return struct{}{}, c.Call(ctx, method, path, in, out)
+		})
+	} else {
+		err = c.Call(ctx, method, path, in, out)
+	}
+	if mc, movedID, moved := rt.movedClient(v, err); moved {
+		rt.metrics.route(movedID)
+		return movedID, mc.Call(ctx, method, path, in, out)
+	}
+	return sh.ID, err
 }
 
 func (rt *Router) handleDecide(w http.ResponseWriter, r *http.Request) {
@@ -340,18 +509,15 @@ func (rt *Router) handleDecide(w http.ResponseWriter, r *http.Request) {
 	if !readJSONBody(w, r, &req, http.MethodPost) {
 		return
 	}
-	sh, err := rt.route(&req)
-	if err != nil {
-		writeJSON(w, http.StatusBadRequest, ErrorResponse{Error: err.Error()})
+	v := rt.view.Load()
+	sh, rerr := route(v, &req)
+	if rerr != nil {
+		writeRouteError(w, rerr)
 		return
 	}
-	c, _ := rt.client(sh.ID)
-	rt.metrics.route(sh.ID)
-	ctx, cancel := rt.shardCtx(r)
-	defer cancel()
-	resp, err := c.Decide(ctx, req)
-	if err != nil {
-		rt.relayShardError(w, sh.ID, err)
+	var resp DecideResponse
+	if id, err := rt.callShard(r, v, sh, http.MethodPost, "/v1/decide", req, &resp, true); err != nil {
+		rt.relayShardError(w, id, err)
 		return
 	}
 	writeJSON(w, http.StatusOK, resp)
@@ -362,18 +528,15 @@ func (rt *Router) handleCheck(w http.ResponseWriter, r *http.Request) {
 	if !readJSONBody(w, r, &req, http.MethodPost) {
 		return
 	}
-	sh, err := rt.route(&req)
-	if err != nil {
-		writeJSON(w, http.StatusBadRequest, ErrorResponse{Error: err.Error()})
+	v := rt.view.Load()
+	sh, rerr := route(v, &req)
+	if rerr != nil {
+		writeRouteError(w, rerr)
 		return
 	}
-	c, _ := rt.client(sh.ID)
-	rt.metrics.route(sh.ID)
-	ctx, cancel := rt.shardCtx(r)
-	defer cancel()
 	var resp CheckResponse
-	if err := c.Call(ctx, http.MethodPost, "/v1/check", req, &resp); err != nil {
-		rt.relayShardError(w, sh.ID, err)
+	if id, err := rt.callShard(r, v, sh, http.MethodPost, "/v1/check", req, &resp, true); err != nil {
+		rt.relayShardError(w, id, err)
 		return
 	}
 	writeJSON(w, http.StatusOK, resp)
@@ -393,12 +556,13 @@ func (rt *Router) handleBatch(w http.ResponseWriter, r *http.Request) {
 			ErrorResponse{Error: fmt.Sprintf("batch of %d exceeds limit %d", len(req.Requests), maxBatchSize)})
 		return
 	}
+	v := rt.view.Load()
 	merged := make([]BatchItem, len(req.Requests))
 	groups := make(map[string][]int) // shard ID → indices into req.Requests
 	for i := range req.Requests {
-		sh, err := rt.route(&req.Requests[i])
-		if err != nil {
-			merged[i] = BatchItem{Error: err.Error()}
+		sh, rerr := route(v, &req.Requests[i])
+		if rerr != nil {
+			merged[i] = BatchItem{Error: rerr.msg}
 			continue
 		}
 		groups[sh.ID] = append(groups[sh.ID], i)
@@ -419,7 +583,7 @@ func (rt *Router) handleBatch(w http.ResponseWriter, r *http.Request) {
 			for j, i := range idxs {
 				sub[j] = req.Requests[i]
 			}
-			c, ok := rt.client(shardID)
+			c, ok := v.client(shardID)
 			if !ok {
 				rt.fillBatchError(merged, &mu, idxs, shardID, fmt.Errorf("shard %s: not in map", shardID))
 				return
@@ -427,7 +591,11 @@ func (rt *Router) handleBatch(w http.ResponseWriter, r *http.Request) {
 			rt.metrics.route(shardID)
 			ctx, cancel := rt.shardCtx(r)
 			defer cancel()
-			resp, err := c.DecideBatch(ctx, sub)
+			resp, err := hedgedFetch(rt, ctx, shardID, func(ctx context.Context) (BatchDecideResponse, error) {
+				return retryRead(rt, ctx, shardID, func(ctx context.Context) (BatchDecideResponse, error) {
+					return c.DecideBatch(ctx, sub)
+				})
+			})
 			if err != nil {
 				rt.fillBatchError(merged, &mu, idxs, shardID, err)
 				return
@@ -466,44 +634,32 @@ func (rt *Router) handleSessions(w http.ResponseWriter, r *http.Request) {
 	if !readJSONBody(w, r, &req, http.MethodPost, http.MethodDelete) {
 		return
 	}
+	v := rt.view.Load()
 	switch r.Method {
 	case http.MethodPost:
 		if req.Subject == "" {
 			writeJSON(w, http.StatusBadRequest, ErrorResponse{Error: "missing subject"})
 			return
 		}
-		sh := rt.Map().Owner(req.Subject)
-		c, _ := rt.client(sh.ID)
-		rt.metrics.route(sh.ID)
-		ctx, cancel := rt.shardCtx(r)
-		defer cancel()
+		sh := v.m.Owner(req.Subject)
 		var resp SessionResponse
-		if err := c.Call(ctx, http.MethodPost, "/v1/sessions", req, &resp); err != nil {
-			rt.relayShardError(w, sh.ID, err)
+		id, err := rt.callShard(r, v, sh, http.MethodPost, "/v1/sessions", req, &resp, false)
+		if err != nil {
+			rt.relayShardError(w, id, err)
 			return
 		}
-		resp.Session = shard.QualifySession(sh.ID, resp.Session)
+		resp.Session = shard.QualifySession(id, resp.Session)
 		writeJSON(w, http.StatusOK, resp)
 	case http.MethodDelete:
-		shardID, sid, ok := shard.SplitSession(req.Session)
-		if !ok {
-			writeJSON(w, http.StatusBadRequest,
-				ErrorResponse{Error: fmt.Sprintf("session %q is not shard-qualified", req.Session)})
+		sh, sid, rerr := resolveSessionShard(v.m, req.Session)
+		if rerr != nil {
+			writeRouteError(w, rerr)
 			return
 		}
-		c, found := rt.client(shardID)
-		if !found {
-			writeJSON(w, http.StatusBadRequest,
-				ErrorResponse{Error: fmt.Sprintf("session %q names unknown shard %q", req.Session, shardID)})
-			return
-		}
-		rt.metrics.route(shardID)
-		ctx, cancel := rt.shardCtx(r)
-		defer cancel()
 		req.Session = sid
 		var out map[string]string
-		if err := c.Call(ctx, http.MethodDelete, "/v1/sessions", req, &out); err != nil {
-			rt.relayShardError(w, shardID, err)
+		if id, err := rt.callShard(r, v, sh, http.MethodDelete, "/v1/sessions", req, &out, false); err != nil {
+			rt.relayShardError(w, id, err)
 			return
 		}
 		writeJSON(w, http.StatusOK, out)
@@ -515,25 +671,16 @@ func (rt *Router) handleSessionRoles(w http.ResponseWriter, r *http.Request) {
 	if !readJSONBody(w, r, &req, http.MethodPost) {
 		return
 	}
-	shardID, sid, ok := shard.SplitSession(req.Session)
-	if !ok {
-		writeJSON(w, http.StatusBadRequest,
-			ErrorResponse{Error: fmt.Sprintf("session %q is not shard-qualified", req.Session)})
+	v := rt.view.Load()
+	sh, sid, rerr := resolveSessionShard(v.m, req.Session)
+	if rerr != nil {
+		writeRouteError(w, rerr)
 		return
 	}
-	c, found := rt.client(shardID)
-	if !found {
-		writeJSON(w, http.StatusBadRequest,
-			ErrorResponse{Error: fmt.Sprintf("session %q names unknown shard %q", req.Session, shardID)})
-		return
-	}
-	rt.metrics.route(shardID)
-	ctx, cancel := rt.shardCtx(r)
-	defer cancel()
 	req.Session = sid
 	var out map[string]string
-	if err := c.Call(ctx, http.MethodPost, "/v1/sessions/roles", req, &out); err != nil {
-		rt.relayShardError(w, shardID, err)
+	if id, err := rt.callShard(r, v, sh, http.MethodPost, "/v1/sessions/roles", req, &out, false); err != nil {
+		rt.relayShardError(w, id, err)
 		return
 	}
 	writeJSON(w, http.StatusOK, out)
@@ -550,14 +697,11 @@ func (rt *Router) handleSubjectAdmin(w http.ResponseWriter, r *http.Request) {
 		writeJSON(w, http.StatusBadRequest, ErrorResponse{Error: "missing subject id"})
 		return
 	}
-	sh := rt.Map().Owner(req.ID)
-	c, _ := rt.client(sh.ID)
-	rt.metrics.route(sh.ID)
-	ctx, cancel := rt.shardCtx(r)
-	defer cancel()
+	v := rt.view.Load()
+	sh := v.m.Owner(req.ID)
 	var out map[string]string
-	if err := c.Call(ctx, http.MethodPost, "/v1/admin/subjects", req, &out); err != nil {
-		rt.relayShardError(w, sh.ID, err)
+	if id, err := rt.callShard(r, v, sh, http.MethodPost, "/v1/admin/subjects", req, &out, false); err != nil {
+		rt.relayShardError(w, id, err)
 		return
 	}
 	writeJSON(w, http.StatusOK, out)
@@ -574,12 +718,13 @@ func (rt *Router) handleBroadcastAdmin(w http.ResponseWriter, r *http.Request) {
 	if !readJSONBody(w, r, &body, http.MethodPost, http.MethodDelete) {
 		return
 	}
+	v := rt.view.Load()
 	start := time.Now()
-	errs := rt.broadcast(r, r.Method, r.URL.Path, body)
+	errs := rt.broadcast(r, v, r.Method, r.URL.Path, body)
 	rt.metrics.observeScatter(start)
 	if len(errs) > 0 {
 		writeJSON(w, http.StatusBadGateway, ShardErrorsResponse{
-			Error:       fmt.Sprintf("broadcast %s %s failed on %d/%d shards", r.Method, r.URL.Path, len(errs), rt.Map().Len()),
+			Error:       fmt.Sprintf("broadcast %s %s failed on %d/%d shards", r.Method, r.URL.Path, len(errs), v.m.Len()),
 			ShardErrors: errs,
 		})
 		return
@@ -587,10 +732,11 @@ func (rt *Router) handleBroadcastAdmin(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, http.StatusOK, map[string]string{"status": "ok"})
 }
 
-// broadcast fans one call out to every shard under the fan-out bound,
-// returning per-shard error strings (empty when all succeeded).
-func (rt *Router) broadcast(r *http.Request, method, path string, body json.RawMessage) map[string]string {
-	shards := rt.Map().Shards()
+// broadcast fans one call out to every shard in the view under the
+// fan-out bound, returning per-shard error strings (empty when all
+// succeeded).
+func (rt *Router) broadcast(r *http.Request, v *routerView, method, path string, body json.RawMessage) map[string]string {
+	shards := v.m.Shards()
 	var wg sync.WaitGroup
 	var mu sync.Mutex
 	errs := make(map[string]string)
@@ -601,7 +747,7 @@ func (rt *Router) broadcast(r *http.Request, method, path string, body json.RawM
 			defer wg.Done()
 			sem <- struct{}{}
 			defer func() { <-sem }()
-			c, ok := rt.client(s.ID)
+			c, ok := v.client(s.ID)
 			if !ok {
 				mu.Lock()
 				errs[s.ID] = "not in client table"
@@ -624,9 +770,11 @@ func (rt *Router) broadcast(r *http.Request, method, path string, body json.RawM
 }
 
 // scatterStrings fans a per-shard string-list query out to every shard
-// and merges: the sorted union plus per-shard errors.
-func (rt *Router) scatterStrings(r *http.Request, fetch func(ctx context.Context, c *Client) ([]string, error)) (union []string, errs map[string]string) {
-	shards := rt.Map().Shards()
+// in the view and merges: the sorted union plus per-shard errors. Reads
+// get one bounded retry on transient failure and, when hedging is on, a
+// hedged second request after the shard's latency quantile.
+func (rt *Router) scatterStrings(r *http.Request, v *routerView, fetch func(ctx context.Context, c *Client) ([]string, error)) (union []string, errs map[string]string) {
+	shards := v.m.Shards()
 	var wg sync.WaitGroup
 	var mu sync.Mutex
 	errs = make(map[string]string)
@@ -638,7 +786,7 @@ func (rt *Router) scatterStrings(r *http.Request, fetch func(ctx context.Context
 			defer wg.Done()
 			sem <- struct{}{}
 			defer func() { <-sem }()
-			c, ok := rt.client(s.ID)
+			c, ok := v.client(s.ID)
 			if !ok {
 				mu.Lock()
 				errs[s.ID] = "not in client table"
@@ -648,7 +796,11 @@ func (rt *Router) scatterStrings(r *http.Request, fetch func(ctx context.Context
 			rt.metrics.route(s.ID)
 			ctx, cancel := rt.shardCtx(r)
 			defer cancel()
-			items, err := fetch(ctx, c)
+			items, err := hedgedFetch(rt, ctx, s.ID, func(ctx context.Context) ([]string, error) {
+				return retryRead(rt, ctx, s.ID, func(ctx context.Context) ([]string, error) {
+					return fetch(ctx, c)
+				})
+			})
 			mu.Lock()
 			defer mu.Unlock()
 			if err != nil {
@@ -672,17 +824,17 @@ func (rt *Router) scatterStrings(r *http.Request, fetch func(ctx context.Context
 
 // writeScatterResult applies the strict/partial contract shared by the
 // cross-subject queries.
-func (rt *Router) writeScatterResult(w http.ResponseWriter, r *http.Request, what string, union []string, errs map[string]string, respond func(subjects []string, partial bool) any) {
+func (rt *Router) writeScatterResult(w http.ResponseWriter, r *http.Request, v *routerView, what string, union []string, errs map[string]string, respond func(subjects []string, partial bool) any) {
 	allowPartial := r.URL.Query().Get("allow_partial") == "1"
 	switch {
 	case len(errs) == 0:
 		writeJSON(w, http.StatusOK, respond(union, false))
-	case allowPartial && len(errs) < rt.Map().Len():
+	case allowPartial && len(errs) < v.m.Len():
 		resp := respond(union, true)
 		writeJSON(w, http.StatusOK, resp)
 	default:
 		writeJSON(w, http.StatusBadGateway, ShardErrorsResponse{
-			Error:       fmt.Sprintf("%s failed on %d/%d shards", what, len(errs), rt.Map().Len()),
+			Error:       fmt.Sprintf("%s failed on %d/%d shards", what, len(errs), v.m.Len()),
 			ShardErrors: errs,
 		})
 	}
@@ -708,12 +860,13 @@ func (rt *Router) handleWhoCan(w http.ResponseWriter, r *http.Request) {
 	if raw := q.Get("env"); raw != "" {
 		env = append(env, splitList(raw)...)
 	}
+	v := rt.view.Load()
 	start := time.Now()
-	union, errs := rt.scatterStrings(r, func(ctx context.Context, c *Client) ([]string, error) {
+	union, errs := rt.scatterStrings(r, v, func(ctx context.Context, c *Client) ([]string, error) {
 		return c.WhoCan(ctx, transaction, object, env)
 	})
 	rt.metrics.observeScatter(start)
-	rt.writeScatterResult(w, r, "who-can scatter", union, errs, func(subjects []string, partial bool) any {
+	rt.writeScatterResult(w, r, v, "who-can scatter", union, errs, func(subjects []string, partial bool) any {
 		out := ScatterSubjectsResponse{Subjects: subjects, Partial: partial}
 		if partial {
 			out.ShardErrors = errs
@@ -732,13 +885,14 @@ func (rt *Router) handleSubjectsInRole(w http.ResponseWriter, r *http.Request) {
 		writeJSON(w, http.StatusBadRequest, ErrorResponse{Error: "missing role parameter"})
 		return
 	}
+	v := rt.view.Load()
 	start := time.Now()
-	union, errs := rt.scatterStrings(r, func(ctx context.Context, c *Client) ([]string, error) {
+	union, errs := rt.scatterStrings(r, v, func(ctx context.Context, c *Client) ([]string, error) {
 		resp, err := c.SubjectsInRole(ctx, role)
 		return resp.Subjects, err
 	})
 	rt.metrics.observeScatter(start)
-	rt.writeScatterResult(w, r, "subjects-in-role scatter", union, errs, func(subjects []string, partial bool) any {
+	rt.writeScatterResult(w, r, v, "subjects-in-role scatter", union, errs, func(subjects []string, partial bool) any {
 		out := ScatterSubjectsResponse{Subjects: subjects, Partial: partial}
 		if partial {
 			out.ShardErrors = errs
@@ -757,14 +911,11 @@ func (rt *Router) handleWhatCan(w http.ResponseWriter, r *http.Request) {
 		writeJSON(w, http.StatusBadRequest, ErrorResponse{Error: "missing subject parameter"})
 		return
 	}
-	sh := rt.Map().Owner(subject)
-	c, _ := rt.client(sh.ID)
-	rt.metrics.route(sh.ID)
-	ctx, cancel := rt.shardCtx(r)
-	defer cancel()
+	v := rt.view.Load()
+	sh := v.m.Owner(subject)
 	var resp WhatCanResponse
-	if err := c.Call(ctx, http.MethodGet, "/v1/query/what-can?"+r.URL.RawQuery, nil, &resp); err != nil {
-		rt.relayShardError(w, sh.ID, err)
+	if id, err := rt.callShard(r, v, sh, http.MethodGet, "/v1/query/what-can?"+r.URL.RawQuery, nil, &resp, true); err != nil {
+		rt.relayShardError(w, id, err)
 		return
 	}
 	writeJSON(w, http.StatusOK, resp)
@@ -778,40 +929,107 @@ func (rt *Router) handleShardMap(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, http.StatusOK, rt.Map().Wire())
 }
 
+// handleShardMapWatch long-polls for a shard map newer than ?after=N:
+// it parks until SetMap commits a newer version or the wait expires,
+// then replies with the current wire map either way (the caller
+// compares versions). ?wait=DUR shortens the park below the server cap.
+func (rt *Router) handleShardMapWatch(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet {
+		writeJSON(w, http.StatusMethodNotAllowed, ErrorResponse{Error: "GET only"})
+		return
+	}
+	q := r.URL.Query()
+	var after uint64
+	if raw := q.Get("after"); raw != "" {
+		n, err := strconv.ParseUint(raw, 10, 64)
+		if err != nil {
+			writeJSON(w, http.StatusBadRequest, ErrorResponse{Error: "bad after parameter: " + err.Error()})
+			return
+		}
+		after = n
+	}
+	wait := defaultMapWatchMaxWait
+	if raw := q.Get("wait"); raw != "" {
+		d, err := time.ParseDuration(raw)
+		if err != nil || d <= 0 {
+			writeJSON(w, http.StatusBadRequest, ErrorResponse{Error: "bad wait parameter"})
+			return
+		}
+		if d < wait {
+			wait = d
+		}
+	}
+	// Keep the connection's write deadline ahead of the park so the
+	// response can still be written after a full wait.
+	rc := http.NewResponseController(w)
+	_ = rc.SetWriteDeadline(time.Now().Add(wait + 10*time.Second))
+	ctx, cancel := context.WithTimeout(r.Context(), wait)
+	defer cancel()
+	for {
+		rt.mu.Lock()
+		ch := rt.watch
+		rt.mu.Unlock()
+		wire := rt.Map().Wire()
+		if wire.Version > after {
+			writeJSON(w, http.StatusOK, wire)
+			return
+		}
+		select {
+		case <-ch:
+		case <-ctx.Done():
+			writeJSON(w, http.StatusOK, rt.Map().Wire())
+			return
+		}
+	}
+}
+
 // RouterHealthResponse aggregates per-shard liveness.
 type RouterHealthResponse struct {
 	Status string            `json:"status"` // "ok" | "degraded"
-	Shards map[string]string `json:"shards"` // shard ID → "ok" | "unreachable"
+	Shards map[string]string `json:"shards"` // shard ID → "ok" | "suspect" | "unreachable"
 }
 
 func (rt *Router) handleHealthz(w http.ResponseWriter, r *http.Request) {
-	shards := rt.Map().Shards()
+	v := rt.view.Load()
+	shards := v.m.Shards()
 	resp := RouterHealthResponse{Status: "ok", Shards: make(map[string]string, len(shards))}
-	var wg sync.WaitGroup
-	var mu sync.Mutex
-	sem := make(chan struct{}, rt.fanout)
-	for _, s := range shards {
-		wg.Add(1)
-		go func(s shard.Info) {
-			defer wg.Done()
-			sem <- struct{}{}
-			defer func() { <-sem }()
-			c, ok := rt.client(s.ID)
-			ctx, cancel := rt.shardCtx(r)
-			defer cancel()
-			state := "ok"
-			if !ok || !c.Healthy(ctx) {
-				state = "unreachable"
-			}
-			mu.Lock()
-			resp.Shards[s.ID] = state
-			if state != "ok" {
+	if rt.probeEvery > 0 {
+		// Background probes are running: answer from their state machine
+		// instead of re-probing inline on every health check.
+		for _, s := range shards {
+			state := rt.health.stateOf(s.ID)
+			resp.Shards[s.ID] = state.String()
+			if state == healthDown {
 				resp.Status = "degraded"
 			}
-			mu.Unlock()
-		}(s)
+		}
+	} else {
+		var wg sync.WaitGroup
+		var mu sync.Mutex
+		sem := make(chan struct{}, rt.fanout)
+		for _, s := range shards {
+			wg.Add(1)
+			go func(s shard.Info) {
+				defer wg.Done()
+				sem <- struct{}{}
+				defer func() { <-sem }()
+				c, ok := v.client(s.ID)
+				ctx, cancel := rt.shardCtx(r)
+				defer cancel()
+				state := "ok"
+				if !ok || !c.Healthy(ctx) {
+					state = "unreachable"
+				}
+				mu.Lock()
+				resp.Shards[s.ID] = state
+				if state != "ok" {
+					resp.Status = "degraded"
+				}
+				mu.Unlock()
+			}(s)
+		}
+		wg.Wait()
 	}
-	wg.Wait()
 	status := http.StatusOK
 	if resp.Status != "ok" {
 		status = http.StatusServiceUnavailable
@@ -826,19 +1044,26 @@ type RouterStatszResponse struct {
 	VNodes          int          `json:"vnodes"`
 	Fanout          int          `json:"fanout"`
 	ShardTimeoutMS  int64        `json:"shard_timeout_ms"`
+	ProbeIntervalMS int64        `json:"probe_interval_ms,omitempty"`
+	HedgeQuantile   float64      `json:"hedge_quantile,omitempty"`
 	Shards          []shard.Info `json:"shards"`
 }
 
 func (rt *Router) handleStatsz(w http.ResponseWriter, r *http.Request) {
 	m := rt.Map()
-	writeJSON(w, http.StatusOK, RouterStatszResponse{
+	resp := RouterStatszResponse{
 		Mode:            "router",
 		ShardMapVersion: m.Version(),
 		VNodes:          m.VNodes(),
 		Fanout:          rt.fanout,
 		ShardTimeoutMS:  rt.timeout.Milliseconds(),
+		ProbeIntervalMS: rt.probeEvery.Milliseconds(),
 		Shards:          m.Shards(),
-	})
+	}
+	if rt.hedge != nil {
+		resp.HedgeQuantile = rt.hedge.quantile
+	}
+	writeJSON(w, http.StatusOK, resp)
 }
 
 // splitList splits a comma-separated query value, dropping empties.

@@ -195,12 +195,21 @@ func TestRouterSessionLifecycle(t *testing.T) {
 		}
 	}
 
-	// Unqualified and unknown-shard session IDs are client errors, not
-	// shard calls.
-	for _, bad := range []string{"sess-1-alice", "ghost/sess-1-alice"} {
-		_, err := c.client.Check(ctx, DecideRequest{Subject: subs[0], Session: bad, Object: "tv", Transaction: "use"})
-		if err == nil || !strings.Contains(err.Error(), "400") {
-			t.Fatalf("Check(session %q) = %v, want 400", bad, err)
+	// Bad session IDs are typed client errors, not shard calls: no
+	// qualifier at all is a malformed request (400); an empty or unknown
+	// qualifier names a session that does not exist here (404), and must
+	// never fall through to hash routing.
+	for _, bad := range []struct {
+		session string
+		status  string
+	}{
+		{"sess-1-alice", "400"},
+		{"ghost/sess-1-alice", "404"},
+		{"/sess-1-alice", "404"},
+	} {
+		_, err := c.client.Check(ctx, DecideRequest{Subject: subs[0], Session: bad.session, Object: "tv", Transaction: "use"})
+		if err == nil || !strings.Contains(err.Error(), bad.status) {
+			t.Fatalf("Check(session %q) = %v, want %s", bad.session, err, bad.status)
 		}
 	}
 }

@@ -41,6 +41,7 @@ type Server struct {
 	durable      *store.Durable
 	watchMaxWait time.Duration
 	limiter      *limiter
+	migration    migrationState
 	recovered    atomic.Uint64
 	metrics      *obs.Registry
 	tracer       *obs.Tracer
@@ -96,6 +97,7 @@ func NewServer(sys *core.System, opts ...ServerOption) *Server {
 		s.registerFollower(mux)
 	case s.adminEnabled:
 		s.registerAdmin(mux)
+		s.registerMigrate(mux)
 	}
 	if s.replicaSrc != nil {
 		mux.HandleFunc(replica.SnapshotPath, s.handleReplicaSnapshot)
@@ -150,6 +152,9 @@ func (s *Server) handleDecide(w http.ResponseWriter, r *http.Request) {
 	if !ok {
 		return
 	}
+	if s.migrateIntercept(w, r, req.Subject, req.Session, req) {
+		return
+	}
 	coreReq := req.toCore()
 	t = time.Now()
 	d, err := s.decider.Decide(coreReq)
@@ -196,6 +201,10 @@ func (s *Server) handleDecideBatch(w http.ResponseWriter, r *http.Request) {
 			fmt.Sprintf("batch of %d exceeds limit %d", len(req.Requests), maxBatchSize))
 		return
 	}
+	// Items for migrated subjects are mediated by their new owners
+	// (proxied sub-batches); the local pass still runs the full batch and
+	// its answers for those items are overwritten below.
+	forwarded := s.migrateBatch(r.Context(), req.Requests)
 	coreReqs := make([]core.Request, len(req.Requests))
 	for i, dr := range req.Requests {
 		coreReqs[i] = dr.toCore()
@@ -214,6 +223,9 @@ func (s *Server) handleDecideBatch(w http.ResponseWriter, r *http.Request) {
 	if s.trail != nil {
 		t = time.Now()
 		for i, res := range results {
+			if forwarded != nil && forwarded[i] != nil {
+				continue // audited by the new owner that mediated it
+			}
 			if res.Err == nil {
 				s.trail.LogWith(coreReqs[i], res.Decision, corr)
 			}
@@ -227,6 +239,10 @@ func (s *Server) handleDecideBatch(w http.ResponseWriter, r *http.Request) {
 	}
 	rt.markStale(resp.Stale)
 	for i, res := range results {
+		if forwarded != nil && forwarded[i] != nil {
+			resp.Results[i] = *forwarded[i]
+			continue
+		}
 		if res.Err != nil {
 			resp.Results[i].Error = res.Err.Error()
 			continue
@@ -244,6 +260,9 @@ func (s *Server) handleCheck(w http.ResponseWriter, r *http.Request) {
 	req, ok := s.readDecideRequest(w, r)
 	rt.step("decode", t)
 	if !ok {
+		return
+	}
+	if s.migrateIntercept(w, r, req.Subject, req.Session, req) {
 		return
 	}
 	coreReq := req.toCore()

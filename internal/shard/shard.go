@@ -15,11 +15,32 @@
 package shard
 
 import (
+	"errors"
 	"fmt"
 	"hash/fnv"
 	"sort"
 	"strconv"
 	"strings"
+)
+
+// Typed map-construction errors. A wire map arrives over the network
+// (router bootstrap, SDK bootstrap, rebalance push), so a malformed one
+// must be rejected loudly and distinguishably — a silently-accepted
+// duplicate or empty shard ID would misroute subjects for as long as the
+// map lives.
+var (
+	// ErrNoShards reports a map with an empty shard set.
+	ErrNoShards = errors.New("shard: map needs at least one shard")
+	// ErrEmptyShardID reports a shard whose ID is the empty string.
+	ErrEmptyShardID = errors.New("shard: empty shard ID")
+	// ErrDuplicateShard reports two shards sharing one ID.
+	ErrDuplicateShard = errors.New("shard: duplicate shard ID")
+	// ErrReservedShardID reports a shard ID containing the session
+	// separator, which would make shard-qualified session IDs ambiguous.
+	ErrReservedShardID = errors.New("shard: shard ID contains reserved separator")
+	// ErrBadVersion reports a wire map with version 0 — versions start at
+	// 1, and 0 is the "never set" sentinel consumers gate on.
+	ErrBadVersion = errors.New("shard: wire map has version 0")
 )
 
 // DefaultVNodes is the default number of virtual nodes per shard. 128
@@ -66,7 +87,7 @@ func New(vnodes int, shards ...Info) (*Map, error) {
 // FromWire reconstructs a Map (including its ring) from its wire form.
 func FromWire(w Wire) (*Map, error) {
 	if w.Version == 0 {
-		return nil, fmt.Errorf("shard: wire map has version 0")
+		return nil, ErrBadVersion
 	}
 	return build(w.Version, w.VNodes, w.Shards)
 }
@@ -76,7 +97,7 @@ func build(version uint64, vnodes int, shards []Info) (*Map, error) {
 		vnodes = DefaultVNodes
 	}
 	if len(shards) == 0 {
-		return nil, fmt.Errorf("shard: map needs at least one shard")
+		return nil, ErrNoShards
 	}
 	m := &Map{
 		version: version,
@@ -88,13 +109,13 @@ func build(version uint64, vnodes int, shards []Info) (*Map, error) {
 	sort.Slice(m.shards, func(i, j int) bool { return m.shards[i].ID < m.shards[j].ID })
 	for i, s := range m.shards {
 		if s.ID == "" {
-			return nil, fmt.Errorf("shard: empty shard ID")
+			return nil, ErrEmptyShardID
 		}
 		if strings.Contains(s.ID, SessionSep) {
-			return nil, fmt.Errorf("shard: shard ID %q contains reserved separator %q", s.ID, SessionSep)
+			return nil, fmt.Errorf("%w: %q contains %q", ErrReservedShardID, s.ID, SessionSep)
 		}
 		if _, dup := m.byID[s.ID]; dup {
-			return nil, fmt.Errorf("shard: duplicate shard ID %q", s.ID)
+			return nil, fmt.Errorf("%w: %q", ErrDuplicateShard, s.ID)
 		}
 		m.byID[s.ID] = i
 	}

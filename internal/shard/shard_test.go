@@ -2,6 +2,7 @@ package shard
 
 import (
 	"encoding/json"
+	"errors"
 	"fmt"
 	"testing"
 )
@@ -244,5 +245,40 @@ func BenchmarkOwner(b *testing.B) {
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		_ = m.Owner(ks[i&1023])
+	}
+}
+
+// TestFromWireValidation pins the typed rejections for malformed wire
+// maps: a map arrives over the network, and accepting a duplicate or
+// empty shard ID silently would misroute subjects for the map's lifetime.
+func TestFromWireValidation(t *testing.T) {
+	good := []Info{{ID: "a", Addr: "http://a"}, {ID: "b", Addr: "http://b"}}
+	cases := []struct {
+		name string
+		wire Wire
+		want error
+	}{
+		{"version zero", Wire{Version: 0, Shards: good}, ErrBadVersion},
+		{"no shards", Wire{Version: 1}, ErrNoShards},
+		{"empty shard ID", Wire{Version: 1, Shards: []Info{{ID: "", Addr: "http://x"}}}, ErrEmptyShardID},
+		{"duplicate shard ID", Wire{Version: 1, Shards: []Info{
+			{ID: "a", Addr: "http://a1"}, {ID: "a", Addr: "http://a2"}}}, ErrDuplicateShard},
+		{"reserved separator in ID", Wire{Version: 1, Shards: []Info{
+			{ID: "a/b", Addr: "http://x"}}}, ErrReservedShardID},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			if _, err := FromWire(tc.wire); !errors.Is(err, tc.want) {
+				t.Fatalf("FromWire(%+v) error = %v, want %v", tc.wire, err, tc.want)
+			}
+		})
+	}
+	// And the happy path still round-trips.
+	m, err := FromWire(Wire{Version: 7, VNodes: 16, Shards: good})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.Version() != 7 || m.Len() != 2 {
+		t.Fatalf("round-trip lost version or shards: v%d len %d", m.Version(), m.Len())
 	}
 }

@@ -35,6 +35,10 @@
 #      (default 3). The scaling is algorithmic — partitioning shrinks the
 #      per-shard snapshot recompile that session churn forces — so the
 #      guard holds on single-core CI runners too.
+#  12. the disabled hedging hook on the router's scatter fan-out path
+#      (hedgedFetch with no hedger configured) must allocate nothing and
+#      cost at most BENCHGUARD_MAX_HEDGE_NS (default 100ns) — routers
+#      that never opt into hedging must not pay for it per shard call.
 set -eu
 
 cd "$(dirname "$0")/.."
@@ -302,6 +306,36 @@ fi
 echo "benchguard: 4-shard aggregate decide speedup=x$at4, required=x$shard_speedup"
 if ! awk -v got="$at4" -v need="$shard_speedup" 'BEGIN { exit !(got >= need) }'; then
 	echo "benchguard: FAIL: 4-shard speedup only x$at4 (need x$shard_speedup)" >&2
+	exit 1
+fi
+
+# Guard 12: the disabled hedging hook. Every scatter call on the router
+# runs through hedgedFetch; with hedging off (the default) that wrapper
+# must collapse to a nil check — zero allocations, single-digit ns — so
+# the resilience knobs stay free for routers that never turn them on.
+hedge_ns_budget=${BENCHGUARD_MAX_HEDGE_NS:-100}
+hout=$(go test -run '^$' -bench 'DisabledHedgeHook' -benchtime 1000000x -benchmem \
+	./internal/pdp)
+echo "$hout"
+
+hfield_of() {
+	echo "$hout" | awk -v pat="$1" -v f="$2" '$1 ~ pat { print $f; exit }'
+}
+
+hedge_ns=$(hfield_of '^BenchmarkDisabledHedgeHook(-[0-9]+)?$' 3)
+hedge_allocs=$(hfield_of '^BenchmarkDisabledHedgeHook(-[0-9]+)?$' 7)
+if [ -z "$hedge_ns" ] || [ -z "$hedge_allocs" ]; then
+	echo "benchguard: missing DisabledHedgeHook results" >&2
+	exit 1
+fi
+
+echo "benchguard: disabled hedge hook=${hedge_ns}ns/op, $hedge_allocs allocs/op, budget=${hedge_ns_budget}ns"
+if [ "$hedge_allocs" -ne 0 ]; then
+	echo "benchguard: FAIL: disabled hedge hook allocates ($hedge_allocs allocs/op, want 0)" >&2
+	exit 1
+fi
+if ! awk -v ns="$hedge_ns" -v max="$hedge_ns_budget" 'BEGIN { exit !(ns <= max) }'; then
+	echo "benchguard: FAIL: disabled hedge hook costs ${hedge_ns}ns/op (budget ${hedge_ns_budget}ns)" >&2
 	exit 1
 fi
 echo "benchguard: OK"

@@ -1,0 +1,218 @@
+#!/bin/sh
+# Online-rebalance smoke for CI: boot two grbacd shards and a
+# rebalance-capable routing tier (-route + -data-dir), put the cluster
+# under continuous decide load, then grow it to three shards with
+# `grbacctl rebalance add` and assert the online-rebalance contracts
+# end to end with the shipped binaries:
+#   1. the rebalance commits: status settles on "done", the router's
+#      map version bumps, and the new shard joins the map;
+#   2. zero decide failures while subjects migrated (dual-ownership
+#      handoff: old owners forward, then redirect);
+#   3. the post-state is balanced: every shard (including the new one)
+#      owns at least one subject, and the partitions sum exactly;
+#   4. the shard map converges on clients too: a shard-aware SDK
+#      process (examples/shardwatch) sees the committed version via the
+#      map watch and can still decide every subject;
+#   5. the committed map is durable: a restarted router boots with the
+#      rebalanced map, not the stale -route flag list.
+set -eu
+
+cd "$(dirname "$0")/.."
+
+workdir=$(mktemp -d)
+port_a=${SMOKE_REBAL_PORT_A:-18141}
+port_b=${SMOKE_REBAL_PORT_B:-18142}
+port_c=${SMOKE_REBAL_PORT_C:-18143}
+port_r=${SMOKE_REBAL_PORT_R:-18144}
+shard_a="http://127.0.0.1:$port_a"
+shard_b="http://127.0.0.1:$port_b"
+shard_c="http://127.0.0.1:$port_c"
+router="http://127.0.0.1:$port_r"
+
+cleanup() {
+	rm -f "$workdir/load_on"
+	for pid in "${pid_a:-}" "${pid_b:-}" "${pid_c:-}" "${pid_r:-}" "${pid_load:-}" "${pid_watch:-}"; do
+		[ -n "$pid" ] && kill "$pid" 2>/dev/null || true
+	done
+	rm -rf "$workdir"
+}
+trap cleanup EXIT INT TERM
+
+go build -o "$workdir/grbacd" ./cmd/grbacd
+go build -o "$workdir/grbacctl" ./cmd/grbacctl
+go build -o "$workdir/shardwatch" ./examples/shardwatch
+
+"$workdir/grbacd" -addr "127.0.0.1:$port_a" -admin >"$workdir/shard_a.log" 2>&1 &
+pid_a=$!
+"$workdir/grbacd" -addr "127.0.0.1:$port_b" -admin >"$workdir/shard_b.log" 2>&1 &
+pid_b=$!
+"$workdir/grbacd" -addr "127.0.0.1:$port_r" \
+	-route "a=$shard_a,b=$shard_b" -shard-timeout 2s \
+	-data-dir "$workdir/router-data" -shard-probe-interval 250ms \
+	>"$workdir/router.log" 2>&1 &
+pid_r=$!
+
+# wait_until <description> <command...>: poll for up to ~15s.
+wait_until() {
+	desc=$1
+	shift
+	i=0
+	until "$@" >/dev/null 2>&1; do
+		i=$((i + 1))
+		if [ "$i" -gt 150 ]; then
+			echo "rebalance_smoke: FAIL: timed out waiting for $desc" >&2
+			for f in shard_a.log shard_b.log shard_c.log router.log watch.log; do
+				[ -f "$workdir/$f" ] || continue
+				echo "--- $f ---" >&2
+				cat "$workdir/$f" >&2
+			done
+			exit 1
+		fi
+		sleep 0.1
+	done
+}
+
+wait_until "shard A healthz" curl -sf "$shard_a/v1/healthz"
+wait_until "shard B healthz" curl -sf "$shard_b/v1/healthz"
+wait_until "router healthz" curl -sf "$router/v1/healthz"
+
+# Register subjects through the router (stock policy ships role child).
+subjects=""
+for i in 0 1 2 3 4 5 6 7 8 9 10 11 12 13 14 15 16 17 18 19 20 21 22 23; do
+	sub="rebal-$i"
+	subjects="$subjects $sub"
+	curl -sf -X POST "$router/v1/admin/subjects" \
+		-H 'Content-Type: application/json' \
+		-d "{\"id\":\"$sub\",\"roles\":[\"child\"]}" >/dev/null
+done
+echo "rebalance_smoke: 24 subjects registered through the router"
+
+# Continuous decide load through the router for the whole rebalance
+# window; every non-permit is recorded.
+: >"$workdir/decide_failures"
+touch "$workdir/load_on"
+(
+	rounds=0
+	while [ -f "$workdir/load_on" ]; do
+		for sub in $subjects; do
+			body="{\"subject\":\"$sub\",\"object\":\"tv\",\"transaction\":\"use\",\"environment\":[\"weekday-free-time\"]}"
+			out=$(curl -s -X POST "$router/v1/check" \
+				-H 'Content-Type: application/json' -d "$body" || echo curl-error)
+			case $out in
+			*'"allowed":true'*) ;;
+			*) echo "$sub: $out" >>"$workdir/decide_failures" ;;
+			esac
+		done
+		rounds=$((rounds + 1))
+		echo "$rounds" >"$workdir/load_rounds"
+	done
+) &
+pid_load=$!
+
+# A shard-aware SDK rides the map watch in parallel: it must see the
+# committed v2 map and still decide every subject afterwards.
+"$workdir/shardwatch" -router "$router" -want-version 2 -timeout 60s \
+	-subjects "$(echo $subjects | tr ' ' ',')" >"$workdir/watch.log" 2>&1 &
+pid_watch=$!
+
+# Grow the cluster online: boot shard C, rebalance onto it, wait for
+# the run to finish.
+"$workdir/grbacd" -addr "127.0.0.1:$port_c" -admin >"$workdir/shard_c.log" 2>&1 &
+pid_c=$!
+wait_until "shard C healthz" curl -sf "$shard_c/v1/healthz"
+
+"$workdir/grbacctl" -server "$router" rebalance add -id c -addr "$shard_c" -wait 60s \
+	>"$workdir/rebalance.log" 2>&1 || {
+	echo "rebalance_smoke: FAIL: rebalance add did not complete" >&2
+	cat "$workdir/rebalance.log" >&2
+	exit 1
+}
+grep -q '"phase": "done"' "$workdir/rebalance.log" || {
+	echo "rebalance_smoke: FAIL: rebalance status never reached done" >&2
+	cat "$workdir/rebalance.log" >&2
+	exit 1
+}
+echo "rebalance_smoke: rebalance add committed"
+
+# Contract 1: the router's map bumped to v2 and contains shard c.
+map=$(curl -sf "$router/v1/shard/map")
+echo "$map" | grep -q '"version":2' || {
+	echo "rebalance_smoke: FAIL: router map did not reach v2: $map" >&2
+	exit 1
+}
+echo "$map" | grep -q '"c"' || {
+	echo "rebalance_smoke: FAIL: committed map lacks shard c: $map" >&2
+	exit 1
+}
+
+# Let the load run a little against the committed map, then stop it.
+sleep 1
+rm -f "$workdir/load_on"
+wait "$pid_load" 2>/dev/null || true
+pid_load=
+
+# Contract 2: zero failed decides across the whole window.
+if [ -s "$workdir/decide_failures" ]; then
+	echo "rebalance_smoke: FAIL: decides failed during rebalance:" >&2
+	cat "$workdir/decide_failures" >&2
+	exit 1
+fi
+echo "rebalance_smoke: zero failed decides across $(cat "$workdir/load_rounds" 2>/dev/null || echo '?') load rounds"
+
+# Contract 3: balanced post-state — every shard owns at least one
+# subject and the partitions sum exactly (residency, not hashing:
+# moved subjects were deleted from their old owner).
+count_on() {
+	n=0
+	for sub in $subjects; do
+		if curl -sf "$1/v1/query/subjects-in-role?role=child" | grep -q "\"$sub\""; then
+			n=$((n + 1))
+		fi
+	done
+	echo "$n"
+}
+on_a=$(count_on "$shard_a")
+on_b=$(count_on "$shard_b")
+on_c=$(count_on "$shard_c")
+echo "rebalance_smoke: post-state: a=$on_a b=$on_b c=$on_c of 24"
+if [ $((on_a + on_b + on_c)) -ne 24 ]; then
+	echo "rebalance_smoke: FAIL: partitions hold $on_a+$on_b+$on_c subjects, want exactly 24" >&2
+	exit 1
+fi
+if [ "$on_a" -eq 0 ] || [ "$on_b" -eq 0 ] || [ "$on_c" -eq 0 ]; then
+	echo "rebalance_smoke: FAIL: a shard owns no subjects — rebalance did not spread" >&2
+	exit 1
+fi
+
+# Contract 4: the SDK watcher converged and decided every subject.
+wait "$pid_watch" || {
+	echo "rebalance_smoke: FAIL: SDK shardwatch did not converge or decide:" >&2
+	cat "$workdir/watch.log" >&2
+	exit 1
+}
+pid_watch=
+grep -q 'converged map v2' "$workdir/watch.log" || {
+	echo "rebalance_smoke: FAIL: SDK never reported map v2" >&2
+	cat "$workdir/watch.log" >&2
+	exit 1
+}
+echo "rebalance_smoke: SDK converged on map v2 and all 24 subjects decide"
+
+# Contract 5: the committed map survives a router restart (the stale
+# -route flag list must NOT win over the persisted v2 map).
+kill "$pid_r" 2>/dev/null
+wait "$pid_r" 2>/dev/null || true
+"$workdir/grbacd" -addr "127.0.0.1:$port_r" \
+	-route "a=$shard_a,b=$shard_b" -shard-timeout 2s \
+	-data-dir "$workdir/router-data" \
+	>"$workdir/router2.log" 2>&1 &
+pid_r=$!
+wait_until "restarted router healthz" curl -sf "$router/v1/healthz"
+map2=$(curl -sf "$router/v1/shard/map")
+echo "$map2" | grep -q '"version":2' || {
+	echo "rebalance_smoke: FAIL: restarted router lost the committed map: $map2" >&2
+	cat "$workdir/router2.log" >&2
+	exit 1
+}
+echo "rebalance_smoke: committed map survived router restart"
+echo "rebalance_smoke: OK"

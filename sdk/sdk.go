@@ -49,7 +49,6 @@ import (
 	"github.com/aware-home/grbac/internal/faults"
 	"github.com/aware-home/grbac/internal/pdp"
 	"github.com/aware-home/grbac/internal/replica"
-	"github.com/aware-home/grbac/internal/shard"
 )
 
 // Source reports which mediation path produced a Decision.
@@ -151,11 +150,13 @@ type Client struct {
 
 	shardRouting bool
 	homeShard    string
-	shardMap     *shard.Map
-	shardClients map[string]*pdp.Client
+	router       *pdp.Client
+	shardMu      sync.Mutex
+	shardView    atomic.Pointer[shardView]
 
-	cancel context.CancelFunc
-	done   chan struct{}
+	cancel    context.CancelFunc
+	done      chan struct{}
+	watchDone chan struct{}
 
 	localDecisions  atomic.Uint64
 	remoteFallbacks atomic.Uint64
@@ -313,6 +314,16 @@ func New(ctx context.Context, primaryURL string, opts ...Option) (*Client, error
 		defer close(c.done)
 		_ = c.puller.Run(runCtx)
 	}()
+	if c.shardRouting {
+		// Ride the router's map watch so a rebalance commit flips this
+		// client's routing atomically — no polling interval to tune, no
+		// stale-map window beyond one push.
+		c.watchDone = make(chan struct{})
+		go func() {
+			defer close(c.watchDone)
+			c.watchShardMap(runCtx)
+		}()
+	}
 
 	if !c.offlineStart {
 		bctx := ctx
@@ -329,87 +340,15 @@ func New(ctx context.Context, primaryURL string, opts ...Option) (*Client, error
 	return c, nil
 }
 
-// bootstrapShardMap fetches the routing tier's shard map, builds the
-// per-shard remote clients, and resolves the home shard this Client will
-// replicate from.
-func (c *Client) bootstrapShardMap(ctx context.Context, routerURL string) (shard.Info, error) {
-	mctx := ctx
-	if c.bootstrapTimeout > 0 {
-		var cancel context.CancelFunc
-		mctx, cancel = context.WithTimeout(ctx, c.bootstrapTimeout)
-		defer cancel()
-	}
-	var w shard.Wire
-	router := pdp.NewClient(routerURL, c.httpClient)
-	if err := router.Call(mctx, http.MethodGet, pdp.ShardMapPath, nil, &w); err != nil {
-		return shard.Info{}, fmt.Errorf("sdk: fetch shard map from %s: %w", routerURL, err)
-	}
-	m, err := shard.FromWire(w)
-	if err != nil {
-		return shard.Info{}, fmt.Errorf("sdk: shard map from %s: %w", routerURL, err)
-	}
-	c.shardMap = m
-	c.shardClients = make(map[string]*pdp.Client, m.Len())
-	for _, s := range m.Shards() {
-		c.shardClients[s.ID] = pdp.NewClient(s.Addr, c.httpClient,
-			pdp.WithRetry(3, 100*time.Millisecond))
-	}
-	if c.homeShard == "" {
-		c.homeShard = m.Shards()[0].ID
-	}
-	home, ok := m.Get(c.homeShard)
-	if !ok {
-		return shard.Info{}, fmt.Errorf("sdk: home shard %q not in shard map v%d", c.homeShard, m.Version())
-	}
-	return home, nil
-}
-
-// ShardMap returns the shard map fetched at bootstrap (nil without
-// WithShardRouting).
-func (c *Client) ShardMap() *shard.Map { return c.shardMap }
-
-// locallyOwned reports whether the replicated snapshot covers the
-// request's subject. Without shard routing every subject is local; with
-// it, only the home shard's partition is — a foreign subject evaluated
-// locally would be indistinguishable from an unknown one.
-func (c *Client) locallyOwned(req grbac.Request) bool {
-	if c.shardMap == nil {
-		return true
-	}
-	return c.shardMap.Owner(string(req.Subject)).ID == c.homeShard
-}
-
-// remoteClientFor resolves which remote PDP serves the wire request and
-// rewrites shard-qualified session IDs to their shard-local form. Without
-// a shard map (or for anything it cannot place) the configured remote —
-// the primary, or the router in sharded mode — is the answer.
-func (c *Client) remoteClientFor(req *pdp.DecideRequest) *pdp.Client {
-	if c.noRemote || c.shardMap == nil {
-		return c.remote
-	}
-	if req.Session != "" {
-		if shardID, local, ok := shard.SplitSession(req.Session); ok {
-			if cl := c.shardClients[shardID]; cl != nil {
-				req.Session = local
-				return cl
-			}
-		}
-		return c.remote
-	}
-	if req.Subject != "" {
-		if cl := c.shardClients[c.shardMap.Owner(req.Subject).ID]; cl != nil {
-			return cl
-		}
-	}
-	return c.remote
-}
-
-// Close stops the replication puller and waits for it to exit. The local
-// snapshot remains readable, but decisions degrade along the stale path
-// as the policy ages.
+// Close stops the replication puller (and the shard map watcher, if
+// any) and waits for them to exit. The local snapshot remains readable,
+// but decisions degrade along the stale path as the policy ages.
 func (c *Client) Close() {
 	c.cancel()
 	<-c.done
+	if c.watchDone != nil {
+		<-c.watchDone
+	}
 }
 
 // System exposes the local replicated decision engine for read-only use
@@ -588,6 +527,13 @@ func (c *Client) remoteBatch(ctx context.Context, reqs []grbac.Request, idx []in
 // back onto the caller's index-aligned results.
 func (c *Client) dispatchRemoteBatch(ctx context.Context, reqs []grbac.Request, cl *pdp.Client, idx []int, wire []pdp.DecideRequest, out []BatchResult) {
 	resp, err := cl.DecideBatch(ctx, wire)
+	if err != nil {
+		// Mid-rebalance handoff: the whole sub-batch chased subjects that
+		// migrated owners — follow the typed redirect once.
+		if moved, ok := c.movedClient(err); ok {
+			resp, err = moved.DecideBatch(ctx, wire)
+		}
+	}
 	if err != nil && definitive(err) {
 		for _, i := range idx {
 			out[i].Err = err
@@ -651,6 +597,13 @@ func (c *Client) remoteDecide(ctx context.Context, req grbac.Request, why string
 		return c.failSafe(req, why+"; remote fallback failed: "+err.Error()), nil
 	}
 	resp, err := target.Decide(ctx, wire)
+	if err != nil {
+		// A 421 means the subject migrated owners under us: follow the
+		// redirect once. The installed map converges via the watcher.
+		if moved, ok := c.movedClient(err); ok {
+			resp, err = moved.Decide(ctx, wire)
+		}
+	}
 	if err != nil {
 		if definitive(err) {
 			// The primary answered and rejected the request itself (4xx):

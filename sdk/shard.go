@@ -1,0 +1,208 @@
+package sdk
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"net/http"
+	"strconv"
+	"time"
+
+	grbac "github.com/aware-home/grbac"
+	"github.com/aware-home/grbac/internal/pdp"
+	"github.com/aware-home/grbac/internal/shard"
+)
+
+// Shard-aware routing state. The map and the per-shard client table
+// live together in one immutable shardView behind an atomic pointer:
+// every request captures the view once, so a concurrent map swap (a
+// rebalance commit pushed through the watch) can never tear the map
+// away from the clients built for it. A background watcher long-polls
+// the router's /v1/shard/map/watch and installs newer maps atomically;
+// a 421 redirect from a shard that just handed a subject off is
+// followed once without waiting for the watch to catch up.
+
+// shardView pairs a shard map with the client table built for exactly
+// that map. Immutable once installed.
+type shardView struct {
+	m       *shard.Map
+	clients map[string]*pdp.Client
+}
+
+// sdkMapWatchWait is how long one SDK map watch parks on the router.
+// The router wakes parked watches on every map commit, so this bounds
+// only the idle re-poll cadence, not convergence latency.
+const sdkMapWatchWait = 20 * time.Second
+
+// newShardClient builds the per-shard remote used for direct routing.
+func (c *Client) newShardClient(addr string) *pdp.Client {
+	return pdp.NewClient(addr, c.httpClient, pdp.WithRetry(3, 100*time.Millisecond))
+}
+
+// installShardMap swaps in a strictly newer shard map, rebuilding the
+// client table but reusing clients whose shard address is unchanged so
+// a map bump does not drop warm connection pools. Returns whether the
+// map was installed.
+func (c *Client) installShardMap(m *shard.Map) bool {
+	c.shardMu.Lock()
+	defer c.shardMu.Unlock()
+	prev := c.shardView.Load()
+	if prev != nil && m.Version() <= prev.m.Version() {
+		return false
+	}
+	clients := make(map[string]*pdp.Client, m.Len())
+	for _, s := range m.Shards() {
+		if prev != nil {
+			if old, ok := prev.m.Get(s.ID); ok && old.Addr == s.Addr {
+				clients[s.ID] = prev.clients[s.ID]
+				continue
+			}
+		}
+		clients[s.ID] = c.newShardClient(s.Addr)
+	}
+	c.shardView.Store(&shardView{m: m, clients: clients})
+	return true
+}
+
+// bootstrapShardMap fetches the routing tier's shard map, installs the
+// initial view, and resolves the home shard this Client will replicate
+// from.
+func (c *Client) bootstrapShardMap(ctx context.Context, routerURL string) (shard.Info, error) {
+	mctx := ctx
+	if c.bootstrapTimeout > 0 {
+		var cancel context.CancelFunc
+		mctx, cancel = context.WithTimeout(ctx, c.bootstrapTimeout)
+		defer cancel()
+	}
+	c.router = pdp.NewClient(routerURL, c.httpClient)
+	var w shard.Wire
+	if err := c.router.Call(mctx, http.MethodGet, pdp.ShardMapPath, nil, &w); err != nil {
+		return shard.Info{}, fmt.Errorf("sdk: fetch shard map from %s: %w", routerURL, err)
+	}
+	m, err := shard.FromWire(w)
+	if err != nil {
+		return shard.Info{}, fmt.Errorf("sdk: shard map from %s: %w", routerURL, err)
+	}
+	c.installShardMap(m)
+	if c.homeShard == "" {
+		c.homeShard = m.Shards()[0].ID
+	}
+	home, ok := m.Get(c.homeShard)
+	if !ok {
+		return shard.Info{}, fmt.Errorf("sdk: home shard %q not in shard map v%d", c.homeShard, m.Version())
+	}
+	return home, nil
+}
+
+// watchShardMap is the background map watcher: it long-polls the
+// router for a map newer than the installed one and swaps the view the
+// moment a rebalance commits. Transient router failures back off and
+// re-poll; the loop exits with ctx.
+func (c *Client) watchShardMap(ctx context.Context) {
+	backoff := 100 * time.Millisecond
+	const maxBackoff = 5 * time.Second
+	for ctx.Err() == nil {
+		after := c.shardView.Load().m.Version()
+		path := pdp.ShardMapWatchPath + "?after=" + strconv.FormatUint(after, 10) +
+			"&wait=" + sdkMapWatchWait.String()
+		wctx, cancel := context.WithTimeout(ctx, sdkMapWatchWait+10*time.Second)
+		var w shard.Wire
+		err := c.router.Call(wctx, http.MethodGet, path, nil, &w)
+		cancel()
+		if err == nil {
+			if m, merr := shard.FromWire(w); merr == nil {
+				if c.installShardMap(m) {
+					c.logger.Printf("sdk: shard map v%d installed (%d shards)", m.Version(), m.Len())
+				}
+				backoff = 100 * time.Millisecond
+				continue
+			} else {
+				err = merr
+			}
+		}
+		if ctx.Err() != nil {
+			return
+		}
+		c.logger.Printf("sdk: shard map watch: %v (retrying in %s)", err, backoff)
+		select {
+		case <-time.After(backoff):
+		case <-ctx.Done():
+			return
+		}
+		if backoff *= 2; backoff > maxBackoff {
+			backoff = maxBackoff
+		}
+	}
+}
+
+// ShardMap returns the currently installed shard map (nil without
+// WithShardRouting). The map advances as the watcher applies rebalance
+// commits pushed by the router.
+func (c *Client) ShardMap() *shard.Map {
+	if v := c.shardView.Load(); v != nil {
+		return v.m
+	}
+	return nil
+}
+
+// locallyOwned reports whether the replicated snapshot covers the
+// request's subject. Without shard routing every subject is local; with
+// it, only the home shard's partition is — a foreign subject evaluated
+// locally would be indistinguishable from an unknown one. A rebalance
+// that moves a subject off the home shard flips this answer the moment
+// the watcher installs the committed map.
+func (c *Client) locallyOwned(req grbac.Request) bool {
+	v := c.shardView.Load()
+	if v == nil {
+		return true
+	}
+	return v.m.Owner(string(req.Subject)).ID == c.homeShard
+}
+
+// remoteClientFor resolves which remote PDP serves the wire request and
+// rewrites shard-qualified session IDs to their shard-local form. Without
+// a shard map (or for anything it cannot place) the configured remote —
+// the primary, or the router in sharded mode — is the answer.
+func (c *Client) remoteClientFor(req *pdp.DecideRequest) *pdp.Client {
+	v := c.shardView.Load()
+	if c.noRemote || v == nil {
+		return c.remote
+	}
+	if req.Session != "" {
+		if shardID, local, ok := shard.SplitSession(req.Session); ok {
+			if cl := v.clients[shardID]; cl != nil {
+				req.Session = local
+				return cl
+			}
+		}
+		return c.remote
+	}
+	if req.Subject != "" {
+		if cl := v.clients[v.m.Owner(req.Subject).ID]; cl != nil {
+			return cl
+		}
+	}
+	return c.remote
+}
+
+// movedClient inspects a shard-direct call's error for the typed 421
+// handoff redirect and, when present, resolves a client for the
+// subject's new owner — from the installed view when it already knows
+// the address, otherwise a fresh client straight to the redirect
+// target. The map itself converges via the watcher (the router commits
+// before old owners start redirecting), so the redirect is followed
+// without blocking on a map fetch.
+func (c *Client) movedClient(err error) (*pdp.Client, bool) {
+	var re *pdp.RemoteError
+	if !errors.As(err, &re) || re.Status != http.StatusMisdirectedRequest || re.Moved == nil {
+		return nil, false
+	}
+	if v := c.shardView.Load(); v != nil {
+		if s, ok := v.m.Get(re.Moved.Shard); ok && s.Addr == re.Moved.Addr {
+			if cl := v.clients[re.Moved.Shard]; cl != nil {
+				return cl, true
+			}
+		}
+	}
+	return c.newShardClient(re.Moved.Addr), true
+}

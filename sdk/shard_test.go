@@ -4,7 +4,9 @@ import (
 	"context"
 	"fmt"
 	"net/http/httptest"
+	"path/filepath"
 	"testing"
+	"time"
 
 	grbac "github.com/aware-home/grbac"
 	"github.com/aware-home/grbac/internal/core"
@@ -26,26 +28,44 @@ transaction use;
 grant child use entertainment-devices when weekday-free-time;
 `
 
-// newShardedCluster boots n shards (admin + replication feed enabled, so
-// an SDK can pull policy from any of them) behind a router, registers
-// subjects through it, and returns the router's URL with the shard map.
-func newShardedCluster(t *testing.T, n, subjects int) (string, *shard.Map, []string) {
+// shardedCluster is a booted n-shard cluster behind a router, with the
+// handles SDK rebalance tests need: the router itself (to commit new
+// maps) and a factory for extra shard servers.
+type shardedCluster struct {
+	front *httptest.Server
+	rt    *pdp.Router
+	m     *shard.Map
+	subs  []string
+}
+
+// newShard boots one more shard server (admin + replication feed, same
+// policy) and returns its Info, without touching the active map.
+func (c *shardedCluster) newShard(t *testing.T, id string) shard.Info {
 	t.Helper()
 	compiled, err := policy.Compile(shardedPolicy)
 	if err != nil {
 		t.Fatal(err)
 	}
+	sys := core.NewSystem()
+	if err := compiled.Apply(sys, nil); err != nil {
+		t.Fatal(err)
+	}
+	srv := httptest.NewServer(pdp.NewServer(sys,
+		pdp.WithAdmin(),
+		pdp.WithReplicaSource(replica.NewSource(sys))))
+	t.Cleanup(srv.Close)
+	return shard.Info{ID: id, Addr: srv.URL}
+}
+
+// bootShardedCluster boots n shards (admin + replication feed enabled,
+// so an SDK can pull policy from any of them) behind a router and
+// registers subjects through it.
+func bootShardedCluster(t *testing.T, n, subjects int) *shardedCluster {
+	t.Helper()
+	c := &shardedCluster{}
 	infos := make([]shard.Info, n)
 	for i := 0; i < n; i++ {
-		sys := core.NewSystem()
-		if err := compiled.Apply(sys, nil); err != nil {
-			t.Fatal(err)
-		}
-		srv := httptest.NewServer(pdp.NewServer(sys,
-			pdp.WithAdmin(),
-			pdp.WithReplicaSource(replica.NewSource(sys))))
-		t.Cleanup(srv.Close)
-		infos[i] = shard.Info{ID: fmt.Sprintf("s%d", i), Addr: srv.URL}
+		infos[i] = c.newShard(t, fmt.Sprintf("s%d", i))
 	}
 	m, err := shard.New(0, infos...)
 	if err != nil {
@@ -55,19 +75,28 @@ func newShardedCluster(t *testing.T, n, subjects int) (string, *shard.Map, []str
 	if err != nil {
 		t.Fatal(err)
 	}
-	front := httptest.NewServer(rt)
-	t.Cleanup(front.Close)
+	c.rt, c.m = rt, m
+	c.front = httptest.NewServer(rt)
+	t.Cleanup(c.front.Close)
 
-	router := pdp.NewClient(front.URL, nil)
-	subs := make([]string, subjects)
-	for i := range subs {
-		subs[i] = fmt.Sprintf("member-%03d", i)
+	router := pdp.NewClient(c.front.URL, nil)
+	c.subs = make([]string, subjects)
+	for i := range c.subs {
+		c.subs[i] = fmt.Sprintf("member-%03d", i)
 		if err := router.UpsertSubject(context.Background(),
-			pdp.BindingRequest{ID: subs[i], Roles: []string{"child"}}); err != nil {
+			pdp.BindingRequest{ID: c.subs[i], Roles: []string{"child"}}); err != nil {
 			t.Fatal(err)
 		}
 	}
-	return front.URL, m, subs
+	return c
+}
+
+// newShardedCluster is the URL-shaped convenience wrapper the routing
+// tests use.
+func newShardedCluster(t *testing.T, n, subjects int) (string, *shard.Map, []string) {
+	t.Helper()
+	c := bootShardedCluster(t, n, subjects)
+	return c.front.URL, c.m, c.subs
 }
 
 func shardPermitReq(sub string) grbac.Request {
@@ -214,6 +243,130 @@ func TestSDKShardRoutingSessions(t *testing.T) {
 	d2, err := c.Decide(ctx, req2)
 	if err != nil || !d2.Allowed || d2.Source != SourceRemote {
 		t.Fatalf("home-shard session decide = %+v, %v; want remote permit", d2, err)
+	}
+}
+
+// TestSDKShardMapWatchConvergence is the SDK half of the rebalance
+// tentpole: a coordinator grows the cluster by one shard, the router
+// commits the new map, and the embedded client — riding the map watch
+// long-poll — flips atomically to the committed map and keeps every
+// decision correct under the new ownership, home and foreign alike.
+func TestSDKShardMapWatchConvergence(t *testing.T) {
+	cl := bootShardedCluster(t, 2, 24)
+	c := newEmbedded(t, cl.front.URL, WithShardRouting("s0"))
+	ctx := context.Background()
+
+	// Pre-rebalance sweep: every subject decided correctly.
+	for _, sub := range cl.subs {
+		if d, err := c.Decide(ctx, shardPermitReq(sub)); err != nil || !d.Allowed {
+			t.Fatalf("pre-rebalance Decide(%s) = %+v, %v", sub, d, err)
+		}
+	}
+
+	// Grow the cluster: coordinator migrates subjects to a third shard
+	// and commits the new map on the router.
+	coord := shard.NewCoordinator(filepath.Join(t.TempDir(), "rebalance.journal"),
+		func(info shard.Info) shard.NodeClient { return pdp.NewMigrationNode(info.Addr) },
+		func(_ context.Context, m *shard.Map) error { return cl.rt.SetMap(m) },
+		t.Logf)
+	next, err := coord.AddShard(ctx, cl.rt.Map(), cl.newShard(t, "s2"))
+	if err != nil {
+		t.Fatalf("AddShard: %v", err)
+	}
+
+	// The watcher must install the committed map without any SDK-side
+	// polling knob: the router wakes the parked long-poll on commit.
+	deadline := time.Now().Add(5 * time.Second)
+	for c.ShardMap().Version() != next.Version() {
+		if time.Now().After(deadline) {
+			t.Fatalf("SDK map version = %d, want %d (watch never converged)",
+				c.ShardMap().Version(), next.Version())
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+
+	// Post-rebalance sweep: decisions follow the new ownership — moved
+	// home subjects now route remotely, everything still permits.
+	var locals, remotes int
+	for _, sub := range cl.subs {
+		d, err := c.Decide(ctx, shardPermitReq(sub))
+		if err != nil || !d.Allowed {
+			t.Fatalf("post-rebalance Decide(%s) = %+v, %v", sub, d, err)
+		}
+		wantSource := SourceRemote
+		if next.Owner(sub).ID == c.homeShard {
+			wantSource = SourceLocal
+		}
+		if d.Source != wantSource {
+			t.Fatalf("post-rebalance Decide(%s) source = %s, want %s (owner %s)",
+				sub, d.Source, wantSource, next.Owner(sub).ID)
+		}
+		if d.Source == SourceLocal {
+			locals++
+		} else {
+			remotes++
+		}
+	}
+	if locals == 0 || remotes == 0 {
+		t.Fatalf("locals=%d remotes=%d — post-rebalance sweep must exercise both paths", locals, remotes)
+	}
+}
+
+// TestSDKFollowsMovedRedirect pins the 421 handoff path: a subject
+// migrates to a shard the SDK's installed map has never heard of (the
+// router map is deliberately left stale, so the watch cannot help), and
+// a shard-direct decide still succeeds by following the typed redirect
+// once.
+func TestSDKFollowsMovedRedirect(t *testing.T) {
+	cl := bootShardedCluster(t, 2, 8)
+	c := newEmbedded(t, cl.front.URL, WithShardRouting("s0"))
+	ctx := context.Background()
+
+	// A foreign subject, so the SDK routes shard-direct to s1.
+	var sub string
+	for _, s := range cl.subs {
+		if cl.m.Owner(s).ID == "s1" {
+			sub = s
+			break
+		}
+	}
+	if sub == "" {
+		t.Fatal("no subject owned by s1")
+	}
+
+	// Migrate it out-of-band to a shard the map does not contain:
+	// export → import → handoff → complete, leaving s1 redirecting.
+	dest := cl.newShard(t, "x9")
+	oldInfo, _ := cl.m.Get("s1")
+	old := pdp.NewMigrationNode(oldInfo.Addr)
+	dst := pdp.NewMigrationNode(dest.Addr)
+	bundle, err := old.ExportSubject(ctx, sub)
+	if err != nil {
+		t.Fatalf("export: %v", err)
+	}
+	if err := dst.ImportSubject(ctx, bundle); err != nil {
+		t.Fatalf("import: %v", err)
+	}
+	moves := []shard.Move{{Subject: sub, From: oldInfo, To: dest}}
+	if err := old.Handoff(ctx, cl.m.Version()+1, moves); err != nil {
+		t.Fatalf("handoff: %v", err)
+	}
+	if err := old.Complete(ctx, cl.m.Version()+1, moves); err != nil {
+		t.Fatalf("complete: %v", err)
+	}
+
+	d, err := c.Decide(ctx, shardPermitReq(sub))
+	if err != nil {
+		t.Fatalf("Decide after handoff: %v", err)
+	}
+	if !d.Allowed || d.Source != SourceRemote {
+		t.Fatalf("Decide after handoff = %+v, want remote permit via 421 follow", d)
+	}
+
+	// The batch path follows the same redirect.
+	out := c.DecideBatch(ctx, []grbac.Request{shardPermitReq(sub)})
+	if out[0].Err != nil || !out[0].Decision.Allowed {
+		t.Fatalf("batch after handoff = %+v, want permit via 421 follow", out[0])
 	}
 }
 
