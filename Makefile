@@ -1,6 +1,6 @@
 # Standard developer entry points; everything is plain `go` underneath.
 
-.PHONY: all build vet test race bench benchguard replication-smoke chaos-smoke crash-smoke sdk-smoke shard-smoke rebalance-smoke fuzz cover experiments fmt
+.PHONY: all build vet test race bench benchguard replication-smoke chaos-smoke crash-smoke sdk-smoke shard-smoke rebalance-smoke declog-smoke fuzz cover experiments fmt
 
 all: build vet test
 
@@ -58,6 +58,13 @@ shard-smoke:
 # residency, SDK map-watch convergence, and map durability on restart.
 rebalance-smoke:
 	./scripts/rebalance_smoke.sh
+
+# End-to-end decision-log + bundle drill: floods decides through an
+# export sink that stalls mid-run and asserts loss is counted (never
+# silent, never blocking Decide), uploads resume, chunks decode, audit
+# eviction is counted, and only signed fresh bundles activate.
+declog-smoke:
+	./scripts/declog_smoke.sh
 
 # Run every native fuzz target for a short budget each.
 fuzz:

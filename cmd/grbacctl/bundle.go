@@ -1,0 +1,191 @@
+package main
+
+import (
+	"context"
+	"crypto/ed25519"
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"time"
+
+	grbac "github.com/aware-home/grbac"
+	"github.com/aware-home/grbac/internal/bundle"
+	"github.com/aware-home/grbac/internal/core"
+	"github.com/aware-home/grbac/internal/pdp"
+	"github.com/aware-home/grbac/internal/store"
+)
+
+// runBundle dispatches the bundle subcommands:
+//
+//	grbacctl bundle keygen -key bundle.key -pub bundle.pub
+//	grbacctl bundle build -policy home.grbac -revision 3 -out policy.bundle
+//	grbacctl bundle sign -in policy.bundle -key bundle.key -out policy.bundle
+//	grbacctl bundle verify -in policy.bundle -pub bundle.pub
+//	grbacctl -server http://pdp:8125 bundle push -in policy.bundle
+//	grbacctl -server http://pdp:8125 bundle status
+//
+// build produces an unsigned bundle unless -key is given (build+sign in
+// one step); sign adds or replaces the signature on an existing bundle.
+func runBundle(ctx context.Context, client *pdp.Client, args []string) {
+	if len(args) < 1 {
+		log.Fatal("usage: grbacctl bundle keygen|build|sign|verify|push|status [flags]")
+	}
+	switch sub := args[0]; sub {
+	case "keygen":
+		fs := newBundleFlagSet("keygen")
+		keyPath := fs.String("key", "bundle.key", "private key output (hex ed25519 seed, mode 0600)")
+		pubPath := fs.String("pub", "bundle.pub", "public key output (hex)")
+		parseOrDie(fs, args[1:])
+		pub, priv, err := bundle.GenerateKey()
+		if err != nil {
+			log.Fatal(err)
+		}
+		if err := bundle.WriteKeyPair(*keyPath, *pubPath, pub, priv); err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("wrote %s and %s (key id %s)\n", *keyPath, *pubPath, bundle.KeyID(pub))
+	case "build":
+		fs := newBundleFlagSet("build")
+		policyPath := fs.String("policy", "", "policy-language source to compile into the bundle")
+		snapshotPath := fs.String("snapshot", "", "JSON policy snapshot to wrap instead of -policy")
+		revision := fs.Uint64("revision", 0, "bundle revision (must advance past the target's active revision)")
+		keyPath := fs.String("key", "", "sign with this private key (else the bundle is left unsigned)")
+		out := fs.String("out", "policy.bundle", "bundle output path")
+		parseOrDie(fs, args[1:])
+		if *revision == 0 {
+			log.Fatal("bundle build: -revision must be >= 1")
+		}
+		st := loadBundleState(*policyPath, *snapshotPath)
+		b := bundle.Build(st, *revision, time.Now())
+		if *keyPath != "" {
+			signBundle(b, *keyPath)
+		}
+		writeBundle(b, *out)
+		fmt.Printf("wrote %s (revision %d, %d permissions, signed=%v)\n",
+			*out, b.Manifest.Revision, len(b.State.Permissions), b.Signature != "")
+	case "sign":
+		fs := newBundleFlagSet("sign")
+		in := fs.String("in", "policy.bundle", "bundle to sign")
+		keyPath := fs.String("key", "bundle.key", "private key (hex ed25519 seed)")
+		out := fs.String("out", "", "output path (default: overwrite -in)")
+		parseOrDie(fs, args[1:])
+		b := readBundle(*in)
+		signBundle(b, *keyPath)
+		if *out == "" {
+			*out = *in
+		}
+		writeBundle(b, *out)
+		fmt.Printf("signed %s (revision %d, key id %s)\n", *out, b.Manifest.Revision, b.Manifest.KeyID)
+	case "verify":
+		fs := newBundleFlagSet("verify")
+		in := fs.String("in", "policy.bundle", "bundle to verify")
+		pubPath := fs.String("pub", "bundle.pub", "trusted public key (hex)")
+		parseOrDie(fs, args[1:])
+		pub, err := bundle.LoadPublicKey(*pubPath)
+		if err != nil {
+			log.Fatal(err)
+		}
+		b := readBundle(*in)
+		if err := b.Verify(pub); err != nil {
+			log.Fatalf("bundle verify: %v", err)
+		}
+		fmt.Printf("ok: revision %d signed by key %s at %s\n",
+			b.Manifest.Revision, b.Manifest.KeyID, b.Manifest.CreatedAt.Format(time.RFC3339))
+	case "push":
+		fs := newBundleFlagSet("push")
+		in := fs.String("in", "policy.bundle", "signed bundle to push")
+		parseOrDie(fs, args[1:])
+		raw, err := os.ReadFile(*in)
+		if err != nil {
+			log.Fatal(err)
+		}
+		resp, err := client.PushBundle(ctx, raw)
+		if err != nil {
+			log.Fatal(err)
+		}
+		printJSON(resp)
+	case "status":
+		parseOrDie(newBundleFlagSet("status"), args[1:])
+		st, err := client.BundleStatus(ctx)
+		if err != nil {
+			log.Fatal(err)
+		}
+		printJSON(st)
+	default:
+		log.Fatalf("unknown bundle subcommand %q (want keygen|build|sign|verify|push|status)", sub)
+	}
+}
+
+// loadBundleState compiles -policy or loads -snapshot into the state a
+// bundle carries, mirroring grbacd's own policy loading.
+func loadBundleState(policyPath, snapshotPath string) core.State {
+	switch {
+	case policyPath != "" && snapshotPath != "":
+		log.Fatal("bundle build: -policy and -snapshot are mutually exclusive")
+	case policyPath != "":
+		src, err := os.ReadFile(policyPath)
+		if err != nil {
+			log.Fatal(err)
+		}
+		sys, _, err := grbac.BuildPolicy(string(src))
+		if err != nil {
+			log.Fatal(err)
+		}
+		st, _ := sys.Snapshot()
+		return st
+	case snapshotPath != "":
+		sys, _, err := store.Load(snapshotPath)
+		if err != nil {
+			log.Fatal(err)
+		}
+		st, _ := sys.Snapshot()
+		return st
+	default:
+		log.Fatal("bundle build: need -policy or -snapshot")
+	}
+	return core.State{}
+}
+
+func signBundle(b *bundle.Bundle, keyPath string) {
+	priv, err := bundle.LoadPrivateKey(keyPath)
+	if err != nil {
+		log.Fatal(err)
+	}
+	pub := priv.Public().(ed25519.PublicKey)
+	if err := b.Sign(priv, bundle.KeyID(pub)); err != nil {
+		log.Fatal(err)
+	}
+}
+
+func newBundleFlagSet(sub string) *flag.FlagSet {
+	return flag.NewFlagSet("bundle "+sub, flag.ExitOnError)
+}
+
+func parseOrDie(fs *flag.FlagSet, args []string) {
+	if err := fs.Parse(args); err != nil {
+		log.Fatal(err)
+	}
+}
+
+func readBundle(path string) *bundle.Bundle {
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		log.Fatal(err)
+	}
+	b, err := bundle.Decode(raw)
+	if err != nil {
+		log.Fatal(err)
+	}
+	return b
+}
+
+func writeBundle(b *bundle.Bundle, path string) {
+	raw, err := b.Encode()
+	if err != nil {
+		log.Fatal(err)
+	}
+	if err := os.WriteFile(path, raw, 0o644); err != nil {
+		log.Fatal(err)
+	}
+}

@@ -37,7 +37,7 @@ func main() {
 	flag.Parse()
 
 	if flag.NArg() < 1 {
-		log.Fatal("usage: grbacctl [flags] check|decide|state|health|shards|rebalance|stats|top|traces|replication|audit|who-can|what-can [subcommand flags]")
+		log.Fatal("usage: grbacctl [flags] check|decide|state|health|shards|rebalance|bundle|stats|top|traces|replication|audit|who-can|what-can [subcommand flags]")
 	}
 	client := pdp.NewClient(*server, nil)
 	ctx, cancel := context.WithTimeout(context.Background(), *timeout)
@@ -178,6 +178,8 @@ func main() {
 			fmt.Printf("  %-12s %-32s %s\n", s.ID, s.Addr, state)
 		}
 		os.Exit(exit)
+	case "bundle":
+		runBundle(ctx, client, flag.Args()[1:])
 	case "rebalance":
 		runRebalance(ctx, client, flag.Args()[1:])
 	default:

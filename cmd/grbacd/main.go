@@ -56,7 +56,9 @@ import (
 
 	grbac "github.com/aware-home/grbac"
 	"github.com/aware-home/grbac/internal/audit"
+	"github.com/aware-home/grbac/internal/bundle"
 	"github.com/aware-home/grbac/internal/core"
+	"github.com/aware-home/grbac/internal/declog"
 	"github.com/aware-home/grbac/internal/event"
 	"github.com/aware-home/grbac/internal/faults"
 	"github.com/aware-home/grbac/internal/obs"
@@ -90,6 +92,12 @@ func main() {
 	inflightWait := flag.Duration("inflight-wait", 50*time.Millisecond, "how long an over-limit decision request may wait for an admission slot before shedding")
 	faultSpec := flag.String("faults", "", "chaos drills: fault-injection spec, e.g. 'pdp.decide:delay=50ms,prob=0.5;replica.watch:error=dropped,every=3'")
 	faultSeed := flag.Int64("faults-seed", 1, "seed for the fault plan's probability draws, for reproducible chaos runs")
+	auditCapacity := flag.Int("audit-capacity", 10000, "audit-trail ring capacity; older records are evicted (and counted in grbac_audit_evicted_total) beyond it")
+	declogSink := flag.String("declog", "", "decision-log export sink: an http(s):// collector URL or a directory for rotating gzip JSONL chunks (empty disables export)")
+	declogBuffer := flag.Int("declog-buffer", 0, "decision-log intake buffer in records; overflow is dropped and counted, never blocking Decide (0 = default)")
+	declogFlush := flag.Duration("declog-flush", 0, "decision-log flush interval: a partial chunk is sealed and queued for upload after this much quiet time (0 = default 1s)")
+	bundlePub := flag.String("bundle-pub", "", "trusted bundle public key file (hex ed25519): enables POST /v1/bundle, verified before activation")
+	bundlePath := flag.String("bundle", "", "signed policy bundle to verify and activate at boot (requires -bundle-pub)")
 	metricsOn := flag.Bool("metrics", true, "expose Prometheus metrics at GET /metrics")
 	traceBuffer := flag.Int("trace-buffer", obs.DefaultTraceCapacity, "decision traces retained for GET /v1/traces (0 disables tracing)")
 	pprofOn := flag.Bool("pprof", false, "expose net/http/pprof under /debug/pprof/ (opt-in; CPU profiles longer than the write timeout are truncated)")
@@ -107,9 +115,28 @@ func main() {
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
 
+	// The bundle trust root is shared by every mode: a primary, follower,
+	// or router started with -bundle-pub accepts signed policy bundles at
+	// POST /v1/bundle and rejects unsigned, tampered, or stale ones.
+	var verifier *bundle.Verifier
+	if *bundlePub != "" {
+		pub, err := bundle.LoadPublicKey(*bundlePub)
+		if err != nil {
+			log.Fatal(err)
+		}
+		verifier = bundle.NewVerifier(pub)
+		log.Printf("bundle verification armed (trusted key %s)", bundle.KeyID(pub))
+	}
+	if *bundlePath != "" && verifier == nil {
+		log.Fatal("-bundle requires -bundle-pub: an unverifiable bundle is never activated")
+	}
+
 	if *route != "" {
 		if *policyPath != "" || *snapshotPath != "" || *admin || *follow != "" {
 			log.Fatal("-route is exclusive with -policy, -snapshot, -admin, and -follow: a router holds no policy of its own")
+		}
+		if *bundlePath != "" {
+			log.Fatal("-bundle is exclusive with -route: a router activates no policy at boot; push bundles to POST /v1/bundle instead")
 		}
 		m, err := parseShardList(*route, *vnodes)
 		if err != nil {
@@ -146,6 +173,9 @@ func main() {
 		if *hedgeQuantile > 0 {
 			routerOpts = append(routerOpts, pdp.WithHedgedScatter(*hedgeQuantile))
 			log.Printf("scatter hedging at p%.0f", *hedgeQuantile*100)
+		}
+		if verifier != nil {
+			routerOpts = append(routerOpts, pdp.WithRouterBundleVerifier(verifier))
 		}
 		if *metricsOn {
 			routerOpts = append(routerOpts, pdp.WithRouterMetrics(obs.NewRegistry()))
@@ -196,8 +226,36 @@ func main() {
 	var sys *core.System
 	var dur *store.Durable
 	var serverOpts []pdp.ServerOption
-	trail := audit.NewLogger()
+
+	// The audit trail is a bounded ring; past -audit-capacity the oldest
+	// records are evicted and counted. With -declog every record is also
+	// handed (without ever blocking Decide) to the export pipeline, which
+	// ships gzip JSONL chunks to the sink and sheds with a counter when
+	// the sink cannot keep up.
+	var exporter *declog.Exporter
+	auditOpts := []audit.LoggerOption{audit.WithCapacity(*auditCapacity)}
+	if *declogSink != "" {
+		sink, err := declog.ParseSink(*declogSink)
+		if err != nil {
+			log.Fatal(err)
+		}
+		var dlOpts []declog.Option
+		if *declogBuffer > 0 {
+			dlOpts = append(dlOpts, declog.WithBufferSize(*declogBuffer))
+		}
+		if *declogFlush > 0 {
+			dlOpts = append(dlOpts, declog.WithFlushInterval(*declogFlush))
+		}
+		exporter = declog.New(sink, dlOpts...)
+		auditOpts = append(auditOpts, audit.WithExportHook(exporter.Offer))
+		serverOpts = append(serverOpts, pdp.WithDecisionLog(exporter))
+		log.Printf("decision-log export to %s", *declogSink)
+	}
+	trail := audit.NewLogger(auditOpts...)
 	serverOpts = append(serverOpts, pdp.WithAuditLogger(trail))
+	if verifier != nil {
+		serverOpts = append(serverOpts, pdp.WithBundleVerifier(verifier))
+	}
 
 	var reg *obs.Registry
 	if *metricsOn {
@@ -211,6 +269,9 @@ func main() {
 	if *follow != "" {
 		if *policyPath != "" || *snapshotPath != "" || *admin || *dataDir != "" {
 			log.Fatal("-follow is exclusive with -policy, -snapshot, -admin, and -data-dir: a follower's policy comes from its primary")
+		}
+		if *bundlePath != "" {
+			log.Fatal("-bundle is exclusive with -follow: a follower's boot policy comes from its primary (push bundles to POST /v1/bundle instead)")
 		}
 		sys = core.NewSystem()
 		follower := replica.NewFollower(sys, *follow,
@@ -272,6 +333,21 @@ func main() {
 				log.Fatal(err)
 			}
 		}
+		if *bundlePath != "" {
+			raw, err := os.ReadFile(*bundlePath)
+			if err != nil {
+				log.Fatal(err)
+			}
+			b, err := verifier.Admit(raw)
+			if err != nil {
+				log.Fatalf("boot bundle %s rejected: %v", *bundlePath, err)
+			}
+			if err := sys.Replace(b.State); err != nil {
+				log.Fatalf("boot bundle %s: %v", *bundlePath, err)
+			}
+			log.Printf("activated boot bundle %s (revision %d, key %s)",
+				*bundlePath, b.Manifest.Revision, b.Manifest.KeyID)
+		}
 		if *admin {
 			serverOpts = append(serverOpts, pdp.WithAdmin())
 			log.Print("administration endpoints ENABLED")
@@ -312,6 +388,11 @@ func main() {
 	log.Printf("serving GRBAC PDP on %s (%d permissions, %d subjects)",
 		*addr, len(sys.Permissions()), len(sys.Subjects()))
 	serve(ctx, stop, *addr, handler, *shutdownGrace, func() {
+		if exporter != nil {
+			// Flush and upload what the pipeline holds (bounded by its
+			// close timeout); anything still stuck is counted as dropped.
+			exporter.Close()
+		}
 		if dur != nil {
 			// Final checkpoint: the next boot replays nothing.
 			if err := dur.Close(); err != nil {

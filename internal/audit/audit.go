@@ -67,7 +67,15 @@ type Logger struct {
 	head int
 	seq  uint64
 	max  int
-	now  func() time.Time
+	// evicted counts records overwritten by the ring — the trail's loss is
+	// never silent; callers surface it via Stats/Summary and
+	// grbac_audit_evicted_total.
+	evicted uint64
+	now     func() time.Time
+	// hook receives every record after it is stored, outside the logger's
+	// lock — the handoff into the decision-log export pipeline. Set at
+	// construction; must not block (declog's Offer never does).
+	hook func(Record)
 }
 
 // LoggerOption configures a Logger.
@@ -88,6 +96,15 @@ func WithClock(now func() time.Time) LoggerOption {
 	return func(l *Logger) { l.now = now }
 }
 
+// WithExportHook attaches a per-record export hook, called with each
+// stored record outside the logger's lock. This is how the decision-log
+// pipeline taps the trail: pass declog's Offer (which never blocks) so
+// mediation latency is independent of the export sink. A nil fn disables
+// the hook.
+func WithExportHook(fn func(Record)) LoggerOption {
+	return func(l *Logger) { l.hook = fn }
+}
+
 // NewLogger builds an empty audit trail.
 func NewLogger(opts ...LoggerOption) *Logger {
 	l := &Logger{max: 10000, now: time.Now}
@@ -106,7 +123,6 @@ func (l *Logger) Log(req core.Request, d core.Decision) Record {
 // request that carried it, and returns the stored record.
 func (l *Logger) LogWith(req core.Request, d core.Decision, correlationID string) Record {
 	l.mu.Lock()
-	defer l.mu.Unlock()
 	l.seq++
 	rec := Record{
 		Seq:           l.seq,
@@ -127,9 +143,35 @@ func (l *Logger) LogWith(req core.Request, d core.Decision, correlationID string
 	} else {
 		l.buf[l.head] = rec
 		l.head = (l.head + 1) % l.max
+		l.evicted++
+	}
+	l.mu.Unlock()
+	// The export hook runs outside the lock so a (mis)behaving hook can
+	// slow only its own caller, never serialize the trail.
+	if l.hook != nil {
+		l.hook(rec)
 	}
 	return rec
 }
+
+// Evicted returns how many records the ring has overwritten since the
+// logger was built.
+func (l *Logger) Evicted() uint64 {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.evicted
+}
+
+// Seen returns how many records the logger has ever recorded (the current
+// sequence number).
+func (l *Logger) Seen() uint64 {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.seq
+}
+
+// Capacity returns the ring bound.
+func (l *Logger) Capacity() int { return l.max }
 
 // Len returns the number of retained records.
 func (l *Logger) Len() int {
@@ -202,26 +244,43 @@ func (l *Logger) Query(f Filter) []Record {
 	return out
 }
 
-// Stats aggregates the trail.
+// Stats aggregates the trail. Total is the number of records the trail
+// has ever seen (the sequence counter), which the ring may no longer hold:
+// Retained counts what is still queryable and Evicted counts the
+// difference, so "how much history did we lose" is a first-class answer
+// rather than a silent gap. The per-outcome and per-subject aggregates
+// cover only the retained window — they are computed from the ring.
 type Stats struct {
-	Total        int
-	Permits      int
-	Denies       int
-	DefaultDeny  int
-	PerSubject   map[core.SubjectID]int
-	DeniedBySubj map[core.SubjectID]int
+	// Total counts records ever seen (== Seen; kept as the headline field
+	// so existing callers keep meaning "decisions audited", not "decisions
+	// that happen to still be in the ring").
+	Total int `json:"total"`
+	// Seen, Retained, and Evicted satisfy Total = Retained + Evicted.
+	Seen     uint64 `json:"seen"`
+	Retained int    `json:"retained"`
+	Evicted  uint64 `json:"evicted"`
+	// Permits, Denies, and DefaultDeny count outcomes in the retained
+	// window.
+	Permits      int                    `json:"permits"`
+	Denies       int                    `json:"denies"`
+	DefaultDeny  int                    `json:"default_deny"`
+	PerSubject   map[core.SubjectID]int `json:"per_subject,omitempty"`
+	DeniedBySubj map[core.SubjectID]int `json:"denied_by_subject,omitempty"`
 }
 
-// Stats computes aggregate counts over the retained trail.
+// Stats computes aggregate counts over the trail.
 func (l *Logger) Stats() Stats {
 	l.mu.Lock()
 	defer l.mu.Unlock()
 	s := Stats{
+		Total:        int(l.seq),
+		Seen:         l.seq,
+		Retained:     len(l.buf),
+		Evicted:      l.evicted,
 		PerSubject:   make(map[core.SubjectID]int),
 		DeniedBySubj: make(map[core.SubjectID]int),
 	}
 	for _, r := range l.buf {
-		s.Total++
 		if r.Allowed {
 			s.Permits++
 		} else {
@@ -234,6 +293,28 @@ func (l *Logger) Stats() Stats {
 		s.PerSubject[r.Subject]++
 	}
 	return s
+}
+
+// Summary is the compact trail accounting surfaced in /v1/statsz — the
+// loss-visibility fields without the per-subject maps (which scale with
+// subject cardinality and belong in Query, not a stats scrape).
+type Summary struct {
+	Seen     uint64 `json:"seen"`
+	Retained int    `json:"retained"`
+	Evicted  uint64 `json:"evicted"`
+	Capacity int    `json:"capacity"`
+}
+
+// Summary snapshots the trail's retention accounting.
+func (l *Logger) Summary() Summary {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return Summary{
+		Seen:     l.seq,
+		Retained: len(l.buf),
+		Evicted:  l.evicted,
+		Capacity: l.max,
+	}
 }
 
 // Decider is the decision interface audited systems satisfy; core.System

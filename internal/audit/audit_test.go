@@ -194,6 +194,163 @@ func TestCapacityEviction(t *testing.T) {
 	}
 }
 
+func TestEvictionIsCounted(t *testing.T) {
+	sys := testSystem(t)
+	logger := NewLogger(WithCapacity(3))
+	audited := Wrap(sys, logger)
+	for i := 0; i < 10; i++ {
+		if _, err := audited.Decide(core.Request{Subject: "alice", Object: "ball",
+			Transaction: "use", Environment: []core.RoleID{}}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if got := logger.Evicted(); got != 7 {
+		t.Fatalf("Evicted = %d, want 7", got)
+	}
+	if got := logger.Seen(); got != 10 {
+		t.Fatalf("Seen = %d, want 10", got)
+	}
+	st := logger.Stats()
+	if st.Total != 10 || st.Seen != 10 || st.Retained != 3 || st.Evicted != 7 {
+		t.Fatalf("stats do not distinguish seen from retained: %+v", st)
+	}
+	if uint64(st.Retained)+st.Evicted != st.Seen {
+		t.Fatalf("retention accounting broken: %+v", st)
+	}
+	// The retained window drives the outcome aggregates.
+	if st.Permits != 3 {
+		t.Fatalf("retained permits = %d, want 3", st.Permits)
+	}
+	sum := logger.Summary()
+	if sum.Seen != 10 || sum.Retained != 3 || sum.Evicted != 7 || sum.Capacity != 3 {
+		t.Fatalf("summary = %+v", sum)
+	}
+}
+
+func TestExportHookReceivesEveryRecord(t *testing.T) {
+	sys := testSystem(t)
+	var got []Record
+	var logger *Logger
+	logger = NewLogger(WithCapacity(2), WithExportHook(func(r Record) {
+		// The hook runs outside the logger's lock: re-entering the logger
+		// here must not deadlock (this is exactly what declog's stats
+		// closures and a synchronous test hook do).
+		_ = logger.Len()
+		got = append(got, r)
+	}))
+	audited := Wrap(sys, logger)
+	for i := 0; i < 5; i++ {
+		if _, err := audited.Decide(core.Request{Subject: "alice", Object: "ball",
+			Transaction: "use", Environment: []core.RoleID{}}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// Every record reaches the hook, including the ones the tiny ring has
+	// already evicted — export capacity is declog's concern, not the ring's.
+	if len(got) != 5 {
+		t.Fatalf("hook saw %d records, want 5", len(got))
+	}
+	for i, r := range got {
+		if r.Seq != uint64(i+1) {
+			t.Fatalf("hook record %d has seq %d", i, r.Seq)
+		}
+	}
+	if logger.Len() != 2 {
+		t.Fatalf("ring retained %d, want 2", logger.Len())
+	}
+}
+
+// TestRingWrapBoundaries pins Query/Stats/Records behavior at the exact
+// wrap points of the ring: at capacity (no eviction yet), one past it
+// (first eviction), and mid-wrap with time filters straddling the wrap.
+func TestRingWrapBoundaries(t *testing.T) {
+	const cap = 5
+	mkLogger := func(t *testing.T, n int) (*Logger, []time.Time) {
+		t.Helper()
+		sys := testSystem(t)
+		now := auditTime
+		logger := NewLogger(WithCapacity(cap), WithClock(func() time.Time { return now }))
+		audited := Wrap(sys, logger)
+		times := make([]time.Time, n)
+		for i := 0; i < n; i++ {
+			now = auditTime.Add(time.Duration(i) * time.Hour)
+			times[i] = now
+			if _, err := audited.Decide(core.Request{Subject: "alice", Object: "ball",
+				Transaction: "use", Environment: []core.RoleID{}}); err != nil {
+				t.Fatal(err)
+			}
+		}
+		return logger, times
+	}
+
+	t.Run("exactly capacity", func(t *testing.T) {
+		logger, _ := mkLogger(t, cap)
+		recs := logger.Records()
+		if len(recs) != cap || recs[0].Seq != 1 || recs[cap-1].Seq != cap {
+			t.Fatalf("records at capacity = %d (%d..%d)", len(recs), recs[0].Seq, recs[len(recs)-1].Seq)
+		}
+		st := logger.Stats()
+		if st.Seen != cap || st.Retained != cap || st.Evicted != 0 {
+			t.Fatalf("stats at capacity = %+v", st)
+		}
+		if got := len(logger.Query(Filter{Subject: "alice"})); got != cap {
+			t.Fatalf("query at capacity = %d", got)
+		}
+	})
+
+	t.Run("capacity plus one", func(t *testing.T) {
+		logger, times := mkLogger(t, cap+1)
+		recs := logger.Records()
+		if len(recs) != cap || recs[0].Seq != 2 || recs[cap-1].Seq != cap+1 {
+			t.Fatalf("records after first eviction: %d (%d..%d)", len(recs), recs[0].Seq, recs[len(recs)-1].Seq)
+		}
+		// Records stay oldest-first across the wrap.
+		for i := 1; i < len(recs); i++ {
+			if recs[i].Seq != recs[i-1].Seq+1 {
+				t.Fatalf("records out of order at %d: %v then %v", i, recs[i-1].Seq, recs[i].Seq)
+			}
+		}
+		st := logger.Stats()
+		if st.Seen != cap+1 || st.Retained != cap || st.Evicted != 1 {
+			t.Fatalf("stats after first eviction = %+v", st)
+		}
+		// A Since filter pointing at the evicted record's time returns only
+		// what is retained.
+		if got := len(logger.Query(Filter{Since: times[0]})); got != cap {
+			t.Fatalf("since-oldest query = %d, want %d", got, cap)
+		}
+	})
+
+	t.Run("mid-wrap with straddling time filters", func(t *testing.T) {
+		const n = cap + 3 // head is mid-buffer: records 4..8 retained
+		logger, times := mkLogger(t, n)
+		recs := logger.Records()
+		if len(recs) != cap || recs[0].Seq != 4 || recs[cap-1].Seq != n {
+			t.Fatalf("mid-wrap records: %d (%d..%d)", len(recs), recs[0].Seq, recs[len(recs)-1].Seq)
+		}
+		st := logger.Stats()
+		if st.Seen != n || st.Retained != cap || st.Evicted != 3 {
+			t.Fatalf("mid-wrap stats = %+v", st)
+		}
+		// Since/Until window straddling the wrap point: records 5..6 (the
+		// window crosses the physical end of the buffer, where the ring
+		// wrapped at seq 6 = index 5 mod 5).
+		got := logger.Query(Filter{Since: times[4], Until: times[6]})
+		if len(got) != 2 || got[0].Seq != 5 || got[1].Seq != 6 {
+			t.Fatalf("straddling window = %+v", got)
+		}
+		// A window entirely in evicted history is empty.
+		if got := logger.Query(Filter{Since: times[0], Until: times[2]}); len(got) != 0 {
+			t.Fatalf("evicted window returned %d records", len(got))
+		}
+		// Until straddling the wrap keeps only the retained prefix.
+		got = logger.Query(Filter{Until: times[5]})
+		if len(got) != 2 || got[0].Seq != 4 || got[1].Seq != 5 {
+			t.Fatalf("until-straddle = %+v", got)
+		}
+	})
+}
+
 func TestQueryTimeBounds(t *testing.T) {
 	sys := testSystem(t)
 	now := auditTime

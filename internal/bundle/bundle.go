@@ -1,0 +1,269 @@
+// Package bundle implements signed, versioned policy bundles: a policy
+// snapshot wrapped in a manifest and an ed25519 signature, so that every
+// activation point in the deployment — primaries, followers, the routing
+// tier, and embedded SDKs — can verify provenance before swapping the
+// bundle in. Distribution channels (object stores, CI artifacts, config
+// pushers) then need no trust of their own: a bundle that was tampered
+// with in flight, or an old bundle replayed against a newer deployment,
+// is rejected with a typed error before it touches the policy store.
+//
+// The signing payload is the canonical JSON encoding of the manifest and
+// the state. core.State exports deterministically (sorted slices, fixed
+// struct field order), so the payload is reproducible: sign and verify
+// agree byte-for-byte without a separate canonicalization pass.
+package bundle
+
+import (
+	"crypto/ed25519"
+	"crypto/rand"
+	"encoding/hex"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"os"
+	"strings"
+	"sync"
+	"time"
+
+	"github.com/aware-home/grbac/internal/core"
+)
+
+// Typed verification failures. Callers gate activation on errors.Is so
+// transports can map them to distinct status codes.
+var (
+	// ErrUnsigned is returned for a bundle with no signature at all.
+	ErrUnsigned = errors.New("bundle: unsigned")
+	// ErrBadSignature is returned when the signature does not verify —
+	// tampered content, a forged signature, or the wrong key.
+	ErrBadSignature = errors.New("bundle: signature verification failed")
+	// ErrStale is returned when a bundle's revision does not advance past
+	// the active one: replaying an old bundle must not roll policy back.
+	ErrStale = errors.New("bundle: stale revision")
+)
+
+// Algo is the only supported signature algorithm.
+const Algo = "ed25519"
+
+// Manifest describes a bundle's provenance: a monotonically increasing
+// revision (staleness fencing), the build time, and which key signed it.
+type Manifest struct {
+	Revision  uint64    `json:"revision"`
+	CreatedAt time.Time `json:"created_at"`
+	KeyID     string    `json:"key_id,omitempty"`
+	Algo      string    `json:"algo"`
+}
+
+// Bundle is a signed policy snapshot. Signature is the hex ed25519
+// signature over the canonical payload (manifest + state); an empty
+// Signature is an unsigned bundle and never verifies.
+type Bundle struct {
+	Manifest  Manifest   `json:"manifest"`
+	State     core.State `json:"state"`
+	Signature string     `json:"signature,omitempty"`
+}
+
+// payload is the byte string signatures cover: manifest and state,
+// canonically JSON-encoded, excluding the signature itself.
+func (b *Bundle) payload() ([]byte, error) {
+	return json.Marshal(struct {
+		Manifest Manifest   `json:"manifest"`
+		State    core.State `json:"state"`
+	}{b.Manifest, b.State})
+}
+
+// Build wraps a policy state in a bundle manifest, unsigned.
+func Build(st core.State, revision uint64, createdAt time.Time) *Bundle {
+	return &Bundle{
+		Manifest: Manifest{Revision: revision, CreatedAt: createdAt.UTC(), Algo: Algo},
+		State:    st,
+	}
+}
+
+// Sign signs the bundle in place, recording the key ID in the manifest
+// (so rotations can tell which key to verify with).
+func (b *Bundle) Sign(priv ed25519.PrivateKey, keyID string) error {
+	b.Manifest.KeyID = keyID
+	if b.Manifest.Algo == "" {
+		b.Manifest.Algo = Algo
+	}
+	pay, err := b.payload()
+	if err != nil {
+		return err
+	}
+	b.Signature = hex.EncodeToString(ed25519.Sign(priv, pay))
+	return nil
+}
+
+// Verify checks the bundle's signature against pub. It returns
+// ErrUnsigned for a missing signature and ErrBadSignature for one that
+// does not verify (including an unsupported algorithm, which would have
+// been signed under different rules).
+func (b *Bundle) Verify(pub ed25519.PublicKey) error {
+	if b.Signature == "" {
+		return ErrUnsigned
+	}
+	if b.Manifest.Algo != Algo {
+		return fmt.Errorf("%w: unsupported algorithm %q", ErrBadSignature, b.Manifest.Algo)
+	}
+	sig, err := hex.DecodeString(b.Signature)
+	if err != nil || len(sig) != ed25519.SignatureSize {
+		return fmt.Errorf("%w: malformed signature", ErrBadSignature)
+	}
+	pay, err := b.payload()
+	if err != nil {
+		return err
+	}
+	if !ed25519.Verify(pub, pay, sig) {
+		return ErrBadSignature
+	}
+	return nil
+}
+
+// Encode renders the bundle as indented JSON, the on-disk and on-wire
+// format.
+func (b *Bundle) Encode() ([]byte, error) {
+	return json.MarshalIndent(b, "", "  ")
+}
+
+// Decode parses a bundle. Unknown fields are rejected: a bundle is a
+// security artifact, and silently dropping fields would let content ride
+// along outside the signature.
+func Decode(raw []byte) (*Bundle, error) {
+	dec := json.NewDecoder(strings.NewReader(string(raw)))
+	dec.DisallowUnknownFields()
+	var b Bundle
+	if err := dec.Decode(&b); err != nil {
+		return nil, fmt.Errorf("bundle: decode: %w", err)
+	}
+	return &b, nil
+}
+
+// GenerateKey creates a fresh ed25519 keypair.
+func GenerateKey() (ed25519.PublicKey, ed25519.PrivateKey, error) {
+	return ed25519.GenerateKey(rand.Reader)
+}
+
+// WriteKeyPair writes the private seed and public key as hex, one per
+// file. The private file is created 0600.
+func WriteKeyPair(privPath, pubPath string, pub ed25519.PublicKey, priv ed25519.PrivateKey) error {
+	seed := hex.EncodeToString(priv.Seed())
+	if err := os.WriteFile(privPath, []byte(seed+"\n"), 0o600); err != nil {
+		return err
+	}
+	return os.WriteFile(pubPath, []byte(hex.EncodeToString(pub)+"\n"), 0o644)
+}
+
+// LoadPrivateKey reads a hex ed25519 seed file written by WriteKeyPair.
+func LoadPrivateKey(path string) (ed25519.PrivateKey, error) {
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	seed, err := hex.DecodeString(strings.TrimSpace(string(raw)))
+	if err != nil || len(seed) != ed25519.SeedSize {
+		return nil, fmt.Errorf("bundle: %s is not a hex ed25519 seed", path)
+	}
+	return ed25519.NewKeyFromSeed(seed), nil
+}
+
+// LoadPublicKey reads a hex ed25519 public key file.
+func LoadPublicKey(path string) (ed25519.PublicKey, error) {
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	return ParsePublicKey(strings.TrimSpace(string(raw)))
+}
+
+// ParsePublicKey decodes a hex ed25519 public key.
+func ParsePublicKey(hexKey string) (ed25519.PublicKey, error) {
+	pub, err := hex.DecodeString(strings.TrimSpace(hexKey))
+	if err != nil || len(pub) != ed25519.PublicKeySize {
+		return nil, errors.New("bundle: not a hex ed25519 public key")
+	}
+	return ed25519.PublicKey(pub), nil
+}
+
+// KeyID returns a short fingerprint of a public key, recorded in signed
+// manifests so operators can tell which key a bundle expects.
+func KeyID(pub ed25519.PublicKey) string {
+	return hex.EncodeToString(pub)[:12]
+}
+
+// Verifier is an activation gate: it holds the trusted public key and
+// the highest revision admitted so far, and Admit only passes bundles
+// that both verify and advance the revision. One Verifier guards one
+// activation point (a server, a router, an embedded SDK).
+type Verifier struct {
+	pub ed25519.PublicKey
+
+	mu       sync.Mutex
+	revision uint64
+	admitted uint64
+	rejected uint64
+}
+
+// NewVerifier builds a verifier trusting pub, with no active revision
+// (the first admitted bundle may carry any revision ≥ 1).
+func NewVerifier(pub ed25519.PublicKey) *Verifier {
+	return &Verifier{pub: pub}
+}
+
+// Admit decodes, verifies, and revision-checks a raw bundle. On success
+// the bundle's revision becomes the new floor: concurrent and later
+// Admit calls with the same or older revisions fail ErrStale. The
+// returned bundle is only activated by the caller after Admit passes,
+// so a failed activation does not roll the floor back — replays of the
+// same revision stay fenced either way.
+func (v *Verifier) Admit(raw []byte) (*Bundle, error) {
+	b, err := Decode(raw)
+	if err != nil {
+		v.reject()
+		return nil, err
+	}
+	if err := b.Verify(v.pub); err != nil {
+		v.reject()
+		return nil, err
+	}
+	v.mu.Lock()
+	defer v.mu.Unlock()
+	if b.Manifest.Revision <= v.revision {
+		v.rejected++
+		return nil, fmt.Errorf("%w: revision %d, active %d", ErrStale, b.Manifest.Revision, v.revision)
+	}
+	v.revision = b.Manifest.Revision
+	v.admitted++
+	return b, nil
+}
+
+func (v *Verifier) reject() {
+	v.mu.Lock()
+	v.rejected++
+	v.mu.Unlock()
+}
+
+// Revision returns the highest revision admitted so far (0 if none).
+func (v *Verifier) Revision() uint64 {
+	v.mu.Lock()
+	defer v.mu.Unlock()
+	return v.revision
+}
+
+// Status is a point-in-time snapshot of a verifier, for status
+// endpoints and stats output.
+type Status struct {
+	KeyID    string `json:"key_id"`
+	Revision uint64 `json:"revision"`
+	Admitted uint64 `json:"admitted"`
+	Rejected uint64 `json:"rejected"`
+}
+
+// Status reports the verifier's trusted key fingerprint and counters.
+func (v *Verifier) Status() Status {
+	if v == nil {
+		return Status{}
+	}
+	v.mu.Lock()
+	defer v.mu.Unlock()
+	return Status{KeyID: KeyID(v.pub), Revision: v.revision, Admitted: v.admitted, Rejected: v.rejected}
+}

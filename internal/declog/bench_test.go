@@ -1,0 +1,50 @@
+package declog
+
+import (
+	"context"
+	"testing"
+	"time"
+)
+
+// BenchmarkDisabledDeclogHook measures the cost the pipeline adds to the
+// audit hot path when declog is NOT configured: a nil *Exporter receiver.
+// This is the shape grbacd compiles into every mediation when -declog is
+// unset, so it must stay at nanoseconds with zero allocations — CI guard
+// 13 enforces ≤100ns/op and 0 allocs/op.
+func BenchmarkDisabledDeclogHook(b *testing.B) {
+	var exp *Exporter
+	rec := testRecord(1)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		exp.Offer(rec)
+	}
+}
+
+// BenchmarkOffer measures the enabled hot-path handoff with a draining
+// consumer: one atomic add plus a buffered channel send.
+func BenchmarkOffer(b *testing.B) {
+	sink := sinkFunc(func(ctx context.Context, c Chunk) error { return nil })
+	exp := New(sink, WithBufferSize(1<<16), WithFlushInterval(10*time.Millisecond))
+	defer exp.Close()
+	rec := testRecord(1)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		exp.Offer(rec)
+	}
+}
+
+// BenchmarkEncodeChunk measures encoder throughput: JSONL + gzip per
+// record, the bound on sustainable export rate.
+func BenchmarkEncodeChunk(b *testing.B) {
+	ce := newChunkEncoder(DefaultUploadSizeLimit)
+	rec := testRecord(1)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, _, err := ce.Write(rec); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,37 @@
+package declog
+
+import "github.com/aware-home/grbac/internal/obs"
+
+// RegisterMetrics exports the pipeline's counters on reg in the repo's
+// scrape-time-closure style: the atomics are the single source of truth
+// and the registry reads them on demand. Safe with a nil exporter (the
+// series report zero, so dashboards don't gap when declog is disabled).
+func RegisterMetrics(reg *obs.Registry, e *Exporter) {
+	reg.NewCounterFunc("grbac_declog_received_total",
+		"Decision records offered to the decision-log pipeline.",
+		func() float64 { return float64(e.Stats().Received) })
+	reg.NewCounterFunc("grbac_declog_dropped_total",
+		"Decision records the pipeline shed (intake overflow, chunk-queue overflow, encode failure, or shutdown).",
+		func() float64 { return float64(e.Stats().Dropped) })
+	reg.NewCounterFunc("grbac_declog_dropped_chunks_total",
+		"Sealed chunks shed whole under backpressure.",
+		func() float64 { return float64(e.Stats().DroppedChunks) })
+	reg.NewCounterFunc("grbac_declog_uploaded_records_total",
+		"Decision records delivered to the sink.",
+		func() float64 { return float64(e.Stats().UploadedRecords) })
+	reg.NewCounterFunc("grbac_declog_uploaded_chunks_total",
+		"Chunks delivered to the sink.",
+		func() float64 { return float64(e.Stats().UploadedChunks) })
+	reg.NewCounterFunc("grbac_declog_upload_failures_total",
+		"Failed upload attempts (each is retried with backoff).",
+		func() float64 { return float64(e.Stats().UploadFailures) })
+	reg.NewCounterFunc("grbac_declog_retry_total",
+		"Upload retry sleeps completed.",
+		func() float64 { return float64(e.Stats().Retries) })
+	reg.NewGaugeFunc("grbac_declog_pending_chunks",
+		"Sealed chunks awaiting upload.",
+		func() float64 { return float64(e.Stats().PendingChunks) })
+	reg.NewGaugeFunc("grbac_declog_chunk_soft_limit_bytes",
+		"Adaptive uncompressed chunk threshold the encoder currently targets.",
+		func() float64 { return float64(e.Stats().ChunkSoftLimit) })
+}

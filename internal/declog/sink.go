@@ -1,0 +1,178 @@
+package declog
+
+import (
+	"context"
+	"fmt"
+	"io"
+	"net/http"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+	"sync"
+	"time"
+)
+
+// Sink is where sealed chunks go. Upload must be safe for sequential reuse
+// and should return an error for any delivery that may not have landed —
+// the pipeline retries with backoff and counts what it finally sheds.
+type Sink interface {
+	Upload(ctx context.Context, c Chunk) error
+}
+
+// ParseSink builds a sink from an operator-facing spec, as accepted by
+// grbacd's -declog flag:
+//
+//	http://collector:9000/logs   POST each chunk (gzip body)
+//	https://collector/logs       same, over TLS
+//	file:///var/log/grbac        rotating chunk files in the directory
+//	/var/log/grbac               same (bare paths mean a directory)
+func ParseSink(spec string) (Sink, error) {
+	switch {
+	case spec == "":
+		return nil, fmt.Errorf("declog: empty sink spec")
+	case strings.HasPrefix(spec, "http://"), strings.HasPrefix(spec, "https://"):
+		return NewHTTPSink(spec, nil), nil
+	case strings.HasPrefix(spec, "file://"):
+		return NewFileSink(strings.TrimPrefix(spec, "file://"))
+	default:
+		return NewFileSink(spec)
+	}
+}
+
+// HTTPSink POSTs each chunk to a collector endpoint with the gzip body
+// as-is (Content-Encoding: gzip), the OPA decision-log wire shape adapted
+// to JSONL. Any non-2xx status is a failed delivery.
+type HTTPSink struct {
+	url    string
+	client *http.Client
+}
+
+// NewHTTPSink builds an HTTP sink; a nil client selects one with a 10s
+// timeout so a black-holed collector fails an attempt instead of pinning
+// the uploader forever.
+func NewHTTPSink(url string, client *http.Client) *HTTPSink {
+	if client == nil {
+		client = &http.Client{Timeout: 10 * time.Second}
+	}
+	return &HTTPSink{url: url, client: client}
+}
+
+// Upload ships one chunk.
+func (s *HTTPSink) Upload(ctx context.Context, c Chunk) error {
+	req, err := http.NewRequestWithContext(ctx, http.MethodPost, s.url, strings.NewReader(string(c.Data)))
+	if err != nil {
+		return fmt.Errorf("declog: build upload: %w", err)
+	}
+	req.Header.Set("Content-Type", "application/x-ndjson")
+	req.Header.Set("Content-Encoding", "gzip")
+	resp, err := s.client.Do(req)
+	if err != nil {
+		return fmt.Errorf("declog: upload: %w", err)
+	}
+	io.Copy(io.Discard, io.LimitReader(resp.Body, 4096))
+	resp.Body.Close()
+	if resp.StatusCode < 200 || resp.StatusCode > 299 {
+		return fmt.Errorf("declog: collector answered %s", resp.Status)
+	}
+	return nil
+}
+
+// FileSink writes each chunk as a numbered file in a directory —
+// chunk-000001.jsonl.gz, chunk-000002.jsonl.gz, … — with optional
+// rotation pruning the oldest files past a bound. It is the air-gapped /
+// development sink; a collector is just `declog.DecodeChunk` over the
+// directory in order.
+type FileSink struct {
+	mu       sync.Mutex
+	dir      string
+	next     int
+	maxFiles int
+}
+
+// FileSinkOption configures a FileSink.
+type FileSinkOption func(*FileSink)
+
+// WithMaxFiles bounds retained chunk files; the oldest are removed beyond
+// it (0 = unbounded, the default).
+func WithMaxFiles(n int) FileSinkOption {
+	return func(s *FileSink) {
+		if n > 0 {
+			s.maxFiles = n
+		}
+	}
+}
+
+const chunkFilePattern = "chunk-%06d.jsonl.gz"
+
+// NewFileSink builds a file sink rooted at dir (created if missing). It
+// resumes numbering after any chunk files already present, so a restarted
+// grbacd appends rather than overwrites.
+func NewFileSink(dir string, opts ...FileSinkOption) (*FileSink, error) {
+	if dir == "" {
+		return nil, fmt.Errorf("declog: empty sink directory")
+	}
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, fmt.Errorf("declog: create sink directory: %w", err)
+	}
+	s := &FileSink{dir: dir}
+	for _, opt := range opts {
+		opt(s)
+	}
+	existing, err := s.chunkFiles()
+	if err != nil {
+		return nil, err
+	}
+	if len(existing) > 0 {
+		last := existing[len(existing)-1]
+		var n int
+		if _, err := fmt.Sscanf(filepath.Base(last), chunkFilePattern, &n); err == nil {
+			s.next = n
+		}
+	}
+	return s, nil
+}
+
+// Upload writes one chunk file atomically (temp file + rename), then
+// prunes past the rotation bound.
+func (s *FileSink) Upload(ctx context.Context, c Chunk) error {
+	if err := ctx.Err(); err != nil {
+		return err
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.next++
+	name := filepath.Join(s.dir, fmt.Sprintf(chunkFilePattern, s.next))
+	tmp := name + ".tmp"
+	if err := os.WriteFile(tmp, c.Data, 0o644); err != nil {
+		s.next--
+		return fmt.Errorf("declog: write chunk: %w", err)
+	}
+	if err := os.Rename(tmp, name); err != nil {
+		os.Remove(tmp)
+		s.next--
+		return fmt.Errorf("declog: publish chunk: %w", err)
+	}
+	if s.maxFiles > 0 {
+		if files, err := s.chunkFiles(); err == nil && len(files) > s.maxFiles {
+			for _, old := range files[:len(files)-s.maxFiles] {
+				os.Remove(old)
+			}
+		}
+	}
+	return nil
+}
+
+// Dir returns the sink's directory.
+func (s *FileSink) Dir() string { return s.dir }
+
+// chunkFiles lists the sink's chunk files sorted by name (which is also
+// numeric order, thanks to the zero-padded pattern).
+func (s *FileSink) chunkFiles() ([]string, error) {
+	files, err := filepath.Glob(filepath.Join(s.dir, "chunk-*.jsonl.gz"))
+	if err != nil {
+		return nil, fmt.Errorf("declog: list chunks: %w", err)
+	}
+	sort.Strings(files)
+	return files, nil
+}

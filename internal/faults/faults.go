@@ -74,6 +74,10 @@ const (
 	// coordinator crash the resume path must recover from. Journal wraps
 	// each journal append (crash before the step is recorded), the rest
 	// fire after the named remote step succeeds but before it is recorded.
+	// DeclogUpload wraps one decision-log chunk upload attempt: an error
+	// is an unreachable collector (the pipeline retries with backoff and
+	// sheds past its bounds), a delay is a stalled sink.
+	DeclogUpload      = "declog.upload"
 	RebalanceJournal  = "rebalance.journal"
 	RebalanceExport   = "rebalance.export"
 	RebalanceImport   = "rebalance.import"

@@ -12,6 +12,7 @@ import (
 	"time"
 
 	"github.com/aware-home/grbac/internal/core"
+	"github.com/aware-home/grbac/internal/declog"
 	"github.com/aware-home/grbac/internal/obs"
 )
 
@@ -88,6 +89,31 @@ func (s *Server) registerMetrics() {
 	reg.NewCounterFunc("grbac_http_recovered_panics_total",
 		"Handler panics absorbed by the recovery middleware.",
 		func() float64 { return float64(s.serverStats().RecoveredPanics) })
+	if s.trail != nil {
+		reg.NewCounterFunc("grbac_audit_records_total",
+			"Decisions ever offered to the audit trail (retained or not).",
+			func() float64 { return float64(s.trail.Seen()) })
+		reg.NewCounterFunc("grbac_audit_evicted_total",
+			"Audit records evicted by the ring's capacity bound — decisions no longer reconstructible locally.",
+			func() float64 { return float64(s.trail.Evicted()) })
+		reg.NewGaugeFunc("grbac_audit_retained",
+			"Audit records currently held in the ring.",
+			func() float64 { return float64(s.trail.Len()) })
+	}
+	if s.declog != nil {
+		declog.RegisterMetrics(reg, s.declog)
+	}
+	if s.bundles != nil {
+		reg.NewGaugeFunc("grbac_bundle_revision",
+			"Revision of the last admitted policy bundle (0 before any).",
+			func() float64 { return float64(s.bundles.Status().Revision) })
+		reg.NewCounterFunc("grbac_bundle_admitted_total",
+			"Policy bundles that verified and advanced the revision.",
+			func() float64 { return float64(s.bundles.Status().Admitted) })
+		reg.NewCounterFunc("grbac_bundle_rejected_total",
+			"Policy bundles rejected: unsigned, tampered, or stale.",
+			func() float64 { return float64(s.bundles.Status().Rejected) })
+	}
 	if s.tracer != nil {
 		reg.NewCounterFunc("grbac_decision_traces_total",
 			"Decision traces recorded (the ring retains only the newest).",

@@ -6,7 +6,10 @@ import (
 	"strconv"
 	"time"
 
+	"github.com/aware-home/grbac/internal/audit"
+	"github.com/aware-home/grbac/internal/bundle"
 	"github.com/aware-home/grbac/internal/core"
+	"github.com/aware-home/grbac/internal/declog"
 	"github.com/aware-home/grbac/internal/replica"
 	"github.com/aware-home/grbac/internal/store"
 )
@@ -61,12 +64,17 @@ func WithFollower(f *replica.Follower) ServerOption {
 
 // StatszResponse is the /v1/statsz reply: the decision-cache counters,
 // the server's admission/containment gauges, plus a replication section
-// when the server is a follower.
+// when the server is a follower, audit-trail retention accounting when
+// one is attached, decision-log export counters when the server feeds an
+// exporter, and the bundle trust state when a verifier is armed.
 type StatszResponse struct {
 	core.Stats
 	Server      *ServerStats        `json:"server,omitempty"`
 	Replication *replica.Stats      `json:"replication,omitempty"`
 	Store       *store.DurableStats `json:"store,omitempty"`
+	Audit       *audit.Summary      `json:"audit,omitempty"`
+	Declog      *declog.Stats       `json:"declog,omitempty"`
+	Bundle      *bundle.Status      `json:"bundle,omitempty"`
 }
 
 // HealthResponse is the /v1/healthz reply.

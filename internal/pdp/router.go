@@ -14,6 +14,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"github.com/aware-home/grbac/internal/bundle"
 	"github.com/aware-home/grbac/internal/obs"
 	"github.com/aware-home/grbac/internal/shard"
 )
@@ -68,6 +69,7 @@ type Router struct {
 
 	metrics *routerMetrics
 	reg     *obs.Registry
+	bundles *bundle.Verifier
 }
 
 // routerView is one immutable snapshot of the routing state: the shard
@@ -266,6 +268,10 @@ func NewRouter(m *shard.Map, opts ...RouterOption) (*Router, error) {
 	mux.HandleFunc(ShardMapWatchPath, rt.handleShardMapWatch)
 	mux.HandleFunc("/v1/healthz", rt.handleHealthz)
 	mux.HandleFunc("/v1/statsz", rt.handleStatsz)
+	if rt.bundles != nil {
+		mux.HandleFunc(BundlePath, rt.handleBundlePush)
+		mux.HandleFunc(BundleStatusPath, rt.handleBundleStatus)
+	}
 	if rt.reg != nil {
 		mux.HandleFunc("/metrics", func(w http.ResponseWriter, r *http.Request) {
 			w.Header().Set("Content-Type", "text/plain; version=0.0.4")

@@ -13,7 +13,9 @@ import (
 	"time"
 
 	"github.com/aware-home/grbac/internal/audit"
+	"github.com/aware-home/grbac/internal/bundle"
 	"github.com/aware-home/grbac/internal/core"
+	"github.com/aware-home/grbac/internal/declog"
 	"github.com/aware-home/grbac/internal/faults"
 	"github.com/aware-home/grbac/internal/obs"
 	"github.com/aware-home/grbac/internal/replica"
@@ -39,6 +41,8 @@ type Server struct {
 	replicaSrc   *replica.Source
 	follower     *replica.Follower
 	durable      *store.Durable
+	bundles      *bundle.Verifier
+	declog       *declog.Exporter
 	watchMaxWait time.Duration
 	limiter      *limiter
 	migration    migrationState
@@ -58,6 +62,15 @@ type ServerOption func(*Server)
 // request's correlation ID and can be joined to the wire reply and trace.
 func WithAuditLogger(l *audit.Logger) ServerOption {
 	return func(s *Server) { s.trail = l }
+}
+
+// WithDecisionLog surfaces a decision-log exporter's counters in the
+// "declog" section of /v1/statsz and, when metrics are on, as
+// grbac_declog_* series. The exporter is fed off the audit logger's
+// export hook (wired where both are constructed), not here: the server
+// only observes it, so the decision hot path gains nothing.
+func WithDecisionLog(e *declog.Exporter) ServerOption {
+	return func(s *Server) { s.declog = e }
 }
 
 // WithErrorLog sets the server's error logger (default: log.Default()).
@@ -89,6 +102,10 @@ func NewServer(sys *core.System, opts ...ServerOption) *Server {
 	}
 	if s.trail != nil {
 		mux.HandleFunc("/v1/audit", s.handleAudit)
+	}
+	if s.bundles != nil {
+		mux.HandleFunc(BundlePath, s.handleBundlePush)
+		mux.HandleFunc(BundleStatusPath, s.handleBundleStatus)
 	}
 	switch {
 	case s.follower != nil:
@@ -327,6 +344,18 @@ func (s *Server) handleStatsz(w http.ResponseWriter, r *http.Request) {
 	if s.durable != nil {
 		ds := s.durable.Stats()
 		resp.Store = &ds
+	}
+	if s.trail != nil {
+		as := s.trail.Summary()
+		resp.Audit = &as
+	}
+	if s.declog != nil {
+		dl := s.declog.Stats()
+		resp.Declog = &dl
+	}
+	if s.bundles != nil {
+		bs := s.bundles.Status()
+		resp.Bundle = &bs
 	}
 	s.writeJSON(w, http.StatusOK, resp)
 }

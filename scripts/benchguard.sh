@@ -39,6 +39,10 @@
 #      (hedgedFetch with no hedger configured) must allocate nothing and
 #      cost at most BENCHGUARD_MAX_HEDGE_NS (default 100ns) — routers
 #      that never opt into hedging must not pay for it per shard call.
+#  13. the disabled decision-log hook (a nil *declog.Exporter's Offer,
+#      threaded into the audit hot path) must allocate nothing and cost
+#      at most BENCHGUARD_MAX_DECLOG_NS (default 100ns) — PDPs that never
+#      turn on export must not pay for the pipeline per decision.
 set -eu
 
 cd "$(dirname "$0")/.."
@@ -336,6 +340,37 @@ if [ "$hedge_allocs" -ne 0 ]; then
 fi
 if ! awk -v ns="$hedge_ns" -v max="$hedge_ns_budget" 'BEGIN { exit !(ns <= max) }'; then
 	echo "benchguard: FAIL: disabled hedge hook costs ${hedge_ns}ns/op (budget ${hedge_ns_budget}ns)" >&2
+	exit 1
+fi
+
+# Guard 13: the disabled decision-log hook. Every audit append calls the
+# export hook; with no -declog sink that hook is a nil Exporter whose
+# Offer must collapse to a single pointer check — zero allocations,
+# single-digit ns — so instrumenting the audit path costs nothing for
+# PDPs that never export.
+declog_ns_budget=${BENCHGUARD_MAX_DECLOG_NS:-100}
+dout=$(go test -run '^$' -bench 'DisabledDeclogHook' -benchtime 1000000x -benchmem \
+	./internal/declog)
+echo "$dout"
+
+dfield_of() {
+	echo "$dout" | awk -v pat="$1" -v f="$2" '$1 ~ pat { print $f; exit }'
+}
+
+declog_ns=$(dfield_of '^BenchmarkDisabledDeclogHook(-[0-9]+)?$' 3)
+declog_allocs=$(dfield_of '^BenchmarkDisabledDeclogHook(-[0-9]+)?$' 7)
+if [ -z "$declog_ns" ] || [ -z "$declog_allocs" ]; then
+	echo "benchguard: missing DisabledDeclogHook results" >&2
+	exit 1
+fi
+
+echo "benchguard: disabled declog hook=${declog_ns}ns/op, $declog_allocs allocs/op, budget=${declog_ns_budget}ns"
+if [ "$declog_allocs" -ne 0 ]; then
+	echo "benchguard: FAIL: disabled declog hook allocates ($declog_allocs allocs/op, want 0)" >&2
+	exit 1
+fi
+if ! awk -v ns="$declog_ns" -v max="$declog_ns_budget" 'BEGIN { exit !(ns <= max) }'; then
+	echo "benchguard: FAIL: disabled declog hook costs ${declog_ns}ns/op (budget ${declog_ns_budget}ns)" >&2
 	exit 1
 fi
 echo "benchguard: OK"

@@ -1,0 +1,108 @@
+package sdk
+
+import (
+	"bytes"
+	"context"
+	"errors"
+	"testing"
+	"time"
+
+	grbac "github.com/aware-home/grbac"
+	"github.com/aware-home/grbac/internal/bundle"
+	"github.com/aware-home/grbac/internal/core"
+	"github.com/aware-home/grbac/internal/policy"
+)
+
+// makeSignedBundle signs the shared test policy at the given revision
+// and returns the encoded bundle plus a verifier trusting its key.
+func makeSignedBundle(t *testing.T, rev uint64) ([]byte, *bundle.Verifier) {
+	t.Helper()
+	pub, priv, err := bundle.GenerateKey()
+	if err != nil {
+		t.Fatal(err)
+	}
+	compiled, err := policy.Compile(testPolicy)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sys := core.NewSystem()
+	if err := compiled.Apply(sys, nil); err != nil {
+		t.Fatal(err)
+	}
+	st, _ := sys.Snapshot()
+	b := bundle.Build(st, rev, time.Now())
+	if err := b.Sign(priv, bundle.KeyID(pub)); err != nil {
+		t.Fatal(err)
+	}
+	raw, err := b.Encode()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return raw, bundle.NewVerifier(pub)
+}
+
+// TestActivateBundleOffline is the air-gapped deployment shape: no
+// primary, no replication feed — policy arrives only as signed bundles,
+// and only verified bundles are installed.
+func TestActivateBundleOffline(t *testing.T) {
+	raw, v := makeSignedBundle(t, 1)
+	fetch := &localSource{}
+	fetch.setFail(errors.New("air-gapped"))
+	c := newEmbedded(t, "", WithOfflineStart(), WithoutRemote(),
+		WithFetcher(fetch), WithBundleVerifier(v))
+
+	// Before activation: fail-safe deny (empty local policy, no remote).
+	d, err := c.Decide(context.Background(), permitReq())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d.Allowed || d.Source != SourceFailSafe {
+		t.Fatalf("pre-activation decision = %+v, want fail-safe deny", d)
+	}
+
+	// A tampered bundle is refused with the typed error and installs
+	// nothing.
+	tampered := bytes.Replace(raw, []byte(`"alice"`), []byte(`"intruder"`), 1)
+	if _, err := c.ActivateBundle(tampered); !errors.Is(err, bundle.ErrBadSignature) {
+		t.Fatalf("tampered ActivateBundle: %v", err)
+	}
+	if d, _ := c.Decide(context.Background(), permitReq()); d.Allowed {
+		t.Fatal("tampered bundle changed local policy")
+	}
+
+	// The genuine bundle activates and local mediation works. The puller
+	// has never synced, so force the stale path off via ServeStale — the
+	// installed policy itself must answer.
+	rev, err := c.ActivateBundle(raw)
+	if err != nil {
+		t.Fatalf("ActivateBundle: %v", err)
+	}
+	if rev != 1 {
+		t.Fatalf("revision = %d", rev)
+	}
+	ok, err := c.System().CheckAccess(grbac.Request{
+		Subject: "alice", Object: "tv", Transaction: "use",
+		Environment: []grbac.RoleID{"weekday-free-time"},
+	})
+	if err != nil || !ok {
+		t.Fatalf("post-activation local check = %v, %v", ok, err)
+	}
+	if st := c.BundleStatus(); st.Revision != 1 || st.Rejected != 1 {
+		t.Fatalf("bundle status = %+v", st)
+	}
+
+	// Replaying the same revision is fenced.
+	if _, err := c.ActivateBundle(raw); !errors.Is(err, bundle.ErrStale) {
+		t.Fatalf("replay ActivateBundle: %v", err)
+	}
+}
+
+func TestActivateBundleWithoutVerifierRefuses(t *testing.T) {
+	raw, _ := makeSignedBundle(t, 1)
+	fetch := &localSource{}
+	fetch.setFail(errors.New("air-gapped"))
+	c := newEmbedded(t, "", WithOfflineStart(), WithoutRemote(), WithFetcher(fetch))
+	if _, err := c.ActivateBundle(raw); !errors.Is(err, bundle.ErrUnsigned) {
+		t.Fatalf("verifier-less ActivateBundle: %v", err)
+	}
+}

@@ -46,6 +46,7 @@ import (
 
 	grbac "github.com/aware-home/grbac"
 	"github.com/aware-home/grbac/internal/audit"
+	"github.com/aware-home/grbac/internal/bundle"
 	"github.com/aware-home/grbac/internal/faults"
 	"github.com/aware-home/grbac/internal/pdp"
 	"github.com/aware-home/grbac/internal/replica"
@@ -137,6 +138,7 @@ type Client struct {
 	remote *pdp.Client
 
 	fallback   FallbackMode
+	bundles    *bundle.Verifier
 	auditLog   *audit.Logger
 	logger     *log.Logger
 	httpClient *http.Client
@@ -197,6 +199,17 @@ func WithRemote(r *pdp.Client) Option {
 // offline deployment shape.
 func WithoutRemote() Option {
 	return func(c *Client) { c.noRemote = true }
+}
+
+// WithBundleVerifier arms the embedded client's signed-bundle gate:
+// ActivateBundle only installs bundles that verify against v's trusted
+// key and advance its revision, rejecting unsigned, tampered, and stale
+// bundles with the bundle package's typed errors. This is the offline /
+// air-gapped policy-update path (compose with WithoutRemote and
+// WithOfflineStart); on a replicating client the puller's next sync
+// replaces whatever a bundle installed.
+func WithBundleVerifier(v *bundle.Verifier) Option {
+	return func(c *Client) { c.bundles = v }
 }
 
 // WithAudit attaches an audit logger; fail-safe denies and stale-served
@@ -655,6 +668,30 @@ func (c *Client) failSafe(req grbac.Request, why string) Decision {
 	}
 	return Decision{Decision: d, Stale: true, Source: SourceFailSafe}
 }
+
+// ActivateBundle verifies a raw signed policy bundle against the
+// client's bundle verifier and, only if it verifies and advances the
+// admitted revision, installs its state as the local policy. It returns
+// the activated revision. Without WithBundleVerifier every bundle is
+// refused: an embedded PEP never installs policy it cannot authenticate.
+func (c *Client) ActivateBundle(raw []byte) (uint64, error) {
+	if c.bundles == nil {
+		return 0, fmt.Errorf("sdk: no bundle verifier configured: %w", bundle.ErrUnsigned)
+	}
+	b, err := c.bundles.Admit(raw)
+	if err != nil {
+		return 0, err
+	}
+	if err := c.sys.Replace(b.State); err != nil {
+		return 0, fmt.Errorf("sdk: bundle revision %d verified but failed to install: %w",
+			b.Manifest.Revision, err)
+	}
+	return b.Manifest.Revision, nil
+}
+
+// BundleStatus reports the client's bundle trust state (zero-valued
+// without WithBundleVerifier).
+func (c *Client) BundleStatus() bundle.Status { return c.bundles.Status() }
 
 // Stats reports mediation traffic and replication health.
 func (c *Client) Stats() Stats {
